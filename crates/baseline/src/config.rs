@@ -1,0 +1,124 @@
+//! Baseline processor configuration.
+
+use smarco_mem::cache::CacheConfig;
+use smarco_mem::dram::DramConfig;
+use smarco_sim::Cycle;
+
+/// Parameters of the conventional processor (defaults: Xeon E7-8890 v4,
+/// Table 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XeonConfig {
+    /// Physical cores (24).
+    pub cores: usize,
+    /// Hardware threads per core (2-way SMT).
+    pub smt: usize,
+    /// Issue width shared by a core's SMT contexts.
+    pub issue_width: usize,
+    /// Clock in GHz (2.2 base).
+    pub freq_ghz: f64,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Per-core L2.
+    pub l2: CacheConfig,
+    /// Shared last-level cache.
+    pub llc: CacheConfig,
+    /// L2 hit latency (cycles).
+    pub l2_latency: Cycle,
+    /// LLC hit latency (cycles).
+    pub llc_latency: Cycle,
+    /// I-cache miss penalty.
+    pub icache_miss_penalty: Cycle,
+    /// Branch mispredict penalty (deep OoO pipeline).
+    pub branch_penalty: Cycle,
+    /// Outstanding DRAM misses a context tolerates before stalling
+    /// (memory-level parallelism of the OoO window).
+    pub mlp: usize,
+    /// Memory system.
+    pub dram: DramConfig,
+    /// Serialized cost to create one software thread (cycles).
+    pub spawn_cost: Cycle,
+    /// Kernel context-switch cost (cycles).
+    pub switch_cost: Cycle,
+    /// Scheduling quantum (cycles) when software threads exceed hardware
+    /// contexts.
+    pub quantum: Cycle,
+}
+
+impl XeonConfig {
+    /// Xeon E7-8890 v4-like defaults (scaled OS costs; see crate docs).
+    pub fn e7_8890v4() -> Self {
+        Self {
+            cores: 24,
+            smt: 2,
+            issue_width: 4,
+            freq_ghz: 2.2,
+            l1i: CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 8 },
+            l1d: CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 8 },
+            l2: CacheConfig { size_bytes: 256 << 10, line_bytes: 64, ways: 8 },
+            llc: CacheConfig { size_bytes: 60 << 20, line_bytes: 64, ways: 20 },
+            l2_latency: 12,
+            llc_latency: 40,
+            icache_miss_penalty: 20,
+            branch_penalty: 16,
+            mlp: 10,
+            dram: DramConfig::xeon(),
+            spawn_cost: 2_000,
+            switch_cost: 1_500,
+            quantum: 20_000,
+        }
+    }
+
+    /// A 4-core variant for fast tests.
+    pub fn small() -> Self {
+        Self { cores: 4, ..Self::e7_8890v4() }
+    }
+
+    /// Hardware thread contexts.
+    pub fn contexts(&self) -> usize {
+        self.cores * self.smt
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero counts or non-positive parameters.
+    pub fn validate(&self) {
+        assert!(self.cores > 0 && self.smt > 0 && self.issue_width > 0, "zero geometry");
+        assert!(self.mlp > 0, "mlp must be positive");
+        assert!(self.freq_ghz > 0.0, "frequency must be positive");
+        assert!(self.quantum > 0 && self.spawn_cost > 0, "OS costs must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters() {
+        let c = XeonConfig::e7_8890v4();
+        c.validate();
+        assert_eq!(c.contexts(), 48);
+        // 24 × 32 KB ≈ 0.77 MB L1 as Table 2 lists.
+        assert_eq!(c.cores as u64 * c.l1i.size_bytes, 768 << 10);
+        assert_eq!(c.llc.size_bytes, 60 << 20);
+    }
+
+    #[test]
+    fn small_variant_validates() {
+        let c = XeonConfig::small();
+        c.validate();
+        assert_eq!(c.contexts(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "mlp must be positive")]
+    fn zero_mlp_rejected() {
+        let mut c = XeonConfig::small();
+        c.mlp = 0;
+        c.validate();
+    }
+}

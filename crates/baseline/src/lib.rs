@@ -1,0 +1,29 @@
+//! Conventional high-performance processor model (the paper's comparison
+//! baseline, an Intel Xeon E7-8890 v4 per Table 2).
+//!
+//! The model reproduces what the paper measures about conventional
+//! processors under HTC load (Figs. 1, 2, 22, 23):
+//!
+//! * wide out-of-order cores (latency tolerance modelled as a
+//!   memory-level-parallelism window) with 2-way SMT;
+//! * a three-level cache hierarchy (32 KB L1, 256 KB L2 per core, 60 MB
+//!   shared LLC) whose miss ratios and average access latencies degrade on
+//!   cache-hostile HTC working sets;
+//! * software threading: serialized thread creation, quantum-based context
+//!   switching with kernel-scale costs, so performance peaks around 32–64
+//!   threads and then declines (Fig. 23);
+//! * 85 GB/s of shared memory bandwidth.
+//!
+//! Timescale substitution: OS quanta and spawn costs are scaled down
+//! (quantum ≈ 20 k cycles, spawn ≈ 2 k cycles) so that scheduling effects
+//! appear at simulatable run lengths; the *shape* of the curves — not
+//! absolute magnitudes — is the reproduction target (see DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod core;
+pub mod system;
+
+pub use config::XeonConfig;
+pub use system::{BaselineReport, ConventionalSystem};

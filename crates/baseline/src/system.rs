@@ -1,0 +1,484 @@
+//! The conventional multi-core system with software threading.
+
+use std::collections::VecDeque;
+
+use smarco_isa::{InstructionStream, Op};
+use smarco_mem::cache::Cache;
+use smarco_mem::dram::Dram;
+use smarco_sim::stats::{MeanTracker, Ratio};
+use smarco_sim::Cycle;
+
+use crate::config::XeonConfig;
+use crate::core::{CoreAccess, XeonCore};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SwState {
+    Spawning,
+    Ready,
+    Running,
+    Done,
+}
+
+struct SwThread {
+    stream: Box<dyn InstructionStream + Send>,
+    state: SwState,
+    ready_at: Cycle,
+    instructions: u64,
+}
+
+/// Statistics of a baseline run.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineReport {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Issue slots offered (cores × width × cycles).
+    pub issue_slots: u64,
+    /// Issue slots actually used.
+    pub issue_used: u64,
+    /// Context-cycles lost to I-cache miss stalls.
+    pub istarve_cycles: u64,
+    /// Context-cycles observed (for starvation ratio).
+    pub context_cycles: u64,
+    /// Branches by predicted/mispredicted.
+    pub branches: Ratio,
+    /// L1D accesses by hit/miss.
+    pub l1d: Ratio,
+    /// L2 accesses by hit/miss.
+    pub l2: Ratio,
+    /// LLC accesses by hit/miss.
+    pub llc: Ratio,
+    /// Average data-access latency per level observed (cycles).
+    pub access_latency: MeanTracker,
+    /// DRAM bandwidth utilization (0–1).
+    pub dram_utilization: f64,
+    /// Mean DRAM request latency.
+    pub dram_latency: f64,
+    /// Context switches performed.
+    pub context_switches: u64,
+    /// Software threads that ran.
+    pub threads: usize,
+}
+
+impl BaselineReport {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of issue slots idle (Fig. 1a).
+    pub fn idle_ratio(&self) -> f64 {
+        if self.issue_slots == 0 {
+            0.0
+        } else {
+            1.0 - self.issue_used as f64 / self.issue_slots as f64
+        }
+    }
+
+    /// Fraction of context-cycles stalled on instruction supply (Fig. 1b).
+    pub fn starvation_ratio(&self) -> f64 {
+        if self.context_cycles == 0 {
+            0.0
+        } else {
+            self.istarve_cycles as f64 / self.context_cycles as f64
+        }
+    }
+
+    /// Instructions per second at `freq_ghz`.
+    pub fn throughput(&self, freq_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / (self.cycles as f64 / (freq_ghz * 1e9))
+        }
+    }
+}
+
+/// The conventional (Xeon-like) system.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_baseline::{ConventionalSystem, XeonConfig};
+/// use smarco_isa::mix::compute_only;
+///
+/// let mut sys = ConventionalSystem::new(XeonConfig::small());
+/// sys.spawn(Box::new(compute_only(100)));
+/// let report = sys.run(1_000_000);
+/// assert!(sys.is_done());
+/// assert_eq!(report.instructions, 101);
+/// ```
+pub struct ConventionalSystem {
+    config: XeonConfig,
+    cores: Vec<XeonCore>,
+    llc: Cache,
+    dram: Dram<(usize, usize, Cycle)>,
+    threads: Vec<SwThread>,
+    ready: VecDeque<usize>,
+    next_spawn_ready: Cycle,
+    report: BaselineReport,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for ConventionalSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConventionalSystem")
+            .field("cores", &self.cores.len())
+            .field("threads", &self.threads.len())
+            .field("now", &self.now)
+            .finish()
+    }
+}
+
+impl ConventionalSystem {
+    /// Builds an idle system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: XeonConfig) -> Self {
+        config.validate();
+        Self {
+            cores: (0..config.cores).map(|_| XeonCore::new(&config)).collect(),
+            llc: Cache::new(config.llc),
+            dram: Dram::new(config.dram),
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            next_spawn_ready: 0,
+            report: BaselineReport::default(),
+            config,
+            now: 0,
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &XeonConfig {
+        &self.config
+    }
+
+    /// Spawns a software thread (pthread_create): creation is serialized,
+    /// so the i-th spawned thread only becomes ready after
+    /// `i × spawn_cost` cycles.
+    pub fn spawn(&mut self, stream: Box<dyn InstructionStream + Send>) -> usize {
+        self.next_spawn_ready += self.config.spawn_cost;
+        let id = self.threads.len();
+        self.threads.push(SwThread {
+            stream,
+            state: SwState::Spawning,
+            ready_at: self.next_spawn_ready,
+            instructions: 0,
+        });
+        id
+    }
+
+    fn schedule(&mut self, now: Cycle) {
+        for c in 0..self.cores.len() {
+            for x in 0..self.config.smt {
+                let ctx = self.cores[c].contexts[x];
+                match ctx.thread {
+                    None => {
+                        if let Some(tid) = self.ready.pop_front() {
+                            self.threads[tid].state = SwState::Running;
+                            let ctx = &mut self.cores[c].contexts[x];
+                            ctx.thread = Some(tid);
+                            ctx.stall_until = now + self.config.switch_cost;
+                            ctx.quantum_end = now + self.config.quantum;
+                            self.report.context_switches += 1;
+                        }
+                    }
+                    Some(tid) => {
+                        if now >= ctx.quantum_end && !self.ready.is_empty() && !ctx.blocked {
+                            // Preempt: rotate with the ready queue.
+                            self.threads[tid].state = SwState::Ready;
+                            self.ready.push_back(tid);
+                            let next = self.ready.pop_front().expect("ready non-empty");
+                            self.threads[next].state = SwState::Running;
+                            let ctx = &mut self.cores[c].contexts[x];
+                            ctx.thread = Some(next);
+                            ctx.stall_until = now + self.config.switch_cost;
+                            ctx.quantum_end = now + self.config.quantum;
+                            self.report.context_switches += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn issue_one(&mut self, core: usize, x: usize, now: Cycle) -> bool {
+        let Some(tid) = self.cores[core].contexts[x].thread else { return false };
+        let ctx = self.cores[core].contexts[x];
+        if ctx.blocked || ctx.stall_until > now {
+            return false;
+        }
+        let Some(instr) = self.threads[tid].stream.next_instr() else {
+            self.retire(core, x, tid);
+            return false;
+        };
+        // Instruction supply.
+        if !self.cores[core].fetch(instr.pc) {
+            let ctx = &mut self.cores[core].contexts[x];
+            ctx.stall_until = now + self.config.icache_miss_penalty;
+            self.report.istarve_cycles += self.config.icache_miss_penalty;
+        }
+        self.threads[tid].instructions += 1;
+        self.report.instructions += 1;
+        match instr.op {
+            Op::Compute { latency } => {
+                // The OoO window hides short ALU latencies entirely.
+                if latency > 4 {
+                    let ctx = &mut self.cores[core].contexts[x];
+                    ctx.stall_until = ctx.stall_until.max(now + Cycle::from(latency) / 2);
+                }
+            }
+            Op::Branch { mispredicted } => {
+                self.report.branches.record(!mispredicted);
+                if mispredicted {
+                    let ctx = &mut self.cores[core].contexts[x];
+                    ctx.stall_until = ctx.stall_until.max(now + self.config.branch_penalty);
+                }
+            }
+            Op::Exit => {
+                self.retire(core, x, tid);
+            }
+            // No scratchpads or DMA on the conventional machine: treat as
+            // plain memory work already covered by loads/stores.
+            Op::Sync | Op::Dma { .. } => {}
+            Op::Load(m) => self.mem_access(core, x, m.addr, false, now),
+            Op::Store(m) => self.mem_access(core, x, m.addr, true, now),
+        }
+        true
+    }
+
+    fn mem_access(&mut self, core: usize, x: usize, addr: u64, is_write: bool, now: Cycle) {
+        match self.cores[core].data_access(addr, is_write) {
+            CoreAccess::L1 => {
+                self.report.l1d.record(true);
+                self.report.access_latency.record(4.0);
+            }
+            CoreAccess::L2 => {
+                self.report.l1d.record(false);
+                self.report.l2.record(true);
+                self.report.access_latency.record(self.config.l2_latency as f64);
+                let ctx = &mut self.cores[core].contexts[x];
+                ctx.stall_until = ctx.stall_until.max(now + self.config.l2_latency / 2);
+            }
+            CoreAccess::EscalateLlc => {
+                self.report.l1d.record(false);
+                self.report.l2.record(false);
+                if self.llc.access(addr, is_write).is_hit() {
+                    self.report.llc.record(true);
+                    self.report.access_latency.record(self.config.llc_latency as f64);
+                    let ctx = &mut self.cores[core].contexts[x];
+                    ctx.stall_until = ctx.stall_until.max(now + self.config.llc_latency / 2);
+                } else {
+                    self.report.llc.record(false);
+                    let line = self.llc.line_addr(addr);
+                    let channel =
+                        ((line / 4096) % self.config.dram.channels as u64) as usize;
+                    self.dram.enqueue(channel, 64, now, (core, x, now));
+                    if !is_write {
+                        let ctx = &mut self.cores[core].contexts[x];
+                        ctx.outstanding += 1;
+                        if ctx.outstanding >= self.config.mlp {
+                            ctx.blocked = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn retire(&mut self, core: usize, x: usize, tid: usize) {
+        self.threads[tid].state = SwState::Done;
+        self.cores[core].contexts[x].thread = None;
+    }
+
+    /// Advances one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        self.now = now + 1;
+        // DRAM completions free MLP slots.
+        for (core, x, issued) in self.dram.tick(now) {
+            self.report.access_latency.record((now - issued) as f64);
+            let ctx = &mut self.cores[core].contexts[x];
+            ctx.outstanding = ctx.outstanding.saturating_sub(1);
+            if ctx.outstanding < self.config.mlp {
+                ctx.blocked = false;
+            }
+        }
+        // Threads finish spawning.
+        for tid in 0..self.threads.len() {
+            if self.threads[tid].state == SwState::Spawning && self.threads[tid].ready_at <= now {
+                self.threads[tid].state = SwState::Ready;
+                self.ready.push_back(tid);
+            }
+        }
+        self.schedule(now);
+        // Issue: each core shares its width across SMT contexts.
+        for c in 0..self.cores.len() {
+            let mut budget = self.config.issue_width;
+            self.report.issue_slots += self.config.issue_width as u64;
+            for x in 0..self.config.smt {
+                if self.cores[c].contexts[x].thread.is_some() {
+                    self.report.context_cycles += 1;
+                }
+            }
+            'issue: loop {
+                let mut progressed = false;
+                for x in 0..self.config.smt {
+                    if budget == 0 {
+                        break 'issue;
+                    }
+                    if self.issue_one(c, x, now) {
+                        budget -= 1;
+                        self.report.issue_used += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether all threads finished and memory drained.
+    pub fn is_done(&self) -> bool {
+        self.threads.iter().all(|t| t.state == SwState::Done) && self.dram.is_idle()
+    }
+
+    /// Runs until done or `max` cycles; returns the report.
+    pub fn run(&mut self, max: Cycle) -> BaselineReport {
+        while self.now < max && !self.is_done() {
+            self.tick(self.now);
+        }
+        self.report()
+    }
+
+    /// Builds the report at the current cycle.
+    pub fn report(&self) -> BaselineReport {
+        let mut r = self.report.clone();
+        r.cycles = self.now;
+        r.threads = self.threads.len();
+        r.dram_utilization = self.dram.utilization(self.now.max(1));
+        r.dram_latency = self.dram.mean_latency();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_isa::mix::{compute_only, AddressModel, GranularityMix, OpMix, SyntheticStream};
+    use smarco_sim::rng::SimRng;
+
+    fn mem_mix(base: u64, ws: u64) -> OpMix {
+        OpMix {
+            mem_frac: 0.4,
+            load_frac: 0.7,
+            branch_frac: 0.15,
+            branch_miss: 0.08,
+            realtime_frac: 0.0,
+            granularity: GranularityMix::new([0.3, 0.3, 0.2, 0.2, 0.0, 0.0, 0.0]),
+            addresses: AddressModel::random(base, ws),
+        }
+    }
+
+    fn sys_with(threads: usize, instrs: u64, ws: u64) -> ConventionalSystem {
+        let mut s = ConventionalSystem::new(XeonConfig::small());
+        for i in 0..threads {
+            let mix = mem_mix(0x10_0000 + (i as u64) * ws, ws);
+            s.spawn(Box::new(SyntheticStream::new(mix, instrs, SimRng::new(i as u64 + 1))));
+        }
+        s
+    }
+
+    #[test]
+    fn single_compute_thread_exploits_width() {
+        let mut s = ConventionalSystem::new(XeonConfig::small());
+        s.spawn(Box::new(compute_only(10_000)));
+        let r = s.run(1_000_000);
+        // One thread on a 4-wide OoO core: IPC well above an in-order 1.0
+        // once spawn/switch costs amortize.
+        let core_ipc = r.instructions as f64 / (r.cycles as f64 - 2000.0);
+        assert!(core_ipc > 2.0, "ipc {core_ipc}");
+    }
+
+    #[test]
+    fn all_threads_finish() {
+        let mut s = sys_with(16, 2_000, 1 << 16);
+        let r = s.run(50_000_000);
+        assert!(s.is_done());
+        assert_eq!(r.instructions, 16 * 2001);
+        assert_eq!(r.threads, 16);
+    }
+
+    #[test]
+    fn memory_pressure_costs_throughput() {
+        let light = sys_with(8, 5_000, 1 << 12).run(50_000_000); // cache-resident
+        let heavy = sys_with(8, 5_000, 1 << 24).run(50_000_000); // cache-hostile
+        assert!(
+            heavy.ipc() < light.ipc() * 0.8,
+            "heavy ipc {:.3} vs light ipc {:.3}",
+            heavy.ipc(),
+            light.ipc()
+        );
+        assert!(heavy.l1d.ratio() < light.l1d.ratio(), "heavy should miss more");
+    }
+
+    #[test]
+    fn oversubscription_adds_switches_and_overhead() {
+        // 8 contexts on the small config; 64 threads oversubscribe 8×.
+        let exact = sys_with(8, 4_000, 1 << 16).run(100_000_000);
+        let over = sys_with(64, 500, 1 << 16).run(100_000_000);
+        assert!(over.context_switches > exact.context_switches);
+        // Equal total work, but oversubscribed run burns more cycles.
+        assert_eq!(exact.instructions, 8 * 4001);
+        assert_eq!(over.instructions, 64 * 501);
+    }
+
+    #[test]
+    fn mlp_blocks_after_window_fills() {
+        // A pure pointer-chase into a huge region: every access a DRAM miss.
+        let mix = OpMix {
+            mem_frac: 1.0,
+            load_frac: 1.0,
+            branch_frac: 0.0,
+            branch_miss: 0.0,
+            realtime_frac: 0.0,
+            granularity: GranularityMix::new([0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0]),
+            addresses: AddressModel::random(0, 1 << 28),
+        };
+        let mut s = ConventionalSystem::new(XeonConfig::small());
+        s.spawn(Box::new(SyntheticStream::new(mix, 2_000, SimRng::new(1))));
+        let r = s.run(10_000_000);
+        assert!(s.is_done());
+        assert!(r.llc.ratio() < 0.2, "llc mostly misses");
+        assert!(r.idle_ratio() > 0.8, "memory-bound run leaves slots idle");
+    }
+
+    #[test]
+    fn spawn_serialization_delays_start() {
+        let mut s = ConventionalSystem::new(XeonConfig::small());
+        for _ in 0..10 {
+            s.spawn(Box::new(compute_only(10)));
+        }
+        let r = s.run(1_000_000);
+        // Last thread ready at 10 × spawn_cost; run can't be shorter.
+        assert!(r.cycles >= 10 * s.config().spawn_cost);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = sys_with(8, 1_000, 1 << 16).run(50_000_000);
+        let b = sys_with(8, 1_000, 1 << 16).run(50_000_000);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.context_switches, b.context_switches);
+    }
+}

@@ -1,0 +1,7 @@
+//! In-pair threads & shared-instruction-segment ablation (§3.1).
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    let rows = smarco_bench::figures::ablations::inpair_ablation(scale);
+    print!("{}", smarco_bench::figures::ablations::format_inpair(&rows));
+}

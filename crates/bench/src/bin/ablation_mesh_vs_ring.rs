@@ -1,0 +1,6 @@
+//! Ring-vs-mesh ablation (§3.2's topology argument).
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    println!("{}", smarco_bench::figures::ablations::mesh_vs_ring(scale));
+}

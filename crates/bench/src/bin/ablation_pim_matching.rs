@@ -1,0 +1,6 @@
+//! In-memory string-matching ablation (the paper's §7 future work).
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    println!("{}", smarco_bench::figures::ablations::pim_matching(scale));
+}

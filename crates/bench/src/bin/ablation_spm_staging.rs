@@ -1,0 +1,7 @@
+//! SPM staging ablation (§3.6 data placement, §7 prefetch direction).
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    let rows = smarco_bench::figures::ablations::staging_ablation(scale);
+    print!("{}", smarco_bench::figures::ablations::format_staging(&rows));
+}

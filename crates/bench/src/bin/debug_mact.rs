@@ -1,0 +1,45 @@
+//! Diagnostic: MACT merging behaviour under the team workload (not a
+//! paper figure; used to sanity-check collection dynamics).
+
+use smarco_bench::harness::smarco_team_system;
+use smarco_workloads::Benchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bw: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(22.75);
+    let tpc: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
+    let thr: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let lines: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(32);
+    for bench in [Benchmark::Kmp, Benchmark::WordCount] {
+        let mut cfg = smarco_bench::harness::pressure_matched_tiny();
+        cfg.dram.bytes_per_cycle = bw;
+        cfg.mact = Some(smarco_mem::mact::MactConfig { threshold: thr, lines, line_bytes: 64 });
+        let mut sys = smarco_team_system(bench, &cfg, 600, tpc);
+        let r = sys.run(500_000_000);
+        println!(
+            "{:<10} cycles={} instr={} reqs={} dram_reqs={} mact_coll={} batches={} red={:.2} \
+             dram_util={:.3} lat={:.1}",
+            bench.name(),
+            r.cycles,
+            r.instructions,
+            r.requests,
+            r.dram_requests,
+            r.mact_collected,
+            r.mact_batches,
+            r.request_reduction(),
+            r.dram_utilization,
+            r.mem_latency.mean(),
+        );
+        for (sr, s) in sys.mact_stats().iter().enumerate() {
+            println!(
+                "  sr{sr}: collected={} bypassed={} batches={} rpb={:.2} flush[full,deadline,cap,drain]={:?} wait={:.1}",
+                s.collected.get(),
+                s.bypassed.get(),
+                s.batches.get(),
+                s.requests_per_batch.mean(),
+                s.flush_causes,
+                s.wait_cycles.mean(),
+            );
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates the paper's fig22 data. Pass `--scale paper` for the
+//! fuller configuration.
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    println!("{}", smarco_bench::figures::fig22::run(scale));
+}

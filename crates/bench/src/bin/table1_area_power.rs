@@ -1,0 +1,7 @@
+//! Regenerates the paper's table1 data. Pass `--scale paper` for the
+//! fuller configuration.
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    println!("{}", smarco_bench::figures::table1::run(scale));
+}

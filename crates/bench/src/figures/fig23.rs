@@ -1,0 +1,136 @@
+//! Fig. 23: scalability of KMP with thread count.
+//!
+//! Fixed total work split across N threads. The Xeon model's throughput
+//! peaks near its hardware context count (creation and scheduling overhead
+//! then eat the gains) while SmarCo starts far below — one simple in-order
+//! thread is slow — but keeps rising with its 8-per-core hardware threads
+//! and crosses the Xeon curve.
+
+use smarco_baseline::XeonConfig;
+use smarco_core::chip::SmarcoSystem;
+use smarco_core::config::SmarcoConfig;
+use smarco_sim::rng::SimRng;
+use smarco_workloads::{Benchmark, HtcStream};
+
+use crate::harness::xeon_system;
+use crate::Scale;
+
+/// One sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleRow {
+    /// Thread count.
+    pub threads: usize,
+    /// Xeon throughput in instructions/second (0 when not run at this
+    /// point).
+    pub xeon_ips: f64,
+    /// SmarCo throughput in instructions/second.
+    pub smarco_ips: f64,
+}
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig23 {
+    /// Sweep rows in thread order.
+    pub rows: Vec<ScaleRow>,
+}
+
+impl Fig23 {
+    /// Thread count where the Xeon curve peaks.
+    pub fn xeon_peak_threads(&self) -> usize {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.xeon_ips.partial_cmp(&b.xeon_ips).expect("finite"))
+            .map(|r| r.threads)
+            .unwrap_or(0)
+    }
+
+    /// First thread count where SmarCo overtakes the Xeon.
+    pub fn crossover_threads(&self) -> Option<usize> {
+        self.rows.iter().find(|r| r.smarco_ips > r.xeon_ips && r.xeon_ips > 0.0).map(|r| r.threads)
+    }
+}
+
+/// Shrinks the chip to the smallest sub-ring count that holds `threads`
+/// (power of two, ≤ the requested chip). Idle cores change nothing about
+/// a run's simulated outcome but cost host time, and memory channels are
+/// scaled with the sub-rings so per-core resources stay the chip's.
+fn sized_for(cfg: &SmarcoConfig, threads: usize) -> SmarcoConfig {
+    let per_subring = cfg.noc.cores_per_subring * cfg.tcg.resident_threads;
+    let needed = threads.div_ceil(per_subring).next_power_of_two();
+    let subrings = needed.clamp(1, cfg.noc.subrings);
+    let mut out = cfg.clone();
+    out.noc.subrings = subrings;
+    out.noc.mem_ctrls = cfg.noc.mem_ctrls.min(subrings);
+    out.dram.channels = out.noc.mem_ctrls;
+    if let Some(d) = out.direct.as_mut() {
+        d.subrings = subrings;
+    }
+    out
+}
+
+fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> f64 {
+    let cfg = &sized_for(cfg, threads);
+    let mut sys = SmarcoSystem::new(cfg.clone());
+    let ops = (total_work / threads as u64).max(1);
+    let bench = Benchmark::Kmp;
+    let tpc = cfg.tcg.resident_threads;
+    for t in 0..threads {
+        let core = (t / tpc) % cfg.noc.cores();
+        let sr = core / cfg.noc.cores_per_subring;
+        let p = bench.thread_params(
+            0x100_0000 + sr as u64 * (64 << 20),
+            16 << 20,
+            0x8000_0000 + sr as u64 * (1 << 20),
+            (t % (cfg.noc.cores_per_subring * tpc)) as u64,
+            (cfg.noc.cores_per_subring * tpc) as u64,
+            ops,
+        );
+        sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(500 + t as u64))))
+            .expect("vacant slot");
+    }
+    let r = sys.run(u64::MAX / 2);
+    r.instructions as f64 / r.seconds(cfg.freq_ghz)
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig23 {
+    let (scfg, xcfg, sweep, total_work): (_, _, &[usize], u64) = match scale {
+        Scale::Quick => (
+            SmarcoConfig::tiny(),
+            XeonConfig::small(),
+            &[1, 2, 4, 8, 16, 32, 64, 128],
+            200_000,
+        ),
+        Scale::Paper => (
+            SmarcoConfig::smarco(),
+            XeonConfig::e7_8890v4(),
+            &[1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048],
+            2_000_000,
+        ),
+    };
+    let mut rows = Vec::new();
+    for &threads in sweep {
+        let ops = (total_work / threads as u64).max(1);
+        let mut xeon = xeon_system(Benchmark::Kmp, &xcfg, threads, ops);
+        let xr = xeon.run(u64::MAX / 2);
+        let xeon_ips = xr.instructions as f64 / (xr.cycles as f64 / (xcfg.freq_ghz * 1e9));
+        let smarco = smarco_ips(&scfg, threads, total_work);
+        rows.push(ScaleRow { threads, xeon_ips, smarco_ips: smarco });
+    }
+    Fig23 { rows }
+}
+
+impl std::fmt::Display for Fig23 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 23: KMP throughput vs thread count (instructions/second)")?;
+        writeln!(f, "  {:>8} {:>14} {:>14}", "threads", "xeon", "smarco")?;
+        for r in &self.rows {
+            writeln!(f, "  {:>8} {:>14.3e} {:>14.3e}", r.threads, r.xeon_ips, r.smarco_ips)?;
+        }
+        writeln!(f, "  xeon peak at {} threads", self.xeon_peak_threads())?;
+        match self.crossover_threads() {
+            Some(t) => writeln!(f, "  smarco crosses above at {t} threads"),
+            None => writeln!(f, "  no crossover observed in this sweep"),
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 26: the taped-out 40 nm prototype's energy efficiency over the
+//! Xeon.
+//!
+//! The prototype supports 256 threads (32 cores here) at a lower clock on
+//! the older node; efficiency gains land at 2.05–6.84× (avg 3.85×) —
+//! roughly half the full chip's, with the same per-benchmark ordering.
+
+use smarco_baseline::XeonConfig;
+use smarco_core::config::SmarcoConfig;
+use smarco_power::TechNode;
+use smarco_workloads::Benchmark;
+
+use crate::figures::fig22::{compare_one, CompareRow};
+use crate::Scale;
+
+/// The figure's data.
+#[derive(Debug, Clone)]
+pub struct Fig26 {
+    /// One row per benchmark (the `speedup` field is informational; the
+    /// paper's Fig. 26 reports efficiency).
+    pub rows: Vec<CompareRow>,
+}
+
+impl Fig26 {
+    /// Average energy-efficiency improvement.
+    pub fn avg_efficiency(&self) -> f64 {
+        self.rows.iter().map(|r| r.energy_efficiency).sum::<f64>() / self.rows.len() as f64
+    }
+}
+
+/// Runs the experiment.
+pub fn run(scale: Scale) -> Fig26 {
+    let scfg = SmarcoConfig::prototype_40nm();
+    let (xcfg, map_ops, reduce_ops) = match scale {
+        Scale::Quick => (XeonConfig::small(), 1_500, 500),
+        Scale::Paper => (XeonConfig::e7_8890v4(), 4_000, 1_500),
+    };
+    let rows = Benchmark::ALL
+        .iter()
+        .map(|&b| compare_one(b, &scfg, &xcfg, TechNode::n40(), map_ops, reduce_ops))
+        .collect();
+    Fig26 { rows }
+}
+
+impl std::fmt::Display for Fig26 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "Fig. 26: 40 nm prototype energy efficiency over Xeon")?;
+        for r in &self.rows {
+            writeln!(f, "  {:<12} {:>8.2}x", r.bench.name(), r.energy_efficiency)?;
+        }
+        writeln!(f, "  {:<12} {:>8.2}x   (paper: 3.85x avg)", "average", self.avg_efficiency())
+    }
+}

@@ -1,0 +1,18 @@
+//! One module per paper table/figure; each exposes `run(Scale)` returning
+//! structured rows that the `src/bin/` binaries print and the integration
+//! tests assert shapes on.
+
+pub mod ablations;
+pub mod fig01;
+pub mod fig02;
+pub mod fig08;
+pub mod fig17;
+pub mod fig18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig21;
+pub mod fig22;
+pub mod fig23;
+pub mod fig26;
+pub mod table1;
+pub mod table2;

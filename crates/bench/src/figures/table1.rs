@@ -1,0 +1,11 @@
+//! Table 1: area and power of SmarCo at 32 nm.
+
+use smarco_core::config::SmarcoConfig;
+use smarco_power::{estimate_smarco, ChipEstimate, TechNode};
+
+use crate::Scale;
+
+/// Runs the estimate (scale-independent: the table is analytic).
+pub fn run(_scale: Scale) -> ChipEstimate {
+    estimate_smarco(&SmarcoConfig::smarco(), TechNode::n32())
+}

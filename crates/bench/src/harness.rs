@@ -1,0 +1,291 @@
+//! Shared experiment runners.
+
+use smarco_baseline::{ConventionalSystem, XeonConfig};
+use smarco_core::chip::SmarcoSystem;
+use smarco_core::config::{SmarcoConfig, TcgConfig};
+use smarco_core::tcg::TcgCore;
+use smarco_isa::InstructionStream;
+use smarco_mem::map::AddressSpace;
+use smarco_noc::traffic::SizeMix;
+use smarco_runtime::{MapReduceApp, MapReduceConfig, MapReduceRun, MapTask, ReduceTask};
+use smarco_sim::rng::SimRng;
+use smarco_sim::Cycle;
+use smarco_workloads::{Benchmark, HtcStream};
+
+/// Per-thread working-set size used for baseline runs.
+pub const XEON_WS: u64 = 1 << 22;
+
+/// MapReduce adapter over a benchmark's structured generator.
+pub struct BenchmarkMapReduce {
+    /// Which benchmark.
+    pub bench: Benchmark,
+    /// Instructions per map task.
+    pub map_ops: u64,
+    /// Instructions per reduce task.
+    pub reduce_ops: u64,
+    /// Base of the per-sub-ring shared tables.
+    pub table_base: u64,
+}
+
+impl BenchmarkMapReduce {
+    /// Creates the adapter with a default table placement.
+    pub fn new(bench: Benchmark, map_ops: u64, reduce_ops: u64) -> Self {
+        Self { bench, map_ops, reduce_ops, table_base: 0x3000_0000 }
+    }
+}
+
+impl BenchmarkMapReduce {
+    /// Generator parameters for a task at `(base, len)`, staged or not.
+    ///
+    /// For SPM-staged tasks the runtime lays out the thread's SPM share as
+    /// `[scan slice][output buffer][hot table window]` — the paper's §3.6
+    /// flow where datasets, intermediate results and working tables all
+    /// live in scratchpad, with only cold shared-table traffic and final
+    /// spills reaching DRAM.
+    fn params(
+        &self,
+        core: usize,
+        base: u64,
+        len: u64,
+        in_spm: bool,
+        ops: u64,
+    ) -> smarco_workloads::ThreadGenParams {
+        let table = self.table_base + (core as u64 / 16) * (1 << 20);
+        let mut p = self.bench.thread_params(base, len, table, 0, 1, ops);
+        if in_spm {
+            // The hot table shard is part of the staged slice (the DMA
+            // prologue covers it); the output buffer needs no staging —
+            // stores define their bytes.
+            let hot = p.table_hot_bytes.min(4 << 10).min(len / 2);
+            p.out_len = 4 << 10;
+            p.out_base = base + len;
+            p.table_hot_bytes = hot.max(64);
+            p.table_hot_base = Some(base);
+        }
+        p
+    }
+}
+
+impl MapReduceApp for BenchmarkMapReduce {
+    fn map_stream(&self, t: &MapTask) -> Box<dyn InstructionStream + Send> {
+        let p = self.params(t.core, t.slice_base, t.slice_len, t.in_spm, self.map_ops);
+        Box::new(HtcStream::new(p, SimRng::new(t.seed)))
+    }
+    fn reduce_stream(&self, t: &ReduceTask) -> Box<dyn InstructionStream + Send> {
+        let p =
+            self.params(t.core, t.partition_base, t.partition_len, t.in_spm, self.reduce_ops);
+        Box::new(HtcStream::new(p, SimRng::new(t.seed)))
+    }
+}
+
+/// Runs `bench` as a MapReduce job on a fresh chip with `cfg`.
+///
+/// The input is sized so each map task's slice (plus its output buffer and
+/// hot table window) fits its SPM share and gets DMA-staged, as the
+/// paper's framework does whenever capacity allows.
+pub fn smarco_mapreduce(
+    bench: Benchmark,
+    cfg: &SmarcoConfig,
+    map_ops: u64,
+    reduce_ops: u64,
+    threads_per_core: usize,
+) -> MapReduceRun {
+    let mut sys = SmarcoSystem::new(cfg.clone());
+    let app = BenchmarkMapReduce::new(bench, map_ops, reduce_ops);
+    let subrings = cfg.noc.subrings;
+    let reducers = (subrings / 4).max(1);
+    let cps = cfg.noc.cores_per_subring;
+    let map_tasks = ((subrings - reducers) * cps * threads_per_core) as u64;
+    let reduce_tasks = (reducers * cps * threads_per_core) as u64;
+    // Slice + 4 KB output + 4 KB hot window must fit the SPM share.
+    let share = smarco_mem::spm::Spm::data_bytes() / threads_per_core as u64;
+    let slice = share.saturating_sub(8 << 10).min(8 << 10).max(2 << 10);
+    let mr = MapReduceConfig {
+        threads_per_core,
+        phase_budget: 500_000_000,
+        shuffle_len: reduce_tasks * slice,
+        ..MapReduceConfig::split(subrings, 0x100_0000, map_tasks * slice)
+    };
+    smarco_runtime::mapreduce::run_mapreduce(&mut sys, &app, &mr)
+}
+
+/// Builds a chip where each sub-ring's threads cooperatively scan a shared
+/// region in an interleaved pattern (the MACT-relevant traffic shape) with
+/// `bench`'s granularity and behaviour.
+pub fn smarco_team_system(
+    bench: Benchmark,
+    cfg: &SmarcoConfig,
+    ops_per_thread: u64,
+    threads_per_core: usize,
+) -> SmarcoSystem {
+    let mut sys = SmarcoSystem::new(cfg.clone());
+    let cps = cfg.noc.cores_per_subring;
+    let team = (cps * threads_per_core) as u64;
+    let mut seed = 1;
+    for core in 0..cfg.noc.cores() {
+        let sr = core / cps;
+        let scan_base = 0x100_0000 + sr as u64 * (64 << 20);
+        let table_base = 0x8000_0000 + sr as u64 * (1 << 20);
+        for t in 0..threads_per_core {
+            let j = ((core % cps) * threads_per_core + t) as u64;
+            let p = bench.thread_params(scan_base, 16 << 20, table_base, j, team, ops_per_thread);
+            sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
+                .expect("vacant slot");
+            seed += 1;
+        }
+    }
+    sys
+}
+
+/// Builds a conventional system running `threads` instances of `bench`.
+pub fn xeon_system(
+    bench: Benchmark,
+    cfg: &XeonConfig,
+    threads: usize,
+    ops_per_thread: u64,
+) -> ConventionalSystem {
+    let mut sys = ConventionalSystem::new(*cfg);
+    for i in 0..threads {
+        let mix = bench.mix(0x10_0000 + i as u64 * XEON_WS, XEON_WS);
+        sys.spawn(Box::new(smarco_isa::mix::SyntheticStream::new(
+            mix,
+            ops_per_thread,
+            SimRng::new(1000 + i as u64),
+        )));
+    }
+    sys
+}
+
+/// Runs one TCG core with `threads` resident threads of `bench` against a
+/// fixed-latency memory stub for a fixed `window` of cycles and returns
+/// the steady-state IPC (the Fig. 17 axis).
+///
+/// Per the paper's methodology, each thread's data slice is staged in the
+/// core's SPM (the MapReduce layout), so scans run at SPM speed while the
+/// shared-table accesses still reach memory — the latency the in-pair
+/// mechanism exists to hide. Streams are effectively endless, so no
+/// end-of-run tail skews the measurement.
+pub fn tcg_ipc(bench: Benchmark, threads: usize, window: Cycle, mem_latency: Cycle) -> f64 {
+    tcg_ipc_with(bench, TcgConfig::smarco().with_threads(threads), window, mem_latency)
+}
+
+/// [`tcg_ipc`] with an explicit core configuration (ablation hook: disable
+/// `in_pair` or `shared_iseg`).
+pub fn tcg_ipc_with(
+    bench: Benchmark,
+    config: TcgConfig,
+    window: Cycle,
+    mem_latency: Cycle,
+) -> f64 {
+    let threads = config.resident_threads;
+    let space = AddressSpace::new(4, 2);
+    let mut core = TcgCore::new(0, config, space);
+    let spm_bytes = smarco_mem::spm::Spm::data_bytes();
+    core.spm_mut().make_resident(0, spm_bytes);
+    let slice = spm_bytes / 8; // one resident slice per potential thread
+    for t in 0..threads {
+        let p = bench.thread_params(
+            space.spm_base(0) + t as u64 * slice,
+            slice,
+            0x1000_0000,
+            0,
+            1,
+            u64::MAX / 2, // endless within any window
+        );
+        core.attach(Box::new(HtcStream::new(p, SimRng::new(t as u64 + 1)))).expect("slot");
+    }
+    let mut out = Vec::new();
+    let mut pending: Vec<(Cycle, usize)> = Vec::new();
+    for now in 0..window {
+        pending.retain(|&(due, t)| {
+            if due <= now {
+                core.complete(t, now);
+                false
+            } else {
+                true
+            }
+        });
+        out.clear();
+        core.tick(now, &mut out);
+        for r in &out {
+            if r.blocking {
+                pending.push((now + mem_latency, r.thread));
+            }
+        }
+    }
+    core.stats().ipc()
+}
+
+/// A quick-scale chip whose *per-core* memory pressure matches the full
+/// 256-core machine (64 cores per DDR channel): 16 cores in 2 sub-rings
+/// with each channel scaled to a quarter of its full-chip bandwidth.
+/// Used by the MACT studies (Figs. 19/20), where the collection benefit
+/// depends on cores-per-channel pressure and cores-per-sub-ring merging
+/// partners.
+pub fn pressure_matched_tiny() -> SmarcoConfig {
+    let mut cfg = SmarcoConfig::tiny();
+    cfg.noc.subrings = 2;
+    cfg.noc.cores_per_subring = 8;
+    cfg.noc.mem_ctrls = 2;
+    cfg.dram.channels = 2;
+    // 16 cores on 2 channels at double per-channel bandwidth: the system
+    // sits near (not past) saturation once the MACT merges requests, so
+    // both sides of the collection trade-off (merging vs added read
+    // latency) are visible. 16 MACT lines per sub-ring.
+    cfg.dram.bytes_per_cycle = 45.5;
+    cfg.mact = Some(smarco_mem::mact::MactConfig { lines: 16, line_bytes: 64, threshold: 16 });
+    if let Some(d) = cfg.direct.as_mut() {
+        d.subrings = 2;
+    }
+    cfg
+}
+
+/// Converts a benchmark's access-granularity mix to NoC packet sizes.
+pub fn size_mix_of(bench: Benchmark) -> SizeMix {
+    let g = bench.granularity();
+    let sizes = smarco_isa::mix::GRANULARITY_SIZES;
+    SizeMix::new(
+        g.weights()
+            .iter()
+            .zip(sizes)
+            .filter(|&(&w, _)| w > 0.0)
+            .map(|(&w, s)| (u32::from(s), w))
+            .collect(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcg_ipc_scales_with_threads() {
+        let one = tcg_ipc(Benchmark::Kmp, 1, 20_000, 60);
+        let four = tcg_ipc(Benchmark::Kmp, 4, 20_000, 60);
+        assert!(four > one * 2.5, "4 threads {four:.2} vs 1 {one:.2}");
+    }
+
+    #[test]
+    fn size_mix_preserves_weights() {
+        let m = size_mix_of(Benchmark::KMeans);
+        assert!(m.mean_bytes() > 8.0);
+        let kmp = size_mix_of(Benchmark::Kmp);
+        assert!(kmp.mean_bytes() < 4.0);
+    }
+
+    #[test]
+    fn xeon_system_runs_benchmark() {
+        let mut s = xeon_system(Benchmark::WordCount, &XeonConfig::small(), 4, 500);
+        let r = s.run(50_000_000);
+        assert!(s.is_done());
+        assert_eq!(r.instructions, 4 * 501);
+    }
+
+    #[test]
+    fn team_system_exercises_mact() {
+        let mut sys = smarco_team_system(Benchmark::Kmp, &SmarcoConfig::tiny(), 300, 2);
+        let r = sys.run(10_000_000);
+        assert!(sys.is_done());
+        assert!(r.mact_collected > 0);
+    }
+}

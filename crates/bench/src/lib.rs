@@ -1,0 +1,44 @@
+//! Benchmark harness regenerating every table and figure of the paper's
+//! evaluation (§4).
+//!
+//! Each experiment is a library function returning structured rows (so the
+//! integration tests can assert the paper's *shapes*) plus a binary in
+//! `src/bin/` that prints them. Run them all with:
+//!
+//! ```text
+//! cargo run --release -p smarco-bench --bin fig17_tcg_ipc
+//! cargo run --release -p smarco-bench --bin fig22_comparison -- --scale quick
+//! ...
+//! ```
+//!
+//! The [`Scale`] knob switches between `Quick` (seconds; CI and tests) and
+//! `Paper` (minutes; fuller configurations).
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod harness;
+pub mod scale;
+
+pub use scale::Scale;
+
+/// Formats a row of `(label, value)` pairs the way the binaries print.
+pub fn format_row(label: &str, values: &[(&str, f64)]) -> String {
+    use std::fmt::Write as _;
+    let mut s = format!("{label:<14}");
+    for (name, v) in values {
+        let _ = write!(s, " {name}={v:<10.4}");
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn row_formatting() {
+        let s = super::format_row("KMP", &[("speedup", 1.5), ("ee", 2.0)]);
+        assert!(s.starts_with("KMP"));
+        assert!(s.contains("speedup=1.5"));
+        assert!(s.contains("ee=2.0"));
+    }
+}

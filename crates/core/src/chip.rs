@@ -1,0 +1,883 @@
+//! The full SmarCo chip: cores + hierarchical ring + MACT + direct
+//! datapath + DDR (Fig. 4).
+//!
+//! Request life cycle (read): a thread's load misses → the core emits a
+//! word-granularity request → it rides the sub-ring to the junction →
+//! the junction's **MACT** collects it (or it bypasses if real-time /
+//! collection is off) → the packed 64-byte batch rides the main ring to
+//! its DDR controller → DRAM serves one burst → the batch *reply* rides
+//! the main ring back to the junction → per-request replies fan out over
+//! the sub-ring → [`crate::tcg::TcgCore::complete`] unblocks the thread,
+//! which resumes per the in-pair state machine. Real-time reads can take
+//! the star-shaped direct datapath both ways instead (§3.5.2).
+
+use std::collections::HashMap;
+
+use smarco_mem::dram::Dram;
+use smarco_mem::mact::{Batch, Mact, MactOutcome};
+use smarco_mem::map::AddressSpace;
+use smarco_mem::request::{MemRequest, RequestId, RequestIdAllocator};
+use smarco_noc::direct::DirectPath;
+use smarco_noc::packet::{NodeId, Packet};
+use smarco_noc::HierarchicalRing;
+use smarco_sim::engine::CycleModel;
+use smarco_sim::stats::MeanTracker;
+use smarco_sim::Cycle;
+
+use crate::config::SmarcoConfig;
+use crate::dispatch::HardwareDispatcher;
+use crate::report::SmarcoReport;
+use crate::tcg::{CoreFull, CoreRequest, RequestKind, TcgCore};
+
+/// A request travelling the uncore, with enough context to complete it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UncoreReq {
+    /// The memory request.
+    pub req: MemRequest,
+    /// Issuing thread slot on the core (for completion).
+    pub thread: usize,
+    /// Path that produced it.
+    pub kind: RequestKind,
+}
+
+/// Semantic payload of chip NoC packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChipPayload {
+    /// Core → junction (MACT-eligible) or → memory controller (bypass).
+    Req(UncoreReq),
+    /// Junction → memory controller: a packed MACT line.
+    Batch(Batch),
+    /// Memory controller → junction: a served read batch.
+    BatchReply(Batch),
+    /// Memory-side reply to a single blocking request.
+    Reply(UncoreReq),
+    /// Core → core: access to a remote scratchpad.
+    RemoteSpm(UncoreReq),
+    /// Owner core → requester: remote-scratchpad completion.
+    RemoteSpmReply(UncoreReq),
+    /// Core → owner core: SPM-to-SPM DMA pull command (§3.5.1).
+    DmaReq(UncoreReq),
+    /// Owner core → requester: the pulled DMA data.
+    DmaData(UncoreReq),
+}
+
+#[derive(Debug, Clone)]
+enum DramJob {
+    Single { ucr: UncoreReq, via_direct: bool },
+    BatchJob(Batch),
+}
+
+/// Fixed NoC header bytes for request/descriptor packets.
+const REQ_HEADER_BYTES: u32 = 4;
+/// Descriptor bytes of a batch packet (type, tag, vector).
+const BATCH_HEADER_BYTES: u32 = 8;
+
+/// The assembled chip.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_core::chip::SmarcoSystem;
+/// use smarco_core::config::SmarcoConfig;
+/// use smarco_isa::mix::compute_only;
+///
+/// let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+/// sys.attach(0, Box::new(compute_only(100)))?;
+/// let report = sys.run(100_000);
+/// assert_eq!(report.instructions, 101); // 100 computes + Exit
+/// # Ok::<(), smarco_core::tcg::CoreFull>(())
+/// ```
+pub struct SmarcoSystem {
+    config: SmarcoConfig,
+    space: AddressSpace,
+    cores: Vec<TcgCore>,
+    noc: HierarchicalRing<ChipPayload>,
+    macts: Vec<Mact>,
+    dram: Dram<DramJob>,
+    direct_to_mem: Option<DirectPath<UncoreReq>>,
+    direct_from_mem: Option<DirectPath<UncoreReq>>,
+    ids: RequestIdAllocator,
+    next_packet: u64,
+    /// End-to-end latency of blocking requests (issue → complete).
+    mem_latency: MeanTracker,
+    requests: u64,
+    dram_requests: u64,
+    /// Blocking requests in flight: id → issuing thread slot (the thread
+    /// context is not carried through MACT batches, so it lives here).
+    outstanding: HashMap<RequestId, usize>,
+    /// Two-level hardware task dispatcher (§3.7).
+    dispatcher: HardwareDispatcher,
+    req_buf: Vec<CoreRequest>,
+    now: Cycle,
+}
+
+impl std::fmt::Debug for SmarcoSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmarcoSystem")
+            .field("cores", &self.cores.len())
+            .field("now", &self.now)
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+impl SmarcoSystem {
+    /// Builds the chip.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn new(config: SmarcoConfig) -> Self {
+        config.validate();
+        let dispatcher = HardwareDispatcher::new(
+            config.noc.subrings,
+            config.noc.cores_per_subring * config.tcg.resident_threads,
+        );
+        let space = AddressSpace::new(config.noc.cores(), config.dram.channels);
+        let cores =
+            (0..config.noc.cores()).map(|i| TcgCore::new(i, config.tcg, space)).collect();
+        let macts = (0..config.noc.subrings)
+            .map(|_| Mact::new(config.mact.unwrap_or_default()))
+            .collect();
+        Self {
+            noc: HierarchicalRing::new(config.noc),
+            macts,
+            dram: Dram::new(config.dram),
+            direct_to_mem: config.direct.map(DirectPath::new),
+            direct_from_mem: config.direct.map(DirectPath::new),
+            cores,
+            space,
+            config,
+            ids: RequestIdAllocator::new(),
+            next_packet: 0,
+            mem_latency: MeanTracker::new(),
+            requests: 0,
+            dram_requests: 0,
+            outstanding: HashMap::new(),
+            dispatcher,
+            req_buf: Vec::new(),
+            now: 0,
+        }
+    }
+
+    /// Chip configuration.
+    pub fn config(&self) -> &SmarcoConfig {
+        &self.config
+    }
+
+    /// The unified address space.
+    pub fn address_space(&self) -> AddressSpace {
+        self.space
+    }
+
+    /// Immutable view of core `id`.
+    pub fn core(&self, id: usize) -> &TcgCore {
+        &self.cores[id]
+    }
+
+    /// Mutable view of core `id` (e.g. to pre-stage SPM data).
+    pub fn core_mut(&mut self, id: usize) -> &mut TcgCore {
+        &mut self.cores[id]
+    }
+
+    /// Number of cores.
+    pub fn cores_len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Per-sub-ring MACT statistics.
+    pub fn mact_stats(&self) -> Vec<&smarco_mem::mact::MactStats> {
+        self.macts.iter().map(|m| m.stats()).collect()
+    }
+
+    /// Submits a task with a deadline to the hardware dispatcher (§3.7):
+    /// the main scheduler picks the least-loaded sub-ring, whose
+    /// laxity-aware chain table binds it to a TCG thread slot as one
+    /// frees up. Returns the task id; exits appear in
+    /// [`task_exits`](Self::task_exits).
+    pub fn submit_task(
+        &mut self,
+        stream: Box<dyn smarco_isa::InstructionStream + Send>,
+        deadline: Cycle,
+        work_estimate: Cycle,
+        priority: smarco_sched::TaskPriority,
+    ) -> u64 {
+        self.dispatcher.submit(stream, deadline, work_estimate, priority, self.now)
+    }
+
+    /// Exit records of hardware-dispatched tasks.
+    pub fn task_exits(&self) -> &[crate::dispatch::TaskExit] {
+        self.dispatcher.exits()
+    }
+
+    /// Attaches a thread stream to a specific core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreFull`] when the core has no vacant slot.
+    pub fn attach(
+        &mut self,
+        core: usize,
+        stream: Box<dyn smarco_isa::InstructionStream + Send>,
+    ) -> Result<usize, CoreFull> {
+        self.cores[core].attach(stream)
+    }
+
+    /// Attaches a stream to the first core with a vacant slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreFull`] when the whole chip is saturated.
+    pub fn attach_anywhere(
+        &mut self,
+        stream: Box<dyn smarco_isa::InstructionStream + Send>,
+    ) -> Result<(usize, usize), CoreFull> {
+        let mut stream = stream;
+        for c in 0..self.cores.len() {
+            match self.cores[c].attach(stream) {
+                Ok(t) => return Ok((c, t)),
+                Err(e) => stream = e.into_stream(),
+            }
+        }
+        Err(self.cores[0].attach(stream).expect_err("core 0 known full"))
+    }
+
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / 4096) % self.config.dram.channels as u64) as usize
+    }
+
+    fn packet(&mut self, src: NodeId, dst: NodeId, bytes: u32, payload: ChipPayload) -> Packet<ChipPayload> {
+        let id = self.next_packet;
+        self.next_packet += 1;
+        Packet::new(id, src, dst, bytes.max(1), self.now, payload)
+    }
+
+    fn subring_of_core(&self, core: usize) -> usize {
+        core / self.config.noc.cores_per_subring
+    }
+
+    /// Routes a fresh core request into the uncore.
+    fn route_request(&mut self, core: usize, r: CoreRequest, now: Cycle) {
+        self.requests += 1;
+        let req = MemRequest {
+            id: self.ids.next_id(),
+            core,
+            mem: r.mem,
+            is_write: r.is_write,
+            issued_at: now,
+        };
+        let ucr = UncoreReq { req, thread: r.thread, kind: r.kind };
+        if r.blocking {
+            self.outstanding.insert(req.id, r.thread);
+        }
+        let sr = self.subring_of_core(core);
+        if let RequestKind::DmaPull { owner, .. } = r.kind {
+            // DMA command descriptor to the owning core; the data rides
+            // back as one (possibly multi-cycle) packet.
+            let pkt =
+                self.packet(NodeId::Core(core), NodeId::Core(owner), REQ_HEADER_BYTES, ChipPayload::DmaReq(ucr));
+            if let Some(p) = self.noc.inject(pkt, now) {
+                self.handle_delivery(p, now);
+            }
+            return;
+        }
+        if let RequestKind::RemoteSpm { owner } = r.kind {
+            let bytes = if r.is_write { u32::from(r.mem.bytes) + REQ_HEADER_BYTES } else { REQ_HEADER_BYTES };
+            let pkt = self.packet(NodeId::Core(core), NodeId::Core(owner), bytes, ChipPayload::RemoteSpm(ucr));
+            if let Some(p) = self.noc.inject(pkt, now) {
+                self.handle_delivery(p, now);
+            }
+            return;
+        }
+        // Real-time reads may use the direct datapath.
+        let realtime = r.mem.priority == smarco_isa::Priority::Realtime;
+        if realtime && !r.is_write {
+            if let Some(dp) = self.direct_to_mem.as_mut() {
+                dp.send(sr, REQ_HEADER_BYTES, now, ucr);
+                return;
+            }
+        }
+        let bytes = if r.is_write {
+            u32::from(r.span_bytes.min(u64::from(u32::MAX)) as u32) + REQ_HEADER_BYTES
+        } else {
+            REQ_HEADER_BYTES
+        };
+        let mact_on = self.config.mact.is_some() && !realtime;
+        let dst = if mact_on {
+            NodeId::Junction(sr)
+        } else {
+            NodeId::MemCtrl(self.channel_of(r.mem.addr))
+        };
+        let mut pkt = self.packet(NodeId::Core(core), dst, bytes, ChipPayload::Req(ucr));
+        pkt.realtime = realtime;
+        if let Some(p) = self.noc.inject(pkt, now) {
+            self.handle_delivery(p, now);
+        }
+    }
+
+    fn enqueue_dram(&mut self, addr: u64, span: u64, job: DramJob, now: Cycle) {
+        self.dram_requests += 1;
+        let channel = self.channel_of(addr);
+        self.dram.enqueue(channel, span.max(1), now, job);
+    }
+
+    fn handle_delivery(&mut self, pkt: Packet<ChipPayload>, now: Cycle) {
+        match pkt.payload {
+            ChipPayload::Req(ucr) => match pkt.dst {
+                NodeId::Junction(sr) => {
+                    match self.macts[sr].offer(ucr.req, now) {
+                        MactOutcome::Collected => {}
+                        MactOutcome::Bypass(req) => {
+                            let bytes = if req.is_write {
+                                u32::from(req.mem.bytes) + REQ_HEADER_BYTES
+                            } else {
+                                REQ_HEADER_BYTES
+                            };
+                            let dst = NodeId::MemCtrl(self.channel_of(req.mem.addr));
+                            let ucr2 = UncoreReq { req, ..ucr };
+                            let p = self.packet(NodeId::Junction(sr), dst, bytes, ChipPayload::Req(ucr2));
+                            if let Some(d) = self.noc.inject(p, now) {
+                                self.handle_delivery(d, now);
+                            }
+                        }
+                    }
+                }
+                NodeId::MemCtrl(_) => {
+                    self.enqueue_dram(
+                        ucr.req.mem.addr,
+                        u64::from(ucr.req.mem.bytes),
+                        DramJob::Single { ucr, via_direct: false },
+                        now,
+                    );
+                }
+                other => panic!("request packet delivered to {other:?}"),
+            },
+            ChipPayload::Batch(batch) => {
+                self.enqueue_dram(batch.base, batch.span_bytes, DramJob::BatchJob(batch), now);
+            }
+            ChipPayload::BatchReply(batch) => {
+                let NodeId::Junction(sr) = pkt.dst else {
+                    panic!("batch reply delivered off-junction to {:?}", pkt.dst)
+                };
+                for req in batch.requests {
+                    if req.is_write {
+                        continue;
+                    }
+                    let ucr = UncoreReq { req, thread: usize::MAX, kind: RequestKind::CacheFill };
+                    let p = self.packet(
+                        NodeId::Junction(sr),
+                        NodeId::Core(req.core),
+                        u32::from(req.mem.bytes),
+                        ChipPayload::Reply(ucr),
+                    );
+                    if let Some(d) = self.noc.inject(p, now) {
+                        self.handle_delivery(d, now);
+                    }
+                }
+            }
+            ChipPayload::Reply(ucr) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    panic!("reply delivered off-core to {:?}", pkt.dst)
+                };
+                self.complete_request(c, ucr, now);
+            }
+            ChipPayload::RemoteSpm(ucr) => {
+                let NodeId::Core(owner) = pkt.dst else {
+                    panic!("remote SPM packet delivered off-core to {:?}", pkt.dst)
+                };
+                // Serve at the owner (the owner's SPM is software-managed;
+                // remote accesses are to data the runtime placed there).
+                let bytes =
+                    if ucr.req.is_write { 1 } else { u32::from(ucr.req.mem.bytes) };
+                let p = self.packet(
+                    NodeId::Core(owner),
+                    NodeId::Core(ucr.req.core),
+                    bytes,
+                    ChipPayload::RemoteSpmReply(ucr),
+                );
+                if let Some(d) = self.noc.inject(p, now) {
+                    self.handle_delivery(d, now);
+                }
+            }
+            ChipPayload::RemoteSpmReply(ucr) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    panic!("remote SPM reply delivered off-core to {:?}", pkt.dst)
+                };
+                self.complete_request(c, ucr, now);
+            }
+            ChipPayload::DmaReq(ucr) => {
+                let NodeId::Core(owner) = pkt.dst else {
+                    panic!("DMA command delivered off-core to {:?}", pkt.dst)
+                };
+                // The owner streams the requested range back as one
+                // wormhole packet sized by the transfer.
+                let span = u32::try_from(self.dma_span_of(&ucr)).unwrap_or(u32::MAX).max(1);
+                let p = self.packet(
+                    NodeId::Core(owner),
+                    NodeId::Core(ucr.req.core),
+                    span,
+                    ChipPayload::DmaData(ucr),
+                );
+                if let Some(d) = self.noc.inject(p, now) {
+                    self.handle_delivery(d, now);
+                }
+            }
+            ChipPayload::DmaData(ucr) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    panic!("DMA data delivered off-core to {:?}", pkt.dst)
+                };
+                debug_assert_eq!(c, ucr.req.core);
+                if let RequestKind::DmaPull { fill, .. } = ucr.kind {
+                    self.cores[c].dma_complete(ucr.thread, fill);
+                }
+            }
+        }
+    }
+
+    /// Transfer size of a DMA pull. `MemRef` widths cap at 64 bytes, so
+    /// the size is carried by the fill range (one SPM block when the
+    /// destination is not local SPM).
+    fn dma_span_of(&self, ucr: &UncoreReq) -> u64 {
+        match ucr.kind {
+            RequestKind::DmaPull { fill: Some((_, bytes)), .. } => bytes,
+            _ => 64,
+        }
+    }
+
+    fn complete_request(&mut self, core: usize, ucr: UncoreReq, now: Cycle) {
+        debug_assert_eq!(core, ucr.req.core);
+        if let Some(thread) = self.outstanding.remove(&ucr.req.id) {
+            self.mem_latency.record(now.saturating_sub(ucr.req.issued_at) as f64);
+            self.cores[core].complete(thread, now);
+        }
+    }
+
+    /// Whether the chip has fully drained: all threads done, no packets,
+    /// batches, DRAM bursts or undispatched tasks in flight.
+    pub fn is_done(&self) -> bool {
+        self.dispatcher.is_idle()
+            && self.outstanding.is_empty()
+            && self.noc.is_idle()
+            && self.dram.is_idle()
+            && self.macts.iter().all(|m| m.open_lines() == 0)
+            && self.direct_to_mem.as_ref().is_none_or(DirectPath::is_idle)
+            && self.direct_from_mem.as_ref().is_none_or(DirectPath::is_idle)
+            && self.cores.iter().all(TcgCore::is_done)
+    }
+
+    /// Runs until every thread exits and the uncore drains, or `max`
+    /// cycles elapse; returns the report.
+    pub fn run(&mut self, max: Cycle) -> SmarcoReport {
+        while self.now < max && !self.is_done() {
+            self.tick(self.now);
+        }
+        self.report()
+    }
+
+    /// Builds the statistics report at the current cycle.
+    pub fn report(&self) -> SmarcoReport {
+        let mut instructions = 0;
+        let mut idle = 0.0;
+        let mut ifetch_miss = 0.0;
+        let (mut l1d_hits, mut l1d_total) = (0u64, 0u64);
+        for c in &self.cores {
+            let s = c.stats();
+            instructions += s.instructions;
+            idle += s.idle_ratio(c.config().pairs);
+            ifetch_miss += 1.0 - s.ifetch.ratio();
+            let cs = c.l1d_stats();
+            l1d_hits += cs.accesses.hits();
+            l1d_total += cs.accesses.total();
+        }
+        let n = self.cores.len() as f64;
+        SmarcoReport {
+            cycles: self.now,
+            instructions,
+            requests: self.requests,
+            dram_requests: self.dram_requests,
+            mem_latency: self.mem_latency,
+            dram_utilization: self.dram.utilization(self.now.max(1)),
+            main_ring_utilization: self.noc.main_ring_utilization(),
+            subring_utilization: self.noc.subring_utilization(),
+            mact_collected: self.macts.iter().map(|m| m.stats().collected.get()).sum(),
+            mact_batches: self.macts.iter().map(|m| m.stats().batches.get()).sum(),
+            idle_ratio: idle / n,
+            ifetch_miss_ratio: ifetch_miss / n,
+            l1d_miss_ratio: if l1d_total == 0 {
+                0.0
+            } else {
+                1.0 - l1d_hits as f64 / l1d_total as f64
+            },
+        }
+    }
+}
+
+impl CycleModel for SmarcoSystem {
+    fn tick(&mut self, now: Cycle) {
+        self.now = now + 1;
+        // 1. Direct-path replies reach cores.
+        if let Some(dp) = self.direct_from_mem.as_mut() {
+            for ucr in dp.tick(now) {
+                self.complete_request(ucr.req.core, ucr, now);
+            }
+        }
+        // 2. NoC deliveries.
+        for pkt in self.noc.tick(now) {
+            self.handle_delivery(pkt, now);
+        }
+        // 3. The hardware dispatcher binds ready tasks to freed slots.
+        self.dispatcher.tick(&mut self.cores, self.config.noc.cores_per_subring, now);
+        // 4. Cores issue; requests enter the uncore.
+        let mut buf = std::mem::take(&mut self.req_buf);
+        for c in 0..self.cores.len() {
+            buf.clear();
+            self.cores[c].tick(now, &mut buf);
+            for r in buf.drain(..) {
+                self.route_request(c, r, now);
+            }
+        }
+        self.req_buf = buf;
+        // 5. MACT deadlines; flushed batches head for memory.
+        for sr in 0..self.macts.len() {
+            let batches = self.macts[sr].tick(now);
+            for batch in batches {
+                let bytes = if batch.is_write {
+                    batch.bytes_referenced + BATCH_HEADER_BYTES
+                } else {
+                    BATCH_HEADER_BYTES
+                };
+                let dst = NodeId::MemCtrl(self.channel_of(batch.base));
+                let p = self.packet(NodeId::Junction(sr), dst, bytes, ChipPayload::Batch(batch));
+                if let Some(d) = self.noc.inject(p, now) {
+                    self.handle_delivery(d, now);
+                }
+            }
+        }
+        // 6. Direct-path requests reach DRAM.
+        if let Some(dp) = self.direct_to_mem.as_mut() {
+            let arrivals = dp.tick(now);
+            for ucr in arrivals {
+                self.enqueue_dram(
+                    ucr.req.mem.addr,
+                    u64::from(ucr.req.mem.bytes),
+                    DramJob::Single { ucr, via_direct: true },
+                    now,
+                );
+            }
+        }
+        // 7. DRAM completions produce replies.
+        for job in self.dram.tick(now) {
+            match job {
+                DramJob::Single { ucr, via_direct } => {
+                    if ucr.req.is_write {
+                        continue; // writes complete silently
+                    }
+                    if via_direct {
+                        let sr = self.subring_of_core(ucr.req.core);
+                        self.direct_from_mem
+                            .as_mut()
+                            .expect("direct reply path exists")
+                            .send(sr, u32::from(ucr.req.mem.bytes), now, ucr);
+                    } else {
+                        let p = self.packet(
+                            NodeId::MemCtrl(self.channel_of(ucr.req.mem.addr)),
+                            NodeId::Core(ucr.req.core),
+                            u32::from(ucr.req.mem.bytes),
+                            ChipPayload::Reply(ucr),
+                        );
+                        if let Some(d) = self.noc.inject(p, now) {
+                            self.handle_delivery(d, now);
+                        }
+                    }
+                }
+                DramJob::BatchJob(batch) => {
+                    if batch.is_write {
+                        continue;
+                    }
+                    let sr = self.subring_of_core(
+                        batch.requests.first().map(|r| r.core).unwrap_or(0),
+                    );
+                    let p = self.packet(
+                        NodeId::MemCtrl(self.channel_of(batch.base)),
+                        NodeId::Junction(sr),
+                        batch.bytes_referenced.max(1),
+                        ChipPayload::BatchReply(batch),
+                    );
+                    if let Some(d) = self.noc.inject(p, now) {
+                        self.handle_delivery(d, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn is_quiescent(&self) -> bool {
+        self.is_done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_isa::mix::{AddressModel, GranularityMix, OpMix, SyntheticStream};
+    use smarco_isa::{Op, ProgramBuilder};
+    use smarco_sim::rng::SimRng;
+
+    fn htc_mix(base: u64) -> OpMix {
+        OpMix {
+            mem_frac: 0.35,
+            load_frac: 0.7,
+            branch_frac: 0.1,
+            branch_miss: 0.03,
+            realtime_frac: 0.0,
+            granularity: GranularityMix::new([0.3, 0.3, 0.2, 0.15, 0.05, 0.0, 0.0]),
+            addresses: AddressModel::random(base, 1 << 22),
+        }
+    }
+
+    fn loaded_tiny(threads_per_core: usize, instrs: u64) -> SmarcoSystem {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut seed = 1;
+        for c in 0..sys.cores_len() {
+            for _ in 0..threads_per_core {
+                let mix = htc_mix(0x100_0000 + c as u64 * (1 << 22));
+                sys.attach(c, Box::new(SyntheticStream::new(mix, instrs, SimRng::new(seed))))
+                    .unwrap();
+                seed += 1;
+            }
+        }
+        sys
+    }
+
+    #[test]
+    fn chip_runs_to_completion() {
+        let mut sys = loaded_tiny(4, 300);
+        let report = sys.run(2_000_000);
+        assert!(sys.is_done(), "chip drained");
+        assert_eq!(report.instructions, 16 * 4 * 301);
+        assert!(report.ipc() > 0.0);
+        assert!(report.requests > 0);
+        assert!(report.mem_latency.mean() > 0.0);
+    }
+
+    /// Loads every core with threads that cooperatively scan a per-sub-ring
+    /// region in an interleaved pattern — the access shape of MapReduce
+    /// slice processing, where the MACT's cross-core merging shines.
+    fn loaded_interleaved(mut sys: SmarcoSystem, loads_per_thread: u64) -> SmarcoSystem {
+        use smarco_isa::stream::FnStream;
+        let cps = sys.config().noc.cores_per_subring;
+        let tpc = 4usize; // threads per core, one per pair
+        let total = cps * tpc; // threads per sub-ring
+        for c in 0..sys.cores_len() {
+            let sr = c / cps;
+            let base = 0x100_0000 + sr as u64 * (1 << 22);
+            for t in 0..tpc {
+                let j = (c % cps) * tpc + t;
+                let mut i = 0u64;
+                let stream = FnStream::new(move || {
+                    if i == loads_per_thread {
+                        None
+                    } else {
+                        let addr = base + (i * total as u64 + j as u64) * 2;
+                        i += 1;
+                        Some(Op::load(addr, 2))
+                    }
+                })
+                .with_segment(0x1000, 256);
+                sys.attach(c, Box::new(stream)).unwrap();
+            }
+        }
+        sys
+    }
+
+    #[test]
+    fn mact_reduces_dram_requests() {
+        let mut with = loaded_interleaved(SmarcoSystem::new(SmarcoConfig::tiny()), 300);
+        let r_with = with.run(4_000_000);
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.mact = None;
+        let mut without = loaded_interleaved(SmarcoSystem::new(cfg), 300);
+        let r_without = without.run(4_000_000);
+        assert!(r_with.mact_batches > 0);
+        assert!(
+            r_with.dram_requests < r_without.dram_requests / 2,
+            "MACT {} vs conventional {}",
+            r_with.dram_requests,
+            r_without.dram_requests
+        );
+        assert!(r_with.request_reduction() > 2.0, "reduction {}", r_with.request_reduction());
+    }
+
+    #[test]
+    fn spm_resident_workload_stays_local() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let space = sys.address_space();
+        for c in 0..sys.cores_len() {
+            sys.core_mut(c).spm_mut().make_resident(0, 8192);
+            let base = space.spm_base(c);
+            let prog = ProgramBuilder::at(0x1000)
+                .op(Op::load(base, 8))
+                .op(Op::compute())
+                .op(Op::store(base + 8, 8))
+                .repeat(200)
+                .build();
+            sys.attach(c, Box::new(prog.into_stream())).unwrap();
+        }
+        let report = sys.run(1_000_000);
+        assert_eq!(report.requests, 0, "all traffic stayed in SPM");
+        assert!(report.ipc() > 0.0);
+    }
+
+    #[test]
+    fn realtime_requests_use_direct_path_and_bypass_mact() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut mix = htc_mix(0x100_0000);
+        mix.realtime_frac = 1.0;
+        mix.load_frac = 1.0;
+        sys.attach(0, Box::new(SyntheticStream::new(mix, 300, SimRng::new(3)))).unwrap();
+        let report = sys.run(2_000_000);
+        assert!(sys.is_done());
+        assert_eq!(report.mact_collected, 0, "realtime traffic skips MACT");
+        assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn realtime_without_direct_path_rides_the_rings() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.direct = None;
+        let mut sys = SmarcoSystem::new(cfg);
+        let mut mix = htc_mix(0x100_0000);
+        mix.realtime_frac = 1.0;
+        mix.load_frac = 1.0;
+        sys.attach(0, Box::new(SyntheticStream::new(mix, 200, SimRng::new(9)))).unwrap();
+        let report = sys.run(2_000_000);
+        assert!(sys.is_done());
+        assert_eq!(report.mact_collected, 0, "realtime still skips the MACT");
+        assert!(report.requests > 0);
+    }
+
+    #[test]
+    fn remote_spm_round_trip() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let space = sys.address_space();
+        let remote = space.spm_base(5);
+        let prog = ProgramBuilder::at(0)
+            .op(Op::load(remote + 64, 8))
+            .op(Op::store(remote + 128, 8))
+            .repeat(10)
+            .build();
+        sys.attach(0, Box::new(prog.into_stream())).unwrap();
+        let report = sys.run(2_000_000);
+        assert!(sys.is_done());
+        assert_eq!(report.requests, 20);
+    }
+
+    #[test]
+    fn hardware_dispatcher_runs_tasks_to_their_deadlines() {
+        use smarco_sched::TaskPriority;
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        // 256 tasks on a 128-slot chip: the dispatcher must queue, place
+        // and recycle slots. Work ≈ 500 compute ops each.
+        for i in 0..256u64 {
+            let id = sys.submit_task(
+                Box::new(smarco_isa::mix::compute_only(500)),
+                2_000_000,
+                600,
+                if i % 8 == 0 { TaskPriority::High } else { TaskPriority::Normal },
+            );
+            assert_eq!(id, i);
+        }
+        let report = sys.run(10_000_000);
+        assert!(sys.is_done(), "all tasks dispatched and exited");
+        assert_eq!(sys.task_exits().len(), 256);
+        assert!(sys.task_exits().iter().all(|e| e.met_deadline()));
+        assert_eq!(report.instructions, 256 * 501);
+        // Exits are spread over time (slots were recycled, not all
+        // parallel).
+        let first = sys.task_exits().iter().map(|e| e.exit).min().unwrap();
+        let last = sys.task_exits().iter().map(|e| e.exit).max().unwrap();
+        assert!(last > first);
+    }
+
+    #[test]
+    fn dispatcher_spreads_tasks_across_subrings() {
+        use smarco_sched::TaskPriority;
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        for _ in 0..32 {
+            sys.submit_task(
+                Box::new(smarco_isa::mix::compute_only(200)),
+                1_000_000,
+                250,
+                TaskPriority::Normal,
+            );
+        }
+        // Let dispatch happen, then check live threads exist on several
+        // sub-rings.
+        for now in 0..64 {
+            sys.tick(now);
+        }
+        let cps = sys.config().noc.cores_per_subring;
+        let busy_subrings = (0..sys.config().noc.subrings)
+            .filter(|&sr| {
+                (sr * cps..(sr + 1) * cps).any(|c| sys.core(c).live_threads() > 0)
+            })
+            .count();
+        assert!(busy_subrings >= 3, "only {busy_subrings} sub-rings busy");
+        let _ = sys.run(10_000_000);
+    }
+
+    #[test]
+    fn spm_to_spm_dma_travels_the_rings() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let space = sys.address_space();
+        // Core 5 (another sub-ring) owns the source data; core 0 pulls
+        // 4 KB into its own SPM, syncs, then reads it locally.
+        let src = space.spm_base(5) + 1024;
+        let dst = space.spm_base(0);
+        let prog = ProgramBuilder::at(0x1000)
+            .op(Op::Dma { src, dst, bytes: 4096 })
+            .op(Op::Sync)
+            .op(Op::load(dst + 512, 8))
+            .op(Op::load(dst + 2048, 8))
+            .build();
+        sys.attach(0, Box::new(prog.into_stream())).unwrap();
+        let report = sys.run(1_000_000);
+        assert!(sys.is_done());
+        // The pull is NoC traffic, not a blocking memory request; the
+        // post-Sync loads hit the freshly resident SPM.
+        assert_eq!(report.requests, 1, "one DMA pull command");
+        assert_eq!(sys.core(0).stats().block_events, 0);
+        assert!(sys.core(0).spm().is_resident(0, 4096));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let r1 = loaded_tiny(4, 200).run(2_000_000);
+        let r2 = loaded_tiny(4, 200).run(2_000_000);
+        assert_eq!(r1.cycles, r2.cycles);
+        assert_eq!(r1.requests, r2.requests);
+        assert_eq!(r1.dram_requests, r2.dram_requests);
+        assert_eq!(r1.instructions, r2.instructions);
+    }
+
+    #[test]
+    fn attach_anywhere_fills_cores_in_order() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        for i in 0..(16 * 8) {
+            let (c, _t) = sys
+                .attach_anywhere(Box::new(smarco_isa::mix::compute_only(10)))
+                .unwrap();
+            assert_eq!(c, i / 8);
+        }
+        assert!(sys.attach_anywhere(Box::new(smarco_isa::mix::compute_only(10))).is_err());
+    }
+
+    #[test]
+    fn more_threads_raise_chip_throughput() {
+        let r1 = loaded_tiny(1, 400).run(4_000_000);
+        let r8 = loaded_tiny(8, 400).run(4_000_000);
+        let ipc1 = r1.ipc();
+        let ipc8 = r8.ipc();
+        assert!(ipc8 > ipc1 * 2.0, "8-thread ipc {ipc8:.2} vs 1-thread {ipc1:.2}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Core and chip configurations.
+
+use smarco_mem::cache::CacheConfig;
+use smarco_mem::dram::DramConfig;
+use smarco_mem::mact::MactConfig;
+use smarco_noc::direct::DirectPathConfig;
+use smarco_noc::NocConfig;
+use smarco_sim::Cycle;
+
+/// Thread Core Group parameters (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TcgConfig {
+    /// Resident threads per core (8): must be at most `2 × pairs`.
+    pub resident_threads: usize,
+    /// Thread pairs = concurrently running threads (4). The issue width
+    /// equals the pair count: each running thread owns a dispatcher/ALU/AGU
+    /// slice (Fig. 5), so the core issues up to one instruction per pair
+    /// per cycle — a 4-wide in-order superscalar.
+    pub pairs: usize,
+    /// Front-end refill penalty of the 8-stage pipeline on a branch
+    /// mispredict.
+    pub pipeline_depth: Cycle,
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Cycles an SPM hit occupies a thread (predictable, faster than
+    /// cache).
+    pub spm_latency: Cycle,
+    /// Cycles a D-cache hit occupies a thread.
+    pub cache_hit_latency: Cycle,
+    /// Fixed I-cache miss penalty (front-end refill from the next level).
+    pub icache_miss_penalty: Cycle,
+    /// Enable the in-pair friend-switch mechanism. When off, a blocked
+    /// thread simply stalls its pair (coarse-grained ablation).
+    pub in_pair: bool,
+    /// Enable shared-instruction-segment SPM prefetch (§3.1.2).
+    pub shared_iseg: bool,
+}
+
+impl TcgConfig {
+    /// The paper's TCG: 8 resident threads in 4 pairs, 4-wide issue,
+    /// 8-stage pipeline, 16 KB L1s.
+    pub fn smarco() -> Self {
+        Self {
+            resident_threads: 8,
+            pairs: 4,
+            pipeline_depth: 8,
+            l1i: CacheConfig::smarco_l1(),
+            l1d: CacheConfig::smarco_l1(),
+            spm_latency: 1,
+            cache_hit_latency: 2,
+            icache_miss_penalty: 24,
+            in_pair: true,
+            shared_iseg: true,
+        }
+    }
+
+    /// Same core with `n` resident threads (Fig. 17's sweep). Threads 1–4
+    /// occupy their own pairs; 5–8 arrive as friends.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or exceeds `2 × pairs`.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        assert!(n > 0 && n <= 2 * self.pairs, "thread count {n} out of range");
+        self.resident_threads = n;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero pairs/threads or more threads than `2 × pairs`.
+    pub fn validate(&self) {
+        assert!(self.pairs > 0, "need at least one pair");
+        assert!(
+            self.resident_threads > 0 && self.resident_threads <= 2 * self.pairs,
+            "resident threads must be 1..=2*pairs"
+        );
+        assert!(self.spm_latency > 0 && self.cache_hit_latency > 0, "latencies must be positive");
+        assert!(self.pipeline_depth > 0, "pipeline depth must be positive");
+    }
+}
+
+/// Whole-chip configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SmarcoConfig {
+    /// Topology (rings, cores, controllers).
+    pub noc: NocConfig,
+    /// Per-core TCG parameters.
+    pub tcg: TcgConfig,
+    /// MACT per sub-ring; `None` disables collection (the Fig. 20
+    /// "conventional structure" baseline).
+    pub mact: Option<MactConfig>,
+    /// DDR controller model.
+    pub dram: DramConfig,
+    /// Direct datapath; `None` routes real-time requests over the rings.
+    pub direct: Option<DirectPathConfig>,
+    /// Core clock in GHz (1.5 for SmarCo) — used only when converting
+    /// cycles to wall-clock/energy.
+    pub freq_ghz: f64,
+}
+
+impl SmarcoConfig {
+    /// The full 256-core chip as taped out in Table 2.
+    pub fn smarco() -> Self {
+        Self {
+            noc: NocConfig::smarco(),
+            tcg: TcgConfig::smarco(),
+            mact: Some(MactConfig::default()),
+            dram: DramConfig::smarco(),
+            direct: Some(DirectPathConfig::smarco()),
+            freq_ghz: 1.5,
+        }
+    }
+
+    /// A small chip for fast tests: 4 sub-rings × 4 cores.
+    pub fn tiny() -> Self {
+        let noc = NocConfig::tiny();
+        Self {
+            noc,
+            tcg: TcgConfig::smarco(),
+            mact: Some(MactConfig::default()),
+            dram: DramConfig { channels: noc.mem_ctrls, ..DramConfig::smarco() },
+            direct: Some(DirectPathConfig { subrings: noc.subrings, ..DirectPathConfig::smarco() }),
+            freq_ghz: 1.5,
+        }
+    }
+
+    /// The 40 nm prototype (§4.4): 256 threads = 32 cores in 4 sub-rings,
+    /// lower clock.
+    pub fn prototype_40nm() -> Self {
+        let noc = NocConfig {
+            subrings: 4,
+            cores_per_subring: 8,
+            mem_ctrls: 2,
+            ..NocConfig::smarco()
+        };
+        Self {
+            noc,
+            tcg: TcgConfig::smarco(),
+            mact: Some(MactConfig::default()),
+            dram: DramConfig { channels: 2, ..DramConfig::smarco() },
+            direct: Some(DirectPathConfig { subrings: 4, ..DirectPathConfig::smarco() }),
+            freq_ghz: 1.0,
+        }
+    }
+
+    /// Total hardware thread capacity.
+    pub fn total_threads(&self) -> usize {
+        self.noc.cores() * self.tcg.resident_threads
+    }
+
+    /// Validates every sub-config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any component configuration is inconsistent.
+    pub fn validate(&self) {
+        self.noc.validate();
+        self.tcg.validate();
+        assert!(self.freq_ghz > 0.0, "frequency must be positive");
+        assert_eq!(
+            self.dram.channels, self.noc.mem_ctrls,
+            "DRAM channels must match NoC memory controllers"
+        );
+        if let Some(d) = &self.direct {
+            assert_eq!(d.subrings, self.noc.subrings, "direct spokes must match sub-rings");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smarco_matches_table2() {
+        let c = SmarcoConfig::smarco();
+        c.validate();
+        assert_eq!(c.noc.cores(), 256);
+        assert_eq!(c.total_threads(), 2048);
+        assert_eq!(c.tcg.pairs, 4);
+        assert_eq!(c.freq_ghz, 1.5);
+    }
+
+    #[test]
+    fn prototype_has_256_threads() {
+        let c = SmarcoConfig::prototype_40nm();
+        c.validate();
+        assert_eq!(c.total_threads(), 256);
+    }
+
+    #[test]
+    fn thread_sweep_configs() {
+        for n in 1..=8 {
+            let c = TcgConfig::smarco().with_threads(n);
+            c.validate();
+            assert_eq!(c.resident_threads, n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn too_many_threads_rejected() {
+        let _ = TcgConfig::smarco().with_threads(9);
+    }
+
+    #[test]
+    #[should_panic(expected = "channels must match")]
+    fn mismatched_dram_rejected() {
+        let mut c = SmarcoConfig::tiny();
+        c.dram.channels = 9;
+        c.validate();
+    }
+}

@@ -1,0 +1,160 @@
+//! The hardware task-dispatch path (§3.7, Fig. 4): the main scheduler on
+//! the main ring load-balances submitted tasks across sub-rings; each
+//! sub-ring's laxity-aware hardware scheduler then binds tasks to TCG
+//! thread slots as they free up, preferring the least execution laxity.
+//!
+//! This closes the loop the paper draws between Figs. 4 and 16: tasks
+//! arrive from the host with deadlines, hardware decides placement and
+//! order, and exits are recorded against their deadlines — all while the
+//! tasks' memory traffic contends on the real simulated rings and DRAM.
+
+use std::collections::HashMap;
+
+use smarco_isa::InstructionStream;
+use smarco_sched::{LaxityAwareScheduler, MainScheduler, Task, TaskPriority, TaskScheduler};
+use smarco_sim::Cycle;
+
+use crate::tcg::TcgCore;
+
+/// Completion record of a dispatched task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskExit {
+    /// Task id assigned at submission.
+    pub task: u64,
+    /// Cycle the task's thread exited.
+    pub exit: Cycle,
+    /// The task's deadline.
+    pub deadline: Cycle,
+}
+
+impl TaskExit {
+    /// Whether the task met its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.exit <= self.deadline
+    }
+}
+
+/// The two-level hardware dispatcher.
+pub struct HardwareDispatcher {
+    main: MainScheduler,
+    subs: Vec<LaxityAwareScheduler>,
+    /// Submitted-but-undispatched task streams.
+    pending: HashMap<u64, Box<dyn InstructionStream + Send>>,
+    /// `(core, slot)` → `(task, sub-ring, work estimate)`.
+    dispatched: HashMap<(usize, usize), (u64, usize, u64)>,
+    exits: Vec<TaskExit>,
+    /// Deadlines of in-flight tasks, by id.
+    deadlines: HashMap<u64, Cycle>,
+    /// Per-sub-ring dispatcher pipeline availability.
+    ready_at: Vec<Cycle>,
+    next_id: u64,
+}
+
+impl std::fmt::Debug for HardwareDispatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HardwareDispatcher")
+            .field("pending", &self.pending.len())
+            .field("dispatched", &self.dispatched.len())
+            .field("exits", &self.exits.len())
+            .finish()
+    }
+}
+
+impl HardwareDispatcher {
+    /// Creates the dispatcher for `subrings` sub-rings whose chain tables
+    /// hold `capacity` tasks each (SmarCo: 128).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(subrings: usize, capacity: usize) -> Self {
+        Self {
+            main: MainScheduler::new(subrings),
+            subs: (0..subrings).map(|_| LaxityAwareScheduler::new(capacity)).collect(),
+            pending: HashMap::new(),
+            dispatched: HashMap::new(),
+            exits: Vec::new(),
+            deadlines: HashMap::new(),
+            ready_at: vec![0; subrings],
+            next_id: 0,
+        }
+    }
+
+    /// Submits a task at cycle `now`: the main scheduler picks the
+    /// least-loaded sub-ring; the sub-ring's chain table queues it by
+    /// laxity. Returns the task id.
+    pub fn submit(
+        &mut self,
+        stream: Box<dyn InstructionStream + Send>,
+        deadline: Cycle,
+        work_estimate: Cycle,
+        priority: TaskPriority,
+        now: Cycle,
+    ) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut task = Task::new(id, now, deadline, work_estimate.max(1));
+        if priority == TaskPriority::High {
+            task = task.with_high_priority();
+        }
+        let sr = self.main.assign(&task);
+        self.subs[sr].enqueue(task, now);
+        self.pending.insert(id, stream);
+        id
+    }
+
+    /// One cycle of dispatcher work over the chip's cores: consume exit
+    /// signals, then bind at most one task per sub-ring to a vacant slot
+    /// (the chain-table walk costs dispatch cycles).
+    pub fn tick(&mut self, cores: &mut [TcgCore], cores_per_subring: usize, now: Cycle) {
+        // Completions.
+        for (c, core) in cores.iter_mut().enumerate() {
+            for slot in core.take_retired() {
+                if let Some((task, sr, work)) = self.dispatched.remove(&(c, slot)) {
+                    self.main.complete(sr, work);
+                    let deadline = self.deadline_of(task);
+                    self.exits.push(TaskExit { task, exit: now, deadline });
+                    self.deadlines.remove(&task);
+                }
+            }
+        }
+        // Dispatch.
+        for sr in 0..self.subs.len() {
+            if now < self.ready_at[sr] || self.subs[sr].pending() == 0 {
+                continue;
+            }
+            let first = sr * cores_per_subring;
+            let Some(core_idx) =
+                (first..first + cores_per_subring).find(|&c| cores[c].has_vacancy())
+            else {
+                continue;
+            };
+            if let Some(task) = self.subs[sr].dispatch(now) {
+                self.ready_at[sr] = now + self.subs[sr].overhead();
+                let stream = self.pending.remove(&task.id).expect("stream pending");
+                let slot = cores[core_idx].attach(stream).expect("vacancy checked");
+                self.dispatched.insert((core_idx, slot), (task.id, sr, task.work));
+                self.deadlines.insert(task.id, task.deadline);
+            }
+        }
+    }
+
+    fn deadline_of(&self, task: u64) -> Cycle {
+        self.deadlines.get(&task).copied().unwrap_or(Cycle::MAX)
+    }
+
+    /// Exit records so far.
+    pub fn exits(&self) -> &[TaskExit] {
+        &self.exits
+    }
+
+    /// Whether every submitted task has been dispatched and exited.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.dispatched.is_empty()
+    }
+
+    /// Tasks submitted so far.
+    pub fn submitted(&self) -> u64 {
+        self.next_id
+    }
+}

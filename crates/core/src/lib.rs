@@ -1,0 +1,37 @@
+//! The SmarCo processor: TCG cores and the whole-chip model.
+//!
+//! This crate is the paper's primary contribution assembled from the
+//! substrate crates:
+//!
+//! * [`config`] — TCG and chip configurations (the paper's Table 2 column).
+//! * [`thread`] — thread slots and the **in-pair threads** pair scheduler
+//!   (§3.1.1): threads are coupled two-by-two; exactly one of a pair
+//!   occupies an issue slot, and an SPM/D-cache miss hands the slot to the
+//!   friend thread, hiding memory latency between similarly behaving HTC
+//!   threads.
+//! * [`tcg`] — the Thread Core Group core (§3.1): 4-wide in-order issue
+//!   across 4 pairs (8 resident threads), 16 KB L1 I/D, 128 KB SPM, LSQ
+//!   address steering, shared-instruction-segment SPM prefetch (§3.1.2),
+//!   and a per-core DMA engine.
+//! * [`chip`] — [`chip::SmarcoSystem`]: 256 TCG cores on the hierarchical
+//!   ring with per-sub-ring MACTs, the direct memory datapath, four DDR4
+//!   controllers, and end-to-end request/reply plumbing.
+//! * [`dispatch`] — the two-level hardware task dispatcher (§3.7): main
+//!   scheduler load-balancing + per-sub-ring laxity-aware binding of
+//!   submitted tasks to TCG thread slots.
+//! * [`report`] — run statistics (IPC, latency, utilization) consumed by
+//!   the bench harness.
+
+#![warn(missing_docs)]
+
+pub mod chip;
+pub mod config;
+pub mod dispatch;
+pub mod report;
+pub mod tcg;
+pub mod thread;
+
+pub use chip::SmarcoSystem;
+pub use config::{SmarcoConfig, TcgConfig};
+pub use report::SmarcoReport;
+pub use tcg::TcgCore;

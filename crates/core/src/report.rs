@@ -1,0 +1,121 @@
+//! Whole-chip run statistics.
+
+use smarco_sim::stats::{MeanTracker, StatsReport};
+use smarco_sim::Cycle;
+
+/// Summary of a [`crate::chip::SmarcoSystem`] run.
+#[derive(Debug, Clone, Default)]
+pub struct SmarcoReport {
+    /// Cycles simulated.
+    pub cycles: Cycle,
+    /// Instructions retired across all cores.
+    pub instructions: u64,
+    /// Memory requests that left cores.
+    pub requests: u64,
+    /// Requests that reached DRAM (after MACT batching).
+    pub dram_requests: u64,
+    /// End-to-end latency of blocking memory requests.
+    pub mem_latency: MeanTracker,
+    /// DRAM bandwidth utilization (0–1).
+    pub dram_utilization: f64,
+    /// Main-ring payload utilization (0–1).
+    pub main_ring_utilization: f64,
+    /// Sub-ring payload utilization (0–1).
+    pub subring_utilization: f64,
+    /// Requests collected by MACTs.
+    pub mact_collected: u64,
+    /// Batches MACTs emitted.
+    pub mact_batches: u64,
+    /// Fraction of pair-slots idle (averaged over cores).
+    pub idle_ratio: f64,
+    /// Instruction-fetch miss ratio (averaged over cores).
+    pub ifetch_miss_ratio: f64,
+    /// D-cache miss ratio (aggregated).
+    pub l1d_miss_ratio: f64,
+}
+
+impl SmarcoReport {
+    /// Aggregate instructions per cycle across the chip.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Wall-clock seconds at `freq_ghz`.
+    pub fn seconds(&self, freq_ghz: f64) -> f64 {
+        self.cycles as f64 / (freq_ghz * 1e9)
+    }
+
+    /// Instructions per second at `freq_ghz` (throughput proxy).
+    pub fn throughput(&self, freq_ghz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.seconds(freq_ghz)
+        }
+    }
+
+    /// Request-count reduction factor achieved by MACT batching.
+    pub fn request_reduction(&self) -> f64 {
+        if self.dram_requests == 0 {
+            1.0
+        } else {
+            self.requests as f64 / self.dram_requests as f64
+        }
+    }
+
+    /// Flattens into a named scalar report for the bench harness.
+    pub fn to_stats(&self) -> StatsReport {
+        let mut s = StatsReport::new();
+        s.set("cycles", self.cycles as f64);
+        s.set("instructions", self.instructions as f64);
+        s.set("ipc", self.ipc());
+        s.set("requests", self.requests as f64);
+        s.set("dram_requests", self.dram_requests as f64);
+        s.set("mem_latency_mean", self.mem_latency.mean());
+        s.set("dram_utilization", self.dram_utilization);
+        s.set("main_ring_utilization", self.main_ring_utilization);
+        s.set("subring_utilization", self.subring_utilization);
+        s.set("mact_collected", self.mact_collected as f64);
+        s.set("mact_batches", self.mact_batches as f64);
+        s.set("idle_ratio", self.idle_ratio);
+        s.set("ifetch_miss_ratio", self.ifetch_miss_ratio);
+        s.set("l1d_miss_ratio", self.l1d_miss_ratio);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let mut r = SmarcoReport { cycles: 1000, instructions: 2500, ..Default::default() };
+        r.requests = 100;
+        r.dram_requests = 25;
+        assert!((r.ipc() - 2.5).abs() < 1e-12);
+        assert!((r.request_reduction() - 4.0).abs() < 1e-12);
+        assert!((r.seconds(1.0) - 1e-6).abs() < 1e-18);
+        assert!(r.throughput(1.0) > 0.0);
+    }
+
+    #[test]
+    fn zero_cycles_safe() {
+        let r = SmarcoReport::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.throughput(1.5), 0.0);
+        assert_eq!(r.request_reduction(), 1.0);
+    }
+
+    #[test]
+    fn stats_flattening() {
+        let r = SmarcoReport { cycles: 10, instructions: 20, ..Default::default() };
+        let s = r.to_stats();
+        assert_eq!(s.get("ipc"), Some(2.0));
+        assert_eq!(s.get("cycles"), Some(10.0));
+    }
+}

@@ -1,0 +1,34 @@
+//! Abstract throughput ISA for the SmarCo reproduction.
+//!
+//! SmarCo's TCG cores are 4-wide, 8-stage, in-order superscalar pipelines
+//! (an extension of the ARM11 line, §3.1). For architecture studies the
+//! *timing-relevant* behaviour of a thread is its instruction mix and its
+//! memory address/granularity stream, not the arithmetic it performs — so
+//! threads here execute programs of abstract [`op::Op`]s with **concrete
+//! addresses**: caches, SPM, MACT and the NoC all see realistic locality
+//! and granularity, while ALU work is carried as occupancy.
+//!
+//! Three ways to obtain a stream:
+//!
+//! * [`program::Program`] — an explicit finite instruction sequence with
+//!   optional repetition, built with [`program::ProgramBuilder`].
+//! * [`stream::FnStream`] — a closure-backed generator, used by the
+//!   structured benchmark models in `smarco-workloads`.
+//! * [`mix::SyntheticStream`] — a statistical generator parameterized by an
+//!   [`mix::OpMix`] (instruction-class fractions, access-granularity
+//!   distribution per Fig. 8, and a working-set locality model).
+//!
+//! Any stream can be captured with [`trace::Trace`] and replayed
+//! bit-identically across machine configurations.
+
+#![warn(missing_docs)]
+
+pub mod mix;
+pub mod op;
+pub mod program;
+pub mod stream;
+pub mod trace;
+
+pub use op::{Instr, MemRef, Op, Priority};
+pub use program::{Program, ProgramBuilder};
+pub use stream::InstructionStream;

@@ -1,0 +1,197 @@
+//! Instruction and memory-reference types.
+
+use std::fmt;
+
+/// Real-time priority class of a memory request (§3.4, §3.5.2).
+///
+/// `Realtime` requests bypass the MACT and may use the direct datapath;
+/// `Normal` requests are eligible for MACT batching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum Priority {
+    /// Ordinary request: may be collected into the MACT.
+    #[default]
+    Normal,
+    /// Hard-real-time request: bypasses the MACT, eligible for the direct
+    /// datapath.
+    Realtime,
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Priority::Normal => f.write_str("normal"),
+            Priority::Realtime => f.write_str("realtime"),
+        }
+    }
+}
+
+/// A memory reference: address, size in bytes, and request priority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Byte address in the unified address space (DRAM or SPM region).
+    pub addr: u64,
+    /// Access width in bytes (1–64).
+    pub bytes: u8,
+    /// Real-time priority class.
+    pub priority: Priority,
+}
+
+impl MemRef {
+    /// Creates a normal-priority reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or greater than 64.
+    pub fn new(addr: u64, bytes: u8) -> Self {
+        assert!((1..=64).contains(&bytes), "access width {bytes} out of range 1..=64");
+        Self { addr, bytes, priority: Priority::Normal }
+    }
+
+    /// Creates a real-time-priority reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or greater than 64.
+    pub fn realtime(addr: u64, bytes: u8) -> Self {
+        let mut r = Self::new(addr, bytes);
+        r.priority = Priority::Realtime;
+        r
+    }
+
+    /// Exclusive end address of the reference.
+    pub fn end(&self) -> u64 {
+        self.addr + u64::from(self.bytes)
+    }
+}
+
+/// One abstract instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// ALU/FPU work occupying an issue slot; `latency` models multi-cycle
+    /// operations (1 for simple integer ops).
+    Compute {
+        /// Execution latency in cycles (≥1).
+        latency: u8,
+    },
+    /// Memory read.
+    Load(MemRef),
+    /// Memory write.
+    Store(MemRef),
+    /// Control transfer; a mispredicted branch costs a front-end refill on
+    /// the in-order pipeline.
+    Branch {
+        /// Whether the core's predictor missed this branch.
+        mispredicted: bool,
+    },
+    /// Scratchpad DMA copy (SPM↔SPM or SPM↔DRAM, §3.5.1); asynchronous,
+    /// completion observed via `Sync`.
+    Dma {
+        /// Source byte address.
+        src: u64,
+        /// Destination byte address.
+        dst: u64,
+        /// Transfer length in bytes.
+        bytes: u32,
+    },
+    /// Waits until the thread's outstanding DMA transfers complete.
+    Sync,
+    /// Terminates the thread.
+    Exit,
+}
+
+impl Op {
+    /// Convenience constructor for a single-cycle compute op.
+    pub fn compute() -> Self {
+        Op::Compute { latency: 1 }
+    }
+
+    /// Convenience constructor for a normal-priority load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or greater than 64.
+    pub fn load(addr: u64, bytes: u8) -> Self {
+        Op::Load(MemRef::new(addr, bytes))
+    }
+
+    /// Convenience constructor for a normal-priority store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is 0 or greater than 64.
+    pub fn store(addr: u64, bytes: u8) -> Self {
+        Op::Store(MemRef::new(addr, bytes))
+    }
+
+    /// The memory reference of a load/store, if this is one.
+    pub fn mem_ref(&self) -> Option<MemRef> {
+        match self {
+            Op::Load(m) | Op::Store(m) => Some(*m),
+            _ => None,
+        }
+    }
+
+    /// Whether this op reads or writes memory via the LSQ.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Op::Load(_) | Op::Store(_))
+    }
+}
+
+/// An instruction paired with its program counter (used for I-cache and
+/// shared-instruction-segment modelling).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Instr {
+    /// Byte address of the instruction (4-byte fixed encoding).
+    pub pc: u64,
+    /// The operation.
+    pub op: Op,
+}
+
+/// Fixed instruction encoding width in bytes.
+pub const INSTR_BYTES: u64 = 4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_ref_end() {
+        let r = MemRef::new(100, 8);
+        assert_eq!(r.end(), 108);
+        assert_eq!(r.priority, Priority::Normal);
+    }
+
+    #[test]
+    fn realtime_ref_priority() {
+        assert_eq!(MemRef::realtime(0, 4).priority, Priority::Realtime);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_rejected() {
+        MemRef::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oversized_width_rejected() {
+        MemRef::new(0, 65);
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::load(0, 4).is_mem());
+        assert!(Op::store(0, 4).is_mem());
+        assert!(!Op::compute().is_mem());
+        assert!(!Op::Branch { mispredicted: false }.is_mem());
+        assert_eq!(Op::load(16, 2).mem_ref(), Some(MemRef::new(16, 2)));
+        assert_eq!(Op::compute().mem_ref(), None);
+    }
+
+    #[test]
+    fn priority_display_and_order() {
+        assert_eq!(Priority::Normal.to_string(), "normal");
+        assert_eq!(Priority::Realtime.to_string(), "realtime");
+        assert!(Priority::Normal < Priority::Realtime);
+    }
+}

@@ -1,0 +1,270 @@
+//! Explicit finite programs and their builder.
+
+use crate::op::{Instr, Op, INSTR_BYTES};
+use crate::stream::InstructionStream;
+
+/// A finite instruction sequence laid out at a base address, optionally
+/// repeated, terminated by an implicit [`Op::Exit`].
+///
+/// Programs model an *instruction segment*: a contiguous code region whose
+/// footprint matters for I-cache behaviour and which sub-ring threads can
+/// share via SPM prefetch (§3.1.2).
+///
+/// # Examples
+///
+/// ```
+/// use smarco_isa::{Op, ProgramBuilder};
+/// use smarco_isa::stream::InstructionStream;
+///
+/// let prog = ProgramBuilder::at(0x1000)
+///     .op(Op::load(0x8000, 4))
+///     .op(Op::compute())
+///     .op(Op::store(0x8004, 4))
+///     .repeat(2)
+///     .build();
+/// let mut stream = prog.stream();
+/// let mut n = 0;
+/// while let Some(instr) = stream.next_instr() {
+///     n += 1;
+///     assert!(instr.pc >= 0x1000);
+///     if matches!(instr.op, Op::Exit) { break; }
+/// }
+/// assert_eq!(n, 3 * 2 + 1); // body twice, then Exit
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    base: u64,
+    ops: Vec<Op>,
+    iterations: u64,
+}
+
+impl Program {
+    /// Base address of the instruction segment.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Segment length in bytes (body only).
+    pub fn segment_bytes(&self) -> u64 {
+        self.ops.len() as u64 * INSTR_BYTES
+    }
+
+    /// Number of body iterations.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Total dynamic instruction count (body × iterations + final `Exit`).
+    pub fn dynamic_len(&self) -> u64 {
+        self.ops.len() as u64 * self.iterations + 1
+    }
+
+    /// Ops in the body.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Creates a playable stream over this program.
+    pub fn stream(&self) -> ProgramStream<'_> {
+        ProgramStream { program: self, idx: 0, iter: 0, done: false }
+    }
+
+    /// Creates an owning playable stream (for threads that outlive the
+    /// builder scope).
+    pub fn into_stream(self) -> OwnedProgramStream {
+        OwnedProgramStream { program: self, idx: 0, iter: 0, done: false }
+    }
+}
+
+/// Builder for [`Program`].
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    base: u64,
+    ops: Vec<Op>,
+    iterations: u64,
+}
+
+impl ProgramBuilder {
+    /// Starts a program whose instruction segment begins at `base`.
+    pub fn at(base: u64) -> Self {
+        Self { base, ops: Vec::new(), iterations: 1 }
+    }
+
+    /// Appends one op to the body.
+    pub fn op(mut self, op: Op) -> Self {
+        self.ops.push(op);
+        self
+    }
+
+    /// Appends `n` single-cycle compute ops.
+    pub fn compute(mut self, n: usize) -> Self {
+        self.ops.extend(std::iter::repeat(Op::compute()).take(n));
+        self
+    }
+
+    /// Appends ops from an iterator.
+    pub fn ops<I: IntoIterator<Item = Op>>(mut self, ops: I) -> Self {
+        self.ops.extend(ops);
+        self
+    }
+
+    /// Sets how many times the body executes (default 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn repeat(mut self, n: u64) -> Self {
+        assert!(n > 0, "iteration count must be positive");
+        self.iterations = n;
+        self
+    }
+
+    /// Finalizes the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the body is empty.
+    pub fn build(self) -> Program {
+        assert!(!self.ops.is_empty(), "program body must not be empty");
+        Program { base: self.base, ops: self.ops, iterations: self.iterations }
+    }
+}
+
+/// Borrowing stream over a [`Program`]; see [`Program::stream`].
+#[derive(Debug, Clone)]
+pub struct ProgramStream<'a> {
+    program: &'a Program,
+    idx: usize,
+    iter: u64,
+    done: bool,
+}
+
+/// Owning stream over a [`Program`]; see [`Program::into_stream`].
+#[derive(Debug, Clone)]
+pub struct OwnedProgramStream {
+    program: Program,
+    idx: usize,
+    iter: u64,
+    done: bool,
+}
+
+fn advance(program: &Program, idx: &mut usize, iter: &mut u64, done: &mut bool) -> Option<Instr> {
+    if *done {
+        return None;
+    }
+    if *iter >= program.iterations {
+        *done = true;
+        // Implicit Exit placed just past the body.
+        let pc = program.base + program.segment_bytes();
+        return Some(Instr { pc, op: Op::Exit });
+    }
+    let pc = program.base + *idx as u64 * INSTR_BYTES;
+    let op = program.ops[*idx];
+    *idx += 1;
+    if *idx == program.ops.len() {
+        *idx = 0;
+        *iter += 1;
+    }
+    Some(Instr { pc, op })
+}
+
+impl InstructionStream for ProgramStream<'_> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        advance(self.program, &mut self.idx, &mut self.iter, &mut self.done)
+    }
+    fn segment(&self) -> Option<(u64, u64)> {
+        Some((self.program.base, self.program.segment_bytes()))
+    }
+}
+
+impl InstructionStream for OwnedProgramStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        advance(&self.program, &mut self.idx, &mut self.iter, &mut self.done)
+    }
+    fn segment(&self) -> Option<(u64, u64)> {
+        Some((self.program.base, self.program.segment_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Program {
+        ProgramBuilder::at(0x100)
+            .op(Op::load(0, 4))
+            .compute(2)
+            .op(Op::store(8, 4))
+            .repeat(3)
+            .build()
+    }
+
+    #[test]
+    fn dynamic_length_counts_iterations_and_exit() {
+        let p = simple();
+        assert_eq!(p.dynamic_len(), 4 * 3 + 1);
+        let mut s = p.stream();
+        let mut n = 0;
+        while s.next_instr().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, p.dynamic_len());
+    }
+
+    #[test]
+    fn pcs_wrap_within_segment() {
+        let p = simple();
+        let mut s = p.stream();
+        let pcs: Vec<u64> = std::iter::from_fn(|| s.next_instr()).map(|i| i.pc).collect();
+        assert_eq!(&pcs[0..4], &[0x100, 0x104, 0x108, 0x10c]);
+        assert_eq!(&pcs[4..8], &[0x100, 0x104, 0x108, 0x10c]);
+        assert_eq!(*pcs.last().unwrap(), 0x110); // Exit just past body
+    }
+
+    #[test]
+    fn last_op_is_exit_then_stream_ends() {
+        let p = ProgramBuilder::at(0).op(Op::compute()).build();
+        let mut s = p.stream();
+        assert_eq!(s.next_instr().unwrap().op, Op::compute());
+        assert_eq!(s.next_instr().unwrap().op, Op::Exit);
+        assert_eq!(s.next_instr(), None);
+        assert_eq!(s.next_instr(), None);
+    }
+
+    #[test]
+    fn segment_metadata() {
+        let p = simple();
+        let s = p.stream();
+        assert_eq!(s.segment(), Some((0x100, 16)));
+        assert_eq!(p.segment_bytes(), 16);
+        assert_eq!(p.base(), 0x100);
+        assert_eq!(p.iterations(), 3);
+        assert_eq!(p.ops().len(), 4);
+    }
+
+    #[test]
+    fn owned_stream_matches_borrowed() {
+        let p = simple();
+        let mut a = p.stream();
+        let mut b = p.clone().into_stream();
+        loop {
+            let (x, y) = (a.next_instr(), b.next_instr());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_body_rejected() {
+        let _ = ProgramBuilder::at(0).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_iterations_rejected() {
+        let _ = ProgramBuilder::at(0).op(Op::compute()).repeat(0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Instruction-trace recording and replay.
+//!
+//! Architecture studies often want to run the *same* dynamic instruction
+//! sequence through several machine configurations (e.g. the MACT
+//! threshold sweep) so that differences come from the hardware, not the
+//! workload. [`Trace::record`] captures any stream; [`Trace::replay`]
+//! plays it back as many times as needed.
+
+use crate::op::Instr;
+use crate::stream::InstructionStream;
+
+/// A recorded dynamic instruction sequence.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_isa::trace::Trace;
+/// use smarco_isa::mix::compute_only;
+/// use smarco_isa::InstructionStream;
+///
+/// let trace = Trace::record(compute_only(10));
+/// assert_eq!(trace.len(), 11); // 10 computes + Exit
+/// let mut a = trace.replay();
+/// let mut b = trace.replay();
+/// while let (Some(x), Some(y)) = (a.next_instr(), b.next_instr()) {
+///     assert_eq!(x, y);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    instrs: Vec<Instr>,
+    segment: Option<(u64, u64)>,
+}
+
+impl Trace {
+    /// Drains `stream` to completion, capturing every instruction.
+    ///
+    /// Beware of unbounded streams: recording stops only when the stream
+    /// ends.
+    pub fn record<S: InstructionStream>(mut stream: S) -> Self {
+        let segment = stream.segment();
+        let mut instrs = Vec::new();
+        while let Some(i) = stream.next_instr() {
+            instrs.push(i);
+        }
+        Self { instrs, segment }
+    }
+
+    /// Records at most `limit` instructions (for unbounded streams).
+    pub fn record_bounded<S: InstructionStream>(mut stream: S, limit: usize) -> Self {
+        let segment = stream.segment();
+        let mut instrs = Vec::with_capacity(limit.min(1 << 20));
+        while instrs.len() < limit {
+            match stream.next_instr() {
+                Some(i) => instrs.push(i),
+                None => break,
+            }
+        }
+        Self { instrs, segment }
+    }
+
+    /// Dynamic instruction count.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The recorded instructions.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// A replayable stream over the trace (cheap; the trace is shared).
+    pub fn replay(&self) -> Replay<'_> {
+        Replay { trace: self, at: 0 }
+    }
+
+    /// An owning replay stream (for threads that outlive the trace
+    /// binding). Clones the underlying trace storage.
+    pub fn into_replay(self) -> OwnedReplay {
+        OwnedReplay { trace: self, at: 0 }
+    }
+}
+
+impl FromIterator<Instr> for Trace {
+    fn from_iter<I: IntoIterator<Item = Instr>>(iter: I) -> Self {
+        Self { instrs: iter.into_iter().collect(), segment: None }
+    }
+}
+
+/// Borrowing replay stream; see [`Trace::replay`].
+#[derive(Debug, Clone)]
+pub struct Replay<'a> {
+    trace: &'a Trace,
+    at: usize,
+}
+
+impl InstructionStream for Replay<'_> {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.trace.instrs.get(self.at).copied();
+        if i.is_some() {
+            self.at += 1;
+        }
+        i
+    }
+    fn segment(&self) -> Option<(u64, u64)> {
+        self.trace.segment
+    }
+}
+
+/// Owning replay stream; see [`Trace::into_replay`].
+#[derive(Debug, Clone)]
+pub struct OwnedReplay {
+    trace: Trace,
+    at: usize,
+}
+
+impl InstructionStream for OwnedReplay {
+    fn next_instr(&mut self) -> Option<Instr> {
+        let i = self.trace.instrs.get(self.at).copied();
+        if i.is_some() {
+            self.at += 1;
+        }
+        i
+    }
+    fn segment(&self) -> Option<(u64, u64)> {
+        self.trace.segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mix::{compute_only, AddressModel, GranularityMix, OpMix, SyntheticStream};
+    use crate::op::Op;
+    use smarco_sim::rng::SimRng;
+
+    fn mix() -> OpMix {
+        OpMix {
+            mem_frac: 0.4,
+            load_frac: 0.7,
+            branch_frac: 0.1,
+            branch_miss: 0.05,
+            realtime_frac: 0.0,
+            granularity: GranularityMix::uniform(),
+            addresses: AddressModel::random(0x1000, 1 << 16),
+        }
+    }
+
+    #[test]
+    fn records_full_stream_including_exit() {
+        let t = Trace::record(compute_only(5));
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.instrs().last().unwrap().op, Op::Exit);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn replay_is_identical_and_repeatable() {
+        let t = Trace::record(SyntheticStream::new(mix(), 500, SimRng::new(1)));
+        let a: Vec<_> = std::iter::from_fn({
+            let mut r = t.replay();
+            move || r.next_instr()
+        })
+        .collect();
+        let b: Vec<_> = std::iter::from_fn({
+            let mut r = t.replay();
+            move || r.next_instr()
+        })
+        .collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 501);
+    }
+
+    #[test]
+    fn replay_preserves_segment() {
+        let t = Trace::record(compute_only(3));
+        assert_eq!(t.replay().segment(), Some((0, 1024)));
+    }
+
+    #[test]
+    fn bounded_recording_truncates() {
+        let t = Trace::record_bounded(SyntheticStream::new(mix(), 10_000, SimRng::new(2)), 100);
+        assert_eq!(t.len(), 100);
+    }
+
+    #[test]
+    fn owned_replay_matches_borrowed() {
+        let t = Trace::record(compute_only(20));
+        let mut a = t.replay();
+        let mut b = t.clone().into_replay();
+        loop {
+            let (x, y) = (a.next_instr(), b.next_instr());
+            assert_eq!(x, y);
+            if x.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let t: Trace = Trace::record(compute_only(2)).instrs().iter().copied().collect();
+        assert_eq!(t.len(), 3);
+    }
+}

@@ -1,0 +1,346 @@
+//! Set-associative LRU cache model.
+//!
+//! One model serves SmarCo's 16 KB L1 I/D caches and the conventional
+//! baseline's L2/LLC (Fig. 1c/d). Timing is owned by the caller; the cache
+//! tracks hits/misses/evictions and exposes its miss ratio.
+
+use smarco_sim::stats::Ratio;
+
+/// Cache geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// SmarCo L1 (16 KB, 64 B lines, 4-way; §3.1).
+    pub fn smarco_l1() -> Self {
+        Self { size_bytes: 16 << 10, line_bytes: 64, ways: 4 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// Set counts need not be powers of two (indexing is modulo); real
+    /// LLCs (60 MB, 20-way) are not.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (zero sizes or capacity not
+    /// a multiple of `line_bytes * ways`).
+    pub fn sets(&self) -> usize {
+        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.ways > 0, "zero geometry");
+        let per_way = self.size_bytes / self.line_bytes;
+        assert_eq!(
+            self.size_bytes % (self.line_bytes * self.ways as u64),
+            0,
+            "capacity must divide evenly into ways of lines"
+        );
+        (per_way / self.ways as u64) as usize
+    }
+}
+
+/// Result of a cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// Line present.
+    Hit,
+    /// Line absent; it was filled (LRU victim evicted). `writeback_of`
+    /// carries the dirty victim's line address when one must be written
+    /// back to memory.
+    Miss {
+        /// Dirty victim line address needing writeback, if any.
+        writeback_of: Option<u64>,
+    },
+}
+
+impl CacheOutcome {
+    /// Whether the access hit.
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheOutcome::Hit)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A set-associative write-back, write-allocate cache with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_mem::cache::{Cache, CacheConfig};
+///
+/// let mut l1 = Cache::new(CacheConfig::smarco_l1());
+/// assert!(!l1.access(0x1000, false).is_hit()); // cold miss
+/// assert!(l1.access(0x1000, false).is_hit());  // now resident
+/// assert!(l1.access(0x103f, false).is_hit());  // same 64B line
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+/// Hit/miss/eviction statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses by hit/miss.
+    pub accesses: Ratio,
+    /// Dirty evictions (writebacks).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses so far.
+    pub fn miss_ratio(&self) -> f64 {
+        1.0 - self.accesses.ratio()
+    }
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+        Self {
+            config,
+            sets: vec![vec![line; config.ways]; sets],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line_addr = addr / self.config.line_bytes;
+        let set = (line_addr % self.sets.len() as u64) as usize;
+        let tag = line_addr / self.sets.len() as u64;
+        (set, tag)
+    }
+
+    /// Line-aligned address of the line containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr - addr % self.config.line_bytes
+    }
+
+    /// Accesses `addr`; on a miss the line is filled (write-allocate) and
+    /// the LRU victim evicted.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheOutcome {
+        self.clock += 1;
+        let (set_idx, tag) = self.index(addr);
+        let sets_count = self.sets.len() as u64;
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.clock;
+            line.dirty |= is_write;
+            self.stats.accesses.record(true);
+            return CacheOutcome::Hit;
+        }
+        self.stats.accesses.record(false);
+        // Choose victim: invalid line first, else LRU.
+        let victim_idx = set
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                set.iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.lru)
+                    .map(|(i, _)| i)
+                    .expect("ways > 0")
+            });
+        let victim = set[victim_idx];
+        let writeback_of = if victim.valid && victim.dirty {
+            self.stats.writebacks += 1;
+            Some((victim.tag * sets_count + set_idx as u64) * self.config.line_bytes)
+        } else {
+            None
+        };
+        set[victim_idx] = Line { tag, valid: true, dirty: is_write, lru: self.clock };
+        CacheOutcome::Miss { writeback_of }
+    }
+
+    /// Write without allocation (streaming/non-temporal store): a hit
+    /// updates the line (dirty); a miss leaves the cache untouched so the
+    /// write drains downstream at its own granularity. Returns whether it
+    /// hit.
+    pub fn write_no_allocate(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let (set_idx, tag) = self.index(addr);
+        let clock = self.clock;
+        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            line.dirty = true;
+            self.stats.accesses.record(true);
+            true
+        } else {
+            self.stats.accesses.record(false);
+            false
+        }
+    }
+
+    /// Checks residency without updating LRU or statistics.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates every line (e.g. on task switch in the baseline model).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+                line.dirty = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false).is_hit());
+        assert!(c.access(0, false).is_hit());
+        assert!(c.access(63, false).is_hit());
+        assert!(!c.access(64, false).is_hit());
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Same set (4 sets × 64 B ⇒ set stride 256 B): addresses 0, 256, 512.
+        c.access(0, false);
+        c.access(256, false);
+        c.access(0, false); // refresh 0 → victim is 256
+        c.access(512, false); // evicts 256
+        assert!(c.probe(0));
+        assert!(!c.probe(256));
+        assert!(c.probe(512));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.access(256, false);
+        let out = c.access(512, false); // victim 0 is dirty
+        assert_eq!(out, CacheOutcome::Miss { writeback_of: Some(0) });
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(256, false);
+        assert_eq!(c.access(512, false), CacheOutcome::Miss { writeback_of: None });
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, true); // hit, makes dirty
+        c.access(256, false);
+        let out = c.access(512, false);
+        assert_eq!(out, CacheOutcome::Miss { writeback_of: Some(0) });
+    }
+
+    #[test]
+    fn miss_ratio_tracks() {
+        let mut c = tiny();
+        c.access(0, false); // miss
+        c.access(0, false); // hit
+        c.access(0, false); // hit
+        c.access(64, false); // miss
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flush_empties_cache() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.flush();
+        assert!(!c.probe(0));
+        // Flushed dirty line does not report a writeback on next fill.
+        assert_eq!(c.access(0, false), CacheOutcome::Miss { writeback_of: None });
+    }
+
+    #[test]
+    fn smarco_l1_geometry() {
+        let c = Cache::new(CacheConfig::smarco_l1());
+        assert_eq!(c.config().sets(), 64);
+        assert_eq!(c.line_addr(0x1234), 0x1200);
+    }
+
+    #[test]
+    fn non_power_of_two_sets_supported() {
+        // 3 sets × 1 way — odd geometries (like a 20-way 60 MB LLC) work.
+        let mut c = Cache::new(CacheConfig { size_bytes: 192, line_bytes: 64, ways: 1 });
+        assert_eq!(c.config().sets(), 3);
+        for addr in [0u64, 64, 128] {
+            assert!(!c.access(addr, false).is_hit());
+        }
+        for addr in [0u64, 64, 128] {
+            assert!(c.access(addr, false).is_hit());
+        }
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = tiny();
+        // Stream over 4 KB (8× capacity): essentially all misses after warmup.
+        for round in 0..4 {
+            for addr in (0..4096u64).step_by(64) {
+                c.access(addr, false);
+            }
+            let _ = round;
+        }
+        assert!(c.stats().miss_ratio() > 0.95);
+    }
+
+    #[test]
+    fn working_set_smaller_than_cache_hits() {
+        let mut c = tiny();
+        for _ in 0..16 {
+            for addr in (0..256u64).step_by(64) {
+                c.access(addr, false);
+            }
+        }
+        assert!(c.stats().miss_ratio() < 0.1);
+    }
+}

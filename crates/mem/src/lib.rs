@@ -1,0 +1,37 @@
+//! Memory-hierarchy models for the SmarCo reproduction (§3.4, §3.5).
+//!
+//! * [`map`] — the unified address space: DRAM, per-core SPM windows with
+//!   their control-register tails, and DDR channel interleaving.
+//! * [`cache`] — set-associative LRU caches (SmarCo's 16 KB L1 I/D and the
+//!   conventional baseline's L2/LLC reuse the same model).
+//! * [`spm`] — programmer-managed scratchpad with block residency and
+//!   miss-driven memory exchange.
+//! * [`mact`] — the Memory Access Collection Table: batches small,
+//!   discrete requests per sub-ring, flushing a line when its byte bitmap
+//!   fills or its deadline (time threshold) expires; real-time requests
+//!   bypass it.
+//! * [`dram`] — DDR4 controller with per-channel queuing, a
+//!   bandwidth-limited service model and event-driven completions.
+//! * [`dma`] — the SPM DMA engine used for SPM↔SPM transfers and shared
+//!   instruction-segment prefetch.
+//! * [`pim`] — in-memory scan units (the paper's §7 in-memory-computing
+//!   direction): fixed patterns like string matching run at internal row
+//!   bandwidth and only results cross the channel.
+//! * [`request`] — the request/response types that flow between cores,
+//!   MACT, NoC and DRAM.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod dma;
+pub mod dram;
+pub mod mact;
+pub mod map;
+pub mod pim;
+pub mod request;
+pub mod spm;
+
+pub use cache::{Cache, CacheConfig, CacheOutcome};
+pub use mact::{Batch, Mact, MactConfig, MactOutcome};
+pub use request::{MemRequest, RequestId};
+pub use spm::Spm;

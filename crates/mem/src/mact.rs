@@ -1,0 +1,456 @@
+//! Memory Access Collection Table (§3.4, Figs. 11–12).
+//!
+//! Large-scale HTC execution floods the NoC with small, discrete memory
+//! requests. The MACT sits on each sub-ring and *collects* them: a line
+//! holds {type (R/W), tag (64-byte base address), byte-bitmap vector,
+//! deadline timer}. A line is packed into one batched memory request when
+//!
+//! * its bitmap fills (all 64 bytes referenced), or
+//! * its deadline (the configurable **time threshold**, Fig. 19) expires, or
+//! * the table is full and a new address needs a line (oldest-first spill).
+//!
+//! Requests marked with real-time priority bypass the table entirely, as do
+//! requests that cross a 64-byte boundary (the collector tracks one line
+//! per entry).
+
+use smarco_sim::stats::{Counter, MeanTracker};
+use smarco_sim::Cycle;
+
+use crate::request::MemRequest;
+
+/// MACT geometry and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MactConfig {
+    /// Number of table lines per sub-ring.
+    pub lines: usize,
+    /// Bytes covered by one line's bitmap (the paper uses a byte-per-bit
+    /// vector over the line).
+    pub line_bytes: u64,
+    /// Deadline: the longest time a line may wait before being flushed
+    /// (Fig. 19 sweeps this; 16 cycles is best overall).
+    pub threshold: Cycle,
+}
+
+impl Default for MactConfig {
+    fn default() -> Self {
+        Self { lines: 32, line_bytes: 64, threshold: 16 }
+    }
+}
+
+/// What happened to an offered request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MactOutcome {
+    /// Collected into a line; it will complete when its batch flushes.
+    Collected,
+    /// Not eligible (real-time priority or boundary-crossing); forward it
+    /// on the ordinary path.
+    Bypass(MemRequest),
+}
+
+/// A packed line on its way to memory: one NoC packet / DRAM burst that
+/// answers every collected request inside it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch {
+    /// 64-byte-aligned base address.
+    pub base: u64,
+    /// Write (true) or read (false) line.
+    pub is_write: bool,
+    /// Number of distinct bytes referenced (popcount of the vector).
+    pub bytes_referenced: u32,
+    /// Span transferred from memory (the whole line).
+    pub span_bytes: u64,
+    /// The requests this batch answers.
+    pub requests: Vec<MemRequest>,
+    /// Cycle the line was opened.
+    pub opened_at: Cycle,
+    /// Why the line flushed.
+    pub cause: FlushCause,
+}
+
+/// Why a line was packed and sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// Byte bitmap filled.
+    BitmapFull,
+    /// Deadline (time threshold) expired.
+    Deadline,
+    /// Table pressure: evicted to make room for a new line.
+    Capacity,
+    /// Explicit drain (end of simulation).
+    Drain,
+}
+
+#[derive(Debug, Clone)]
+struct MactLine {
+    is_write: bool,
+    base: u64,
+    bitmap: u64,
+    opened_at: Cycle,
+    deadline: Cycle,
+    requests: Vec<MemRequest>,
+}
+
+/// MACT statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MactStats {
+    /// Requests collected into lines.
+    pub collected: Counter,
+    /// Requests that bypassed the table.
+    pub bypassed: Counter,
+    /// Batches emitted.
+    pub batches: Counter,
+    /// Requests per emitted batch.
+    pub requests_per_batch: MeanTracker,
+    /// Flushes by cause: [bitmap-full, deadline, capacity, drain].
+    pub flush_causes: [u64; 4],
+    /// Extra cycles requests waited in the table (collection delay).
+    pub wait_cycles: MeanTracker,
+}
+
+/// One sub-ring's Memory Access Collection Table.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_mem::{Mact, MactConfig};
+/// use smarco_mem::request::{MemRequest, RequestIdAllocator};
+/// use smarco_isa::MemRef;
+///
+/// let mut mact = Mact::new(MactConfig { threshold: 4, ..MactConfig::default() });
+/// let mut ids = RequestIdAllocator::new();
+/// let req = MemRequest {
+///     id: ids.next_id(), core: 0, mem: MemRef::new(128, 4),
+///     is_write: false, issued_at: 0,
+/// };
+/// mact.offer(req, 0);
+/// assert!(mact.tick(3).is_empty());      // before the deadline
+/// let batches = mact.tick(4);            // deadline expired
+/// assert_eq!(batches.len(), 1);
+/// assert_eq!(batches[0].requests.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Mact {
+    config: MactConfig,
+    lines: Vec<MactLine>,
+    ready: Vec<Batch>,
+    stats: MactStats,
+}
+
+impl Mact {
+    /// Creates an empty table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lines` is zero, `line_bytes` is not in 1..=64, or the
+    /// threshold is zero.
+    pub fn new(config: MactConfig) -> Self {
+        assert!(config.lines > 0, "MACT needs at least one line");
+        assert!((1..=64).contains(&config.line_bytes), "line bytes must be 1..=64");
+        assert!(config.threshold > 0, "threshold must be positive");
+        Self {
+            config,
+            lines: Vec::with_capacity(config.lines),
+            ready: Vec::new(),
+            stats: MactStats::default(),
+        }
+    }
+
+    /// Geometry and timing.
+    pub fn config(&self) -> MactConfig {
+        self.config
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &MactStats {
+        &self.stats
+    }
+
+    /// Number of currently open lines.
+    pub fn open_lines(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Total requests parked in open lines.
+    pub fn pending_requests(&self) -> usize {
+        self.lines.iter().map(|l| l.requests.len()).sum()
+    }
+
+    fn line_base(&self, addr: u64) -> u64 {
+        addr - addr % self.config.line_bytes
+    }
+
+    fn bitmap_for(&self, base: u64, addr: u64, bytes: u8) -> u64 {
+        let start = addr - base;
+        let mut bm = 0u64;
+        for b in start..start + u64::from(bytes) {
+            bm |= 1 << b;
+        }
+        bm
+    }
+
+    fn full_bitmap(&self) -> u64 {
+        if self.config.line_bytes == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.config.line_bytes) - 1
+        }
+    }
+
+    fn pack(&mut self, idx: usize, cause: FlushCause) -> Batch {
+        let line = self.lines.remove(idx);
+        self.stats.batches.inc();
+        self.stats.requests_per_batch.record(line.requests.len() as f64);
+        self.stats.flush_causes[match cause {
+            FlushCause::BitmapFull => 0,
+            FlushCause::Deadline => 1,
+            FlushCause::Capacity => 2,
+            FlushCause::Drain => 3,
+        }] += 1;
+        Batch {
+            base: line.base,
+            is_write: line.is_write,
+            bytes_referenced: line.bitmap.count_ones(),
+            span_bytes: self.config.line_bytes,
+            requests: line.requests,
+            opened_at: line.opened_at,
+            cause,
+        }
+    }
+
+    /// Offers a request to the table at cycle `now`.
+    ///
+    /// Ineligible requests come straight back as [`MactOutcome::Bypass`].
+    /// Collected requests complete when their line flushes (via
+    /// [`tick`](Self::tick) or an immediate bitmap-full/capacity flush,
+    /// which callers observe through [`drain_ready`](Self::drain_ready)).
+    pub fn offer(&mut self, req: MemRequest, now: Cycle) -> MactOutcome {
+        let base = self.line_base(req.mem.addr);
+        let crosses = self.line_base(req.mem.end() - 1) != base;
+        if !req.mact_eligible() || crosses || u64::from(req.mem.bytes) > self.config.line_bytes {
+            self.stats.bypassed.inc();
+            return MactOutcome::Bypass(req);
+        }
+        self.stats.collected.inc();
+        let bitmap = self.bitmap_for(base, req.mem.addr, req.mem.bytes);
+        // Merge into an existing line of the same type and tag.
+        if let Some(i) = self
+            .lines
+            .iter()
+            .position(|l| l.base == base && l.is_write == req.is_write)
+        {
+            self.lines[i].bitmap |= bitmap;
+            self.lines[i].requests.push(req);
+            if self.lines[i].bitmap == self.full_bitmap() {
+                let batch = self.pack(i, FlushCause::BitmapFull);
+                self.ready.push(batch);
+            }
+            return MactOutcome::Collected;
+        }
+        // Need a new line; spill the oldest when at capacity.
+        if self.lines.len() == self.config.lines {
+            let oldest = self
+                .lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.opened_at)
+                .map(|(i, _)| i)
+                .expect("table is non-empty");
+            let batch = self.pack(oldest, FlushCause::Capacity);
+            self.ready.push(batch);
+        }
+        self.lines.push(MactLine {
+            is_write: req.is_write,
+            base,
+            bitmap,
+            opened_at: now,
+            deadline: now + self.config.threshold,
+            requests: vec![req],
+        });
+        MactOutcome::Collected
+    }
+
+    /// Flushes lines whose deadline expired at `now` and returns every
+    /// batch that became ready (including bitmap-full / capacity flushes
+    /// accumulated since the last call).
+    pub fn tick(&mut self, now: Cycle) -> Vec<Batch> {
+        loop {
+            let Some(i) = self.lines.iter().position(|l| now >= l.deadline) else {
+                break;
+            };
+            let batch = self.pack(i, FlushCause::Deadline);
+            self.ready.push(batch);
+        }
+        self.record_waits(now);
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Drains batches flushed by `offer` (bitmap-full / capacity) without
+    /// advancing time.
+    pub fn drain_ready(&mut self) -> Vec<Batch> {
+        std::mem::take(&mut self.ready)
+    }
+
+    /// Flushes everything immediately (end of run).
+    pub fn drain_all(&mut self, now: Cycle) -> Vec<Batch> {
+        while !self.lines.is_empty() {
+            let batch = self.pack(0, FlushCause::Drain);
+            self.ready.push(batch);
+        }
+        self.record_waits(now);
+        std::mem::take(&mut self.ready)
+    }
+
+    fn record_waits(&mut self, now: Cycle) {
+        for batch in &self.ready {
+            for req in &batch.requests {
+                self.stats.wait_cycles.record((now.saturating_sub(req.issued_at)) as f64);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::RequestIdAllocator;
+    use smarco_isa::MemRef;
+
+    fn req(ids: &mut RequestIdAllocator, addr: u64, bytes: u8, write: bool) -> MemRequest {
+        MemRequest { id: ids.next_id(), core: 0, mem: MemRef::new(addr, bytes), is_write: write, issued_at: 0 }
+    }
+
+    fn mact(threshold: Cycle) -> Mact {
+        Mact::new(MactConfig { lines: 4, line_bytes: 64, threshold })
+    }
+
+    #[test]
+    fn merges_same_line_requests_into_one_batch() {
+        let mut m = mact(10);
+        let mut ids = RequestIdAllocator::new();
+        for i in 0..4 {
+            assert_eq!(m.offer(req(&mut ids, i * 8, 8, false), 0), MactOutcome::Collected);
+        }
+        assert_eq!(m.open_lines(), 1);
+        let batches = m.tick(10);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].requests.len(), 4);
+        assert_eq!(batches[0].bytes_referenced, 32);
+        assert_eq!(batches[0].cause, FlushCause::Deadline);
+    }
+
+    #[test]
+    fn reads_and_writes_use_separate_lines() {
+        let mut m = mact(10);
+        let mut ids = RequestIdAllocator::new();
+        m.offer(req(&mut ids, 0, 4, false), 0);
+        m.offer(req(&mut ids, 8, 4, true), 0);
+        assert_eq!(m.open_lines(), 2);
+    }
+
+    #[test]
+    fn bitmap_full_flushes_immediately() {
+        let mut m = mact(1000);
+        let mut ids = RequestIdAllocator::new();
+        for i in 0..7 {
+            m.offer(req(&mut ids, i * 8, 8, false), 0);
+            assert!(m.drain_ready().is_empty());
+        }
+        m.offer(req(&mut ids, 56, 8, false), 0);
+        let batches = m.drain_ready();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].cause, FlushCause::BitmapFull);
+        assert_eq!(batches[0].bytes_referenced, 64);
+        assert_eq!(m.open_lines(), 0);
+    }
+
+    #[test]
+    fn realtime_requests_bypass() {
+        let mut m = mact(10);
+        let mut ids = RequestIdAllocator::new();
+        let r = MemRequest {
+            id: ids.next_id(),
+            core: 0,
+            mem: MemRef::realtime(0, 4),
+            is_write: false,
+            issued_at: 0,
+        };
+        assert!(matches!(m.offer(r, 0), MactOutcome::Bypass(_)));
+        assert_eq!(m.stats().bypassed.get(), 1);
+        assert_eq!(m.open_lines(), 0);
+    }
+
+    #[test]
+    fn boundary_crossing_requests_bypass() {
+        let mut m = mact(10);
+        let mut ids = RequestIdAllocator::new();
+        // 8 bytes starting at 60 crosses the 64-byte boundary. Construct an
+        // unaligned ref directly.
+        let r = MemRequest {
+            id: ids.next_id(),
+            core: 0,
+            mem: MemRef::new(60, 8),
+            is_write: false,
+            issued_at: 0,
+        };
+        assert!(matches!(m.offer(r, 0), MactOutcome::Bypass(_)));
+    }
+
+    #[test]
+    fn capacity_pressure_spills_oldest() {
+        let mut m = mact(1000);
+        let mut ids = RequestIdAllocator::new();
+        for i in 0..4u64 {
+            m.offer(req(&mut ids, i * 64, 4, false), i);
+        }
+        assert_eq!(m.open_lines(), 4);
+        m.offer(req(&mut ids, 4 * 64, 4, false), 10);
+        let batches = m.drain_ready();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].cause, FlushCause::Capacity);
+        assert_eq!(batches[0].base, 0, "oldest line spilled first");
+        assert_eq!(m.open_lines(), 4);
+    }
+
+    #[test]
+    fn deadline_respects_threshold() {
+        let mut m = mact(16);
+        let mut ids = RequestIdAllocator::new();
+        m.offer(req(&mut ids, 0, 4, false), 5);
+        assert!(m.tick(20).is_empty());
+        let batches = m.tick(21);
+        assert_eq!(batches.len(), 1);
+    }
+
+    #[test]
+    fn drain_all_empties_table() {
+        let mut m = mact(1_000_000);
+        let mut ids = RequestIdAllocator::new();
+        for i in 0..3u64 {
+            m.offer(req(&mut ids, i * 64, 4, false), 0);
+        }
+        let batches = m.drain_all(5);
+        assert_eq!(batches.len(), 3);
+        assert!(batches.iter().all(|b| b.cause == FlushCause::Drain));
+        assert_eq!(m.open_lines(), 0);
+        assert_eq!(m.pending_requests(), 0);
+    }
+
+    #[test]
+    fn request_reduction_is_tracked() {
+        let mut m = mact(8);
+        let mut ids = RequestIdAllocator::new();
+        for i in 0..10 {
+            m.offer(req(&mut ids, (i % 8) * 8, 8, false), 0);
+        }
+        let _ = m.tick(100);
+        let s = m.stats();
+        assert_eq!(s.collected.get(), 10);
+        assert!(s.batches.get() < 10, "batching must reduce request count");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one line")]
+    fn zero_lines_rejected() {
+        let _ = Mact::new(MactConfig { lines: 0, ..MactConfig::default() });
+    }
+}

@@ -1,0 +1,205 @@
+//! The unified address space (§3.5.1: SPM is "initialized of unified
+//! addressing with main memory").
+//!
+//! Layout:
+//!
+//! ```text
+//! 0x0000_0000_0000 .. DRAM_BYTES                  main memory (DDR4)
+//! SPM_BASE + core*SPM_BYTES .. +SPM_BYTES         core's scratchpad window
+//!   (top SPM_CTRL_BYTES of each window are DMA control registers)
+//! ```
+//!
+//! LSQ units "check the address and judge whether to send the requirement
+//! to the cache or to the SPM" — that check is [`AddressSpace::classify`].
+
+/// Default DRAM capacity: 4 × 16 GB DDR4 (Table 2). Simulated runs touch a
+/// small fraction; the constant only bounds the map.
+pub const DRAM_BYTES: u64 = 64 << 30;
+
+/// Base of the SPM region in the unified address space.
+pub const SPM_BASE: u64 = 0x4000_0000_0000;
+
+/// Per-core scratchpad capacity (§3.1: 128 KB local memory).
+pub const SPM_BYTES: u64 = 128 << 10;
+
+/// Top-of-SPM control-register window (§3.5.1: "SPMs spare top 256 bytes
+/// space to act as control registers" for DMA source/dest/size).
+pub const SPM_CTRL_BYTES: u64 = 256;
+
+/// Where an address lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Main memory, with the owning DDR channel index.
+    Dram {
+        /// Interleaved DDR channel.
+        channel: usize,
+    },
+    /// A core's scratchpad data region.
+    Spm {
+        /// Owning core.
+        core: usize,
+        /// Byte offset within the SPM window.
+        offset: u64,
+    },
+    /// A core's SPM control registers (DMA programming).
+    SpmCtrl {
+        /// Owning core.
+        core: usize,
+        /// Register offset within the control window.
+        offset: u64,
+    },
+    /// Outside every mapped region.
+    Unmapped,
+}
+
+/// Address-space geometry: core count and DDR channel count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressSpace {
+    cores: usize,
+    channels: usize,
+    /// DDR interleave granularity in bytes.
+    interleave: u64,
+}
+
+impl AddressSpace {
+    /// SmarCo defaults: 256 cores, 4 DDR channels, 4 KB interleave.
+    pub fn smarco() -> Self {
+        Self::new(256, 4)
+    }
+
+    /// Creates a map for `cores` cores and `channels` DDR channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(cores: usize, channels: usize) -> Self {
+        assert!(cores > 0, "need at least one core");
+        assert!(channels > 0, "need at least one DDR channel");
+        Self { cores, channels, interleave: 4096 }
+    }
+
+    /// Number of cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Number of DDR channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Base address of `core`'s SPM window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn spm_base(&self, core: usize) -> u64 {
+        assert!(core < self.cores, "core {core} out of range");
+        SPM_BASE + core as u64 * SPM_BYTES
+    }
+
+    /// Classifies an address.
+    pub fn classify(&self, addr: u64) -> Region {
+        if addr < DRAM_BYTES {
+            return Region::Dram { channel: ((addr / self.interleave) % self.channels as u64) as usize };
+        }
+        if addr >= SPM_BASE {
+            let rel = addr - SPM_BASE;
+            let core = (rel / SPM_BYTES) as usize;
+            if core < self.cores {
+                let offset = rel % SPM_BYTES;
+                let data_bytes = SPM_BYTES - SPM_CTRL_BYTES;
+                return if offset < data_bytes {
+                    Region::Spm { core, offset }
+                } else {
+                    Region::SpmCtrl { core, offset: offset - data_bytes }
+                };
+            }
+        }
+        Region::Unmapped
+    }
+
+    /// Whether `addr` is scratchpad space (data or control) of any core.
+    pub fn is_spm(&self, addr: u64) -> bool {
+        matches!(self.classify(addr), Region::Spm { .. } | Region::SpmCtrl { .. })
+    }
+
+    /// DDR channel owning a DRAM address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not a DRAM address.
+    pub fn dram_channel(&self, addr: u64) -> usize {
+        match self.classify(addr) {
+            Region::Dram { channel } => channel,
+            other => panic!("address {addr:#x} is not DRAM ({other:?})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_addresses_classify_and_interleave() {
+        let a = AddressSpace::new(4, 4);
+        assert_eq!(a.classify(0), Region::Dram { channel: 0 });
+        assert_eq!(a.classify(4096), Region::Dram { channel: 1 });
+        assert_eq!(a.classify(4096 * 5), Region::Dram { channel: 1 });
+        assert_eq!(a.dram_channel(4096 * 2 + 17), 2);
+    }
+
+    #[test]
+    fn spm_windows_belong_to_cores() {
+        let a = AddressSpace::new(8, 4);
+        let base = a.spm_base(3);
+        assert_eq!(a.classify(base), Region::Spm { core: 3, offset: 0 });
+        assert_eq!(a.classify(base + 100), Region::Spm { core: 3, offset: 100 });
+        assert!(a.is_spm(base));
+        assert!(!a.is_spm(0x1000));
+    }
+
+    #[test]
+    fn control_registers_at_top_of_window() {
+        let a = AddressSpace::new(2, 1);
+        let base = a.spm_base(1);
+        let ctrl_start = base + SPM_BYTES - SPM_CTRL_BYTES;
+        assert_eq!(a.classify(ctrl_start), Region::SpmCtrl { core: 1, offset: 0 });
+        assert_eq!(a.classify(ctrl_start + 255), Region::SpmCtrl { core: 1, offset: 255 });
+        // One byte below control space is still data.
+        assert!(matches!(a.classify(ctrl_start - 1), Region::Spm { core: 1, .. }));
+    }
+
+    #[test]
+    fn out_of_range_addresses_unmapped() {
+        let a = AddressSpace::new(2, 1);
+        let past_last = SPM_BASE + 2 * SPM_BYTES;
+        assert_eq!(a.classify(past_last), Region::Unmapped);
+        assert_eq!(a.classify(DRAM_BYTES + 1), Region::Unmapped);
+    }
+
+    #[test]
+    fn smarco_defaults() {
+        let a = AddressSpace::smarco();
+        assert_eq!(a.cores(), 256);
+        assert_eq!(a.channels(), 4);
+        // Every core's SPM window classifies back to that core.
+        for core in [0usize, 17, 255] {
+            assert_eq!(a.classify(a.spm_base(core)), Region::Spm { core, offset: 0 });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not DRAM")]
+    fn dram_channel_rejects_spm_address() {
+        let a = AddressSpace::new(2, 2);
+        a.dram_channel(a.spm_base(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn spm_base_bounds_checked() {
+        AddressSpace::new(2, 2).spm_base(2);
+    }
+}

@@ -1,0 +1,191 @@
+//! Processing-in-memory scan unit — the paper's §7 future work ("apply
+//! in-memory computing techniques to handle those simple and fixed
+//! computing patterns, such as string matching, to further reduce data
+//! volume that needs to be transferred between memory and cores").
+//!
+//! A PIM scan command sweeps a memory range *inside* the DRAM device at
+//! internal row bandwidth (far above the channel's IO rate) and returns
+//! only the match result — the channel carries a command descriptor and a
+//! small result instead of the whole text. The unit occupies its
+//! channel's banks while scanning, so concurrent demand traffic to that
+//! channel still queues behind it realistically.
+
+use smarco_sim::event::EventWheel;
+use smarco_sim::stats::Counter;
+use smarco_sim::Cycle;
+
+/// PIM scan-unit parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PimConfig {
+    /// Channels with a scan unit (must match the DRAM's channel count).
+    pub channels: usize,
+    /// Internal scan bandwidth per channel in bytes per core cycle —
+    /// row-buffer bandwidth, several times the channel IO rate.
+    pub scan_bytes_per_cycle: f64,
+    /// Fixed cycles per command (issue, row activation, result return).
+    pub command_overhead: Cycle,
+}
+
+impl PimConfig {
+    /// SmarCo-attached defaults: internal scanning at 4× the channel IO
+    /// rate (22.75 B/cy IO → 91 B/cy internal row bandwidth).
+    pub fn smarco() -> Self {
+        Self { channels: 4, scan_bytes_per_cycle: 91.0, command_overhead: 60 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ScanChannel {
+    busy_until: Cycle,
+    bytes_scanned: u64,
+}
+
+/// Per-channel PIM scan units; completed commands return their payload.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_mem::pim::{PimConfig, PimUnit};
+///
+/// let mut pim: PimUnit<&str> = PimUnit::new(PimConfig::smarco());
+/// pim.submit(0, 64 << 10, 0, "find 'GET /video'");
+/// let mut done = Vec::new();
+/// for now in 0..2_000 {
+///     done.extend(pim.tick(now));
+/// }
+/// assert_eq!(done, vec!["find 'GET /video'"]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PimUnit<T> {
+    config: PimConfig,
+    channels: Vec<ScanChannel>,
+    completions: EventWheel<T>,
+    commands: Counter,
+}
+
+impl<T> PimUnit<T> {
+    /// Creates idle scan units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels` is zero or the bandwidth is non-positive.
+    pub fn new(config: PimConfig) -> Self {
+        assert!(config.channels > 0, "need at least one channel");
+        assert!(config.scan_bytes_per_cycle > 0.0, "scan bandwidth must be positive");
+        Self {
+            config,
+            channels: vec![ScanChannel { busy_until: 0, bytes_scanned: 0 }; config.channels],
+            completions: EventWheel::new(),
+            commands: Counter::new(),
+        }
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> PimConfig {
+        self.config
+    }
+
+    /// Submits a scan of `bytes` on `channel` at `now`; the payload comes
+    /// back from [`tick`](Self::tick) when the scan completes. Scans on
+    /// one channel serialize (they own the banks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range or `bytes` is zero.
+    pub fn submit(&mut self, channel: usize, bytes: u64, now: Cycle, payload: T) {
+        assert!(channel < self.channels.len(), "channel {channel} out of range");
+        assert!(bytes > 0, "zero-byte scan");
+        let scan = (bytes as f64 / self.config.scan_bytes_per_cycle).ceil() as Cycle;
+        let ch = &mut self.channels[channel];
+        let start = ch.busy_until.max(now);
+        let done = start + self.config.command_overhead + scan.max(1);
+        ch.busy_until = done;
+        ch.bytes_scanned += bytes;
+        self.commands.inc();
+        self.completions.schedule(done, payload);
+    }
+
+    /// Returns payloads of scans that completed at or before `now`.
+    pub fn tick(&mut self, now: Cycle) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(p) = self.completions.pop_due(now) {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Whether all channels are idle.
+    pub fn is_idle(&self) -> bool {
+        self.completions.is_empty()
+    }
+
+    /// Commands accepted so far.
+    pub fn commands(&self) -> u64 {
+        self.commands.get()
+    }
+
+    /// Total bytes scanned in-memory (bytes that never crossed the
+    /// channel).
+    pub fn bytes_scanned(&self) -> u64 {
+        self.channels.iter().map(|c| c.bytes_scanned).sum()
+    }
+
+    /// The cycle at which `channel` frees up (for co-scheduling demand
+    /// traffic around scans).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn busy_until(&self, channel: usize) -> Cycle {
+        self.channels[channel].busy_until
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pim() -> PimUnit<u32> {
+        PimUnit::new(PimConfig { channels: 2, scan_bytes_per_cycle: 64.0, command_overhead: 10 })
+    }
+
+    #[test]
+    fn scan_takes_overhead_plus_sweep() {
+        let mut p = pim();
+        p.submit(0, 6400, 0, 1); // 100 cycles sweep + 10 overhead
+        assert!(p.tick(109).is_empty());
+        assert_eq!(p.tick(110), vec![1]);
+        assert!(p.is_idle());
+    }
+
+    #[test]
+    fn scans_serialize_per_channel_but_overlap_across() {
+        let mut p = pim();
+        p.submit(0, 640, 0, 1); // done 20
+        p.submit(0, 640, 0, 2); // done 40
+        p.submit(1, 640, 0, 3); // done 20
+        let mut done = Vec::new();
+        for now in 0..=50 {
+            for v in p.tick(now) {
+                done.push((now, v));
+            }
+        }
+        assert_eq!(done, vec![(20, 1), (20, 3), (40, 2)]);
+        assert_eq!(p.commands(), 3);
+        assert_eq!(p.bytes_scanned(), 1920);
+    }
+
+    #[test]
+    fn busy_until_tracks_queue() {
+        let mut p = pim();
+        p.submit(0, 6400, 5, 9);
+        assert_eq!(p.busy_until(0), 5 + 110);
+        assert_eq!(p.busy_until(1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-byte")]
+    fn zero_scan_rejected() {
+        pim().submit(0, 0, 0, 1);
+    }
+}

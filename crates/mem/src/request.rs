@@ -1,0 +1,88 @@
+//! Request/response types flowing between cores, MACT, NoC and DRAM.
+
+use smarco_isa::MemRef;
+use smarco_sim::Cycle;
+
+/// Unique identifier of an in-flight memory request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(u64);
+
+impl RequestId {
+    /// Raw value (for logging).
+    pub fn raw(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Allocates unique [`RequestId`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RequestIdAllocator(u64);
+
+impl RequestIdAllocator {
+    /// Creates an allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a fresh id.
+    pub fn next_id(&mut self) -> RequestId {
+        let id = RequestId(self.0);
+        self.0 += 1;
+        id
+    }
+}
+
+/// A memory request as seen by the uncore (MACT, NoC, DRAM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRequest {
+    /// Unique id used to match the response.
+    pub id: RequestId,
+    /// Issuing core.
+    pub core: usize,
+    /// Address, width and priority.
+    pub mem: MemRef,
+    /// Write (true) or read (false).
+    pub is_write: bool,
+    /// Cycle the core issued it (for end-to-end latency stats).
+    pub issued_at: Cycle,
+}
+
+impl MemRequest {
+    /// Whether this request may be collected by the MACT (§3.4: requests
+    /// "marked of superior real-time priority" bypass the table).
+    pub fn mact_eligible(&self) -> bool {
+        self.mem.priority == smarco_isa::Priority::Normal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_isa::MemRef;
+
+    #[test]
+    fn ids_are_unique_and_ordered() {
+        let mut alloc = RequestIdAllocator::new();
+        let a = alloc.next_id();
+        let b = alloc.next_id();
+        assert_ne!(a, b);
+        assert!(a < b);
+        assert_eq!(a.raw(), 0);
+        assert_eq!(b.raw(), 1);
+    }
+
+    #[test]
+    fn realtime_requests_bypass_mact() {
+        let mut alloc = RequestIdAllocator::new();
+        let normal = MemRequest {
+            id: alloc.next_id(),
+            core: 0,
+            mem: MemRef::new(64, 4),
+            is_write: false,
+            issued_at: 0,
+        };
+        let rt = MemRequest { mem: MemRef::realtime(64, 4), ..normal };
+        assert!(normal.mact_eligible());
+        assert!(!rt.mact_eligible());
+    }
+}

@@ -1,0 +1,203 @@
+//! Programmer-managed scratchpad memory (§3.5.1).
+//!
+//! SPM offers predictable low latency and, versus a cache, no tag overhead:
+//! software (or the MapReduce runtime) decides what lives there. We model
+//! *residency* at block granularity: a load/store to the SPM window hits if
+//! every touched block is resident; otherwise the core sees an SPM miss and
+//! data is exchanged with main memory (by DMA or demand fill), exactly the
+//! event that triggers an in-pair thread switch.
+
+use smarco_sim::stats::Ratio;
+
+use crate::map::{SPM_BYTES, SPM_CTRL_BYTES};
+
+/// Residency-tracking block size in bytes (64 B: fine enough that a
+/// demand-filled word does not spuriously make far neighbours hit).
+pub const SPM_BLOCK_BYTES: u64 = 64;
+
+/// One core's scratchpad.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_mem::Spm;
+///
+/// let mut spm = Spm::new();
+/// assert!(!spm.access(0, 8)); // nothing resident yet
+/// spm.make_resident(0, 4096);
+/// assert!(spm.access(0, 8));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spm {
+    resident: Vec<bool>,
+    stats: SpmStats,
+}
+
+/// SPM access statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpmStats {
+    /// Accesses by hit/miss.
+    pub accesses: Ratio,
+    /// Bytes made resident (fills + prefetches).
+    pub bytes_filled: u64,
+}
+
+impl Default for Spm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Spm {
+    /// Creates an empty scratchpad of the architectural size (128 KB minus
+    /// the control window).
+    pub fn new() -> Self {
+        let blocks = (Self::data_bytes() / SPM_BLOCK_BYTES) as usize;
+        Self { resident: vec![false; blocks], stats: SpmStats::default() }
+    }
+
+    /// Usable data capacity in bytes.
+    pub fn data_bytes() -> u64 {
+        SPM_BYTES - SPM_CTRL_BYTES
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> SpmStats {
+        self.stats
+    }
+
+    fn block_range(offset: u64, bytes: u64) -> (usize, usize) {
+        let first = (offset / SPM_BLOCK_BYTES) as usize;
+        let last = ((offset + bytes - 1) / SPM_BLOCK_BYTES) as usize;
+        (first, last)
+    }
+
+    /// Accesses `bytes` at `offset` in the SPM window, recording the
+    /// hit/miss; returns whether all touched blocks were resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the access overruns the data region or `bytes` is zero.
+    pub fn access(&mut self, offset: u64, bytes: u64) -> bool {
+        assert!(bytes > 0, "zero-length SPM access");
+        assert!(offset + bytes <= Self::data_bytes(), "SPM access out of bounds");
+        let (first, last) = Self::block_range(offset, bytes);
+        let hit = self.resident[first..=last].iter().all(|&r| r);
+        self.stats.accesses.record(hit);
+        hit
+    }
+
+    /// Residency check without recording statistics.
+    pub fn is_resident(&self, offset: u64, bytes: u64) -> bool {
+        assert!(bytes > 0, "zero-length SPM probe");
+        assert!(offset + bytes <= Self::data_bytes(), "SPM probe out of bounds");
+        let (first, last) = Self::block_range(offset, bytes);
+        self.resident[first..=last].iter().all(|&r| r)
+    }
+
+    /// Marks `[offset, offset + bytes)` resident (demand fill, DMA arrival
+    /// or instruction-segment prefetch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overruns the data region or `bytes` is zero.
+    pub fn make_resident(&mut self, offset: u64, bytes: u64) {
+        assert!(bytes > 0, "zero-length SPM fill");
+        assert!(offset + bytes <= Self::data_bytes(), "SPM fill out of bounds");
+        let (first, last) = Self::block_range(offset, bytes);
+        for b in &mut self.resident[first..=last] {
+            *b = true;
+        }
+        self.stats.bytes_filled += bytes;
+    }
+
+    /// Marks `[offset, offset + bytes)` non-resident (data returned to
+    /// memory to make room).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overruns the data region or `bytes` is zero.
+    pub fn evict(&mut self, offset: u64, bytes: u64) {
+        assert!(bytes > 0, "zero-length SPM evict");
+        assert!(offset + bytes <= Self::data_bytes(), "SPM evict out of bounds");
+        let (first, last) = Self::block_range(offset, bytes);
+        for b in &mut self.resident[first..=last] {
+            *b = false;
+        }
+    }
+
+    /// Fraction of blocks currently resident.
+    pub fn occupancy(&self) -> f64 {
+        self.resident.iter().filter(|&&r| r).count() as f64 / self.resident.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_make_accesses_hit() {
+        let mut s = Spm::new();
+        assert!(!s.access(1000, 4));
+        s.make_resident(512, 1024);
+        assert!(s.access(1000, 4));
+        assert!(s.is_resident(512, 1024));
+        assert!(!s.is_resident(0, 4));
+    }
+
+    #[test]
+    fn straddling_access_needs_both_blocks() {
+        let mut s = Spm::new();
+        s.make_resident(0, SPM_BLOCK_BYTES); // block 0 only
+        assert!(s.access(SPM_BLOCK_BYTES - 4, 4)); // entirely in block 0
+        assert!(!s.access(SPM_BLOCK_BYTES - 4, 8)); // straddles into block 1
+        s.make_resident(SPM_BLOCK_BYTES, 1);
+        assert!(s.access(SPM_BLOCK_BYTES - 4, 8));
+    }
+
+    #[test]
+    fn evict_clears_residency() {
+        let mut s = Spm::new();
+        s.make_resident(0, 4096);
+        s.evict(0, 4096);
+        assert!(!s.access(0, 4));
+        assert_eq!(s.occupancy(), 0.0);
+    }
+
+    #[test]
+    fn occupancy_tracks_blocks() {
+        let mut s = Spm::new();
+        assert_eq!(s.occupancy(), 0.0);
+        s.make_resident(0, Spm::data_bytes());
+        assert_eq!(s.occupancy(), 1.0);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Spm::new();
+        s.access(0, 4);
+        s.make_resident(0, 256);
+        s.access(0, 4);
+        assert_eq!(s.stats().accesses.total(), 2);
+        assert_eq!(s.stats().accesses.hits(), 1);
+        assert_eq!(s.stats().bytes_filled, 256);
+    }
+
+    #[test]
+    fn data_capacity_excludes_control_window() {
+        assert_eq!(Spm::data_bytes(), (128 << 10) - 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_access_rejected() {
+        Spm::new().access(Spm::data_bytes(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_access_rejected() {
+        Spm::new().access(0, 0);
+    }
+}

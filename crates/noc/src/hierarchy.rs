@@ -1,0 +1,567 @@
+//! The full hierarchical-ring topology (Fig. 4).
+//!
+//! 16 sub-rings of 16 cores each hang off one main ring through junction
+//! routers. Four DDR controllers sit on the main ring with equal spacing;
+//! the main scheduler and the PCIe host interface are attached as well.
+//! A packet from a core to memory rides its sub-ring to the junction,
+//! bridges, rides the main ring to the controller, and is delivered;
+//! replies take the reverse path.
+
+use std::collections::HashMap;
+
+use smarco_sim::event::EventWheel;
+use smarco_sim::stats::{Histogram, MeanTracker};
+use smarco_sim::Cycle;
+
+use crate::link::{LinkConfig, Transmittable};
+use crate::packet::{NodeId, Packet};
+use crate::ring::Ring;
+
+/// Topology parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Number of sub-rings (16 in SmarCo).
+    pub subrings: usize,
+    /// Cores per sub-ring (16 in SmarCo).
+    pub cores_per_subring: usize,
+    /// DDR controllers on the main ring (4 in SmarCo).
+    pub mem_ctrls: usize,
+    /// Main-ring channel geometry.
+    pub main_link: LinkConfig,
+    /// Sub-ring channel geometry.
+    pub sub_link: LinkConfig,
+    /// Cycles to cross a junction router between rings.
+    pub junction_latency: Cycle,
+}
+
+impl NocConfig {
+    /// The paper's full configuration: 256 cores, 512-bit main ring,
+    /// 256-bit sub-rings, 4 DDR controllers.
+    pub fn smarco() -> Self {
+        Self {
+            subrings: 16,
+            cores_per_subring: 16,
+            mem_ctrls: 4,
+            main_link: LinkConfig::main_ring(),
+            sub_link: LinkConfig::sub_ring(),
+            junction_latency: 2,
+        }
+    }
+
+    /// A small configuration for fast tests: 4 sub-rings × 4 cores.
+    pub fn tiny() -> Self {
+        Self {
+            subrings: 4,
+            cores_per_subring: 4,
+            mem_ctrls: 2,
+            main_link: LinkConfig::main_ring(),
+            sub_link: LinkConfig::sub_ring(),
+            junction_latency: 2,
+        }
+    }
+
+    /// Total core count.
+    pub fn cores(&self) -> usize {
+        self.subrings * self.cores_per_subring
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero counts, invalid link configs, or a controller count
+    /// that does not divide the sub-ring count (needed for equal spacing).
+    pub fn validate(&self) {
+        assert!(self.subrings > 0 && self.cores_per_subring > 0, "zero topology");
+        assert!(self.mem_ctrls > 0, "need at least one memory controller");
+        assert!(
+            self.subrings % self.mem_ctrls == 0,
+            "controllers must divide sub-rings for equal spacing"
+        );
+        assert!(self.junction_latency > 0, "junction latency must be positive");
+        self.main_link.validate();
+        self.sub_link.validate();
+    }
+}
+
+impl<P> Transmittable for Packet<P> {
+    fn bytes(&self) -> u32 {
+        self.bytes
+    }
+    fn realtime(&self) -> bool {
+        self.realtime
+    }
+}
+
+/// End-to-end delivery statistics.
+#[derive(Debug, Clone, Default)]
+pub struct NocStats {
+    /// Packets delivered to their destination endpoint.
+    pub delivered: u64,
+    /// End-to-end latency (cycles).
+    pub latency: MeanTracker,
+    /// Latency distribution (power-of-two buckets) — the latency
+    /// *predictability* the paper prizes in rings.
+    pub latency_hist: Histogram,
+}
+
+/// The hierarchical-ring NoC, generic over packet payload `P`.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_noc::{HierarchicalRing, NocConfig, Packet};
+/// use smarco_noc::packet::NodeId;
+///
+/// let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+/// noc.inject(Packet::new(0, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, ()), 0);
+/// let mut delivered = Vec::new();
+/// for now in 0..200 {
+///     delivered.extend(noc.tick(now));
+/// }
+/// assert_eq!(delivered.len(), 1);
+/// assert_eq!(delivered[0].dst, NodeId::MemCtrl(0));
+/// ```
+#[derive(Debug)]
+pub struct HierarchicalRing<P> {
+    config: NocConfig,
+    subrings: Vec<Ring<Packet<P>>>,
+    main: Ring<Packet<P>>,
+    /// Position of each main-ring endpoint.
+    main_pos: HashMap<NodeId, usize>,
+    /// Junction position on the main ring, per sub-ring.
+    junction_main_pos: Vec<usize>,
+    /// Packets crossing a junction, delayed by `junction_latency`.
+    bridge_to_main: EventWheel<Packet<P>>,
+    bridge_to_sub: EventWheel<Packet<P>>,
+    stats: NocStats,
+}
+
+impl<P> HierarchicalRing<P> {
+    /// Builds the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NocConfig::validate`]).
+    pub fn new(config: NocConfig) -> Self {
+        config.validate();
+        let sub_positions = config.cores_per_subring + 1; // cores + junction
+        let subrings =
+            (0..config.subrings).map(|_| Ring::new(sub_positions, config.sub_link)).collect();
+        // Main-ring layout: junctions in order, a memory controller after
+        // every `subrings / mem_ctrls` junctions, then scheduler and host.
+        let mut main_pos = HashMap::new();
+        let mut junction_main_pos = vec![0usize; config.subrings];
+        let group = config.subrings / config.mem_ctrls;
+        let mut pos = 0usize;
+        let mut mc = 0usize;
+        for sr in 0..config.subrings {
+            junction_main_pos[sr] = pos;
+            pos += 1;
+            if (sr + 1) % group == 0 {
+                main_pos.insert(NodeId::MemCtrl(mc), pos);
+                mc += 1;
+                pos += 1;
+            }
+        }
+        main_pos.insert(NodeId::MainScheduler, pos);
+        pos += 1;
+        main_pos.insert(NodeId::Host, pos);
+        pos += 1;
+        let main = Ring::new(pos, config.main_link);
+        Self {
+            config,
+            subrings,
+            main,
+            main_pos,
+            junction_main_pos,
+            bridge_to_main: EventWheel::new(),
+            bridge_to_sub: EventWheel::new(),
+            stats: NocStats::default(),
+        }
+    }
+
+    /// Topology parameters.
+    pub fn config(&self) -> NocConfig {
+        self.config
+    }
+
+    /// Delivery statistics.
+    pub fn stats(&self) -> &NocStats {
+        &self.stats
+    }
+
+    /// `(sub-ring, position)` of a core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core id is out of range.
+    pub fn core_location(&self, core: usize) -> (usize, usize) {
+        assert!(core < self.config.cores(), "core {core} out of range");
+        (core / self.config.cores_per_subring, core % self.config.cores_per_subring)
+    }
+
+    fn main_exit_for(&self, dst: NodeId) -> usize {
+        match dst {
+            NodeId::Core(c) => self.junction_main_pos[self.core_location(c).0],
+            NodeId::Junction(sr) => {
+                assert!(sr < self.junction_main_pos.len(), "unknown junction {sr}");
+                self.junction_main_pos[sr]
+            }
+            other => *self
+                .main_pos
+                .get(&other)
+                .unwrap_or_else(|| panic!("unknown main-ring endpoint {other:?}")),
+        }
+    }
+
+    fn deliver(&mut self, pkt: Packet<P>, now: Cycle) -> Packet<P> {
+        self.stats.delivered += 1;
+        let lat = now.saturating_sub(pkt.injected_at);
+        self.stats.latency.record(lat as f64);
+        self.stats.latency_hist.record(lat);
+        pkt
+    }
+
+    /// Injects a packet at its source endpoint at cycle `now`.
+    ///
+    /// Returns the packet immediately if source and destination coincide.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source or destination endpoint does not exist.
+    pub fn inject(&mut self, pkt: Packet<P>, now: Cycle) -> Option<Packet<P>> {
+        if pkt.src == pkt.dst {
+            return Some(self.deliver(pkt, now));
+        }
+        match pkt.src {
+            NodeId::Core(c) => {
+                let (sr, pos) = self.core_location(c);
+                let junction = self.config.cores_per_subring;
+                let exit = match pkt.dst {
+                    NodeId::Core(d) => {
+                        let (dsr, dpos) = self.core_location(d);
+                        if dsr == sr {
+                            dpos
+                        } else {
+                            junction
+                        }
+                    }
+                    _ => junction,
+                };
+                if let Some(p) = self.subrings[sr].inject(pos, exit, pkt) {
+                    // Exit reached instantly: either a same-position core
+                    // (impossible: src != dst) or… exit == pos can only
+                    // happen for distinct cores at same pos, which cannot
+                    // occur; treat as bridge-from-junction anyway.
+                    self.bridge_to_main.schedule(now + self.config.junction_latency, p);
+                }
+                None
+            }
+            NodeId::Junction(sr) => {
+                // A junction-resident structure (MACT) sources packets
+                // either down into its own sub-ring or out onto the main
+                // ring.
+                assert!(sr < self.subrings.len(), "unknown junction {sr}");
+                let junction = self.config.cores_per_subring;
+                match pkt.dst {
+                    NodeId::Core(d) if self.core_location(d).0 == sr => {
+                        let dpos = self.core_location(d).1;
+                        if let Some(p) = self.subrings[sr].inject(junction, dpos, pkt) {
+                            return Some(self.deliver(p, now));
+                        }
+                        None
+                    }
+                    _ => {
+                        let at = self.junction_main_pos[sr];
+                        let exit = self.main_exit_for(pkt.dst);
+                        if let Some(p) = self.main.inject(at, exit, pkt) {
+                            if matches!(p.dst, NodeId::Core(_)) {
+                                self.bridge_to_sub
+                                    .schedule(now + self.config.junction_latency, p);
+                                return None;
+                            }
+                            return Some(self.deliver(p, now));
+                        }
+                        None
+                    }
+                }
+            }
+            NodeId::MemCtrl(_) | NodeId::MainScheduler | NodeId::Host => {
+                let at = self.main_exit_for(pkt.src);
+                let exit = self.main_exit_for(pkt.dst);
+                if let Some(p) = self.main.inject(at, exit, pkt) {
+                    // Destination shares the position only when it *is* the
+                    // destination junction: bridge down.
+                    if matches!(p.dst, NodeId::Core(_)) {
+                        self.bridge_to_sub.schedule(now + self.config.junction_latency, p);
+                        return None;
+                    }
+                    return Some(self.deliver(p, now));
+                }
+                None
+            }
+        }
+    }
+
+    /// Advances one cycle; returns packets delivered to their destination
+    /// endpoints.
+    pub fn tick(&mut self, now: Cycle) -> Vec<Packet<P>> {
+        let mut out = Vec::new();
+        // Junction crossings that completed this cycle.
+        while let Some(pkt) = self.bridge_to_main.pop_due(now) {
+            let (sr, _) = match pkt.src {
+                NodeId::Core(c) => self.core_location(c),
+                _ => unreachable!("only core packets bridge upward"),
+            };
+            let at = self.junction_main_pos[sr];
+            let exit = self.main_exit_for(pkt.dst);
+            if let Some(p) = self.main.inject(at, exit, pkt) {
+                if matches!(p.dst, NodeId::Core(_)) {
+                    self.bridge_to_sub.schedule(now + self.config.junction_latency, p);
+                } else {
+                    out.push(self.deliver(p, now));
+                }
+            }
+        }
+        while let Some(pkt) = self.bridge_to_sub.pop_due(now) {
+            let NodeId::Core(d) = pkt.dst else {
+                unreachable!("only core packets bridge downward");
+            };
+            let (sr, dpos) = self.core_location(d);
+            let junction = self.config.cores_per_subring;
+            if let Some(p) = self.subrings[sr].inject(junction, dpos, pkt) {
+                out.push(self.deliver(p, now));
+            }
+        }
+        // Sub-rings.
+        for sr in 0..self.subrings.len() {
+            for (pos, _hops, pkt) in self.subrings[sr].tick(now) {
+                if pos == self.config.cores_per_subring {
+                    if pkt.dst == NodeId::Junction(sr) {
+                        // Addressed to this junction's own structures.
+                        out.push(self.deliver(pkt, now));
+                    } else {
+                        // Climb to the main ring.
+                        self.bridge_to_main.schedule(now + self.config.junction_latency, pkt);
+                    }
+                } else {
+                    out.push(self.deliver(pkt, now));
+                }
+            }
+        }
+        // Main ring.
+        let mut main_deliveries = self.main.tick(now);
+        for (pos, _hops, pkt) in main_deliveries.drain(..) {
+            if matches!(pkt.dst, NodeId::Core(_)) {
+                debug_assert!(self.junction_main_pos.contains(&pos));
+                self.bridge_to_sub.schedule(now + self.config.junction_latency, pkt);
+            } else {
+                out.push(self.deliver(pkt, now));
+            }
+        }
+        out
+    }
+
+    /// Whether nothing is queued or in flight anywhere.
+    pub fn is_idle(&self) -> bool {
+        self.bridge_to_main.is_empty()
+            && self.bridge_to_sub.is_empty()
+            && self.main.is_idle()
+            && self.subrings.iter().all(|r| r.is_idle())
+    }
+
+    /// Mean payload utilization of the main ring's channels.
+    pub fn main_ring_utilization(&self) -> f64 {
+        self.main.payload_utilization()
+    }
+
+    /// Mean payload utilization across sub-ring channels.
+    pub fn subring_utilization(&self) -> f64 {
+        let sum: f64 = self.subrings.iter().map(|r| r.payload_utilization()).sum();
+        sum / self.subrings.len() as f64
+    }
+
+    /// Congestion (queued output bytes) at a core's sub-ring router —
+    /// used by cores to decide when the direct datapath is worthwhile.
+    pub fn congestion_at_core(&self, core: usize) -> u64 {
+        let (sr, pos) = self.core_location(core);
+        self.subrings[sr].congestion_at(pos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run<P>(noc: &mut HierarchicalRing<P>, cycles: Cycle) -> Vec<(Cycle, Packet<P>)> {
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            for p in noc.tick(now) {
+                out.push((now, p));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn core_to_memory_and_back() {
+        let mut noc: HierarchicalRing<u32> = HierarchicalRing::new(NocConfig::tiny());
+        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, 42), 0);
+        let d = run(&mut noc, 200);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.payload, 42);
+        let t = d[0].0;
+        // Reply path.
+        noc.inject(Packet::new(2, NodeId::MemCtrl(0), NodeId::Core(0), 64, t, 43), t);
+        let d2 = run(&mut noc, 400);
+        assert_eq!(d2.len(), 1);
+        assert_eq!(d2[0].1.dst, NodeId::Core(0));
+        assert!(noc.is_idle());
+    }
+
+    #[test]
+    fn same_subring_core_to_core_stays_local() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::Core(3), 8, 0, ()), 0);
+        let d = run(&mut noc, 50);
+        assert_eq!(d.len(), 1);
+        // Local traffic should be fast: a handful of cycles.
+        assert!(d[0].0 < 10, "took {} cycles", d[0].0);
+    }
+
+    #[test]
+    fn cross_subring_core_to_core() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        let last = noc.config().cores() - 1;
+        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::Core(last), 8, 0, ()), 0);
+        let d = run(&mut noc, 300);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.dst, NodeId::Core(last));
+    }
+
+    #[test]
+    fn host_and_scheduler_reachable() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        noc.inject(Packet::new(1, NodeId::Core(5), NodeId::Host, 4, 0, ()), 0);
+        noc.inject(Packet::new(2, NodeId::Host, NodeId::MainScheduler, 4, 0, ()), 0);
+        noc.inject(Packet::new(3, NodeId::MainScheduler, NodeId::Core(7), 4, 0, ()), 0);
+        let d = run(&mut noc, 300);
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn all_cores_to_all_mcs_delivered_exactly_once() {
+        let mut noc: HierarchicalRing<(usize, usize)> = HierarchicalRing::new(NocConfig::tiny());
+        let mut id = 0;
+        let mut expected = 0;
+        for c in 0..noc.config().cores() {
+            for m in 0..noc.config().mem_ctrls {
+                noc.inject(
+                    Packet::new(id, NodeId::Core(c), NodeId::MemCtrl(m), 8, 0, (c, m)),
+                    0,
+                );
+                id += 1;
+                expected += 1;
+            }
+        }
+        let d = run(&mut noc, 2000);
+        assert_eq!(d.len(), expected);
+        assert!(noc.is_idle());
+        // Every (core, mc) pair appears exactly once.
+        let mut seen: Vec<(usize, usize)> = d.iter().map(|(_, p)| p.payload).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), expected);
+        assert_eq!(noc.stats().delivered, expected as u64);
+        assert!(noc.stats().latency.mean() > 0.0);
+    }
+
+    #[test]
+    fn full_smarco_topology_builds_and_routes() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::smarco());
+        noc.inject(Packet::new(1, NodeId::Core(255), NodeId::MemCtrl(3), 8, 0, ()), 0);
+        noc.inject(Packet::new(2, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, ()), 0);
+        let d = run(&mut noc, 500);
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn self_delivery_short_circuits() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        let p = noc.inject(Packet::new(1, NodeId::Host, NodeId::Host, 4, 3, ()), 3);
+        assert!(p.is_some());
+        assert_eq!(noc.stats().delivered, 1);
+    }
+
+    #[test]
+    fn core_location_mapping() {
+        let noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::smarco());
+        assert_eq!(noc.core_location(0), (0, 0));
+        assert_eq!(noc.core_location(16), (1, 0));
+        assert_eq!(noc.core_location(255), (15, 15));
+    }
+
+    #[test]
+    fn junction_receives_from_local_cores() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        // Core 1 lives on sub-ring 0; its junction is addressable.
+        noc.inject(Packet::new(1, NodeId::Core(1), NodeId::Junction(0), 4, 0, ()), 0);
+        let d = run(&mut noc, 50);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.dst, NodeId::Junction(0));
+        assert!(d[0].0 < 10, "local junction should be close");
+    }
+
+    #[test]
+    fn junction_sources_packets_both_ways() {
+        let mut noc: HierarchicalRing<u8> = HierarchicalRing::new(NocConfig::tiny());
+        // Down into its own sub-ring…
+        noc.inject(Packet::new(1, NodeId::Junction(0), NodeId::Core(2), 8, 0, 1), 0);
+        // …and out over the main ring to a memory controller.
+        noc.inject(Packet::new(2, NodeId::Junction(1), NodeId::MemCtrl(0), 8, 0, 2), 0);
+        // …and to a core in ANOTHER sub-ring (main ring + bridge down).
+        let far = noc.config().cores() - 1;
+        noc.inject(Packet::new(3, NodeId::Junction(0), NodeId::Core(far), 8, 0, 3), 0);
+        let d = run(&mut noc, 300);
+        let mut got: Vec<u8> = d.iter().map(|(_, p)| p.payload).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2, 3]);
+        assert!(noc.is_idle());
+    }
+
+    #[test]
+    fn mem_ctrl_reaches_junction() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        noc.inject(Packet::new(1, NodeId::MemCtrl(1), NodeId::Junction(3), 64, 0, ()), 0);
+        let d = run(&mut noc, 200);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1.dst, NodeId::Junction(3));
+    }
+
+    #[test]
+    fn cross_subring_junction_traffic_transits_main_ring() {
+        let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        // Core on sub-ring 0 to the junction of sub-ring 2: must climb,
+        // cross the main ring, and terminate at the remote junction.
+        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::Junction(2), 4, 0, ()), 0);
+        let d = run(&mut noc, 300);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].0 > 5, "remote junction cannot be instant");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_core_rejected() {
+        let noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
+        noc.core_location(999);
+    }
+
+    #[test]
+    #[should_panic(expected = "controllers must divide")]
+    fn unequal_spacing_rejected() {
+        let mut c = NocConfig::tiny();
+        c.mem_ctrls = 3;
+        let _: HierarchicalRing<()> = HierarchicalRing::new(c);
+    }
+}

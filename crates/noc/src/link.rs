@@ -1,0 +1,523 @@
+//! Physical channels: lanes, slicing and the greedy allocator (§3.3).
+//!
+//! A channel between two routers bundles 64-bit *lanes* (the paper's
+//! "datapaths"): some fixed per direction, some bidirectional and granted
+//! cycle-by-cycle to the more congested direction. The per-direction
+//! capacity can further be split into self-governed *slices* (2–16 bytes):
+//!
+//! * **Conventional** link (`slice_bytes == None`): one packet occupies the
+//!   whole width for a cycle no matter how small it is — a 2-byte packet on
+//!   a 32-byte link wastes 15/16 of the bandwidth.
+//! * **High-density** link (`slice_bytes == Some(s)`): the greedy
+//!   allocation algorithm packs as many queued packets as fit into the
+//!   free slices each cycle, so small packets share the width.
+
+use std::collections::VecDeque;
+
+use smarco_sim::event::EventWheel;
+use smarco_sim::Cycle;
+
+/// Items a link can carry: anything that knows its size and priority.
+pub trait Transmittable {
+    /// Payload size in bytes (≥1).
+    fn bytes(&self) -> u32;
+    /// Real-time items jump ahead of queued normal items.
+    fn realtime(&self) -> bool {
+        false
+    }
+}
+
+/// Channel geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// 64-bit lanes dedicated to each direction.
+    pub lanes_fixed_per_dir: usize,
+    /// 64-bit lanes granted per cycle to the needier direction.
+    pub lanes_bidir: usize,
+    /// Bytes per lane per cycle (8 for 64-bit lanes).
+    pub lane_bytes: u32,
+    /// Slice width for high-density operation; `None` = conventional.
+    pub slice_bytes: Option<u32>,
+    /// Cycles for a transmitted packet to reach the next router.
+    pub hop_latency: Cycle,
+}
+
+impl LinkConfig {
+    /// Main ring (§3.3): eight 64-bit datapaths — three fixed per
+    /// direction plus two bidirectional; 512-bit total. High-density slices
+    /// default to 2 bytes (the best point in Fig. 18).
+    pub fn main_ring() -> Self {
+        Self { lanes_fixed_per_dir: 3, lanes_bidir: 2, lane_bytes: 8, slice_bytes: Some(2), hop_latency: 1 }
+    }
+
+    /// Sub-ring (§3.3): four 64-bit datapaths — one fixed per direction
+    /// plus two bidirectional; 256-bit total.
+    pub fn sub_ring() -> Self {
+        Self { lanes_fixed_per_dir: 1, lanes_bidir: 2, lane_bytes: 8, slice_bytes: Some(2), hop_latency: 1 }
+    }
+
+    /// Same geometry with conventional (unsliced) links, the Fig. 18/20
+    /// baseline.
+    pub fn conventional(mut self) -> Self {
+        self.slice_bytes = None;
+        self
+    }
+
+    /// Same geometry with `s`-byte slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is zero or exceeds the per-direction peak width.
+    pub fn sliced(mut self, s: u32) -> Self {
+        assert!(s > 0, "slice width must be positive");
+        assert!(s <= self.max_capacity(), "slice wider than peak capacity");
+        self.slice_bytes = Some(s);
+        self
+    }
+
+    /// Guaranteed per-direction bytes per cycle (fixed lanes only).
+    pub fn min_capacity(&self) -> u32 {
+        self.lanes_fixed_per_dir as u32 * self.lane_bytes
+    }
+
+    /// Peak per-direction bytes per cycle (all bidirectional lanes
+    /// granted).
+    pub fn max_capacity(&self) -> u32 {
+        (self.lanes_fixed_per_dir + self.lanes_bidir) as u32 * self.lane_bytes
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero lanes/width or a slice wider than the guaranteed
+    /// capacity.
+    pub fn validate(&self) {
+        assert!(self.lanes_fixed_per_dir > 0, "need at least one fixed lane per direction");
+        assert!(self.lane_bytes > 0, "lanes must be at least one byte wide");
+        assert!(self.hop_latency > 0, "hop latency must be positive");
+        if let Some(s) = self.slice_bytes {
+            assert!(s > 0 && s <= self.max_capacity(), "bad slice width {s}");
+        }
+    }
+}
+
+/// Per-direction transmission statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Useful payload bytes delivered onto the wire.
+    pub payload_bytes: u64,
+    /// Bytes of link width consumed (payload + slice rounding, or the full
+    /// width for conventional links).
+    pub occupied_bytes: u64,
+    /// Capacity offered over all ticks.
+    pub offered_bytes: u64,
+    /// Packets fully transmitted.
+    pub packets_sent: u64,
+    /// Cycles with at least one byte sent.
+    pub busy_cycles: u64,
+}
+
+impl LinkStats {
+    /// Fraction of offered capacity carrying payload.
+    pub fn payload_utilization(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            0.0
+        } else {
+            self.payload_bytes as f64 / self.offered_bytes as f64
+        }
+    }
+
+    /// Fraction of offered capacity occupied (incl. rounding waste).
+    pub fn occupancy(&self) -> f64 {
+        if self.offered_bytes == 0 {
+            0.0
+        } else {
+            self.occupied_bytes as f64 / self.offered_bytes as f64
+        }
+    }
+}
+
+/// One direction of a channel: an output queue, the wire, and arrivals.
+#[derive(Debug, Clone)]
+pub struct DirectedLink<T> {
+    queue: VecDeque<T>,
+    /// Bytes of the head packet already transmitted (wormhole progress).
+    head_sent: u32,
+    wire: EventWheel<T>,
+    stats: LinkStats,
+}
+
+impl<T: Transmittable> Default for DirectedLink<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Transmittable> DirectedLink<T> {
+    /// Creates an empty link direction.
+    pub fn new() -> Self {
+        Self { queue: VecDeque::new(), head_sent: 0, wire: EventWheel::new(), stats: LinkStats::default() }
+    }
+
+    /// Queues an item for transmission. Real-time items are inserted ahead
+    /// of queued normal items (but never preempt a partially sent head).
+    pub fn push(&mut self, item: T) {
+        if item.realtime() {
+            let start = usize::from(self.head_sent > 0);
+            let idx = (start..self.queue.len())
+                .find(|&i| !self.queue[i].realtime())
+                .unwrap_or(self.queue.len());
+            self.queue.insert(idx, item);
+        } else {
+            self.queue.push_back(item);
+        }
+    }
+
+    /// Bytes waiting to be transmitted (congestion metric for direction
+    /// choice and bidirectional lane granting).
+    pub fn queued_bytes(&self) -> u64 {
+        self.queue.iter().map(|p| u64::from(p.bytes())).sum::<u64>() - u64::from(self.head_sent)
+    }
+
+    /// Queued packet count.
+    pub fn queued_packets(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Transmits for one cycle with `capacity` bytes of granted width,
+    /// using `slice`/`hop_latency` from the config.
+    pub fn transmit(&mut self, capacity: u32, slice: Option<u32>, hop_latency: Cycle, now: Cycle) {
+        self.stats.offered_bytes += u64::from(capacity);
+        if self.queue.is_empty() || capacity == 0 {
+            return;
+        }
+        let mut sent_any = false;
+        match slice {
+            None => {
+                // Conventional: exactly one packet owns the whole width.
+                let rem = self.queue[0].bytes() - self.head_sent;
+                let sent = rem.min(capacity);
+                self.head_sent += sent;
+                self.stats.payload_bytes += u64::from(sent);
+                self.stats.occupied_bytes += u64::from(capacity);
+                sent_any = sent > 0;
+                if self.head_sent >= self.queue[0].bytes() {
+                    let pkt = self.queue.pop_front().expect("head exists");
+                    self.head_sent = 0;
+                    self.stats.packets_sent += 1;
+                    self.wire.schedule(now + hop_latency, pkt);
+                }
+            }
+            Some(s) => {
+                // High-density greedy allocation: pack packets into free
+                // slices until the width is exhausted.
+                let mut free = capacity;
+                while free > 0 && !self.queue.is_empty() {
+                    let rem = self.queue[0].bytes() - self.head_sent;
+                    let need = rem.div_ceil(s) * s;
+                    if need <= free {
+                        free -= need;
+                        self.stats.payload_bytes += u64::from(rem);
+                        self.stats.occupied_bytes += u64::from(need);
+                        let pkt = self.queue.pop_front().expect("head exists");
+                        self.head_sent = 0;
+                        self.stats.packets_sent += 1;
+                        self.wire.schedule(now + hop_latency, pkt);
+                        sent_any = true;
+                    } else {
+                        // Partial (wormhole) progress: the head streams
+                        // through whatever width remains this cycle.
+                        let sent = free.min(rem);
+                        self.head_sent += sent;
+                        self.stats.payload_bytes += u64::from(sent);
+                        self.stats.occupied_bytes += u64::from(free);
+                        sent_any = true;
+                        free = 0;
+                    }
+                }
+            }
+        }
+        if sent_any {
+            self.stats.busy_cycles += 1;
+        }
+    }
+
+    /// Items arriving at the far router this cycle.
+    pub fn arrivals(&mut self, now: Cycle) -> Vec<T> {
+        let mut out = Vec::new();
+        while let Some(p) = self.wire.pop_due(now) {
+            out.push(p);
+        }
+        out
+    }
+
+    /// Whether the link has nothing queued or in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty() && self.wire.is_empty()
+    }
+}
+
+/// A bidirectional channel: two directed links sharing the bidirectional
+/// lanes, granted per cycle by queue pressure.
+#[derive(Debug, Clone)]
+pub struct Channel<T> {
+    config: LinkConfig,
+    /// "Forward" direction (clockwise in a ring).
+    pub fwd: DirectedLink<T>,
+    /// "Reverse" direction (counter-clockwise).
+    pub rev: DirectedLink<T>,
+}
+
+impl<T: Transmittable> Channel<T> {
+    /// Creates an idle channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`LinkConfig::validate`]).
+    pub fn new(config: LinkConfig) -> Self {
+        config.validate();
+        Self { config, fwd: DirectedLink::new(), rev: DirectedLink::new() }
+    }
+
+    /// Geometry.
+    pub fn config(&self) -> LinkConfig {
+        self.config
+    }
+
+    /// Replaces the channel geometry in place (fault injection / dynamic
+    /// reconfiguration studies); queued and in-flight traffic is kept.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new config is invalid.
+    pub fn set_config(&mut self, config: LinkConfig) {
+        config.validate();
+        self.config = config;
+    }
+
+    /// Grants bidirectional lanes and transmits both directions.
+    pub fn tick(&mut self, now: Cycle) {
+        let base = self.config.min_capacity();
+        let lane = self.config.lane_bytes;
+        let mut fwd_cap = base;
+        let mut rev_cap = base;
+        // Grant each bidirectional lane to the direction with more unserved
+        // queued bytes.
+        let mut fq = self.fwd.queued_bytes();
+        let mut rq = self.rev.queued_bytes();
+        for _ in 0..self.config.lanes_bidir {
+            let f_unserved = fq.saturating_sub(u64::from(fwd_cap));
+            let r_unserved = rq.saturating_sub(u64::from(rev_cap));
+            if f_unserved >= r_unserved {
+                fwd_cap += lane;
+                fq = fq.saturating_sub(u64::from(lane));
+            } else {
+                rev_cap += lane;
+                rq = rq.saturating_sub(u64::from(lane));
+            }
+        }
+        let slice = self.config.slice_bytes;
+        let lat = self.config.hop_latency;
+        self.fwd.transmit(fwd_cap, slice, lat, now);
+        self.rev.transmit(rev_cap, slice, lat, now);
+    }
+
+    /// Whether both directions are idle.
+    pub fn is_empty(&self) -> bool {
+        self.fwd.is_empty() && self.rev.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct Pkt {
+        id: u32,
+        bytes: u32,
+        rt: bool,
+    }
+
+    impl Transmittable for Pkt {
+        fn bytes(&self) -> u32 {
+            self.bytes
+        }
+        fn realtime(&self) -> bool {
+            self.rt
+        }
+    }
+
+    fn pkt(id: u32, bytes: u32) -> Pkt {
+        Pkt { id, bytes, rt: false }
+    }
+
+    #[test]
+    fn conventional_sends_one_packet_per_cycle() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        for i in 0..4 {
+            l.push(pkt(i, 2));
+        }
+        // 32-byte conventional link: one 2-byte packet per cycle.
+        for now in 0..4 {
+            l.transmit(32, None, 1, now);
+        }
+        let delivered: Vec<u32> = (1..=4).flat_map(|now| l.arrivals(now)).map(|p| p.id).collect();
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+        let s = l.stats();
+        assert_eq!(s.payload_bytes, 8);
+        assert_eq!(s.occupied_bytes, 4 * 32, "whole width burned each cycle");
+    }
+
+    #[test]
+    fn sliced_link_packs_small_packets() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        for i in 0..4 {
+            l.push(pkt(i, 2));
+        }
+        // Same width, 2-byte slices: all four go in one cycle.
+        l.transmit(32, Some(2), 1, 0);
+        let delivered: Vec<u32> = l.arrivals(1).iter().map(|p| p.id).collect();
+        assert_eq!(delivered, vec![0, 1, 2, 3]);
+        assert_eq!(l.stats().occupied_bytes, 8);
+    }
+
+    #[test]
+    fn slice_rounding_wastes_partial_slices() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        l.push(pkt(0, 3)); // needs 1 slice of 4 → occupies 4
+        l.transmit(16, Some(4), 1, 0);
+        let s = l.stats();
+        assert_eq!(s.payload_bytes, 3);
+        assert_eq!(s.occupied_bytes, 4);
+    }
+
+    #[test]
+    fn big_packet_wormholes_across_cycles() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        l.push(pkt(0, 70));
+        l.push(pkt(1, 2));
+        // 32 B/cycle sliced: packet 0 takes 3 cycles; packet 1 shares the
+        // third cycle's leftover width.
+        let mut arrived = Vec::new();
+        for now in 0..5 {
+            l.transmit(32, Some(2), 1, now);
+            arrived.extend(l.arrivals(now + 1).into_iter().map(|p| (now + 1, p.id)));
+        }
+        assert_eq!(arrived, vec![(3, 0), (3, 1)]);
+    }
+
+    #[test]
+    fn conventional_big_packet_takes_multiple_cycles() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        l.push(pkt(0, 64));
+        for now in 0..2 {
+            l.transmit(32, None, 1, now);
+        }
+        assert_eq!(l.arrivals(2).len(), 1);
+        assert_eq!(l.stats().packets_sent, 1);
+    }
+
+    #[test]
+    fn realtime_jumps_queue_but_not_partial_head() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        l.push(pkt(0, 64)); // will be mid-flight
+        l.push(pkt(1, 2));
+        l.transmit(32, Some(2), 1, 0); // head partially sent
+        l.push(Pkt { id: 2, bytes: 2, rt: true });
+        // rt packet should sit right after the in-progress head.
+        let mut order = Vec::new();
+        for now in 1..6 {
+            l.transmit(32, Some(2), 1, now);
+            order.extend(l.arrivals(now + 1).into_iter().map(|p| p.id));
+        }
+        assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn queued_bytes_excludes_sent_head_portion() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        l.push(pkt(0, 64));
+        assert_eq!(l.queued_bytes(), 64);
+        l.transmit(32, Some(2), 1, 0);
+        assert_eq!(l.queued_bytes(), 32);
+        assert_eq!(l.queued_packets(), 1);
+    }
+
+    #[test]
+    fn channel_grants_bidir_lanes_to_pressure() {
+        let cfg = LinkConfig {
+            lanes_fixed_per_dir: 1,
+            lanes_bidir: 2,
+            lane_bytes: 8,
+            slice_bytes: Some(2),
+            hop_latency: 1,
+        };
+        let mut ch: Channel<Pkt> = Channel::new(cfg);
+        // Load only the forward direction.
+        for i in 0..10 {
+            ch.fwd.push(pkt(i, 8));
+        }
+        ch.tick(0);
+        // Forward got fixed 8 + both bidir lanes (16) = 24 bytes → 3 packets.
+        assert_eq!(ch.fwd.arrivals(1).len(), 3);
+        assert!(ch.rev.arrivals(1).is_empty());
+    }
+
+    #[test]
+    fn balanced_channel_splits_bidir_lanes() {
+        let cfg = LinkConfig {
+            lanes_fixed_per_dir: 1,
+            lanes_bidir: 2,
+            lane_bytes: 8,
+            slice_bytes: Some(8),
+            hop_latency: 1,
+        };
+        let mut ch: Channel<Pkt> = Channel::new(cfg);
+        for i in 0..4 {
+            ch.fwd.push(pkt(i, 8));
+            ch.rev.push(pkt(100 + i, 8));
+        }
+        ch.tick(0);
+        // Each direction: 8 fixed + 8 granted = 2 packets.
+        assert_eq!(ch.fwd.arrivals(1).len(), 2);
+        assert_eq!(ch.rev.arrivals(1).len(), 2);
+    }
+
+    #[test]
+    fn capacities_per_paper() {
+        let main = LinkConfig::main_ring();
+        assert_eq!(main.max_capacity(), 40); // 5 lanes usable one way
+        assert_eq!(main.min_capacity(), 24);
+        let sub = LinkConfig::sub_ring();
+        assert_eq!(sub.max_capacity(), 24);
+        assert_eq!(sub.min_capacity(), 8);
+        // Totals across both directions: 512-bit main, 256-bit sub.
+        assert_eq!((main.lanes_fixed_per_dir * 2 + main.lanes_bidir) as u32 * main.lane_bytes * 8, 512);
+        assert_eq!((sub.lanes_fixed_per_dir * 2 + sub.lanes_bidir) as u32 * sub.lane_bytes * 8, 256);
+    }
+
+    #[test]
+    fn utilization_statistics() {
+        let mut l: DirectedLink<Pkt> = DirectedLink::new();
+        l.push(pkt(0, 16));
+        l.transmit(32, Some(2), 1, 0);
+        l.transmit(32, Some(2), 1, 1); // idle cycle still offers capacity
+        let s = l.stats();
+        assert!((s.payload_utilization() - 16.0 / 64.0).abs() < 1e-12);
+        assert!((s.occupancy() - 16.0 / 64.0).abs() < 1e-12);
+        assert_eq!(s.busy_cycles, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice wider than peak capacity")]
+    fn oversized_slice_rejected() {
+        let _ = LinkConfig::sub_ring().sliced(64);
+    }
+}

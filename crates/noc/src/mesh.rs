@@ -1,0 +1,296 @@
+//! A 2-D mesh NoC baseline (the topology the paper argues *against* for
+//! HTC, §3.2).
+//!
+//! Mesh routers use dimension-ordered (XY) routing: correct and
+//! deadlock-free, but each hop crosses a 5-port router, and central links
+//! concentrate traffic — which is exactly the latency unpredictability
+//! and congestion the paper's hierarchical ring avoids. Used by the
+//! `ablation_mesh_vs_ring` bench.
+
+use smarco_sim::stats::{Histogram, MeanTracker};
+use smarco_sim::Cycle;
+
+use crate::link::{DirectedLink, LinkConfig, Transmittable};
+
+/// Wrapped item with its destination coordinates.
+#[derive(Debug, Clone)]
+struct MeshItem<T> {
+    dst: (usize, usize),
+    injected_at: Cycle,
+    item: T,
+}
+
+impl<T: Transmittable> Transmittable for MeshItem<T> {
+    fn bytes(&self) -> u32 {
+        self.item.bytes()
+    }
+    fn realtime(&self) -> bool {
+        self.item.realtime()
+    }
+}
+
+/// Mesh-level delivery statistics.
+#[derive(Debug, Clone, Default)]
+pub struct MeshStats {
+    /// Items delivered.
+    pub delivered: u64,
+    /// End-to-end latency.
+    pub latency: MeanTracker,
+    /// Latency distribution (for predictability comparisons with the
+    /// ring).
+    pub latency_hist: Histogram,
+}
+
+/// An `w × h` mesh with XY routing.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_noc::mesh::Mesh;
+/// use smarco_noc::link::{LinkConfig, Transmittable};
+///
+/// #[derive(Debug)]
+/// struct Word(u32);
+/// impl Transmittable for Word {
+///     fn bytes(&self) -> u32 { 4 }
+/// }
+///
+/// let mut mesh: Mesh<Word> = Mesh::new(4, 4, LinkConfig::sub_ring());
+/// mesh.inject((0, 0), (3, 3), 4, 0, Word(42));
+/// let mut got = Vec::new();
+/// for now in 0..100 {
+///     got.extend(mesh.tick(now).into_iter().map(|(_, v)| v.0));
+/// }
+/// assert_eq!(got, vec![42]);
+/// ```
+#[derive(Debug)]
+pub struct Mesh<T> {
+    w: usize,
+    h: usize,
+    /// `east[y][x]`: link from (x,y) to (x+1,y); `west` the reverse.
+    east: Vec<Vec<DirectedLink<MeshItem<T>>>>,
+    west: Vec<Vec<DirectedLink<MeshItem<T>>>>,
+    /// `south[y][x]`: link from (x,y) to (x,y+1); `north` the reverse.
+    south: Vec<Vec<DirectedLink<MeshItem<T>>>>,
+    north: Vec<Vec<DirectedLink<MeshItem<T>>>>,
+    link: LinkConfig,
+    stats: MeshStats,
+}
+
+impl<T: Transmittable> Mesh<T> {
+    /// Creates a `w × h` mesh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 2 or the link config is
+    /// invalid.
+    pub fn new(w: usize, h: usize, link: LinkConfig) -> Self {
+        assert!(w >= 2 && h >= 2, "mesh needs at least 2×2 nodes");
+        link.validate();
+        let row = |n: usize| (0..n).map(|_| DirectedLink::new()).collect::<Vec<_>>();
+        Self {
+            w,
+            h,
+            east: (0..h).map(|_| row(w - 1)).collect(),
+            west: (0..h).map(|_| row(w - 1)).collect(),
+            south: (0..h - 1).map(|_| row(w)).collect(),
+            north: (0..h - 1).map(|_| row(w)).collect(),
+            link,
+            stats: MeshStats::default(),
+        }
+    }
+
+    /// Dimensions `(w, h)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.w, self.h)
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> &MeshStats {
+        &self.stats
+    }
+
+    fn route(&mut self, at: (usize, usize), it: MeshItem<T>, now: Cycle) -> Option<T> {
+        let (x, y) = at;
+        let (dx, dy) = it.dst;
+        // XY routing: X first, then Y.
+        if x < dx {
+            self.east[y][x].push(it);
+        } else if x > dx {
+            self.west[y][x - 1].push(it);
+        } else if y < dy {
+            self.south[y][x].push(it);
+        } else if y > dy {
+            self.north[y - 1][x].push(it);
+        } else {
+            self.stats.delivered += 1;
+            let lat = now.saturating_sub(it.injected_at);
+            self.stats.latency.record(lat as f64);
+            self.stats.latency_hist.record(lat);
+            return Some(it.item);
+        }
+        None
+    }
+
+    /// Injects `item` of `bytes` at `src` addressed to `dst` at `now`;
+    /// returns it immediately if `src == dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a coordinate is out of range or `bytes` is zero.
+    pub fn inject(
+        &mut self,
+        src: (usize, usize),
+        dst: (usize, usize),
+        bytes: u32,
+        now: Cycle,
+        item: T,
+    ) -> Option<T> {
+        assert!(src.0 < self.w && src.1 < self.h, "src out of range");
+        assert!(dst.0 < self.w && dst.1 < self.h, "dst out of range");
+        assert!(bytes > 0, "zero-byte packet");
+        let _ = bytes; // size comes from Transmittable
+        self.route(src, MeshItem { dst, injected_at: now, item }, now)
+    }
+
+    /// Advances one cycle; returns `(dst, item)` for deliveries.
+    pub fn tick(&mut self, now: Cycle) -> Vec<((usize, usize), T)> {
+        let mut out = Vec::new();
+        // Arrivals, then forwarding decisions at each router.
+        let mut moved: Vec<((usize, usize), MeshItem<T>)> = Vec::new();
+        for y in 0..self.h {
+            for x in 0..self.w - 1 {
+                for it in self.east[y][x].arrivals(now) {
+                    moved.push(((x + 1, y), it));
+                }
+                for it in self.west[y][x].arrivals(now) {
+                    moved.push(((x, y), it));
+                }
+            }
+        }
+        for y in 0..self.h - 1 {
+            for x in 0..self.w {
+                for it in self.south[y][x].arrivals(now) {
+                    moved.push(((x, y + 1), it));
+                }
+                for it in self.north[y][x].arrivals(now) {
+                    moved.push(((x, y), it));
+                }
+            }
+        }
+        for (pos, it) in moved {
+            let dst = it.dst;
+            if let Some(v) = self.route(pos, it, now) {
+                out.push((dst, v));
+            }
+        }
+        // Transmit: each mesh link gets the full per-direction capacity
+        // (no bidirectional lane sharing — mesh channels are fixed).
+        let cap = self.link.max_capacity();
+        let slice = self.link.slice_bytes;
+        let lat = self.link.hop_latency;
+        for row in self
+            .east
+            .iter_mut()
+            .chain(self.west.iter_mut())
+            .chain(self.south.iter_mut())
+            .chain(self.north.iter_mut())
+        {
+            for l in row {
+                l.transmit(cap, slice, lat, now);
+            }
+        }
+        out
+    }
+
+    /// Whether nothing is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.east
+            .iter()
+            .chain(self.west.iter())
+            .chain(self.south.iter())
+            .chain(self.north.iter())
+            .all(|row| row.iter().all(DirectedLink::is_empty))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(u32);
+    impl Transmittable for P {
+        fn bytes(&self) -> u32 {
+            self.0
+        }
+    }
+
+    fn mesh() -> Mesh<P> {
+        Mesh::new(4, 4, LinkConfig::sub_ring())
+    }
+
+    fn run(m: &mut Mesh<P>, cycles: Cycle) -> Vec<(Cycle, (usize, usize))> {
+        let mut out = Vec::new();
+        for now in 0..cycles {
+            for (dst, _) in m.tick(now) {
+                out.push((now, dst));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn xy_routing_delivers() {
+        let mut m = mesh();
+        m.inject((0, 0), (3, 2), 4, 0, P(4));
+        let d = run(&mut m, 50);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, (3, 2));
+        assert!(m.is_idle());
+        // 5 hops minimum.
+        assert!(d[0].0 >= 4);
+    }
+
+    #[test]
+    fn self_delivery_immediate() {
+        let mut m = mesh();
+        assert_eq!(m.inject((1, 1), (1, 1), 4, 0, P(4)), Some(P(4)));
+        assert_eq!(m.stats().delivered, 1);
+    }
+
+    #[test]
+    fn all_pairs_exactly_once() {
+        let mut m = mesh();
+        let mut expected = 0;
+        for sx in 0..4 {
+            for sy in 0..4 {
+                for dx in 0..4 {
+                    for dy in 0..4 {
+                        if (sx, sy) != (dx, dy) {
+                            m.inject((sx, sy), (dx, dy), 4, 0, P(4));
+                            expected += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let d = run(&mut m, 2000);
+        assert_eq!(d.len(), expected);
+        assert!(m.is_idle());
+    }
+
+    #[test]
+    fn latency_tracked() {
+        let mut m = mesh();
+        m.inject((0, 0), (3, 3), 8, 0, P(8));
+        let _ = run(&mut m, 100);
+        assert!(m.stats().latency.mean() >= 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_coordinates_rejected() {
+        mesh().inject((0, 0), (9, 9), 4, 0, P(4));
+    }
+}

@@ -1,0 +1,343 @@
+//! A bidirectional ring of routers (§3.2, Fig. 7).
+//!
+//! Rings keep routing trivial — at injection, pick the direction with
+//! fewer hops (ties broken toward the less congested output queue) and
+//! ride it to the exit position. Per-hop cost is one channel traversal;
+//! the channel model (including bidirectional lane granting and
+//! high-density slicing) lives in [`crate::link`].
+
+use smarco_sim::Cycle;
+
+use crate::link::{Channel, LinkConfig, Transmittable};
+
+/// Travel direction around the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Toward increasing positions.
+    Cw,
+    /// Toward decreasing positions.
+    Ccw,
+}
+
+/// Internal wrapper: an item plus its routing state on this ring.
+#[derive(Debug, Clone)]
+struct RingItem<T> {
+    exit: usize,
+    dir: Dir,
+    hops: u32,
+    item: T,
+}
+
+impl<T: Transmittable> Transmittable for RingItem<T> {
+    fn bytes(&self) -> u32 {
+        self.item.bytes()
+    }
+    fn realtime(&self) -> bool {
+        self.item.realtime()
+    }
+}
+
+/// Ring-level statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RingStats {
+    /// Items delivered at their exit position.
+    pub delivered: u64,
+    /// Total hops travelled by delivered items.
+    pub total_hops: u64,
+}
+
+/// A ring of `n` router positions connected by [`Channel`]s.
+///
+/// The ring is topology-only: it moves opaque items from an injection
+/// position to an exit position. Endpoint semantics (which position is a
+/// core, a junction, a memory controller) belong to
+/// [`crate::hierarchy::HierarchicalRing`].
+#[derive(Debug, Clone)]
+pub struct Ring<T> {
+    /// `channels[i]` joins position `i` (fwd = cw) and `i+1 mod n`.
+    channels: Vec<Channel<RingItem<T>>>,
+    n: usize,
+    stats: RingStats,
+}
+
+impl<T: Transmittable> Ring<T> {
+    /// Creates a ring of `n` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or the link config is invalid.
+    pub fn new(n: usize, link: LinkConfig) -> Self {
+        assert!(n >= 2, "a ring needs at least two positions");
+        link.validate();
+        Self { channels: (0..n).map(|_| Channel::new(link)).collect(), n, stats: RingStats::default() }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false — rings have at least two positions.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> RingStats {
+        self.stats
+    }
+
+    /// Degrades (or restores) the channel between positions `i` and
+    /// `i+1 mod n` — fault-injection hook: model a partially failed link
+    /// by giving it fewer lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or the config is invalid.
+    pub fn set_channel_config(&mut self, i: usize, link: LinkConfig) {
+        assert!(i < self.n, "channel {i} out of range");
+        self.channels[i].set_config(link);
+    }
+
+    /// Hop distance from `a` to `b` travelling `dir`.
+    pub fn distance(&self, a: usize, b: usize, dir: Dir) -> usize {
+        match dir {
+            Dir::Cw => (b + self.n - a) % self.n,
+            Dir::Ccw => (a + self.n - b) % self.n,
+        }
+    }
+
+    fn out_queue_bytes(&self, at: usize, dir: Dir) -> u64 {
+        match dir {
+            Dir::Cw => self.channels[at].fwd.queued_bytes(),
+            Dir::Ccw => self.channels[(at + self.n - 1) % self.n].rev.queued_bytes(),
+        }
+    }
+
+    /// Pending bytes in both output queues of position `at` (congestion
+    /// metric).
+    pub fn congestion_at(&self, at: usize) -> u64 {
+        self.out_queue_bytes(at, Dir::Cw) + self.out_queue_bytes(at, Dir::Ccw)
+    }
+
+    /// Injects `item` at position `at`, to leave the ring at `exit`.
+    ///
+    /// Direction is chosen by minimum hops; on a tie, by the smaller
+    /// output-queue backlog (§3.2: cores "choose both directions of
+    /// sub-ring to send packets based on the congestion condition").
+    /// Returns `Some(item)` immediately when `at == exit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is out of range.
+    pub fn inject(&mut self, at: usize, exit: usize, item: T) -> Option<T> {
+        assert!(at < self.n && exit < self.n, "position out of range");
+        if at == exit {
+            self.stats.delivered += 1;
+            return Some(item);
+        }
+        let dcw = self.distance(at, exit, Dir::Cw);
+        let dccw = self.distance(at, exit, Dir::Ccw);
+        let dir = if dcw < dccw {
+            Dir::Cw
+        } else if dccw < dcw {
+            Dir::Ccw
+        } else if self.out_queue_bytes(at, Dir::Cw) <= self.out_queue_bytes(at, Dir::Ccw) {
+            Dir::Cw
+        } else {
+            Dir::Ccw
+        };
+        let wrapped = RingItem { exit, dir, hops: 0, item };
+        self.push_out(at, wrapped);
+        None
+    }
+
+    fn push_out(&mut self, at: usize, item: RingItem<T>) {
+        match item.dir {
+            Dir::Cw => self.channels[at].fwd.push(item),
+            Dir::Ccw => self.channels[(at + self.n - 1) % self.n].rev.push(item),
+        }
+    }
+
+    /// Advances one cycle; returns `(exit_position, hops, item)` for every
+    /// item that reached its exit.
+    pub fn tick(&mut self, now: Cycle) -> Vec<(usize, u32, T)> {
+        let mut delivered = Vec::new();
+        // 1. Arrivals: collect from every channel, then forward or eject.
+        let mut moved: Vec<(usize, RingItem<T>)> = Vec::new();
+        for i in 0..self.n {
+            for mut it in self.channels[i].fwd.arrivals(now) {
+                it.hops += 1;
+                moved.push(((i + 1) % self.n, it));
+            }
+            for mut it in self.channels[i].rev.arrivals(now) {
+                it.hops += 1;
+                moved.push((i, it));
+            }
+        }
+        for (pos, it) in moved {
+            if it.exit == pos {
+                self.stats.delivered += 1;
+                self.stats.total_hops += u64::from(it.hops);
+                delivered.push((pos, it.hops, it.item));
+            } else {
+                self.push_out(pos, it);
+            }
+        }
+        // 2. Transmit on every channel.
+        for ch in &mut self.channels {
+            ch.tick(now);
+        }
+        delivered
+    }
+
+    /// Whether nothing is queued or in flight anywhere on the ring.
+    pub fn is_idle(&self) -> bool {
+        self.channels.iter().all(|c| c.is_empty())
+    }
+
+    /// Aggregated payload utilization across all channel directions.
+    pub fn payload_utilization(&self) -> f64 {
+        let (mut payload, mut offered) = (0u64, 0u64);
+        for ch in &self.channels {
+            for s in [ch.fwd.stats(), ch.rev.stats()] {
+                payload += s.payload_bytes;
+                offered += s.offered_bytes;
+            }
+        }
+        if offered == 0 {
+            0.0
+        } else {
+            payload as f64 / offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct P(u32);
+
+    impl Transmittable for P {
+        fn bytes(&self) -> u32 {
+            self.0
+        }
+    }
+
+    fn ring(n: usize) -> Ring<P> {
+        Ring::new(
+            n,
+            LinkConfig {
+                lanes_fixed_per_dir: 1,
+                lanes_bidir: 0,
+                lane_bytes: 8,
+                slice_bytes: Some(2),
+                hop_latency: 1,
+            },
+        )
+    }
+
+    fn run_until_delivered(r: &mut Ring<P>, max: Cycle) -> Vec<(Cycle, usize, u32)> {
+        let mut out = Vec::new();
+        for now in 0..max {
+            for (pos, hops, _) in r.tick(now) {
+                out.push((now, pos, hops));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn short_way_round_is_chosen() {
+        let mut r = ring(8);
+        assert!(r.inject(0, 2, P(4)).is_none());
+        let d = run_until_delivered(&mut r, 10);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].1, 2);
+        assert_eq!(d[0].2, 2, "2 hops cw, not 6 ccw");
+    }
+
+    #[test]
+    fn ccw_shortcut_is_taken() {
+        let mut r = ring(8);
+        r.inject(1, 7, P(4));
+        let d = run_until_delivered(&mut r, 10);
+        assert_eq!(d[0].2, 2, "2 hops ccw, not 6 cw");
+    }
+
+    #[test]
+    fn self_delivery_is_immediate() {
+        let mut r = ring(4);
+        assert_eq!(r.inject(3, 3, P(4)), Some(P(4)));
+        assert_eq!(r.stats().delivered, 1);
+    }
+
+    #[test]
+    fn tie_breaks_toward_less_congested_direction() {
+        let mut r = ring(4);
+        // Pre-load the cw output queue of node 0.
+        for _ in 0..10 {
+            r.inject(0, 1, P(64));
+        }
+        // 0 → 2 is a 2-hop tie; congestion should steer it ccw.
+        r.inject(0, 2, P(4));
+        let cw_q = r.out_queue_bytes(0, Dir::Cw);
+        let ccw_q = r.out_queue_bytes(0, Dir::Ccw);
+        assert!(ccw_q > 0, "tied packet went ccw (cw backlog {cw_q})");
+    }
+
+    #[test]
+    fn hop_latency_accumulates() {
+        let mut r = ring(8);
+        r.inject(0, 4, P(2));
+        let d = run_until_delivered(&mut r, 20);
+        // 4 hops at ≥1 cycle each: delivery at cycle ≥ 3 (arrivals lead
+        // transmits within a tick), exactly 4 hops.
+        assert_eq!(d[0].2, 4);
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn many_packets_all_arrive_exactly_once() {
+        let mut r = ring(16);
+        let mut expected = 0;
+        for src in 0..16 {
+            for dst in 0..16 {
+                if src != dst {
+                    r.inject(src, dst, P(4));
+                    expected += 1;
+                }
+            }
+        }
+        let d = run_until_delivered(&mut r, 500);
+        assert_eq!(d.len(), expected);
+        assert_eq!(r.stats().delivered as usize, expected);
+        assert!(r.is_idle());
+    }
+
+    #[test]
+    fn utilization_rises_under_load() {
+        let mut r = ring(8);
+        for src in 0..8 {
+            for _ in 0..4 {
+                r.inject(src, (src + 4) % 8, P(8));
+            }
+        }
+        let _ = run_until_delivered(&mut r, 100);
+        assert!(r.payload_utilization() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two positions")]
+    fn tiny_ring_rejected() {
+        let _: Ring<P> = ring(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "position out of range")]
+    fn bad_position_rejected() {
+        ring(4).inject(0, 9, P(1));
+    }
+}

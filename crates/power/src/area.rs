@@ -1,0 +1,250 @@
+//! Component area/power models and the Table 1 chip estimate.
+//!
+//! Constants below are the single calibration against Table 1 at 32 nm /
+//! 1.5 GHz; everything else (other nodes, clocks, geometries) derives
+//! from them through the models' structure.
+
+use smarco_core::config::SmarcoConfig;
+use smarco_baseline::XeonConfig;
+
+use crate::tech::TechNode;
+
+/// Core logic area per issue slot (mm² @ 32 nm).
+const CORE_AREA_PER_ISSUE: f64 = 0.4;
+/// Core logic area per resident thread context (mm² @ 32 nm).
+const CORE_AREA_PER_THREAD: f64 = 0.109_726_562_5;
+/// Core power per issue slot (W @ 32 nm, 1.5 GHz).
+const CORE_POWER_PER_ISSUE: f64 = 0.15;
+/// Core power per resident thread context (W @ 32 nm, 1.5 GHz).
+const CORE_POWER_PER_THREAD: f64 = 0.027_495_117_187_5;
+/// Router area per byte of link width (mm² @ 32 nm, Orion-style).
+const ROUTER_AREA_PER_BYTE: f64 = 0.005_679_391_139_240_5;
+/// Router power per byte of link width (W @ 32 nm, 1.5 GHz).
+const ROUTER_POWER_PER_BYTE: f64 = 0.001_438_884_493_670_886;
+/// MACT area per table line (mm² @ 32 nm).
+const MACT_AREA_PER_LINE: f64 = 0.002_792_968_75;
+/// MACT power per table line (W @ 32 nm, 1.5 GHz).
+const MACT_POWER_PER_LINE: f64 = 0.000_273_437_5;
+/// On-chip SRAM area per MiB (mm² @ 32 nm, CACTI-style).
+const SRAM_AREA_PER_MIB: f64 = 1.1225;
+/// On-chip SRAM power per MiB (W @ 32 nm, 1.5 GHz).
+const SRAM_POWER_PER_MIB: f64 = 0.046;
+/// Memory controller + PHY area per channel (mm² @ 32 nm).
+const MC_AREA_PER_CHANNEL: f64 = 3.23;
+/// Memory controller + PHY power per channel (W @ 32 nm).
+const MC_POWER_PER_CHANNEL: f64 = 3.4125;
+
+/// Fraction of component power that is dynamic (frequency-scaled); the
+/// rest is leakage (area-scaled).
+const DYNAMIC_FRACTION: f64 = 0.7;
+/// Calibration clock for the power constants.
+const CAL_FREQ_GHZ: f64 = 1.5;
+
+/// Area/power of one component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentEstimate {
+    /// Silicon area in mm².
+    pub area_mm2: f64,
+    /// Peak power in watts.
+    pub power_w: f64,
+}
+
+impl ComponentEstimate {
+    fn scaled(area32: f64, power32: f64, node: TechNode, freq_ghz: f64) -> Self {
+        node.validate();
+        let power = power32
+            * (DYNAMIC_FRACTION * node.dynamic_scale() * (freq_ghz / CAL_FREQ_GHZ)
+                + (1.0 - DYNAMIC_FRACTION) * node.static_scale());
+        Self { area_mm2: area32 * node.area_scale(), power_w: power }
+    }
+}
+
+/// A whole-chip estimate: named components plus totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipEstimate {
+    /// `(component, estimate)` rows in Table 1 order.
+    pub components: Vec<(&'static str, ComponentEstimate)>,
+}
+
+impl ChipEstimate {
+    /// Total area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.components.iter().map(|(_, c)| c.area_mm2).sum()
+    }
+
+    /// Total (peak) power in watts.
+    pub fn total_power_w(&self) -> f64 {
+        self.components.iter().map(|(_, c)| c.power_w).sum()
+    }
+
+    /// Looks up a component by name.
+    pub fn component(&self, name: &str) -> Option<ComponentEstimate> {
+        self.components.iter().find(|(n, _)| *n == name).map(|(_, c)| *c)
+    }
+}
+
+impl std::fmt::Display for ChipEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{:<16} {:>10} {:>10}", "Component", "Area(mm2)", "Power(W)")?;
+        for (name, c) in &self.components {
+            writeln!(f, "{:<16} {:>10.2} {:>10.2}", name, c.area_mm2, c.power_w)?;
+        }
+        writeln!(
+            f,
+            "{:<16} {:>10.2} {:>10.2}",
+            "Total",
+            self.total_area_mm2(),
+            self.total_power_w()
+        )
+    }
+}
+
+/// Estimates a SmarCo chip (reproduces Table 1 at 32 nm with the default
+/// configuration).
+///
+/// # Examples
+///
+/// ```
+/// use smarco_power::{estimate_smarco, TechNode};
+/// use smarco_core::config::SmarcoConfig;
+///
+/// let est = estimate_smarco(&SmarcoConfig::smarco(), TechNode::n32());
+/// assert!((est.total_area_mm2() - 751.0).abs() < 8.0);
+/// assert!((est.total_power_w() - 240.09).abs() < 2.5);
+/// ```
+pub fn estimate_smarco(cfg: &SmarcoConfig, node: TechNode) -> ChipEstimate {
+    cfg.validate();
+    let cores = cfg.noc.cores() as f64;
+    let issue = cfg.tcg.pairs as f64;
+    let threads = cfg.tcg.resident_threads as f64;
+    let f = cfg.freq_ghz;
+
+    let core_area = cores * (CORE_AREA_PER_ISSUE * issue + CORE_AREA_PER_THREAD * threads);
+    let core_power = cores * (CORE_POWER_PER_ISSUE * issue + CORE_POWER_PER_THREAD * threads);
+
+    // Routers: every sub-ring position plus the junction, and the main
+    // ring's endpoints/junctions; width = both directions' peak lanes.
+    let sub_routers = (cfg.noc.subrings * (cfg.noc.cores_per_subring + 1)) as f64;
+    let sub_width = (cfg.noc.sub_link.lanes_fixed_per_dir * 2 + cfg.noc.sub_link.lanes_bidir)
+        as f64
+        * cfg.noc.sub_link.lane_bytes as f64;
+    let main_routers =
+        (cfg.noc.subrings + cfg.noc.mem_ctrls + 2) as f64;
+    let main_width = (cfg.noc.main_link.lanes_fixed_per_dir * 2 + cfg.noc.main_link.lanes_bidir)
+        as f64
+        * cfg.noc.main_link.lane_bytes as f64;
+    let router_bytes = sub_routers * sub_width + main_routers * main_width;
+    let ring_area = ROUTER_AREA_PER_BYTE * router_bytes;
+    let ring_power = ROUTER_POWER_PER_BYTE * router_bytes;
+
+    let mact_lines = cfg.mact.map_or(0, |m| m.lines) as f64 * cfg.noc.subrings as f64;
+    let mact_area = MACT_AREA_PER_LINE * mact_lines;
+    let mact_power = MACT_POWER_PER_LINE * mact_lines;
+
+    let sram_mib = cores
+        * (cfg.tcg.l1i.size_bytes + cfg.tcg.l1d.size_bytes + (128 << 10)) as f64
+        / (1024.0 * 1024.0);
+    let sram_area = SRAM_AREA_PER_MIB * sram_mib;
+    let sram_power = SRAM_POWER_PER_MIB * sram_mib;
+
+    let channels = cfg.dram.channels as f64;
+    let mc_area = MC_AREA_PER_CHANNEL * channels;
+    let mc_power = MC_POWER_PER_CHANNEL * channels;
+
+    ChipEstimate {
+        components: vec![
+            ("Cores", ComponentEstimate::scaled(core_area, core_power, node, f)),
+            ("Hierarchy Ring", ComponentEstimate::scaled(ring_area, ring_power, node, f)),
+            ("MACT", ComponentEstimate::scaled(mact_area, mact_power, node, f)),
+            ("SPM+Cache", ComponentEstimate::scaled(sram_area, sram_power, node, f)),
+            ("MC+PHY", ComponentEstimate::scaled(mc_area, mc_power, node, f)),
+        ],
+    }
+}
+
+/// Nominal estimate for the baseline processor. Table 2 lists the Xeon's
+/// TDP (165 W) and leaves its die area unpublished; we carry the TDP and
+/// a public die-size estimate (~456 mm² for the 24-core Broadwell-EX die),
+/// scaled linearly when a smaller test configuration is used — comparisons
+/// use measured activity, not this peak.
+pub fn estimate_xeon(cfg: &XeonConfig) -> ComponentEstimate {
+    cfg.validate();
+    let scale = cfg.cores as f64 / 24.0;
+    ComponentEstimate { area_mm2: 456.0 * scale, power_w: 165.0 * scale }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table1_at_32nm() {
+        let est = estimate_smarco(&SmarcoConfig::smarco(), TechNode::n32());
+        let expect = [
+            ("Cores", 634.32, 209.91),
+            ("Hierarchy Ring", 57.43, 14.55),
+            ("MACT", 1.43, 0.14),
+            ("SPM+Cache", 44.90, 1.84),
+            ("MC+PHY", 12.92, 13.65),
+        ];
+        for (name, area, power) in expect {
+            let c = est.component(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(
+                (c.area_mm2 - area).abs() / area < 0.01,
+                "{name} area {} vs {area}",
+                c.area_mm2
+            );
+            assert!(
+                (c.power_w - power).abs() / power < 0.01,
+                "{name} power {} vs {power}",
+                c.power_w
+            );
+        }
+        assert!((est.total_area_mm2() - 751.0).abs() < 7.51);
+        assert!((est.total_power_w() - 240.09).abs() < 2.5);
+    }
+
+    #[test]
+    fn forty_nm_prototype_scales_up_area() {
+        let cfg = SmarcoConfig::prototype_40nm();
+        let est = estimate_smarco(&cfg, TechNode::n40());
+        let ref32 = estimate_smarco(&cfg, TechNode::n32());
+        assert!(est.total_area_mm2() > ref32.total_area_mm2() * 1.5);
+        // Prototype is 32 cores: far smaller than the full chip.
+        let full = estimate_smarco(&SmarcoConfig::smarco(), TechNode::n32());
+        assert!(est.total_area_mm2() < full.total_area_mm2() / 2.0);
+    }
+
+    #[test]
+    fn power_scales_with_frequency() {
+        let mut cfg = SmarcoConfig::smarco();
+        cfg.freq_ghz = 0.75;
+        let half = estimate_smarco(&cfg, TechNode::n32());
+        let full = estimate_smarco(&SmarcoConfig::smarco(), TechNode::n32());
+        assert!(half.total_power_w() < full.total_power_w());
+        // Area unaffected by clock.
+        assert!((half.total_area_mm2() - full.total_area_mm2()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mact_disabled_removes_its_area() {
+        let mut cfg = SmarcoConfig::smarco();
+        cfg.mact = None;
+        let est = estimate_smarco(&cfg, TechNode::n32());
+        assert_eq!(est.component("MACT").unwrap().area_mm2, 0.0);
+    }
+
+    #[test]
+    fn display_renders_table() {
+        let est = estimate_smarco(&SmarcoConfig::smarco(), TechNode::n32());
+        let s = est.to_string();
+        assert!(s.contains("Cores"));
+        assert!(s.contains("Total"));
+    }
+
+    #[test]
+    fn xeon_estimate_carries_tdp() {
+        let e = estimate_xeon(&XeonConfig::e7_8890v4());
+        assert_eq!(e.power_w, 165.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Activity-based run energy and performance-per-watt comparison
+//! (Figs. 22 & 26).
+//!
+//! Each component's Table-1 peak power splits into leakage (always drawn)
+//! and dynamic power scaled by the run's measured activity — core IPC
+//! fraction, ring utilization, MACT occupancy, DRAM utilization. The
+//! baseline uses its TDP with the same split, driven by its measured
+//! issue-slot utilization. Energy efficiency is throughput per watt.
+
+use smarco_baseline::{BaselineReport, XeonConfig};
+use smarco_core::config::SmarcoConfig;
+use smarco_core::report::SmarcoReport;
+
+use crate::area::{estimate_smarco, estimate_xeon};
+use crate::tech::TechNode;
+
+/// Fraction of power that is leakage (drawn regardless of activity).
+const STATIC_FRACTION: f64 = 0.3;
+
+/// Energy accounting for one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Wall-clock seconds.
+    pub seconds: f64,
+    /// Average power draw in watts.
+    pub avg_power_w: f64,
+    /// Total energy in joules.
+    pub energy_j: f64,
+    /// Throughput in instructions per second.
+    pub ips: f64,
+}
+
+impl EnergyBreakdown {
+    /// Performance per watt (instructions per joule).
+    pub fn efficiency(&self) -> f64 {
+        if self.energy_j == 0.0 {
+            0.0
+        } else {
+            self.ips / self.avg_power_w
+        }
+    }
+}
+
+fn activity_power(peak_w: f64, activity: f64) -> f64 {
+    let a = activity.clamp(0.0, 1.0);
+    peak_w * (STATIC_FRACTION + (1.0 - STATIC_FRACTION) * a)
+}
+
+/// Energy of a SmarCo run.
+///
+/// # Panics
+///
+/// Panics if the report covers zero cycles.
+pub fn run_energy(report: &SmarcoReport, cfg: &SmarcoConfig, node: TechNode) -> EnergyBreakdown {
+    assert!(report.cycles > 0, "empty run");
+    let est = estimate_smarco(cfg, node);
+    let core_activity = report.ipc() / (cfg.noc.cores() as f64 * cfg.tcg.pairs as f64);
+    let ring_activity =
+        (report.main_ring_utilization + report.subring_utilization) / 2.0;
+    let mact_activity = if report.requests == 0 {
+        0.0
+    } else {
+        report.mact_collected as f64 / report.requests as f64
+    };
+    let seconds = report.seconds(cfg.freq_ghz);
+    let mut power = 0.0;
+    for (name, c) in &est.components {
+        let activity = match *name {
+            "Cores" => core_activity,
+            "Hierarchy Ring" => ring_activity,
+            "MACT" => mact_activity,
+            "SPM+Cache" => core_activity, // SRAM activity tracks the cores
+            "MC+PHY" => report.dram_utilization,
+            other => panic!("unknown component {other}"),
+        };
+        power += activity_power(c.power_w, activity);
+    }
+    EnergyBreakdown {
+        seconds,
+        avg_power_w: power,
+        energy_j: power * seconds,
+        ips: report.throughput(cfg.freq_ghz),
+    }
+}
+
+/// Energy of a baseline (Xeon) run.
+///
+/// # Panics
+///
+/// Panics if the report covers zero cycles.
+pub fn xeon_run_energy(report: &BaselineReport, cfg: &XeonConfig) -> EnergyBreakdown {
+    assert!(report.cycles > 0, "empty run");
+    let tdp = estimate_xeon(cfg).power_w;
+    let activity = 1.0 - report.idle_ratio();
+    let seconds = report.cycles as f64 / (cfg.freq_ghz * 1e9);
+    let power = activity_power(tdp, activity);
+    EnergyBreakdown {
+        seconds,
+        avg_power_w: power,
+        energy_j: power * seconds,
+        ips: report.throughput(cfg.freq_ghz),
+    }
+}
+
+/// Energy-efficiency ratio (SmarCo over baseline): perf/W ÷ perf/W.
+pub fn efficiency_ratio(smarco: &EnergyBreakdown, xeon: &EnergyBreakdown) -> f64 {
+    if xeon.efficiency() == 0.0 {
+        0.0
+    } else {
+        smarco.efficiency() / xeon.efficiency()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smarco_report(cycles: u64, instructions: u64) -> SmarcoReport {
+        SmarcoReport {
+            cycles,
+            instructions,
+            main_ring_utilization: 0.3,
+            subring_utilization: 0.2,
+            dram_utilization: 0.4,
+            requests: 100,
+            mact_collected: 80,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn busier_run_draws_more_power() {
+        let cfg = SmarcoConfig::smarco();
+        let idle = run_energy(&smarco_report(1000, 10), &cfg, TechNode::n32());
+        let busy = run_energy(&smarco_report(1000, 900_000), &cfg, TechNode::n32());
+        assert!(busy.avg_power_w > idle.avg_power_w);
+        // Even idle, leakage keeps the floor up.
+        assert!(idle.avg_power_w > 0.25 * 240.0);
+        // Never exceeds peak.
+        assert!(busy.avg_power_w <= 241.0);
+    }
+
+    #[test]
+    fn energy_is_power_times_time() {
+        let cfg = SmarcoConfig::smarco();
+        let e = run_energy(&smarco_report(1_500_000_000, 1_000_000), &cfg, TechNode::n32());
+        assert!((e.seconds - 1.0).abs() < 1e-9);
+        assert!((e.energy_j - e.avg_power_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn xeon_energy_uses_tdp_and_idle_ratio() {
+        let mut r = BaselineReport { cycles: 2_200_000_000, instructions: 1_000_000, ..Default::default() };
+        r.issue_slots = 100;
+        r.issue_used = 50;
+        let e = xeon_run_energy(&r, &XeonConfig::e7_8890v4());
+        assert!((e.seconds - 1.0).abs() < 1e-9);
+        // 50% active: 0.3·165 + 0.7·165·0.5 = 107.25 W.
+        assert!((e.avg_power_w - 107.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_ratio_favors_faster_lower_power() {
+        let a = EnergyBreakdown { seconds: 1.0, avg_power_w: 100.0, energy_j: 100.0, ips: 1e9 };
+        let b = EnergyBreakdown { seconds: 1.0, avg_power_w: 200.0, energy_j: 200.0, ips: 0.5e9 };
+        assert!((efficiency_ratio(&a, &b) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty run")]
+    fn empty_run_rejected() {
+        let cfg = SmarcoConfig::smarco();
+        let _ = run_energy(&SmarcoReport::default(), &cfg, TechNode::n32());
+    }
+}

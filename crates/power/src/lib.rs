@@ -1,0 +1,24 @@
+//! Analytic area/power/energy models (§4.2.5).
+//!
+//! The paper estimates area and power with McPAT, CACTI 6.0 and Orion 2.0
+//! at a 32 nm node. We replace those tools with analytic per-component
+//! models of the same form — SRAM arrays scale with capacity, core logic
+//! with issue resources, routers with port×width — whose constants are
+//! calibrated **once** against Table 1 at 32 nm, then reused unchanged for
+//! every experiment (including the 40 nm prototype via classical
+//! technology scaling).
+//!
+//! * [`tech`] — technology-node scaling factors.
+//! * [`area`] — per-component area/power and the Table 1 chip estimate.
+//! * [`energy`] — activity-based run energy and the performance-per-watt
+//!   comparisons of Figs. 22 and 26.
+
+#![warn(missing_docs)]
+
+pub mod area;
+pub mod energy;
+pub mod tech;
+
+pub use area::{estimate_smarco, estimate_xeon, ChipEstimate, ComponentEstimate};
+pub use energy::{efficiency_ratio, run_energy, EnergyBreakdown};
+pub use tech::TechNode;

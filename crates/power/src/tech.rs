@@ -1,0 +1,75 @@
+//! Technology-node scaling.
+//!
+//! Classical (Dennard-ish, as the paper's tool flow assumes) scaling from
+//! the 32 nm reference node: area scales with feature size squared;
+//! dynamic power with feature size (capacitance) at equal voltage; static
+//! power with area.
+
+/// A CMOS technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechNode {
+    /// Feature size in nanometres.
+    pub nm: f64,
+}
+
+impl TechNode {
+    /// The paper's evaluation node (Table 1).
+    pub fn n32() -> Self {
+        Self { nm: 32.0 }
+    }
+
+    /// The prototype's TSMC node (§4.4).
+    pub fn n40() -> Self {
+        Self { nm: 40.0 }
+    }
+
+    /// Area multiplier relative to 32 nm.
+    pub fn area_scale(&self) -> f64 {
+        (self.nm / 32.0).powi(2)
+    }
+
+    /// Dynamic-power multiplier relative to 32 nm at equal frequency.
+    pub fn dynamic_scale(&self) -> f64 {
+        self.nm / 32.0
+    }
+
+    /// Leakage multiplier relative to 32 nm (tracks area).
+    pub fn static_scale(&self) -> f64 {
+        self.area_scale()
+    }
+
+    /// Validates the node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature size is non-positive.
+    pub fn validate(&self) {
+        assert!(self.nm > 0.0, "feature size must be positive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_node_is_identity() {
+        let n = TechNode::n32();
+        assert_eq!(n.area_scale(), 1.0);
+        assert_eq!(n.dynamic_scale(), 1.0);
+        assert_eq!(n.static_scale(), 1.0);
+    }
+
+    #[test]
+    fn forty_nm_is_larger_and_hungrier() {
+        let n = TechNode::n40();
+        assert!((n.area_scale() - 1.5625).abs() < 1e-12);
+        assert!((n.dynamic_scale() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn bad_node_rejected() {
+        TechNode { nm: 0.0 }.validate();
+    }
+}

@@ -1,0 +1,129 @@
+//! A semantic MapReduce engine over Rust closures.
+//!
+//! This is the programming model of §3.6 computing real answers: slice the
+//! input, run `map` per slice, shuffle by key hash into reducer
+//! partitions, run `reduce` per key, and merge. The examples use it with
+//! the functional kernels from `smarco-workloads` to show end-to-end
+//! results, while [`crate::mapreduce`] models the timing on the chip.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// Runs a MapReduce job: `map` turns one input item into key/value pairs,
+/// `reduce` folds all values of one key. `partitions` models the reducer
+/// count (results are identical for any positive value — verified by
+/// property tests).
+///
+/// # Panics
+///
+/// Panics if `partitions` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_runtime::functional::map_reduce;
+///
+/// let docs = ["a b a", "b b c"];
+/// let counts = map_reduce(
+///     &docs,
+///     |d| d.split_whitespace().map(|w| (w.to_owned(), 1u64)).collect(),
+///     |_k, vs| vs.iter().sum(),
+///     4,
+/// );
+/// assert_eq!(counts["a"], 2);
+/// assert_eq!(counts["b"], 3);
+/// ```
+pub fn map_reduce<I, K, V, M, R>(
+    inputs: &[I],
+    map: M,
+    reduce: R,
+    partitions: usize,
+) -> BTreeMap<K, V>
+where
+    K: Hash + Eq + Ord + Clone,
+    M: Fn(&I) -> Vec<(K, V)>,
+    R: Fn(&K, &[V]) -> V,
+{
+    assert!(partitions > 0, "need at least one reducer partition");
+    // Map phase: each input item is one map task.
+    let mut shuffled: Vec<HashMap<K, Vec<V>>> = (0..partitions).map(|_| HashMap::new()).collect();
+    for item in inputs {
+        for (k, v) in map(item) {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            k.hash(&mut h);
+            let p = (h.finish() % partitions as u64) as usize;
+            shuffled[p].entry(k).or_default().push(v);
+        }
+    }
+    // Reduce phase per partition, then merge (the master's Merge()).
+    let mut out = BTreeMap::new();
+    for part in shuffled {
+        for (k, vs) in part {
+            let r = reduce(&k, &vs);
+            out.insert(k, r);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_workloads::kernels::wordcount;
+
+    #[test]
+    fn matches_direct_wordcount() {
+        let docs = ["the cat sat", "the cat ran", "a dog"];
+        let mr = map_reduce(
+            &docs,
+            |d| wordcount(d).into_iter().collect(),
+            |_k, vs: &[u64]| vs.iter().sum(),
+            3,
+        );
+        let direct = wordcount(&docs.join(" "));
+        assert_eq!(mr.len(), direct.len());
+        for (k, v) in direct {
+            assert_eq!(mr[&k], v);
+        }
+    }
+
+    #[test]
+    fn partition_count_is_irrelevant_to_results() {
+        let docs = ["x y z x", "y y", "z"];
+        let base = map_reduce(
+            &docs,
+            |d| d.split_whitespace().map(|w| (w.to_owned(), 1u64)).collect(),
+            |_k, vs| vs.iter().sum(),
+            1,
+        );
+        for parts in [2, 3, 7, 16] {
+            let r = map_reduce(
+                &docs,
+                |d| d.split_whitespace().map(|w| (w.to_owned(), 1u64)).collect(),
+                |_k, vs| vs.iter().sum(),
+                parts,
+            );
+            assert_eq!(r, base, "partitions = {parts}");
+        }
+    }
+
+    #[test]
+    fn max_reduce() {
+        let nums = [3u64, 9, 1, 9, 4];
+        let r = map_reduce(
+            &nums,
+            |&n| vec![(n % 2, n)],
+            |_k, vs| *vs.iter().max().unwrap(),
+            2,
+        );
+        assert_eq!(r[&1], 9);
+        assert_eq!(r[&0], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one reducer")]
+    fn zero_partitions_rejected() {
+        let _ = map_reduce(&[1], |&n| vec![(n, n)], |_k, vs: &[i32]| vs[0], 0);
+    }
+}

@@ -1,0 +1,21 @@
+//! Programming models over the SmarCo chip (§3.6).
+//!
+//! * [`threads`] — the POSIX-threads-like basic model: create threads
+//!   (`pthread_create` ≈ [`threads::Threads::create`]), run to exit, with
+//!   main-scheduler load balancing across sub-rings.
+//! * [`mapreduce`] — the MapReduce framework (Fig. 15): slice the input
+//!   into equal stacks, stage slices into SPM when they fit (DMA prologue
+//!   otherwise touching DRAM), run map tasks on map sub-rings, then reduce
+//!   tasks on reduce sub-rings, and report per-phase timing.
+//! * [`functional`] — a real (semantic) MapReduce engine over Rust
+//!   closures, used by the examples and correctness tests: the same
+//!   programming model computing actual answers.
+
+#![warn(missing_docs)]
+
+pub mod functional;
+pub mod mapreduce;
+pub mod threads;
+
+pub use mapreduce::{MapReduceApp, MapReduceConfig, MapReduceRun, MapTask, ReduceTask};
+pub use threads::Threads;

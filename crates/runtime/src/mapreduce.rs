@@ -1,0 +1,414 @@
+//! The MapReduce framework over the simulated chip (§3.6, Fig. 15).
+//!
+//! The framework does what the paper describes: slice the input dataset
+//! into equal stacks sized to the hardware, map the map tasks onto the
+//! cores of the chosen map sub-rings (one task per TCG thread), stage each
+//! task's slice into its core's SPM by DMA when it fits (the DMA + Sync
+//! prologue is prepended to the task's instruction stream, so staging cost
+//! is paid in simulated time), run the map phase to completion, then run
+//! reduce tasks on the reduce sub-rings over the map results, and report
+//! per-phase cycle counts.
+
+use smarco_core::chip::SmarcoSystem;
+use smarco_core::report::SmarcoReport;
+use smarco_isa::op::{Instr, Op, INSTR_BYTES};
+use smarco_isa::stream::InstructionStream;
+use smarco_mem::spm::Spm;
+use smarco_sim::Cycle;
+
+/// One map task's placement and data slice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MapTask {
+    /// Task index.
+    pub index: usize,
+    /// Total map tasks.
+    pub total: usize,
+    /// Core the task runs on.
+    pub core: usize,
+    /// Thread slot on that core.
+    pub slot: usize,
+    /// Base address of the task's input slice (SPM window when staged).
+    pub slice_base: u64,
+    /// Slice length in bytes.
+    pub slice_len: u64,
+    /// Whether the slice was staged into SPM.
+    pub in_spm: bool,
+    /// Per-task deterministic seed.
+    pub seed: u64,
+}
+
+/// One reduce task's placement and input partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReduceTask {
+    /// Task index.
+    pub index: usize,
+    /// Total reduce tasks.
+    pub total: usize,
+    /// Core the task runs on.
+    pub core: usize,
+    /// Thread slot on that core.
+    pub slot: usize,
+    /// Base address of the task's result partition.
+    pub partition_base: u64,
+    /// Partition length in bytes.
+    pub partition_len: u64,
+    /// Whether the partition was staged into SPM.
+    pub in_spm: bool,
+    /// Per-task deterministic seed.
+    pub seed: u64,
+}
+
+/// An application: provides the instruction streams of its map and reduce
+/// tasks.
+pub trait MapReduceApp {
+    /// Stream of one map task.
+    fn map_stream(&self, task: &MapTask) -> Box<dyn InstructionStream + Send>;
+    /// Stream of one reduce task.
+    fn reduce_stream(&self, task: &ReduceTask) -> Box<dyn InstructionStream + Send>;
+}
+
+/// Job configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MapReduceConfig {
+    /// Sub-rings that run map tasks.
+    pub map_subrings: std::ops::Range<usize>,
+    /// Sub-rings that run reduce tasks.
+    pub reduce_subrings: std::ops::Range<usize>,
+    /// Map/reduce tasks per core (≤ resident threads).
+    pub threads_per_core: usize,
+    /// Input dataset base address (DRAM).
+    pub input_base: u64,
+    /// Input dataset length in bytes.
+    pub input_len: u64,
+    /// Map-output (shuffle) region base address (DRAM).
+    pub shuffle_base: u64,
+    /// Shuffle region length in bytes.
+    pub shuffle_len: u64,
+    /// Per-phase cycle budget.
+    pub phase_budget: Cycle,
+}
+
+impl MapReduceConfig {
+    /// A default split over a chip with `subrings` sub-rings: first ¾ map,
+    /// last ¼ (at least one) reduce.
+    pub fn split(subrings: usize, input_base: u64, input_len: u64) -> Self {
+        let reducers = (subrings / 4).max(1);
+        Self {
+            map_subrings: 0..subrings - reducers,
+            reduce_subrings: subrings - reducers..subrings,
+            threads_per_core: 8,
+            input_base,
+            input_len,
+            shuffle_base: input_base + input_len.next_power_of_two(),
+            shuffle_len: (input_len / 4).max(4096),
+            phase_budget: 100_000_000,
+        }
+    }
+
+    /// Validates against a chip's topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty ranges, overlap, or out-of-range sub-rings.
+    pub fn validate(&self, subrings: usize, resident_threads: usize) {
+        assert!(!self.map_subrings.is_empty(), "need map sub-rings");
+        assert!(!self.reduce_subrings.is_empty(), "need reduce sub-rings");
+        assert!(self.map_subrings.end <= subrings, "map sub-rings out of range");
+        assert!(self.reduce_subrings.end <= subrings, "reduce sub-rings out of range");
+        assert!(
+            self.map_subrings.end <= self.reduce_subrings.start
+                || self.reduce_subrings.end <= self.map_subrings.start,
+            "map and reduce sub-rings must not overlap"
+        );
+        assert!(
+            self.threads_per_core > 0 && self.threads_per_core <= resident_threads,
+            "threads per core out of range"
+        );
+        assert!(self.input_len > 0, "empty input");
+    }
+}
+
+/// Per-phase and whole-job timing.
+#[derive(Debug, Clone)]
+pub struct MapReduceRun {
+    /// Map tasks launched.
+    pub map_tasks: usize,
+    /// Reduce tasks launched.
+    pub reduce_tasks: usize,
+    /// Cycles the map phase took.
+    pub map_cycles: Cycle,
+    /// Cycles the reduce phase took.
+    pub reduce_cycles: Cycle,
+    /// Final chip report (cumulative).
+    pub report: SmarcoReport,
+}
+
+impl MapReduceRun {
+    /// Total job cycles.
+    pub fn total_cycles(&self) -> Cycle {
+        self.map_cycles + self.reduce_cycles
+    }
+}
+
+/// A stream that plays a fixed prologue (DMA staging) before an inner
+/// stream.
+struct PrologueStream {
+    prologue: Vec<Op>,
+    at: usize,
+    pc: u64,
+    inner: Box<dyn InstructionStream + Send>,
+}
+
+impl InstructionStream for PrologueStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.at < self.prologue.len() {
+            let op = self.prologue[self.at];
+            self.at += 1;
+            let pc = self.pc;
+            self.pc += INSTR_BYTES;
+            return Some(Instr { pc, op });
+        }
+        self.inner.next_instr()
+    }
+    fn segment(&self) -> Option<(u64, u64)> {
+        self.inner.segment()
+    }
+}
+
+fn stage_prologue(dram_src: u64, spm_dst: u64, bytes: u64) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let mut off = 0;
+    // DMA in ≤4 MB chunks (the control registers take a 32-bit size).
+    while off < bytes {
+        let chunk = (bytes - off).min(4 << 20) as u32;
+        ops.push(Op::Dma { src: dram_src + off, dst: spm_dst + off, bytes: chunk });
+        off += u64::from(chunk);
+    }
+    ops.push(Op::Sync);
+    ops
+}
+
+/// Runs a MapReduce job on `sys`; returns per-phase timing.
+///
+/// # Panics
+///
+/// Panics if the config is invalid for the chip, a core has no vacant
+/// slots, or a phase exceeds its cycle budget.
+pub fn run_mapreduce(
+    sys: &mut SmarcoSystem,
+    app: &dyn MapReduceApp,
+    config: &MapReduceConfig,
+) -> MapReduceRun {
+    let noc = sys.config().noc;
+    config.validate(noc.subrings, sys.config().tcg.resident_threads);
+    let space = sys.address_space();
+    let cps = noc.cores_per_subring;
+    let spm_per_task = Spm::data_bytes() / config.threads_per_core as u64;
+
+    // ---- Map phase ----
+    let map_cores: Vec<usize> = config
+        .map_subrings
+        .clone()
+        .flat_map(|sr| sr * cps..(sr + 1) * cps)
+        .collect();
+    let total_map = map_cores.len() * config.threads_per_core;
+    let slice_len = (config.input_len / total_map as u64).max(1);
+    let mut index = 0;
+    for &core in &map_cores {
+        for slot in 0..config.threads_per_core {
+            let dram_slice = config.input_base + index as u64 * slice_len;
+            let fits = slice_len <= spm_per_task;
+            let slice_base = if fits {
+                space.spm_base(core) + slot as u64 * spm_per_task
+            } else {
+                dram_slice
+            };
+            let task = MapTask {
+                index,
+                total: total_map,
+                core,
+                slot,
+                slice_base,
+                slice_len,
+                in_spm: fits,
+                seed: 0x5eed_0000 + index as u64,
+            };
+            let inner = app.map_stream(&task);
+            let stream: Box<dyn InstructionStream + Send> = if fits {
+                Box::new(PrologueStream {
+                    prologue: stage_prologue(dram_slice, slice_base, slice_len),
+                    at: 0,
+                    pc: inner.segment().map_or(0, |(b, _)| b),
+                    inner,
+                })
+            } else {
+                inner
+            };
+            sys.attach(core, stream).unwrap_or_else(|_| {
+                panic!("core {core} has no vacant slot for map task {index}")
+            });
+            index += 1;
+        }
+    }
+    let start = sys.report().cycles;
+    let report = sys.run(start + config.phase_budget);
+    assert!(sys.is_done(), "map phase exceeded its cycle budget");
+    let map_cycles = report.cycles - start;
+
+    // ---- Reduce phase ----
+    let reduce_cores: Vec<usize> = config
+        .reduce_subrings
+        .clone()
+        .flat_map(|sr| sr * cps..(sr + 1) * cps)
+        .collect();
+    let total_reduce = reduce_cores.len() * config.threads_per_core;
+    let part_len = (config.shuffle_len / total_reduce as u64).max(1);
+    let mut index = 0;
+    for &core in &reduce_cores {
+        for slot in 0..config.threads_per_core {
+            let dram_part = config.shuffle_base + index as u64 * part_len;
+            let fits = part_len <= spm_per_task;
+            let partition_base = if fits {
+                space.spm_base(core) + slot as u64 * spm_per_task
+            } else {
+                dram_part
+            };
+            let task = ReduceTask {
+                index,
+                total: total_reduce,
+                core,
+                slot,
+                partition_base,
+                partition_len: part_len,
+                in_spm: fits,
+                seed: 0x0dd_0000 + index as u64,
+            };
+            let inner = app.reduce_stream(&task);
+            let stream: Box<dyn InstructionStream + Send> = if fits {
+                Box::new(PrologueStream {
+                    prologue: stage_prologue(dram_part, partition_base, part_len),
+                    at: 0,
+                    pc: inner.segment().map_or(0, |(b, _)| b),
+                    inner,
+                })
+            } else {
+                inner
+            };
+            sys.attach(core, stream).unwrap_or_else(|_| {
+                panic!("core {core} has no vacant slot for reduce task {index}")
+            });
+            index += 1;
+        }
+    }
+    let start = sys.report().cycles;
+    let report = sys.run(start + config.phase_budget);
+    assert!(sys.is_done(), "reduce phase exceeded its cycle budget");
+    let reduce_cycles = report.cycles - start;
+
+    MapReduceRun { map_tasks: total_map, reduce_tasks: total_reduce, map_cycles, reduce_cycles, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_core::config::SmarcoConfig;
+    use smarco_sim::rng::SimRng;
+    use smarco_workloads::Benchmark;
+
+    /// Adapter: drives a benchmark's structured generator as map/reduce
+    /// tasks.
+    struct BenchApp {
+        bench: Benchmark,
+        map_ops: u64,
+        reduce_ops: u64,
+    }
+
+    impl MapReduceApp for BenchApp {
+        fn map_stream(&self, t: &MapTask) -> Box<dyn InstructionStream + Send> {
+            let p = self.bench.thread_params(
+                t.slice_base,
+                t.slice_len,
+                0x3000_0000,
+                0, // slice is private: no team interleaving inside it
+                1,
+                self.map_ops,
+            );
+            Box::new(smarco_workloads::HtcStream::new(p, SimRng::new(t.seed)))
+        }
+        fn reduce_stream(&self, t: &ReduceTask) -> Box<dyn InstructionStream + Send> {
+            let p = self.bench.thread_params(
+                t.partition_base,
+                t.partition_len,
+                0x3000_0000,
+                0,
+                1,
+                self.reduce_ops,
+            );
+            Box::new(smarco_workloads::HtcStream::new(p, SimRng::new(t.seed)))
+        }
+    }
+
+    #[test]
+    fn job_runs_both_phases() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let cfg = MapReduceConfig {
+            threads_per_core: 4,
+            phase_budget: 20_000_000,
+            ..MapReduceConfig::split(4, 0x100_0000, 1 << 22)
+        };
+        let app = BenchApp { bench: Benchmark::WordCount, map_ops: 500, reduce_ops: 200 };
+        let run = run_mapreduce(&mut sys, &app, &cfg);
+        assert_eq!(run.map_tasks, 3 * 4 * 4);
+        assert_eq!(run.reduce_tasks, 4 * 4);
+        assert!(run.map_cycles > 0);
+        assert!(run.reduce_cycles > 0);
+        // 4 MB over 48 map tasks → ~87 KB slices: too big for SPM shares,
+        // so no DMA prologue — every task runs ops + Exit.
+        assert_eq!(
+            run.report.instructions as usize,
+            run.map_tasks * 501 + run.reduce_tasks * 201
+        );
+    }
+
+    #[test]
+    fn spm_staging_applies_when_slices_fit() {
+        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        // 4 MB over 48 map tasks → ~87 KB per slice: too big for an SPM
+        // share at 4 threads/core (≈32 KB), so tasks address DRAM.
+        let big = MapReduceConfig {
+            threads_per_core: 4,
+            phase_budget: 50_000_000,
+            ..MapReduceConfig::split(4, 0x100_0000, 4 << 20)
+        };
+        let app = BenchApp { bench: Benchmark::Kmp, map_ops: 300, reduce_ops: 100 };
+        let run_big = run_mapreduce(&mut sys, &app, &big);
+        // 256 KB total → ~5 KB slices: staged into SPM.
+        let mut sys2 = SmarcoSystem::new(SmarcoConfig::tiny());
+        let small = MapReduceConfig {
+            threads_per_core: 4,
+            phase_budget: 50_000_000,
+            ..MapReduceConfig::split(4, 0x100_0000, 256 << 10)
+        };
+        let run_small = run_mapreduce(&mut sys2, &app, &small);
+        // Staged run keeps its scan traffic on-chip: far fewer DRAM
+        // requests per instruction.
+        let rate_big = run_big.report.requests as f64 / run_big.report.instructions as f64;
+        let rate_small =
+            run_small.report.requests as f64 / run_small.report.instructions as f64;
+        assert!(
+            rate_small < rate_big * 0.8,
+            "staged {rate_small:.4} vs unstaged {rate_big:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must not overlap")]
+    fn overlapping_ranges_rejected() {
+        let cfg = MapReduceConfig {
+            map_subrings: 0..3,
+            reduce_subrings: 2..4,
+            ..MapReduceConfig::split(4, 0, 4096)
+        };
+        cfg.validate(4, 8);
+    }
+}

@@ -1,0 +1,124 @@
+//! The basic pthreads-like model (§3.6): create threads, run them to
+//! `pthread_exit`, join.
+
+use smarco_core::chip::SmarcoSystem;
+use smarco_core::report::SmarcoReport;
+use smarco_core::tcg::CoreFull;
+use smarco_isa::InstructionStream;
+use smarco_sched::MainScheduler;
+use smarco_sim::Cycle;
+
+/// Thread-management façade over a [`SmarcoSystem`].
+///
+/// Placement is load-balanced: the main scheduler (§3.7) tracks estimated
+/// outstanding work per sub-ring and each new thread goes to the least
+/// loaded one.
+pub struct Threads {
+    sys: SmarcoSystem,
+    balancer: MainScheduler,
+    created: u64,
+}
+
+impl std::fmt::Debug for Threads {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Threads").field("created", &self.created).finish()
+    }
+}
+
+impl Threads {
+    /// Wraps a chip.
+    pub fn new(sys: SmarcoSystem) -> Self {
+        let balancer = MainScheduler::new(sys.config().noc.subrings);
+        Self { sys, balancer, created: 0 }
+    }
+
+    /// The underlying chip.
+    pub fn system(&self) -> &SmarcoSystem {
+        &self.sys
+    }
+
+    /// The underlying chip, mutable.
+    pub fn system_mut(&mut self) -> &mut SmarcoSystem {
+        &mut self.sys
+    }
+
+    /// Threads created so far.
+    pub fn created(&self) -> u64 {
+        self.created
+    }
+
+    /// Creates a thread (`pthread_create`): picks the least-loaded
+    /// sub-ring, then the first core there with a vacant slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreFull`] when no core on the chip has a vacant slot.
+    pub fn create(
+        &mut self,
+        stream: Box<dyn InstructionStream + Send>,
+        estimated_work: u64,
+    ) -> Result<(usize, usize), CoreFull> {
+        let cps = self.sys.config().noc.cores_per_subring;
+        let mut stream = stream;
+        // Least-loaded sub-ring first; fall through when a sub-ring has no
+        // vacant thread slot.
+        for sr in self.balancer.by_load() {
+            for core in sr * cps..(sr + 1) * cps {
+                match self.sys.attach(core, stream) {
+                    Ok(thread) => {
+                        self.created += 1;
+                        self.balancer.assign_to(sr, estimated_work.max(1));
+                        return Ok((core, thread));
+                    }
+                    Err(e) => stream = e.into_stream(),
+                }
+            }
+        }
+        Err(self.sys.attach(0, stream).expect_err("chip known full"))
+    }
+
+    /// Runs the chip until all threads exit (`join`), or `max` cycles.
+    pub fn join_all(&mut self, max: Cycle) -> SmarcoReport {
+        self.sys.run(max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_core::config::SmarcoConfig;
+    use smarco_isa::mix::compute_only;
+
+    #[test]
+    fn create_and_join() {
+        let mut t = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+        for _ in 0..32 {
+            t.create(Box::new(compute_only(500)), 500).unwrap();
+        }
+        let r = t.join_all(1_000_000);
+        assert_eq!(r.instructions, 32 * 501);
+        assert_eq!(t.created(), 32);
+    }
+
+    #[test]
+    fn placement_spreads_across_subrings() {
+        let mut t = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+        let cps = t.system().config().noc.cores_per_subring;
+        let mut subrings_used = std::collections::HashSet::new();
+        for _ in 0..8 {
+            let (core, _) = t.create(Box::new(compute_only(100)), 100).unwrap();
+            subrings_used.insert(core / cps);
+        }
+        assert_eq!(subrings_used.len(), 4, "8 equal threads spread over 4 sub-rings");
+    }
+
+    #[test]
+    fn chip_capacity_enforced() {
+        let mut t = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+        let capacity = t.system().config().total_threads();
+        for _ in 0..capacity {
+            t.create(Box::new(compute_only(10)), 10).unwrap();
+        }
+        assert!(t.create(Box::new(compute_only(10)), 10).is_err());
+    }
+}

@@ -1,0 +1,169 @@
+//! Software scheduler baselines.
+//!
+//! Fig. 21's left panel uses the **Deadline Scheduler** (Polo et al.,
+//! NOMS 2010): a software scheduler that dynamically orders tasks by the
+//! remaining time to their deadline. Running in software it pays a
+//! kernel-scale dispatch cost, and with one shared deadline it degenerates
+//! to arrival order — which is exactly why its exit times spread wide. We
+//! also provide a plain FIFO scheduler as the no-QoS floor.
+
+use smarco_sim::Cycle;
+
+use crate::task::{Task, TaskScheduler};
+
+/// Software EDF-style scheduler ordered by earliest deadline, with
+/// OS-scale per-dispatch overhead.
+#[derive(Debug, Clone)]
+pub struct DeadlineScheduler {
+    queue: Vec<Task>,
+    overhead: Cycle,
+}
+
+impl DeadlineScheduler {
+    /// Creates a scheduler with the default software dispatch cost
+    /// (~1200 cycles: run-queue lock, context setup, migration).
+    pub fn new() -> Self {
+        Self::with_overhead(1200)
+    }
+
+    /// Creates a scheduler with an explicit per-dispatch cost.
+    pub fn with_overhead(overhead: Cycle) -> Self {
+        Self { queue: Vec::new(), overhead }
+    }
+}
+
+impl Default for DeadlineScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskScheduler for DeadlineScheduler {
+    fn name(&self) -> &'static str {
+        "deadline (software)"
+    }
+
+    fn enqueue(&mut self, task: Task, _now: Cycle) {
+        self.queue.push(task);
+    }
+
+    fn dispatch(&mut self, _now: Cycle) -> Option<Task> {
+        if self.queue.is_empty() {
+            return None;
+        }
+        // Earliest deadline; high priority first; ties keep arrival order
+        // (stable scan).
+        let mut best = 0;
+        for i in 1..self.queue.len() {
+            let (a, b) = (&self.queue[i], &self.queue[best]);
+            let better = (a.priority, std::cmp::Reverse(a.deadline), std::cmp::Reverse(a.arrival))
+                > (b.priority, std::cmp::Reverse(b.deadline), std::cmp::Reverse(b.arrival));
+            if better {
+                best = i;
+            }
+        }
+        Some(self.queue.remove(best))
+    }
+
+    fn overhead(&self) -> Cycle {
+        self.overhead
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+/// First-in-first-out scheduler (no QoS awareness), with the same software
+/// dispatch cost as [`DeadlineScheduler`].
+#[derive(Debug, Clone)]
+pub struct FifoScheduler {
+    queue: std::collections::VecDeque<Task>,
+    overhead: Cycle,
+}
+
+impl FifoScheduler {
+    /// Creates a FIFO scheduler with the default software dispatch cost.
+    pub fn new() -> Self {
+        Self { queue: std::collections::VecDeque::new(), overhead: 1200 }
+    }
+}
+
+impl Default for FifoScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TaskScheduler for FifoScheduler {
+    fn name(&self) -> &'static str {
+        "fifo (software)"
+    }
+
+    fn enqueue(&mut self, task: Task, _now: Cycle) {
+        self.queue.push_back(task);
+    }
+
+    fn dispatch(&mut self, _now: Cycle) -> Option<Task> {
+        self.queue.pop_front()
+    }
+
+    fn overhead(&self) -> Cycle {
+        self.overhead
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_scheduler_orders_by_deadline() {
+        let mut s = DeadlineScheduler::with_overhead(10);
+        s.enqueue(Task::new(1, 0, 300, 10), 0);
+        s.enqueue(Task::new(2, 0, 100, 10), 0);
+        s.enqueue(Task::new(3, 0, 200, 10), 0);
+        assert_eq!(s.dispatch(0).unwrap().id, 2);
+        assert_eq!(s.dispatch(0).unwrap().id, 3);
+        assert_eq!(s.dispatch(0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn equal_deadlines_degenerate_to_arrival_order() {
+        let mut s = DeadlineScheduler::new();
+        for i in 0..5 {
+            s.enqueue(Task::new(i, i, 1000, 10), i);
+        }
+        for i in 0..5 {
+            assert_eq!(s.dispatch(10).unwrap().id, i);
+        }
+    }
+
+    #[test]
+    fn high_priority_preferred() {
+        let mut s = DeadlineScheduler::new();
+        s.enqueue(Task::new(1, 0, 100, 10), 0);
+        s.enqueue(Task::new(2, 0, 900, 10).with_high_priority(), 0);
+        assert_eq!(s.dispatch(0).unwrap().id, 2);
+    }
+
+    #[test]
+    fn software_overhead_dwarfs_hardware() {
+        let s = DeadlineScheduler::new();
+        let h = crate::laxity::LaxityAwareScheduler::subring();
+        assert!(s.overhead() > 50 * h.overhead());
+    }
+
+    #[test]
+    fn fifo_is_fifo() {
+        let mut s = FifoScheduler::new();
+        s.enqueue(Task::new(1, 0, 100, 10), 0);
+        s.enqueue(Task::new(2, 0, 50, 10), 0);
+        assert_eq!(s.dispatch(0).unwrap().id, 1);
+        assert_eq!(s.pending(), 1);
+    }
+}

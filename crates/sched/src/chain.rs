@@ -1,0 +1,267 @@
+//! RAM-based chain tables (Fig. 16).
+//!
+//! The hardware sub-scheduler keeps tasks in three singly linked chains
+//! threaded through one RAM array: **null** (free entries), **normal**,
+//! and **high-priority**. Using RAM instead of CAM saves area and power
+//! (§3.7) at the cost of walking the chain — the walk cost is surfaced as
+//! [`ChainTable::last_scan_len`] so the scheduler can charge realistic
+//! dispatch cycles.
+
+use crate::task::{Task, TaskPriority};
+
+const NIL: u16 = u16::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    task: Option<Task>,
+    next: u16,
+}
+
+/// A fixed-capacity chain table holding ready tasks in two priority
+/// chains plus a free chain.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_sched::chain::ChainTable;
+/// use smarco_sched::task::Task;
+///
+/// let mut t = ChainTable::new(8);
+/// t.insert(Task::new(1, 0, 100, 10)).unwrap();
+/// t.insert(Task::new(2, 0, 100, 60)).unwrap();
+/// // Least laxity first: task 2 (100 − 60) beats task 1 (100 − 10).
+/// assert_eq!(t.pop_min_laxity(0).unwrap().id, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChainTable {
+    entries: Vec<Entry>,
+    free_head: u16,
+    heads: [u16; 2], // [normal, high]
+    lens: [usize; 2],
+    last_scan: usize,
+}
+
+impl ChainTable {
+    /// Creates a table of `capacity` entries, all on the null chain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or above `u16::MAX - 1`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "chain table needs capacity");
+        assert!(capacity < usize::from(u16::MAX), "capacity too large for u16 links");
+        let mut entries = Vec::with_capacity(capacity);
+        for i in 0..capacity {
+            let next = if i + 1 == capacity { NIL } else { (i + 1) as u16 };
+            entries.push(Entry { task: None, next });
+        }
+        Self { entries, free_head: 0, heads: [NIL, NIL], lens: [0, 0], last_scan: 0 }
+    }
+
+    fn chain_idx(p: TaskPriority) -> usize {
+        match p {
+            TaskPriority::Normal => 0,
+            TaskPriority::High => 1,
+        }
+    }
+
+    /// Total queued tasks.
+    pub fn len(&self) -> usize {
+        self.lens.iter().sum()
+    }
+
+    /// Whether no tasks are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Free entries remaining on the null chain.
+    pub fn free(&self) -> usize {
+        self.entries.len() - self.len()
+    }
+
+    /// Entries touched by the most recent insert/pop — the RAM walk length
+    /// the hardware pays for.
+    pub fn last_scan_len(&self) -> usize {
+        self.last_scan
+    }
+
+    /// Appends a task to its priority chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns the task back when the table is full.
+    pub fn insert(&mut self, task: Task) -> Result<(), Task> {
+        if self.free_head == NIL {
+            return Err(task);
+        }
+        let idx = self.free_head;
+        self.free_head = self.entries[usize::from(idx)].next;
+        self.entries[usize::from(idx)] = Entry { task: Some(task), next: NIL };
+        let chain = Self::chain_idx(task.priority);
+        // Append at tail: walk the chain (RAM cost).
+        let mut scan = 1;
+        if self.heads[chain] == NIL {
+            self.heads[chain] = idx;
+        } else {
+            let mut cur = self.heads[chain];
+            while self.entries[usize::from(cur)].next != NIL {
+                cur = self.entries[usize::from(cur)].next;
+                scan += 1;
+            }
+            self.entries[usize::from(cur)].next = idx;
+        }
+        self.lens[chain] += 1;
+        self.last_scan = scan;
+        Ok(())
+    }
+
+    /// Removes and returns the minimum-laxity task, preferring the
+    /// high-priority chain when it is non-empty. Ties break toward the
+    /// earlier chain position (FIFO).
+    pub fn pop_min_laxity(&mut self, now: smarco_sim::Cycle) -> Option<Task> {
+        let chain = if self.lens[1] > 0 { 1 } else { 0 };
+        if self.heads[chain] == NIL {
+            return None;
+        }
+        // Walk the chain tracking min laxity and its predecessor.
+        let mut scan = 0;
+        let mut best: Option<(u16, u16, i64)> = None; // (prev, idx, laxity)
+        let mut prev = NIL;
+        let mut cur = self.heads[chain];
+        while cur != NIL {
+            scan += 1;
+            let lax = self.entries[usize::from(cur)]
+                .task
+                .expect("chained entries hold tasks")
+                .laxity(now);
+            if best.map_or(true, |(_, _, b)| lax < b) {
+                best = Some((prev, cur, lax));
+            }
+            prev = cur;
+            cur = self.entries[usize::from(cur)].next;
+        }
+        self.last_scan = scan;
+        let (bprev, bidx, _) = best.expect("chain non-empty");
+        // Unlink.
+        let bnext = self.entries[usize::from(bidx)].next;
+        if bprev == NIL {
+            self.heads[chain] = bnext;
+        } else {
+            self.entries[usize::from(bprev)].next = bnext;
+        }
+        let task = self.entries[usize::from(bidx)].task.take();
+        self.entries[usize::from(bidx)].next = self.free_head;
+        self.free_head = bidx;
+        self.lens[chain] -= 1;
+        task
+    }
+
+    /// Removes and returns the head of the preferred chain (FIFO order),
+    /// high-priority first.
+    pub fn pop_front(&mut self) -> Option<Task> {
+        let chain = if self.lens[1] > 0 { 1 } else { 0 };
+        let head = self.heads[chain];
+        if head == NIL {
+            return None;
+        }
+        self.last_scan = 1;
+        self.heads[chain] = self.entries[usize::from(head)].next;
+        let task = self.entries[usize::from(head)].task.take();
+        self.entries[usize::from(head)].next = self.free_head;
+        self.free_head = head;
+        self.lens[chain] -= 1;
+        task
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::Task;
+
+    #[test]
+    fn fills_and_frees_entries() {
+        let mut t = ChainTable::new(4);
+        assert_eq!(t.free(), 4);
+        for i in 0..4 {
+            t.insert(Task::new(i, 0, 100, 10)).unwrap();
+        }
+        assert_eq!(t.free(), 0);
+        assert!(t.insert(Task::new(9, 0, 100, 10)).is_err());
+        assert!(t.pop_front().is_some());
+        assert_eq!(t.free(), 1);
+        assert!(t.insert(Task::new(9, 0, 100, 10)).is_ok());
+    }
+
+    #[test]
+    fn min_laxity_pops_longest_work_for_equal_deadlines() {
+        let mut t = ChainTable::new(8);
+        t.insert(Task::new(1, 0, 1000, 100)).unwrap();
+        t.insert(Task::new(2, 0, 1000, 500)).unwrap();
+        t.insert(Task::new(3, 0, 1000, 300)).unwrap();
+        assert_eq!(t.pop_min_laxity(0).unwrap().id, 2);
+        assert_eq!(t.pop_min_laxity(0).unwrap().id, 3);
+        assert_eq!(t.pop_min_laxity(0).unwrap().id, 1);
+        assert!(t.pop_min_laxity(0).is_none());
+    }
+
+    #[test]
+    fn high_priority_chain_served_first() {
+        let mut t = ChainTable::new(8);
+        t.insert(Task::new(1, 0, 100, 10)).unwrap();
+        t.insert(Task::new(2, 0, 10_000, 10).with_high_priority()).unwrap();
+        // Normal task 1 has far less laxity, but the high chain wins.
+        assert_eq!(t.pop_min_laxity(0).unwrap().id, 2);
+        assert_eq!(t.pop_min_laxity(0).unwrap().id, 1);
+    }
+
+    #[test]
+    fn fifo_pop_front_order() {
+        let mut t = ChainTable::new(8);
+        for i in 0..5 {
+            t.insert(Task::new(i, 0, 100 + i, 10)).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(t.pop_front().unwrap().id, i);
+        }
+    }
+
+    #[test]
+    fn scan_length_reflects_ram_walk() {
+        let mut t = ChainTable::new(32);
+        for i in 0..10 {
+            t.insert(Task::new(i, 0, 100, 10)).unwrap();
+        }
+        let _ = t.pop_min_laxity(0);
+        assert_eq!(t.last_scan_len(), 10);
+    }
+
+    #[test]
+    fn interleaved_stress_consistency() {
+        let mut t = ChainTable::new(16);
+        let mut popped = Vec::new();
+        for round in 0..50u64 {
+            for i in 0..3 {
+                let _ = t.insert(Task::new(round * 10 + i, 0, 10_000, 100 + i));
+            }
+            if let Some(task) = t.pop_min_laxity(round) {
+                popped.push(task.id);
+            }
+        }
+        while let Some(task) = t.pop_front() {
+            popped.push(task.id);
+        }
+        assert!(t.is_empty());
+        popped.sort_unstable();
+        popped.dedup();
+        // No task popped twice.
+        assert_eq!(popped.len(), popped.iter().count());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs capacity")]
+    fn zero_capacity_rejected() {
+        let _ = ChainTable::new(0);
+    }
+}

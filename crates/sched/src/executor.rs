@@ -1,0 +1,291 @@
+//! A thread-slot executor for scheduler studies (Fig. 21).
+//!
+//! One sub-ring offers 16 cores × 4 running threads = 64 execution slots
+//! and 128 resident thread tasks. The executor drives any
+//! [`TaskScheduler`] over a task set: the dispatcher hands a ready task to
+//! a free slot, charging the scheduler's dispatch overhead (serialized —
+//! one dispatcher), and each task then runs to completion. Exit-time
+//! distributions and deadline success rates fall out.
+
+use smarco_sim::Cycle;
+
+use crate::task::{Task, TaskScheduler};
+
+/// Completion record of one task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitRecord {
+    /// The task.
+    pub task: Task,
+    /// Cycle execution began.
+    pub start: Cycle,
+    /// Cycle the task exited.
+    pub exit: Cycle,
+}
+
+impl ExitRecord {
+    /// Whether the task met its deadline.
+    pub fn met_deadline(&self) -> bool {
+        self.exit <= self.task.deadline
+    }
+}
+
+/// Results of one executor run.
+#[derive(Debug, Clone)]
+pub struct ExecutorReport {
+    /// Scheduler name.
+    pub scheduler: &'static str,
+    /// One record per completed task.
+    pub records: Vec<ExitRecord>,
+}
+
+impl ExecutorReport {
+    /// Fraction of tasks that met their deadline.
+    pub fn success_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        self.records.iter().filter(|r| r.met_deadline()).count() as f64
+            / self.records.len() as f64
+    }
+
+    /// `(earliest, latest)` exit cycles.
+    pub fn exit_range(&self) -> (Cycle, Cycle) {
+        let min = self.records.iter().map(|r| r.exit).min().unwrap_or(0);
+        let max = self.records.iter().map(|r| r.exit).max().unwrap_or(0);
+        (min, max)
+    }
+
+    /// Latest exit (total completion time).
+    pub fn makespan(&self) -> Cycle {
+        self.exit_range().1
+    }
+
+    /// Width of the exit-time window — the QoS "tightness" Fig. 21 shows.
+    pub fn exit_spread(&self) -> Cycle {
+        let (min, max) = self.exit_range();
+        max - min
+    }
+}
+
+/// Runs `tasks` on `slots` parallel execution slots under `scheduler`.
+///
+/// Non-preemptive: a dispatched task holds its slot until completion. The
+/// dispatcher makes at most one decision at a time; each decision costs
+/// `scheduler.overhead()` cycles before the task starts.
+///
+/// # Panics
+///
+/// Panics if `slots` is zero or the run exceeds `max_cycles` with tasks
+/// still outstanding (a scheduling deadlock in the model).
+pub fn run_tasks(
+    scheduler: &mut dyn TaskScheduler,
+    mut tasks: Vec<Task>,
+    slots: usize,
+    max_cycles: Cycle,
+) -> ExecutorReport {
+    assert!(slots > 0, "need at least one execution slot");
+    let total = tasks.len();
+    tasks.sort_by_key(|t| t.arrival);
+    let mut next_arrival = 0usize;
+    let mut running: Vec<Option<(Task, Cycle, Cycle)>> = vec![None; slots]; // (task, start, done)
+    let mut records = Vec::with_capacity(total);
+    let mut dispatcher_free_at: Cycle = 0;
+    let mut now: Cycle = 0;
+    while records.len() < total {
+        assert!(now < max_cycles, "executor exceeded {max_cycles} cycles");
+        // Arrivals.
+        while next_arrival < tasks.len() && tasks[next_arrival].arrival <= now {
+            scheduler.enqueue(tasks[next_arrival], now);
+            next_arrival += 1;
+        }
+        // Completions.
+        for slot in running.iter_mut() {
+            if let Some((task, start, done)) = *slot {
+                if done <= now {
+                    records.push(ExitRecord { task, start, exit: done });
+                    *slot = None;
+                }
+            }
+        }
+        // Dispatch: one decision at a time, charged with overhead.
+        if dispatcher_free_at <= now && scheduler.pending() > 0 {
+            if let Some(free_idx) = running.iter().position(Option::is_none) {
+                if let Some(task) = scheduler.dispatch(now) {
+                    let overhead = scheduler.overhead();
+                    let start = now + overhead;
+                    running[free_idx] = Some((task, start, start + task.work));
+                    dispatcher_free_at = now + overhead;
+                }
+            }
+        }
+        now += 1;
+    }
+    ExecutorReport { scheduler: scheduler.name(), records }
+}
+
+/// Runs `tasks` on `slots` slots with **preemptive quantum scheduling** —
+/// the Fig. 21 setting: all 128 of a sub-ring's resident thread tasks make
+/// concurrent progress, but only 64 run at any instant, and every
+/// `quantum` cycles the scheduler re-decides who runs. The hardware
+/// laxity-aware scheduler re-decides at a fine grain and always boosts the
+/// tasks with the least laxity (most remaining work), equalizing progress
+/// so exits cluster tightly; a software scheduler's coarse quantum leaves
+/// progress offsets of a quantum or more between tasks.
+///
+/// Re-enqueued (preempted) tasks carry their *remaining* work, so laxity
+/// stays meaningful, and an updated arrival so deadline-ties rotate
+/// round-robin as an OS run queue does.
+///
+/// # Panics
+///
+/// Panics if `slots` or `quantum` is zero, or the run exceeds
+/// `max_cycles`.
+pub fn run_tasks_preemptive(
+    scheduler: &mut dyn TaskScheduler,
+    mut tasks: Vec<Task>,
+    slots: usize,
+    quantum: Cycle,
+    max_cycles: Cycle,
+) -> ExecutorReport {
+    assert!(slots > 0, "need at least one execution slot");
+    assert!(quantum > 0, "quantum must be positive");
+    let total = tasks.len();
+    let mut first_start: std::collections::HashMap<u64, Cycle> = std::collections::HashMap::new();
+    tasks.sort_by_key(|t| t.arrival);
+    let mut next_arrival = 0usize;
+    let mut records = Vec::with_capacity(total);
+    let mut now: Cycle = 0;
+    while records.len() < total {
+        assert!(now < max_cycles, "preemptive executor exceeded {max_cycles} cycles");
+        while next_arrival < tasks.len() && tasks[next_arrival].arrival <= now {
+            scheduler.enqueue(tasks[next_arrival], now);
+            next_arrival += 1;
+        }
+        // Pick this quantum's runners.
+        let mut running = Vec::with_capacity(slots);
+        while running.len() < slots {
+            match scheduler.dispatch(now) {
+                Some(t) => running.push(t),
+                None => break,
+            }
+        }
+        for t in &running {
+            first_start.entry(t.id).or_insert(now);
+        }
+        let end = now + quantum;
+        for t in running {
+            if t.work <= quantum {
+                records.push(ExitRecord {
+                    task: t,
+                    start: first_start[&t.id],
+                    exit: now + t.work,
+                });
+            } else {
+                // Preempt with remaining work; arrival moves to the tail
+                // of this quantum so equal-deadline orders rotate.
+                let mut rest = t;
+                rest.work = t.work - quantum;
+                rest.arrival = end;
+                scheduler.enqueue(rest, end);
+            }
+        }
+        now = end;
+    }
+    // Note: a record's task carries the *final-quantum* remaining work;
+    // its id and deadline (what met_deadline needs) are original.
+    ExecutorReport { scheduler: scheduler.name(), records }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{DeadlineScheduler, FifoScheduler};
+    use crate::laxity::LaxityAwareScheduler;
+    use smarco_sim::rng::SimRng;
+
+    fn equal_deadline_tasks(n: u64, deadline: Cycle, seed: u64) -> Vec<Task> {
+        // Work varies ±40% around a mean chosen so two waves roughly fill
+        // the deadline.
+        let mut rng = SimRng::new(seed);
+        let mean = deadline / 2 - deadline / 8;
+        (0..n)
+            .map(|i| {
+                let spread = (mean as f64 * 0.4) as u64;
+                let work = mean - spread / 2 + rng.gen_range(spread);
+                Task::new(i, 0, deadline, work)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn all_tasks_complete_exactly_once() {
+        let tasks = equal_deadline_tasks(128, 340_000, 1);
+        let mut s = LaxityAwareScheduler::subring();
+        let r = run_tasks(&mut s, tasks, 64, 10_000_000);
+        assert_eq!(r.records.len(), 128);
+        let mut ids: Vec<u64> = r.records.iter().map(|x| x.task.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 128);
+    }
+
+    #[test]
+    fn laxity_aware_tightens_exit_spread_versus_deadline_scheduler() {
+        let tasks = equal_deadline_tasks(128, 340_000, 2);
+        let mut hw = LaxityAwareScheduler::subring();
+        let hw_report = run_tasks(&mut hw, tasks.clone(), 64, 10_000_000);
+        let mut sw = DeadlineScheduler::with_overhead(200);
+        let sw_report = run_tasks(&mut sw, tasks, 64, 10_000_000);
+        assert!(
+            hw_report.exit_spread() < sw_report.exit_spread(),
+            "hw spread {} vs sw spread {}",
+            hw_report.exit_spread(),
+            sw_report.exit_spread()
+        );
+        assert!(hw_report.success_rate() >= sw_report.success_rate());
+    }
+
+    #[test]
+    fn single_slot_serializes() {
+        let tasks = vec![Task::new(1, 0, 1000, 100), Task::new(2, 0, 1000, 100)];
+        let mut s = FifoScheduler::new();
+        let r = run_tasks(&mut s, tasks, 1, 100_000);
+        let mut starts: Vec<Cycle> = r.records.iter().map(|x| x.start).collect();
+        starts.sort_unstable();
+        assert!(starts[1] >= starts[0] + 100);
+    }
+
+    #[test]
+    fn overhead_delays_start() {
+        let tasks = vec![Task::new(1, 0, 10_000, 10)];
+        let mut s = DeadlineScheduler::with_overhead(500);
+        let r = run_tasks(&mut s, tasks, 4, 100_000);
+        assert_eq!(r.records[0].start, 500);
+    }
+
+    #[test]
+    fn deadline_misses_detected() {
+        let tasks = vec![Task::new(1, 0, 50, 100)];
+        let mut s = FifoScheduler::new();
+        let r = run_tasks(&mut s, tasks, 1, 100_000);
+        assert!(!r.records[0].met_deadline());
+        assert_eq!(r.success_rate(), 0.0);
+    }
+
+    #[test]
+    fn staggered_arrivals_respected() {
+        let tasks = vec![Task::new(1, 1000, 10_000, 10), Task::new(2, 0, 10_000, 10)];
+        let mut s = FifoScheduler::new();
+        let r = run_tasks(&mut s, tasks, 2, 100_000);
+        let rec1 = r.records.iter().find(|x| x.task.id == 1).unwrap();
+        assert!(rec1.start >= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn budget_overrun_panics() {
+        let tasks = vec![Task::new(1, 0, 10, 1_000_000)];
+        let mut s = FifoScheduler::new();
+        let _ = run_tasks(&mut s, tasks, 1, 100);
+    }
+}

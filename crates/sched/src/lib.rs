@@ -1,0 +1,28 @@
+//! Task scheduling for the SmarCo reproduction (§3.7, Figs. 16 & 21).
+//!
+//! SmarCo guarantees QoS with a two-level **laxity-aware task scheduler**:
+//! a main scheduler on the main ring balances load across sub-rings, and a
+//! hardware sub-scheduler per sub-ring dispatches thread tasks by
+//! *execution laxity* (deadline − now − remaining work). The hardware
+//! scheduler is built from three RAM chain tables — null (free), normal,
+//! and high-priority — because RAM is far cheaper than CAM in area and
+//! power at the cost of linear traversal, which we model as per-entry scan
+//! cycles.
+//!
+//! Baselines: the software **Deadline Scheduler** (Fig. 21 left; EDF-style
+//! with OS dispatch overhead) and a plain FIFO.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod chain;
+pub mod executor;
+pub mod laxity;
+pub mod main_sched;
+pub mod task;
+
+pub use baseline::{DeadlineScheduler, FifoScheduler};
+pub use executor::{run_tasks, ExecutorReport, ExitRecord};
+pub use laxity::LaxityAwareScheduler;
+pub use main_sched::MainScheduler;
+pub use task::{Task, TaskPriority, TaskScheduler};

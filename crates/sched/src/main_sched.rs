@@ -1,0 +1,158 @@
+//! The main scheduler on the main ring (§3.7).
+//!
+//! Tasks arrive from the host CPU; the main scheduler spreads them over
+//! sub-rings so "the whole SmarCo chip is running with good load-balance",
+//! tracking each sub-ring's outstanding estimated work.
+
+use crate::task::Task;
+
+/// Load-balancing dispatcher over `n` sub-ring schedulers.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_sched::MainScheduler;
+/// use smarco_sched::Task;
+///
+/// let mut m = MainScheduler::new(4);
+/// let a = m.assign(&Task::new(1, 0, 100, 60));
+/// let b = m.assign(&Task::new(2, 0, 100, 10));
+/// assert_ne!(a, b, "second task avoids the loaded sub-ring");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MainScheduler {
+    loads: Vec<u64>,
+    assigned: u64,
+}
+
+impl MainScheduler {
+    /// Creates a balancer over `subrings` targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subrings` is zero.
+    pub fn new(subrings: usize) -> Self {
+        assert!(subrings > 0, "need at least one sub-ring");
+        Self { loads: vec![0; subrings], assigned: 0 }
+    }
+
+    /// Number of managed sub-rings.
+    pub fn subrings(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Picks the least-loaded sub-ring for `task` and records its work.
+    pub fn assign(&mut self, task: &Task) -> usize {
+        let idx = self
+            .loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(i, &l)| (l, i))
+            .map(|(i, _)| i)
+            .expect("at least one sub-ring");
+        self.loads[idx] += task.work;
+        self.assigned += 1;
+        idx
+    }
+
+    /// Records `work` on a caller-chosen sub-ring (used when placement is
+    /// constrained, e.g. the least-loaded sub-ring had no vacant thread
+    /// slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subring` is out of range.
+    pub fn assign_to(&mut self, subring: usize, work: u64) {
+        assert!(subring < self.loads.len(), "sub-ring {subring} out of range");
+        self.loads[subring] += work;
+        self.assigned += 1;
+    }
+
+    /// Sub-rings ordered by current load, least first (ties by index).
+    pub fn by_load(&self) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.loads.len()).collect();
+        idx.sort_by_key(|&i| (self.loads[i], i));
+        idx
+    }
+
+    /// Reports completion of `work` cycles on `subring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `subring` is out of range.
+    pub fn complete(&mut self, subring: usize, work: u64) {
+        assert!(subring < self.loads.len(), "sub-ring {subring} out of range");
+        self.loads[subring] = self.loads[subring].saturating_sub(work);
+    }
+
+    /// Current outstanding work per sub-ring.
+    pub fn loads(&self) -> &[u64] {
+        &self.loads
+    }
+
+    /// Tasks assigned so far.
+    pub fn assigned(&self) -> u64 {
+        self.assigned
+    }
+
+    /// Load imbalance: (max − min) / mean outstanding work, 0 when idle.
+    pub fn imbalance(&self) -> f64 {
+        let max = *self.loads.iter().max().expect("non-empty");
+        let min = *self.loads.iter().min().expect("non-empty");
+        let sum: u64 = self.loads.iter().sum();
+        if sum == 0 {
+            0.0
+        } else {
+            (max - min) as f64 / (sum as f64 / self.loads.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spreads_equal_tasks_evenly() {
+        let mut m = MainScheduler::new(4);
+        for i in 0..8 {
+            m.assign(&Task::new(i, 0, 100, 10));
+        }
+        assert_eq!(m.loads(), &[20, 20, 20, 20]);
+        assert_eq!(m.assigned(), 8);
+        assert_eq!(m.imbalance(), 0.0);
+    }
+
+    #[test]
+    fn prefers_least_loaded() {
+        let mut m = MainScheduler::new(2);
+        m.assign(&Task::new(1, 0, 100, 100)); // → 0
+        let s = m.assign(&Task::new(2, 0, 100, 10)); // → 1
+        assert_eq!(s, 1);
+        let s = m.assign(&Task::new(3, 0, 100, 10)); // loads 100 vs 10 → 1
+        assert_eq!(s, 1);
+    }
+
+    #[test]
+    fn completion_rebalances() {
+        let mut m = MainScheduler::new(2);
+        m.assign(&Task::new(1, 0, 100, 100));
+        m.complete(0, 100);
+        assert_eq!(m.loads(), &[0, 0]);
+        let s = m.assign(&Task::new(2, 0, 100, 10));
+        assert_eq!(s, 0, "ties go to the lowest index");
+    }
+
+    #[test]
+    fn imbalance_metric() {
+        let mut m = MainScheduler::new(2);
+        m.assign(&Task::new(1, 0, 100, 30));
+        assert!(m.imbalance() > 1.9, "all load on one side");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_subring_rejected() {
+        MainScheduler::new(2).complete(5, 1);
+    }
+}

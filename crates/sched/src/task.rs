@@ -1,0 +1,103 @@
+//! Task model and the scheduler interface.
+
+use smarco_sim::Cycle;
+
+/// Scheduling class of a thread task (Fig. 16's normal vs high-priority
+/// chain tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub enum TaskPriority {
+    /// Ordinary thread task.
+    #[default]
+    Normal,
+    /// Hard-real-time task; always dispatched before normal tasks.
+    High,
+}
+
+/// A schedulable thread task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Task {
+    /// Unique id.
+    pub id: u64,
+    /// Cycle the task became ready.
+    pub arrival: Cycle,
+    /// Absolute deadline (cycle by which it must exit).
+    pub deadline: Cycle,
+    /// Estimated execution time in cycles.
+    pub work: Cycle,
+    /// Scheduling class.
+    pub priority: TaskPriority,
+}
+
+impl Task {
+    /// Creates a normal-priority task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `work` is zero.
+    pub fn new(id: u64, arrival: Cycle, deadline: Cycle, work: Cycle) -> Self {
+        assert!(work > 0, "tasks must have positive work");
+        Self { id, arrival, deadline, work, priority: TaskPriority::Normal }
+    }
+
+    /// Upgrades to high priority.
+    pub fn with_high_priority(mut self) -> Self {
+        self.priority = TaskPriority::High;
+        self
+    }
+
+    /// Execution laxity at `now`: deadline − now − remaining work. Negative
+    /// laxity means the task can no longer meet its deadline even if it
+    /// starts immediately.
+    pub fn laxity(&self, now: Cycle) -> i64 {
+        self.deadline as i64 - now as i64 - self.work as i64
+    }
+}
+
+/// A task scheduler: accepts ready tasks and picks which runs next.
+///
+/// Implementations also report their per-dispatch `overhead` — the cycles
+/// the dispatch decision itself consumes (tiny for the hardware chain
+/// tables, large for a software scheduler making a kernel-level decision),
+/// which the [`crate::executor`] charges before the task starts.
+pub trait TaskScheduler {
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Accepts a ready task at cycle `now`.
+    fn enqueue(&mut self, task: Task, now: Cycle);
+
+    /// Picks the next task to run at cycle `now`, or `None` when idle.
+    fn dispatch(&mut self, now: Cycle) -> Option<Task>;
+
+    /// Cycles one dispatch decision costs.
+    fn overhead(&self) -> Cycle;
+
+    /// Tasks waiting.
+    fn pending(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laxity_decreases_with_time() {
+        let t = Task::new(1, 0, 1000, 300);
+        assert_eq!(t.laxity(0), 700);
+        assert_eq!(t.laxity(700), 0);
+        assert_eq!(t.laxity(800), -100);
+    }
+
+    #[test]
+    fn priority_upgrade() {
+        let t = Task::new(1, 0, 10, 5).with_high_priority();
+        assert_eq!(t.priority, TaskPriority::High);
+        assert!(TaskPriority::Normal < TaskPriority::High);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive work")]
+    fn zero_work_rejected() {
+        let _ = Task::new(1, 0, 10, 0);
+    }
+}

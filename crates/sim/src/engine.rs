@@ -1,0 +1,95 @@
+//! Sequential cycle-driven execution.
+//!
+//! The whole-chip models (`smarco-core`, `smarco-baseline`) implement
+//! [`CycleModel`] and are driven by [`run_for`] / [`run_until_quiescent`].
+
+use crate::Cycle;
+
+/// A model advanced one clock cycle at a time.
+pub trait CycleModel {
+    /// Advances the model through cycle `now`.
+    ///
+    /// The runner calls this with `now = 0, 1, 2, …`; models must not
+    /// assume a different starting point.
+    fn tick(&mut self, now: Cycle);
+
+    /// Whether the model has no further work (all threads exited, queues
+    /// drained). Runners may stop early when this returns `true`.
+    fn is_quiescent(&self) -> bool {
+        false
+    }
+}
+
+/// Runs `model` for exactly `cycles` cycles and returns the next cycle
+/// value (i.e. `cycles`).
+pub fn run_for<M: CycleModel>(model: &mut M, cycles: Cycle) -> Cycle {
+    for now in 0..cycles {
+        model.tick(now);
+    }
+    cycles
+}
+
+/// Runs `model` until it reports quiescence or `max_cycles` elapse.
+///
+/// Returns `Some(cycle_count)` when the model went quiescent (the count is
+/// the number of cycles executed), or `None` if the budget was exhausted
+/// first.
+pub fn run_until_quiescent<M: CycleModel>(model: &mut M, max_cycles: Cycle) -> Option<Cycle> {
+    for now in 0..max_cycles {
+        if model.is_quiescent() {
+            return Some(now);
+        }
+        model.tick(now);
+    }
+    if model.is_quiescent() {
+        Some(max_cycles)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Countdown {
+        remaining: u64,
+        ticks: u64,
+    }
+
+    impl CycleModel for Countdown {
+        fn tick(&mut self, _now: Cycle) {
+            self.ticks += 1;
+            self.remaining = self.remaining.saturating_sub(1);
+        }
+        fn is_quiescent(&self) -> bool {
+            self.remaining == 0
+        }
+    }
+
+    #[test]
+    fn run_for_ticks_exactly() {
+        let mut m = Countdown { remaining: 100, ticks: 0 };
+        assert_eq!(run_for(&mut m, 10), 10);
+        assert_eq!(m.ticks, 10);
+    }
+
+    #[test]
+    fn run_until_quiescent_stops_early() {
+        let mut m = Countdown { remaining: 5, ticks: 0 };
+        assert_eq!(run_until_quiescent(&mut m, 100), Some(5));
+        assert_eq!(m.ticks, 5);
+    }
+
+    #[test]
+    fn run_until_quiescent_budget_exhausted() {
+        let mut m = Countdown { remaining: 1000, ticks: 0 };
+        assert_eq!(run_until_quiescent(&mut m, 10), None);
+    }
+
+    #[test]
+    fn run_until_quiescent_at_boundary() {
+        let mut m = Countdown { remaining: 10, ticks: 0 };
+        assert_eq!(run_until_quiescent(&mut m, 10), Some(10));
+    }
+}

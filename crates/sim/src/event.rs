@@ -1,0 +1,161 @@
+//! A time-ordered event queue ("event wheel") for long-latency completions.
+//!
+//! Cycle-driven models use this for the few things that are *not* busy every
+//! cycle: DRAM burst completions, DMA transfers, timer expiries. Events with
+//! equal timestamps pop in FIFO (schedule) order, which keeps simulations
+//! deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Cycle;
+
+/// A min-heap of timestamped events with FIFO tie-breaking.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_sim::event::EventWheel;
+///
+/// let mut wheel = EventWheel::new();
+/// wheel.schedule(3, 'a');
+/// wheel.schedule(3, 'b');
+/// wheel.schedule(1, 'c');
+/// assert_eq!(wheel.pop_due(3), Some('c'));
+/// assert_eq!(wheel.pop_due(3), Some('a'));
+/// assert_eq!(wheel.pop_due(3), Some('b'));
+/// assert_eq!(wheel.pop_due(3), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventWheel<T> {
+    heap: BinaryHeap<Entry<T>>,
+    seq: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry<T> {
+    at: Cycle,
+    seq: u64,
+    payload: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+impl<T> Default for EventWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> EventWheel<T> {
+    /// Creates an empty wheel.
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), seq: 0 }
+    }
+
+    /// Schedules `payload` to become due at cycle `at`.
+    pub fn schedule(&mut self, at: Cycle, payload: T) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, payload });
+    }
+
+    /// Pops the earliest event whose timestamp is `<= now`, if any.
+    ///
+    /// Call in a loop to drain everything due this cycle.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<T> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            Some(self.heap.pop().expect("peeked entry exists").payload)
+        } else {
+            None
+        }
+    }
+
+    /// Timestamp of the earliest pending event, if any.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut w = EventWheel::new();
+        w.schedule(10, 10u32);
+        w.schedule(2, 2);
+        w.schedule(7, 7);
+        let mut out = Vec::new();
+        for now in 0..=10 {
+            while let Some(v) = w.pop_due(now) {
+                out.push((now, v));
+            }
+        }
+        assert_eq!(out, vec![(2, 2), (7, 7), (10, 10)]);
+    }
+
+    #[test]
+    fn equal_timestamps_are_fifo() {
+        let mut w = EventWheel::new();
+        for i in 0..100u32 {
+            w.schedule(5, i);
+        }
+        let mut out = Vec::new();
+        while let Some(v) = w.pop_due(5) {
+            out.push(v);
+        }
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nothing_due_before_timestamp() {
+        let mut w = EventWheel::new();
+        w.schedule(5, ());
+        assert_eq!(w.pop_due(4), None);
+        assert_eq!(w.next_due(), Some(5));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+        assert_eq!(w.pop_due(5), Some(()));
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut w = EventWheel::new();
+        w.schedule(1, "a");
+        assert_eq!(w.pop_due(1), Some("a"));
+        w.schedule(3, "b");
+        w.schedule(2, "c");
+        assert_eq!(w.pop_due(2), Some("c"));
+        assert_eq!(w.pop_due(2), None);
+        assert_eq!(w.pop_due(3), Some("b"));
+    }
+}

@@ -1,0 +1,338 @@
+//! Statistics primitives shared by every model: counters, means, ratios,
+//! and histograms, plus a snapshot registry the bench harness prints.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Creates a zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Online mean/min/max of a stream of samples (e.g. request latencies).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MeanTracker {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl MeanTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: f64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0.0 if none were recorded.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0.0 if none were recorded.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+}
+
+/// A ratio of two counters, e.g. misses / accesses.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_sim::stats::Ratio;
+///
+/// let mut miss_ratio = Ratio::new();
+/// miss_ratio.record(true);
+/// miss_ratio.record(false);
+/// miss_ratio.record(false);
+/// assert!((miss_ratio.ratio() - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Ratio {
+    hits: u64,
+    total: u64,
+}
+
+impl Ratio {
+    /// Creates an empty ratio.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one trial; `hit` counts toward the numerator.
+    pub fn record(&mut self, hit: bool) {
+        self.total += 1;
+        if hit {
+            self.hits += 1;
+        }
+    }
+
+    /// Numerator.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Denominator.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// hits / total, or 0.0 when no trials were recorded.
+    pub fn ratio(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total as f64
+        }
+    }
+}
+
+/// A histogram over power-of-two buckets: bucket `i` covers
+/// `[2^i, 2^(i+1))`, with bucket 0 covering `[0, 2)`.
+///
+/// Used for memory-access granularity (Fig. 8) and latency distributions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        let idx = if v < 2 { 0 } else { 63 - v.leading_zeros() as usize };
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of recorded values, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Fraction of values in `[lo, hi)` (approximated at bucket granularity:
+    /// a bucket counts if its lower bound is within the range).
+    pub fn fraction_between(&self, lo: u64, hi: u64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let mut in_range = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            let lower = if i == 0 { 0 } else { 1u64 << i };
+            if lower >= lo && lower < hi {
+                in_range += n;
+            }
+        }
+        in_range as f64 / self.count as f64
+    }
+
+    /// (bucket lower bound, count) pairs for non-empty buckets.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
+    }
+}
+
+/// A named bag of scalar statistics produced by a model at the end of a
+/// run; the bench harness formats these into the paper's tables.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StatsReport {
+    values: BTreeMap<String, f64>,
+}
+
+impl StatsReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets (or overwrites) a named scalar.
+    pub fn set(&mut self, name: &str, value: f64) {
+        self.values.insert(name.to_owned(), value);
+    }
+
+    /// Reads a named scalar.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.get(name).copied()
+    }
+
+    /// Iterates over `(name, value)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> + '_ {
+        self.values.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges `other` into `self`, prefixing its keys with `prefix.`.
+    pub fn absorb(&mut self, prefix: &str, other: &StatsReport) {
+        for (k, v) in other.iter() {
+            self.values.insert(format!("{prefix}.{k}"), v);
+        }
+    }
+}
+
+impl fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.values {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let mut c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn mean_tracker_stats() {
+        let mut m = MeanTracker::new();
+        assert_eq!(m.mean(), 0.0);
+        for v in [1.0, 2.0, 3.0] {
+            m.record(v);
+        }
+        assert_eq!(m.count(), 3);
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 3.0);
+        assert_eq!(m.sum(), 6.0);
+    }
+
+    #[test]
+    fn ratio_of_zero_trials_is_zero() {
+        assert_eq!(Ratio::new().ratio(), 0.0);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 7, 8, 64] {
+            h.record(v);
+        }
+        let buckets: Vec<_> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 2), (2, 2), (4, 2), (8, 1), (64, 1)]);
+        assert_eq!(h.count(), 8);
+    }
+
+    #[test]
+    fn histogram_fraction_between() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        // Buckets with lower bound in [0, 8): 0, 2, 4 => 3 of 5 values.
+        assert!((h.fraction_between(0, 8) - 0.6).abs() < 1e-12);
+        assert_eq!(h.fraction_between(0, 1024), 1.0);
+    }
+
+    #[test]
+    fn report_roundtrip_and_absorb() {
+        let mut inner = StatsReport::new();
+        inner.set("ipc", 3.2);
+        let mut outer = StatsReport::new();
+        outer.set("cycles", 100.0);
+        outer.absorb("core0", &inner);
+        assert_eq!(outer.get("core0.ipc"), Some(3.2));
+        assert_eq!(outer.get("cycles"), Some(100.0));
+        assert_eq!(outer.get("missing"), None);
+        let rendered = outer.to_string();
+        assert!(rendered.contains("core0.ipc = 3.2"));
+    }
+}

@@ -1,0 +1,346 @@
+//! The six HTC benchmarks as timing-model presets.
+//!
+//! Granularity mixes are calibrated to Fig. 8: KMP and RNC are dominated
+//! by 1–2-byte accesses, WordCount/TeraSort/Search sit in the small-word
+//! range, K-means is the outlier with mostly 8–32-byte vector accesses
+//! ("K-means contains few 1 Byte or 2 Bytes memory access packets",
+//! §4.2.2). Search carries the lowest memory-instruction fraction (the
+//! §4.2.1 observation that it cannot exploit pairing as well). RNC is the
+//! hard-real-time benchmark: a quarter of its accesses carry real-time
+//! priority and bypass the MACT.
+
+use smarco_isa::mix::{AddressModel, GranularityMix, OpMix};
+
+use crate::generator::ThreadGenParams;
+
+/// One of the paper's six HTC microbenchmarks.
+///
+/// # Examples
+///
+/// ```
+/// use smarco_workloads::{Benchmark, HtcStream};
+/// use smarco_isa::InstructionStream;
+/// use smarco_sim::rng::SimRng;
+///
+/// // Thread 3 of a 64-thread team scanning a 16 MB slice.
+/// let params = Benchmark::Kmp.thread_params(
+///     0x100_0000, 16 << 20, 0x8000_0000, 3, 64, 1_000,
+/// );
+/// let mut stream = HtcStream::new(params, SimRng::new(7));
+/// let mut n = 0;
+/// while stream.next_instr().is_some() {
+///     n += 1;
+/// }
+/// assert_eq!(n, 1_001); // requested ops + Exit
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Benchmark {
+    /// Word frequency counting (Phoenix++ MapReduce).
+    WordCount,
+    /// Large-scale key sorting (Phoenix++ MapReduce).
+    TeraSort,
+    /// Web-search query serving (Xapian-style inverted index).
+    Search,
+    /// K-means clustering.
+    KMeans,
+    /// KMP string matching.
+    Kmp,
+    /// UMTS Radio Network Controller (hard real-time).
+    Rnc,
+}
+
+/// Static per-benchmark behaviour profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchProfile {
+    /// Fraction of instructions accessing memory.
+    pub mem_frac: f64,
+    /// Of memory accesses, fraction that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that branch.
+    pub branch_frac: f64,
+    /// Branch misprediction probability.
+    pub branch_miss: f64,
+    /// Fraction of accesses with real-time priority.
+    pub realtime_frac: f64,
+    /// Fraction of accesses hitting the shared table.
+    pub table_frac: f64,
+    /// Of table accesses, fraction staying in the thread's hot window.
+    pub table_hot_frac: f64,
+    /// Per-thread hot-window size in bytes.
+    pub table_hot_bytes: u64,
+    /// Shared-table size in bytes.
+    pub table_len: u64,
+    /// Scan element stride in bytes (the benchmark's modal access size).
+    pub scan_elem_bytes: u64,
+    /// Consecutive stores per output-record emit.
+    pub emit_run: u64,
+    /// Instruction-segment size in bytes.
+    pub segment_len: u64,
+    /// Whether the scan is sequential (streaming) rather than random.
+    pub streaming: bool,
+}
+
+impl Benchmark {
+    /// All six, in the paper's order.
+    pub const ALL: [Benchmark; 6] = [
+        Benchmark::WordCount,
+        Benchmark::TeraSort,
+        Benchmark::Search,
+        Benchmark::KMeans,
+        Benchmark::Kmp,
+        Benchmark::Rnc,
+    ];
+
+    /// Display name as the paper uses it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::WordCount => "WordCount",
+            Benchmark::TeraSort => "TeraSort",
+            Benchmark::Search => "Search",
+            Benchmark::KMeans => "K-means",
+            Benchmark::Kmp => "KMP",
+            Benchmark::Rnc => "RNC",
+        }
+    }
+
+    /// Memory-access granularity distribution (Fig. 8 left).
+    pub fn granularity(self) -> GranularityMix {
+        // Weights for sizes [1, 2, 4, 8, 16, 32, 64].
+        let w = match self {
+            Benchmark::WordCount => [0.35, 0.30, 0.15, 0.15, 0.05, 0.0, 0.0],
+            Benchmark::TeraSort => [0.05, 0.15, 0.30, 0.35, 0.10, 0.05, 0.0],
+            Benchmark::Search => [0.10, 0.20, 0.30, 0.25, 0.10, 0.05, 0.0],
+            Benchmark::KMeans => [0.0, 0.03, 0.12, 0.45, 0.25, 0.15, 0.0],
+            Benchmark::Kmp => [0.55, 0.30, 0.10, 0.05, 0.0, 0.0, 0.0],
+            Benchmark::Rnc => [0.30, 0.35, 0.25, 0.10, 0.0, 0.0, 0.0],
+        };
+        GranularityMix::new(w)
+    }
+
+    /// Behaviour profile.
+    pub fn profile(self) -> BenchProfile {
+        match self {
+            Benchmark::WordCount => BenchProfile {
+                mem_frac: 0.40,
+                store_frac: 0.25,
+                branch_frac: 0.15,
+                branch_miss: 0.06,
+                realtime_frac: 0.0,
+                table_frac: 0.35,
+                table_hot_frac: 0.90,
+                table_hot_bytes: 4 << 10,
+                table_len: 64 << 10,
+                emit_run: 4,
+                scan_elem_bytes: 2,
+                segment_len: 8 << 10,
+                streaming: true,
+            },
+            Benchmark::TeraSort => BenchProfile {
+                mem_frac: 0.45,
+                store_frac: 0.40,
+                branch_frac: 0.12,
+                branch_miss: 0.08,
+                realtime_frac: 0.0,
+                table_frac: 0.20,
+                table_hot_frac: 0.90,
+                table_hot_bytes: 4 << 10,
+                table_len: 32 << 10,
+                emit_run: 8,
+                scan_elem_bytes: 8,
+                segment_len: 6 << 10,
+                streaming: true,
+            },
+            Benchmark::Search => BenchProfile {
+                mem_frac: 0.22,
+                store_frac: 0.10,
+                branch_frac: 0.18,
+                branch_miss: 0.05,
+                realtime_frac: 0.0,
+                table_frac: 0.50,
+                table_hot_frac: 0.97,
+                table_hot_bytes: 8 << 10,
+                table_len: 256 << 10,
+                emit_run: 2,
+                scan_elem_bytes: 4,
+                segment_len: 16 << 10,
+                streaming: true,
+            },
+            Benchmark::KMeans => BenchProfile {
+                mem_frac: 0.35,
+                store_frac: 0.15,
+                branch_frac: 0.08,
+                branch_miss: 0.03,
+                realtime_frac: 0.0,
+                table_frac: 0.30,
+                table_hot_frac: 0.92,
+                table_hot_bytes: 2 << 10,
+                table_len: 16 << 10,
+                emit_run: 1,
+                scan_elem_bytes: 16,
+                segment_len: 4 << 10,
+                streaming: true,
+            },
+            Benchmark::Kmp => BenchProfile {
+                mem_frac: 0.45,
+                store_frac: 0.02,
+                branch_frac: 0.25,
+                branch_miss: 0.07,
+                realtime_frac: 0.0,
+                table_frac: 0.15,
+                table_hot_frac: 0.95,
+                table_hot_bytes: 1 << 10,
+                table_len: 4 << 10,
+                emit_run: 2,
+                scan_elem_bytes: 1,
+                segment_len: 2 << 10,
+                streaming: true,
+            },
+            Benchmark::Rnc => BenchProfile {
+                mem_frac: 0.40,
+                store_frac: 0.30,
+                branch_frac: 0.20,
+                branch_miss: 0.08,
+                realtime_frac: 0.25,
+                table_frac: 0.60,
+                table_hot_frac: 0.88,
+                table_hot_bytes: 4 << 10,
+                table_len: 128 << 10,
+                emit_run: 4,
+                scan_elem_bytes: 2,
+                segment_len: 8 << 10,
+                streaming: false,
+            },
+        }
+    }
+
+    /// Structured generator parameters for one worker thread.
+    ///
+    /// `scan_base`/`scan_len` is the team's data slice, `table_base` the
+    /// team's shared table; `thread_index`/`team_size` interleave the scan
+    /// across the team as the MapReduce runtime slices data.
+    pub fn thread_params(
+        self,
+        scan_base: u64,
+        scan_len: u64,
+        table_base: u64,
+        thread_index: u64,
+        team_size: u64,
+        ops: u64,
+    ) -> ThreadGenParams {
+        let p = self.profile();
+        ThreadGenParams {
+            scan_base,
+            scan_len,
+            thread_index,
+            team_size,
+            scan_elem_bytes: p.scan_elem_bytes,
+            emit_run: p.emit_run,
+            // Private output buffer past the team's scan region.
+            out_base: scan_base + scan_len + thread_index * (256 << 10),
+            out_len: 256 << 10,
+            granularity: self.granularity(),
+            table_base,
+            table_len: p.table_len,
+            table_frac: p.table_frac,
+            table_hot_frac: p.table_hot_frac,
+            table_hot_bytes: p.table_hot_bytes,
+            table_hot_base: None,
+            mem_frac: p.mem_frac,
+            store_frac: p.store_frac,
+            branch_frac: p.branch_frac,
+            branch_miss: p.branch_miss,
+            realtime_frac: p.realtime_frac,
+            ops,
+            segment: (0x1_0000, p.segment_len),
+        }
+    }
+
+    /// Statistical mix for the conventional baseline (same behaviour, flat
+    /// address model: the baseline has no SPM or team interleaving).
+    pub fn mix(self, base: u64, working_set: u64) -> OpMix {
+        let p = self.profile();
+        let addresses = if p.streaming {
+            AddressModel::streaming(base, working_set)
+        } else {
+            AddressModel::random(base, working_set)
+        };
+        OpMix {
+            mem_frac: p.mem_frac,
+            load_frac: 1.0 - p.store_frac,
+            branch_frac: p.branch_frac,
+            branch_miss: p.branch_miss,
+            realtime_frac: p.realtime_frac,
+            granularity: self.granularity(),
+            addresses,
+        }
+    }
+}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_shapes_match_fig8() {
+        // KMP and RNC dominated by ≤2-byte accesses.
+        assert!(Benchmark::Kmp.granularity().fraction_le(2) > 0.8);
+        assert!(Benchmark::Rnc.granularity().fraction_le(2) > 0.6);
+        // K-means has almost no tiny accesses.
+        assert!(Benchmark::KMeans.granularity().fraction_le(2) < 0.05);
+        // Everyone's mean is far below the 64-byte line.
+        for b in Benchmark::ALL {
+            assert!(b.granularity().mean_bytes() < 24.0, "{b}");
+        }
+    }
+
+    #[test]
+    fn search_has_lowest_memory_fraction() {
+        let search = Benchmark::Search.profile().mem_frac;
+        for b in Benchmark::ALL {
+            if b != Benchmark::Search {
+                assert!(b.profile().mem_frac > search, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn only_rnc_is_realtime() {
+        for b in Benchmark::ALL {
+            let rt = b.profile().realtime_frac;
+            if b == Benchmark::Rnc {
+                assert!(rt > 0.0);
+            } else {
+                assert_eq!(rt, 0.0, "{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn thread_params_validate_for_all() {
+        for b in Benchmark::ALL {
+            let p = b.thread_params(0x100_0000, 1 << 20, 0x800_0000, 3, 64, 10_000);
+            p.validate();
+            assert_eq!(p.granularity, b.granularity());
+        }
+    }
+
+    #[test]
+    fn mixes_validate_for_all() {
+        for b in Benchmark::ALL {
+            b.mix(0x10_0000, 1 << 22).validate();
+        }
+    }
+
+    #[test]
+    fn names_and_display() {
+        assert_eq!(Benchmark::KMeans.name(), "K-means");
+        assert_eq!(Benchmark::Kmp.to_string(), "KMP");
+        assert_eq!(Benchmark::ALL.len(), 6);
+    }
+}

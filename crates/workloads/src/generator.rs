@@ -1,0 +1,438 @@
+//! The structured HTC thread-stream generator.
+//!
+//! One configurable generator covers all six benchmarks: HTC kernels share
+//! a common shape — scan your slice of the input (interleaved with the
+//! other threads of the sub-ring, the MapReduce layout), consult shared
+//! tables (pattern tables, centroids, hash buckets, connection state),
+//! compute a little, branch a lot. The per-benchmark presets in
+//! [`crate::bench`] differ in the access-granularity mix (Fig. 8), the
+//! memory intensity, the table behaviour and the real-time fraction.
+
+use smarco_isa::mix::GranularityMix;
+use smarco_isa::op::{Instr, MemRef, Op, Priority, INSTR_BYTES};
+use smarco_isa::stream::InstructionStream;
+use smarco_sim::rng::SimRng;
+
+/// Parameters of one HTC worker thread's stream.
+#[derive(Debug, Clone)]
+pub struct ThreadGenParams {
+    /// Base address of the region this thread's *team* scans together.
+    pub scan_base: u64,
+    /// Length of the team's region in bytes.
+    pub scan_len: u64,
+    /// This thread's index within the team (interleaving offset).
+    pub thread_index: u64,
+    /// Team size (interleaving stride multiplier).
+    pub team_size: u64,
+    /// Byte stride between consecutive scan elements (typically the
+    /// benchmark's modal access size); the whole team walks element
+    /// indices `i × team + j`, so neighbouring threads touch neighbouring
+    /// bytes — the cross-core spatial locality the MACT merges.
+    pub scan_elem_bytes: u64,
+    /// Access-size distribution for scan accesses.
+    pub granularity: GranularityMix,
+    /// Base address of a shared table (pattern/centroids/hash buckets).
+    pub table_base: u64,
+    /// Table length in bytes.
+    pub table_len: u64,
+    /// Probability a memory access targets the table instead of the scan.
+    pub table_frac: f64,
+    /// Probability a table access stays in the thread's hot window (the
+    /// temporal locality real kernels exhibit on their working buckets).
+    pub table_hot_frac: f64,
+    /// Hot-window size in bytes (windows are per-thread, so co-resident
+    /// threads contend for cache capacity as thread count grows).
+    pub table_hot_bytes: u64,
+    /// Overrides the hot window's location (e.g. staged into the thread's
+    /// SPM share by the MapReduce runtime). `None` places it inside the
+    /// table at a per-thread offset.
+    pub table_hot_base: Option<u64>,
+    /// Fraction of instructions that access memory.
+    pub mem_frac: f64,
+    /// Of memory accesses, fraction that are stores.
+    pub store_frac: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_frac: f64,
+    /// Branch misprediction probability.
+    pub branch_miss: f64,
+    /// Fraction of memory accesses carrying real-time priority.
+    pub realtime_frac: f64,
+    /// Stores arrive in runs of this many consecutive writes to the
+    /// thread's contiguous output buffer (a MapReduce emit writes a whole
+    /// record: key, value, count, …). Runs of small stores land in the
+    /// same 64-byte region within a few cycles — prime MACT fodder.
+    pub emit_run: u64,
+    /// Base address of this thread's private output buffer.
+    pub out_base: u64,
+    /// Output buffer length in bytes (the cursor wraps).
+    pub out_len: u64,
+    /// Dynamic instructions to emit (before the implicit `Exit`).
+    pub ops: u64,
+    /// Instruction-segment `(base, bytes)`; shared across the team so the
+    /// cores can prefetch it (§3.1.2).
+    pub segment: (u64, u64),
+}
+
+impl ThreadGenParams {
+    /// Validates parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fractions leave `[0, 1]`, regions are empty, or the
+    /// team is inconsistent.
+    pub fn validate(&self) {
+        for (n, v) in [
+            ("table_frac", self.table_frac),
+            ("table_hot_frac", self.table_hot_frac),
+            ("mem_frac", self.mem_frac),
+            ("store_frac", self.store_frac),
+            ("branch_frac", self.branch_frac),
+            ("branch_miss", self.branch_miss),
+            ("realtime_frac", self.realtime_frac),
+        ] {
+            assert!((0.0..=1.0).contains(&v), "{n} = {v} outside [0, 1]");
+        }
+        assert!(self.mem_frac + self.branch_frac <= 1.0, "instruction classes exceed 1");
+        assert!(self.scan_len > 0 && self.table_len > 0, "regions must be non-empty");
+        assert!(self.scan_elem_bytes > 0, "scan element stride must be positive");
+        assert!(self.emit_run > 0, "emit run must be positive");
+        assert!(self.out_len >= 64, "output buffer too small");
+        assert!(self.team_size > 0 && self.thread_index < self.team_size, "bad team");
+        assert!(self.ops > 0, "ops must be positive");
+        assert!(self.segment.1 > 0 && self.segment.1 % INSTR_BYTES == 0, "bad segment");
+    }
+}
+
+/// The generator stream.
+///
+/// Two random streams drive it: the **class** stream (instruction kinds,
+/// access sizes) is seeded identically for every thread with the same
+/// parameters — a team runs the *same code*, so teammates issue the same
+/// instruction sequence and stay naturally in lockstep, which is what
+/// gives the MACT its cross-core merging window. The **data** stream
+/// (table addresses, branch outcomes) is the caller's per-thread seed —
+/// where real threads genuinely diverge.
+#[derive(Debug)]
+pub struct HtcStream {
+    p: ThreadGenParams,
+    /// Per-thread randomness (table addresses, branch outcomes).
+    rng: SimRng,
+    /// Team-uniform randomness (instruction classes, access sizes).
+    class_rng: SimRng,
+    /// Scan iteration counter (drives the interleaved address).
+    i: u64,
+    /// Output-buffer cursor (bytes written so far, wraps in `out_len`).
+    out_cursor: u64,
+    /// Stores left in the current emit run.
+    pending_emits: u64,
+    remaining: u64,
+    exited: bool,
+    pc: u64,
+}
+
+impl HtcStream {
+    /// Creates a stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters are invalid.
+    pub fn new(p: ThreadGenParams, rng: SimRng) -> Self {
+        p.validate();
+        let pc = p.segment.0;
+        let remaining = p.ops;
+        // Same program ⇒ same class sequence: seed from the shared shape,
+        // not the thread.
+        let class_seed = 0xC1A5_5EED ^ p.ops ^ p.scan_base ^ p.segment.1;
+        Self {
+            p,
+            rng,
+            class_rng: SimRng::new(class_seed),
+            i: 0,
+            out_cursor: 0,
+            pending_emits: 0,
+            remaining,
+            exited: false,
+            pc,
+        }
+    }
+
+    fn scan_ref(&mut self, bytes: u8) -> MemRef {
+        // Interleaved team scan: iteration i of thread j touches element
+        // (i * team + j) at a fixed element stride; the access width is
+        // sampled independently and the address aligned to it (so no
+        // access straddles a 64-byte collection line).
+        let elem = self.p.scan_elem_bytes;
+        let idx = self.i * self.p.team_size + self.p.thread_index;
+        self.i += 1;
+        let span = (self.p.scan_len / elem).max(1);
+        let mut addr = self.p.scan_base + (idx % span) * elem;
+        addr -= addr % u64::from(bytes);
+        // Keep the access inside the region.
+        let last = self.p.scan_base + self.p.scan_len;
+        if addr + u64::from(bytes) > last {
+            addr = last - u64::from(bytes);
+            addr -= addr % u64::from(bytes);
+        }
+        MemRef::new(addr, bytes)
+    }
+
+    fn table_ref(&mut self, bytes: u8) -> MemRef {
+        let stride = u64::from(bytes);
+        if self.p.table_hot_bytes >= stride && self.rng.chance(self.p.table_hot_frac) {
+            let hot = self.p.table_hot_bytes;
+            match self.p.table_hot_base {
+                // Relocated window (e.g. SPM-staged): per-thread already.
+                Some(base) => {
+                    let span = (hot / stride).max(1);
+                    let addr = base + self.rng.gen_range(span) * stride;
+                    return MemRef::new(addr, bytes);
+                }
+                // Per-thread hot window wrapped into the table.
+                None => {
+                    let window_base = self.p.table_base
+                        + (self.p.thread_index * hot) % self.p.table_len.max(1);
+                    let span = (hot / stride).max(1);
+                    let addr = window_base + self.rng.gen_range(span) * stride;
+                    // Clamp inside the table.
+                    let max = self.p.table_base + self.p.table_len - stride;
+                    return MemRef::new(addr.min(max) - addr.min(max) % stride, bytes);
+                }
+            }
+        }
+        let span = (self.p.table_len / stride).max(1);
+        let addr = self.p.table_base + self.rng.gen_range(span) * stride;
+        MemRef::new(addr, bytes)
+    }
+
+    fn emit_store(&mut self, bytes: u8) -> Op {
+        // Contiguous append to the thread's private output buffer,
+        // aligning the cursor up to the field width.
+        let w = u64::from(bytes);
+        let mut at = self.out_cursor;
+        if at % w != 0 {
+            at += w - at % w;
+        }
+        if at + w > self.p.out_len {
+            at = 0;
+        }
+        self.out_cursor = at + w;
+        Op::Store(MemRef::new(self.p.out_base + at, bytes))
+    }
+
+    fn next_op(&mut self) -> Option<Op> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        if self.pending_emits > 0 {
+            self.pending_emits -= 1;
+            let bytes = self.p.granularity.sample(&mut self.class_rng);
+            return Some(self.emit_store(bytes));
+        }
+        let roll = self.class_rng.gen_f64();
+        Some(if roll < self.p.mem_frac {
+            let bytes = self.p.granularity.sample(&mut self.class_rng);
+            let is_table = self.class_rng.chance(self.p.table_frac);
+            let rt = self.class_rng.chance(self.p.realtime_frac);
+            let is_store = self.class_rng.chance(self.p.store_frac);
+            if is_store {
+                // Start an emit run: this store plus `emit_run - 1` more.
+                self.pending_emits = self.p.emit_run - 1;
+                return Some(self.emit_store(bytes));
+            }
+            let mut m = if is_table { self.table_ref(bytes) } else { self.scan_ref(bytes) };
+            if rt {
+                m.priority = Priority::Realtime;
+            }
+            Op::Load(m)
+        } else if roll < self.p.mem_frac + self.p.branch_frac {
+            Op::Branch { mispredicted: self.rng.chance(self.p.branch_miss) }
+        } else {
+            Op::compute()
+        })
+    }
+}
+
+impl InstructionStream for HtcStream {
+    fn next_instr(&mut self) -> Option<Instr> {
+        if self.exited {
+            return None;
+        }
+        let op = match self.next_op() {
+            Some(op) => op,
+            None => {
+                self.exited = true;
+                Op::Exit
+            }
+        };
+        let pc = self.pc;
+        self.pc += INSTR_BYTES;
+        let (base, bytes) = self.p.segment;
+        if self.pc >= base + bytes {
+            self.pc = base;
+        }
+        Some(Instr { pc, op })
+    }
+
+    fn segment(&self) -> Option<(u64, u64)> {
+        Some(self.p.segment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ThreadGenParams {
+        ThreadGenParams {
+            scan_base: 0x10_0000,
+            scan_len: 1 << 20,
+            thread_index: 3,
+            team_size: 16,
+            scan_elem_bytes: 2,
+            emit_run: 1,
+            out_base: 0x90_0000,
+            out_len: 64 << 10,
+            granularity: GranularityMix::new([0.5, 0.3, 0.1, 0.1, 0.0, 0.0, 0.0]),
+            table_base: 0x80_0000,
+            table_len: 4096,
+            table_frac: 0.2,
+            table_hot_frac: 0.0,
+            table_hot_bytes: 1 << 10,
+            table_hot_base: None,
+            mem_frac: 0.4,
+            store_frac: 0.3,
+            branch_frac: 0.15,
+            branch_miss: 0.05,
+            realtime_frac: 0.0,
+            ops: 10_000,
+            segment: (0x1000, 2048),
+        }
+    }
+
+    fn drain(mut s: HtcStream) -> Vec<Op> {
+        std::iter::from_fn(move || s.next_instr()).map(|i| i.op).collect()
+    }
+
+    #[test]
+    fn emits_requested_ops_plus_exit() {
+        let ops = drain(HtcStream::new(params(), SimRng::new(1)));
+        assert_eq!(ops.len(), 10_001);
+        assert_eq!(*ops.last().unwrap(), Op::Exit);
+    }
+
+    #[test]
+    fn scan_addresses_interleave_by_team() {
+        let mut p = params();
+        p.mem_frac = 1.0;
+        p.table_frac = 0.0;
+        p.store_frac = 0.0;
+        p.branch_frac = 0.0;
+        p.granularity = GranularityMix::new([0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]); // all 2 B
+        let ops = drain(HtcStream::new(p.clone(), SimRng::new(2)));
+        let addrs: Vec<u64> =
+            ops.iter().filter_map(|o| o.mem_ref()).map(|m| m.addr).collect();
+        // Thread 3 of 16 with 2-byte grain: addresses base + (16i + 3) * 2.
+        assert_eq!(addrs[0], p.scan_base + 3 * 2);
+        assert_eq!(addrs[1], p.scan_base + (16 + 3) * 2);
+        assert_eq!(addrs[2], p.scan_base + (32 + 3) * 2);
+    }
+
+    #[test]
+    fn table_loads_stay_in_table_and_stores_in_output() {
+        let mut p = params();
+        p.mem_frac = 1.0;
+        p.table_frac = 1.0;
+        p.branch_frac = 0.0;
+        let ops = drain(HtcStream::new(p.clone(), SimRng::new(3)));
+        for op in &ops {
+            match op {
+                Op::Load(m) => {
+                    assert!(m.addr >= p.table_base);
+                    assert!(m.end() <= p.table_base + p.table_len);
+                }
+                Op::Store(m) => {
+                    assert!(m.addr >= p.out_base);
+                    assert!(m.end() <= p.out_base + p.out_len);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn emit_runs_write_contiguously() {
+        let mut p = params();
+        p.mem_frac = 1.0;
+        p.store_frac = 1.0;
+        p.branch_frac = 0.0;
+        p.emit_run = 4;
+        let ops = drain(HtcStream::new(p.clone(), SimRng::new(9)));
+        let stores: Vec<MemRef> =
+            ops.iter().filter_map(|o| if let Op::Store(m) = o { Some(*m) } else { None }).collect();
+        assert!(stores.len() > 100);
+        // Consecutive stores advance the cursor monotonically (mod wrap).
+        let mut non_monotone = 0;
+        for w in stores.windows(2) {
+            if w[1].addr < w[0].addr {
+                non_monotone += 1;
+            }
+        }
+        // Only buffer wraps break monotonicity.
+        assert!(non_monotone <= 1 + stores.len() / 1000, "{non_monotone} breaks");
+    }
+
+    #[test]
+    fn class_fractions_match() {
+        let ops = drain(HtcStream::new(params(), SimRng::new(4)));
+        let n = ops.len() as f64;
+        let mem = ops.iter().filter(|o| o.is_mem()).count() as f64 / n;
+        let br =
+            ops.iter().filter(|o| matches!(o, Op::Branch { .. })).count() as f64 / n;
+        assert!((mem - 0.4).abs() < 0.03, "mem {mem}");
+        assert!((br - 0.15).abs() < 0.02, "branch {br}");
+    }
+
+    #[test]
+    fn realtime_fraction_applied_to_loads() {
+        let mut p = params();
+        p.realtime_frac = 0.5;
+        let ops = drain(HtcStream::new(p, SimRng::new(5)));
+        // Real-time priority applies to read requests (stores drain
+        // through the non-blocking output path).
+        let loads: Vec<MemRef> = ops
+            .iter()
+            .filter_map(|o| if let Op::Load(m) = o { Some(*m) } else { None })
+            .collect();
+        let rt = loads.iter().filter(|m| m.priority == Priority::Realtime).count() as f64
+            / loads.len() as f64;
+        assert!((rt - 0.5).abs() < 0.06, "rt fraction {rt}");
+    }
+
+    #[test]
+    fn segment_reported_and_pcs_wrap() {
+        let s = HtcStream::new(params(), SimRng::new(6));
+        assert_eq!(s.segment(), Some((0x1000, 2048)));
+        let mut s = s;
+        for _ in 0..2000 {
+            if let Some(i) = s.next_instr() {
+                assert!((0x1000..0x1000 + 2048).contains(&i.pc));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = drain(HtcStream::new(params(), SimRng::new(7)));
+        let b = drain(HtcStream::new(params(), SimRng::new(7)));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_params_rejected() {
+        let mut p = params();
+        p.table_frac = 2.0;
+        let _ = HtcStream::new(p, SimRng::new(0));
+    }
+}

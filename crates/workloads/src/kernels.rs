@@ -1,0 +1,397 @@
+//! Functional implementations of the six HTC benchmarks.
+//!
+//! These compute real answers — the reproduction's ground truth for what
+//! each benchmark *does* — and are exercised by the examples and tests.
+//! The timing models in [`crate::generator`] are parameterized from the
+//! operation counts these kernels exhibit.
+
+use std::collections::HashMap;
+
+use smarco_sim::rng::SimRng;
+
+/// Counts word occurrences (WordCount, from Phoenix++).
+pub fn wordcount(text: &str) -> HashMap<String, u64> {
+    let mut counts = HashMap::new();
+    for word in text.split_whitespace() {
+        let w: String =
+            word.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
+        if !w.is_empty() {
+            *counts.entry(w).or_insert(0) += 1;
+        }
+    }
+    counts
+}
+
+/// Sorts records by key (TeraSort). Returns the sorted keys.
+pub fn terasort(mut keys: Vec<u64>) -> Vec<u64> {
+    keys.sort_unstable();
+    keys
+}
+
+/// Partitions keys into `buckets` contiguous ranges (the TeraSort shuffle
+/// stage): bucket `i` receives keys in `[i*span, (i+1)*span)`.
+pub fn terasort_partition(keys: &[u64], buckets: usize) -> Vec<Vec<u64>> {
+    assert!(buckets > 0, "need at least one bucket");
+    let span = (u64::MAX / buckets as u64).saturating_add(1);
+    let mut out = vec![Vec::new(); buckets];
+    for &k in keys {
+        out[(k / span) as usize % buckets].push(k);
+    }
+    out
+}
+
+/// A tiny inverted-index search engine (Search, à la Xapian).
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    postings: HashMap<String, Vec<(u32, u32)>>, // term → (doc, tf)
+    docs: u32,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> u32 {
+        self.docs
+    }
+
+    /// Whether no documents are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs == 0
+    }
+
+    /// Indexes a document, returning its id.
+    pub fn add(&mut self, text: &str) -> u32 {
+        let id = self.docs;
+        self.docs += 1;
+        for (term, tf) in wordcount(text) {
+            self.postings.entry(term).or_default().push((id, tf as u32));
+        }
+        id
+    }
+
+    /// Conjunctive query scored by summed term frequency; returns
+    /// `(doc, score)` sorted by descending score then doc id.
+    pub fn query(&self, terms: &[&str]) -> Vec<(u32, u32)> {
+        let mut scores: HashMap<u32, (u32, usize)> = HashMap::new();
+        for term in terms {
+            if let Some(list) = self.postings.get(&term.to_lowercase()) {
+                for &(doc, tf) in list {
+                    let e = scores.entry(doc).or_insert((0, 0));
+                    e.0 += tf;
+                    e.1 += 1;
+                }
+            }
+        }
+        let mut hits: Vec<(u32, u32)> = scores
+            .into_iter()
+            .filter(|&(_, (_, nterms))| nterms == terms.len())
+            .map(|(doc, (score, _))| (doc, score))
+            .collect();
+        hits.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        hits
+    }
+}
+
+/// One Lloyd iteration of k-means over `points`; returns the new
+/// centroids and assignments.
+///
+/// # Panics
+///
+/// Panics if `centroids` is empty or dimensions differ.
+pub fn kmeans_step(points: &[Vec<f64>], centroids: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<usize>) {
+    assert!(!centroids.is_empty(), "need at least one centroid");
+    let dim = centroids[0].len();
+    let mut assign = Vec::with_capacity(points.len());
+    let mut sums = vec![vec![0.0; dim]; centroids.len()];
+    let mut counts = vec![0u64; centroids.len()];
+    for p in points {
+        assert_eq!(p.len(), dim, "dimension mismatch");
+        let mut best = 0;
+        let mut best_d = f64::INFINITY;
+        for (i, c) in centroids.iter().enumerate() {
+            let d: f64 = p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum();
+            if d < best_d {
+                best_d = d;
+                best = i;
+            }
+        }
+        assign.push(best);
+        counts[best] += 1;
+        for (s, v) in sums[best].iter_mut().zip(p) {
+            *s += v;
+        }
+    }
+    let new_centroids = sums
+        .into_iter()
+        .zip(&counts)
+        .zip(centroids)
+        .map(|((s, &n), old)| {
+            if n == 0 {
+                old.clone()
+            } else {
+                s.into_iter().map(|v| v / n as f64).collect()
+            }
+        })
+        .collect();
+    (new_centroids, assign)
+}
+
+/// Runs k-means to convergence (or `max_iters`); returns centroids.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(k > 0 && !points.is_empty(), "need points and k > 0");
+    let mut rng = SimRng::new(seed);
+    let mut centroids: Vec<Vec<f64>> =
+        (0..k).map(|_| points[rng.gen_index(points.len())].clone()).collect();
+    for _ in 0..max_iters {
+        let (next, _) = kmeans_step(points, &centroids);
+        if next == centroids {
+            break;
+        }
+        centroids = next;
+    }
+    centroids
+}
+
+/// KMP failure function.
+pub fn kmp_table(pattern: &[u8]) -> Vec<usize> {
+    let mut table = vec![0; pattern.len()];
+    let mut k = 0;
+    for i in 1..pattern.len() {
+        while k > 0 && pattern[i] != pattern[k] {
+            k = table[k - 1];
+        }
+        if pattern[i] == pattern[k] {
+            k += 1;
+        }
+        table[i] = k;
+    }
+    table
+}
+
+/// KMP string search: returns all match start offsets.
+pub fn kmp_search(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    let table = kmp_table(pattern);
+    let mut out = Vec::new();
+    let mut k = 0;
+    for (i, &c) in text.iter().enumerate() {
+        while k > 0 && c != pattern[k] {
+            k = table[k - 1];
+        }
+        if c == pattern[k] {
+            k += 1;
+        }
+        if k == pattern.len() {
+            out.push(i + 1 - k);
+            k = table[k - 1];
+        }
+    }
+    out
+}
+
+/// RNC event kinds (a governing element of the UMTS radio access network:
+/// connection setup/teardown, handover decisions, paging — all with hard
+/// deadlines).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RncEvent {
+    /// Radio-connection setup request.
+    Setup {
+        /// User equipment id.
+        ue: u32,
+    },
+    /// Measurement report that may trigger a handover.
+    Measurement {
+        /// User equipment id.
+        ue: u32,
+        /// Received signal strength (arbitrary units).
+        rssi: i32,
+    },
+    /// Connection release.
+    Release {
+        /// User equipment id.
+        ue: u32,
+    },
+}
+
+/// A minimal RNC: tracks connection state and decides handovers.
+#[derive(Debug, Clone, Default)]
+pub struct Rnc {
+    connections: HashMap<u32, i32>,
+    handovers: u64,
+    rejected: u64,
+}
+
+impl Rnc {
+    /// Creates an idle controller.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Active connection count.
+    pub fn active(&self) -> usize {
+        self.connections.len()
+    }
+
+    /// Handover decisions taken.
+    pub fn handovers(&self) -> u64 {
+        self.handovers
+    }
+
+    /// Events rejected (unknown UE).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Processes one event.
+    pub fn handle(&mut self, ev: RncEvent) {
+        match ev {
+            RncEvent::Setup { ue } => {
+                self.connections.insert(ue, 0);
+            }
+            RncEvent::Measurement { ue, rssi } => match self.connections.get_mut(&ue) {
+                Some(prev) => {
+                    // Hysteresis: hand over when signal drops sharply.
+                    if rssi < *prev - 10 {
+                        self.handovers += 1;
+                    }
+                    *prev = rssi;
+                }
+                None => self.rejected += 1,
+            },
+            RncEvent::Release { ue } => {
+                if self.connections.remove(&ue).is_none() {
+                    self.rejected += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wordcount_counts() {
+        let c = wordcount("the quick brown fox the LAZY the");
+        assert_eq!(c["the"], 3);
+        assert_eq!(c["lazy"], 1);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn wordcount_normalizes_punctuation() {
+        let c = wordcount("Hello, hello! HELLO?");
+        assert_eq!(c["hello"], 3);
+    }
+
+    #[test]
+    fn terasort_sorts() {
+        let mut rng = SimRng::new(1);
+        let keys: Vec<u64> = (0..1000).map(|_| rng.next_u64()).collect();
+        let sorted = terasort(keys.clone());
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(sorted.len(), keys.len());
+    }
+
+    #[test]
+    fn terasort_partition_covers_all_keys_in_range_order() {
+        let mut rng = SimRng::new(2);
+        let keys: Vec<u64> = (0..1000).map(|_| rng.next_u64()).collect();
+        let parts = terasort_partition(&keys, 8);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 1000);
+        // Every key in bucket i is below every key in bucket i+1's range.
+        let span = u64::MAX / 8 + 1;
+        for (i, p) in parts.iter().enumerate() {
+            for &k in p {
+                assert_eq!((k / span) as usize, i);
+            }
+        }
+    }
+
+    #[test]
+    fn search_conjunctive_query_ranks_by_tf() {
+        let mut idx = InvertedIndex::new();
+        let d0 = idx.add("rust systems programming rust");
+        let d1 = idx.add("rust web programming");
+        let _d2 = idx.add("cooking recipes");
+        let hits = idx.query(&["rust", "programming"]);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].0, d0, "doc with tf=3 ranks first");
+        assert_eq!(hits[1].0, d1);
+        assert!(idx.query(&["rust", "recipes"]).is_empty(), "conjunction");
+        assert_eq!(idx.len(), 3);
+    }
+
+    #[test]
+    fn kmeans_separates_two_blobs() {
+        let mut pts = Vec::new();
+        let mut rng = SimRng::new(3);
+        for _ in 0..50 {
+            pts.push(vec![rng.gen_f64(), rng.gen_f64()]);
+            pts.push(vec![10.0 + rng.gen_f64(), 10.0 + rng.gen_f64()]);
+        }
+        let cents = kmeans(&pts, 2, 50, 4);
+        let near_origin = cents.iter().filter(|c| c[0] < 5.0).count();
+        assert_eq!(near_origin, 1, "one centroid per blob: {cents:?}");
+    }
+
+    #[test]
+    fn kmeans_step_empty_cluster_keeps_centroid() {
+        let pts = vec![vec![0.0], vec![0.1]];
+        let cents = vec![vec![0.0], vec![100.0]];
+        let (next, assign) = kmeans_step(&pts, &cents);
+        assert_eq!(assign, vec![0, 0]);
+        assert_eq!(next[1], vec![100.0], "empty cluster unchanged");
+    }
+
+    #[test]
+    fn kmp_finds_all_overlapping_matches() {
+        let hits = kmp_search(b"aabaabaab", b"aab");
+        assert_eq!(hits, vec![0, 3, 6]);
+        let hits = kmp_search(b"aaaa", b"aa");
+        assert_eq!(hits, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn kmp_table_is_correct() {
+        assert_eq!(kmp_table(b"abcabd"), vec![0, 0, 0, 1, 2, 0]);
+        assert_eq!(kmp_table(b"aaaa"), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn kmp_edge_cases() {
+        assert!(kmp_search(b"", b"x").is_empty());
+        assert!(kmp_search(b"abc", b"").is_empty());
+        assert!(kmp_search(b"ab", b"abc").is_empty());
+        assert_eq!(kmp_search(b"x", b"x"), vec![0]);
+    }
+
+    #[test]
+    fn rnc_connection_lifecycle() {
+        let mut rnc = Rnc::new();
+        rnc.handle(RncEvent::Setup { ue: 7 });
+        assert_eq!(rnc.active(), 1);
+        rnc.handle(RncEvent::Measurement { ue: 7, rssi: -5 });
+        rnc.handle(RncEvent::Measurement { ue: 7, rssi: -30 });
+        assert_eq!(rnc.handovers(), 1, "sharp drop triggers handover");
+        rnc.handle(RncEvent::Release { ue: 7 });
+        assert_eq!(rnc.active(), 0);
+        rnc.handle(RncEvent::Release { ue: 7 });
+        assert_eq!(rnc.rejected(), 1);
+    }
+
+    #[test]
+    fn rnc_unknown_ue_rejected() {
+        let mut rnc = Rnc::new();
+        rnc.handle(RncEvent::Measurement { ue: 1, rssi: 0 });
+        assert_eq!(rnc.rejected(), 1);
+        assert_eq!(rnc.handovers(), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workloads for the SmarCo reproduction (§4.1).
+//!
+//! The paper evaluates six microbenchmarks extracted from HTC
+//! applications: **WordCount** and **TeraSort** (Phoenix++ MapReduce),
+//! **Search** (Xapian), **K-means**, **KMP** string matching, and **RNC**
+//! (the UMTS Radio Network Controller, a hard-real-time workload). Each
+//! exists here in two forms:
+//!
+//! * a **functional kernel** ([`kernels`]) — real Rust code computing real
+//!   answers, used for correctness tests and for deriving instruction/
+//!   memory-mix parameters;
+//! * a **thread-stream generator** ([`generator`], parameterized per
+//!   benchmark by [`bench::Benchmark`]) — the timing model's view: an
+//!   instruction stream whose memory-access granularity distribution
+//!   matches Fig. 8 and whose address pattern (interleaved slice scans +
+//!   shared tables) matches how the MapReduce runtime lays data out.
+//!
+//! [`splash`] supplies SPLASH2-like conventional mixes (Fig. 8 right) and
+//! [`cdn`] the Nginx/CDN service model behind Fig. 2.
+
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod cdn;
+pub mod generator;
+pub mod kernels;
+pub mod splash;
+
+pub use bench::Benchmark;
+pub use generator::{HtcStream, ThreadGenParams};

@@ -1,0 +1,119 @@
+//! Conventional (SPLASH2-like) workload mixes — Fig. 8's right panel.
+//!
+//! The paper contrasts HTC granularity against eleven SPLASH2
+//! applications: scientific kernels move data in cache-line-sized and
+//! larger chunks. We model a representative subset with granularity mixes
+//! skewed toward 16–64-byte accesses and conventional locality.
+
+use smarco_isa::mix::{AddressModel, GranularityMix, OpMix};
+
+/// A conventional scientific workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplashApp {
+    /// Hierarchical N-body simulation.
+    Barnes,
+    /// Complex 1-D FFT.
+    Fft,
+    /// Blocked dense LU factorization.
+    Lu,
+    /// Ocean current simulation (regular grids).
+    Ocean,
+    /// Radix sort.
+    Radix,
+    /// Water molecule dynamics.
+    Water,
+}
+
+impl SplashApp {
+    /// A representative subset of the eleven the paper plots.
+    pub const ALL: [SplashApp; 6] = [
+        SplashApp::Barnes,
+        SplashApp::Fft,
+        SplashApp::Lu,
+        SplashApp::Ocean,
+        SplashApp::Radix,
+        SplashApp::Water,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SplashApp::Barnes => "Barnes",
+            SplashApp::Fft => "FFT",
+            SplashApp::Lu => "LU",
+            SplashApp::Ocean => "Ocean",
+            SplashApp::Radix => "Radix",
+            SplashApp::Water => "Water",
+        }
+    }
+
+    /// Granularity mix (weights for `[1, 2, 4, 8, 16, 32, 64]`): dominated
+    /// by double-precision words, vectors and cache-line moves.
+    pub fn granularity(self) -> GranularityMix {
+        let w = match self {
+            SplashApp::Barnes => [0.0, 0.0, 0.05, 0.35, 0.30, 0.20, 0.10],
+            SplashApp::Fft => [0.0, 0.0, 0.0, 0.30, 0.35, 0.20, 0.15],
+            SplashApp::Lu => [0.0, 0.0, 0.0, 0.40, 0.30, 0.20, 0.10],
+            SplashApp::Ocean => [0.0, 0.0, 0.05, 0.35, 0.25, 0.20, 0.15],
+            SplashApp::Radix => [0.0, 0.0, 0.10, 0.35, 0.30, 0.15, 0.10],
+            SplashApp::Water => [0.0, 0.0, 0.05, 0.45, 0.30, 0.15, 0.05],
+        };
+        GranularityMix::new(w)
+    }
+
+    /// Statistical mix for running on either machine model.
+    pub fn mix(self, base: u64, working_set: u64) -> OpMix {
+        OpMix {
+            mem_frac: 0.35,
+            load_frac: 0.65,
+            branch_frac: 0.1,
+            branch_miss: 0.02,
+            realtime_frac: 0.0,
+            granularity: self.granularity(),
+            addresses: AddressModel::streaming(base, working_set),
+        }
+    }
+}
+
+impl std::fmt::Display for SplashApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::Benchmark;
+
+    #[test]
+    fn conventional_granularity_is_coarser_than_htc() {
+        // The Fig. 8 contrast: every SPLASH2-like app's mean access size
+        // exceeds every HTC benchmark's.
+        let max_htc = Benchmark::ALL
+            .iter()
+            .map(|b| b.granularity().mean_bytes())
+            .fold(0.0f64, f64::max);
+        for app in SplashApp::ALL {
+            assert!(
+                app.granularity().mean_bytes() > max_htc,
+                "{app} mean {} vs max HTC {max_htc}",
+                app.granularity().mean_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn tiny_accesses_absent() {
+        for app in SplashApp::ALL {
+            assert!(app.granularity().fraction_le(2) < 0.06, "{app}");
+        }
+    }
+
+    #[test]
+    fn mixes_validate() {
+        for app in SplashApp::ALL {
+            app.mix(0x10_0000, 1 << 24).validate();
+        }
+    }
+}

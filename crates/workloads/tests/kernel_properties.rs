@@ -1,0 +1,119 @@
+//! Property tests cross-validating the functional kernels against naive
+//! reference implementations.
+
+use proptest::prelude::*;
+
+use smarco_workloads::kernels::{
+    kmeans_step, kmp_search, terasort, terasort_partition, wordcount, Rnc, RncEvent,
+};
+
+/// Naive quadratic substring search, the reference for KMP.
+fn naive_search(text: &[u8], pattern: &[u8]) -> Vec<usize> {
+    if pattern.is_empty() || pattern.len() > text.len() {
+        return Vec::new();
+    }
+    (0..=text.len() - pattern.len())
+        .filter(|&i| &text[i..i + pattern.len()] == pattern)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn kmp_matches_naive_search(
+        text in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..200),
+        pattern in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..8),
+    ) {
+        prop_assert_eq!(kmp_search(&text, &pattern), naive_search(&text, &pattern));
+    }
+
+    #[test]
+    fn terasort_is_a_sorted_permutation(keys in prop::collection::vec(any::<u64>(), 0..300)) {
+        let sorted = terasort(keys.clone());
+        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut a = keys;
+        a.sort_unstable();
+        prop_assert_eq!(sorted, a);
+    }
+
+    #[test]
+    fn terasort_partitions_conserve_and_order(
+        keys in prop::collection::vec(any::<u64>(), 0..300),
+        buckets in 1usize..16,
+    ) {
+        let parts = terasort_partition(&keys, buckets);
+        prop_assert_eq!(parts.len(), buckets);
+        prop_assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), keys.len());
+        // Concatenating per-bucket sorted keys yields the global sort.
+        let mut concat = Vec::new();
+        for p in parts {
+            let mut p = p;
+            p.sort_unstable();
+            concat.extend(p);
+        }
+        prop_assert!(concat.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn wordcount_total_matches_token_count(words in prop::collection::vec("[a-z]{1,6}", 0..80)) {
+        let text = words.join(" ");
+        let counts = wordcount(&text);
+        let total: u64 = counts.values().sum();
+        prop_assert_eq!(total as usize, words.len());
+        for w in &words {
+            prop_assert!(counts[w] >= 1);
+        }
+    }
+
+    #[test]
+    fn kmeans_step_never_increases_distortion(
+        pts in prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, 2..4), 4..40),
+        k in 1usize..4,
+    ) {
+        // All points share the dimension of the first.
+        let dim = pts[0].len();
+        let points: Vec<Vec<f64>> =
+            pts.into_iter().map(|mut p| { p.resize(dim, 0.0); p }).collect();
+        let centroids: Vec<Vec<f64>> =
+            (0..k).map(|i| points[i % points.len()].clone()).collect();
+        let distortion = |cents: &[Vec<f64>]| -> f64 {
+            points
+                .iter()
+                .map(|p| {
+                    cents
+                        .iter()
+                        .map(|c| p.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum::<f64>())
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum()
+        };
+        let before = distortion(&centroids);
+        let (next, assign) = kmeans_step(&points, &centroids);
+        let after = distortion(&next);
+        prop_assert!(after <= before + 1e-6, "distortion {before} -> {after}");
+        prop_assert_eq!(assign.len(), points.len());
+        prop_assert!(assign.iter().all(|&a| a < k));
+    }
+
+    #[test]
+    fn rnc_active_count_is_setup_minus_release(
+        events in prop::collection::vec((0u8..3, 0u32..8, -50i32..50), 0..200),
+    ) {
+        let mut rnc = Rnc::new();
+        let mut live = std::collections::HashSet::new();
+        for (kind, ue, rssi) in events {
+            match kind {
+                0 => {
+                    rnc.handle(RncEvent::Setup { ue });
+                    live.insert(ue);
+                }
+                1 => rnc.handle(RncEvent::Measurement { ue, rssi }),
+                _ => {
+                    rnc.handle(RncEvent::Release { ue });
+                    live.remove(&ue);
+                }
+            }
+        }
+        prop_assert_eq!(rnc.active(), live.len());
+    }
+}

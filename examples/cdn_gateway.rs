@@ -1,0 +1,49 @@
+//! The motivating CDN experiment (Fig. 2): a video-delivery node on a
+//! conventional processor is NIC-bound — the CPU idles while its caches
+//! and branch predictors still thrash.
+//!
+//! ```text
+//! cargo run --release --example cdn_gateway
+//! ```
+
+use smarco::baseline::{ConventionalSystem, XeonConfig};
+use smarco::sim::rng::SimRng;
+use smarco::workloads::cdn::CdnConfig;
+use smarco::workloads::HtcStream;
+
+fn main() {
+    let cdn = CdnConfig::paper();
+    let cfg = XeonConfig::small();
+    let window_s = 0.0002; // service window of simulated time
+    let window_cycles = (window_s * cfg.freq_ghz * 1e9) as u64;
+
+    println!(
+        "CDN node: {} Gbps NIC, {} Mbps streams → at most {} concurrent clients\n",
+        cdn.nic_gbps,
+        cdn.stream_mbps,
+        cdn.max_clients()
+    );
+    println!("{:>8} {:>10} {:>12} {:>9}", "clients", "cpu_util", "branch_miss", "l1_miss");
+    for clients in [50usize, 100, 200, 400] {
+        let mut sys = ConventionalSystem::new(cfg);
+        for c in 0..clients {
+            sys.spawn(Box::new(HtcStream::new(
+                cdn.connection_params(c, window_s),
+                SimRng::new(77 + c as u64),
+            )));
+        }
+        let r = sys.run(window_cycles * 4);
+        let capacity = (cfg.cores * cfg.issue_width) as f64 * window_cycles as f64;
+        println!(
+            "{:>8} {:>9.1}% {:>11.1}% {:>8.1}%",
+            clients,
+            (r.issue_used as f64 / capacity).min(1.0) * 100.0,
+            (1.0 - r.branches.ratio()) * 100.0,
+            (1.0 - r.l1d.ratio()) * 100.0
+        );
+    }
+    println!(
+        "\nEven at the NIC limit the CPU runs below 10% utilization — the\n\
+         mismatch that motivates a throughput-oriented many-core design."
+    );
+}

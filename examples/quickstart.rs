@@ -1,0 +1,59 @@
+//! Quickstart: build a small SmarCo chip, run an HTC workload on it, and
+//! read the headline statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use smarco::core::chip::SmarcoSystem;
+use smarco::core::config::SmarcoConfig;
+use smarco::sim::rng::SimRng;
+use smarco::workloads::{Benchmark, HtcStream};
+
+fn main() {
+    // A 64-core chip (4 sub-rings × 16 cores) with MACT and the direct
+    // datapath enabled; `SmarcoConfig::smarco()` would build the full
+    // 256-core machine.
+    let mut cfg = SmarcoConfig::smarco();
+    cfg.noc.subrings = 4;
+    cfg.noc.mem_ctrls = 4;
+    cfg.dram.channels = 4;
+    if let Some(d) = cfg.direct.as_mut() {
+        d.subrings = 4;
+    }
+    let mut sys = SmarcoSystem::new(cfg.clone());
+
+    // Four KMP string-matching threads per core, each scanning its
+    // sub-ring's slice of the text in the interleaved MapReduce layout.
+    let cps = cfg.noc.cores_per_subring;
+    let team = (cps * 4) as u64;
+    let mut seed = 1;
+    for core in 0..sys.cores_len() {
+        let sr = (core / cps) as u64;
+        for t in 0..4 {
+            let j = ((core % cps) * 4 + t) as u64;
+            let params = Benchmark::Kmp.thread_params(
+                0x100_0000 + sr * (64 << 20), // this sub-ring's text slice
+                16 << 20,
+                0x8000_0000 + sr * (1 << 20), // shared pattern tables
+                j,
+                team,
+                2_000, // instructions per thread
+            );
+            sys.attach(core, Box::new(HtcStream::new(params, SimRng::new(seed))))
+                .expect("vacant thread slot");
+            seed += 1;
+        }
+    }
+
+    let report = sys.run(50_000_000);
+    println!("SmarCo quickstart — {} cores, {} threads", cfg.noc.cores(), sys.cores_len() * 4);
+    println!("  cycles            : {}", report.cycles);
+    println!("  instructions      : {}", report.instructions);
+    println!("  chip IPC          : {:.2}", report.ipc());
+    println!("  memory requests   : {}", report.requests);
+    println!("  after MACT        : {} ({:.2}x reduction)", report.dram_requests, report.request_reduction());
+    println!("  mean mem latency  : {:.0} cycles", report.mem_latency.mean());
+    println!("  DRAM utilization  : {:.1}%", report.dram_utilization * 100.0);
+    println!("  throughput @1.5GHz: {:.2e} instructions/s", report.throughput(cfg.freq_ghz));
+}

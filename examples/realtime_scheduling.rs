@@ -1,0 +1,58 @@
+//! Hard-real-time task scheduling: the hardware laxity-aware scheduler vs
+//! a software Deadline Scheduler on one sub-ring's RNC task set (§3.7,
+//! Fig. 21).
+//!
+//! ```text
+//! cargo run --release --example realtime_scheduling
+//! ```
+
+use smarco::sched::executor::run_tasks_preemptive;
+use smarco::sched::{DeadlineScheduler, LaxityAwareScheduler, Task};
+use smarco::sim::rng::SimRng;
+
+fn main() {
+    // 128 RNC thread tasks share one sub-ring (64 running slots) and one
+    // hard deadline; each needs about half the deadline of solo work.
+    let deadline = 340_000u64;
+    let mut rng = SimRng::new(7);
+    let tasks: Vec<Task> = (0..128)
+        .map(|i| {
+            let mean = deadline / 2 - deadline / 50;
+            let spread = mean / 12;
+            Task::new(i, 0, deadline, mean - spread / 2 + rng.gen_range(spread))
+        })
+        .collect();
+
+    println!("128 RNC tasks, deadline {deadline} cycles, 64 running slots\n");
+    for (label, report) in [
+        (
+            "software Deadline Scheduler (20k-cycle OS quantum)",
+            run_tasks_preemptive(
+                &mut DeadlineScheduler::with_overhead(200),
+                tasks.clone(),
+                64,
+                20_000,
+                100_000_000,
+            ),
+        ),
+        (
+            "hardware laxity-aware scheduler (fine-grained)",
+            run_tasks_preemptive(
+                &mut LaxityAwareScheduler::subring(),
+                tasks.clone(),
+                64,
+                4_000,
+                100_000_000,
+            ),
+        ),
+    ] {
+        let (min, max) = report.exit_range();
+        println!("{label}:");
+        println!("  exits {}..{} (spread {})", min, max, report.exit_spread());
+        println!("  deadline success rate: {:.1}%\n", report.success_rate() * 100.0);
+    }
+    println!(
+        "Least-laxity-first dispatch equalizes progress, so every task exits\n\
+         just before the deadline instead of spreading across it."
+    );
+}

@@ -1,0 +1,55 @@
+//! SmarCo: a Rust reproduction of the HPCA 2018 many-core processor for
+//! high-throughput datacenter applications.
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on one crate:
+//!
+//! * [`sim`] — PDES simulation kernel (time, events, stats, parallel shards)
+//! * [`isa`] — abstract throughput ISA and thread programs
+//! * [`mem`] — caches, scratchpad memory, MACT, DDR controllers
+//! * [`noc`] — hierarchical ring, high-density links, direct datapath
+//! * [`sched`] — laxity-aware hardware task scheduler and baselines
+//! * [`core`] — TCG cores and the full 256-core SmarCo chip
+//! * [`baseline`] — conventional (Xeon-like) processor model
+//! * [`workloads`] — the six HTC benchmarks, CDN, and SPLASH2-like loads
+//! * [`runtime`] — pthreads-like API and MapReduce framework
+//! * [`power`] — analytic area/power/energy models
+//!
+//! # Examples
+//!
+//! Run a few KMP threads on a small chip and read the report:
+//!
+//! ```
+//! use smarco::core::chip::SmarcoSystem;
+//! use smarco::core::config::SmarcoConfig;
+//! use smarco::sim::rng::SimRng;
+//! use smarco::workloads::{Benchmark, HtcStream};
+//!
+//! let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+//! for core in 0..sys.cores_len() {
+//!     let params = Benchmark::Kmp.thread_params(
+//!         0x100_0000, 1 << 20,  // this team's text slice
+//!         0x8000_0000,          // shared pattern tables
+//!         core as u64, 16,      // interleave across the team
+//!         500,                  // instructions per thread
+//!     );
+//!     sys.attach(core, Box::new(HtcStream::new(params, SimRng::new(core as u64))))
+//!         .expect("vacant thread slot");
+//! }
+//! let report = sys.run(10_000_000);
+//! assert_eq!(report.instructions, 16 * 501);
+//! assert!(report.ipc() > 0.0);
+//! ```
+//!
+//! See `examples/quickstart.rs` for a fuller tour.
+
+pub use smarco_baseline as baseline;
+pub use smarco_core as core;
+pub use smarco_isa as isa;
+pub use smarco_mem as mem;
+pub use smarco_noc as noc;
+pub use smarco_power as power;
+pub use smarco_runtime as runtime;
+pub use smarco_sched as sched;
+pub use smarco_sim as sim;
+pub use smarco_workloads as workloads;

@@ -1,0 +1,181 @@
+//! Property-based tests of the core data-structure invariants.
+
+use proptest::prelude::*;
+
+use smarco::mem::cache::{Cache, CacheConfig};
+use smarco::mem::mact::{Mact, MactConfig};
+use smarco::mem::request::{MemRequest, RequestIdAllocator};
+use smarco::mem::spm::Spm;
+use smarco::noc::link::{LinkConfig, Transmittable};
+use smarco::noc::ring::Ring;
+use smarco::runtime::functional::map_reduce;
+use smarco::sched::executor::{run_tasks, run_tasks_preemptive};
+use smarco::sched::{DeadlineScheduler, FifoScheduler, LaxityAwareScheduler, Task, TaskScheduler};
+use smarco::sim::rng::SimRng;
+use smarco_isa::MemRef;
+
+#[derive(Debug, Clone, PartialEq)]
+struct P(u32);
+impl Transmittable for P {
+    fn bytes(&self) -> u32 {
+        self.0
+    }
+}
+
+proptest! {
+    /// The MACT never loses or duplicates a request: every collected
+    /// request appears in exactly one batch; bypassed requests come back
+    /// immediately.
+    #[test]
+    fn mact_conserves_requests(
+        addrs in prop::collection::vec((0u64..4096, 1u8..=8, any::<bool>()), 1..200),
+        threshold in 1u64..64,
+        lines in 1usize..32,
+    ) {
+        let mut mact = Mact::new(MactConfig { lines, line_bytes: 64, threshold });
+        let mut ids = RequestIdAllocator::new();
+        let mut issued = Vec::new();
+        let mut seen = Vec::new();
+        for (i, &(addr, bytes, is_write)) in addrs.iter().enumerate() {
+            let addr = addr - addr % u64::from(bytes); // aligned, no line crossing
+            let req = MemRequest {
+                id: ids.next_id(),
+                core: 0,
+                mem: MemRef::new(addr, bytes),
+                is_write,
+                issued_at: i as u64,
+            };
+            issued.push(req.id);
+            match mact.offer(req, i as u64) {
+                smarco::mem::MactOutcome::Bypass(r) => seen.push(r.id),
+                smarco::mem::MactOutcome::Collected => {}
+            }
+            for b in mact.tick(i as u64) {
+                seen.extend(b.requests.iter().map(|r| r.id));
+            }
+        }
+        for b in mact.drain_all(addrs.len() as u64) {
+            seen.extend(b.requests.iter().map(|r| r.id));
+        }
+        seen.sort_unstable();
+        issued.sort_unstable();
+        prop_assert_eq!(seen, issued);
+        prop_assert_eq!(mact.pending_requests(), 0);
+    }
+
+    /// Every injected ring packet is delivered exactly once, at its exit.
+    #[test]
+    fn ring_delivers_exactly_once(
+        routes in prop::collection::vec((0usize..12, 0usize..12, 1u32..64), 1..80),
+    ) {
+        let mut ring: Ring<P> = Ring::new(12, LinkConfig::sub_ring());
+        let mut expected = 0u64;
+        let mut delivered = 0u64;
+        for &(src, dst, bytes) in &routes {
+            expected += 1;
+            if ring.inject(src, dst, P(bytes)).is_some() {
+                delivered += 1; // src == dst delivers immediately
+            }
+        }
+        for now in 0..20_000u64 {
+            delivered += ring.tick(now).len() as u64;
+            if ring.is_idle() {
+                break;
+            }
+        }
+        prop_assert!(ring.is_idle(), "ring drained");
+        prop_assert_eq!(delivered, expected);
+    }
+
+    /// Cache residency: an accessed line probes present immediately after,
+    /// and the cache never reports more hits than accesses.
+    #[test]
+    fn cache_hits_are_consistent(addrs in prop::collection::vec(0u64..1u64 << 16, 1..300)) {
+        let mut c = Cache::new(CacheConfig { size_bytes: 2048, line_bytes: 64, ways: 2 });
+        for &a in &addrs {
+            let _ = c.access(a, a % 3 == 0);
+            prop_assert!(c.probe(a), "line just accessed must be resident");
+        }
+        let s = c.stats();
+        prop_assert!(s.accesses.hits() <= s.accesses.total());
+        prop_assert_eq!(s.accesses.total(), addrs.len() as u64);
+    }
+
+    /// SPM residency algebra: fills make ranges resident, eviction undoes.
+    #[test]
+    fn spm_residency_roundtrip(
+        ranges in prop::collection::vec((0u64..100_000, 1u64..4096), 1..40),
+    ) {
+        let mut spm = Spm::new();
+        let cap = Spm::data_bytes();
+        for &(off, len) in &ranges {
+            let off = off % (cap - 4096);
+            spm.make_resident(off, len);
+            prop_assert!(spm.is_resident(off, len));
+            spm.evict(off, len);
+            prop_assert!(!spm.is_resident(off, len.min(64)));
+        }
+    }
+
+    /// Every task completes exactly once with any scheduler, preemptive or
+    /// not, and no exit precedes arrival + work.
+    #[test]
+    fn executors_complete_every_task_once(
+        works in prop::collection::vec(1u64..5000, 1..60),
+        slots in 1usize..16,
+        quantum in 1u64..2000,
+        which in 0usize..3,
+    ) {
+        let tasks: Vec<Task> = works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| Task::new(i as u64, (i as u64 % 7) * 10, 1_000_000, w))
+            .collect();
+        let mut schedulers: Vec<Box<dyn TaskScheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(DeadlineScheduler::new()),
+            Box::new(LaxityAwareScheduler::new(256)),
+        ];
+        let sched = &mut *schedulers[which];
+        let report = if quantum % 2 == 0 {
+            run_tasks_preemptive(sched, tasks.clone(), slots, quantum, u64::MAX / 2)
+        } else {
+            run_tasks(sched, tasks.clone(), slots, u64::MAX / 2)
+        };
+        prop_assert_eq!(report.records.len(), tasks.len());
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.task.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), tasks.len());
+        for rec in &report.records {
+            let orig = tasks.iter().find(|t| t.id == rec.task.id).expect("task");
+            prop_assert!(rec.exit >= orig.arrival + orig.work,
+                "task {} exits at {} before arrival {} + work {}",
+                orig.id, rec.exit, orig.arrival, orig.work);
+        }
+    }
+
+    /// The functional MapReduce engine is partition-count invariant and
+    /// agrees with a direct fold.
+    #[test]
+    fn mapreduce_partition_invariance(
+        nums in prop::collection::vec(0u64..1000, 1..100),
+        parts in 1usize..16,
+    ) {
+        let by_parts = map_reduce(&nums, |&n| vec![(n % 10, n)], |_k, vs: &[u64]| vs.iter().sum(), parts);
+        let reference = map_reduce(&nums, |&n| vec![(n % 10, n)], |_k, vs: &[u64]| vs.iter().sum(), 1);
+        prop_assert_eq!(&by_parts, &reference);
+        let direct: u64 = nums.iter().sum();
+        let total: u64 = by_parts.values().sum();
+        prop_assert_eq!(total, direct);
+    }
+
+    /// SimRng::gen_range stays in bounds for arbitrary seeds and bounds.
+    #[test]
+    fn rng_range_in_bounds(seed in any::<u64>(), bound in 1u64..1_000_000) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.gen_range(bound) < bound);
+        }
+    }
+}
