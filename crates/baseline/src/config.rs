@@ -54,10 +54,26 @@ impl XeonConfig {
             smt: 2,
             issue_width: 4,
             freq_ghz: 2.2,
-            l1i: CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 8 },
-            l1d: CacheConfig { size_bytes: 32 << 10, line_bytes: 64, ways: 8 },
-            l2: CacheConfig { size_bytes: 256 << 10, line_bytes: 64, ways: 8 },
-            llc: CacheConfig { size_bytes: 60 << 20, line_bytes: 64, ways: 20 },
+            l1i: CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 << 10,
+                line_bytes: 64,
+                ways: 8,
+            },
+            l2: CacheConfig {
+                size_bytes: 256 << 10,
+                line_bytes: 64,
+                ways: 8,
+            },
+            llc: CacheConfig {
+                size_bytes: 60 << 20,
+                line_bytes: 64,
+                ways: 20,
+            },
             l2_latency: 12,
             llc_latency: 40,
             icache_miss_penalty: 20,
@@ -72,7 +88,10 @@ impl XeonConfig {
 
     /// A 4-core variant for fast tests.
     pub fn small() -> Self {
-        Self { cores: 4, ..Self::e7_8890v4() }
+        Self {
+            cores: 4,
+            ..Self::e7_8890v4()
+        }
     }
 
     /// Hardware thread contexts.
@@ -86,10 +105,16 @@ impl XeonConfig {
     ///
     /// Panics on zero counts or non-positive parameters.
     pub fn validate(&self) {
-        assert!(self.cores > 0 && self.smt > 0 && self.issue_width > 0, "zero geometry");
+        assert!(
+            self.cores > 0 && self.smt > 0 && self.issue_width > 0,
+            "zero geometry"
+        );
         assert!(self.mlp > 0, "mlp must be positive");
         assert!(self.freq_ghz > 0.0, "frequency must be positive");
-        assert!(self.quantum > 0 && self.spawn_cost > 0, "OS costs must be positive");
+        assert!(
+            self.quantum > 0 && self.spawn_cost > 0,
+            "OS costs must be positive"
+        );
     }
 }
 

@@ -211,7 +211,9 @@ impl ConventionalSystem {
     }
 
     fn issue_one(&mut self, core: usize, x: usize, now: Cycle) -> bool {
-        let Some(tid) = self.cores[core].contexts[x].thread else { return false };
+        let Some(tid) = self.cores[core].contexts[x].thread else {
+            return false;
+        };
         let ctx = self.cores[core].contexts[x];
         if ctx.blocked || ctx.stall_until > now {
             return false;
@@ -264,7 +266,9 @@ impl ConventionalSystem {
             CoreAccess::L2 => {
                 self.report.l1d.record(false);
                 self.report.l2.record(true);
-                self.report.access_latency.record(self.config.l2_latency as f64);
+                self.report
+                    .access_latency
+                    .record(self.config.l2_latency as f64);
                 let ctx = &mut self.cores[core].contexts[x];
                 ctx.stall_until = ctx.stall_until.max(now + self.config.l2_latency / 2);
             }
@@ -273,14 +277,15 @@ impl ConventionalSystem {
                 self.report.l2.record(false);
                 if self.llc.access(addr, is_write).is_hit() {
                     self.report.llc.record(true);
-                    self.report.access_latency.record(self.config.llc_latency as f64);
+                    self.report
+                        .access_latency
+                        .record(self.config.llc_latency as f64);
                     let ctx = &mut self.cores[core].contexts[x];
                     ctx.stall_until = ctx.stall_until.max(now + self.config.llc_latency / 2);
                 } else {
                     self.report.llc.record(false);
                     let line = self.llc.line_addr(addr);
-                    let channel =
-                        ((line / 4096) % self.config.dram.channels as u64) as usize;
+                    let channel = ((line / 4096) % self.config.dram.channels as u64) as usize;
                     self.dram.enqueue(channel, 64, now, (core, x, now));
                     if !is_write {
                         let ctx = &mut self.cores[core].contexts[x];
@@ -393,7 +398,11 @@ mod tests {
         let mut s = ConventionalSystem::new(XeonConfig::small());
         for i in 0..threads {
             let mix = mem_mix(0x10_0000 + (i as u64) * ws, ws);
-            s.spawn(Box::new(SyntheticStream::new(mix, instrs, SimRng::new(i as u64 + 1))));
+            s.spawn(Box::new(SyntheticStream::new(
+                mix,
+                instrs,
+                SimRng::new(i as u64 + 1),
+            )));
         }
         s
     }
@@ -428,7 +437,10 @@ mod tests {
             heavy.ipc(),
             light.ipc()
         );
-        assert!(heavy.l1d.ratio() < light.l1d.ratio(), "heavy should miss more");
+        assert!(
+            heavy.l1d.ratio() < light.l1d.ratio(),
+            "heavy should miss more"
+        );
     }
 
     #[test]

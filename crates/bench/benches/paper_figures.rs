@@ -1,55 +1,53 @@
-//! Criterion wrappers that regenerate each paper figure at quick scale —
-//! `cargo bench` therefore re-derives every experiment end to end and
-//! times how long the reproduction takes.
+//! Wall-clock timing wrappers that regenerate each paper figure at quick
+//! scale — `cargo bench` therefore re-derives every experiment end to end
+//! and times how long the reproduction takes.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Duration;
 
 use smarco_bench::figures;
+use smarco_bench::timing::bench_with_budget;
 use smarco_bench::Scale;
 
-fn figure_benches(c: &mut Criterion) {
-    let mut g = c.benchmark_group("paper_figures");
-    g.sample_size(10);
-    g.bench_function("fig01_conventional_pressure", |b| {
-        b.iter(|| black_box(figures::fig01::run(Scale::Quick)))
+fn main() {
+    let budget = Duration::from_millis(500);
+    bench_with_budget("fig01_conventional_pressure", budget, || {
+        black_box(figures::fig01::run(Scale::Quick));
     });
-    g.bench_function("fig02_cdn", |b| b.iter(|| black_box(figures::fig02::run(Scale::Quick))));
-    g.bench_function("fig08_granularity", |b| {
-        b.iter(|| black_box(figures::fig08::run(Scale::Quick)))
+    bench_with_budget("fig02_cdn", budget, || {
+        black_box(figures::fig02::run(Scale::Quick));
     });
-    g.bench_function("fig17_tcg_ipc", |b| {
-        b.iter(|| black_box(figures::fig17::run(Scale::Quick)))
+    bench_with_budget("fig08_granularity", budget, || {
+        black_box(figures::fig08::run(Scale::Quick));
     });
-    g.bench_function("fig18_highdensity", |b| {
-        b.iter(|| black_box(figures::fig18::run(Scale::Quick)))
+    bench_with_budget("fig17_tcg_ipc", budget, || {
+        black_box(figures::fig17::run(Scale::Quick));
     });
-    g.bench_function("fig19_mact_threshold", |b| {
-        b.iter(|| black_box(figures::fig19::run(Scale::Quick)))
+    bench_with_budget("fig18_highdensity", budget, || {
+        black_box(figures::fig18::run(Scale::Quick));
     });
-    g.bench_function("fig20_mact_vs_conventional", |b| {
-        b.iter(|| black_box(figures::fig20::run(Scale::Quick)))
+    bench_with_budget("fig19_mact_threshold", budget, || {
+        black_box(figures::fig19::run(Scale::Quick));
     });
-    g.bench_function("fig21_scheduler", |b| {
-        b.iter(|| black_box(figures::fig21::run(Scale::Quick)))
+    bench_with_budget("fig20_mact_vs_conventional", budget, || {
+        black_box(figures::fig20::run(Scale::Quick));
     });
-    g.bench_function("fig22_comparison", |b| {
-        b.iter(|| black_box(figures::fig22::run(Scale::Quick)))
+    bench_with_budget("fig21_scheduler", budget, || {
+        black_box(figures::fig21::run(Scale::Quick));
     });
-    g.bench_function("fig23_scalability", |b| {
-        b.iter(|| black_box(figures::fig23::run(Scale::Quick)))
+    bench_with_budget("fig22_comparison", budget, || {
+        black_box(figures::fig22::run(Scale::Quick));
     });
-    g.bench_function("fig26_prototype", |b| {
-        b.iter(|| black_box(figures::fig26::run(Scale::Quick)))
+    bench_with_budget("fig23_scalability", budget, || {
+        black_box(figures::fig23::run(Scale::Quick));
     });
-    g.bench_function("table1_area_power", |b| {
-        b.iter(|| black_box(figures::table1::run(Scale::Quick)))
+    bench_with_budget("fig26_prototype", budget, || {
+        black_box(figures::fig26::run(Scale::Quick));
     });
-    g.bench_function("table2_configs", |b| {
-        b.iter(|| black_box(figures::table2::run(Scale::Quick)))
+    bench_with_budget("table1_area_power", budget, || {
+        black_box(figures::table1::run(Scale::Quick));
     });
-    g.finish();
+    bench_with_budget("table2_configs", budget, || {
+        black_box(figures::table2::run(Scale::Quick));
+    });
 }
-
-criterion_group!(benches, figure_benches);
-criterion_main!(benches);

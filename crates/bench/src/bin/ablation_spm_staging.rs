@@ -3,5 +3,8 @@
 fn main() {
     let scale = smarco_bench::Scale::from_args();
     let rows = smarco_bench::figures::ablations::staging_ablation(scale);
-    print!("{}", smarco_bench::figures::ablations::format_staging(&rows));
+    print!(
+        "{}",
+        smarco_bench::figures::ablations::format_staging(&rows)
+    );
 }

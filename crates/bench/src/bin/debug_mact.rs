@@ -1,5 +1,14 @@
 //! Diagnostic: MACT merging behaviour under the team workload (not a
 //! paper figure; used to sanity-check collection dynamics).
+//!
+//! Built on the chip's observability layer: the run is traced and sampled,
+//! and the diagnostics come from the event trace (per-kind counts) and the
+//! windowed metrics recorder (latency percentiles, per-window batch rate)
+//! instead of ad-hoc counters. Pass a fifth argument to also write the
+//! Chrome-trace JSON for Perfetto.
+//!
+//! Usage: `debug_mact [bytes_per_cycle] [threads_per_core] [threshold]
+//! [lines] [trace-out-dir]`
 
 use smarco_bench::harness::smarco_team_system;
 use smarco_workloads::Benchmark;
@@ -10,11 +19,21 @@ fn main() {
     let tpc: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
     let thr: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
     let lines: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(32);
+    let trace_dir = args.get(5).cloned();
     for bench in [Benchmark::Kmp, Benchmark::WordCount] {
         let mut cfg = smarco_bench::harness::pressure_matched_tiny();
         cfg.dram.bytes_per_cycle = bw;
-        cfg.mact = Some(smarco_mem::mact::MactConfig { threshold: thr, lines, line_bytes: 64 });
+        cfg.mact = Some(smarco_mem::mact::MactConfig {
+            threshold: thr,
+            lines,
+            line_bytes: 64,
+        });
         let mut sys = smarco_team_system(bench, &cfg, 600, tpc);
+        sys.enable_tracing(smarco_sim::obs::TraceConfig::default());
+        sys.sample_every(10_000);
+        if let Some(dir) = &trace_dir {
+            sys.trace_to(format!("{dir}/debug_mact_{}.trace.json", bench.name()));
+        }
         let r = sys.run(500_000_000);
         println!(
             "{:<10} cycles={} instr={} reqs={} dram_reqs={} mact_coll={} batches={} red={:.2} \
@@ -39,6 +58,40 @@ fn main() {
                 s.requests_per_batch.mean(),
                 s.flush_causes,
                 s.wait_cycles.mean(),
+            );
+        }
+        let trace = sys.trace().expect("tracing enabled");
+        let kinds = trace.counts_by_kind();
+        print!(
+            "  events (last {}, {} dropped):",
+            trace.len(),
+            trace.dropped()
+        );
+        for (kind, n) in kinds {
+            print!(" {kind}={n}");
+        }
+        println!();
+        let metrics = sys.metrics().expect("sampling enabled");
+        let lat = metrics.run_latency();
+        println!(
+            "  mem latency p50={:.0} p90={:.0} p99={:.0} over {} samples",
+            lat.p50(),
+            lat.p90(),
+            lat.p99(),
+            lat.count(),
+        );
+        // Peak batching window: where the MACT was busiest.
+        if let Some(peak) = metrics.windows().iter().max_by(|a, b| {
+            let ra = a.stats.get("mact_batch_rate").unwrap_or(0.0);
+            let rb = b.stats.get("mact_batch_rate").unwrap_or(0.0);
+            ra.total_cmp(&rb)
+        }) {
+            println!(
+                "  peak batching window [{}, {}): {:.4} batches/cycle, dram bw {:.2} B/cycle",
+                peak.start,
+                peak.end,
+                peak.stats.get("mact_batch_rate").unwrap_or(0.0),
+                peak.stats.get("dram_bandwidth_bpc").unwrap_or(0.0),
             );
         }
     }

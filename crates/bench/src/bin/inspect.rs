@@ -1,0 +1,105 @@
+//! `inspect`: run the six HTC benchmarks on an observed chip and export
+//! a Chrome-trace JSON plus a windowed metrics CSV per benchmark.
+//!
+//! The trace files load directly in Perfetto (<https://ui.perfetto.dev>)
+//! or `chrome://tracing`, with cores, rings, MACTs, DDR channels and the
+//! scheduler laid out as separate process groups. The CSVs hold one row
+//! per sampling window: per-core and aggregate IPC, idle ratio, ring
+//! payload utilization, MACT occupancy and batch rate, DRAM bandwidth,
+//! scheduler queue depths and memory-latency p50/p90/p99.
+//!
+//! Usage: `inspect [out-dir] [--window N] [--ops N] [--threads N]`
+//! (defaults: `target/inspect`, 10 000-cycle windows, 600 ops/thread,
+//! 8 threads/core on the pressure-matched tiny chip).
+
+use smarco_bench::harness::{pressure_matched_tiny, smarco_task_system};
+use smarco_sim::obs::TraceConfig;
+use smarco_workloads::Benchmark;
+
+struct Args {
+    out_dir: String,
+    window: u64,
+    ops: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        out_dir: "target/inspect".to_string(),
+        window: 10_000,
+        ops: 600,
+        threads: 8,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--window" => {
+                out.window = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(out.window);
+                i += 2;
+            }
+            "--ops" => {
+                out.ops = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(out.ops);
+                i += 2;
+            }
+            "--threads" => {
+                out.threads = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(out.threads);
+                i += 2;
+            }
+            dir if !dir.starts_with("--") => {
+                out.out_dir = dir.to_string();
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    println!(
+        "{:<10} {:>9} {:>6} {:>8} {:>8} {:>7}  exports",
+        "benchmark", "cycles", "ipc", "events", "windows", "lat p99"
+    );
+    for bench in Benchmark::ALL {
+        let cfg = pressure_matched_tiny();
+        // Threads arrive through the hardware dispatcher so the trace
+        // covers the scheduler track too.
+        let mut sys = smarco_task_system(bench, &cfg, args.ops, args.threads, 2_000_000);
+        let trace_path = format!("{}/{}.trace.json", args.out_dir, bench.name());
+        let csv_path = format!("{}/{}.windows.csv", args.out_dir, bench.name());
+        sys.enable_tracing(TraceConfig::default());
+        sys.sample_every(args.window);
+        sys.trace_to(&trace_path);
+        sys.metrics_to(&csv_path);
+        let report = sys.run(500_000_000);
+        let trace = sys.trace().expect("tracing enabled");
+        let metrics = sys.metrics().expect("sampling enabled");
+        println!(
+            "{:<10} {:>9} {:>6.2} {:>8} {:>8} {:>7.0}  {} + {}",
+            bench.name(),
+            report.cycles,
+            report.ipc(),
+            trace.total(),
+            metrics.windows().len(),
+            metrics.run_latency().p99(),
+            trace_path,
+            csv_path,
+        );
+    }
+    println!("\nOpen a .trace.json in https://ui.perfetto.dev or chrome://tracing.");
+}

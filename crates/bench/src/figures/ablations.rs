@@ -54,14 +54,22 @@ pub fn mesh_vs_ring(scale: Scale) -> MeshVsRing {
     };
     let rate = 0.25;
     // --- Ring: the standard testbench.
-    let traffic = TrafficConfig { rate, pattern: Pattern::ToMemory, sizes: SizeMix::htc() };
+    let traffic = TrafficConfig {
+        rate,
+        pattern: Pattern::ToMemory,
+        sizes: SizeMix::htc(),
+    };
     let mut tb = Testbench::new(noc_cfg, traffic, 99);
     let ring = tb.run(cycles, cycles * 4);
 
     // --- Mesh: same core count, memory at the four edge midpoints.
     let mut mesh: Mesh<Payload> = Mesh::new(side, side, LinkConfig::sub_ring());
-    let mems =
-        [(side / 2, 0), (side - 1, side / 2), (side / 2, side - 1), (0, side / 2)];
+    let mems = [
+        (side / 2, 0),
+        (side - 1, side / 2),
+        (side / 2, side - 1),
+        (0, side / 2),
+    ];
     let mut rng = SimRng::new(99);
     let sizes = SizeMix::htc();
     for now in 0..cycles {
@@ -135,7 +143,11 @@ pub fn inpair_ablation(scale: Scale) -> Vec<InPairRow> {
     use smarco_core::config::TcgConfig;
     let window = scale.scaled(20_000, 100_000);
     let run = |bench: Benchmark, in_pair: bool, shared_iseg: bool| {
-        let cfg = TcgConfig { in_pair, shared_iseg, ..TcgConfig::smarco() };
+        let cfg = TcgConfig {
+            in_pair,
+            shared_iseg,
+            ..TcgConfig::smarco()
+        };
         crate::harness::tcg_ipc_with(bench, cfg, window, 80)
     };
     Benchmark::ALL
@@ -215,8 +227,7 @@ pub fn staging_ablation(scale: Scale) -> Vec<StagingRow> {
 /// Formats the in-pair rows.
 pub fn format_inpair(rows: &[InPairRow]) -> String {
     use std::fmt::Write as _;
-    let mut s =
-        String::from("Ablation: in-pair threads & shared instruction segment (core IPC)\n");
+    let mut s = String::from("Ablation: in-pair threads & shared instruction segment (core IPC)\n");
     let _ = writeln!(
         s,
         "  {:<12} {:>6} {:>10} {:>8}  {:>11} {:>9}",
@@ -304,16 +315,18 @@ pub fn pim_matching(scale: Scale) -> PimResult {
     let scan_reads_per_instr = p.mem_frac * (1.0 - p.table_frac);
     let threads = cfg.noc.cores() * 4;
     let bytes_per_thread = text_bytes / threads as u64;
-    let ops_per_thread =
-        ((bytes_per_thread as f64 / Benchmark::Kmp.profile().scan_elem_bytes as f64)
-            / scan_reads_per_instr) as u64;
+    let ops_per_thread = ((bytes_per_thread as f64
+        / Benchmark::Kmp.profile().scan_elem_bytes as f64)
+        / scan_reads_per_instr) as u64;
     let mut sys = smarco_team_system(Benchmark::Kmp, &cfg, ops_per_thread.max(1), 4);
     let report = sys.run(2_000_000_000);
 
     // --- PIM path: 64 KB scan commands striped over the channels; the
     // channels never carry the text itself.
-    let mut pim: PimUnit<u64> =
-        PimUnit::new(PimConfig { channels: cfg.dram.channels, ..PimConfig::smarco() });
+    let mut pim: PimUnit<u64> = PimUnit::new(PimConfig {
+        channels: cfg.dram.channels,
+        ..PimConfig::smarco()
+    });
     let chunk = 64 << 10;
     let mut submitted = 0u64;
     let mut chan = 0;

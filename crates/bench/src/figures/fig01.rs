@@ -131,7 +131,10 @@ pub fn run(scale: Scale) -> Fig01 {
 
 impl std::fmt::Display for Fig01 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 1a/1b: idle & instruction-starvation ratio vs threads/context")?;
+        writeln!(
+            f,
+            "Fig. 1a/1b: idle & instruction-starvation ratio vs threads/context"
+        )?;
         for r in &self.pressure {
             writeln!(
                 f,
@@ -142,7 +145,10 @@ impl std::fmt::Display for Fig01 {
                 r.starvation_ratio
             )?;
         }
-        writeln!(f, "Fig. 1c/1d: cache miss ratio and effective latency (at x4 threads)")?;
+        writeln!(
+            f,
+            "Fig. 1c/1d: cache miss ratio and effective latency (at x4 threads)"
+        )?;
         for r in &self.cache {
             writeln!(
                 f,

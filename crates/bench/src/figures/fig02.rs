@@ -66,12 +66,19 @@ pub fn run(scale: Scale) -> Fig02 {
             l1_miss: 1.0 - r.l1d.ratio(),
         });
     }
-    Fig02 { rows, max_clients: cdn.max_clients() }
+    Fig02 {
+        rows,
+        max_clients: cdn.max_clients(),
+    }
 }
 
 impl std::fmt::Display for Fig02 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 2: CDN on a conventional CPU (NIC cap = {} clients)", self.max_clients)?;
+        writeln!(
+            f,
+            "Fig. 2: CDN on a conventional CPU (NIC cap = {} clients)",
+            self.max_clients
+        )?;
         for r in &self.rows {
             writeln!(
                 f,

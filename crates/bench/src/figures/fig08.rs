@@ -49,14 +49,9 @@ fn sample_htc(bench: Benchmark, samples: u64) -> [f64; 7] {
 fn fractions_of(h: &Histogram) -> [f64; 7] {
     let mut out = [0.0; 7];
     for (i, &s) in GRANULARITY_SIZES.iter().enumerate() {
-        // Histogram buckets are power-of-two ranges with bucket 0 covering
-        // [0, 2): size-1 accesses live there.
-        out[i] = if s == 1 {
-            h.fraction_between(0, 2)
-        } else {
-            let lo = u64::from(s);
-            h.fraction_between(lo, lo + 1)
-        };
+        // Access sizes are exact powers of two, so each size owns its
+        // power-of-two bucket and the bucket-exact fraction is precise.
+        out[i] = h.fraction_in_bucket_of(u64::from(s));
     }
     out
 }
@@ -94,7 +89,10 @@ pub fn run(scale: Scale) -> Fig08 {
 
 impl std::fmt::Display for Fig08 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 8: access-granularity distribution (fractions per size)")?;
+        writeln!(
+            f,
+            "Fig. 8: access-granularity distribution (fractions per size)"
+        )?;
         writeln!(
             f,
             "  {:<12} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6} {:>6}  mean",
@@ -105,7 +103,12 @@ impl std::fmt::Display for Fig08 {
             for v in r.fractions {
                 write!(f, " {v:>6.3}")?;
             }
-            writeln!(f, "  {:>5.1}B {}", r.mean_bytes, if r.htc { "(HTC)" } else { "(conv)" })?;
+            writeln!(
+                f,
+                "  {:>5.1}B {}",
+                r.mean_bytes,
+                if r.htc { "(HTC)" } else { "(conv)" }
+            )?;
         }
         Ok(())
     }

@@ -28,7 +28,11 @@ pub struct ThroughputRow {
 impl ThroughputRow {
     /// Throughput at a slice width.
     pub fn at(&self, slice: u32) -> f64 {
-        self.by_slice.iter().find(|&&(s, _)| s == slice).map(|&(_, t)| t).unwrap_or(0.0)
+        self.by_slice
+            .iter()
+            .find(|&&(s, _)| s == slice)
+            .map(|&(_, t)| t)
+            .unwrap_or(0.0)
     }
 
     /// Improvement of `slice` over the 16-byte baseline.
@@ -61,7 +65,8 @@ pub fn run(scale: Scale) -> Fig18 {
         for &slice in &SLICES {
             let mut cfg = noc;
             cfg.main_link = LinkConfig::main_ring().sliced(slice);
-            cfg.sub_link = LinkConfig::sub_ring().sliced(slice.min(LinkConfig::sub_ring().max_capacity()));
+            cfg.sub_link =
+                LinkConfig::sub_ring().sliced(slice.min(LinkConfig::sub_ring().max_capacity()));
             let traffic = TrafficConfig {
                 rate: 4.0, // saturating injection: measure network capacity
                 pattern: Pattern::ToMemory,
@@ -77,8 +82,15 @@ pub fn run(scale: Scale) -> Fig18 {
 
 impl std::fmt::Display for Fig18 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 18: throughput (pkts/cycle) and improvement over 16 B slices")?;
-        writeln!(f, "  {:<12} {:>8} {:>8} {:>8} {:>8}  impr@2B", "bench", "16B", "8B", "4B", "2B")?;
+        writeln!(
+            f,
+            "Fig. 18: throughput (pkts/cycle) and improvement over 16 B slices"
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>8} {:>8} {:>8} {:>8}  impr@2B",
+            "bench", "16B", "8B", "4B", "2B"
+        )?;
         for r in &self.rows {
             write!(f, "  {:<12}", r.bench.name())?;
             for &s in &SLICES {

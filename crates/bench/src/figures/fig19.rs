@@ -30,7 +30,11 @@ impl ThresholdRow {
     /// paper normalizes).
     pub fn speedup_norm8(&self, threshold: Cycle) -> f64 {
         let at = |t: Cycle| {
-            self.cycles.iter().find(|&&(x, _)| x == t).map(|&(_, c)| c as f64).unwrap_or(0.0)
+            self.cycles
+                .iter()
+                .find(|&&(x, _)| x == t)
+                .map(|&(_, c)| c as f64)
+                .unwrap_or(0.0)
         };
         let base = at(8);
         let v = at(threshold);
@@ -56,10 +60,8 @@ impl Fig19 {
             .iter()
             .copied()
             .max_by(|&a, &b| {
-                let ma: f64 =
-                    self.rows.iter().map(|r| r.speedup_norm8(a)).sum::<f64>();
-                let mb: f64 =
-                    self.rows.iter().map(|r| r.speedup_norm8(b)).sum::<f64>();
+                let ma: f64 = self.rows.iter().map(|r| r.speedup_norm8(a)).sum::<f64>();
+                let mb: f64 = self.rows.iter().map(|r| r.speedup_norm8(b)).sum::<f64>();
                 ma.partial_cmp(&mb).expect("finite speedups")
             })
             .expect("non-empty sweep")
@@ -78,7 +80,10 @@ pub fn run(scale: Scale) -> Fig19 {
         let mut cycles = Vec::new();
         for &t in &THRESHOLDS {
             let mut cfg = base_cfg.clone();
-            cfg.mact = Some(MactConfig { threshold: t, ..cfg.mact.unwrap_or_default() });
+            cfg.mact = Some(MactConfig {
+                threshold: t,
+                ..cfg.mact.unwrap_or_default()
+            });
             let mut sys = smarco_team_system(bench, &cfg, ops, 4);
             let r = sys.run(500_000_000);
             cycles.push((t, r.cycles));
@@ -90,8 +95,15 @@ pub fn run(scale: Scale) -> Fig19 {
 
 impl std::fmt::Display for Fig19 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 19: speedup vs MACT time threshold (normalized to 8 cycles)")?;
-        writeln!(f, "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>7}", "bench", "4", "8", "16", "32", "64")?;
+        writeln!(
+            f,
+            "Fig. 19: speedup vs MACT time threshold (normalized to 8 cycles)"
+        )?;
+        writeln!(
+            f,
+            "  {:<12} {:>7} {:>7} {:>7} {:>7} {:>7}",
+            "bench", "4", "8", "16", "32", "64"
+        )?;
         for r in &self.rows {
             write!(f, "  {:<12}", r.bench.name())?;
             for &t in &THRESHOLDS {

@@ -85,14 +85,23 @@ pub fn compare_one(
             xr.dram_utilization,
         );
     }
-    CompareRow { bench, speedup, energy_efficiency: efficiency_ratio(&se, &xe) }
+    CompareRow {
+        bench,
+        speedup,
+        energy_efficiency: efficiency_ratio(&se, &xe),
+    }
 }
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Fig22 {
     let (scfg, xcfg, map_ops, reduce_ops) = match scale {
         Scale::Quick => (SmarcoConfig::tiny(), XeonConfig::small(), 1_500, 500),
-        Scale::Paper => (SmarcoConfig::smarco(), XeonConfig::e7_8890v4(), 4_000, 1_500),
+        Scale::Paper => (
+            SmarcoConfig::smarco(),
+            XeonConfig::e7_8890v4(),
+            4_000,
+            1_500,
+        ),
     };
     let rows = Benchmark::ALL
         .iter()

@@ -46,7 +46,10 @@ impl Fig23 {
 
     /// First thread count where SmarCo overtakes the Xeon.
     pub fn crossover_threads(&self) -> Option<usize> {
-        self.rows.iter().find(|r| r.smarco_ips > r.xeon_ips && r.xeon_ips > 0.0).map(|r| r.threads)
+        self.rows
+            .iter()
+            .find(|r| r.smarco_ips > r.xeon_ips && r.xeon_ips > 0.0)
+            .map(|r| r.threads)
     }
 }
 
@@ -85,8 +88,11 @@ fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> f64 {
             (cfg.noc.cores_per_subring * tpc) as u64,
             ops,
         );
-        sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(500 + t as u64))))
-            .expect("vacant slot");
+        sys.attach(
+            core,
+            Box::new(HtcStream::new(p, SimRng::new(500 + t as u64))),
+        )
+        .expect("vacant slot");
     }
     let r = sys.run(u64::MAX / 2);
     r.instructions as f64 / r.seconds(cfg.freq_ghz)
@@ -115,17 +121,28 @@ pub fn run(scale: Scale) -> Fig23 {
         let xr = xeon.run(u64::MAX / 2);
         let xeon_ips = xr.instructions as f64 / (xr.cycles as f64 / (xcfg.freq_ghz * 1e9));
         let smarco = smarco_ips(&scfg, threads, total_work);
-        rows.push(ScaleRow { threads, xeon_ips, smarco_ips: smarco });
+        rows.push(ScaleRow {
+            threads,
+            xeon_ips,
+            smarco_ips: smarco,
+        });
     }
     Fig23 { rows }
 }
 
 impl std::fmt::Display for Fig23 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "Fig. 23: KMP throughput vs thread count (instructions/second)")?;
+        writeln!(
+            f,
+            "Fig. 23: KMP throughput vs thread count (instructions/second)"
+        )?;
         writeln!(f, "  {:>8} {:>14} {:>14}", "threads", "xeon", "smarco")?;
         for r in &self.rows {
-            writeln!(f, "  {:>8} {:>14.3e} {:>14.3e}", r.threads, r.xeon_ips, r.smarco_ips)?;
+            writeln!(
+                f,
+                "  {:>8} {:>14.3e} {:>14.3e}",
+                r.threads, r.xeon_ips, r.smarco_ips
+            )?;
         }
         writeln!(f, "  xeon peak at {} threads", self.xeon_peak_threads())?;
         match self.crossover_threads() {

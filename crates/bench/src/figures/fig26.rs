@@ -48,6 +48,11 @@ impl std::fmt::Display for Fig26 {
         for r in &self.rows {
             writeln!(f, "  {:<12} {:>8.2}x", r.bench.name(), r.energy_efficiency)?;
         }
-        writeln!(f, "  {:<12} {:>8.2}x   (paper: 3.85x avg)", "average", self.avg_efficiency())
+        writeln!(
+            f,
+            "  {:<12} {:>8.2}x   (paper: 3.85x avg)",
+            "average",
+            self.avg_efficiency()
+        )
     }
 }

@@ -24,7 +24,11 @@ pub fn run(_scale: Scale) -> Table2 {
             format!("{} cores, {} threads", x.cores, x.contexts()),
             format!("{} cores, {} threads", s.noc.cores(), s.total_threads()),
         ),
-        ("Clock", format!("{:.1} GHz", x.freq_ghz), format!("{:.1} GHz", s.freq_ghz)),
+        (
+            "Clock",
+            format!("{:.1} GHz", x.freq_ghz),
+            format!("{:.1} GHz", s.freq_ghz),
+        ),
         (
             "L1",
             format!(
@@ -34,15 +38,15 @@ pub fn run(_scale: Scale) -> Table2 {
             ),
             format!(
                 "{} MB I$ + {} MB D$",
-                s.noc.cores() as u64 * s.tcg.l1i.size_bytes >> 20,
-                s.noc.cores() as u64 * s.tcg.l1d.size_bytes >> 20
+                (s.noc.cores() as u64 * s.tcg.l1i.size_bytes) >> 20,
+                (s.noc.cores() as u64 * s.tcg.l1d.size_bytes) >> 20
             ),
         ),
         (
             "L2/LLC or SPM",
             format!(
                 "{} MB L2 + {} MB LLC",
-                x.cores as u64 * x.l2.size_bytes >> 20,
+                (x.cores as u64 * x.l2.size_bytes) >> 20,
                 x.llc.size_bytes >> 20
             ),
             format!("{} MB SPM", (s.noc.cores() as u64 * (128 << 10)) >> 20),
@@ -62,12 +66,26 @@ pub fn run(_scale: Scale) -> Table2 {
         ),
         (
             "Memory",
-            format!("{:.1} GB/s", x.dram.bytes_per_cycle * x.dram.channels as f64 * x.freq_ghz),
-            format!("{:.1} GB/s", s.dram.bytes_per_cycle * s.dram.channels as f64 * s.freq_ghz),
+            format!(
+                "{:.1} GB/s",
+                x.dram.bytes_per_cycle * x.dram.channels as f64 * x.freq_ghz
+            ),
+            format!(
+                "{:.1} GB/s",
+                s.dram.bytes_per_cycle * s.dram.channels as f64 * s.freq_ghz
+            ),
         ),
         ("Process", "14 nm".to_owned(), "32 nm".to_owned()),
-        ("Power", "165 W".to_owned(), format!("{:.0} W", est.total_power_w())),
-        ("Die area", "-".to_owned(), format!("{:.0} mm2", est.total_area_mm2())),
+        (
+            "Power",
+            "165 W".to_owned(),
+            format!("{:.0} W", est.total_power_w()),
+        ),
+        (
+            "Die area",
+            "-".to_owned(),
+            format!("{:.0} mm2", est.total_area_mm2()),
+        ),
     ];
     Table2 { rows }
 }
@@ -75,7 +93,11 @@ pub fn run(_scale: Scale) -> Table2 {
 impl std::fmt::Display for Table2 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(f, "Table 2: Xeon E7-8890 v4 vs SmarCo")?;
-        writeln!(f, "  {:<14} {:<28} {:<30}", "parameter", "Xeon E7-8890v4", "SmarCo")?;
+        writeln!(
+            f,
+            "  {:<14} {:<28} {:<30}",
+            "parameter", "Xeon E7-8890v4", "SmarCo"
+        )?;
         for (p, x, s) in &self.rows {
             writeln!(f, "  {p:<14} {x:<28} {s:<30}")?;
         }

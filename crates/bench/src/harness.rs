@@ -30,7 +30,12 @@ pub struct BenchmarkMapReduce {
 impl BenchmarkMapReduce {
     /// Creates the adapter with a default table placement.
     pub fn new(bench: Benchmark, map_ops: u64, reduce_ops: u64) -> Self {
-        Self { bench, map_ops, reduce_ops, table_base: 0x3000_0000 }
+        Self {
+            bench,
+            map_ops,
+            reduce_ops,
+            table_base: 0x3000_0000,
+        }
     }
 }
 
@@ -72,8 +77,13 @@ impl MapReduceApp for BenchmarkMapReduce {
         Box::new(HtcStream::new(p, SimRng::new(t.seed)))
     }
     fn reduce_stream(&self, t: &ReduceTask) -> Box<dyn InstructionStream + Send> {
-        let p =
-            self.params(t.core, t.partition_base, t.partition_len, t.in_spm, self.reduce_ops);
+        let p = self.params(
+            t.core,
+            t.partition_base,
+            t.partition_len,
+            t.in_spm,
+            self.reduce_ops,
+        );
         Box::new(HtcStream::new(p, SimRng::new(t.seed)))
     }
 }
@@ -99,7 +109,7 @@ pub fn smarco_mapreduce(
     let reduce_tasks = (reducers * cps * threads_per_core) as u64;
     // Slice + 4 KB output + 4 KB hot window must fit the SPM share.
     let share = smarco_mem::spm::Spm::data_bytes() / threads_per_core as u64;
-    let slice = share.saturating_sub(8 << 10).min(8 << 10).max(2 << 10);
+    let slice = share.saturating_sub(8 << 10).clamp(2 << 10, 8 << 10);
     let mr = MapReduceConfig {
         threads_per_core,
         phase_budget: 500_000_000,
@@ -137,6 +147,33 @@ pub fn smarco_team_system(
     sys
 }
 
+/// Like [`smarco_team_system`] but the threads arrive as deadline-tagged
+/// tasks through the two-level hardware dispatcher (§3.7): the main
+/// scheduler load-balances them across sub-rings and each chain table
+/// binds them to slots by laxity. The lane interleave spans the whole
+/// chip (placement is the dispatcher's call), and the run exercises the
+/// scheduler observability track (`task_dispatch` / `task_exit`).
+pub fn smarco_task_system(
+    bench: Benchmark,
+    cfg: &SmarcoConfig,
+    ops_per_thread: u64,
+    threads_per_core: usize,
+    deadline: Cycle,
+) -> SmarcoSystem {
+    let mut sys = SmarcoSystem::new(cfg.clone());
+    let total = (cfg.noc.cores() * threads_per_core) as u64;
+    for j in 0..total {
+        let p = bench.thread_params(0x100_0000, 16 << 20, 0x8000_0000, j, total, ops_per_thread);
+        sys.submit_task(
+            Box::new(HtcStream::new(p, SimRng::new(1 + j))),
+            deadline,
+            ops_per_thread * 4,
+            smarco_sched::TaskPriority::Normal,
+        );
+    }
+    sys
+}
+
 /// Builds a conventional system running `threads` instances of `bench`.
 pub fn xeon_system(
     bench: Benchmark,
@@ -166,17 +203,17 @@ pub fn xeon_system(
 /// mechanism exists to hide. Streams are effectively endless, so no
 /// end-of-run tail skews the measurement.
 pub fn tcg_ipc(bench: Benchmark, threads: usize, window: Cycle, mem_latency: Cycle) -> f64 {
-    tcg_ipc_with(bench, TcgConfig::smarco().with_threads(threads), window, mem_latency)
+    tcg_ipc_with(
+        bench,
+        TcgConfig::smarco().with_threads(threads),
+        window,
+        mem_latency,
+    )
 }
 
 /// [`tcg_ipc`] with an explicit core configuration (ablation hook: disable
 /// `in_pair` or `shared_iseg`).
-pub fn tcg_ipc_with(
-    bench: Benchmark,
-    config: TcgConfig,
-    window: Cycle,
-    mem_latency: Cycle,
-) -> f64 {
+pub fn tcg_ipc_with(bench: Benchmark, config: TcgConfig, window: Cycle, mem_latency: Cycle) -> f64 {
     let threads = config.resident_threads;
     let space = AddressSpace::new(4, 2);
     let mut core = TcgCore::new(0, config, space);
@@ -192,7 +229,8 @@ pub fn tcg_ipc_with(
             1,
             u64::MAX / 2, // endless within any window
         );
-        core.attach(Box::new(HtcStream::new(p, SimRng::new(t as u64 + 1)))).expect("slot");
+        core.attach(Box::new(HtcStream::new(p, SimRng::new(t as u64 + 1))))
+            .expect("slot");
     }
     let mut out = Vec::new();
     let mut pending: Vec<(Cycle, usize)> = Vec::new();
@@ -233,7 +271,11 @@ pub fn pressure_matched_tiny() -> SmarcoConfig {
     // both sides of the collection trade-off (merging vs added read
     // latency) are visible. 16 MACT lines per sub-ring.
     cfg.dram.bytes_per_cycle = 45.5;
-    cfg.mact = Some(smarco_mem::mact::MactConfig { lines: 16, line_bytes: 64, threshold: 16 });
+    cfg.mact = Some(smarco_mem::mact::MactConfig {
+        lines: 16,
+        line_bytes: 64,
+        threshold: 16,
+    });
     if let Some(d) = cfg.direct.as_mut() {
         d.subrings = 2;
     }

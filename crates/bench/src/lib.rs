@@ -19,6 +19,7 @@
 pub mod figures;
 pub mod harness;
 pub mod scale;
+pub mod timing;
 
 pub use scale::Scale;
 

@@ -12,6 +12,7 @@
 //! the star-shaped direct datapath both ways instead (§3.5.2).
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 use smarco_mem::dram::Dram;
 use smarco_mem::mact::{Batch, Mact, MactOutcome};
@@ -21,7 +22,8 @@ use smarco_noc::direct::DirectPath;
 use smarco_noc::packet::{NodeId, Packet};
 use smarco_noc::HierarchicalRing;
 use smarco_sim::engine::CycleModel;
-use smarco_sim::stats::MeanTracker;
+use smarco_sim::obs::{EventTrace, MetricsRecorder, TraceConfig};
+use smarco_sim::stats::{MeanTracker, StatsReport};
 use smarco_sim::Cycle;
 
 use crate::config::SmarcoConfig;
@@ -109,6 +111,15 @@ pub struct SmarcoSystem {
     dispatcher: HardwareDispatcher,
     req_buf: Vec<CoreRequest>,
     now: Cycle,
+    /// Chip-wide event trace (ring buffer); components drain into it each
+    /// tick.
+    trace: Option<EventTrace>,
+    /// Windowed time-series metrics.
+    metrics: Option<MetricsRecorder>,
+    /// Where to write the Chrome-trace JSON at end of run.
+    trace_path: Option<PathBuf>,
+    /// Where to write the per-window CSV at end of run.
+    metrics_path: Option<PathBuf>,
 }
 
 impl std::fmt::Debug for SmarcoSystem {
@@ -134,12 +145,13 @@ impl SmarcoSystem {
             config.noc.cores_per_subring * config.tcg.resident_threads,
         );
         let space = AddressSpace::new(config.noc.cores(), config.dram.channels);
-        let cores =
-            (0..config.noc.cores()).map(|i| TcgCore::new(i, config.tcg, space)).collect();
+        let cores = (0..config.noc.cores())
+            .map(|i| TcgCore::new(i, config.tcg, space))
+            .collect();
         let macts = (0..config.noc.subrings)
             .map(|_| Mact::new(config.mact.unwrap_or_default()))
             .collect();
-        Self {
+        let mut sys = Self {
             noc: HierarchicalRing::new(config.noc),
             macts,
             dram: Dram::new(config.dram),
@@ -157,7 +169,73 @@ impl SmarcoSystem {
             dispatcher,
             req_buf: Vec::new(),
             now: 0,
+            trace: None,
+            metrics: None,
+            trace_path: None,
+            metrics_path: None,
+        };
+        if let Some(tc) = sys.config.obs.trace {
+            sys.enable_tracing(tc);
         }
+        if let Some(w) = sys.config.obs.sample_window {
+            sys.sample_every(w);
+        }
+        sys
+    }
+
+    /// Turns event tracing on across every component. Idempotent beyond
+    /// resetting the ring buffer to `cfg.capacity`.
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        for core in &mut self.cores {
+            core.enable_trace(cfg);
+        }
+        for (sr, m) in self.macts.iter_mut().enumerate() {
+            m.enable_trace(sr);
+        }
+        self.dram.enable_trace();
+        self.noc.enable_trace();
+        self.dispatcher.enable_trace();
+        self.trace = Some(EventTrace::new(cfg.capacity));
+        self.config.obs.trace = Some(cfg);
+    }
+
+    /// Enables tracing (with defaults, if off) and writes the Chrome
+    /// `trace_event` JSON to `path` when the run finishes — load the file
+    /// in Perfetto / `chrome://tracing`.
+    pub fn trace_to(&mut self, path: impl Into<PathBuf>) {
+        if self.trace.is_none() {
+            self.enable_tracing(TraceConfig::default());
+        }
+        self.trace_path = Some(path.into());
+    }
+
+    /// Enables windowed metrics sampling every `window` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn sample_every(&mut self, window: Cycle) {
+        self.metrics = Some(MetricsRecorder::new(window));
+        self.config.obs.sample_window = Some(window);
+    }
+
+    /// Writes the per-window metrics CSV to `path` when the run finishes
+    /// (enables sampling with a 10 000-cycle window if it was off).
+    pub fn metrics_to(&mut self, path: impl Into<PathBuf>) {
+        if self.metrics.is_none() {
+            self.sample_every(10_000);
+        }
+        self.metrics_path = Some(path.into());
+    }
+
+    /// The chip-wide event trace, when tracing is enabled.
+    pub fn trace(&self) -> Option<&EventTrace> {
+        self.trace.as_ref()
+    }
+
+    /// The windowed metrics recorder, when sampling is enabled.
+    pub fn metrics(&self) -> Option<&MetricsRecorder> {
+        self.metrics.as_ref()
     }
 
     /// Chip configuration.
@@ -202,7 +280,8 @@ impl SmarcoSystem {
         work_estimate: Cycle,
         priority: smarco_sched::TaskPriority,
     ) -> u64 {
-        self.dispatcher.submit(stream, deadline, work_estimate, priority, self.now)
+        self.dispatcher
+            .submit(stream, deadline, work_estimate, priority, self.now)
     }
 
     /// Exit records of hardware-dispatched tasks.
@@ -246,7 +325,13 @@ impl SmarcoSystem {
         ((addr / 4096) % self.config.dram.channels as u64) as usize
     }
 
-    fn packet(&mut self, src: NodeId, dst: NodeId, bytes: u32, payload: ChipPayload) -> Packet<ChipPayload> {
+    fn packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        payload: ChipPayload,
+    ) -> Packet<ChipPayload> {
         let id = self.next_packet;
         self.next_packet += 1;
         Packet::new(id, src, dst, bytes.max(1), self.now, payload)
@@ -266,7 +351,11 @@ impl SmarcoSystem {
             is_write: r.is_write,
             issued_at: now,
         };
-        let ucr = UncoreReq { req, thread: r.thread, kind: r.kind };
+        let ucr = UncoreReq {
+            req,
+            thread: r.thread,
+            kind: r.kind,
+        };
         if r.blocking {
             self.outstanding.insert(req.id, r.thread);
         }
@@ -274,16 +363,29 @@ impl SmarcoSystem {
         if let RequestKind::DmaPull { owner, .. } = r.kind {
             // DMA command descriptor to the owning core; the data rides
             // back as one (possibly multi-cycle) packet.
-            let pkt =
-                self.packet(NodeId::Core(core), NodeId::Core(owner), REQ_HEADER_BYTES, ChipPayload::DmaReq(ucr));
+            let pkt = self.packet(
+                NodeId::Core(core),
+                NodeId::Core(owner),
+                REQ_HEADER_BYTES,
+                ChipPayload::DmaReq(ucr),
+            );
             if let Some(p) = self.noc.inject(pkt, now) {
                 self.handle_delivery(p, now);
             }
             return;
         }
         if let RequestKind::RemoteSpm { owner } = r.kind {
-            let bytes = if r.is_write { u32::from(r.mem.bytes) + REQ_HEADER_BYTES } else { REQ_HEADER_BYTES };
-            let pkt = self.packet(NodeId::Core(core), NodeId::Core(owner), bytes, ChipPayload::RemoteSpm(ucr));
+            let bytes = if r.is_write {
+                u32::from(r.mem.bytes) + REQ_HEADER_BYTES
+            } else {
+                REQ_HEADER_BYTES
+            };
+            let pkt = self.packet(
+                NodeId::Core(core),
+                NodeId::Core(owner),
+                bytes,
+                ChipPayload::RemoteSpm(ucr),
+            );
             if let Some(p) = self.noc.inject(pkt, now) {
                 self.handle_delivery(p, now);
             }
@@ -298,7 +400,7 @@ impl SmarcoSystem {
             }
         }
         let bytes = if r.is_write {
-            u32::from(r.span_bytes.min(u64::from(u32::MAX)) as u32) + REQ_HEADER_BYTES
+            (r.span_bytes.min(u64::from(u32::MAX)) as u32) + REQ_HEADER_BYTES
         } else {
             REQ_HEADER_BYTES
         };
@@ -324,29 +426,31 @@ impl SmarcoSystem {
     fn handle_delivery(&mut self, pkt: Packet<ChipPayload>, now: Cycle) {
         match pkt.payload {
             ChipPayload::Req(ucr) => match pkt.dst {
-                NodeId::Junction(sr) => {
-                    match self.macts[sr].offer(ucr.req, now) {
-                        MactOutcome::Collected => {}
-                        MactOutcome::Bypass(req) => {
-                            let bytes = if req.is_write {
-                                u32::from(req.mem.bytes) + REQ_HEADER_BYTES
-                            } else {
-                                REQ_HEADER_BYTES
-                            };
-                            let dst = NodeId::MemCtrl(self.channel_of(req.mem.addr));
-                            let ucr2 = UncoreReq { req, ..ucr };
-                            let p = self.packet(NodeId::Junction(sr), dst, bytes, ChipPayload::Req(ucr2));
-                            if let Some(d) = self.noc.inject(p, now) {
-                                self.handle_delivery(d, now);
-                            }
+                NodeId::Junction(sr) => match self.macts[sr].offer(ucr.req, now) {
+                    MactOutcome::Collected => {}
+                    MactOutcome::Bypass(req) => {
+                        let bytes = if req.is_write {
+                            u32::from(req.mem.bytes) + REQ_HEADER_BYTES
+                        } else {
+                            REQ_HEADER_BYTES
+                        };
+                        let dst = NodeId::MemCtrl(self.channel_of(req.mem.addr));
+                        let ucr2 = UncoreReq { req, ..ucr };
+                        let p =
+                            self.packet(NodeId::Junction(sr), dst, bytes, ChipPayload::Req(ucr2));
+                        if let Some(d) = self.noc.inject(p, now) {
+                            self.handle_delivery(d, now);
                         }
                     }
-                }
+                },
                 NodeId::MemCtrl(_) => {
                     self.enqueue_dram(
                         ucr.req.mem.addr,
                         u64::from(ucr.req.mem.bytes),
-                        DramJob::Single { ucr, via_direct: false },
+                        DramJob::Single {
+                            ucr,
+                            via_direct: false,
+                        },
                         now,
                     );
                 }
@@ -363,7 +467,11 @@ impl SmarcoSystem {
                     if req.is_write {
                         continue;
                     }
-                    let ucr = UncoreReq { req, thread: usize::MAX, kind: RequestKind::CacheFill };
+                    let ucr = UncoreReq {
+                        req,
+                        thread: usize::MAX,
+                        kind: RequestKind::CacheFill,
+                    };
                     let p = self.packet(
                         NodeId::Junction(sr),
                         NodeId::Core(req.core),
@@ -387,8 +495,11 @@ impl SmarcoSystem {
                 };
                 // Serve at the owner (the owner's SPM is software-managed;
                 // remote accesses are to data the runtime placed there).
-                let bytes =
-                    if ucr.req.is_write { 1 } else { u32::from(ucr.req.mem.bytes) };
+                let bytes = if ucr.req.is_write {
+                    1
+                } else {
+                    u32::from(ucr.req.mem.bytes)
+                };
                 let p = self.packet(
                     NodeId::Core(owner),
                     NodeId::Core(ucr.req.core),
@@ -411,7 +522,9 @@ impl SmarcoSystem {
                 };
                 // The owner streams the requested range back as one
                 // wormhole packet sized by the transfer.
-                let span = u32::try_from(self.dma_span_of(&ucr)).unwrap_or(u32::MAX).max(1);
+                let span = u32::try_from(self.dma_span_of(&ucr))
+                    .unwrap_or(u32::MAX)
+                    .max(1);
                 let p = self.packet(
                     NodeId::Core(owner),
                     NodeId::Core(ucr.req.core),
@@ -439,7 +552,10 @@ impl SmarcoSystem {
     /// destination is not local SPM).
     fn dma_span_of(&self, ucr: &UncoreReq) -> u64 {
         match ucr.kind {
-            RequestKind::DmaPull { fill: Some((_, bytes)), .. } => bytes,
+            RequestKind::DmaPull {
+                fill: Some((_, bytes)),
+                ..
+            } => bytes,
             _ => 64,
         }
     }
@@ -447,8 +563,175 @@ impl SmarcoSystem {
     fn complete_request(&mut self, core: usize, ucr: UncoreReq, now: Cycle) {
         debug_assert_eq!(core, ucr.req.core);
         if let Some(thread) = self.outstanding.remove(&ucr.req.id) {
-            self.mem_latency.record(now.saturating_sub(ucr.req.issued_at) as f64);
+            let lat = now.saturating_sub(ucr.req.issued_at) as f64;
+            self.mem_latency.record(lat);
+            if let Some(rec) = self.metrics.as_mut() {
+                rec.record_latency(lat);
+            }
             self.cores[core].complete(thread, now);
+        }
+    }
+
+    /// Moves every component's staged events into the chip-wide ring
+    /// buffer (deterministic drain order: cores, NoC, MACTs, DRAM,
+    /// scheduler).
+    fn drain_traces(&mut self) {
+        let Some(trace) = self.trace.as_mut() else {
+            return;
+        };
+        for core in &mut self.cores {
+            if let Some(buf) = core.trace_mut() {
+                buf.drain_into(trace);
+            }
+        }
+        self.noc.drain_trace(trace);
+        for m in &mut self.macts {
+            if let Some(buf) = m.trace_mut() {
+                buf.drain_into(trace);
+            }
+        }
+        self.dram.drain_trace(trace);
+        self.dispatcher.drain_trace(trace);
+    }
+
+    /// Cumulative chip counters for windowed-metrics diffing.
+    fn cumulative_counters(&self, now: Cycle) -> StatsReport {
+        let mut s = StatsReport::new();
+        s.set("cycles", now as f64);
+        let mut instructions = 0u64;
+        let mut idle_pairs = 0u64;
+        for (i, c) in self.cores.iter().enumerate() {
+            let cs = c.stats();
+            instructions += cs.instructions;
+            idle_pairs += cs.idle_pair_cycles;
+            s.set(
+                &format!("core{i:02}_instructions", i = i),
+                cs.instructions as f64,
+            );
+        }
+        s.set("instructions", instructions as f64);
+        s.set("idle_pair_cycles", idle_pairs as f64);
+        s.set("requests", self.requests as f64);
+        s.set("dram_requests", self.dram_requests as f64);
+        s.set("dram_bytes", self.dram.bytes_served() as f64);
+        s.set("dram_busy_cycles", self.dram.busy_cycles() as f64);
+        s.set(
+            "mact_collected",
+            self.macts
+                .iter()
+                .map(|m| m.stats().collected.get())
+                .sum::<u64>() as f64,
+        );
+        s.set(
+            "mact_batches",
+            self.macts
+                .iter()
+                .map(|m| m.stats().batches.get())
+                .sum::<u64>() as f64,
+        );
+        let (mp, mo) = self.noc.main_payload_offered();
+        let (sp, so) = self.noc.sub_payload_offered();
+        s.set("main_ring_payload_bytes", mp as f64);
+        s.set("main_ring_offered_bytes", mo as f64);
+        s.set("subring_payload_bytes", sp as f64);
+        s.set("subring_offered_bytes", so as f64);
+        s
+    }
+
+    /// Instantaneous gauges copied into the closing window as-is.
+    fn gauges(&self) -> StatsReport {
+        let mut g = StatsReport::new();
+        g.set("sched_queue_depth", self.dispatcher.queued() as f64);
+        g.set("sched_in_flight", self.dispatcher.in_flight() as f64);
+        g.set(
+            "mact_open_lines",
+            self.macts
+                .iter()
+                .map(|m| m.open_lines() as u64)
+                .sum::<u64>() as f64,
+        );
+        g.set("outstanding_requests", self.outstanding.len() as f64);
+        g
+    }
+
+    /// Closes the metrics window ending at `now` and adds derived rates.
+    fn close_metrics_window(&mut self, now: Cycle) {
+        let cumulative = self.cumulative_counters(now);
+        let gauges = self.gauges();
+        let pairs = self.config.tcg.pairs as f64;
+        let ncores = self.cores.len() as f64;
+        let Some(rec) = self.metrics.as_mut() else {
+            return;
+        };
+        let w = rec.close_window(now, &cumulative, &gauges);
+        let dc = w.get("cycles").unwrap_or(0.0);
+        if dc > 0.0 {
+            let di = w.get("instructions").unwrap_or(0.0);
+            w.set("ipc", di / dc);
+            for i in 0..ncores as usize {
+                let key = format!("core{i:02}_instructions", i = i);
+                if let Some(ci) = w.get(&key) {
+                    w.set(&format!("core{i:02}_ipc", i = i), ci / dc);
+                }
+            }
+            let idle = w.get("idle_pair_cycles").unwrap_or(0.0);
+            w.set("idle_ratio", idle / (dc * pairs * ncores));
+            w.set(
+                "dram_bandwidth_bpc",
+                w.get("dram_bytes").unwrap_or(0.0) / dc,
+            );
+            let channels = self.config.dram.channels as f64;
+            w.set(
+                "dram_utilization",
+                w.get("dram_busy_cycles").unwrap_or(0.0) / (dc * channels),
+            );
+            let batches = w.get("mact_batches").unwrap_or(0.0);
+            w.set("mact_batch_rate", batches / dc);
+        }
+        let so = w.get("subring_offered_bytes").unwrap_or(0.0);
+        if so > 0.0 {
+            w.set(
+                "subring_utilization",
+                w.get("subring_payload_bytes").unwrap_or(0.0) / so,
+            );
+        }
+        let mo = w.get("main_ring_offered_bytes").unwrap_or(0.0);
+        if mo > 0.0 {
+            w.set(
+                "main_ring_utilization",
+                w.get("main_ring_payload_bytes").unwrap_or(0.0) / mo,
+            );
+        }
+    }
+
+    /// Closes any open partial window and writes the configured trace /
+    /// metrics exports.
+    ///
+    /// Called automatically at the end of [`run`](Self::run); call
+    /// directly when driving the chip tick-by-tick.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the export files.
+    pub fn flush_observations(&mut self) -> std::io::Result<()> {
+        if self.metrics.is_some() {
+            self.close_metrics_window(self.now);
+        }
+        if let (Some(trace), Some(path)) = (self.trace.as_ref(), self.trace_path.as_ref()) {
+            Self::ensure_parent(path)?;
+            trace.write_chrome_json(path)?;
+        }
+        if let (Some(rec), Some(path)) = (self.metrics.as_ref(), self.metrics_path.as_ref()) {
+            Self::ensure_parent(path)?;
+            rec.write_csv(path)?;
+        }
+        Ok(())
+    }
+
+    fn ensure_parent(path: &std::path::Path) -> std::io::Result<()> {
+        match path.parent() {
+            Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir),
+            _ => Ok(()),
         }
     }
 
@@ -461,7 +744,10 @@ impl SmarcoSystem {
             && self.dram.is_idle()
             && self.macts.iter().all(|m| m.open_lines() == 0)
             && self.direct_to_mem.as_ref().is_none_or(DirectPath::is_idle)
-            && self.direct_from_mem.as_ref().is_none_or(DirectPath::is_idle)
+            && self
+                .direct_from_mem
+                .as_ref()
+                .is_none_or(DirectPath::is_idle)
             && self.cores.iter().all(TcgCore::is_done)
     }
 
@@ -470,6 +756,10 @@ impl SmarcoSystem {
     pub fn run(&mut self, max: Cycle) -> SmarcoReport {
         while self.now < max && !self.is_done() {
             self.tick(self.now);
+        }
+        if self.config.obs.enabled() {
+            self.flush_observations()
+                .expect("write observation exports");
         }
         self.report()
     }
@@ -526,7 +816,8 @@ impl CycleModel for SmarcoSystem {
             self.handle_delivery(pkt, now);
         }
         // 3. The hardware dispatcher binds ready tasks to freed slots.
-        self.dispatcher.tick(&mut self.cores, self.config.noc.cores_per_subring, now);
+        self.dispatcher
+            .tick(&mut self.cores, self.config.noc.cores_per_subring, now);
         // 4. Cores issue; requests enter the uncore.
         let mut buf = std::mem::take(&mut self.req_buf);
         for c in 0..self.cores.len() {
@@ -560,7 +851,10 @@ impl CycleModel for SmarcoSystem {
                 self.enqueue_dram(
                     ucr.req.mem.addr,
                     u64::from(ucr.req.mem.bytes),
-                    DramJob::Single { ucr, via_direct: true },
+                    DramJob::Single {
+                        ucr,
+                        via_direct: true,
+                    },
                     now,
                 );
             }
@@ -594,9 +888,8 @@ impl CycleModel for SmarcoSystem {
                     if batch.is_write {
                         continue;
                     }
-                    let sr = self.subring_of_core(
-                        batch.requests.first().map(|r| r.core).unwrap_or(0),
-                    );
+                    let sr =
+                        self.subring_of_core(batch.requests.first().map(|r| r.core).unwrap_or(0));
                     let p = self.packet(
                         NodeId::MemCtrl(self.channel_of(batch.base)),
                         NodeId::Junction(sr),
@@ -608,6 +901,14 @@ impl CycleModel for SmarcoSystem {
                     }
                 }
             }
+        }
+        // 8. Observability: drain staged events, close due sample windows.
+        // Strictly read-only with respect to the simulation state.
+        if self.trace.is_some() {
+            self.drain_traces();
+        }
+        if self.metrics.as_ref().is_some_and(|r| r.due(self.now)) {
+            self.close_metrics_window(self.now);
         }
     }
 
@@ -641,8 +942,11 @@ mod tests {
         for c in 0..sys.cores_len() {
             for _ in 0..threads_per_core {
                 let mix = htc_mix(0x100_0000 + c as u64 * (1 << 22));
-                sys.attach(c, Box::new(SyntheticStream::new(mix, instrs, SimRng::new(seed))))
-                    .unwrap();
+                sys.attach(
+                    c,
+                    Box::new(SyntheticStream::new(mix, instrs, SimRng::new(seed))),
+                )
+                .unwrap();
                 seed += 1;
             }
         }
@@ -705,7 +1009,11 @@ mod tests {
             r_with.dram_requests,
             r_without.dram_requests
         );
-        assert!(r_with.request_reduction() > 2.0, "reduction {}", r_with.request_reduction());
+        assert!(
+            r_with.request_reduction() > 2.0,
+            "reduction {}",
+            r_with.request_reduction()
+        );
     }
 
     #[test]
@@ -734,7 +1042,8 @@ mod tests {
         let mut mix = htc_mix(0x100_0000);
         mix.realtime_frac = 1.0;
         mix.load_frac = 1.0;
-        sys.attach(0, Box::new(SyntheticStream::new(mix, 300, SimRng::new(3)))).unwrap();
+        sys.attach(0, Box::new(SyntheticStream::new(mix, 300, SimRng::new(3))))
+            .unwrap();
         let report = sys.run(2_000_000);
         assert!(sys.is_done());
         assert_eq!(report.mact_collected, 0, "realtime traffic skips MACT");
@@ -749,7 +1058,8 @@ mod tests {
         let mut mix = htc_mix(0x100_0000);
         mix.realtime_frac = 1.0;
         mix.load_frac = 1.0;
-        sys.attach(0, Box::new(SyntheticStream::new(mix, 200, SimRng::new(9)))).unwrap();
+        sys.attach(0, Box::new(SyntheticStream::new(mix, 200, SimRng::new(9))))
+            .unwrap();
         let report = sys.run(2_000_000);
         assert!(sys.is_done());
         assert_eq!(report.mact_collected, 0, "realtime still skips the MACT");
@@ -783,7 +1093,11 @@ mod tests {
                 Box::new(smarco_isa::mix::compute_only(500)),
                 2_000_000,
                 600,
-                if i % 8 == 0 { TaskPriority::High } else { TaskPriority::Normal },
+                if i % 8 == 0 {
+                    TaskPriority::High
+                } else {
+                    TaskPriority::Normal
+                },
             );
             assert_eq!(id, i);
         }
@@ -818,9 +1132,7 @@ mod tests {
         }
         let cps = sys.config().noc.cores_per_subring;
         let busy_subrings = (0..sys.config().noc.subrings)
-            .filter(|&sr| {
-                (sr * cps..(sr + 1) * cps).any(|c| sys.core(c).live_threads() > 0)
-            })
+            .filter(|&sr| (sr * cps..(sr + 1) * cps).any(|c| sys.core(c).live_threads() > 0))
             .count();
         assert!(busy_subrings >= 3, "only {busy_subrings} sub-rings busy");
         let _ = sys.run(10_000_000);
@@ -835,7 +1147,11 @@ mod tests {
         let src = space.spm_base(5) + 1024;
         let dst = space.spm_base(0);
         let prog = ProgramBuilder::at(0x1000)
-            .op(Op::Dma { src, dst, bytes: 4096 })
+            .op(Op::Dma {
+                src,
+                dst,
+                bytes: 4096,
+            })
             .op(Op::Sync)
             .op(Op::load(dst + 512, 8))
             .op(Op::load(dst + 2048, 8))
@@ -869,7 +1185,9 @@ mod tests {
                 .unwrap();
             assert_eq!(c, i / 8);
         }
-        assert!(sys.attach_anywhere(Box::new(smarco_isa::mix::compute_only(10))).is_err());
+        assert!(sys
+            .attach_anywhere(Box::new(smarco_isa::mix::compute_only(10)))
+            .is_err());
     }
 
     #[test]
@@ -878,6 +1196,9 @@ mod tests {
         let r8 = loaded_tiny(8, 400).run(4_000_000);
         let ipc1 = r1.ipc();
         let ipc8 = r8.ipc();
-        assert!(ipc8 > ipc1 * 2.0, "8-thread ipc {ipc8:.2} vs 1-thread {ipc1:.2}");
+        assert!(
+            ipc8 > ipc1 * 2.0,
+            "8-thread ipc {ipc8:.2} vs 1-thread {ipc1:.2}"
+        );
     }
 }

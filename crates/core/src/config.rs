@@ -5,6 +5,7 @@ use smarco_mem::dram::DramConfig;
 use smarco_mem::mact::MactConfig;
 use smarco_noc::direct::DirectPathConfig;
 use smarco_noc::NocConfig;
+use smarco_sim::obs::ObsConfig;
 use smarco_sim::Cycle;
 
 /// Thread Core Group parameters (§3.1).
@@ -63,7 +64,10 @@ impl TcgConfig {
     ///
     /// Panics if `n` is zero or exceeds `2 × pairs`.
     pub fn with_threads(mut self, n: usize) -> Self {
-        assert!(n > 0 && n <= 2 * self.pairs, "thread count {n} out of range");
+        assert!(
+            n > 0 && n <= 2 * self.pairs,
+            "thread count {n} out of range"
+        );
         self.resident_threads = n;
         self
     }
@@ -79,7 +83,10 @@ impl TcgConfig {
             self.resident_threads > 0 && self.resident_threads <= 2 * self.pairs,
             "resident threads must be 1..=2*pairs"
         );
-        assert!(self.spm_latency > 0 && self.cache_hit_latency > 0, "latencies must be positive");
+        assert!(
+            self.spm_latency > 0 && self.cache_hit_latency > 0,
+            "latencies must be positive"
+        );
         assert!(self.pipeline_depth > 0, "pipeline depth must be positive");
     }
 }
@@ -101,6 +108,9 @@ pub struct SmarcoConfig {
     /// Core clock in GHz (1.5 for SmarCo) — used only when converting
     /// cycles to wall-clock/energy.
     pub freq_ghz: f64,
+    /// Observability layer (tracing + windowed metrics). Default-off:
+    /// results are bit-identical to an uninstrumented run.
+    pub obs: ObsConfig,
 }
 
 impl SmarcoConfig {
@@ -113,6 +123,7 @@ impl SmarcoConfig {
             dram: DramConfig::smarco(),
             direct: Some(DirectPathConfig::smarco()),
             freq_ghz: 1.5,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -123,9 +134,16 @@ impl SmarcoConfig {
             noc,
             tcg: TcgConfig::smarco(),
             mact: Some(MactConfig::default()),
-            dram: DramConfig { channels: noc.mem_ctrls, ..DramConfig::smarco() },
-            direct: Some(DirectPathConfig { subrings: noc.subrings, ..DirectPathConfig::smarco() }),
+            dram: DramConfig {
+                channels: noc.mem_ctrls,
+                ..DramConfig::smarco()
+            },
+            direct: Some(DirectPathConfig {
+                subrings: noc.subrings,
+                ..DirectPathConfig::smarco()
+            }),
             freq_ghz: 1.5,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -142,9 +160,16 @@ impl SmarcoConfig {
             noc,
             tcg: TcgConfig::smarco(),
             mact: Some(MactConfig::default()),
-            dram: DramConfig { channels: 2, ..DramConfig::smarco() },
-            direct: Some(DirectPathConfig { subrings: 4, ..DirectPathConfig::smarco() }),
+            dram: DramConfig {
+                channels: 2,
+                ..DramConfig::smarco()
+            },
+            direct: Some(DirectPathConfig {
+                subrings: 4,
+                ..DirectPathConfig::smarco()
+            }),
             freq_ghz: 1.0,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -167,7 +192,10 @@ impl SmarcoConfig {
             "DRAM channels must match NoC memory controllers"
         );
         if let Some(d) = &self.direct {
-            assert_eq!(d.subrings, self.noc.subrings, "direct spokes must match sub-rings");
+            assert_eq!(
+                d.subrings, self.noc.subrings,
+                "direct spokes must match sub-rings"
+            );
         }
     }
 }

@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use smarco_isa::InstructionStream;
 use smarco_sched::{LaxityAwareScheduler, MainScheduler, Task, TaskPriority, TaskScheduler};
+use smarco_sim::obs::{EventKind, TraceBuffer, TraceSink, Track};
 use smarco_sim::Cycle;
 
 use crate::tcg::TcgCore;
@@ -48,6 +49,8 @@ pub struct HardwareDispatcher {
     /// Per-sub-ring dispatcher pipeline availability.
     ready_at: Vec<Cycle>,
     next_id: u64,
+    /// Staged dispatch/exit events when tracing is enabled.
+    trace: Option<TraceBuffer>,
 }
 
 impl std::fmt::Debug for HardwareDispatcher {
@@ -70,14 +73,41 @@ impl HardwareDispatcher {
     pub fn new(subrings: usize, capacity: usize) -> Self {
         Self {
             main: MainScheduler::new(subrings),
-            subs: (0..subrings).map(|_| LaxityAwareScheduler::new(capacity)).collect(),
+            subs: (0..subrings)
+                .map(|_| LaxityAwareScheduler::new(capacity))
+                .collect(),
             pending: HashMap::new(),
             dispatched: HashMap::new(),
             exits: Vec::new(),
             deadlines: HashMap::new(),
             ready_at: vec![0; subrings],
             next_id: 0,
+            trace: None,
         }
+    }
+
+    /// Turns event tracing on: dispatch and exit decisions are reported on
+    /// [`Track::Scheduler`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceBuffer::new(Track::Scheduler));
+    }
+
+    /// Moves staged scheduler events into `sink` (no-op when tracing is
+    /// off).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.drain_into(sink);
+        }
+    }
+
+    /// Tasks queued in sub-ring chain tables, not yet bound to a slot.
+    pub fn queued(&self) -> u64 {
+        self.subs.iter().map(|s| s.pending() as u64).sum()
+    }
+
+    /// Tasks currently bound to thread slots.
+    pub fn in_flight(&self) -> u64 {
+        self.dispatched.len() as u64
     }
 
     /// Submits a task at cycle `now`: the main scheduler picks the
@@ -113,7 +143,20 @@ impl HardwareDispatcher {
                 if let Some((task, sr, work)) = self.dispatched.remove(&(c, slot)) {
                     self.main.complete(sr, work);
                     let deadline = self.deadline_of(task);
-                    self.exits.push(TaskExit { task, exit: now, deadline });
+                    if let Some(buf) = self.trace.as_mut() {
+                        buf.emit(
+                            now,
+                            EventKind::TaskExit {
+                                task,
+                                deadline_met: now <= deadline,
+                            },
+                        );
+                    }
+                    self.exits.push(TaskExit {
+                        task,
+                        exit: now,
+                        deadline,
+                    });
                     self.deadlines.remove(&task);
                 }
             }
@@ -133,7 +176,18 @@ impl HardwareDispatcher {
                 self.ready_at[sr] = now + self.subs[sr].overhead();
                 let stream = self.pending.remove(&task.id).expect("stream pending");
                 let slot = cores[core_idx].attach(stream).expect("vacancy checked");
-                self.dispatched.insert((core_idx, slot), (task.id, sr, task.work));
+                if let Some(buf) = self.trace.as_mut() {
+                    buf.emit(
+                        now,
+                        EventKind::TaskDispatch {
+                            task: task.id,
+                            laxity: task.laxity(now),
+                            queued: self.subs[sr].pending() as u64,
+                        },
+                    );
+                }
+                self.dispatched
+                    .insert((core_idx, slot), (task.id, sr, task.work));
                 self.deadlines.insert(task.id, task.deadline);
             }
         }

@@ -4,7 +4,10 @@ use smarco_sim::stats::{MeanTracker, StatsReport};
 use smarco_sim::Cycle;
 
 /// Summary of a [`crate::chip::SmarcoSystem`] run.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` lets tests assert that an observed run is *bit-identical*
+/// to an unobserved one (the observability layer is read-only).
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SmarcoReport {
     /// Cycles simulated.
     pub cycles: Cycle,
@@ -94,7 +97,11 @@ mod tests {
 
     #[test]
     fn derived_metrics() {
-        let mut r = SmarcoReport { cycles: 1000, instructions: 2500, ..Default::default() };
+        let mut r = SmarcoReport {
+            cycles: 1000,
+            instructions: 2500,
+            ..Default::default()
+        };
         r.requests = 100;
         r.dram_requests = 25;
         assert!((r.ipc() - 2.5).abs() < 1e-12);
@@ -113,7 +120,11 @@ mod tests {
 
     #[test]
     fn stats_flattening() {
-        let r = SmarcoReport { cycles: 10, instructions: 20, ..Default::default() };
+        let r = SmarcoReport {
+            cycles: 10,
+            instructions: 20,
+            ..Default::default()
+        };
         let s = r.to_stats();
         assert_eq!(s.get("ipc"), Some(2.0));
         assert_eq!(s.get("cycles"), Some(10.0));

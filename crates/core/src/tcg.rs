@@ -18,6 +18,7 @@ use smarco_mem::cache::{Cache, CacheOutcome};
 use smarco_mem::dma::{Dma, DmaConfig};
 use smarco_mem::map::{AddressSpace, Region};
 use smarco_mem::spm::Spm;
+use smarco_sim::obs::{EventKind, TraceBuffer, TraceConfig, Track};
 use smarco_sim::stats::{MeanTracker, Ratio};
 use smarco_sim::Cycle;
 
@@ -152,6 +153,10 @@ enum IsegState {
     Resident,
 }
 
+/// Per-thread blocking bookkeeping: blocked-at cycle plus an optional
+/// pending SPM fill `(addr, bytes)`.
+type BlockInfo = (Cycle, Option<(u64, u64)>);
+
 /// One TCG core.
 ///
 /// # Examples
@@ -185,13 +190,20 @@ pub struct TcgCore {
     pairs: PairScheduler,
     /// Per-slot: cycle the blocking request was issued (latency stats) and
     /// the SPM range to fill on completion.
-    block_info: Vec<Option<(Cycle, Option<(u64, u64)>)>>,
+    block_info: Vec<Option<BlockInfo>>,
     iseg: Option<(u64, u64)>,
     iseg_state: IsegState,
     /// Thread slots that exited since the last [`take_retired`] call —
     /// the completion signal the chip's task dispatcher consumes.
     retired: Vec<usize>,
     stats: CoreStats,
+    /// Observability staging buffer; `None` (default) keeps every hook a
+    /// single branch with no side effects.
+    trace: Option<TraceBuffer>,
+    /// Retires per `instr_retire` trace event.
+    retire_sample: u64,
+    /// Retires accumulated toward the next sampled event.
+    retire_pending: u64,
 }
 
 impl std::fmt::Debug for TcgCore {
@@ -213,7 +225,9 @@ impl TcgCore {
     pub fn new(id: usize, config: TcgConfig, space: AddressSpace) -> Self {
         config.validate();
         assert!(id < space.cores(), "core id {id} outside address space");
-        let slots = (0..config.resident_threads).map(|_| ThreadSlot::vacant()).collect();
+        let slots = (0..config.resident_threads)
+            .map(|_| ThreadSlot::vacant())
+            .collect();
         Self {
             id,
             config,
@@ -229,7 +243,22 @@ impl TcgCore {
             iseg_state: IsegState::Absent,
             retired: Vec::new(),
             stats: CoreStats::default(),
+            trace: None,
+            retire_sample: 64,
+            retire_pending: 0,
         }
+    }
+
+    /// Turns event tracing on for this core; the parent drains the buffer
+    /// via [`trace_mut`](Self::trace_mut).
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        self.trace = Some(TraceBuffer::new(Track::Core(self.id)));
+        self.retire_sample = cfg.retire_sample.max(1);
+    }
+
+    /// The core's trace staging buffer, if tracing is enabled.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceBuffer> {
+        self.trace.as_mut()
     }
 
     /// Core id.
@@ -279,10 +308,7 @@ impl TcgCore {
     /// Returns [`CoreFull`] (which hands the stream back via
     /// [`CoreFull::into_stream`]) when every slot is occupied by a live
     /// thread.
-    pub fn attach(
-        &mut self,
-        stream: Box<dyn InstructionStream + Send>,
-    ) -> Result<usize, CoreFull> {
+    pub fn attach(&mut self, stream: Box<dyn InstructionStream + Send>) -> Result<usize, CoreFull> {
         let Some(idx) = self.slots.iter().position(|s| !s.is_live()) else {
             return Err(CoreFull(stream));
         };
@@ -314,12 +340,21 @@ impl TcgCore {
         }
         self.iseg = Some((base, bytes));
         self.iseg_state = IsegState::Prefetching;
-        self.dma.start(bytes, DmaJob { thread: usize::MAX, fill: None, iseg: true });
+        self.dma.start(
+            bytes,
+            DmaJob {
+                thread: usize::MAX,
+                fill: None,
+                iseg: true,
+            },
+        );
     }
 
     fn iseg_covers(&self, pc: u64) -> bool {
         self.iseg_state == IsegState::Resident
-            && self.iseg.is_some_and(|(base, bytes)| (base..base + bytes).contains(&pc))
+            && self
+                .iseg
+                .is_some_and(|(base, bytes)| (base..base + bytes).contains(&pc))
     }
 
     fn block(&mut self, thread: usize, now: Cycle, spm_fill: Option<(u64, u64)>) {
@@ -327,7 +362,22 @@ impl TcgCore {
         self.block_info[thread] = Some((now, spm_fill));
         self.stats.block_events += 1;
         let p = self.pairs.pair_of(thread);
+        let before = self.pairs.active_thread(p);
         let _ = self.pairs.on_block(p, &mut self.slots);
+        if let Some(tb) = self.trace.as_mut() {
+            tb.emit(now, EventKind::ThreadBlock { thread });
+            let after = self.pairs.active_thread(p);
+            if after != before && after < self.slots.len() {
+                tb.emit(
+                    now,
+                    EventKind::ThreadSwap {
+                        pair: p,
+                        from: before,
+                        to: after,
+                    },
+                );
+            }
+        }
     }
 
     /// Completes a ring-travelled DMA transfer for `thread`: marks the
@@ -355,7 +405,9 @@ impl TcgCore {
         let (since, fill) = self.block_info[thread]
             .take()
             .unwrap_or_else(|| panic!("thread {thread} was not blocked on memory"));
-        self.stats.block_latency.record(now.saturating_sub(since) as f64);
+        self.stats
+            .block_latency
+            .record(now.saturating_sub(since) as f64);
         if let Some((offset, bytes)) = fill {
             self.spm.make_resident(offset, bytes);
         }
@@ -393,9 +445,13 @@ impl TcgCore {
                 self.spm.make_resident(offset, bytes);
             }
             if job.thread != usize::MAX {
+                if let Some(tb) = self.trace.as_mut() {
+                    tb.emit(now, EventKind::DmaComplete { thread: job.thread });
+                }
                 let slot = &mut self.slots[job.thread];
                 slot.pending_dma = slot.pending_dma.saturating_sub(1);
-                if slot.pending_dma == 0 && slot.state == ThreadState::Blocked
+                if slot.pending_dma == 0
+                    && slot.state == ThreadState::Blocked
                     && self.block_info[job.thread].is_none()
                 {
                     // Blocked on Sync, not on memory.
@@ -433,10 +489,31 @@ impl TcgCore {
             self.stats.ifetch.record(hit);
             if !hit {
                 self.slots[t].stall_until = now + self.config.icache_miss_penalty;
+                if let Some(tb) = self.trace.as_mut() {
+                    tb.emit(
+                        now,
+                        EventKind::CacheMiss {
+                            addr: instr.pc,
+                            ifetch: true,
+                        },
+                    );
+                }
             }
         }
         self.stats.instructions += 1;
         self.slots[t].instructions += 1;
+        if let Some(tb) = self.trace.as_mut() {
+            self.retire_pending += 1;
+            if self.retire_pending >= self.retire_sample {
+                tb.emit(
+                    now,
+                    EventKind::InstrRetire {
+                        count: self.retire_pending,
+                    },
+                );
+                self.retire_pending = 0;
+            }
+        }
         let _ = p;
         match instr.op {
             Op::Compute { latency } => {
@@ -445,7 +522,11 @@ impl TcgCore {
             }
             Op::Branch { mispredicted } => {
                 self.stats.branches.record(!mispredicted);
-                let cost = if mispredicted { self.config.pipeline_depth } else { 1 };
+                let cost = if mispredicted {
+                    self.config.pipeline_depth
+                } else {
+                    1
+                };
                 self.slots[t].stall_until = self.slots[t].stall_until.max(now + cost);
             }
             Op::Exit => self.retire_thread(t),
@@ -464,6 +545,14 @@ impl TcgCore {
                     }
                     _ => None,
                 };
+                if let Some(tb) = self.trace.as_mut() {
+                    tb.emit(
+                        now,
+                        EventKind::DmaStart {
+                            bytes: u64::from(bytes),
+                        },
+                    );
+                }
                 self.slots[t].pending_dma += 1;
                 self.slots[t].stall_until = now + 1;
                 match self.space.classify(src) {
@@ -484,8 +573,14 @@ impl TcgCore {
                     }
                     // Local/DRAM source: the core's own engine streams it.
                     _ => {
-                        self.dma
-                            .start(u64::from(bytes.max(1)), DmaJob { thread: t, fill, iseg: false });
+                        self.dma.start(
+                            u64::from(bytes.max(1)),
+                            DmaJob {
+                                thread: t,
+                                fill,
+                                iseg: false,
+                            },
+                        );
                     }
                 }
             }
@@ -534,6 +629,15 @@ impl TcgCore {
                     if let Some(victim) = writeback_of {
                         out.push(self.writeback(victim));
                     }
+                    if let Some(tb) = self.trace.as_mut() {
+                        tb.emit(
+                            now,
+                            EventKind::CacheMiss {
+                                addr: m.addr,
+                                ifetch: false,
+                            },
+                        );
+                    }
                     self.block(t, now, None);
                     out.push(CoreRequest {
                         thread: t,
@@ -546,7 +650,9 @@ impl TcgCore {
                 }
             },
             Region::Spm { .. } => unreachable!("guards cover all SPM cases"),
-            Region::Unmapped => panic!("core {}: load from unmapped address {:#x}", self.id, m.addr),
+            Region::Unmapped => {
+                panic!("core {}: load from unmapped address {:#x}", self.id, m.addr)
+            }
         }
     }
 
@@ -751,26 +857,73 @@ mod tests {
         let run_pairless = {
             let mut c = TcgCore::new(
                 0,
-                TcgConfig { in_pair: false, ..TcgConfig::smarco() },
+                TcgConfig {
+                    in_pair: false,
+                    ..TcgConfig::smarco()
+                },
                 space(),
             );
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(1)))).unwrap();
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(2)))).unwrap();
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(3)))).unwrap();
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(4)))).unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(1),
+            )))
+            .unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(2),
+            )))
+            .unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(3),
+            )))
+            .unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(4),
+            )))
+            .unwrap();
             // Friends (threads 5..8) share pairs with 1..4.
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(5)))).unwrap();
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(6)))).unwrap();
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(7)))).unwrap();
-            c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(8)))).unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(5),
+            )))
+            .unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(6),
+            )))
+            .unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(7),
+            )))
+            .unwrap();
+            c.attach(Box::new(SyntheticStream::new(
+                mix.clone(),
+                2000,
+                SimRng::new(8),
+            )))
+            .unwrap();
             run(&mut c, 100, 20_000_000);
             c.stats().ipc()
         };
         let run_paired = {
             let mut c = TcgCore::new(0, TcgConfig::smarco(), space());
             for seed in 1..=8 {
-                c.attach(Box::new(SyntheticStream::new(mix.clone(), 2000, SimRng::new(seed))))
-                    .unwrap();
+                c.attach(Box::new(SyntheticStream::new(
+                    mix.clone(),
+                    2000,
+                    SimRng::new(seed),
+                )))
+                .unwrap();
             }
             run(&mut c, 100, 20_000_000);
             c.stats().ipc()
@@ -814,7 +967,10 @@ mod tests {
         let miss_without = {
             let mut c = TcgCore::new(
                 0,
-                TcgConfig { shared_iseg: false, ..TcgConfig::smarco() },
+                TcgConfig {
+                    shared_iseg: false,
+                    ..TcgConfig::smarco()
+                },
                 space(),
             );
             for s in 0..4 {
@@ -826,7 +982,10 @@ mod tests {
         };
         let _ = miss_without;
         // With prefetch, the bulk of fetches avoid the I-cache entirely.
-        assert!(miss_with < 85_000, "I-cache fetch count with prefetch: {miss_with}");
+        assert!(
+            miss_with < 85_000,
+            "I-cache fetch count with prefetch: {miss_with}"
+        );
     }
 
     #[test]
@@ -834,7 +993,11 @@ mod tests {
         let mut c = core();
         let base = space().spm_base(0);
         let prog = ProgramBuilder::at(0x1000)
-            .op(Op::Dma { src: 0x50_000, dst: base, bytes: 1024 })
+            .op(Op::Dma {
+                src: 0x50_000,
+                dst: base,
+                bytes: 1024,
+            })
             .op(Op::Sync)
             .op(Op::load(base + 512, 8)) // resident after DMA
             .build();
@@ -847,7 +1010,9 @@ mod tests {
     fn mispredicted_branches_cost_pipeline_depth() {
         let mut fast = core();
         let prog = ProgramBuilder::at(0)
-            .op(Op::Branch { mispredicted: false })
+            .op(Op::Branch {
+                mispredicted: false,
+            })
             .repeat(500)
             .build();
         fast.attach(Box::new(prog.into_stream())).unwrap();
@@ -859,7 +1024,10 @@ mod tests {
             .build();
         slow.attach(Box::new(prog.into_stream())).unwrap();
         let t_slow = run(&mut slow, 10, 100_000);
-        assert!(t_slow > t_fast * 4, "mispredicts {t_slow} vs predicted {t_fast}");
+        assert!(
+            t_slow > t_fast * 4,
+            "mispredicts {t_slow} vs predicted {t_fast}"
+        );
         assert!(slow.stats().branches.ratio() < 0.01);
     }
 
@@ -876,7 +1044,9 @@ mod tests {
     fn remote_spm_access_goes_to_owner() {
         let mut c = core();
         let remote_base = space().spm_base(2);
-        let prog = ProgramBuilder::at(0).op(Op::load(remote_base + 8, 8)).build();
+        let prog = ProgramBuilder::at(0)
+            .op(Op::load(remote_base + 8, 8))
+            .build();
         c.attach(Box::new(prog.into_stream())).unwrap();
         let mut out = Vec::new();
         c.tick(0, &mut out);

@@ -58,7 +58,13 @@ impl Default for ThreadSlot {
 impl ThreadSlot {
     /// An empty context.
     pub fn vacant() -> Self {
-        Self { stream: None, state: ThreadState::Vacant, stall_until: 0, pending_dma: 0, instructions: 0 }
+        Self {
+            stream: None,
+            state: ThreadState::Vacant,
+            stall_until: 0,
+            pending_dma: 0,
+            instructions: 0,
+        }
     }
 
     /// Attaches a stream, making the slot runnable.
@@ -106,7 +112,11 @@ impl PairScheduler {
     /// Panics if `pairs` is zero.
     pub fn new(pairs: usize, in_pair: bool) -> Self {
         assert!(pairs > 0, "need at least one pair");
-        Self { pairs, active: (0..pairs).collect(), in_pair }
+        Self {
+            pairs,
+            active: (0..pairs).collect(),
+            in_pair,
+        }
     }
 
     /// Number of pairs.
@@ -121,7 +131,11 @@ impl PairScheduler {
 
     /// The friend of thread `t`, if a friend slot exists for its pair.
     pub fn friend_of(&self, t: usize, total_slots: usize) -> Option<usize> {
-        let f = if t < self.pairs { t + self.pairs } else { t - self.pairs };
+        let f = if t < self.pairs {
+            t + self.pairs
+        } else {
+            t - self.pairs
+        };
         (f < total_slots).then_some(f)
     }
 

@@ -39,8 +39,14 @@ impl GranularityMix {
     ///
     /// Panics if all weights are zero or any is negative.
     pub fn new(weights: [f64; 7]) -> Self {
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
-        assert!(weights.iter().sum::<f64>() > 0.0, "weights must not all be zero");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
+        assert!(
+            weights.iter().sum::<f64>() > 0.0,
+            "weights must not all be zero"
+        );
         Self { weights }
     }
 
@@ -101,13 +107,25 @@ pub struct AddressModel {
 impl AddressModel {
     /// A streaming model: mostly-sequential over `working_set`.
     pub fn streaming(base: u64, working_set: u64) -> Self {
-        Self { base, working_set, seq_frac: 0.85, hot_frac: 0.2, hot_bytes: 4096 }
+        Self {
+            base,
+            working_set,
+            seq_frac: 0.85,
+            hot_frac: 0.2,
+            hot_bytes: 4096,
+        }
     }
 
     /// A random-access model: uniform over `working_set` with a small hot
     /// region.
     pub fn random(base: u64, working_set: u64) -> Self {
-        Self { base, working_set, seq_frac: 0.05, hot_frac: 0.3, hot_bytes: 4096 }
+        Self {
+            base,
+            working_set,
+            seq_frac: 0.05,
+            hot_frac: 0.3,
+            hot_bytes: 4096,
+        }
     }
 }
 
@@ -147,7 +165,10 @@ impl OpMix {
             self.mem_frac + self.branch_frac <= 1.0,
             "mem_frac + branch_frac must not exceed 1"
         );
-        assert!(self.addresses.working_set > 0, "working set must be positive");
+        assert!(
+            self.addresses.working_set > 0,
+            "working set must be positive"
+        );
     }
 }
 
@@ -175,7 +196,15 @@ impl SyntheticStream {
         mix.validate();
         assert!(instructions > 0, "instruction budget must be positive");
         let cursor = mix.addresses.base;
-        Self { mix, rng, cursor, remaining: instructions, exited: false, pc: 0, segment: None }
+        Self {
+            mix,
+            rng,
+            cursor,
+            remaining: instructions,
+            exited: false,
+            pc: 0,
+            segment: None,
+        }
     }
 
     /// Declares the instruction segment for shared-I-segment modelling; PCs
@@ -185,7 +214,10 @@ impl SyntheticStream {
     ///
     /// Panics if `bytes` is zero or unaligned to the instruction size.
     pub fn with_segment(mut self, base: u64, bytes: u64) -> Self {
-        assert!(bytes > 0 && bytes % crate::op::INSTR_BYTES == 0, "bad segment length {bytes}");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(crate::op::INSTR_BYTES),
+            "bad segment length {bytes}"
+        );
         self.segment = Some((base, bytes));
         self.pc = base;
         self
@@ -226,14 +258,20 @@ impl SyntheticStream {
             } else {
                 Priority::Normal
             };
-            let mem = MemRef { addr, bytes, priority };
+            let mem = MemRef {
+                addr,
+                bytes,
+                priority,
+            };
             if self.rng.chance(self.mix.load_frac) {
                 Op::Load(mem)
             } else {
                 Op::Store(mem)
             }
         } else if roll < self.mix.mem_frac + self.mix.branch_frac {
-            Op::Branch { mispredicted: self.rng.chance(self.mix.branch_miss) }
+            Op::Branch {
+                mispredicted: self.rng.chance(self.mix.branch_miss),
+            }
         } else {
             Op::compute()
         };
@@ -328,7 +366,10 @@ mod tests {
     fn class_fractions_roughly_match() {
         let ops = drain(SyntheticStream::new(test_mix(), 20_000, SimRng::new(2)));
         let mem = ops.iter().filter(|o| o.is_mem()).count() as f64 / ops.len() as f64;
-        let br = ops.iter().filter(|o| matches!(o, Op::Branch { .. })).count() as f64
+        let br = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Branch { .. }))
+            .count() as f64
             / ops.len() as f64;
         assert!((mem - 0.4).abs() < 0.03, "mem fraction {mem}");
         assert!((br - 0.1).abs() < 0.02, "branch fraction {br}");
@@ -361,7 +402,11 @@ mod tests {
     #[test]
     fn granularity_distribution_matches() {
         let ops = drain(SyntheticStream::new(test_mix(), 50_000, SimRng::new(5)));
-        let sizes: Vec<u8> = ops.iter().filter_map(|o| o.mem_ref()).map(|m| m.bytes).collect();
+        let sizes: Vec<u8> = ops
+            .iter()
+            .filter_map(|o| o.mem_ref())
+            .map(|m| m.bytes)
+            .collect();
         let small = sizes.iter().filter(|&&s| s <= 2).count() as f64 / sizes.len() as f64;
         assert!((small - 0.8).abs() < 0.03, "small-access fraction {small}");
     }

@@ -43,8 +43,15 @@ impl MemRef {
     ///
     /// Panics if `bytes` is 0 or greater than 64.
     pub fn new(addr: u64, bytes: u8) -> Self {
-        assert!((1..=64).contains(&bytes), "access width {bytes} out of range 1..=64");
-        Self { addr, bytes, priority: Priority::Normal }
+        assert!(
+            (1..=64).contains(&bytes),
+            "access width {bytes} out of range 1..=64"
+        );
+        Self {
+            addr,
+            bytes,
+            priority: Priority::Normal,
+        }
     }
 
     /// Creates a real-time-priority reference.
@@ -183,7 +190,10 @@ mod tests {
         assert!(Op::load(0, 4).is_mem());
         assert!(Op::store(0, 4).is_mem());
         assert!(!Op::compute().is_mem());
-        assert!(!Op::Branch { mispredicted: false }.is_mem());
+        assert!(!Op::Branch {
+            mispredicted: false
+        }
+        .is_mem());
         assert_eq!(Op::load(16, 2).mem_ref(), Some(MemRef::new(16, 2)));
         assert_eq!(Op::compute().mem_ref(), None);
     }

@@ -66,13 +66,23 @@ impl Program {
 
     /// Creates a playable stream over this program.
     pub fn stream(&self) -> ProgramStream<'_> {
-        ProgramStream { program: self, idx: 0, iter: 0, done: false }
+        ProgramStream {
+            program: self,
+            idx: 0,
+            iter: 0,
+            done: false,
+        }
     }
 
     /// Creates an owning playable stream (for threads that outlive the
     /// builder scope).
     pub fn into_stream(self) -> OwnedProgramStream {
-        OwnedProgramStream { program: self, idx: 0, iter: 0, done: false }
+        OwnedProgramStream {
+            program: self,
+            idx: 0,
+            iter: 0,
+            done: false,
+        }
     }
 }
 
@@ -87,7 +97,11 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Starts a program whose instruction segment begins at `base`.
     pub fn at(base: u64) -> Self {
-        Self { base, ops: Vec::new(), iterations: 1 }
+        Self {
+            base,
+            ops: Vec::new(),
+            iterations: 1,
+        }
     }
 
     /// Appends one op to the body.
@@ -98,7 +112,7 @@ impl ProgramBuilder {
 
     /// Appends `n` single-cycle compute ops.
     pub fn compute(mut self, n: usize) -> Self {
-        self.ops.extend(std::iter::repeat(Op::compute()).take(n));
+        self.ops.extend(std::iter::repeat_n(Op::compute(), n));
         self
     }
 
@@ -126,7 +140,11 @@ impl ProgramBuilder {
     /// Panics if the body is empty.
     pub fn build(self) -> Program {
         assert!(!self.ops.is_empty(), "program body must not be empty");
-        Program { base: self.base, ops: self.ops, iterations: self.iterations }
+        Program {
+            base: self.base,
+            ops: self.ops,
+            iterations: self.iterations,
+        }
     }
 }
 
@@ -215,7 +233,9 @@ mod tests {
     fn pcs_wrap_within_segment() {
         let p = simple();
         let mut s = p.stream();
-        let pcs: Vec<u64> = std::iter::from_fn(|| s.next_instr()).map(|i| i.pc).collect();
+        let pcs: Vec<u64> = std::iter::from_fn(|| s.next_instr())
+            .map(|i| i.pc)
+            .collect();
         assert_eq!(&pcs[0..4], &[0x100, 0x104, 0x108, 0x10c]);
         assert_eq!(&pcs[4..8], &[0x100, 0x104, 0x108, 0x10c]);
         assert_eq!(*pcs.last().unwrap(), 0x110); // Exit just past body

@@ -75,7 +75,12 @@ impl<F: FnMut() -> Option<crate::op::Op>> FnStream<F> {
     /// Wraps `f`; PCs are assigned sequentially from 0 (wrapping within the
     /// declared segment when one is set).
     pub fn new(f: F) -> Self {
-        Self { f, pc: 0, segment: None, exited: false }
+        Self {
+            f,
+            pc: 0,
+            segment: None,
+            exited: false,
+        }
     }
 
     /// Declares the instruction segment `(base, bytes)`; PCs then start at
@@ -85,7 +90,10 @@ impl<F: FnMut() -> Option<crate::op::Op>> FnStream<F> {
     ///
     /// Panics if `bytes` is zero or not a multiple of the instruction size.
     pub fn with_segment(mut self, base: u64, bytes: u64) -> Self {
-        assert!(bytes > 0 && bytes % crate::op::INSTR_BYTES == 0, "bad segment length {bytes}");
+        assert!(
+            bytes > 0 && bytes.is_multiple_of(crate::op::INSTR_BYTES),
+            "bad segment length {bytes}"
+        );
         self.segment = Some((base, bytes));
         self.pc = base;
         self

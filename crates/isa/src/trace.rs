@@ -88,7 +88,10 @@ impl Trace {
 
 impl FromIterator<Instr> for Trace {
     fn from_iter<I: IntoIterator<Item = Instr>>(iter: I) -> Self {
-        Self { instrs: iter.into_iter().collect(), segment: None }
+        Self {
+            instrs: iter.into_iter().collect(),
+            segment: None,
+        }
     }
 }
 
@@ -204,7 +207,11 @@ mod tests {
 
     #[test]
     fn from_iterator_collects() {
-        let t: Trace = Trace::record(compute_only(2)).instrs().iter().copied().collect();
+        let t: Trace = Trace::record(compute_only(2))
+            .instrs()
+            .iter()
+            .copied()
+            .collect();
         assert_eq!(t.len(), 3);
     }
 }

@@ -20,7 +20,11 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// SmarCo L1 (16 KB, 64 B lines, 4-way; §3.1).
     pub fn smarco_l1() -> Self {
-        Self { size_bytes: 16 << 10, line_bytes: 64, ways: 4 }
+        Self {
+            size_bytes: 16 << 10,
+            line_bytes: 64,
+            ways: 4,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -33,7 +37,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (zero sizes or capacity not
     /// a multiple of `line_bytes * ways`).
     pub fn sets(&self) -> usize {
-        assert!(self.size_bytes > 0 && self.line_bytes > 0 && self.ways > 0, "zero geometry");
+        assert!(
+            self.size_bytes > 0 && self.line_bytes > 0 && self.ways > 0,
+            "zero geometry"
+        );
         let per_way = self.size_bytes / self.line_bytes;
         assert_eq!(
             self.size_bytes % (self.line_bytes * self.ways as u64),
@@ -118,7 +125,12 @@ impl Cache {
     /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]).
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        let line = Line { tag: 0, valid: false, dirty: false, lru: 0 };
+        let line = Line {
+            tag: 0,
+            valid: false,
+            dirty: false,
+            lru: 0,
+        };
         Self {
             config,
             sets: vec![vec![line; config.ways]; sets],
@@ -164,16 +176,13 @@ impl Cache {
         }
         self.stats.accesses.record(false);
         // Choose victim: invalid line first, else LRU.
-        let victim_idx = set
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                set.iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.lru)
-                    .map(|(i, _)| i)
-                    .expect("ways > 0")
-            });
+        let victim_idx = set.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            set.iter()
+                .enumerate()
+                .min_by_key(|(_, l)| l.lru)
+                .map(|(i, _)| i)
+                .expect("ways > 0")
+        });
         let victim = set[victim_idx];
         let writeback_of = if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
@@ -181,7 +190,12 @@ impl Cache {
         } else {
             None
         };
-        set[victim_idx] = Line { tag, valid: true, dirty: is_write, lru: self.clock };
+        set[victim_idx] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.clock,
+        };
         CacheOutcome::Miss { writeback_of }
     }
 
@@ -193,7 +207,10 @@ impl Cache {
         self.clock += 1;
         let (set_idx, tag) = self.index(addr);
         let clock = self.clock;
-        if let Some(line) = self.sets[set_idx].iter_mut().find(|l| l.valid && l.tag == tag) {
+        if let Some(line) = self.sets[set_idx]
+            .iter_mut()
+            .find(|l| l.valid && l.tag == tag)
+        {
             line.lru = clock;
             line.dirty = true;
             self.stats.accesses.record(true);
@@ -227,7 +244,11 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets × 2 ways × 64 B = 512 B.
-        Cache::new(CacheConfig { size_bytes: 512, line_bytes: 64, ways: 2 })
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            line_bytes: 64,
+            ways: 2,
+        })
     }
 
     #[test]
@@ -258,7 +279,12 @@ mod tests {
         c.access(0, true);
         c.access(256, false);
         let out = c.access(512, false); // victim 0 is dirty
-        assert_eq!(out, CacheOutcome::Miss { writeback_of: Some(0) });
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                writeback_of: Some(0)
+            }
+        );
         assert_eq!(c.stats().writebacks, 1);
     }
 
@@ -267,7 +293,10 @@ mod tests {
         let mut c = tiny();
         c.access(0, false);
         c.access(256, false);
-        assert_eq!(c.access(512, false), CacheOutcome::Miss { writeback_of: None });
+        assert_eq!(
+            c.access(512, false),
+            CacheOutcome::Miss { writeback_of: None }
+        );
     }
 
     #[test]
@@ -277,7 +306,12 @@ mod tests {
         c.access(0, true); // hit, makes dirty
         c.access(256, false);
         let out = c.access(512, false);
-        assert_eq!(out, CacheOutcome::Miss { writeback_of: Some(0) });
+        assert_eq!(
+            out,
+            CacheOutcome::Miss {
+                writeback_of: Some(0)
+            }
+        );
     }
 
     #[test]
@@ -297,7 +331,10 @@ mod tests {
         c.flush();
         assert!(!c.probe(0));
         // Flushed dirty line does not report a writeback on next fill.
-        assert_eq!(c.access(0, false), CacheOutcome::Miss { writeback_of: None });
+        assert_eq!(
+            c.access(0, false),
+            CacheOutcome::Miss { writeback_of: None }
+        );
     }
 
     #[test]
@@ -310,7 +347,11 @@ mod tests {
     #[test]
     fn non_power_of_two_sets_supported() {
         // 3 sets × 1 way — odd geometries (like a 20-way 60 MB LLC) work.
-        let mut c = Cache::new(CacheConfig { size_bytes: 192, line_bytes: 64, ways: 1 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 192,
+            line_bytes: 64,
+            ways: 1,
+        });
         assert_eq!(c.config().sets(), 3);
         for addr in [0u64, 64, 128] {
             assert!(!c.access(addr, false).is_hit());

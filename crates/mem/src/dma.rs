@@ -23,7 +23,10 @@ pub struct DmaConfig {
 impl Default for DmaConfig {
     fn default() -> Self {
         // Two 64-bit sub-ring lanes sustained, modest setup.
-        Self { bytes_per_cycle: 16.0, setup_cycles: 16 }
+        Self {
+            bytes_per_cycle: 16.0,
+            setup_cycles: 16,
+        }
     }
 }
 
@@ -64,8 +67,16 @@ impl<T> Dma<T> {
     ///
     /// Panics if the bandwidth is non-positive.
     pub fn new(config: DmaConfig) -> Self {
-        assert!(config.bytes_per_cycle > 0.0, "DMA bandwidth must be positive");
-        Self { config, queue: VecDeque::new(), completed: Counter::new(), bytes_copied: 0 }
+        assert!(
+            config.bytes_per_cycle > 0.0,
+            "DMA bandwidth must be positive"
+        );
+        Self {
+            config,
+            queue: VecDeque::new(),
+            completed: Counter::new(),
+            bytes_copied: 0,
+        }
     }
 
     /// Queues a transfer of `bytes`; `payload` comes back from
@@ -124,7 +135,10 @@ mod tests {
     use super::*;
 
     fn dma() -> Dma<u32> {
-        Dma::new(DmaConfig { bytes_per_cycle: 8.0, setup_cycles: 2 })
+        Dma::new(DmaConfig {
+            bytes_per_cycle: 8.0,
+            setup_cycles: 2,
+        })
     }
 
     #[test]

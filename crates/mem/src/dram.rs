@@ -9,6 +9,7 @@
 //! effective bandwidth (Fig. 20).
 
 use smarco_sim::event::EventWheel;
+use smarco_sim::obs::{EventKind, TraceBuffer, TraceSink, Track};
 use smarco_sim::stats::MeanTracker;
 use smarco_sim::Cycle;
 
@@ -34,14 +35,24 @@ impl DramConfig {
     /// clock → 91 B/cycle aggregate, 22.75 B/cycle per channel; ~90-cycle
     /// base latency; BL8 × 128-bit = 128-byte minimum burst.
     pub fn smarco() -> Self {
-        Self { channels: 4, base_latency: 90, bytes_per_cycle: 22.75, min_burst_bytes: 128 }
+        Self {
+            channels: 4,
+            base_latency: 90,
+            bytes_per_cycle: 22.75,
+            min_burst_bytes: 128,
+        }
     }
 
     /// Baseline Xeon-like: 85 GB/s at 2.2 GHz → ~38.6 B/cycle aggregate
     /// over 4 channels; lower latency thanks to on-package controllers;
     /// BL8 × 64-bit = 64-byte bursts (its line-sized fills fit exactly).
     pub fn xeon() -> Self {
-        Self { channels: 4, base_latency: 70, bytes_per_cycle: 9.66, min_burst_bytes: 64 }
+        Self {
+            channels: 4,
+            base_latency: 70,
+            bytes_per_cycle: 9.66,
+            min_burst_bytes: 64,
+        }
     }
 }
 
@@ -75,6 +86,8 @@ pub struct Dram<T> {
     completions: EventWheel<T>,
     latency: MeanTracker,
     queue_delay: MeanTracker,
+    /// One staging buffer per channel when tracing is enabled.
+    trace: Option<Vec<TraceBuffer>>,
 }
 
 impl<T> Dram<T> {
@@ -89,12 +102,36 @@ impl<T> Dram<T> {
         Self {
             config,
             channels: vec![
-                Channel { busy_until: 0, busy_cycles: 0, bytes_served: 0 };
+                Channel {
+                    busy_until: 0,
+                    busy_cycles: 0,
+                    bytes_served: 0
+                };
                 config.channels
             ],
             completions: EventWheel::new(),
             latency: MeanTracker::new(),
             queue_delay: MeanTracker::new(),
+            trace: None,
+        }
+    }
+
+    /// Turns event tracing on: each channel reports bursts on its own
+    /// [`Track::DdrChannel`].
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(
+            (0..self.channels.len())
+                .map(|i| TraceBuffer::new(Track::DdrChannel(i)))
+                .collect(),
+        );
+    }
+
+    /// Moves staged burst events into `sink` (no-op when tracing is off).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(bufs) = self.trace.as_mut() {
+            for b in bufs {
+                b.drain_into(sink);
+            }
         }
     }
 
@@ -111,7 +148,10 @@ impl<T> Dram<T> {
     ///
     /// Panics if `channel` is out of range or `bytes` is zero.
     pub fn enqueue(&mut self, channel: usize, bytes: u64, now: Cycle, payload: T) {
-        assert!(channel < self.channels.len(), "channel {channel} out of range");
+        assert!(
+            channel < self.channels.len(),
+            "channel {channel} out of range"
+        );
         assert!(bytes > 0, "zero-byte DRAM transfer");
         let burst = bytes.max(self.config.min_burst_bytes);
         let transfer = (burst as f64 / self.config.bytes_per_cycle).ceil() as Cycle;
@@ -121,6 +161,15 @@ impl<T> Dram<T> {
         ch.busy_until = start + transfer.max(1);
         ch.busy_cycles += transfer.max(1);
         ch.bytes_served += bytes;
+        if let Some(bufs) = self.trace.as_mut() {
+            bufs[channel].emit(
+                start,
+                EventKind::DramBurst {
+                    bytes,
+                    duration: transfer.max(1),
+                },
+            );
+        }
         self.queue_delay.record((start - now) as f64);
         self.latency.record((done - now) as f64);
         self.completions.schedule(done, payload);
@@ -143,6 +192,12 @@ impl<T> Dram<T> {
     /// Total bytes served across channels.
     pub fn bytes_served(&self) -> u64 {
         self.channels.iter().map(|c| c.bytes_served).sum()
+    }
+
+    /// Total channel-busy cycles across channels (cumulative counter; the
+    /// windowed-metrics recorder diffs it into per-window utilization).
+    pub fn busy_cycles(&self) -> u64 {
+        self.channels.iter().map(|c| c.busy_cycles).sum()
     }
 
     /// Mean end-to-end request latency (cycles).
@@ -171,7 +226,12 @@ mod tests {
     use super::*;
 
     fn dram() -> Dram<u32> {
-        Dram::new(DramConfig { channels: 2, base_latency: 10, bytes_per_cycle: 8.0, min_burst_bytes: 1 })
+        Dram::new(DramConfig {
+            channels: 2,
+            base_latency: 10,
+            bytes_per_cycle: 8.0,
+            min_burst_bytes: 1,
+        })
     }
 
     #[test]
@@ -253,7 +313,10 @@ mod tests {
                 last_batch = now;
             }
         }
-        assert!(last_batch <= last_small, "batch {last_batch} vs small {last_small}");
+        assert!(
+            last_batch <= last_small,
+            "batch {last_batch} vs small {last_small}"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@
 //! requests that cross a 64-byte boundary (the collector tracks one line
 //! per entry).
 
+use smarco_sim::obs::{EventKind, TraceBuffer, Track};
 use smarco_sim::stats::{Counter, MeanTracker};
 use smarco_sim::Cycle;
 
@@ -33,7 +34,11 @@ pub struct MactConfig {
 
 impl Default for MactConfig {
     fn default() -> Self {
-        Self { lines: 32, line_bytes: 64, threshold: 16 }
+        Self {
+            lines: 32,
+            line_bytes: 64,
+            threshold: 16,
+        }
     }
 }
 
@@ -78,6 +83,18 @@ pub enum FlushCause {
     Capacity,
     /// Explicit drain (end of simulation).
     Drain,
+}
+
+impl FlushCause {
+    /// Stable name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FlushCause::BitmapFull => "bitmap_full",
+            FlushCause::Deadline => "deadline",
+            FlushCause::Capacity => "capacity",
+            FlushCause::Drain => "drain",
+        }
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -134,6 +151,7 @@ pub struct Mact {
     lines: Vec<MactLine>,
     ready: Vec<Batch>,
     stats: MactStats,
+    trace: Option<TraceBuffer>,
 }
 
 impl Mact {
@@ -145,14 +163,28 @@ impl Mact {
     /// threshold is zero.
     pub fn new(config: MactConfig) -> Self {
         assert!(config.lines > 0, "MACT needs at least one line");
-        assert!((1..=64).contains(&config.line_bytes), "line bytes must be 1..=64");
+        assert!(
+            (1..=64).contains(&config.line_bytes),
+            "line bytes must be 1..=64"
+        );
         assert!(config.threshold > 0, "threshold must be positive");
         Self {
             config,
             lines: Vec::with_capacity(config.lines),
             ready: Vec::new(),
             stats: MactStats::default(),
+            trace: None,
         }
+    }
+
+    /// Turns event tracing on, reporting on the MACT of sub-ring `sr`.
+    pub fn enable_trace(&mut self, sr: usize) {
+        self.trace = Some(TraceBuffer::new(Track::Mact(sr)));
+    }
+
+    /// The trace staging buffer, if tracing is enabled.
+    pub fn trace_mut(&mut self) -> Option<&mut TraceBuffer> {
+        self.trace.as_mut()
     }
 
     /// Geometry and timing.
@@ -196,16 +228,28 @@ impl Mact {
         }
     }
 
-    fn pack(&mut self, idx: usize, cause: FlushCause) -> Batch {
+    fn pack(&mut self, idx: usize, cause: FlushCause, now: Cycle) -> Batch {
         let line = self.lines.remove(idx);
         self.stats.batches.inc();
-        self.stats.requests_per_batch.record(line.requests.len() as f64);
+        self.stats
+            .requests_per_batch
+            .record(line.requests.len() as f64);
         self.stats.flush_causes[match cause {
             FlushCause::BitmapFull => 0,
             FlushCause::Deadline => 1,
             FlushCause::Capacity => 2,
             FlushCause::Drain => 3,
         }] += 1;
+        if let Some(tb) = self.trace.as_mut() {
+            tb.emit(
+                now,
+                EventKind::MactFlush {
+                    base: line.base,
+                    requests: line.requests.len() as u64,
+                    cause: cause.name(),
+                },
+            );
+        }
         Batch {
             base: line.base,
             is_write: line.is_write,
@@ -231,6 +275,9 @@ impl Mact {
             return MactOutcome::Bypass(req);
         }
         self.stats.collected.inc();
+        if let Some(tb) = self.trace.as_mut() {
+            tb.emit(now, EventKind::MactCollect { base });
+        }
         let bitmap = self.bitmap_for(base, req.mem.addr, req.mem.bytes);
         // Merge into an existing line of the same type and tag.
         if let Some(i) = self
@@ -241,7 +288,7 @@ impl Mact {
             self.lines[i].bitmap |= bitmap;
             self.lines[i].requests.push(req);
             if self.lines[i].bitmap == self.full_bitmap() {
-                let batch = self.pack(i, FlushCause::BitmapFull);
+                let batch = self.pack(i, FlushCause::BitmapFull, now);
                 self.ready.push(batch);
             }
             return MactOutcome::Collected;
@@ -255,7 +302,7 @@ impl Mact {
                 .min_by_key(|(_, l)| l.opened_at)
                 .map(|(i, _)| i)
                 .expect("table is non-empty");
-            let batch = self.pack(oldest, FlushCause::Capacity);
+            let batch = self.pack(oldest, FlushCause::Capacity, now);
             self.ready.push(batch);
         }
         self.lines.push(MactLine {
@@ -273,11 +320,8 @@ impl Mact {
     /// batch that became ready (including bitmap-full / capacity flushes
     /// accumulated since the last call).
     pub fn tick(&mut self, now: Cycle) -> Vec<Batch> {
-        loop {
-            let Some(i) = self.lines.iter().position(|l| now >= l.deadline) else {
-                break;
-            };
-            let batch = self.pack(i, FlushCause::Deadline);
+        while let Some(i) = self.lines.iter().position(|l| now >= l.deadline) {
+            let batch = self.pack(i, FlushCause::Deadline, now);
             self.ready.push(batch);
         }
         self.record_waits(now);
@@ -293,7 +337,7 @@ impl Mact {
     /// Flushes everything immediately (end of run).
     pub fn drain_all(&mut self, now: Cycle) -> Vec<Batch> {
         while !self.lines.is_empty() {
-            let batch = self.pack(0, FlushCause::Drain);
+            let batch = self.pack(0, FlushCause::Drain, now);
             self.ready.push(batch);
         }
         self.record_waits(now);
@@ -303,7 +347,9 @@ impl Mact {
     fn record_waits(&mut self, now: Cycle) {
         for batch in &self.ready {
             for req in &batch.requests {
-                self.stats.wait_cycles.record((now.saturating_sub(req.issued_at)) as f64);
+                self.stats
+                    .wait_cycles
+                    .record((now.saturating_sub(req.issued_at)) as f64);
             }
         }
     }
@@ -316,11 +362,21 @@ mod tests {
     use smarco_isa::MemRef;
 
     fn req(ids: &mut RequestIdAllocator, addr: u64, bytes: u8, write: bool) -> MemRequest {
-        MemRequest { id: ids.next_id(), core: 0, mem: MemRef::new(addr, bytes), is_write: write, issued_at: 0 }
+        MemRequest {
+            id: ids.next_id(),
+            core: 0,
+            mem: MemRef::new(addr, bytes),
+            is_write: write,
+            issued_at: 0,
+        }
     }
 
     fn mact(threshold: Cycle) -> Mact {
-        Mact::new(MactConfig { lines: 4, line_bytes: 64, threshold })
+        Mact::new(MactConfig {
+            lines: 4,
+            line_bytes: 64,
+            threshold,
+        })
     }
 
     #[test]
@@ -328,7 +384,10 @@ mod tests {
         let mut m = mact(10);
         let mut ids = RequestIdAllocator::new();
         for i in 0..4 {
-            assert_eq!(m.offer(req(&mut ids, i * 8, 8, false), 0), MactOutcome::Collected);
+            assert_eq!(
+                m.offer(req(&mut ids, i * 8, 8, false), 0),
+                MactOutcome::Collected
+            );
         }
         assert_eq!(m.open_lines(), 1);
         let batches = m.tick(10);
@@ -451,6 +510,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one line")]
     fn zero_lines_rejected() {
-        let _ = Mact::new(MactConfig { lines: 0, ..MactConfig::default() });
+        let _ = Mact::new(MactConfig {
+            lines: 0,
+            ..MactConfig::default()
+        });
     }
 }

@@ -75,7 +75,11 @@ impl AddressSpace {
     pub fn new(cores: usize, channels: usize) -> Self {
         assert!(cores > 0, "need at least one core");
         assert!(channels > 0, "need at least one DDR channel");
-        Self { cores, channels, interleave: 4096 }
+        Self {
+            cores,
+            channels,
+            interleave: 4096,
+        }
     }
 
     /// Number of cores.
@@ -101,7 +105,9 @@ impl AddressSpace {
     /// Classifies an address.
     pub fn classify(&self, addr: u64) -> Region {
         if addr < DRAM_BYTES {
-            return Region::Dram { channel: ((addr / self.interleave) % self.channels as u64) as usize };
+            return Region::Dram {
+                channel: ((addr / self.interleave) % self.channels as u64) as usize,
+            };
         }
         if addr >= SPM_BASE {
             let rel = addr - SPM_BASE;
@@ -112,7 +118,10 @@ impl AddressSpace {
                 return if offset < data_bytes {
                     Region::Spm { core, offset }
                 } else {
-                    Region::SpmCtrl { core, offset: offset - data_bytes }
+                    Region::SpmCtrl {
+                        core,
+                        offset: offset - data_bytes,
+                    }
                 };
             }
         }
@@ -121,7 +130,10 @@ impl AddressSpace {
 
     /// Whether `addr` is scratchpad space (data or control) of any core.
     pub fn is_spm(&self, addr: u64) -> bool {
-        matches!(self.classify(addr), Region::Spm { .. } | Region::SpmCtrl { .. })
+        matches!(
+            self.classify(addr),
+            Region::Spm { .. } | Region::SpmCtrl { .. }
+        )
     }
 
     /// DDR channel owning a DRAM address.
@@ -155,7 +167,13 @@ mod tests {
         let a = AddressSpace::new(8, 4);
         let base = a.spm_base(3);
         assert_eq!(a.classify(base), Region::Spm { core: 3, offset: 0 });
-        assert_eq!(a.classify(base + 100), Region::Spm { core: 3, offset: 100 });
+        assert_eq!(
+            a.classify(base + 100),
+            Region::Spm {
+                core: 3,
+                offset: 100
+            }
+        );
         assert!(a.is_spm(base));
         assert!(!a.is_spm(0x1000));
     }
@@ -165,10 +183,22 @@ mod tests {
         let a = AddressSpace::new(2, 1);
         let base = a.spm_base(1);
         let ctrl_start = base + SPM_BYTES - SPM_CTRL_BYTES;
-        assert_eq!(a.classify(ctrl_start), Region::SpmCtrl { core: 1, offset: 0 });
-        assert_eq!(a.classify(ctrl_start + 255), Region::SpmCtrl { core: 1, offset: 255 });
+        assert_eq!(
+            a.classify(ctrl_start),
+            Region::SpmCtrl { core: 1, offset: 0 }
+        );
+        assert_eq!(
+            a.classify(ctrl_start + 255),
+            Region::SpmCtrl {
+                core: 1,
+                offset: 255
+            }
+        );
         // One byte below control space is still data.
-        assert!(matches!(a.classify(ctrl_start - 1), Region::Spm { core: 1, .. }));
+        assert!(matches!(
+            a.classify(ctrl_start - 1),
+            Region::Spm { core: 1, .. }
+        ));
     }
 
     #[test]
@@ -186,7 +216,10 @@ mod tests {
         assert_eq!(a.channels(), 4);
         // Every core's SPM window classifies back to that core.
         for core in [0usize, 17, 255] {
-            assert_eq!(a.classify(a.spm_base(core)), Region::Spm { core, offset: 0 });
+            assert_eq!(
+                a.classify(a.spm_base(core)),
+                Region::Spm { core, offset: 0 }
+            );
         }
     }
 

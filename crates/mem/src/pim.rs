@@ -30,7 +30,11 @@ impl PimConfig {
     /// SmarCo-attached defaults: internal scanning at 4× the channel IO
     /// rate (22.75 B/cy IO → 91 B/cy internal row bandwidth).
     pub fn smarco() -> Self {
-        Self { channels: 4, scan_bytes_per_cycle: 91.0, command_overhead: 60 }
+        Self {
+            channels: 4,
+            scan_bytes_per_cycle: 91.0,
+            command_overhead: 60,
+        }
     }
 }
 
@@ -71,10 +75,19 @@ impl<T> PimUnit<T> {
     /// Panics if `channels` is zero or the bandwidth is non-positive.
     pub fn new(config: PimConfig) -> Self {
         assert!(config.channels > 0, "need at least one channel");
-        assert!(config.scan_bytes_per_cycle > 0.0, "scan bandwidth must be positive");
+        assert!(
+            config.scan_bytes_per_cycle > 0.0,
+            "scan bandwidth must be positive"
+        );
         Self {
             config,
-            channels: vec![ScanChannel { busy_until: 0, bytes_scanned: 0 }; config.channels],
+            channels: vec![
+                ScanChannel {
+                    busy_until: 0,
+                    bytes_scanned: 0
+                };
+                config.channels
+            ],
             completions: EventWheel::new(),
             commands: Counter::new(),
         }
@@ -93,7 +106,10 @@ impl<T> PimUnit<T> {
     ///
     /// Panics if `channel` is out of range or `bytes` is zero.
     pub fn submit(&mut self, channel: usize, bytes: u64, now: Cycle, payload: T) {
-        assert!(channel < self.channels.len(), "channel {channel} out of range");
+        assert!(
+            channel < self.channels.len(),
+            "channel {channel} out of range"
+        );
         assert!(bytes > 0, "zero-byte scan");
         let scan = (bytes as f64 / self.config.scan_bytes_per_cycle).ceil() as Cycle;
         let ch = &mut self.channels[channel];
@@ -146,7 +162,11 @@ mod tests {
     use super::*;
 
     fn pim() -> PimUnit<u32> {
-        PimUnit::new(PimConfig { channels: 2, scan_bytes_per_cycle: 64.0, command_overhead: 10 })
+        PimUnit::new(PimConfig {
+            channels: 2,
+            scan_bytes_per_cycle: 64.0,
+            command_overhead: 10,
+        })
     }
 
     #[test]

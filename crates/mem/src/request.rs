@@ -81,7 +81,10 @@ mod tests {
             is_write: false,
             issued_at: 0,
         };
-        let rt = MemRequest { mem: MemRef::realtime(64, 4), ..normal };
+        let rt = MemRequest {
+            mem: MemRef::realtime(64, 4),
+            ..normal
+        };
         assert!(normal.mact_eligible());
         assert!(!rt.mact_eligible());
     }

@@ -53,7 +53,10 @@ impl Spm {
     /// the control window).
     pub fn new() -> Self {
         let blocks = (Self::data_bytes() / SPM_BLOCK_BYTES) as usize;
-        Self { resident: vec![false; blocks], stats: SpmStats::default() }
+        Self {
+            resident: vec![false; blocks],
+            stats: SpmStats::default(),
+        }
     }
 
     /// Usable data capacity in bytes.
@@ -80,7 +83,10 @@ impl Spm {
     /// Panics if the access overruns the data region or `bytes` is zero.
     pub fn access(&mut self, offset: u64, bytes: u64) -> bool {
         assert!(bytes > 0, "zero-length SPM access");
-        assert!(offset + bytes <= Self::data_bytes(), "SPM access out of bounds");
+        assert!(
+            offset + bytes <= Self::data_bytes(),
+            "SPM access out of bounds"
+        );
         let (first, last) = Self::block_range(offset, bytes);
         let hit = self.resident[first..=last].iter().all(|&r| r);
         self.stats.accesses.record(hit);
@@ -90,7 +96,10 @@ impl Spm {
     /// Residency check without recording statistics.
     pub fn is_resident(&self, offset: u64, bytes: u64) -> bool {
         assert!(bytes > 0, "zero-length SPM probe");
-        assert!(offset + bytes <= Self::data_bytes(), "SPM probe out of bounds");
+        assert!(
+            offset + bytes <= Self::data_bytes(),
+            "SPM probe out of bounds"
+        );
         let (first, last) = Self::block_range(offset, bytes);
         self.resident[first..=last].iter().all(|&r| r)
     }
@@ -103,7 +112,10 @@ impl Spm {
     /// Panics if the range overruns the data region or `bytes` is zero.
     pub fn make_resident(&mut self, offset: u64, bytes: u64) {
         assert!(bytes > 0, "zero-length SPM fill");
-        assert!(offset + bytes <= Self::data_bytes(), "SPM fill out of bounds");
+        assert!(
+            offset + bytes <= Self::data_bytes(),
+            "SPM fill out of bounds"
+        );
         let (first, last) = Self::block_range(offset, bytes);
         for b in &mut self.resident[first..=last] {
             *b = true;
@@ -119,7 +131,10 @@ impl Spm {
     /// Panics if the range overruns the data region or `bytes` is zero.
     pub fn evict(&mut self, offset: u64, bytes: u64) {
         assert!(bytes > 0, "zero-length SPM evict");
-        assert!(offset + bytes <= Self::data_bytes(), "SPM evict out of bounds");
+        assert!(
+            offset + bytes <= Self::data_bytes(),
+            "SPM evict out of bounds"
+        );
         let (first, last) = Self::block_range(offset, bytes);
         for b in &mut self.resident[first..=last] {
             *b = false;

@@ -26,7 +26,11 @@ pub struct DirectPathConfig {
 impl DirectPathConfig {
     /// SmarCo defaults: 16 spokes, 8-cycle traversal, 8 B/cycle each.
     pub fn smarco() -> Self {
-        Self { subrings: 16, latency: 8, bytes_per_cycle: 8.0 }
+        Self {
+            subrings: 16,
+            latency: 8,
+            bytes_per_cycle: 8.0,
+        }
     }
 }
 
@@ -74,7 +78,11 @@ impl<T> DirectPath<T> {
         Self {
             config,
             spokes: (0..config.subrings)
-                .map(|_| Spoke { queue: VecDeque::new(), credit: 0.0, wheel: EventWheel::new() })
+                .map(|_| Spoke {
+                    queue: VecDeque::new(),
+                    credit: 0.0,
+                    wheel: EventWheel::new(),
+                })
                 .collect(),
             sent: 0,
         }
@@ -129,7 +137,9 @@ impl<T> DirectPath<T> {
 
     /// Whether all spokes are idle.
     pub fn is_idle(&self) -> bool {
-        self.spokes.iter().all(|s| s.queue.is_empty() && s.wheel.is_empty())
+        self.spokes
+            .iter()
+            .all(|s| s.queue.is_empty() && s.wheel.is_empty())
     }
 }
 
@@ -138,7 +148,11 @@ mod tests {
     use super::*;
 
     fn dp() -> DirectPath<u32> {
-        DirectPath::new(DirectPathConfig { subrings: 2, latency: 4, bytes_per_cycle: 8.0 })
+        DirectPath::new(DirectPathConfig {
+            subrings: 2,
+            latency: 4,
+            bytes_per_cycle: 8.0,
+        })
     }
 
     #[test]

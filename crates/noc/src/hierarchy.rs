@@ -10,6 +10,7 @@
 use std::collections::HashMap;
 
 use smarco_sim::event::EventWheel;
+use smarco_sim::obs::{EventKind, TraceBuffer, TraceSink, Track};
 use smarco_sim::stats::{Histogram, MeanTracker};
 use smarco_sim::Cycle;
 
@@ -72,13 +73,19 @@ impl NocConfig {
     /// Panics on zero counts, invalid link configs, or a controller count
     /// that does not divide the sub-ring count (needed for equal spacing).
     pub fn validate(&self) {
-        assert!(self.subrings > 0 && self.cores_per_subring > 0, "zero topology");
+        assert!(
+            self.subrings > 0 && self.cores_per_subring > 0,
+            "zero topology"
+        );
         assert!(self.mem_ctrls > 0, "need at least one memory controller");
         assert!(
-            self.subrings % self.mem_ctrls == 0,
+            self.subrings.is_multiple_of(self.mem_ctrls),
             "controllers must divide sub-rings for equal spacing"
         );
-        assert!(self.junction_latency > 0, "junction latency must be positive");
+        assert!(
+            self.junction_latency > 0,
+            "junction latency must be positive"
+        );
         self.main_link.validate();
         self.sub_link.validate();
     }
@@ -135,6 +142,9 @@ pub struct HierarchicalRing<P> {
     bridge_to_main: EventWheel<Packet<P>>,
     bridge_to_sub: EventWheel<Packet<P>>,
     stats: NocStats,
+    /// Staged ring-traversal events when tracing is enabled.
+    trace_main: Option<TraceBuffer>,
+    trace_subs: Option<Vec<TraceBuffer>>,
 }
 
 impl<P> HierarchicalRing<P> {
@@ -146,8 +156,9 @@ impl<P> HierarchicalRing<P> {
     pub fn new(config: NocConfig) -> Self {
         config.validate();
         let sub_positions = config.cores_per_subring + 1; // cores + junction
-        let subrings =
-            (0..config.subrings).map(|_| Ring::new(sub_positions, config.sub_link)).collect();
+        let subrings = (0..config.subrings)
+            .map(|_| Ring::new(sub_positions, config.sub_link))
+            .collect();
         // Main-ring layout: junctions in order, a memory controller after
         // every `subrings / mem_ctrls` junctions, then scheduler and host.
         let mut main_pos = HashMap::new();
@@ -155,8 +166,8 @@ impl<P> HierarchicalRing<P> {
         let group = config.subrings / config.mem_ctrls;
         let mut pos = 0usize;
         let mut mc = 0usize;
-        for sr in 0..config.subrings {
-            junction_main_pos[sr] = pos;
+        for (sr, jpos) in junction_main_pos.iter_mut().enumerate() {
+            *jpos = pos;
             pos += 1;
             if (sr + 1) % group == 0 {
                 main_pos.insert(NodeId::MemCtrl(mc), pos);
@@ -178,7 +189,49 @@ impl<P> HierarchicalRing<P> {
             bridge_to_main: EventWheel::new(),
             bridge_to_sub: EventWheel::new(),
             stats: NocStats::default(),
+            trace_main: None,
+            trace_subs: None,
         }
+    }
+
+    /// Turns event tracing on: each ring reports completed traversals on
+    /// its own track ([`Track::MainRing`] / [`Track::SubRing`]).
+    pub fn enable_trace(&mut self) {
+        self.trace_main = Some(TraceBuffer::new(Track::MainRing));
+        self.trace_subs = Some(
+            (0..self.config.subrings)
+                .map(|i| TraceBuffer::new(Track::SubRing(i)))
+                .collect(),
+        );
+    }
+
+    /// Moves staged ring events into `sink` (no-op when tracing is off).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(buf) = self.trace_main.as_mut() {
+            buf.drain_into(sink);
+        }
+        if let Some(bufs) = self.trace_subs.as_mut() {
+            for b in bufs {
+                b.drain_into(sink);
+            }
+        }
+    }
+
+    /// Cumulative `(payload, offered)` bytes over the main ring's channels.
+    pub fn main_payload_offered(&self) -> (u64, u64) {
+        self.main.payload_offered_bytes()
+    }
+
+    /// Cumulative `(payload, offered)` bytes summed over all sub-ring
+    /// channels.
+    pub fn sub_payload_offered(&self) -> (u64, u64) {
+        let mut acc = (0u64, 0u64);
+        for r in &self.subrings {
+            let (p, o) = r.payload_offered_bytes();
+            acc.0 += p;
+            acc.1 += o;
+        }
+        acc
     }
 
     /// Topology parameters.
@@ -198,7 +251,10 @@ impl<P> HierarchicalRing<P> {
     /// Panics if the core id is out of range.
     pub fn core_location(&self, core: usize) -> (usize, usize) {
         assert!(core < self.config.cores(), "core {core} out of range");
-        (core / self.config.cores_per_subring, core % self.config.cores_per_subring)
+        (
+            core / self.config.cores_per_subring,
+            core % self.config.cores_per_subring,
+        )
     }
 
     fn main_exit_for(&self, dst: NodeId) -> usize {
@@ -254,7 +310,8 @@ impl<P> HierarchicalRing<P> {
                     // (impossible: src != dst) or… exit == pos can only
                     // happen for distinct cores at same pos, which cannot
                     // occur; treat as bridge-from-junction anyway.
-                    self.bridge_to_main.schedule(now + self.config.junction_latency, p);
+                    self.bridge_to_main
+                        .schedule(now + self.config.junction_latency, p);
                 }
                 None
             }
@@ -294,7 +351,8 @@ impl<P> HierarchicalRing<P> {
                     // Destination shares the position only when it *is* the
                     // destination junction: bridge down.
                     if matches!(p.dst, NodeId::Core(_)) {
-                        self.bridge_to_sub.schedule(now + self.config.junction_latency, p);
+                        self.bridge_to_sub
+                            .schedule(now + self.config.junction_latency, p);
                         return None;
                     }
                     return Some(self.deliver(p, now));
@@ -318,7 +376,8 @@ impl<P> HierarchicalRing<P> {
             let exit = self.main_exit_for(pkt.dst);
             if let Some(p) = self.main.inject(at, exit, pkt) {
                 if matches!(p.dst, NodeId::Core(_)) {
-                    self.bridge_to_sub.schedule(now + self.config.junction_latency, p);
+                    self.bridge_to_sub
+                        .schedule(now + self.config.junction_latency, p);
                 } else {
                     out.push(self.deliver(p, now));
                 }
@@ -336,14 +395,24 @@ impl<P> HierarchicalRing<P> {
         }
         // Sub-rings.
         for sr in 0..self.subrings.len() {
-            for (pos, _hops, pkt) in self.subrings[sr].tick(now) {
+            for (pos, hops, pkt) in self.subrings[sr].tick(now) {
+                if let Some(bufs) = self.trace_subs.as_mut() {
+                    bufs[sr].emit(
+                        now,
+                        EventKind::RingHop {
+                            hops: u64::from(hops),
+                            bytes: u64::from(pkt.bytes),
+                        },
+                    );
+                }
                 if pos == self.config.cores_per_subring {
                     if pkt.dst == NodeId::Junction(sr) {
                         // Addressed to this junction's own structures.
                         out.push(self.deliver(pkt, now));
                     } else {
                         // Climb to the main ring.
-                        self.bridge_to_main.schedule(now + self.config.junction_latency, pkt);
+                        self.bridge_to_main
+                            .schedule(now + self.config.junction_latency, pkt);
                     }
                 } else {
                     out.push(self.deliver(pkt, now));
@@ -352,10 +421,20 @@ impl<P> HierarchicalRing<P> {
         }
         // Main ring.
         let mut main_deliveries = self.main.tick(now);
-        for (pos, _hops, pkt) in main_deliveries.drain(..) {
+        for (pos, hops, pkt) in main_deliveries.drain(..) {
+            if let Some(buf) = self.trace_main.as_mut() {
+                buf.emit(
+                    now,
+                    EventKind::RingHop {
+                        hops: u64::from(hops),
+                        bytes: u64::from(pkt.bytes),
+                    },
+                );
+            }
             if matches!(pkt.dst, NodeId::Core(_)) {
                 debug_assert!(self.junction_main_pos.contains(&pos));
-                self.bridge_to_sub.schedule(now + self.config.junction_latency, pkt);
+                self.bridge_to_sub
+                    .schedule(now + self.config.junction_latency, pkt);
             } else {
                 out.push(self.deliver(pkt, now));
             }
@@ -407,13 +486,19 @@ mod tests {
     #[test]
     fn core_to_memory_and_back() {
         let mut noc: HierarchicalRing<u32> = HierarchicalRing::new(NocConfig::tiny());
-        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, 42), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, 42),
+            0,
+        );
         let d = run(&mut noc, 200);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].1.payload, 42);
         let t = d[0].0;
         // Reply path.
-        noc.inject(Packet::new(2, NodeId::MemCtrl(0), NodeId::Core(0), 64, t, 43), t);
+        noc.inject(
+            Packet::new(2, NodeId::MemCtrl(0), NodeId::Core(0), 64, t, 43),
+            t,
+        );
         let d2 = run(&mut noc, 400);
         assert_eq!(d2.len(), 1);
         assert_eq!(d2[0].1.dst, NodeId::Core(0));
@@ -423,7 +508,10 @@ mod tests {
     #[test]
     fn same_subring_core_to_core_stays_local() {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
-        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::Core(3), 8, 0, ()), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Core(0), NodeId::Core(3), 8, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 50);
         assert_eq!(d.len(), 1);
         // Local traffic should be fast: a handful of cycles.
@@ -434,7 +522,10 @@ mod tests {
     fn cross_subring_core_to_core() {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
         let last = noc.config().cores() - 1;
-        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::Core(last), 8, 0, ()), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Core(0), NodeId::Core(last), 8, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 300);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].1.dst, NodeId::Core(last));
@@ -444,8 +535,14 @@ mod tests {
     fn host_and_scheduler_reachable() {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
         noc.inject(Packet::new(1, NodeId::Core(5), NodeId::Host, 4, 0, ()), 0);
-        noc.inject(Packet::new(2, NodeId::Host, NodeId::MainScheduler, 4, 0, ()), 0);
-        noc.inject(Packet::new(3, NodeId::MainScheduler, NodeId::Core(7), 4, 0, ()), 0);
+        noc.inject(
+            Packet::new(2, NodeId::Host, NodeId::MainScheduler, 4, 0, ()),
+            0,
+        );
+        noc.inject(
+            Packet::new(3, NodeId::MainScheduler, NodeId::Core(7), 4, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 300);
         assert_eq!(d.len(), 3);
     }
@@ -480,8 +577,14 @@ mod tests {
     #[test]
     fn full_smarco_topology_builds_and_routes() {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::smarco());
-        noc.inject(Packet::new(1, NodeId::Core(255), NodeId::MemCtrl(3), 8, 0, ()), 0);
-        noc.inject(Packet::new(2, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, ()), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Core(255), NodeId::MemCtrl(3), 8, 0, ()),
+            0,
+        );
+        noc.inject(
+            Packet::new(2, NodeId::Core(0), NodeId::MemCtrl(0), 8, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 500);
         assert_eq!(d.len(), 2);
     }
@@ -506,7 +609,10 @@ mod tests {
     fn junction_receives_from_local_cores() {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
         // Core 1 lives on sub-ring 0; its junction is addressable.
-        noc.inject(Packet::new(1, NodeId::Core(1), NodeId::Junction(0), 4, 0, ()), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Core(1), NodeId::Junction(0), 4, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 50);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].1.dst, NodeId::Junction(0));
@@ -517,12 +623,21 @@ mod tests {
     fn junction_sources_packets_both_ways() {
         let mut noc: HierarchicalRing<u8> = HierarchicalRing::new(NocConfig::tiny());
         // Down into its own sub-ring…
-        noc.inject(Packet::new(1, NodeId::Junction(0), NodeId::Core(2), 8, 0, 1), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Junction(0), NodeId::Core(2), 8, 0, 1),
+            0,
+        );
         // …and out over the main ring to a memory controller.
-        noc.inject(Packet::new(2, NodeId::Junction(1), NodeId::MemCtrl(0), 8, 0, 2), 0);
+        noc.inject(
+            Packet::new(2, NodeId::Junction(1), NodeId::MemCtrl(0), 8, 0, 2),
+            0,
+        );
         // …and to a core in ANOTHER sub-ring (main ring + bridge down).
         let far = noc.config().cores() - 1;
-        noc.inject(Packet::new(3, NodeId::Junction(0), NodeId::Core(far), 8, 0, 3), 0);
+        noc.inject(
+            Packet::new(3, NodeId::Junction(0), NodeId::Core(far), 8, 0, 3),
+            0,
+        );
         let d = run(&mut noc, 300);
         let mut got: Vec<u8> = d.iter().map(|(_, p)| p.payload).collect();
         got.sort_unstable();
@@ -533,7 +648,10 @@ mod tests {
     #[test]
     fn mem_ctrl_reaches_junction() {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
-        noc.inject(Packet::new(1, NodeId::MemCtrl(1), NodeId::Junction(3), 64, 0, ()), 0);
+        noc.inject(
+            Packet::new(1, NodeId::MemCtrl(1), NodeId::Junction(3), 64, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 200);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].1.dst, NodeId::Junction(3));
@@ -544,7 +662,10 @@ mod tests {
         let mut noc: HierarchicalRing<()> = HierarchicalRing::new(NocConfig::tiny());
         // Core on sub-ring 0 to the junction of sub-ring 2: must climb,
         // cross the main ring, and terminate at the remote junction.
-        noc.inject(Packet::new(1, NodeId::Core(0), NodeId::Junction(2), 4, 0, ()), 0);
+        noc.inject(
+            Packet::new(1, NodeId::Core(0), NodeId::Junction(2), 4, 0, ()),
+            0,
+        );
         let d = run(&mut noc, 300);
         assert_eq!(d.len(), 1);
         assert!(d[0].0 > 5, "remote junction cannot be instant");

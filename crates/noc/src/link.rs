@@ -47,13 +47,25 @@ impl LinkConfig {
     /// direction plus two bidirectional; 512-bit total. High-density slices
     /// default to 2 bytes (the best point in Fig. 18).
     pub fn main_ring() -> Self {
-        Self { lanes_fixed_per_dir: 3, lanes_bidir: 2, lane_bytes: 8, slice_bytes: Some(2), hop_latency: 1 }
+        Self {
+            lanes_fixed_per_dir: 3,
+            lanes_bidir: 2,
+            lane_bytes: 8,
+            slice_bytes: Some(2),
+            hop_latency: 1,
+        }
     }
 
     /// Sub-ring (§3.3): four 64-bit datapaths — one fixed per direction
     /// plus two bidirectional; 256-bit total.
     pub fn sub_ring() -> Self {
-        Self { lanes_fixed_per_dir: 1, lanes_bidir: 2, lane_bytes: 8, slice_bytes: Some(2), hop_latency: 1 }
+        Self {
+            lanes_fixed_per_dir: 1,
+            lanes_bidir: 2,
+            lane_bytes: 8,
+            slice_bytes: Some(2),
+            hop_latency: 1,
+        }
     }
 
     /// Same geometry with conventional (unsliced) links, the Fig. 18/20
@@ -93,7 +105,10 @@ impl LinkConfig {
     /// Panics on zero lanes/width or a slice wider than the guaranteed
     /// capacity.
     pub fn validate(&self) {
-        assert!(self.lanes_fixed_per_dir > 0, "need at least one fixed lane per direction");
+        assert!(
+            self.lanes_fixed_per_dir > 0,
+            "need at least one fixed lane per direction"
+        );
         assert!(self.lane_bytes > 0, "lanes must be at least one byte wide");
         assert!(self.hop_latency > 0, "hop latency must be positive");
         if let Some(s) = self.slice_bytes {
@@ -157,7 +172,12 @@ impl<T: Transmittable> Default for DirectedLink<T> {
 impl<T: Transmittable> DirectedLink<T> {
     /// Creates an empty link direction.
     pub fn new() -> Self {
-        Self { queue: VecDeque::new(), head_sent: 0, wire: EventWheel::new(), stats: LinkStats::default() }
+        Self {
+            queue: VecDeque::new(),
+            head_sent: 0,
+            wire: EventWheel::new(),
+            stats: LinkStats::default(),
+        }
     }
 
     /// Queues an item for transmission. Real-time items are inserted ahead
@@ -282,7 +302,11 @@ impl<T: Transmittable> Channel<T> {
     /// Panics if the config is invalid (see [`LinkConfig::validate`]).
     pub fn new(config: LinkConfig) -> Self {
         config.validate();
-        Self { config, fwd: DirectedLink::new(), rev: DirectedLink::new() }
+        Self {
+            config,
+            fwd: DirectedLink::new(),
+            rev: DirectedLink::new(),
+        }
     }
 
     /// Geometry.
@@ -355,7 +379,11 @@ mod tests {
     }
 
     fn pkt(id: u32, bytes: u32) -> Pkt {
-        Pkt { id, bytes, rt: false }
+        Pkt {
+            id,
+            bytes,
+            rt: false,
+        }
     }
 
     #[test]
@@ -368,7 +396,10 @@ mod tests {
         for now in 0..4 {
             l.transmit(32, None, 1, now);
         }
-        let delivered: Vec<u32> = (1..=4).flat_map(|now| l.arrivals(now)).map(|p| p.id).collect();
+        let delivered: Vec<u32> = (1..=4)
+            .flat_map(|now| l.arrivals(now))
+            .map(|p| p.id)
+            .collect();
         assert_eq!(delivered, vec![0, 1, 2, 3]);
         let s = l.stats();
         assert_eq!(s.payload_bytes, 8);
@@ -430,7 +461,11 @@ mod tests {
         l.push(pkt(0, 64)); // will be mid-flight
         l.push(pkt(1, 2));
         l.transmit(32, Some(2), 1, 0); // head partially sent
-        l.push(Pkt { id: 2, bytes: 2, rt: true });
+        l.push(Pkt {
+            id: 2,
+            bytes: 2,
+            rt: true,
+        });
         // rt packet should sit right after the in-progress head.
         let mut order = Vec::new();
         for now in 1..6 {
@@ -499,8 +534,14 @@ mod tests {
         assert_eq!(sub.max_capacity(), 24);
         assert_eq!(sub.min_capacity(), 8);
         // Totals across both directions: 512-bit main, 256-bit sub.
-        assert_eq!((main.lanes_fixed_per_dir * 2 + main.lanes_bidir) as u32 * main.lane_bytes * 8, 512);
-        assert_eq!((sub.lanes_fixed_per_dir * 2 + sub.lanes_bidir) as u32 * sub.lane_bytes * 8, 256);
+        assert_eq!(
+            (main.lanes_fixed_per_dir * 2 + main.lanes_bidir) as u32 * main.lane_bytes * 8,
+            512
+        );
+        assert_eq!(
+            (sub.lanes_fixed_per_dir * 2 + sub.lanes_bidir) as u32 * sub.lane_bytes * 8,
+            256
+        );
     }
 
     #[test]

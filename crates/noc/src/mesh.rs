@@ -150,7 +150,15 @@ impl<T: Transmittable> Mesh<T> {
         assert!(dst.0 < self.w && dst.1 < self.h, "dst out of range");
         assert!(bytes > 0, "zero-byte packet");
         let _ = bytes; // size comes from Transmittable
-        self.route(src, MeshItem { dst, injected_at: now, item }, now)
+        self.route(
+            src,
+            MeshItem {
+                dst,
+                injected_at: now,
+                item,
+            },
+            now,
+        )
     }
 
     /// Advances one cycle; returns `(dst, item)` for deliveries.

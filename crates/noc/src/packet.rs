@@ -49,9 +49,24 @@ impl<P> Packet<P> {
     /// # Panics
     ///
     /// Panics if `bytes` is zero.
-    pub fn new(id: u64, src: NodeId, dst: NodeId, bytes: u32, injected_at: Cycle, payload: P) -> Self {
+    pub fn new(
+        id: u64,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        injected_at: Cycle,
+        payload: P,
+    ) -> Self {
         assert!(bytes > 0, "packets must carry at least one byte");
-        Self { id, src, dst, bytes, realtime: false, injected_at, payload }
+        Self {
+            id,
+            src,
+            dst,
+            bytes,
+            realtime: false,
+            injected_at,
+            payload,
+        }
     }
 
     /// Marks the packet real-time.

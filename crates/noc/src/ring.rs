@@ -69,7 +69,11 @@ impl<T: Transmittable> Ring<T> {
     pub fn new(n: usize, link: LinkConfig) -> Self {
         assert!(n >= 2, "a ring needs at least two positions");
         link.validate();
-        Self { channels: (0..n).map(|_| Channel::new(link)).collect(), n, stats: RingStats::default() }
+        Self {
+            channels: (0..n).map(|_| Channel::new(link)).collect(),
+            n,
+            stats: RingStats::default(),
+        }
     }
 
     /// Number of positions.
@@ -147,7 +151,12 @@ impl<T: Transmittable> Ring<T> {
         } else {
             Dir::Ccw
         };
-        let wrapped = RingItem { exit, dir, hops: 0, item };
+        let wrapped = RingItem {
+            exit,
+            dir,
+            hops: 0,
+            item,
+        };
         self.push_out(at, wrapped);
         None
     }
@@ -196,8 +205,10 @@ impl<T: Transmittable> Ring<T> {
         self.channels.iter().all(|c| c.is_empty())
     }
 
-    /// Aggregated payload utilization across all channel directions.
-    pub fn payload_utilization(&self) -> f64 {
+    /// Cumulative `(payload, offered)` bytes summed over all channel
+    /// directions. Monotonic counters: the windowed-metrics recorder diffs
+    /// successive snapshots to get per-window utilization.
+    pub fn payload_offered_bytes(&self) -> (u64, u64) {
         let (mut payload, mut offered) = (0u64, 0u64);
         for ch in &self.channels {
             for s in [ch.fwd.stats(), ch.rev.stats()] {
@@ -205,6 +216,12 @@ impl<T: Transmittable> Ring<T> {
                 offered += s.offered_bytes;
             }
         }
+        (payload, offered)
+    }
+
+    /// Aggregated payload utilization across all channel directions.
+    pub fn payload_utilization(&self) -> f64 {
+        let (payload, offered) = self.payload_offered_bytes();
         if offered == 0 {
             0.0
         } else {

@@ -26,14 +26,27 @@ impl SizeMix {
     /// Panics if empty, any size is zero, or all weights are zero.
     pub fn new(sizes: Vec<(u32, f64)>) -> Self {
         assert!(!sizes.is_empty(), "size mix must not be empty");
-        assert!(sizes.iter().all(|&(b, w)| b > 0 && w >= 0.0), "bad size entry");
-        assert!(sizes.iter().map(|&(_, w)| w).sum::<f64>() > 0.0, "weights all zero");
+        assert!(
+            sizes.iter().all(|&(b, w)| b > 0 && w >= 0.0),
+            "bad size entry"
+        );
+        assert!(
+            sizes.iter().map(|&(_, w)| w).sum::<f64>() > 0.0,
+            "weights all zero"
+        );
         Self { sizes }
     }
 
     /// HTC-like: small packets dominate (Fig. 8 left).
     pub fn htc() -> Self {
-        Self::new(vec![(1, 0.25), (2, 0.3), (4, 0.2), (8, 0.15), (16, 0.06), (32, 0.04)])
+        Self::new(vec![
+            (1, 0.25),
+            (2, 0.3),
+            (4, 0.2),
+            (8, 0.15),
+            (16, 0.06),
+            (32, 0.04),
+        ])
     }
 
     /// Conventional/SPLASH2-like: larger transfers (Fig. 8 right).
@@ -50,7 +63,10 @@ impl SizeMix {
     /// Weighted mean size in bytes.
     pub fn mean_bytes(&self) -> f64 {
         let total: f64 = self.sizes.iter().map(|&(_, w)| w).sum();
-        self.sizes.iter().map(|&(b, w)| f64::from(b) * w / total).sum()
+        self.sizes
+            .iter()
+            .map(|&(b, w)| f64::from(b) * w / total)
+            .sum()
     }
 }
 
@@ -117,7 +133,10 @@ impl Testbench {
     ///
     /// Panics if the injection rate is outside `[0, 1]`.
     pub fn new(noc_config: NocConfig, traffic: TrafficConfig, seed: u64) -> Self {
-        assert!((0.0..=8.0).contains(&traffic.rate), "rate must be in [0, 8]");
+        assert!(
+            (0.0..=8.0).contains(&traffic.rate),
+            "rate must be in [0, 8]"
+        );
         Self {
             noc: HierarchicalRing::new(noc_config),
             traffic,
@@ -168,9 +187,10 @@ impl Testbench {
                     let id = self.next_id;
                     self.next_id += 1;
                     self.injected += 1;
-                    let _ = self
-                        .noc
-                        .inject(Packet::new(id, NodeId::Core(core), dst, bytes, now, ()), now);
+                    let _ = self.noc.inject(
+                        Packet::new(id, NodeId::Core(core), dst, bytes, now, ()),
+                        now,
+                    );
                 }
             }
             let _ = self.noc.tick(now);
@@ -209,7 +229,11 @@ mod tests {
             Some(s) => LinkConfig::sub_ring().sliced(s),
             None => LinkConfig::sub_ring().conventional(),
         };
-        let traffic = TrafficConfig { rate, pattern: Pattern::ToMemory, sizes: SizeMix::htc() };
+        let traffic = TrafficConfig {
+            rate,
+            pattern: Pattern::ToMemory,
+            sizes: SizeMix::htc(),
+        };
         Testbench::new(cfg, traffic, 7).run(2000, 4000)
     }
 
@@ -274,15 +298,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "rate must be in")]
     fn bad_rate_rejected() {
-        let traffic =
-            TrafficConfig { rate: 9.0, pattern: Pattern::ToMemory, sizes: SizeMix::htc() };
+        let traffic = TrafficConfig {
+            rate: 9.0,
+            pattern: Pattern::ToMemory,
+            sizes: SizeMix::htc(),
+        };
         let _ = Testbench::new(NocConfig::tiny(), traffic, 0);
     }
 
     #[test]
     fn rates_above_one_inject_multiple_per_core() {
-        let traffic =
-            TrafficConfig { rate: 2.0, pattern: Pattern::ToMemory, sizes: SizeMix::htc() };
+        let traffic = TrafficConfig {
+            rate: 2.0,
+            pattern: Pattern::ToMemory,
+            sizes: SizeMix::htc(),
+        };
         let mut tb = Testbench::new(NocConfig::tiny(), traffic, 5);
         let r = tb.run(200, 0);
         // 16 cores × 2 pkts/cycle × 200 cycles.

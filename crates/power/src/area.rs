@@ -4,8 +4,8 @@
 //! 1.5 GHz; everything else (other nodes, clocks, geometries) derives
 //! from them through the models' structure.
 
-use smarco_core::config::SmarcoConfig;
 use smarco_baseline::XeonConfig;
+use smarco_core::config::SmarcoConfig;
 
 use crate::tech::TechNode;
 
@@ -55,7 +55,10 @@ impl ComponentEstimate {
         let power = power32
             * (DYNAMIC_FRACTION * node.dynamic_scale() * (freq_ghz / CAL_FREQ_GHZ)
                 + (1.0 - DYNAMIC_FRACTION) * node.static_scale());
-        Self { area_mm2: area32 * node.area_scale(), power_w: power }
+        Self {
+            area_mm2: area32 * node.area_scale(),
+            power_w: power,
+        }
     }
 }
 
@@ -79,13 +82,20 @@ impl ChipEstimate {
 
     /// Looks up a component by name.
     pub fn component(&self, name: &str) -> Option<ComponentEstimate> {
-        self.components.iter().find(|(n, _)| *n == name).map(|(_, c)| *c)
+        self.components
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, c)| *c)
     }
 }
 
 impl std::fmt::Display for ChipEstimate {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<16} {:>10} {:>10}", "Component", "Area(mm2)", "Power(W)")?;
+        writeln!(
+            f,
+            "{:<16} {:>10} {:>10}",
+            "Component", "Area(mm2)", "Power(W)"
+        )?;
         for (name, c) in &self.components {
             writeln!(f, "{:<16} {:>10.2} {:>10.2}", name, c.area_mm2, c.power_w)?;
         }
@@ -128,8 +138,7 @@ pub fn estimate_smarco(cfg: &SmarcoConfig, node: TechNode) -> ChipEstimate {
     let sub_width = (cfg.noc.sub_link.lanes_fixed_per_dir * 2 + cfg.noc.sub_link.lanes_bidir)
         as f64
         * cfg.noc.sub_link.lane_bytes as f64;
-    let main_routers =
-        (cfg.noc.subrings + cfg.noc.mem_ctrls + 2) as f64;
+    let main_routers = (cfg.noc.subrings + cfg.noc.mem_ctrls + 2) as f64;
     let main_width = (cfg.noc.main_link.lanes_fixed_per_dir * 2 + cfg.noc.main_link.lanes_bidir)
         as f64
         * cfg.noc.main_link.lane_bytes as f64;
@@ -141,8 +150,7 @@ pub fn estimate_smarco(cfg: &SmarcoConfig, node: TechNode) -> ChipEstimate {
     let mact_area = MACT_AREA_PER_LINE * mact_lines;
     let mact_power = MACT_POWER_PER_LINE * mact_lines;
 
-    let sram_mib = cores
-        * (cfg.tcg.l1i.size_bytes + cfg.tcg.l1d.size_bytes + (128 << 10)) as f64
+    let sram_mib = cores * (cfg.tcg.l1i.size_bytes + cfg.tcg.l1d.size_bytes + (128 << 10)) as f64
         / (1024.0 * 1024.0);
     let sram_area = SRAM_AREA_PER_MIB * sram_mib;
     let sram_power = SRAM_POWER_PER_MIB * sram_mib;
@@ -153,11 +161,26 @@ pub fn estimate_smarco(cfg: &SmarcoConfig, node: TechNode) -> ChipEstimate {
 
     ChipEstimate {
         components: vec![
-            ("Cores", ComponentEstimate::scaled(core_area, core_power, node, f)),
-            ("Hierarchy Ring", ComponentEstimate::scaled(ring_area, ring_power, node, f)),
-            ("MACT", ComponentEstimate::scaled(mact_area, mact_power, node, f)),
-            ("SPM+Cache", ComponentEstimate::scaled(sram_area, sram_power, node, f)),
-            ("MC+PHY", ComponentEstimate::scaled(mc_area, mc_power, node, f)),
+            (
+                "Cores",
+                ComponentEstimate::scaled(core_area, core_power, node, f),
+            ),
+            (
+                "Hierarchy Ring",
+                ComponentEstimate::scaled(ring_area, ring_power, node, f),
+            ),
+            (
+                "MACT",
+                ComponentEstimate::scaled(mact_area, mact_power, node, f),
+            ),
+            (
+                "SPM+Cache",
+                ComponentEstimate::scaled(sram_area, sram_power, node, f),
+            ),
+            (
+                "MC+PHY",
+                ComponentEstimate::scaled(mc_area, mc_power, node, f),
+            ),
         ],
     }
 }
@@ -170,7 +193,10 @@ pub fn estimate_smarco(cfg: &SmarcoConfig, node: TechNode) -> ChipEstimate {
 pub fn estimate_xeon(cfg: &XeonConfig) -> ComponentEstimate {
     cfg.validate();
     let scale = cfg.cores as f64 / 24.0;
-    ComponentEstimate { area_mm2: 456.0 * scale, power_w: 165.0 * scale }
+    ComponentEstimate {
+        area_mm2: 456.0 * scale,
+        power_w: 165.0 * scale,
+    }
 }
 
 #[cfg(test)]
@@ -188,7 +214,9 @@ mod tests {
             ("MC+PHY", 12.92, 13.65),
         ];
         for (name, area, power) in expect {
-            let c = est.component(name).unwrap_or_else(|| panic!("missing {name}"));
+            let c = est
+                .component(name)
+                .unwrap_or_else(|| panic!("missing {name}"));
             assert!(
                 (c.area_mm2 - area).abs() / area < 0.01,
                 "{name} area {} vs {area}",

@@ -55,8 +55,7 @@ pub fn run_energy(report: &SmarcoReport, cfg: &SmarcoConfig, node: TechNode) -> 
     assert!(report.cycles > 0, "empty run");
     let est = estimate_smarco(cfg, node);
     let core_activity = report.ipc() / (cfg.noc.cores() as f64 * cfg.tcg.pairs as f64);
-    let ring_activity =
-        (report.main_ring_utilization + report.subring_utilization) / 2.0;
+    let ring_activity = (report.main_ring_utilization + report.subring_utilization) / 2.0;
     let mact_activity = if report.requests == 0 {
         0.0
     } else {
@@ -143,14 +142,22 @@ mod tests {
     #[test]
     fn energy_is_power_times_time() {
         let cfg = SmarcoConfig::smarco();
-        let e = run_energy(&smarco_report(1_500_000_000, 1_000_000), &cfg, TechNode::n32());
+        let e = run_energy(
+            &smarco_report(1_500_000_000, 1_000_000),
+            &cfg,
+            TechNode::n32(),
+        );
         assert!((e.seconds - 1.0).abs() < 1e-9);
         assert!((e.energy_j - e.avg_power_w).abs() < 1e-9);
     }
 
     #[test]
     fn xeon_energy_uses_tdp_and_idle_ratio() {
-        let mut r = BaselineReport { cycles: 2_200_000_000, instructions: 1_000_000, ..Default::default() };
+        let mut r = BaselineReport {
+            cycles: 2_200_000_000,
+            instructions: 1_000_000,
+            ..Default::default()
+        };
         r.issue_slots = 100;
         r.issue_used = 50;
         let e = xeon_run_energy(&r, &XeonConfig::e7_8890v4());
@@ -161,8 +168,18 @@ mod tests {
 
     #[test]
     fn efficiency_ratio_favors_faster_lower_power() {
-        let a = EnergyBreakdown { seconds: 1.0, avg_power_w: 100.0, energy_j: 100.0, ips: 1e9 };
-        let b = EnergyBreakdown { seconds: 1.0, avg_power_w: 200.0, energy_j: 200.0, ips: 0.5e9 };
+        let a = EnergyBreakdown {
+            seconds: 1.0,
+            avg_power_w: 100.0,
+            energy_j: 100.0,
+            ips: 1e9,
+        };
+        let b = EnergyBreakdown {
+            seconds: 1.0,
+            avg_power_w: 200.0,
+            energy_j: 200.0,
+            ips: 0.5e9,
+        };
         assert!((efficiency_ratio(&a, &b) - 4.0).abs() < 1e-12);
     }
 

@@ -113,8 +113,14 @@ impl MapReduceConfig {
     pub fn validate(&self, subrings: usize, resident_threads: usize) {
         assert!(!self.map_subrings.is_empty(), "need map sub-rings");
         assert!(!self.reduce_subrings.is_empty(), "need reduce sub-rings");
-        assert!(self.map_subrings.end <= subrings, "map sub-rings out of range");
-        assert!(self.reduce_subrings.end <= subrings, "reduce sub-rings out of range");
+        assert!(
+            self.map_subrings.end <= subrings,
+            "map sub-rings out of range"
+        );
+        assert!(
+            self.reduce_subrings.end <= subrings,
+            "reduce sub-rings out of range"
+        );
         assert!(
             self.map_subrings.end <= self.reduce_subrings.start
                 || self.reduce_subrings.end <= self.map_subrings.start,
@@ -181,7 +187,11 @@ fn stage_prologue(dram_src: u64, spm_dst: u64, bytes: u64) -> Vec<Op> {
     // DMA in ≤4 MB chunks (the control registers take a 32-bit size).
     while off < bytes {
         let chunk = (bytes - off).min(4 << 20) as u32;
-        ops.push(Op::Dma { src: dram_src + off, dst: spm_dst + off, bytes: chunk });
+        ops.push(Op::Dma {
+            src: dram_src + off,
+            dst: spm_dst + off,
+            bytes: chunk,
+        });
         off += u64::from(chunk);
     }
     ops.push(Op::Sync);
@@ -244,9 +254,8 @@ pub fn run_mapreduce(
             } else {
                 inner
             };
-            sys.attach(core, stream).unwrap_or_else(|_| {
-                panic!("core {core} has no vacant slot for map task {index}")
-            });
+            sys.attach(core, stream)
+                .unwrap_or_else(|_| panic!("core {core} has no vacant slot for map task {index}"));
             index += 1;
         }
     }
@@ -305,7 +314,13 @@ pub fn run_mapreduce(
     assert!(sys.is_done(), "reduce phase exceeded its cycle budget");
     let reduce_cycles = report.cycles - start;
 
-    MapReduceRun { map_tasks: total_map, reduce_tasks: total_reduce, map_cycles, reduce_cycles, report }
+    MapReduceRun {
+        map_tasks: total_map,
+        reduce_tasks: total_reduce,
+        map_cycles,
+        reduce_cycles,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -356,7 +371,11 @@ mod tests {
             phase_budget: 20_000_000,
             ..MapReduceConfig::split(4, 0x100_0000, 1 << 22)
         };
-        let app = BenchApp { bench: Benchmark::WordCount, map_ops: 500, reduce_ops: 200 };
+        let app = BenchApp {
+            bench: Benchmark::WordCount,
+            map_ops: 500,
+            reduce_ops: 200,
+        };
         let run = run_mapreduce(&mut sys, &app, &cfg);
         assert_eq!(run.map_tasks, 3 * 4 * 4);
         assert_eq!(run.reduce_tasks, 4 * 4);
@@ -380,7 +399,11 @@ mod tests {
             phase_budget: 50_000_000,
             ..MapReduceConfig::split(4, 0x100_0000, 4 << 20)
         };
-        let app = BenchApp { bench: Benchmark::Kmp, map_ops: 300, reduce_ops: 100 };
+        let app = BenchApp {
+            bench: Benchmark::Kmp,
+            map_ops: 300,
+            reduce_ops: 100,
+        };
         let run_big = run_mapreduce(&mut sys, &app, &big);
         // 256 KB total → ~5 KB slices: staged into SPM.
         let mut sys2 = SmarcoSystem::new(SmarcoConfig::tiny());
@@ -393,8 +416,7 @@ mod tests {
         // Staged run keeps its scan traffic on-chip: far fewer DRAM
         // requests per instruction.
         let rate_big = run_big.report.requests as f64 / run_big.report.instructions as f64;
-        let rate_small =
-            run_small.report.requests as f64 / run_small.report.instructions as f64;
+        let rate_small = run_small.report.requests as f64 / run_small.report.instructions as f64;
         assert!(
             rate_small < rate_big * 0.8,
             "staged {rate_small:.4} vs unstaged {rate_big:.4}"

@@ -21,7 +21,9 @@ pub struct Threads {
 
 impl std::fmt::Debug for Threads {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Threads").field("created", &self.created).finish()
+        f.debug_struct("Threads")
+            .field("created", &self.created)
+            .finish()
     }
 }
 
@@ -29,7 +31,11 @@ impl Threads {
     /// Wraps a chip.
     pub fn new(sys: SmarcoSystem) -> Self {
         let balancer = MainScheduler::new(sys.config().noc.subrings);
-        Self { sys, balancer, created: 0 }
+        Self {
+            sys,
+            balancer,
+            created: 0,
+        }
     }
 
     /// The underlying chip.
@@ -109,7 +115,11 @@ mod tests {
             let (core, _) = t.create(Box::new(compute_only(100)), 100).unwrap();
             subrings_used.insert(core / cps);
         }
-        assert_eq!(subrings_used.len(), 4, "8 equal threads spread over 4 sub-rings");
+        assert_eq!(
+            subrings_used.len(),
+            4,
+            "8 equal threads spread over 4 sub-rings"
+        );
     }
 
     #[test]

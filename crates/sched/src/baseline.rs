@@ -28,7 +28,10 @@ impl DeadlineScheduler {
 
     /// Creates a scheduler with an explicit per-dispatch cost.
     pub fn with_overhead(overhead: Cycle) -> Self {
-        Self { queue: Vec::new(), overhead }
+        Self {
+            queue: Vec::new(),
+            overhead,
+        }
     }
 }
 
@@ -56,8 +59,15 @@ impl TaskScheduler for DeadlineScheduler {
         let mut best = 0;
         for i in 1..self.queue.len() {
             let (a, b) = (&self.queue[i], &self.queue[best]);
-            let better = (a.priority, std::cmp::Reverse(a.deadline), std::cmp::Reverse(a.arrival))
-                > (b.priority, std::cmp::Reverse(b.deadline), std::cmp::Reverse(b.arrival));
+            let better = (
+                a.priority,
+                std::cmp::Reverse(a.deadline),
+                std::cmp::Reverse(a.arrival),
+            ) > (
+                b.priority,
+                std::cmp::Reverse(b.deadline),
+                std::cmp::Reverse(b.arrival),
+            );
             if better {
                 best = i;
             }
@@ -85,7 +95,10 @@ pub struct FifoScheduler {
 impl FifoScheduler {
     /// Creates a FIFO scheduler with the default software dispatch cost.
     pub fn new() -> Self {
-        Self { queue: std::collections::VecDeque::new(), overhead: 1200 }
+        Self {
+            queue: std::collections::VecDeque::new(),
+            overhead: 1200,
+        }
     }
 }
 

@@ -49,13 +49,26 @@ impl ChainTable {
     /// Panics if `capacity` is zero or above `u16::MAX - 1`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "chain table needs capacity");
-        assert!(capacity < usize::from(u16::MAX), "capacity too large for u16 links");
+        assert!(
+            capacity < usize::from(u16::MAX),
+            "capacity too large for u16 links"
+        );
         let mut entries = Vec::with_capacity(capacity);
         for i in 0..capacity {
-            let next = if i + 1 == capacity { NIL } else { (i + 1) as u16 };
+            let next = if i + 1 == capacity {
+                NIL
+            } else {
+                (i + 1) as u16
+            };
             entries.push(Entry { task: None, next });
         }
-        Self { entries, free_head: 0, heads: [NIL, NIL], lens: [0, 0], last_scan: 0 }
+        Self {
+            entries,
+            free_head: 0,
+            heads: [NIL, NIL],
+            lens: [0, 0],
+            last_scan: 0,
+        }
     }
 
     fn chain_idx(p: TaskPriority) -> usize {
@@ -97,7 +110,10 @@ impl ChainTable {
         }
         let idx = self.free_head;
         self.free_head = self.entries[usize::from(idx)].next;
-        self.entries[usize::from(idx)] = Entry { task: Some(task), next: NIL };
+        self.entries[usize::from(idx)] = Entry {
+            task: Some(task),
+            next: NIL,
+        };
         let chain = Self::chain_idx(task.priority);
         // Append at tail: walk the chain (RAM cost).
         let mut scan = 1;
@@ -135,7 +151,7 @@ impl ChainTable {
                 .task
                 .expect("chained entries hold tasks")
                 .laxity(now);
-            if best.map_or(true, |(_, _, b)| lax < b) {
+            if best.is_none_or(|(_, _, b)| lax < b) {
                 best = Some((prev, cur, lax));
             }
             prev = cur;
@@ -210,7 +226,8 @@ mod tests {
     fn high_priority_chain_served_first() {
         let mut t = ChainTable::new(8);
         t.insert(Task::new(1, 0, 100, 10)).unwrap();
-        t.insert(Task::new(2, 0, 10_000, 10).with_high_priority()).unwrap();
+        t.insert(Task::new(2, 0, 10_000, 10).with_high_priority())
+            .unwrap();
         // Normal task 1 has far less laxity, but the high chain wins.
         assert_eq!(t.pop_min_laxity(0).unwrap().id, 2);
         assert_eq!(t.pop_min_laxity(0).unwrap().id, 1);
@@ -256,7 +273,7 @@ mod tests {
         popped.sort_unstable();
         popped.dedup();
         // No task popped twice.
-        assert_eq!(popped.len(), popped.iter().count());
+        assert_eq!(popped.len(), popped.len());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! one dispatcher), and each task then runs to completion. Exit-time
 //! distributions and deadline success rates fall out.
 
+use smarco_sim::obs::{EventKind, NullSink, TraceEvent, TraceSink, Track};
 use smarco_sim::Cycle;
 
 use crate::task::{Task, TaskScheduler};
@@ -44,8 +45,7 @@ impl ExecutorReport {
         if self.records.is_empty() {
             return 0.0;
         }
-        self.records.iter().filter(|r| r.met_deadline()).count() as f64
-            / self.records.len() as f64
+        self.records.iter().filter(|r| r.met_deadline()).count() as f64 / self.records.len() as f64
     }
 
     /// `(earliest, latest)` exit cycles.
@@ -102,7 +102,11 @@ pub fn run_tasks(
         for slot in running.iter_mut() {
             if let Some((task, start, done)) = *slot {
                 if done <= now {
-                    records.push(ExitRecord { task, start, exit: done });
+                    records.push(ExitRecord {
+                        task,
+                        start,
+                        exit: done,
+                    });
                     *slot = None;
                 }
             }
@@ -120,7 +124,10 @@ pub fn run_tasks(
         }
         now += 1;
     }
-    ExecutorReport { scheduler: scheduler.name(), records }
+    ExecutorReport {
+        scheduler: scheduler.name(),
+        records,
+    }
 }
 
 /// Runs `tasks` on `slots` slots with **preemptive quantum scheduling** —
@@ -142,10 +149,30 @@ pub fn run_tasks(
 /// `max_cycles`.
 pub fn run_tasks_preemptive(
     scheduler: &mut dyn TaskScheduler,
+    tasks: Vec<Task>,
+    slots: usize,
+    quantum: Cycle,
+    max_cycles: Cycle,
+) -> ExecutorReport {
+    run_tasks_preemptive_traced(scheduler, tasks, slots, quantum, max_cycles, &mut NullSink)
+}
+
+/// [`run_tasks_preemptive`] with scheduler observability: emits a
+/// [`EventKind::TaskDispatch`] on [`Track::Scheduler`] the first time each
+/// task is granted a slot (carrying its laxity at that instant and the
+/// queue depth left behind) and a [`EventKind::TaskExit`] when it
+/// completes.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_tasks_preemptive`].
+pub fn run_tasks_preemptive_traced(
+    scheduler: &mut dyn TaskScheduler,
     mut tasks: Vec<Task>,
     slots: usize,
     quantum: Cycle,
     max_cycles: Cycle,
+    sink: &mut dyn TraceSink,
 ) -> ExecutorReport {
     assert!(slots > 0, "need at least one execution slot");
     assert!(quantum > 0, "quantum must be positive");
@@ -156,7 +183,10 @@ pub fn run_tasks_preemptive(
     let mut records = Vec::with_capacity(total);
     let mut now: Cycle = 0;
     while records.len() < total {
-        assert!(now < max_cycles, "preemptive executor exceeded {max_cycles} cycles");
+        assert!(
+            now < max_cycles,
+            "preemptive executor exceeded {max_cycles} cycles"
+        );
         while next_arrival < tasks.len() && tasks[next_arrival].arrival <= now {
             scheduler.enqueue(tasks[next_arrival], now);
             next_arrival += 1;
@@ -170,15 +200,35 @@ pub fn run_tasks_preemptive(
             }
         }
         for t in &running {
-            first_start.entry(t.id).or_insert(now);
+            if let std::collections::hash_map::Entry::Vacant(e) = first_start.entry(t.id) {
+                e.insert(now);
+                sink.emit(TraceEvent {
+                    cycle: now,
+                    track: Track::Scheduler,
+                    kind: EventKind::TaskDispatch {
+                        task: t.id,
+                        laxity: t.laxity(now),
+                        queued: scheduler.pending() as u64,
+                    },
+                });
+            }
         }
         let end = now + quantum;
         for t in running {
             if t.work <= quantum {
+                let exit = now + t.work;
+                sink.emit(TraceEvent {
+                    cycle: exit,
+                    track: Track::Scheduler,
+                    kind: EventKind::TaskExit {
+                        task: t.id,
+                        deadline_met: exit <= t.deadline,
+                    },
+                });
                 records.push(ExitRecord {
                     task: t,
                     start: first_start[&t.id],
-                    exit: now + t.work,
+                    exit,
                 });
             } else {
                 // Preempt with remaining work; arrival moves to the tail
@@ -193,7 +243,10 @@ pub fn run_tasks_preemptive(
     }
     // Note: a record's task carries the *final-quantum* remaining work;
     // its id and deadline (what met_deadline needs) are original.
-    ExecutorReport { scheduler: scheduler.name(), records }
+    ExecutorReport {
+        scheduler: scheduler.name(),
+        records,
+    }
 }
 
 #[cfg(test)]

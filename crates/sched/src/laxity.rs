@@ -44,7 +44,11 @@ impl LaxityAwareScheduler {
     ///
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
-        Self { table: ChainTable::new(capacity), overflow: Vec::new(), last_overhead: BASE_CYCLES }
+        Self {
+            table: ChainTable::new(capacity),
+            overflow: Vec::new(),
+            last_overhead: BASE_CYCLES,
+        }
     }
 
     /// SmarCo sub-ring default: 128 entries.
@@ -112,7 +116,11 @@ mod tests {
             s.enqueue(Task::new(i, 0, 10_000, 100), 0);
         }
         let _ = s.dispatch(0);
-        assert!(s.overhead() <= 2 + 100_u64.div_ceil(16), "overhead {}", s.overhead());
+        assert!(
+            s.overhead() <= 2 + 100_u64.div_ceil(16),
+            "overhead {}",
+            s.overhead()
+        );
         assert!(s.overhead() >= 2);
     }
 

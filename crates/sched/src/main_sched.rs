@@ -33,7 +33,10 @@ impl MainScheduler {
     /// Panics if `subrings` is zero.
     pub fn new(subrings: usize) -> Self {
         assert!(subrings > 0, "need at least one sub-ring");
-        Self { loads: vec![0; subrings], assigned: 0 }
+        Self {
+            loads: vec![0; subrings],
+            assigned: 0,
+        }
     }
 
     /// Number of managed sub-rings.
@@ -63,7 +66,10 @@ impl MainScheduler {
     ///
     /// Panics if `subring` is out of range.
     pub fn assign_to(&mut self, subring: usize, work: u64) {
-        assert!(subring < self.loads.len(), "sub-ring {subring} out of range");
+        assert!(
+            subring < self.loads.len(),
+            "sub-ring {subring} out of range"
+        );
         self.loads[subring] += work;
         self.assigned += 1;
     }
@@ -81,7 +87,10 @@ impl MainScheduler {
     ///
     /// Panics if `subring` is out of range.
     pub fn complete(&mut self, subring: usize, work: u64) {
-        assert!(subring < self.loads.len(), "sub-ring {subring} out of range");
+        assert!(
+            subring < self.loads.len(),
+            "sub-ring {subring} out of range"
+        );
         self.loads[subring] = self.loads[subring].saturating_sub(work);
     }
 

@@ -36,7 +36,13 @@ impl Task {
     /// Panics if `work` is zero.
     pub fn new(id: u64, arrival: Cycle, deadline: Cycle, work: Cycle) -> Self {
         assert!(work > 0, "tasks must have positive work");
-        Self { id, arrival, deadline, work, priority: TaskPriority::Normal }
+        Self {
+            id,
+            arrival,
+            deadline,
+            work,
+            priority: TaskPriority::Normal,
+        }
     }
 
     /// Upgrades to high priority.

@@ -69,27 +69,39 @@ mod tests {
 
     #[test]
     fn run_for_ticks_exactly() {
-        let mut m = Countdown { remaining: 100, ticks: 0 };
+        let mut m = Countdown {
+            remaining: 100,
+            ticks: 0,
+        };
         assert_eq!(run_for(&mut m, 10), 10);
         assert_eq!(m.ticks, 10);
     }
 
     #[test]
     fn run_until_quiescent_stops_early() {
-        let mut m = Countdown { remaining: 5, ticks: 0 };
+        let mut m = Countdown {
+            remaining: 5,
+            ticks: 0,
+        };
         assert_eq!(run_until_quiescent(&mut m, 100), Some(5));
         assert_eq!(m.ticks, 5);
     }
 
     #[test]
     fn run_until_quiescent_budget_exhausted() {
-        let mut m = Countdown { remaining: 1000, ticks: 0 };
+        let mut m = Countdown {
+            remaining: 1000,
+            ticks: 0,
+        };
         assert_eq!(run_until_quiescent(&mut m, 10), None);
     }
 
     #[test]
     fn run_until_quiescent_at_boundary() {
-        let mut m = Countdown { remaining: 10, ticks: 0 };
+        let mut m = Countdown {
+            remaining: 10,
+            ticks: 0,
+        };
         assert_eq!(run_until_quiescent(&mut m, 10), Some(10));
     }
 }

@@ -66,7 +66,10 @@ impl<T> Default for EventWheel<T> {
 impl<T> EventWheel<T> {
     /// Creates an empty wheel.
     pub fn new() -> Self {
-        Self { heap: BinaryHeap::new(), seq: 0 }
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+        }
     }
 
     /// Schedules `payload` to become due at cycle `at`.

@@ -38,6 +38,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod obs;
 pub mod parallel;
 pub mod rng;
 pub mod stats;

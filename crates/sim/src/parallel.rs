@@ -41,7 +41,9 @@ pub struct Inbox<M> {
 
 impl<M> Default for Inbox<M> {
     fn default() -> Self {
-        Self { wheel: EventWheel::new() }
+        Self {
+            wheel: EventWheel::new(),
+        }
     }
 }
 
@@ -75,7 +77,10 @@ pub struct Outbox<M> {
 
 impl<M> Outbox<M> {
     fn new(window_end: Cycle) -> Self {
-        Self { window_end, envelopes: Vec::new() }
+        Self {
+            window_end,
+            envelopes: Vec::new(),
+        }
     }
 
     /// Sends `msg` to shard `to`, visible at cycle `at`.
@@ -132,7 +137,12 @@ impl<S: Shard> ParallelEngine<S> {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(lookahead > 0, "lookahead must be positive");
         let inboxes = shards.iter().map(|_| Inbox::default()).collect();
-        Self { shards, inboxes, lookahead, now: 0 }
+        Self {
+            shards,
+            inboxes,
+            lookahead,
+            now: 0,
+        }
     }
 
     /// Current simulation time (start of the next window).
@@ -172,17 +182,20 @@ impl<S: Shard> ParallelEngine<S> {
         // worker drains into its own inbox at the next window start.
         let produced: Vec<Mutex<Vec<Envelope<S::Msg>>>> =
             (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let staging: Vec<Mutex<Vec<(Cycle, S::Msg)>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        type Staging<M> = Vec<Mutex<Vec<(Cycle, M)>>>;
+        let staging: Staging<S::Msg> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
         let barrier = Barrier::new(n + 1);
-        crossbeam::thread::scope(|scope| {
-            for (i, (shard, inbox)) in
-                self.shards.iter_mut().zip(self.inboxes.iter_mut()).enumerate()
+        std::thread::scope(|scope| {
+            for (i, (shard, inbox)) in self
+                .shards
+                .iter_mut()
+                .zip(self.inboxes.iter_mut())
+                .enumerate()
             {
                 let produced = &produced;
                 let staging = &staging;
                 let barrier = &barrier;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut now = start;
                     while now < end {
                         let to = (now + lookahead).min(end);
@@ -215,8 +228,7 @@ impl<S: Shard> ParallelEngine<S> {
                 barrier.wait(); // release the workers
                 now = to;
             }
-        })
-        .expect("scoped threads failed");
+        });
         // Anything routed in the final window still sits in staging:
         // deliver it so a later run (parallel or sequential) sees it.
         for (i, slot) in staging.into_iter().enumerate() {
@@ -294,7 +306,12 @@ mod tests {
 
     fn make_ring(n: usize) -> Vec<RingShard> {
         (0..n)
-            .map(|id| RingShard { id, n, counter: id as u64 + 1, log: Vec::new() })
+            .map(|id| RingShard {
+                id,
+                n,
+                counter: id as u64 + 1,
+                log: Vec::new(),
+            })
             .collect()
     }
 

@@ -174,7 +174,11 @@ impl Histogram {
 
     /// Records one value.
     pub fn record(&mut self, v: u64) {
-        let idx = if v < 2 { 0 } else { 63 - v.leading_zeros() as usize };
+        let idx = if v < 2 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
         if self.buckets.len() <= idx {
             self.buckets.resize(idx + 1, 0);
         }
@@ -197,20 +201,49 @@ impl Histogram {
         }
     }
 
-    /// Fraction of values in `[lo, hi)` (approximated at bucket granularity:
-    /// a bucket counts if its lower bound is within the range).
+    /// Approximate fraction of recorded values in `[lo, hi)`.
+    ///
+    /// The histogram only knows bucket totals, so the result is exact when
+    /// `lo` and `hi` are bucket boundaries (0, or powers of two ≥ 2). A
+    /// bucket that the range only partially covers contributes
+    /// proportionally to the covered span, i.e. values are assumed
+    /// uniformly distributed within their bucket. Degenerate ranges
+    /// (`lo >= hi`) and empty histograms yield 0.0.
     pub fn fraction_between(&self, lo: u64, hi: u64) -> f64 {
+        if self.count == 0 || hi <= lo {
+            return 0.0;
+        }
+        let mut in_range = 0.0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let lower: u128 = if i == 0 { 0 } else { 1u128 << i };
+            let upper: u128 = 1u128 << (i + 1);
+            let o_lo = u128::from(lo).max(lower);
+            let o_hi = u128::from(hi).min(upper);
+            if o_hi > o_lo {
+                in_range += n as f64 * (o_hi - o_lo) as f64 / (upper - lower) as f64;
+            }
+        }
+        in_range / self.count as f64
+    }
+
+    /// Fraction of recorded values that landed in the same bucket as `v`
+    /// (bucket-exact, no interpolation). When every recorded value is a
+    /// bucket lower bound — e.g. power-of-two access sizes — this is the
+    /// exact fraction of values equal to `v`.
+    pub fn fraction_in_bucket_of(&self, v: u64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let mut in_range = 0;
-        for (i, &n) in self.buckets.iter().enumerate() {
-            let lower = if i == 0 { 0 } else { 1u64 << i };
-            if lower >= lo && lower < hi {
-                in_range += n;
-            }
-        }
-        in_range as f64 / self.count as f64
+        let idx = if v < 2 {
+            0
+        } else {
+            63 - v.leading_zeros() as usize
+        };
+        let n = self.buckets.get(idx).copied().unwrap_or(0);
+        n as f64 / self.count as f64
     }
 
     /// (bucket lower bound, count) pairs for non-empty buckets.
@@ -220,6 +253,168 @@ impl Histogram {
             .enumerate()
             .filter(|(_, &n)| n > 0)
             .map(|(i, &n)| (if i == 0 { 0 } else { 1u64 << i }, n))
+    }
+}
+
+/// Streaming quantile estimator over non-negative samples, built on
+/// log-linear buckets (HdrHistogram-style): each power-of-two octave is
+/// split into `2^SUB_BITS` linear sub-buckets, bounding the relative error
+/// of any reported quantile to about `2^-SUB_BITS` (≈ 3 % here).
+///
+/// [`MeanTracker`] only keeps mean/min/max; this is the estimator behind
+/// p50/p90/p99 summaries in windowed metrics. Deterministic: the estimate
+/// depends only on the multiset of samples, not their order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Percentiles {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: u64,
+    max: u64,
+}
+
+/// Linear sub-buckets per octave (2^5 = 32).
+const SUB_BITS: u32 = 5;
+
+impl Percentiles {
+    /// Creates an empty estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < (1 << SUB_BITS) {
+            v as usize
+        } else {
+            let msb = 63 - v.leading_zeros();
+            let sub = ((v >> (msb - SUB_BITS)) as usize) & ((1 << SUB_BITS) - 1);
+            (((msb - SUB_BITS + 1) as usize) << SUB_BITS) | sub
+        }
+    }
+
+    /// Inclusive lower edge of bucket `idx` (inverse of `bucket_of`).
+    fn bucket_low(idx: usize) -> u64 {
+        let octave = idx >> SUB_BITS;
+        let sub = (idx & ((1 << SUB_BITS) - 1)) as u64;
+        if octave == 0 {
+            sub
+        } else {
+            let shift = octave as u32 - 1;
+            ((1u64 << SUB_BITS) | sub) << shift
+        }
+    }
+
+    /// Exclusive upper edge of bucket `idx`.
+    fn bucket_high(idx: usize) -> u64 {
+        let octave = idx >> SUB_BITS;
+        let width = if octave == 0 {
+            1
+        } else {
+            1u64 << (octave as u32 - 1)
+        };
+        Self::bucket_low(idx) + width
+    }
+
+    /// Records one sample (negative values clamp to 0).
+    pub fn record(&mut self, v: f64) {
+        let v = if v.is_finite() && v > 0.0 {
+            v.round() as u64
+        } else {
+            0
+        };
+        let idx = Self::bucket_of(v);
+        if self.buckets.len() <= idx {
+            self.buckets.resize(idx + 1, 0);
+        }
+        self.buckets[idx] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v as f64;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean of the samples, or 0.0 if none were recorded.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Smallest sample, or 0.0 if none were recorded.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min as f64
+        }
+    }
+
+    /// Largest sample, or 0.0 if none were recorded.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` (0.5 = median), or 0.0 if empty.
+    ///
+    /// Reports the midpoint of the bucket holding the rank-`q` sample,
+    /// clamped to the observed min/max, so the answer is within one
+    /// sub-bucket width (≈ 3 % relative error) of the true order statistic.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Rank of the order statistic (nearest-rank, 1-based).
+        let rank = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let mid = (Self::bucket_low(i) + Self::bucket_high(i) - 1) / 2;
+                return (mid.clamp(self.min, self.max)) as f64;
+            }
+        }
+        self.max as f64
+    }
+
+    /// Median (p50).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// Resets the estimator to empty without releasing bucket storage.
+    pub fn clear(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = 0;
+        self.max = 0;
     }
 }
 
@@ -256,6 +451,30 @@ impl StatsReport {
         for (k, v) in other.iter() {
             self.values.insert(format!("{prefix}.{k}"), v);
         }
+    }
+
+    /// Per-key difference `self - baseline`, over the keys of `self`.
+    ///
+    /// Keys missing from `baseline` are treated as 0, so diffing a
+    /// cumulative-counter snapshot against an earlier snapshot yields the
+    /// activity of the intervening window. Keys present only in `baseline`
+    /// are dropped (a counter cannot disappear between snapshots).
+    pub fn diff(&self, baseline: &StatsReport) -> StatsReport {
+        let mut out = StatsReport::new();
+        for (k, v) in self.iter() {
+            out.set(k, v - baseline.get(k).unwrap_or(0.0));
+        }
+        out
+    }
+
+    /// Every value multiplied by `factor` (e.g. normalizing a window delta
+    /// to a per-cycle or per-second rate).
+    pub fn scale(&self, factor: f64) -> StatsReport {
+        let mut out = StatsReport::new();
+        for (k, v) in self.iter() {
+            out.set(k, v * factor);
+        }
+        out
     }
 }
 
@@ -317,9 +536,130 @@ mod tests {
         for v in [1, 2, 4, 8, 16] {
             h.record(v);
         }
-        // Buckets with lower bound in [0, 8): 0, 2, 4 => 3 of 5 values.
+        // Exact at bucket boundaries: buckets [0,2), [2,4), [4,8) hold 3 of
+        // the 5 values.
         assert!((h.fraction_between(0, 8) - 0.6).abs() < 1e-12);
         assert_eq!(h.fraction_between(0, 1024), 1.0);
+    }
+
+    #[test]
+    fn histogram_fraction_between_splits_buckets_proportionally() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4, 8, 16] {
+            h.record(v);
+        }
+        // `hi` inside bucket [8, 16): half the bucket's span is covered, so
+        // its single value contributes 0.5 under the uniform assumption.
+        assert!((h.fraction_between(0, 12) - 3.5 / 5.0).abs() < 1e-12);
+        // `lo` inside bucket [2, 4): covers [3, 4), half the bucket span.
+        assert!((h.fraction_between(3, 8) - 1.5 / 5.0).abs() < 1e-12);
+        // Both endpoints inside the same bucket [16, 32): quarter coverage.
+        assert!((h.fraction_between(20, 24) - 0.25 / 5.0).abs() < 1e-12);
+        // Complementary split ranges over a bucket sum to the whole bucket.
+        let whole = h.fraction_between(8, 16);
+        let split = h.fraction_between(8, 12) + h.fraction_between(12, 16);
+        assert!((whole - split).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_fraction_between_degenerate_ranges() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.fraction_between(4, 4), 0.0); // lo == hi
+        assert_eq!(h.fraction_between(8, 4), 0.0); // lo > hi
+        assert_eq!(Histogram::new().fraction_between(0, 100), 0.0); // empty
+    }
+
+    #[test]
+    fn histogram_fraction_in_bucket_of() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 2, 4, 64] {
+            h.record(v);
+        }
+        assert!((h.fraction_in_bucket_of(1) - 0.2).abs() < 1e-12);
+        assert!((h.fraction_in_bucket_of(2) - 0.4).abs() < 1e-12);
+        // 3 shares the [2, 4) bucket with the recorded 2s.
+        assert!((h.fraction_in_bucket_of(3) - 0.4).abs() < 1e-12);
+        assert_eq!(h.fraction_in_bucket_of(1 << 20), 0.0);
+    }
+
+    #[test]
+    fn percentiles_small_values_exact() {
+        let mut p = Percentiles::new();
+        for v in 1..=20 {
+            p.record(v as f64);
+        }
+        // Values below 2^SUB_BITS land in exact unit buckets.
+        assert_eq!(p.p50(), 10.0);
+        assert_eq!(p.p90(), 18.0);
+        assert_eq!(p.quantile(1.0), 20.0);
+        assert_eq!(p.quantile(0.0), 1.0);
+        assert_eq!(p.min(), 1.0);
+        assert_eq!(p.max(), 20.0);
+        assert_eq!(p.count(), 20);
+        assert!((p.mean() - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentiles_large_values_within_relative_error() {
+        let mut p = Percentiles::new();
+        for v in 1..=10_000u64 {
+            p.record(v as f64);
+        }
+        for (q, truth) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+            let est = p.quantile(q);
+            assert!(
+                (est - truth).abs() / truth < 0.04,
+                "q={q}: est {est} vs true {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn percentiles_empty_and_clear() {
+        let mut p = Percentiles::new();
+        assert_eq!(p.p50(), 0.0);
+        p.record(42.0);
+        assert_eq!(p.p50(), 42.0);
+        p.clear();
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.p99(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_order_independent() {
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        let vals = [900.0, 3.0, 77.0, 512.0, 4096.0, 12.0, 12.0];
+        for v in vals {
+            a.record(v);
+        }
+        for v in vals.iter().rev() {
+            b.record(*v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_diff_and_scale() {
+        let mut now = StatsReport::new();
+        now.set("instructions", 1000.0);
+        now.set("cycles", 400.0);
+        now.set("new_counter", 7.0);
+        let mut before = StatsReport::new();
+        before.set("instructions", 600.0);
+        before.set("cycles", 100.0);
+        before.set("gone", 5.0);
+        let d = now.diff(&before);
+        assert_eq!(d.get("instructions"), Some(400.0));
+        assert_eq!(d.get("cycles"), Some(300.0));
+        assert_eq!(d.get("new_counter"), Some(7.0)); // missing baseline key = 0
+        assert_eq!(d.get("gone"), None); // baseline-only keys dropped
+        let s = d.scale(0.5);
+        assert_eq!(s.get("instructions"), Some(200.0));
+        assert_eq!(s.get("cycles"), Some(150.0));
     }
 
     #[test]

@@ -31,7 +31,11 @@ pub struct CdnConfig {
 impl CdnConfig {
     /// The paper's testbed: 10 Gbps NIC, 25 Mbps streams.
     pub fn paper() -> Self {
-        Self { nic_gbps: 10.0, stream_mbps: 25.0, instrs_per_kb: 600.0 }
+        Self {
+            nic_gbps: 10.0,
+            stream_mbps: 25.0,
+            instrs_per_kb: 600.0,
+        }
     }
 
     /// Maximum concurrent streams the NIC sustains.

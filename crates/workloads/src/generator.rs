@@ -92,14 +92,29 @@ impl ThreadGenParams {
         ] {
             assert!((0.0..=1.0).contains(&v), "{n} = {v} outside [0, 1]");
         }
-        assert!(self.mem_frac + self.branch_frac <= 1.0, "instruction classes exceed 1");
-        assert!(self.scan_len > 0 && self.table_len > 0, "regions must be non-empty");
-        assert!(self.scan_elem_bytes > 0, "scan element stride must be positive");
+        assert!(
+            self.mem_frac + self.branch_frac <= 1.0,
+            "instruction classes exceed 1"
+        );
+        assert!(
+            self.scan_len > 0 && self.table_len > 0,
+            "regions must be non-empty"
+        );
+        assert!(
+            self.scan_elem_bytes > 0,
+            "scan element stride must be positive"
+        );
         assert!(self.emit_run > 0, "emit run must be positive");
         assert!(self.out_len >= 64, "output buffer too small");
-        assert!(self.team_size > 0 && self.thread_index < self.team_size, "bad team");
+        assert!(
+            self.team_size > 0 && self.thread_index < self.team_size,
+            "bad team"
+        );
         assert!(self.ops > 0, "ops must be positive");
-        assert!(self.segment.1 > 0 && self.segment.1 % INSTR_BYTES == 0, "bad segment");
+        assert!(
+            self.segment.1 > 0 && self.segment.1.is_multiple_of(INSTR_BYTES),
+            "bad segment"
+        );
     }
 }
 
@@ -189,8 +204,8 @@ impl HtcStream {
                 }
                 // Per-thread hot window wrapped into the table.
                 None => {
-                    let window_base = self.p.table_base
-                        + (self.p.thread_index * hot) % self.p.table_len.max(1);
+                    let window_base =
+                        self.p.table_base + (self.p.thread_index * hot) % self.p.table_len.max(1);
                     let span = (hot / stride).max(1);
                     let addr = window_base + self.rng.gen_range(span) * stride;
                     // Clamp inside the table.
@@ -209,7 +224,7 @@ impl HtcStream {
         // aligning the cursor up to the field width.
         let w = u64::from(bytes);
         let mut at = self.out_cursor;
-        if at % w != 0 {
+        if !at.is_multiple_of(w) {
             at += w - at % w;
         }
         if at + w > self.p.out_len {
@@ -240,13 +255,19 @@ impl HtcStream {
                 self.pending_emits = self.p.emit_run - 1;
                 return Some(self.emit_store(bytes));
             }
-            let mut m = if is_table { self.table_ref(bytes) } else { self.scan_ref(bytes) };
+            let mut m = if is_table {
+                self.table_ref(bytes)
+            } else {
+                self.scan_ref(bytes)
+            };
             if rt {
                 m.priority = Priority::Realtime;
             }
             Op::Load(m)
         } else if roll < self.p.mem_frac + self.p.branch_frac {
-            Op::Branch { mispredicted: self.rng.chance(self.p.branch_miss) }
+            Op::Branch {
+                mispredicted: self.rng.chance(self.p.branch_miss),
+            }
         } else {
             Op::compute()
         })
@@ -311,7 +332,9 @@ mod tests {
     }
 
     fn drain(mut s: HtcStream) -> Vec<Op> {
-        std::iter::from_fn(move || s.next_instr()).map(|i| i.op).collect()
+        std::iter::from_fn(move || s.next_instr())
+            .map(|i| i.op)
+            .collect()
     }
 
     #[test]
@@ -330,8 +353,11 @@ mod tests {
         p.branch_frac = 0.0;
         p.granularity = GranularityMix::new([0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]); // all 2 B
         let ops = drain(HtcStream::new(p.clone(), SimRng::new(2)));
-        let addrs: Vec<u64> =
-            ops.iter().filter_map(|o| o.mem_ref()).map(|m| m.addr).collect();
+        let addrs: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| o.mem_ref())
+            .map(|m| m.addr)
+            .collect();
         // Thread 3 of 16 with 2-byte grain: addresses base + (16i + 3) * 2.
         assert_eq!(addrs[0], p.scan_base + 3 * 2);
         assert_eq!(addrs[1], p.scan_base + (16 + 3) * 2);
@@ -368,8 +394,10 @@ mod tests {
         p.branch_frac = 0.0;
         p.emit_run = 4;
         let ops = drain(HtcStream::new(p.clone(), SimRng::new(9)));
-        let stores: Vec<MemRef> =
-            ops.iter().filter_map(|o| if let Op::Store(m) = o { Some(*m) } else { None }).collect();
+        let stores: Vec<MemRef> = ops
+            .iter()
+            .filter_map(|o| if let Op::Store(m) = o { Some(*m) } else { None })
+            .collect();
         assert!(stores.len() > 100);
         // Consecutive stores advance the cursor monotonically (mod wrap).
         let mut non_monotone = 0;
@@ -379,7 +407,10 @@ mod tests {
             }
         }
         // Only buffer wraps break monotonicity.
-        assert!(non_monotone <= 1 + stores.len() / 1000, "{non_monotone} breaks");
+        assert!(
+            non_monotone <= 1 + stores.len() / 1000,
+            "{non_monotone} breaks"
+        );
     }
 
     #[test]
@@ -387,8 +418,11 @@ mod tests {
         let ops = drain(HtcStream::new(params(), SimRng::new(4)));
         let n = ops.len() as f64;
         let mem = ops.iter().filter(|o| o.is_mem()).count() as f64 / n;
-        let br =
-            ops.iter().filter(|o| matches!(o, Op::Branch { .. })).count() as f64 / n;
+        let br = ops
+            .iter()
+            .filter(|o| matches!(o, Op::Branch { .. }))
+            .count() as f64
+            / n;
         assert!((mem - 0.4).abs() < 0.03, "mem {mem}");
         assert!((br - 0.15).abs() < 0.02, "branch {br}");
     }
@@ -404,7 +438,10 @@ mod tests {
             .iter()
             .filter_map(|o| if let Op::Load(m) = o { Some(*m) } else { None })
             .collect();
-        let rt = loads.iter().filter(|m| m.priority == Priority::Realtime).count() as f64
+        let rt = loads
+            .iter()
+            .filter(|m| m.priority == Priority::Realtime)
+            .count() as f64
             / loads.len() as f64;
         assert!((rt - 0.5).abs() < 0.06, "rt fraction {rt}");
     }

@@ -13,8 +13,11 @@ use smarco_sim::rng::SimRng;
 pub fn wordcount(text: &str) -> HashMap<String, u64> {
     let mut counts = HashMap::new();
     for word in text.split_whitespace() {
-        let w: String =
-            word.chars().filter(|c| c.is_alphanumeric()).collect::<String>().to_lowercase();
+        let w: String = word
+            .chars()
+            .filter(|c| c.is_alphanumeric())
+            .collect::<String>()
+            .to_lowercase();
         if !w.is_empty() {
             *counts.entry(w).or_insert(0) += 1;
         }
@@ -144,8 +147,9 @@ pub fn kmeans_step(points: &[Vec<f64>], centroids: &[Vec<f64>]) -> (Vec<Vec<f64>
 pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> Vec<Vec<f64>> {
     assert!(k > 0 && !points.is_empty(), "need points and k > 0");
     let mut rng = SimRng::new(seed);
-    let mut centroids: Vec<Vec<f64>> =
-        (0..k).map(|_| points[rng.gen_index(points.len())].clone()).collect();
+    let mut centroids: Vec<Vec<f64>> = (0..k)
+        .map(|_| points[rng.gen_index(points.len())].clone())
+        .collect();
     for _ in 0..max_iters {
         let (next, _) = kmeans_step(points, &centroids);
         if next == centroids {

@@ -1,11 +1,13 @@
-//! Property tests cross-validating the functional kernels against naive
-//! reference implementations.
+//! Randomized (deterministically seeded) tests cross-validating the
+//! functional kernels against naive reference implementations. Inputs come
+//! from [`SimRng`] with fixed seeds so every run covers the same cases.
 
-use proptest::prelude::*;
-
+use smarco_sim::rng::SimRng;
 use smarco_workloads::kernels::{
     kmeans_step, kmp_search, terasort, terasort_partition, wordcount, Rnc, RncEvent,
 };
+
+const TRIALS: u64 = 64;
 
 /// Naive quadratic substring search, the reference for KMP.
 fn naive_search(text: &[u8], pattern: &[u8]) -> Vec<usize> {
@@ -17,32 +19,51 @@ fn naive_search(text: &[u8], pattern: &[u8]) -> Vec<usize> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn kmp_matches_naive_search(
-        text in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..200),
-        pattern in prop::collection::vec(prop::sample::select(vec![b'a', b'b', b'c']), 0..8),
-    ) {
-        prop_assert_eq!(kmp_search(&text, &pattern), naive_search(&text, &pattern));
-    }
+fn abc_string(rng: &mut SimRng, max_len: usize) -> Vec<u8> {
+    let len = rng.gen_index(max_len + 1);
+    (0..len).map(|_| b"abc"[rng.gen_index(3)]).collect()
+}
 
-    #[test]
-    fn terasort_is_a_sorted_permutation(keys in prop::collection::vec(any::<u64>(), 0..300)) {
+#[test]
+fn kmp_matches_naive_search() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x004b_4d50 + trial);
+        let text = abc_string(&mut rng, 199);
+        let pattern = abc_string(&mut rng, 7);
+        assert_eq!(
+            kmp_search(&text, &pattern),
+            naive_search(&text, &pattern),
+            "trial {trial}"
+        );
+    }
+}
+
+#[test]
+fn terasort_is_a_sorted_permutation() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x5445_5241 + trial);
+        let keys: Vec<u64> = (0..rng.gen_index(300)).map(|_| rng.next_u64()).collect();
         let sorted = terasort(keys.clone());
-        prop_assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "trial {trial}");
         let mut a = keys;
         a.sort_unstable();
-        prop_assert_eq!(sorted, a);
+        assert_eq!(sorted, a, "trial {trial}");
     }
+}
 
-    #[test]
-    fn terasort_partitions_conserve_and_order(
-        keys in prop::collection::vec(any::<u64>(), 0..300),
-        buckets in 1usize..16,
-    ) {
+#[test]
+fn terasort_partitions_conserve_and_order() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x5041_5254 + trial);
+        let keys: Vec<u64> = (0..rng.gen_index(300)).map(|_| rng.next_u64()).collect();
+        let buckets = 1 + rng.gen_index(15);
         let parts = terasort_partition(&keys, buckets);
-        prop_assert_eq!(parts.len(), buckets);
-        prop_assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), keys.len());
+        assert_eq!(parts.len(), buckets, "trial {trial}");
+        assert_eq!(
+            parts.iter().map(Vec::len).sum::<usize>(),
+            keys.len(),
+            "trial {trial}"
+        );
         // Concatenating per-bucket sorted keys yields the global sort.
         let mut concat = Vec::new();
         for p in parts {
@@ -50,32 +71,43 @@ proptest! {
             p.sort_unstable();
             concat.extend(p);
         }
-        prop_assert!(concat.windows(2).all(|w| w[0] <= w[1]));
+        assert!(concat.windows(2).all(|w| w[0] <= w[1]), "trial {trial}");
     }
+}
 
-    #[test]
-    fn wordcount_total_matches_token_count(words in prop::collection::vec("[a-z]{1,6}", 0..80)) {
+#[test]
+fn wordcount_total_matches_token_count() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x574f_5244 + trial);
+        let words: Vec<String> = (0..rng.gen_index(80))
+            .map(|_| {
+                let len = 1 + rng.gen_index(6);
+                (0..len)
+                    .map(|_| char::from(b'a' + rng.gen_range(26) as u8))
+                    .collect()
+            })
+            .collect();
         let text = words.join(" ");
         let counts = wordcount(&text);
         let total: u64 = counts.values().sum();
-        prop_assert_eq!(total as usize, words.len());
+        assert_eq!(total as usize, words.len(), "trial {trial}");
         for w in &words {
-            prop_assert!(counts[w] >= 1);
+            assert!(counts[w] >= 1, "trial {trial}");
         }
     }
+}
 
-    #[test]
-    fn kmeans_step_never_increases_distortion(
-        pts in prop::collection::vec(
-            prop::collection::vec(-100.0f64..100.0, 2..4), 4..40),
-        k in 1usize..4,
-    ) {
-        // All points share the dimension of the first.
-        let dim = pts[0].len();
-        let points: Vec<Vec<f64>> =
-            pts.into_iter().map(|mut p| { p.resize(dim, 0.0); p }).collect();
-        let centroids: Vec<Vec<f64>> =
-            (0..k).map(|i| points[i % points.len()].clone()).collect();
+#[test]
+fn kmeans_step_never_increases_distortion() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x4b4d_4541 + trial);
+        let dim = 2 + rng.gen_index(2);
+        let n = 4 + rng.gen_index(36);
+        let points: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.gen_f64() * 200.0 - 100.0).collect())
+            .collect();
+        let k = 1 + rng.gen_index(3);
+        let centroids: Vec<Vec<f64>> = (0..k).map(|i| points[i % points.len()].clone()).collect();
         let distortion = |cents: &[Vec<f64>]| -> f64 {
             points
                 .iter()
@@ -90,30 +122,39 @@ proptest! {
         let before = distortion(&centroids);
         let (next, assign) = kmeans_step(&points, &centroids);
         let after = distortion(&next);
-        prop_assert!(after <= before + 1e-6, "distortion {before} -> {after}");
-        prop_assert_eq!(assign.len(), points.len());
-        prop_assert!(assign.iter().all(|&a| a < k));
+        assert!(
+            after <= before + 1e-6,
+            "trial {trial}: distortion {before} -> {after}"
+        );
+        assert_eq!(assign.len(), points.len(), "trial {trial}");
+        assert!(assign.iter().all(|&a| a < k), "trial {trial}");
     }
+}
 
-    #[test]
-    fn rnc_active_count_is_setup_minus_release(
-        events in prop::collection::vec((0u8..3, 0u32..8, -50i32..50), 0..200),
-    ) {
+#[test]
+fn rnc_active_count_is_setup_minus_release() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x0052_4e43 + trial);
+        let events = rng.gen_index(200);
         let mut rnc = Rnc::new();
         let mut live = std::collections::HashSet::new();
-        for (kind, ue, rssi) in events {
-            match kind {
+        for _ in 0..events {
+            let ue = rng.gen_range(8) as u32;
+            match rng.gen_range(3) {
                 0 => {
                     rnc.handle(RncEvent::Setup { ue });
                     live.insert(ue);
                 }
-                1 => rnc.handle(RncEvent::Measurement { ue, rssi }),
+                1 => {
+                    let rssi = rng.gen_range(100) as i32 - 50;
+                    rnc.handle(RncEvent::Measurement { ue, rssi });
+                }
                 _ => {
                     rnc.handle(RncEvent::Release { ue });
                     live.remove(&ue);
                 }
             }
         }
-        prop_assert_eq!(rnc.active(), live.len());
+        assert_eq!(rnc.active(), live.len(), "trial {trial}");
     }
 }

@@ -23,7 +23,10 @@ fn main() {
         cdn.stream_mbps,
         cdn.max_clients()
     );
-    println!("{:>8} {:>10} {:>12} {:>9}", "clients", "cpu_util", "branch_miss", "l1_miss");
+    println!(
+        "{:>8} {:>10} {:>12} {:>9}",
+        "clients", "cpu_util", "branch_miss", "l1_miss"
+    );
     for clients in [50usize, 100, 200, 400] {
         let mut sys = ConventionalSystem::new(cfg);
         for c in 0..clients {

@@ -10,7 +10,9 @@ use smarco::core::chip::SmarcoSystem;
 use smarco::core::config::SmarcoConfig;
 use smarco::isa::InstructionStream;
 use smarco::runtime::functional::map_reduce;
-use smarco::runtime::mapreduce::{run_mapreduce, MapReduceApp, MapReduceConfig, MapTask, ReduceTask};
+use smarco::runtime::mapreduce::{
+    run_mapreduce, MapReduceApp, MapReduceConfig, MapTask, ReduceTask,
+};
 use smarco::sim::rng::SimRng;
 use smarco::workloads::kernels::wordcount;
 use smarco::workloads::{Benchmark, HtcStream};
@@ -22,14 +24,8 @@ struct WordCountApp;
 
 impl MapReduceApp for WordCountApp {
     fn map_stream(&self, t: &MapTask) -> Box<dyn InstructionStream + Send> {
-        let mut p = Benchmark::WordCount.thread_params(
-            t.slice_base,
-            t.slice_len,
-            0x3000_0000,
-            0,
-            1,
-            1_200,
-        );
+        let mut p =
+            Benchmark::WordCount.thread_params(t.slice_base, t.slice_len, 0x3000_0000, 0, 1, 1_200);
         if t.in_spm {
             // Output buffer and hot hash-bucket window live in the SPM
             // share alongside the staged slice.
@@ -84,9 +80,18 @@ fn main() {
         ..MapReduceConfig::split(cfg.noc.subrings, 0x100_0000, tasks * slice)
     };
     let run = run_mapreduce(&mut sys, &WordCountApp, &mr);
-    println!("\nWordCount (timing model on a {}-core chip):", cfg.noc.cores());
-    println!("  map tasks    : {} ({} cycles)", run.map_tasks, run.map_cycles);
-    println!("  reduce tasks : {} ({} cycles)", run.reduce_tasks, run.reduce_cycles);
+    println!(
+        "\nWordCount (timing model on a {}-core chip):",
+        cfg.noc.cores()
+    );
+    println!(
+        "  map tasks    : {} ({} cycles)",
+        run.map_tasks, run.map_cycles
+    );
+    println!(
+        "  reduce tasks : {} ({} cycles)",
+        run.reduce_tasks, run.reduce_cycles
+    );
     println!("  total        : {} cycles", run.total_cycles());
     println!("  chip IPC     : {:.2}", run.report.ipc());
     println!(

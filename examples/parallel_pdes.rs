@@ -109,13 +109,17 @@ impl Shard for SubringShard {
 }
 
 fn build(n: usize, lookahead: Cycle) -> Vec<SubringShard> {
-    (0..n).map(|id| SubringShard::new(id, n, lookahead)).collect()
+    (0..n)
+        .map(|id| SubringShard::new(id, n, lookahead))
+        .collect()
 }
 
 fn main() {
     let shards = 16;
     let cycles = 20_000;
-    let host = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!(
         "Conservative PDES over {shards} sub-ring shards, {cycles} cycles (host has {host} CPU{}):",
         if host == 1 { "" } else { "s" }

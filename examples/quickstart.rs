@@ -47,13 +47,30 @@ fn main() {
     }
 
     let report = sys.run(50_000_000);
-    println!("SmarCo quickstart — {} cores, {} threads", cfg.noc.cores(), sys.cores_len() * 4);
+    println!(
+        "SmarCo quickstart — {} cores, {} threads",
+        cfg.noc.cores(),
+        sys.cores_len() * 4
+    );
     println!("  cycles            : {}", report.cycles);
     println!("  instructions      : {}", report.instructions);
     println!("  chip IPC          : {:.2}", report.ipc());
     println!("  memory requests   : {}", report.requests);
-    println!("  after MACT        : {} ({:.2}x reduction)", report.dram_requests, report.request_reduction());
-    println!("  mean mem latency  : {:.0} cycles", report.mem_latency.mean());
-    println!("  DRAM utilization  : {:.1}%", report.dram_utilization * 100.0);
-    println!("  throughput @1.5GHz: {:.2e} instructions/s", report.throughput(cfg.freq_ghz));
+    println!(
+        "  after MACT        : {} ({:.2}x reduction)",
+        report.dram_requests,
+        report.request_reduction()
+    );
+    println!(
+        "  mean mem latency  : {:.0} cycles",
+        report.mem_latency.mean()
+    );
+    println!(
+        "  DRAM utilization  : {:.1}%",
+        report.dram_utilization * 100.0
+    );
+    println!(
+        "  throughput @1.5GHz: {:.2e} instructions/s",
+        report.throughput(cfg.freq_ghz)
+    );
 }

@@ -49,7 +49,10 @@ fn main() {
         let (min, max) = report.exit_range();
         println!("{label}:");
         println!("  exits {}..{} (spread {})", min, max, report.exit_spread());
-        println!("  deadline success rate: {:.1}%\n", report.success_rate() * 100.0);
+        println!(
+            "  deadline success rate: {:.1}%\n",
+            report.success_rate() * 100.0
+        );
     }
     println!(
         "Least-laxity-first dispatch equalizes progress, so every task exits\n\

@@ -31,8 +31,11 @@ fn main() {
             1,
             1_500,
         );
-        let priority =
-            if i % 6 == 0 { TaskPriority::High } else { TaskPriority::Normal };
+        let priority = if i % 6 == 0 {
+            TaskPriority::High
+        } else {
+            TaskPriority::Normal
+        };
         sys.submit_task(
             Box::new(HtcStream::new(params, SimRng::new(i))),
             deadline,
@@ -48,10 +51,22 @@ fn main() {
     let last = exits.iter().map(|e| e.exit).max().unwrap_or(0);
 
     println!("Hardware task dispatch: {tasks} RNC tasks, deadline {deadline} cycles");
-    println!("  chip             : {} cores, {} thread slots", cfg.noc.cores(), cfg.total_threads());
-    println!("  completed        : {} tasks in {} cycles", exits.len(), report.cycles);
+    println!(
+        "  chip             : {} cores, {} thread slots",
+        cfg.noc.cores(),
+        cfg.total_threads()
+    );
+    println!(
+        "  completed        : {} tasks in {} cycles",
+        exits.len(),
+        report.cycles
+    );
     println!("  exits            : {first}..{last}");
-    println!("  deadlines met    : {met}/{} ({:.1}%)", exits.len(), 100.0 * met as f64 / exits.len() as f64);
+    println!(
+        "  deadlines met    : {met}/{} ({:.1}%)",
+        exits.len(),
+        100.0 * met as f64 / exits.len() as f64
+    );
     println!("  chip IPC         : {:.2}", report.ipc());
     println!(
         "  memory           : {} requests, {:.0}-cycle mean latency",

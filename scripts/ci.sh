@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md). Everything runs --offline:
+# the workspace has no external dependencies and must stay buildable
+# without a network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline -q --workspace
+
+echo "ci: all gates passed"

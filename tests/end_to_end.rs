@@ -27,7 +27,8 @@ fn loaded_chip(bench: Benchmark, ops: u64) -> SmarcoSystem {
                 team,
                 ops,
             );
-            sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed)))).expect("slot");
+            sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
+                .expect("slot");
             seed += 1;
         }
     }
@@ -40,7 +41,11 @@ fn full_stack_runs_every_benchmark_to_completion() {
         let mut sys = loaded_chip(bench, 400);
         let report = sys.run(100_000_000);
         assert!(sys.is_done(), "{bench} drained");
-        assert_eq!(report.instructions, 16 * 4 * 401, "{bench} instruction count");
+        assert_eq!(
+            report.instructions,
+            16 * 4 * 401,
+            "{bench} instruction count"
+        );
         assert!(report.ipc() > 0.0, "{bench}");
         // RNC is the only benchmark with real-time traffic, which bypasses
         // the MACT.
@@ -73,7 +78,9 @@ fn threads_runtime_balances_and_joins() {
             1,
             300,
         );
-        threads.create(Box::new(HtcStream::new(p, SimRng::new(i))), 300).expect("capacity");
+        threads
+            .create(Box::new(HtcStream::new(p, SimRng::new(i))), 300)
+            .expect("capacity");
     }
     let report = threads.join_all(100_000_000);
     assert_eq!(report.instructions, 64 * 301);
@@ -138,7 +145,8 @@ fn in_pair_ablation_matters_at_chip_level() {
                     (cps * 8) as u64,
                     300,
                 );
-                sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed)))).expect("slot");
+                sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
+                    .expect("slot");
                 seed += 1;
             }
         }
@@ -205,7 +213,10 @@ fn degraded_ring_channel_still_delivers_exactly_once() {
     let mut degraded: Ring<P> = Ring::new(8, LinkConfig::sub_ring());
     degraded.set_channel_config(
         3,
-        LinkConfig { lanes_bidir: 0, ..LinkConfig::sub_ring() },
+        LinkConfig {
+            lanes_bidir: 0,
+            ..LinkConfig::sub_ring()
+        },
     );
     let n = load(&mut degraded);
     let (d_degraded, t_degraded) = drain(&mut degraded);

@@ -1,0 +1,239 @@
+//! Randomized (but fully deterministic) tests of the core data-structure
+//! invariants. Inputs are generated from [`SimRng`] with fixed seeds, so
+//! every run exercises the same cases — no external property-test
+//! dependency, no shrinking, but the same invariants as a proptest suite.
+
+use smarco::mem::cache::{Cache, CacheConfig};
+use smarco::mem::mact::{Mact, MactConfig};
+use smarco::mem::request::{MemRequest, RequestIdAllocator};
+use smarco::mem::spm::Spm;
+use smarco::noc::link::{LinkConfig, Transmittable};
+use smarco::noc::ring::Ring;
+use smarco::runtime::functional::map_reduce;
+use smarco::sched::executor::{run_tasks, run_tasks_preemptive};
+use smarco::sched::{DeadlineScheduler, FifoScheduler, LaxityAwareScheduler, Task, TaskScheduler};
+use smarco::sim::rng::SimRng;
+use smarco_isa::MemRef;
+
+const TRIALS: u64 = 48;
+
+#[derive(Debug, Clone, PartialEq)]
+struct P(u32);
+impl Transmittable for P {
+    fn bytes(&self) -> u32 {
+        self.0
+    }
+}
+
+/// The MACT never loses or duplicates a request: every collected request
+/// appears in exactly one batch; bypassed requests come back immediately.
+#[test]
+fn mact_conserves_requests() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x4d41_4354 + trial);
+        let n = 1 + rng.gen_index(199);
+        let threshold = 1 + rng.gen_range(63);
+        let lines = 1 + rng.gen_index(31);
+        let mut mact = Mact::new(MactConfig {
+            lines,
+            line_bytes: 64,
+            threshold,
+        });
+        let mut ids = RequestIdAllocator::new();
+        let mut issued = Vec::new();
+        let mut seen = Vec::new();
+        for i in 0..n {
+            let bytes = 1u8 << rng.gen_range(4); // 1, 2, 4 or 8
+            let addr = rng.gen_range(4096);
+            let addr = addr - addr % u64::from(bytes); // aligned, no line crossing
+            let req = MemRequest {
+                id: ids.next_id(),
+                core: 0,
+                mem: MemRef::new(addr, bytes),
+                is_write: rng.chance(0.5),
+                issued_at: i as u64,
+            };
+            issued.push(req.id);
+            match mact.offer(req, i as u64) {
+                smarco::mem::MactOutcome::Bypass(r) => seen.push(r.id),
+                smarco::mem::MactOutcome::Collected => {}
+            }
+            for b in mact.tick(i as u64) {
+                seen.extend(b.requests.iter().map(|r| r.id));
+            }
+        }
+        for b in mact.drain_all(n as u64) {
+            seen.extend(b.requests.iter().map(|r| r.id));
+        }
+        seen.sort_unstable();
+        issued.sort_unstable();
+        assert_eq!(seen, issued, "trial {trial}");
+        assert_eq!(mact.pending_requests(), 0, "trial {trial}");
+    }
+}
+
+/// Every injected ring packet is delivered exactly once, at its exit.
+#[test]
+fn ring_delivers_exactly_once() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x5249_4e47 + trial);
+        let routes = 1 + rng.gen_index(79);
+        let mut ring: Ring<P> = Ring::new(12, LinkConfig::sub_ring());
+        let mut expected = 0u64;
+        let mut delivered = 0u64;
+        for _ in 0..routes {
+            let src = rng.gen_index(12);
+            let dst = rng.gen_index(12);
+            let bytes = 1 + rng.gen_range(63) as u32;
+            expected += 1;
+            if ring.inject(src, dst, P(bytes)).is_some() {
+                delivered += 1; // src == dst delivers immediately
+            }
+        }
+        for now in 0..20_000u64 {
+            delivered += ring.tick(now).len() as u64;
+            if ring.is_idle() {
+                break;
+            }
+        }
+        assert!(ring.is_idle(), "trial {trial}: ring drained");
+        assert_eq!(delivered, expected, "trial {trial}");
+    }
+}
+
+/// Cache residency: an accessed line probes present immediately after, and
+/// the cache never reports more hits than accesses.
+#[test]
+fn cache_hits_are_consistent() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x4341_4348 + trial);
+        let n = 1 + rng.gen_index(299);
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 2048,
+            line_bytes: 64,
+            ways: 2,
+        });
+        for _ in 0..n {
+            let a = rng.gen_range(1 << 16);
+            let _ = c.access(a, a.is_multiple_of(3));
+            assert!(
+                c.probe(a),
+                "trial {trial}: line just accessed must be resident"
+            );
+        }
+        let s = c.stats();
+        assert!(s.accesses.hits() <= s.accesses.total());
+        assert_eq!(s.accesses.total(), n as u64, "trial {trial}");
+    }
+}
+
+/// SPM residency algebra: fills make ranges resident, eviction undoes.
+#[test]
+fn spm_residency_roundtrip() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x0053_504d + trial);
+        let ranges = 1 + rng.gen_index(39);
+        let mut spm = Spm::new();
+        let cap = Spm::data_bytes();
+        for _ in 0..ranges {
+            let off = rng.gen_range(100_000) % (cap - 4096);
+            let len = 1 + rng.gen_range(4095);
+            spm.make_resident(off, len);
+            assert!(spm.is_resident(off, len), "trial {trial}");
+            spm.evict(off, len);
+            assert!(!spm.is_resident(off, len.min(64)), "trial {trial}");
+        }
+    }
+}
+
+/// Every task completes exactly once with any scheduler, preemptive or not,
+/// and no exit precedes arrival + work.
+#[test]
+fn executors_complete_every_task_once() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x4558_4543 + trial);
+        let count = 1 + rng.gen_index(59);
+        let slots = 1 + rng.gen_index(15);
+        let quantum = 1 + rng.gen_range(1999);
+        let tasks: Vec<Task> = (0..count)
+            .map(|i| {
+                Task::new(
+                    i as u64,
+                    (i as u64 % 7) * 10,
+                    1_000_000,
+                    1 + rng.gen_range(4999),
+                )
+            })
+            .collect();
+        let mut schedulers: Vec<Box<dyn TaskScheduler>> = vec![
+            Box::new(FifoScheduler::new()),
+            Box::new(DeadlineScheduler::new()),
+            Box::new(LaxityAwareScheduler::new(256)),
+        ];
+        let which = rng.gen_index(schedulers.len());
+        let sched = &mut *schedulers[which];
+        let report = if quantum.is_multiple_of(2) {
+            run_tasks_preemptive(sched, tasks.clone(), slots, quantum, u64::MAX / 2)
+        } else {
+            run_tasks(sched, tasks.clone(), slots, u64::MAX / 2)
+        };
+        assert_eq!(report.records.len(), tasks.len(), "trial {trial}");
+        let mut ids: Vec<u64> = report.records.iter().map(|r| r.task.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), tasks.len(), "trial {trial}");
+        for rec in &report.records {
+            let orig = tasks.iter().find(|t| t.id == rec.task.id).expect("task");
+            assert!(
+                rec.exit >= orig.arrival + orig.work,
+                "trial {trial}: task {} exits at {} before arrival {} + work {}",
+                orig.id,
+                rec.exit,
+                orig.arrival,
+                orig.work
+            );
+        }
+    }
+}
+
+/// The functional MapReduce engine is partition-count invariant and agrees
+/// with a direct fold.
+#[test]
+fn mapreduce_partition_invariance() {
+    for trial in 0..TRIALS {
+        let mut rng = SimRng::new(0x4d41_5052 + trial);
+        let n = 1 + rng.gen_index(99);
+        let parts = 1 + rng.gen_index(15);
+        let nums: Vec<u64> = (0..n).map(|_| rng.gen_range(1000)).collect();
+        let by_parts = map_reduce(
+            &nums,
+            |&n| vec![(n % 10, n)],
+            |_k, vs: &[u64]| vs.iter().sum(),
+            parts,
+        );
+        let reference = map_reduce(
+            &nums,
+            |&n| vec![(n % 10, n)],
+            |_k, vs: &[u64]| vs.iter().sum(),
+            1,
+        );
+        assert_eq!(&by_parts, &reference, "trial {trial}");
+        let direct: u64 = nums.iter().sum();
+        let total: u64 = by_parts.values().sum();
+        assert_eq!(total, direct, "trial {trial}");
+    }
+}
+
+/// SimRng::gen_range stays in bounds for arbitrary seeds and bounds.
+#[test]
+fn rng_range_in_bounds() {
+    let mut meta = SimRng::new(0x0052_4e47);
+    for _ in 0..256 {
+        let seed = meta.next_u64();
+        let bound = 1 + meta.gen_range(1_000_000);
+        let mut rng = SimRng::new(seed);
+        for _ in 0..50 {
+            assert!(rng.gen_range(bound) < bound);
+        }
+    }
+}
