@@ -1,0 +1,189 @@
+//! `lint`: sweep the shipped chip configurations, the six built-in HTC
+//! benchmarks, and the MapReduce staging plan through the static
+//! verifier (`smarco-lint`) and report every finding.
+//!
+//! One sub-ring team per benchmark is captured exactly as
+//! `smarco_team_system` would attach it (the other sub-rings run the
+//! same program shifted to disjoint regions, so one team is the whole
+//! race surface), and the MapReduce plan mirrors `smarco_mapreduce`'s
+//! sizing. Exits non-zero on any deny finding — or any warning with
+//! `--deny-warnings` — so CI can gate on it.
+//!
+//! Usage: `lint [--deny-warnings] [--json <path>] [--ops N] [--threads N]`
+//! (defaults: 600 ops/thread, 8 threads/core, tiny topology for the
+//! program passes).
+
+use smarco_core::config::SmarcoConfig;
+use smarco_lint::{
+    check_mapreduce_plan, lint_config, lint_threads, Report, Severity, ThreadProgram,
+};
+use smarco_mem::map::AddressSpace;
+use smarco_mem::spm::Spm;
+use smarco_runtime::MapReduceConfig;
+use smarco_sim::rng::SimRng;
+use smarco_workloads::{Benchmark, HtcStream};
+
+struct Args {
+    deny_warnings: bool,
+    json: Option<String>,
+    ops: u64,
+    threads: usize,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        deny_warnings: false,
+        json: None,
+        ops: 600,
+        threads: 8,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--deny-warnings" => {
+                out.deny_warnings = true;
+                i += 1;
+            }
+            "--json" => {
+                out.json = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--ops" => {
+                out.ops = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(out.ops);
+                i += 2;
+            }
+            "--threads" => {
+                out.threads = argv
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(out.threads);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: lint [--deny-warnings] [--json <path>] [--ops N] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+/// Captures sub-ring 0's team for `bench` exactly as `smarco_team_system`
+/// attaches it.
+fn team_capture(bench: Benchmark, cfg: &SmarcoConfig, ops: u64, tpc: usize) -> Vec<ThreadProgram> {
+    let cps = cfg.noc.cores_per_subring;
+    let team = (cps * tpc) as u64;
+    let (scan_base, table_base) = (0x100_0000, 0x8000_0000);
+    let mut threads = Vec::with_capacity(cps * tpc);
+    let mut seed = 1;
+    for core in 0..cps {
+        for t in 0..tpc {
+            let j = (core * tpc + t) as u64;
+            let p = bench.thread_params(scan_base, 16 << 20, table_base, j, team, ops);
+            threads.push(ThreadProgram::from_stream(
+                format!("{}:core{core}/slot{t}", bench.name()),
+                core,
+                t,
+                HtcStream::new(p, SimRng::new(seed)),
+                ops as usize + 16,
+            ));
+            seed += 1;
+        }
+    }
+    threads
+}
+
+/// The MapReduce job `smarco_mapreduce` would launch on `cfg`.
+fn mapreduce_plan(cfg: &SmarcoConfig, tpc: usize) -> MapReduceConfig {
+    let subrings = cfg.noc.subrings;
+    let reducers = (subrings / 4).max(1);
+    let cps = cfg.noc.cores_per_subring;
+    let map_tasks = ((subrings - reducers) * cps * tpc) as u64;
+    let reduce_tasks = (reducers * cps * tpc) as u64;
+    let share = Spm::data_bytes() / tpc as u64;
+    let slice = share.saturating_sub(8 << 10).clamp(2 << 10, 8 << 10);
+    MapReduceConfig {
+        threads_per_core: tpc,
+        shuffle_len: reduce_tasks * slice,
+        ..MapReduceConfig::split(subrings, 0x100_0000, map_tasks * slice)
+    }
+}
+
+fn section(total: &mut Report, name: &str, report: &Report) {
+    match report.worst() {
+        None => println!("  {name}: clean"),
+        Some(worst) => {
+            println!(
+                "  {name}: {} finding(s), worst {}",
+                report.len(),
+                worst.name()
+            );
+            for line in report.render_text().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    total.absorb(report.diagnostics().to_vec());
+}
+
+fn main() {
+    let args = parse_args();
+    let mut total = Report::new();
+
+    println!("configurations:");
+    for (name, cfg) in [
+        ("smarco", SmarcoConfig::smarco()),
+        ("tiny", SmarcoConfig::tiny()),
+        ("prototype_40nm", SmarcoConfig::prototype_40nm()),
+    ] {
+        section(&mut total, name, &lint_config(&cfg));
+    }
+
+    let cfg = SmarcoConfig::tiny();
+    let tpc = args.threads.min(cfg.tcg.resident_threads);
+    let space = AddressSpace::new(cfg.noc.cores(), cfg.dram.channels);
+    println!(
+        "benchmarks ({} ops/thread, {tpc} threads/core, one sub-ring team):",
+        args.ops
+    );
+    for bench in Benchmark::ALL {
+        let threads = team_capture(bench, &cfg, args.ops, tpc);
+        section(&mut total, bench.name(), &lint_threads(&space, &threads));
+    }
+
+    println!("mapreduce plan:");
+    for (name, cfg) in [
+        ("tiny", SmarcoConfig::tiny()),
+        ("smarco", SmarcoConfig::smarco()),
+    ] {
+        let space = AddressSpace::new(cfg.noc.cores(), cfg.dram.channels);
+        let mr = mapreduce_plan(&cfg, tpc.min(cfg.tcg.resident_threads));
+        let mut report = Report::new();
+        report.absorb(check_mapreduce_plan(&mr, &cfg, &space));
+        report.sort();
+        section(&mut total, name, &report);
+    }
+
+    total.sort();
+    if let Some(path) = &args.json {
+        std::fs::write(path, total.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    let (deny, warn, note) = (
+        total.count(Severity::Deny),
+        total.count(Severity::Warn),
+        total.count(Severity::Note),
+    );
+    println!("total: {deny} deny, {warn} warn, {note} note");
+    if deny > 0 || (args.deny_warnings && warn > 0) {
+        std::process::exit(1);
+    }
+}

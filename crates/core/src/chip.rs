@@ -265,7 +265,7 @@ impl SmarcoSystem {
 
     /// Per-sub-ring MACT statistics.
     pub fn mact_stats(&self) -> Vec<&smarco_mem::mact::MactStats> {
-        self.macts.iter().map(|m| m.stats()).collect()
+        self.macts.iter().map(smarco_mem::Mact::stats).collect()
     }
 
     /// Submits a task with a deadline to the hardware dispatcher (§3.7):
@@ -604,10 +604,7 @@ impl SmarcoSystem {
             let cs = c.stats();
             instructions += cs.instructions;
             idle_pairs += cs.idle_pair_cycles;
-            s.set(
-                &format!("core{i:02}_instructions", i = i),
-                cs.instructions as f64,
-            );
+            s.set(&format!("core{i:02}_instructions"), cs.instructions as f64);
         }
         s.set("instructions", instructions as f64);
         s.set("idle_pair_cycles", idle_pairs as f64);
@@ -669,9 +666,9 @@ impl SmarcoSystem {
             let di = w.get("instructions").unwrap_or(0.0);
             w.set("ipc", di / dc);
             for i in 0..ncores as usize {
-                let key = format!("core{i:02}_instructions", i = i);
+                let key = format!("core{i:02}_instructions");
                 if let Some(ci) = w.get(&key) {
-                    w.set(&format!("core{i:02}_ipc", i = i), ci / dc);
+                    w.set(&format!("core{i:02}_ipc"), ci / dc);
                 }
             }
             let idle = w.get("idle_pair_cycles").unwrap_or(0.0);
@@ -1104,7 +1101,10 @@ mod tests {
         let report = sys.run(10_000_000);
         assert!(sys.is_done(), "all tasks dispatched and exited");
         assert_eq!(sys.task_exits().len(), 256);
-        assert!(sys.task_exits().iter().all(|e| e.met_deadline()));
+        assert!(sys
+            .task_exits()
+            .iter()
+            .all(super::super::dispatch::TaskExit::met_deadline));
         assert_eq!(report.instructions, 256 * 501);
         // Exits are spread over time (slots were recycled, not all
         // parallel).

@@ -77,12 +77,16 @@ impl ThreadSlot {
 
     /// The attached stream's instruction segment, if any.
     pub fn segment(&self) -> Option<(u64, u64)> {
-        self.stream.as_ref().and_then(|s| s.segment())
+        self.stream
+            .as_ref()
+            .and_then(smarco_isa::InstructionStream::segment)
     }
 
     /// Fetches the next instruction; `None` ends the thread.
     pub fn next_instr(&mut self) -> Option<smarco_isa::Instr> {
-        self.stream.as_mut().and_then(|s| s.next_instr())
+        self.stream
+            .as_mut()
+            .and_then(smarco_isa::InstructionStream::next_instr)
     }
 
     /// Whether the slot holds live work (not done/vacant).

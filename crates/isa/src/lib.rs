@@ -29,6 +29,6 @@ pub mod program;
 pub mod stream;
 pub mod trace;
 
-pub use op::{Instr, MemRef, Op, Priority};
+pub use op::{Effect, Instr, MemRef, Op, Priority};
 pub use program::{Program, ProgramBuilder};
 pub use stream::InstructionStream;

@@ -404,7 +404,7 @@ mod tests {
         let ops = drain(SyntheticStream::new(test_mix(), 50_000, SimRng::new(5)));
         let sizes: Vec<u8> = ops
             .iter()
-            .filter_map(|o| o.mem_ref())
+            .filter_map(Op::mem_ref)
             .map(|m| m.bytes)
             .collect();
         let small = sizes.iter().filter(|&&s| s <= 2).count() as f64 / sizes.len() as f64;

@@ -41,11 +41,16 @@ impl MemRef {
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` is 0 or greater than 64.
+    /// Panics if `bytes` is 0 or greater than 64, or if `addr + bytes`
+    /// overflows the 64-bit address space.
     pub fn new(addr: u64, bytes: u8) -> Self {
         assert!(
             (1..=64).contains(&bytes),
             "access width {bytes} out of range 1..=64"
+        );
+        assert!(
+            addr.checked_add(u64::from(bytes)).is_some(),
+            "memory reference {addr:#x}+{bytes} overflows the address space"
         );
         Self {
             addr,
@@ -58,7 +63,8 @@ impl MemRef {
     ///
     /// # Panics
     ///
-    /// Panics if `bytes` is 0 or greater than 64.
+    /// Panics if `bytes` is 0 or greater than 64, or if `addr + bytes`
+    /// overflows the 64-bit address space.
     pub fn realtime(addr: u64, bytes: u8) -> Self {
         let mut r = Self::new(addr, bytes);
         r.priority = Priority::Realtime;
@@ -66,8 +72,50 @@ impl MemRef {
     }
 
     /// Exclusive end address of the reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with a clear message, instead of wrapping silently) if the
+    /// reference ends past `u64::MAX` — possible only for references built
+    /// before construction-time validation, e.g. deserialized ones.
     pub fn end(&self) -> u64 {
-        self.addr + u64::from(self.bytes)
+        self.addr
+            .checked_add(u64::from(self.bytes))
+            .unwrap_or_else(|| {
+                panic!(
+                    "memory reference {:#x}+{} overflows the address space",
+                    self.addr, self.bytes
+                )
+            })
+    }
+
+    /// The referenced byte range `[addr, end)`.
+    pub fn range(&self) -> std::ops::Range<u64> {
+        self.addr..self.end()
+    }
+}
+
+/// One static memory effect of an op: a byte range read or written, used
+/// by def-use analyses (e.g. the `smarco-lint` race and overlap passes).
+///
+/// DMA effects are distinguished from LSQ effects because a DMA transfer
+/// is asynchronous: its write completes only at the next [`Op::Sync`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Effect {
+    /// First byte touched.
+    pub start: u64,
+    /// Exclusive end of the range.
+    pub end: u64,
+    /// Whether the range is written (else read).
+    pub write: bool,
+    /// Whether the effect is produced by an asynchronous DMA transfer.
+    pub dma: bool,
+}
+
+impl Effect {
+    /// Whether the effect's range overlaps `other`'s.
+    pub fn overlaps(&self, other: &Effect) -> bool {
+        self.start < other.end && other.start < self.end
     }
 }
 
@@ -142,6 +190,48 @@ impl Op {
     pub fn is_mem(&self) -> bool {
         matches!(self, Op::Load(_) | Op::Store(_))
     }
+
+    /// The op's static memory effects (def-use metadata): zero, one or two
+    /// byte ranges read/written. A `Dma` op reads its source and writes its
+    /// destination (both tagged `dma: true`); zero-length DMA transfers
+    /// produce no effects.
+    pub fn effects(&self) -> Vec<Effect> {
+        match *self {
+            Op::Load(m) => vec![Effect {
+                start: m.addr,
+                end: m.end(),
+                write: false,
+                dma: false,
+            }],
+            Op::Store(m) => vec![Effect {
+                start: m.addr,
+                end: m.end(),
+                write: true,
+                dma: false,
+            }],
+            Op::Dma { src, dst, bytes } if bytes > 0 => vec![
+                Effect {
+                    start: src,
+                    end: src.saturating_add(u64::from(bytes)),
+                    write: false,
+                    dma: true,
+                },
+                Effect {
+                    start: dst,
+                    end: dst.saturating_add(u64::from(bytes)),
+                    write: true,
+                    dma: true,
+                },
+            ],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this op orders the thread after its outstanding DMA
+    /// transfers (the only barrier-like op in the ISA).
+    pub fn is_dma_barrier(&self) -> bool {
+        matches!(self, Op::Sync)
+    }
 }
 
 /// An instruction paired with its program counter (used for I-cache and
@@ -196,6 +286,78 @@ mod tests {
         .is_mem());
         assert_eq!(Op::load(16, 2).mem_ref(), Some(MemRef::new(16, 2)));
         assert_eq!(Op::compute().mem_ref(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows the address space")]
+    fn overflowing_ref_rejected_at_construction() {
+        MemRef::new(u64::MAX - 3, 8);
+    }
+
+    #[test]
+    fn ref_at_top_of_address_space_is_valid() {
+        let r = MemRef::new(u64::MAX - 8, 8);
+        assert_eq!(r.end(), u64::MAX);
+        assert_eq!(r.range(), u64::MAX - 8..u64::MAX);
+    }
+
+    #[test]
+    fn effects_capture_def_use() {
+        assert_eq!(
+            Op::load(0x100, 4).effects(),
+            vec![Effect {
+                start: 0x100,
+                end: 0x104,
+                write: false,
+                dma: false
+            }]
+        );
+        assert_eq!(
+            Op::store(0x200, 8).effects(),
+            vec![Effect {
+                start: 0x200,
+                end: 0x208,
+                write: true,
+                dma: false
+            }]
+        );
+        let dma = Op::Dma {
+            src: 0x1000,
+            dst: 0x2000,
+            bytes: 64,
+        };
+        let eff = dma.effects();
+        assert_eq!(eff.len(), 2);
+        assert!(!eff[0].write && eff[0].dma);
+        assert!(eff[1].write && eff[1].dma);
+        assert_eq!(eff[1].start..eff[1].end, 0x2000..0x2040);
+        assert!(Op::compute().effects().is_empty());
+        assert!(Op::Dma {
+            src: 0,
+            dst: 64,
+            bytes: 0
+        }
+        .effects()
+        .is_empty());
+    }
+
+    #[test]
+    fn effect_overlap_is_strict_range_intersection() {
+        let w = |start, end| Effect {
+            start,
+            end,
+            write: true,
+            dma: false,
+        };
+        assert!(w(0, 8).overlaps(&w(4, 12)));
+        assert!(!w(0, 8).overlaps(&w(8, 16)), "adjacent ranges are disjoint");
+    }
+
+    #[test]
+    fn sync_is_the_dma_barrier() {
+        assert!(Op::Sync.is_dma_barrier());
+        assert!(!Op::compute().is_dma_barrier());
+        assert!(!Op::Exit.is_dma_barrier());
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! Static access model: captured thread programs and merged interval
+//! sets over their memory effects.
+//!
+//! Every pass works on [`ThreadProgram`]s — finite instruction captures
+//! with a placement (core, slot). Read/write footprints are reduced to
+//! [`IntervalSet`]s: sorted, merged byte ranges, each keeping a
+//! representative instruction so diagnostics can point somewhere
+//! concrete. Overlap queries are a linear two-pointer sweep.
+
+use smarco_isa::op::{Instr, Op};
+use smarco_isa::trace::Trace;
+use smarco_isa::InstructionStream;
+
+/// A finite instruction capture of one thread, placed on the chip.
+#[derive(Debug, Clone)]
+pub struct ThreadProgram {
+    /// Display label, e.g. `core0/slot2`.
+    pub name: String,
+    /// Core the thread runs on.
+    pub core: usize,
+    /// Resident-thread slot on that core (pairs are `slot / 2`).
+    pub slot: usize,
+    /// The captured instructions.
+    pub instrs: Vec<Instr>,
+}
+
+impl ThreadProgram {
+    /// Wraps an explicit instruction list.
+    pub fn new(name: impl Into<String>, core: usize, slot: usize, instrs: Vec<Instr>) -> Self {
+        Self {
+            name: name.into(),
+            core,
+            slot,
+            instrs,
+        }
+    }
+
+    /// Captures at most `limit` instructions from a stream (the standard
+    /// way to lint generator-backed workloads).
+    pub fn from_stream<S: InstructionStream>(
+        name: impl Into<String>,
+        core: usize,
+        slot: usize,
+        stream: S,
+        limit: usize,
+    ) -> Self {
+        let trace = Trace::record_bounded(stream, limit);
+        Self::new(name, core, slot, trace.instrs().to_vec())
+    }
+
+    /// The in-pair index: threads with equal `pair()` on the same core
+    /// are friends sharing one dispatcher slice.
+    pub fn pair(&self) -> usize {
+        self.slot / 2
+    }
+}
+
+/// A byte range with a representative instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First byte.
+    pub start: u64,
+    /// Exclusive end.
+    pub end: u64,
+    /// Program counter of a representative instruction touching it.
+    pub pc: u64,
+    /// Stream index of that instruction.
+    pub index: usize,
+}
+
+/// Sorted, merged intervals supporting linear overlap sweeps.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntervalSet {
+    items: Vec<Interval>,
+}
+
+impl IntervalSet {
+    /// Builds a set, sorting and merging overlapping or adjacent input
+    /// intervals (the earliest representative wins, so diagnostics point
+    /// at the first instruction that touched the range).
+    pub fn build(mut intervals: Vec<Interval>) -> Self {
+        intervals.retain(|iv| iv.start < iv.end);
+        intervals.sort_by_key(|iv| (iv.start, iv.index));
+        let mut merged: Vec<Interval> = Vec::with_capacity(intervals.len());
+        for iv in intervals {
+            match merged.last_mut() {
+                Some(last) if iv.start <= last.end => {
+                    last.end = last.end.max(iv.end);
+                    if iv.index < last.index {
+                        last.pc = iv.pc;
+                        last.index = iv.index;
+                    }
+                }
+                _ => merged.push(iv),
+            }
+        }
+        Self { items: merged }
+    }
+
+    /// The merged intervals, ascending by start.
+    pub fn intervals(&self) -> &[Interval] {
+        &self.items
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Total bytes covered.
+    pub fn bytes(&self) -> u64 {
+        self.items.iter().map(|iv| iv.end - iv.start).sum()
+    }
+
+    /// First strict overlap between this set and `other`, if any
+    /// (two-pointer sweep; adjacency is not overlap).
+    pub fn first_overlap(&self, other: &IntervalSet) -> Option<(Interval, Interval)> {
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            let a = self.items[i];
+            let b = other.items[j];
+            if a.start < b.end && b.start < a.end {
+                return Some((a, b));
+            }
+            if a.end <= b.start {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        None
+    }
+}
+
+/// A thread's static footprint: merged read and write interval sets
+/// (DMA sources count as reads, DMA destinations as writes).
+#[derive(Debug, Clone, Default)]
+pub struct ThreadAccesses {
+    /// Bytes the thread reads.
+    pub reads: IntervalSet,
+    /// Bytes the thread writes.
+    pub writes: IntervalSet,
+}
+
+impl ThreadAccesses {
+    /// Collects the footprint of a captured program via [`Op::effects`].
+    pub fn collect(prog: &ThreadProgram) -> Self {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        for (index, instr) in prog.instrs.iter().enumerate() {
+            for e in instr.op.effects() {
+                let iv = Interval {
+                    start: e.start,
+                    end: e.end,
+                    pc: instr.pc,
+                    index,
+                };
+                if e.write {
+                    writes.push(iv);
+                } else {
+                    reads.push(iv);
+                }
+            }
+        }
+        Self {
+            reads: IntervalSet::build(reads),
+            writes: IntervalSet::build(writes),
+        }
+    }
+}
+
+/// Collects the merged destination ranges of a thread's DMA transfers.
+pub fn dma_destinations(prog: &ThreadProgram) -> IntervalSet {
+    let mut dsts = Vec::new();
+    for (index, instr) in prog.instrs.iter().enumerate() {
+        if let Op::Dma { dst, bytes, .. } = instr.op {
+            if bytes > 0 {
+                dsts.push(Interval {
+                    start: dst,
+                    end: dst.saturating_add(u64::from(bytes)),
+                    pc: instr.pc,
+                    index,
+                });
+            }
+        }
+    }
+    IntervalSet::build(dsts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(start: u64, end: u64, index: usize) -> Interval {
+        Interval {
+            start,
+            end,
+            pc: 0x1000 + index as u64 * 4,
+            index,
+        }
+    }
+
+    #[test]
+    fn build_merges_overlapping_and_adjacent() {
+        let s = IntervalSet::build(vec![
+            iv(10, 20, 1),
+            iv(0, 10, 0),
+            iv(15, 30, 2),
+            iv(40, 50, 3),
+        ]);
+        let got: Vec<(u64, u64)> = s.intervals().iter().map(|i| (i.start, i.end)).collect();
+        assert_eq!(got, vec![(0, 30), (40, 50)]);
+        assert_eq!(s.intervals()[0].index, 0, "earliest representative kept");
+        assert_eq!(s.bytes(), 40);
+    }
+
+    #[test]
+    fn overlap_sweep_finds_first_intersection() {
+        let a = IntervalSet::build(vec![iv(0, 8, 0), iv(100, 120, 1)]);
+        let b = IntervalSet::build(vec![iv(8, 16, 0), iv(110, 112, 1)]);
+        let (x, y) = a.first_overlap(&b).expect("overlap at 110");
+        assert_eq!((x.start, y.start), (100, 110));
+        // Adjacency ([0,8) vs [8,16)) is not overlap.
+        let c = IntervalSet::build(vec![iv(8, 16, 0)]);
+        let d = IntervalSet::build(vec![iv(0, 8, 0)]);
+        assert!(c.first_overlap(&d).is_none());
+    }
+
+    #[test]
+    fn collect_splits_reads_and_writes() {
+        let prog = ThreadProgram::new(
+            "t",
+            0,
+            0,
+            vec![
+                Instr {
+                    pc: 0x100,
+                    op: Op::load(0x1000, 8),
+                },
+                Instr {
+                    pc: 0x104,
+                    op: Op::store(0x2000, 4),
+                },
+                Instr {
+                    pc: 0x108,
+                    op: Op::Dma {
+                        src: 0x3000,
+                        dst: 0x4000,
+                        bytes: 64,
+                    },
+                },
+            ],
+        );
+        let acc = ThreadAccesses::collect(&prog);
+        assert_eq!(acc.reads.bytes(), 8 + 64);
+        assert_eq!(acc.writes.bytes(), 4 + 64);
+        let dsts = dma_destinations(&prog);
+        assert_eq!(dsts.bytes(), 64);
+        assert_eq!(dsts.intervals()[0].start, 0x4000);
+    }
+
+    #[test]
+    fn pair_is_slot_over_two() {
+        let p = ThreadProgram::new("t", 0, 5, Vec::new());
+        assert_eq!(p.pair(), 2);
+    }
+}

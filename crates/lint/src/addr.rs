@@ -1,0 +1,322 @@
+//! Pass 1 — address-map analysis.
+//!
+//! Resolves every static memory reference of a captured program against
+//! the unified address space (`mem::map`): references must land wholly
+//! inside one mapped region, DMA endpoints must be transferable ranges,
+//! and naturally-alignable widths should be aligned. Remote-SPM traffic
+//! is legal but noted — it rides the rings at DRAM-class latency.
+
+use std::collections::HashSet;
+
+use smarco_isa::op::Op;
+use smarco_mem::map::{AddressSpace, RangeClass, Region};
+
+use crate::access::ThreadProgram;
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Identical findings (same code, same address) repeated by a looping
+/// stream are reported once; a capture is bounded anyway, so the cap only
+/// guards pathological programs.
+const MAX_PER_THREAD: usize = 64;
+
+fn region_name(r: Region) -> String {
+    match r {
+        Region::Dram { channel } => format!("DRAM (channel {channel})"),
+        Region::Spm { core, .. } => format!("core {core} SPM"),
+        Region::SpmCtrl { core, .. } => format!("core {core} SPM control registers"),
+        Region::Unmapped => "unmapped space".to_string(),
+    }
+}
+
+/// Lints one thread's references; see the module docs for the rules.
+pub fn check_thread_addresses(space: &AddressSpace, t: &ThreadProgram) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut seen: HashSet<(&'static str, u64)> = HashSet::new();
+    let mut capped = false;
+    for (index, instr) in t.instrs.iter().enumerate() {
+        if out.len() >= MAX_PER_THREAD {
+            capped = true;
+            break;
+        }
+        let span = |t: &ThreadProgram| Span::Pc {
+            thread: t.name.clone(),
+            pc: instr.pc,
+            index,
+        };
+        if let Some(m) = instr.op.mem_ref() {
+            let kind = if matches!(instr.op, Op::Store(_)) {
+                "store"
+            } else {
+                "load"
+            };
+            let bytes = u64::from(m.bytes);
+            match space.classify_range(m.addr, bytes) {
+                RangeClass::Unmapped => {
+                    if seen.insert((Code::UnmappedRef.as_str(), m.addr)) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::UnmappedRef,
+                                span(t),
+                                format!(
+                                    "{kind} of {bytes} B at {:#x} hits no mapped region",
+                                    m.addr
+                                ),
+                            )
+                            .with_help(
+                                "place the buffer in DRAM (below 64 GiB) or in an SPM window",
+                            ),
+                        );
+                    }
+                }
+                RangeClass::Straddles { first, end } => {
+                    if seen.insert((Code::StraddlingRef.as_str(), m.addr)) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::StraddlingRef,
+                                span(t),
+                                format!(
+                                    "{kind} of {bytes} B at {:#x} starts in {} but ends in {}",
+                                    m.addr,
+                                    region_name(first),
+                                    region_name(end),
+                                ),
+                            )
+                            .with_help("split the access or move the buffer off the boundary"),
+                        );
+                    }
+                }
+                RangeClass::Within(Region::SpmCtrl { core, offset }) => {
+                    if seen.insert((Code::CtrlRef.as_str(), m.addr)) {
+                        out.push(
+                            Diagnostic::new(
+                                Code::CtrlRef,
+                                span(t),
+                                format!(
+                                    "{kind} hits core {core}'s SPM control registers \
+                                     (offset {offset:#x}); guests should issue `Dma`/`Sync` ops"
+                                ),
+                            )
+                            .with_help("use the DMA ops instead of poking control registers"),
+                        );
+                    }
+                }
+                RangeClass::Within(Region::Spm { core, .. }) if core != t.core => {
+                    if seen.insert((Code::RemoteSpmRef.as_str(), m.addr)) {
+                        out.push(Diagnostic::new(
+                            Code::RemoteSpmRef,
+                            span(t),
+                            format!(
+                                "{kind} at {:#x} targets core {core}'s SPM from core {}; \
+                                 remote SPM rides the rings at memory-class latency",
+                                m.addr, t.core,
+                            ),
+                        ));
+                    }
+                }
+                RangeClass::Within(_) => {}
+            }
+            if m.bytes.is_power_of_two()
+                && !m.addr.is_multiple_of(bytes)
+                && seen.insert((Code::MisalignedRef.as_str(), m.addr))
+            {
+                out.push(
+                    Diagnostic::new(
+                        Code::MisalignedRef,
+                        span(t),
+                        format!(
+                            "{kind} of {bytes} B at {:#x} is not {bytes}-byte aligned",
+                            m.addr
+                        ),
+                    )
+                    .with_help(
+                        "misaligned accesses can straddle MACT lines and forfeit collection",
+                    ),
+                );
+            }
+        }
+        if let Op::Dma { src, dst, bytes } = instr.op {
+            if bytes == 0 {
+                out.push(
+                    Diagnostic::new(
+                        Code::BadDmaRange,
+                        span(t),
+                        "zero-length DMA transfer".to_string(),
+                    )
+                    .with_severity(crate::diag::Severity::Warn)
+                    .with_help("drop the op; the engine treats it as a no-op"),
+                );
+                continue;
+            }
+            for (what, base) in [("source", src), ("destination", dst)] {
+                if !seen.insert((Code::BadDmaRange.as_str(), base)) {
+                    continue;
+                }
+                match space.classify_range(base, u64::from(bytes)) {
+                    RangeClass::Unmapped => out.push(
+                        Diagnostic::new(
+                            Code::BadDmaRange,
+                            span(t),
+                            format!(
+                                "DMA {what} [{:#x}, {:#x}) hits no mapped region",
+                                base,
+                                base + u64::from(bytes)
+                            ),
+                        )
+                        .with_help("DMA endpoints must be DRAM or a core's SPM data region"),
+                    ),
+                    RangeClass::Straddles { first, end } => out.push(
+                        Diagnostic::new(
+                            Code::BadDmaRange,
+                            span(t),
+                            format!(
+                                "DMA {what} [{:#x}, {:#x}) starts in {} but ends in {}",
+                                base,
+                                base + u64::from(bytes),
+                                region_name(first),
+                                region_name(end),
+                            ),
+                        )
+                        .with_help("chunk the transfer so each piece stays inside one region"),
+                    ),
+                    RangeClass::Within(Region::SpmCtrl { core, .. }) => out.push(Diagnostic::new(
+                        Code::BadDmaRange,
+                        span(t),
+                        format!("DMA {what} targets core {core}'s SPM control registers"),
+                    )),
+                    RangeClass::Within(_) => {}
+                }
+            }
+        }
+    }
+    if capped {
+        out.push(
+            Diagnostic::new(
+                Code::UnmappedRef,
+                Span::Pc {
+                    thread: t.name.clone(),
+                    pc: 0,
+                    index: t.instrs.len(),
+                },
+                format!("further address findings suppressed after {MAX_PER_THREAD}"),
+            )
+            .with_severity(crate::diag::Severity::Note),
+        );
+    }
+    out
+}
+
+/// Lints every thread's references.
+pub fn check_addresses(space: &AddressSpace, threads: &[ThreadProgram]) -> Vec<Diagnostic> {
+    threads
+        .iter()
+        .flat_map(|t| check_thread_addresses(space, t))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use smarco_isa::op::Instr;
+    use smarco_mem::map::{DRAM_BYTES, SPM_BASE, SPM_BYTES, SPM_CTRL_BYTES};
+
+    fn prog(core: usize, ops: Vec<Op>) -> ThreadProgram {
+        let instrs = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| Instr {
+                pc: 0x1000 + i as u64 * 4,
+                op,
+            })
+            .collect();
+        ThreadProgram::new(format!("core{core}/slot0"), core, 0, instrs)
+    }
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(4, 2)
+    }
+
+    #[test]
+    fn clean_program_yields_no_findings() {
+        let p = prog(
+            0,
+            vec![
+                Op::load(0x1000, 8),
+                Op::store(SPM_BASE + 64, 8),
+                Op::Dma {
+                    src: 0x1_0000,
+                    dst: SPM_BASE + 4096,
+                    bytes: 4096,
+                },
+                Op::Sync,
+            ],
+        );
+        assert!(check_thread_addresses(&space(), &p).is_empty());
+    }
+
+    #[test]
+    fn unmapped_reference_is_denied_with_sl0101() {
+        let hole = DRAM_BYTES + (1 << 20);
+        let p = prog(0, vec![Op::load(hole, 8)]);
+        let ds = check_thread_addresses(&space(), &p);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0101");
+        assert_eq!(ds[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn straddling_reference_is_denied_with_sl0102() {
+        // Crosses from core 0's SPM data region into its control window.
+        let addr = SPM_BASE + SPM_BYTES - SPM_CTRL_BYTES - 4;
+        let p = prog(0, vec![Op::load(addr, 8)]);
+        let ds = check_thread_addresses(&space(), &p);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0102"));
+    }
+
+    #[test]
+    fn misaligned_reference_warns_with_sl0103() {
+        let p = prog(0, vec![Op::load(0x1001, 8)]);
+        let ds = check_thread_addresses(&space(), &p);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0103");
+        assert_eq!(ds[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn control_window_access_warns_and_remote_spm_notes() {
+        let ctrl = SPM_BASE + SPM_BYTES - SPM_CTRL_BYTES;
+        let remote = SPM_BASE + SPM_BYTES + 64; // core 1's window
+        let p = prog(0, vec![Op::store(ctrl, 8), Op::load(remote, 8)]);
+        let ds = check_thread_addresses(&space(), &p);
+        assert!(ds
+            .iter()
+            .any(|d| d.code.as_str() == "SL0104" && d.severity == Severity::Warn));
+        assert!(ds
+            .iter()
+            .any(|d| d.code.as_str() == "SL0106" && d.severity == Severity::Note));
+    }
+
+    #[test]
+    fn bad_dma_endpoints_are_denied_with_sl0105() {
+        let p = prog(
+            0,
+            vec![Op::Dma {
+                src: DRAM_BYTES + 4096,                          // unmapped hole
+                dst: SPM_BASE + SPM_BYTES - SPM_CTRL_BYTES - 64, // straddles into ctrl
+                bytes: 4096,
+            }],
+        );
+        let ds = check_thread_addresses(&space(), &p);
+        let bad: Vec<_> = ds.iter().filter(|d| d.code.as_str() == "SL0105").collect();
+        assert_eq!(bad.len(), 2, "both endpoints flagged: {ds:?}");
+        assert!(bad.iter().all(|d| d.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn repeated_identical_findings_are_deduplicated() {
+        let hole = DRAM_BYTES + 64;
+        let p = prog(0, vec![Op::load(hole, 8); 100]);
+        let ds = check_thread_addresses(&space(), &p);
+        assert_eq!(ds.len(), 1, "one finding for 100 identical bad loads");
+    }
+}

@@ -1,0 +1,384 @@
+//! Pass 4 — configuration validation.
+//!
+//! Re-states the chip's structural invariants as diagnostics instead of
+//! panics: the `validate()` methods on the config structs abort the
+//! simulator at construction, while this pass reports *every* violated
+//! invariant of a candidate configuration at once, so sweeps and config
+//! files can be vetted before a chip is ever built. A few soft
+//! heuristics live only here (slice widths that do not tile the
+//! guaranteed link capacity, MACT deadlines beyond the line capacity,
+//! tasks that are already late when they arrive).
+
+use smarco_core::config::{SmarcoConfig, TcgConfig};
+use smarco_mem::mact::MactConfig;
+use smarco_noc::{LinkConfig, NocConfig};
+use smarco_sched::Task;
+
+use crate::diag::{Code, Diagnostic, Severity, Span};
+
+fn zero(path: &str, what: &str) -> Diagnostic {
+    Diagnostic::new(
+        Code::ZeroField,
+        Span::Field(path.to_string()),
+        format!("{what} must be positive"),
+    )
+}
+
+/// Lints one link geometry (`label` names it in spans, e.g. `noc.main_link`).
+pub fn check_link(label: &str, link: &LinkConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if link.lanes_fixed_per_dir == 0 {
+        out.push(zero(
+            &format!("{label}.lanes_fixed_per_dir"),
+            "each direction needs at least one dedicated lane",
+        ));
+    }
+    if link.lane_bytes == 0 {
+        out.push(zero(&format!("{label}.lane_bytes"), "lane width"));
+    }
+    if link.hop_latency == 0 {
+        out.push(zero(&format!("{label}.hop_latency"), "hop latency"));
+    }
+    if let Some(s) = link.slice_bytes {
+        let span = Span::Field(format!("{label}.slice_bytes"));
+        if s == 0 || s > link.max_capacity() {
+            out.push(
+                Diagnostic::new(
+                    Code::SliceWidth,
+                    span,
+                    format!(
+                        "slice width {s} outside 1..={} (peak per-direction bytes/cycle)",
+                        link.max_capacity(),
+                    ),
+                )
+                .with_severity(Severity::Deny)
+                .with_help("the greedy allocator packs packets into slices of the link width"),
+            );
+        } else if !link.min_capacity().is_multiple_of(s) {
+            out.push(
+                Diagnostic::new(
+                    Code::SliceWidth,
+                    span,
+                    format!(
+                        "slice width {s} does not tile the guaranteed capacity \
+                         ({} B/cycle); the remainder lane fragment idles every cycle",
+                        link.min_capacity(),
+                    ),
+                )
+                .with_severity(Severity::Warn)
+                .with_help("pick a slice width dividing the fixed-lane capacity"),
+            );
+        }
+    }
+    out
+}
+
+/// Lints the ring topology.
+pub fn check_noc(noc: &NocConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if noc.subrings == 0 {
+        out.push(zero("noc.subrings", "sub-ring count"));
+    }
+    if noc.cores_per_subring == 0 {
+        out.push(zero("noc.cores_per_subring", "cores per sub-ring"));
+    }
+    if noc.mem_ctrls == 0 {
+        out.push(zero("noc.mem_ctrls", "memory-controller count"));
+    }
+    if noc.junction_latency == 0 {
+        out.push(zero("noc.junction_latency", "junction latency"));
+    }
+    if noc.mem_ctrls > 0 && noc.subrings > 0 && !noc.subrings.is_multiple_of(noc.mem_ctrls) {
+        out.push(
+            Diagnostic::new(
+                Code::CtrlSpacing,
+                Span::Field("noc.mem_ctrls".to_string()),
+                format!(
+                    "{} controllers cannot be spaced evenly among {} sub-rings",
+                    noc.mem_ctrls, noc.subrings,
+                ),
+            )
+            .with_help("controllers interleave the main ring at fixed stride"),
+        );
+    }
+    out.extend(check_link("noc.main_link", &noc.main_link));
+    out.extend(check_link("noc.sub_link", &noc.sub_link));
+    out
+}
+
+/// Lints one core's TCG parameters.
+pub fn check_tcg(tcg: &TcgConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if tcg.pairs == 0 {
+        out.push(zero("tcg.pairs", "thread-pair count"));
+    }
+    if tcg.resident_threads == 0 {
+        out.push(zero("tcg.resident_threads", "resident-thread count"));
+    }
+    for (path, what, v) in [
+        ("tcg.pipeline_depth", "pipeline depth", tcg.pipeline_depth),
+        ("tcg.spm_latency", "SPM latency", tcg.spm_latency),
+        (
+            "tcg.cache_hit_latency",
+            "cache hit latency",
+            tcg.cache_hit_latency,
+        ),
+    ] {
+        if v == 0 {
+            out.push(zero(path, what));
+        }
+    }
+    if tcg.resident_threads > 2 * tcg.pairs {
+        out.push(
+            Diagnostic::new(
+                Code::ThreadsExceedPairs,
+                Span::Field("tcg.resident_threads".to_string()),
+                format!(
+                    "{} resident threads exceed the {} slots of {} pairs",
+                    tcg.resident_threads,
+                    2 * tcg.pairs,
+                    tcg.pairs,
+                ),
+            )
+            .with_help("each pair hosts one running thread plus one friend"),
+        );
+    }
+    out
+}
+
+/// Lints a MACT geometry.
+pub fn check_mact(mact: &MactConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if mact.lines == 0 {
+        out.push(
+            Diagnostic::new(
+                Code::MactGeometry,
+                Span::Field("mact.lines".to_string()),
+                "a zero-line table collects nothing".to_string(),
+            )
+            .with_help("disable collection with `mact: None` instead"),
+        );
+    }
+    if mact.line_bytes == 0 || mact.line_bytes > 64 {
+        out.push(Diagnostic::new(
+            Code::MactGeometry,
+            Span::Field("mact.line_bytes".to_string()),
+            format!(
+                "line covers {} B but the byte bitmap is a 64-bit vector (1..=64)",
+                mact.line_bytes,
+            ),
+        ));
+    } else if !mact.line_bytes.is_power_of_two() {
+        out.push(
+            Diagnostic::new(
+                Code::MactGeometry,
+                Span::Field("mact.line_bytes".to_string()),
+                format!(
+                    "line width {} B is not a power of two; aligned requests will \
+                     straddle lines and bypass collection",
+                    mact.line_bytes,
+                ),
+            )
+            .with_severity(Severity::Warn),
+        );
+    }
+    if mact.threshold == 0 {
+        out.push(
+            Diagnostic::new(
+                Code::MactGeometry,
+                Span::Field("mact.threshold".to_string()),
+                "a zero deadline flushes every line the cycle it opens".to_string(),
+            )
+            .with_help("Fig. 19 sweeps the threshold; 16 cycles is best overall"),
+        );
+    } else if mact.threshold > mact.line_bytes {
+        out.push(
+            Diagnostic::new(
+                Code::MactThreshold,
+                Span::Field("mact.threshold".to_string()),
+                format!(
+                    "deadline of {} cycles exceeds the {} B line capacity: even \
+                     back-to-back single-byte requests fill the bitmap first, so the \
+                     extra wait only adds latency",
+                    mact.threshold, mact.line_bytes,
+                ),
+            )
+            .with_help("keep the threshold at or below the line's byte count"),
+        );
+    }
+    out
+}
+
+/// Lints a whole-chip configuration (topology, core, MACT, and the
+/// cross-component agreement invariants).
+pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
+    let mut out = check_noc(&cfg.noc);
+    out.extend(check_tcg(&cfg.tcg));
+    if let Some(mact) = &cfg.mact {
+        out.extend(check_mact(mact));
+    }
+    if cfg.freq_ghz <= 0.0 {
+        out.push(zero("freq_ghz", "core clock"));
+    }
+    if cfg.dram.channels == 0 {
+        out.push(zero("dram.channels", "DRAM channel count"));
+    }
+    if cfg.dram.channels != cfg.noc.mem_ctrls {
+        out.push(
+            Diagnostic::new(
+                Code::DramChannelMismatch,
+                Span::Field("dram.channels".to_string()),
+                format!(
+                    "{} DRAM channels but {} NoC memory controllers",
+                    cfg.dram.channels, cfg.noc.mem_ctrls,
+                ),
+            )
+            .with_help("each controller drives exactly one channel"),
+        );
+    }
+    if let Some(direct) = &cfg.direct {
+        if direct.subrings != cfg.noc.subrings {
+            out.push(
+                Diagnostic::new(
+                    Code::DirectSpokeMismatch,
+                    Span::Field("direct.subrings".to_string()),
+                    format!(
+                        "{} direct-datapath spokes but {} sub-rings",
+                        direct.subrings, cfg.noc.subrings,
+                    ),
+                )
+                .with_help("the direct network runs one spoke per sub-ring"),
+            );
+        }
+    }
+    out
+}
+
+/// Lints one scheduler task: a task whose laxity is already negative the
+/// cycle it arrives can never meet its deadline.
+pub fn check_task(task: &Task) -> Vec<Diagnostic> {
+    if task.laxity(task.arrival) < 0 {
+        vec![Diagnostic::new(
+            Code::InfeasibleTask,
+            Span::Field(format!("task {}", task.id)),
+            format!(
+                "deadline {} is infeasible: arrival {} + work {} already \
+                     overshoots it by {} cycles",
+                task.deadline,
+                task.arrival,
+                task.work,
+                -task.laxity(task.arrival),
+            ),
+        )
+        .with_help("stretch the deadline or shrink the work estimate")]
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_configs_are_clean() {
+        for cfg in [
+            SmarcoConfig::smarco(),
+            SmarcoConfig::tiny(),
+            SmarcoConfig::prototype_40nm(),
+        ] {
+            let ds = check_config(&cfg);
+            assert!(ds.is_empty(), "{ds:?}");
+        }
+    }
+
+    #[test]
+    fn zero_fields_are_denied_with_sl0401() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.noc.cores_per_subring = 0;
+        cfg.freq_ghz = 0.0;
+        let ds = check_config(&cfg);
+        let zeros: Vec<_> = ds.iter().filter(|d| d.code.as_str() == "SL0401").collect();
+        assert_eq!(zeros.len(), 2, "{ds:?}");
+        assert!(zeros.iter().all(|d| d.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn too_many_threads_denied_with_sl0402() {
+        let mut tcg = TcgConfig::smarco();
+        tcg.resident_threads = 9;
+        let ds = check_tcg(&tcg);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0402");
+    }
+
+    #[test]
+    fn cross_component_mismatches_denied() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.dram.channels = 9;
+        cfg.direct.as_mut().unwrap().subrings = 7;
+        let ds = check_config(&cfg);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0403"), "{ds:?}");
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0404"), "{ds:?}");
+    }
+
+    #[test]
+    fn uneven_controller_spacing_denied_with_sl0405() {
+        let mut noc = NocConfig::smarco();
+        noc.mem_ctrls = 3; // 16 % 3 != 0
+        let ds = check_noc(&noc);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0405"), "{ds:?}");
+    }
+
+    #[test]
+    fn slice_width_checked_with_sl0406() {
+        let oversized = LinkConfig {
+            slice_bytes: Some(64), // > 40 B peak
+            ..LinkConfig::main_ring()
+        };
+        let ds = check_link("noc.main_link", &oversized);
+        assert!(ds
+            .iter()
+            .any(|d| d.code.as_str() == "SL0406" && d.severity == Severity::Deny));
+        let ragged = LinkConfig {
+            slice_bytes: Some(7), // 24 % 7 != 0
+            ..LinkConfig::main_ring()
+        };
+        let ds = check_link("noc.main_link", &ragged);
+        assert!(ds
+            .iter()
+            .any(|d| d.code.as_str() == "SL0406" && d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn mact_geometry_and_threshold_checked() {
+        let wide = MactConfig {
+            line_bytes: 128,
+            ..MactConfig::default()
+        };
+        assert!(check_mact(&wide)
+            .iter()
+            .any(|d| d.code.as_str() == "SL0407"));
+        let lax = MactConfig {
+            threshold: 100, // > 64 B line
+            ..MactConfig::default()
+        };
+        let ds = check_mact(&lax);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0408" && d.severity == Severity::Warn),
+            "{ds:?}"
+        );
+        assert!(check_mact(&MactConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn infeasible_task_warns_with_sl0409() {
+        let late = Task::new(1, 100, 150, 100); // needs 100, has 50
+        let ds = check_task(&late);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0409");
+        assert_eq!(ds[0].severity, Severity::Warn);
+        assert!(check_task(&Task::new(2, 100, 300, 100)).is_empty());
+    }
+}

@@ -1,0 +1,514 @@
+//! The structured diagnostics engine: stable codes, severities, spans,
+//! and text/JSON rendering shared by every lint pass.
+
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: legal but worth knowing (e.g. remote-SPM traffic).
+    Note,
+    /// Suspicious: almost always a performance bug or a latent
+    /// correctness bug.
+    Warn,
+    /// Certain defect: the program, plan, or configuration will corrupt
+    /// data, panic, or violate an architectural invariant.
+    Deny,
+}
+
+impl Severity {
+    /// Stable lowercase name (`deny` / `warn` / `note`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Severity::Note => "note",
+            Severity::Warn => "warn",
+            Severity::Deny => "deny",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Stable diagnostic codes, grouped by pass:
+///
+/// * `SL01xx` — address-map analysis
+/// * `SL02xx` — cross-thread race detection
+/// * `SL03xx` — DMA / staging-plan overlap analysis
+/// * `SL04xx` — configuration validation
+///
+/// Codes never change meaning once shipped; new findings get new codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// SL0101: memory reference resolves to no mapped region.
+    UnmappedRef,
+    /// SL0102: memory reference straddles a region boundary.
+    StraddlingRef,
+    /// SL0103: naturally-alignable reference is misaligned for its width.
+    MisalignedRef,
+    /// SL0104: guest load/store hits the SPM control-register window.
+    CtrlRef,
+    /// SL0105: DMA endpoint range is unmapped, straddling, or empty.
+    BadDmaRange,
+    /// SL0106: access to another core's SPM window (legal but remote).
+    RemoteSpmRef,
+    /// SL0201: two threads write overlapping ranges with no ordering.
+    WriteWriteRace,
+    /// SL0202: one thread writes a range another reads with no ordering.
+    ReadWriteRace,
+    /// SL0203: thread touches its own in-flight DMA destination before
+    /// the `Sync` that completes the transfer.
+    UnsyncedDmaAccess,
+    /// SL0301: a DMA op's source and destination ranges overlap.
+    DmaSrcDstOverlap,
+    /// SL0302: DMA destinations of different threads overlap.
+    DmaDstConflict,
+    /// SL0303: SPM staging buffers collide or escape their core's window.
+    StagingCollision,
+    /// SL0304: MapReduce plan shape is invalid (ranges, regions, threads).
+    PlanShape,
+    /// SL0305: slice rounding makes trailing tasks read past the input.
+    SliceBeyondInput,
+    /// SL0401: a structurally required field is zero (or non-positive).
+    ZeroField,
+    /// SL0402: resident threads exceed 2 × thread pairs.
+    ThreadsExceedPairs,
+    /// SL0403: DRAM channel count differs from NoC memory controllers.
+    DramChannelMismatch,
+    /// SL0404: direct-datapath spokes differ from sub-ring count.
+    DirectSpokeMismatch,
+    /// SL0405: memory controllers do not divide sub-rings evenly.
+    CtrlSpacing,
+    /// SL0406: link slice width is zero, oversized, or does not tile the
+    /// guaranteed link capacity.
+    SliceWidth,
+    /// SL0407: MACT geometry is invalid (lines, line bytes).
+    MactGeometry,
+    /// SL0408: MACT collection deadline exceeds the line capacity.
+    MactThreshold,
+    /// SL0409: task deadline is infeasible (negative laxity at arrival).
+    InfeasibleTask,
+}
+
+impl Code {
+    /// Every code, in numeric order (for docs and exhaustive tests).
+    pub const ALL: [Code; 23] = [
+        Code::UnmappedRef,
+        Code::StraddlingRef,
+        Code::MisalignedRef,
+        Code::CtrlRef,
+        Code::BadDmaRange,
+        Code::RemoteSpmRef,
+        Code::WriteWriteRace,
+        Code::ReadWriteRace,
+        Code::UnsyncedDmaAccess,
+        Code::DmaSrcDstOverlap,
+        Code::DmaDstConflict,
+        Code::StagingCollision,
+        Code::PlanShape,
+        Code::SliceBeyondInput,
+        Code::ZeroField,
+        Code::ThreadsExceedPairs,
+        Code::DramChannelMismatch,
+        Code::DirectSpokeMismatch,
+        Code::CtrlSpacing,
+        Code::SliceWidth,
+        Code::MactGeometry,
+        Code::MactThreshold,
+        Code::InfeasibleTask,
+    ];
+
+    /// The stable `SLxxxx` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Code::UnmappedRef => "SL0101",
+            Code::StraddlingRef => "SL0102",
+            Code::MisalignedRef => "SL0103",
+            Code::CtrlRef => "SL0104",
+            Code::BadDmaRange => "SL0105",
+            Code::RemoteSpmRef => "SL0106",
+            Code::WriteWriteRace => "SL0201",
+            Code::ReadWriteRace => "SL0202",
+            Code::UnsyncedDmaAccess => "SL0203",
+            Code::DmaSrcDstOverlap => "SL0301",
+            Code::DmaDstConflict => "SL0302",
+            Code::StagingCollision => "SL0303",
+            Code::PlanShape => "SL0304",
+            Code::SliceBeyondInput => "SL0305",
+            Code::ZeroField => "SL0401",
+            Code::ThreadsExceedPairs => "SL0402",
+            Code::DramChannelMismatch => "SL0403",
+            Code::DirectSpokeMismatch => "SL0404",
+            Code::CtrlSpacing => "SL0405",
+            Code::SliceWidth => "SL0406",
+            Code::MactGeometry => "SL0407",
+            Code::MactThreshold => "SL0408",
+            Code::InfeasibleTask => "SL0409",
+        }
+    }
+
+    /// The severity a finding of this code carries unless the pass
+    /// overrides it.
+    pub fn default_severity(self) -> Severity {
+        match self {
+            Code::UnmappedRef
+            | Code::StraddlingRef
+            | Code::BadDmaRange
+            | Code::WriteWriteRace
+            | Code::ReadWriteRace
+            | Code::UnsyncedDmaAccess
+            | Code::DmaSrcDstOverlap
+            | Code::DmaDstConflict
+            | Code::StagingCollision
+            | Code::PlanShape
+            | Code::ZeroField
+            | Code::ThreadsExceedPairs
+            | Code::DramChannelMismatch
+            | Code::DirectSpokeMismatch
+            | Code::CtrlSpacing
+            | Code::MactGeometry => Severity::Deny,
+            Code::MisalignedRef
+            | Code::CtrlRef
+            | Code::SliceBeyondInput
+            | Code::SliceWidth
+            | Code::MactThreshold
+            | Code::InfeasibleTask => Severity::Warn,
+            Code::RemoteSpmRef => Severity::Note,
+        }
+    }
+
+    /// One-line description for the code table.
+    pub fn title(self) -> &'static str {
+        match self {
+            Code::UnmappedRef => "reference outside every mapped region",
+            Code::StraddlingRef => "reference straddles a region boundary",
+            Code::MisalignedRef => "misaligned reference",
+            Code::CtrlRef => "guest access to SPM control registers",
+            Code::BadDmaRange => "invalid DMA endpoint range",
+            Code::RemoteSpmRef => "access to a remote core's SPM",
+            Code::WriteWriteRace => "cross-thread write/write race",
+            Code::ReadWriteRace => "cross-thread read/write race",
+            Code::UnsyncedDmaAccess => "access to own in-flight DMA destination",
+            Code::DmaSrcDstOverlap => "DMA source/destination overlap",
+            Code::DmaDstConflict => "DMA destinations of two threads overlap",
+            Code::StagingCollision => "SPM staging buffers collide",
+            Code::PlanShape => "invalid MapReduce plan shape",
+            Code::SliceBeyondInput => "task slices extend past the input",
+            Code::ZeroField => "structurally required field is zero",
+            Code::ThreadsExceedPairs => "resident threads exceed 2 x pairs",
+            Code::DramChannelMismatch => "DRAM channels != NoC memory controllers",
+            Code::DirectSpokeMismatch => "direct spokes != sub-rings",
+            Code::CtrlSpacing => "controllers do not divide sub-rings",
+            Code::SliceWidth => "bad link slice width",
+            Code::MactGeometry => "invalid MACT geometry",
+            Code::MactThreshold => "MACT deadline exceeds line capacity",
+            Code::InfeasibleTask => "task deadline infeasible at arrival",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Where a finding points.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Span {
+    /// An instruction in a thread's captured stream.
+    Pc {
+        /// Thread label, e.g. `core0/slot2`.
+        thread: String,
+        /// Program counter of the instruction.
+        pc: u64,
+        /// Index in the captured stream.
+        index: usize,
+    },
+    /// A configuration field path, e.g. `noc.sub_link.slice_bytes`.
+    Field(String),
+    /// An element of a staging/MapReduce plan, e.g. `map task 3`.
+    Plan(String),
+    /// The whole artifact under analysis.
+    Whole,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Span::Pc { thread, pc, index } => write!(f, "{thread} pc {pc:#x} #{index}"),
+            Span::Field(path) => write!(f, "config `{path}`"),
+            Span::Plan(what) => write!(f, "plan {what}"),
+            Span::Whole => f.write_str("<whole>"),
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable code.
+    pub code: Code,
+    /// Severity (usually the code's default).
+    pub severity: Severity,
+    /// Location.
+    pub span: Span,
+    /// What is wrong, with concrete addresses/values.
+    pub message: String,
+    /// How to fix it, when the pass knows.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a finding at the code's default severity.
+    pub fn new(code: Code, span: Span, message: impl Into<String>) -> Self {
+        Self {
+            code,
+            severity: code.default_severity(),
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Overrides the severity.
+    pub fn with_severity(mut self, severity: Severity) -> Self {
+        self.severity = severity;
+        self
+    }
+
+    /// Attaches a fix suggestion.
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] {}: {}",
+            self.severity, self.code, self.span, self.message
+        )
+    }
+}
+
+/// An ordered collection of findings with counting and rendering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    diags: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diags.push(d);
+    }
+
+    /// Absorbs a pass's findings.
+    pub fn absorb(&mut self, ds: Vec<Diagnostic>) {
+        self.diags.extend(ds);
+    }
+
+    /// The findings, in insertion order (or severity order after
+    /// [`Report::sort`]).
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diags
+    }
+
+    /// Number of findings.
+    pub fn len(&self) -> usize {
+        self.diags.len()
+    }
+
+    /// Whether the report is clean.
+    pub fn is_empty(&self) -> bool {
+        self.diags.is_empty()
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diags.iter().filter(|d| d.severity == severity).count()
+    }
+
+    /// Whether any deny-level finding is present.
+    pub fn has_deny(&self) -> bool {
+        self.count(Severity::Deny) > 0
+    }
+
+    /// The most severe finding present.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diags.iter().map(|d| d.severity).max()
+    }
+
+    /// Orders findings most severe first (stable within a severity).
+    pub fn sort(&mut self) {
+        self.diags.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then(a.code.as_str().cmp(b.code.as_str()))
+        });
+    }
+
+    /// Human-readable rendering: one line per finding plus indented help,
+    /// ending with a severity summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diags {
+            out.push_str(&d.to_string());
+            out.push('\n');
+            if let Some(h) = &d.help {
+                out.push_str("    help: ");
+                out.push_str(h);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "{} deny, {} warn, {} note\n",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Note),
+        ));
+        out
+    }
+
+    /// Machine-readable JSON rendering (no external dependencies; same
+    /// hand-rolled style as the observability exporter).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counts\":{");
+        out.push_str(&format!(
+            "\"deny\":{},\"warn\":{},\"note\":{}",
+            self.count(Severity::Deny),
+            self.count(Severity::Warn),
+            self.count(Severity::Note),
+        ));
+        out.push_str("},\"diagnostics\":[");
+        for (i, d) in self.diags.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"span\":{},\"message\":\"{}\"",
+                d.code,
+                d.severity,
+                span_json(&d.span),
+                escape(&d.message),
+            ));
+            match &d.help {
+                Some(h) => out.push_str(&format!(",\"help\":\"{}\"}}", escape(h))),
+                None => out.push_str(",\"help\":null}"),
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn span_json(span: &Span) -> String {
+    match span {
+        Span::Pc { thread, pc, index } => format!(
+            "{{\"kind\":\"pc\",\"thread\":\"{}\",\"pc\":{pc},\"index\":{index}}}",
+            escape(thread)
+        ),
+        Span::Field(path) => format!("{{\"kind\":\"field\",\"path\":\"{}\"}}", escape(path)),
+        Span::Plan(what) => format!("{{\"kind\":\"plan\",\"element\":\"{}\"}}", escape(what)),
+        Span::Whole => String::from("{\"kind\":\"whole\"}"),
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let mut seen = std::collections::HashSet::new();
+        for c in Code::ALL {
+            assert!(seen.insert(c.as_str()), "duplicate code {c}");
+            assert!(c.as_str().starts_with("SL"));
+            assert_eq!(c.as_str().len(), 6);
+        }
+    }
+
+    #[test]
+    fn severity_orders_note_warn_deny() {
+        assert!(Severity::Note < Severity::Warn);
+        assert!(Severity::Warn < Severity::Deny);
+    }
+
+    #[test]
+    fn report_counts_and_sorts() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(Code::RemoteSpmRef, Span::Whole, "remote"));
+        r.push(Diagnostic::new(Code::UnmappedRef, Span::Whole, "bad"));
+        r.push(Diagnostic::new(Code::MisalignedRef, Span::Whole, "odd"));
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.count(Severity::Deny), 1);
+        assert!(r.has_deny());
+        assert_eq!(r.worst(), Some(Severity::Deny));
+        r.sort();
+        assert_eq!(r.diagnostics()[0].code, Code::UnmappedRef);
+        assert_eq!(r.diagnostics()[2].code, Code::RemoteSpmRef);
+    }
+
+    #[test]
+    fn text_rendering_carries_code_and_help() {
+        let mut r = Report::new();
+        r.push(
+            Diagnostic::new(
+                Code::UnmappedRef,
+                Span::Pc {
+                    thread: "core0/slot1".into(),
+                    pc: 0x1004,
+                    index: 7,
+                },
+                "load of 8 bytes at 0xdead hits no region",
+            )
+            .with_help("map the buffer or fix the base address"),
+        );
+        let text = r.render_text();
+        assert!(text.contains("deny[SL0101] core0/slot1 pc 0x1004 #7"));
+        assert!(text.contains("help: map the buffer"));
+        assert!(text.contains("1 deny, 0 warn, 0 note"));
+    }
+
+    #[test]
+    fn json_rendering_is_escaped_and_structured() {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            Code::SliceWidth,
+            Span::Field("noc.sub_link.slice_bytes".into()),
+            "slice \"3\" does not tile 8",
+        ));
+        let json = r.to_json();
+        assert!(json.contains("\"code\":\"SL0406\""));
+        assert!(json.contains("\"severity\":\"warn\""));
+        assert!(json.contains("\"kind\":\"field\""));
+        assert!(json.contains("slice \\\"3\\\" does not tile 8"));
+        assert!(json.contains("\"warn\":1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

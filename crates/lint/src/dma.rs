@@ -1,0 +1,443 @@
+//! Pass 3 — DMA and staging-plan overlap analysis.
+//!
+//! Three families of defect: a single DMA whose source and destination
+//! ranges intersect (the engine copies front-to-back, so the overlap
+//! reads already-overwritten bytes), destination ranges of *different*
+//! threads' DMAs landing on the same bytes, and MapReduce staging plans
+//! whose per-task SPM buffers collide or escape their core's window.
+//! The plan check mirrors the placement arithmetic of
+//! `smarco_runtime::mapreduce::run_mapreduce` exactly, so a clean plan
+//! here certifies the buffers the runtime will actually program.
+
+use smarco_core::config::SmarcoConfig;
+use smarco_isa::op::Op;
+use smarco_mem::map::{AddressSpace, RangeClass, Region};
+use smarco_mem::spm::Spm;
+use smarco_runtime::MapReduceConfig;
+
+use crate::access::{dma_destinations, ThreadProgram};
+use crate::diag::{Code, Diagnostic, Span};
+
+/// Lints DMA ops of a co-scheduled thread set: per-op source/destination
+/// overlap and cross-thread destination conflicts.
+pub fn check_dma(threads: &[ThreadProgram]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for t in threads {
+        for (index, instr) in t.instrs.iter().enumerate() {
+            if let Op::Dma { src, dst, bytes } = instr.op {
+                if bytes == 0 {
+                    continue;
+                }
+                let b = u64::from(bytes);
+                if src < dst.saturating_add(b) && dst < src.saturating_add(b) {
+                    out.push(
+                        Diagnostic::new(
+                            Code::DmaSrcDstOverlap,
+                            Span::Pc {
+                                thread: t.name.clone(),
+                                pc: instr.pc,
+                                index,
+                            },
+                            format!(
+                                "DMA source [{src:#x}, {:#x}) overlaps destination \
+                                 [{dst:#x}, {:#x})",
+                                src + b,
+                                dst + b,
+                            ),
+                        )
+                        .with_help("overlapping copies read bytes the engine already overwrote"),
+                    );
+                }
+            }
+        }
+    }
+    let dsts: Vec<_> = threads.iter().map(dma_destinations).collect();
+    for i in 0..threads.len() {
+        for j in i + 1..threads.len() {
+            if let Some((ia, ib)) = dsts[i].first_overlap(&dsts[j]) {
+                out.push(
+                    Diagnostic::new(
+                        Code::DmaDstConflict,
+                        Span::Pc {
+                            thread: threads[i].name.clone(),
+                            pc: ia.pc,
+                            index: ia.index,
+                        },
+                        format!(
+                            "DMA destination [{:#x}, {:#x}) of `{}` overlaps \
+                             [{:#x}, {:#x}) written by `{}` at pc {:#x}",
+                            ia.start,
+                            ia.end,
+                            threads[i].name,
+                            ib.start,
+                            ib.end,
+                            threads[j].name,
+                            ib.pc,
+                        ),
+                    )
+                    .with_help("stage each thread into its own SPM share"),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// One planned SPM staging buffer (a DMA destination the runtime will
+/// program for a task).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedBuffer {
+    /// Which plan element this buffer stages, e.g. `map task 3`.
+    pub label: String,
+    /// Core whose SPM must hold the buffer.
+    pub core: usize,
+    /// First byte (unified address).
+    pub start: u64,
+    /// Exclusive end (unified address).
+    pub end: u64,
+}
+
+/// Checks a set of planned staging buffers: each must lie wholly inside
+/// its own core's SPM data region, and no two may overlap.
+pub fn check_staging(space: &AddressSpace, buffers: &[StagedBuffer]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for b in buffers {
+        if b.start >= b.end {
+            continue;
+        }
+        let ok = matches!(
+            space.classify_range(b.start, b.end - b.start),
+            RangeClass::Within(Region::Spm { core, .. }) if core == b.core
+        );
+        if !ok {
+            out.push(
+                Diagnostic::new(
+                    Code::StagingCollision,
+                    Span::Plan(b.label.clone()),
+                    format!(
+                        "staging buffer [{:#x}, {:#x}) does not fit core {}'s SPM data region",
+                        b.start, b.end, b.core,
+                    ),
+                )
+                .with_help("shrink the slice or lower threads_per_core so shares fit"),
+            );
+        }
+    }
+    let mut sorted: Vec<&StagedBuffer> = buffers.iter().filter(|b| b.start < b.end).collect();
+    sorted.sort_by_key(|b| b.start);
+    let mut max_end: Option<&StagedBuffer> = None;
+    for b in sorted {
+        if let Some(prev) = max_end {
+            if b.start < prev.end {
+                out.push(
+                    Diagnostic::new(
+                        Code::StagingCollision,
+                        Span::Plan(b.label.clone()),
+                        format!(
+                            "staging buffer [{:#x}, {:#x}) of {} overlaps [{:#x}, {:#x}) of {}",
+                            b.start, b.end, b.label, prev.start, prev.end, prev.label,
+                        ),
+                    )
+                    .with_help("staged tasks must own disjoint SPM shares"),
+                );
+            }
+        }
+        if max_end.is_none_or(|prev| b.end > prev.end) {
+            max_end = Some(b);
+        }
+    }
+    out
+}
+
+fn dram_region(space: &AddressSpace, what: &str, base: u64, len: u64) -> Option<Diagnostic> {
+    if len == 0 {
+        return None;
+    }
+    match space.classify_range(base, len) {
+        RangeClass::Within(Region::Dram { .. }) => None,
+        _ => Some(
+            Diagnostic::new(
+                Code::PlanShape,
+                Span::Plan(what.to_string()),
+                format!(
+                    "{what} region [{base:#x}, {:#x}) is not wholly in DRAM",
+                    base + len
+                ),
+            )
+            .with_help("plan regions must sit below the 64 GiB DRAM boundary"),
+        ),
+    }
+}
+
+/// Lints a MapReduce plan against a chip configuration: shape, region
+/// placement, slice rounding, and the staged SPM buffers the runtime
+/// would program (mirroring `run_mapreduce`'s placement arithmetic).
+pub fn check_mapreduce_plan(
+    cfg: &MapReduceConfig,
+    chip: &SmarcoConfig,
+    space: &AddressSpace,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let subrings = chip.noc.subrings;
+    let cps = chip.noc.cores_per_subring;
+    let shape = |msg: String, help: &str| {
+        Diagnostic::new(Code::PlanShape, Span::Whole, msg).with_help(help.to_string())
+    };
+    if cfg.map_subrings.is_empty() || cfg.reduce_subrings.is_empty() {
+        out.push(shape(
+            "map and reduce each need at least one sub-ring".into(),
+            "widen map_subrings / reduce_subrings",
+        ));
+    }
+    if cfg.map_subrings.end > subrings || cfg.reduce_subrings.end > subrings {
+        out.push(shape(
+            format!(
+                "plan uses sub-rings up to {} but the chip has {subrings}",
+                cfg.map_subrings.end.max(cfg.reduce_subrings.end),
+            ),
+            "clamp the ranges to the chip's sub-ring count",
+        ));
+    }
+    let disjoint = cfg.map_subrings.end <= cfg.reduce_subrings.start
+        || cfg.reduce_subrings.end <= cfg.map_subrings.start;
+    if !disjoint {
+        out.push(shape(
+            format!(
+                "map sub-rings {:?} overlap reduce sub-rings {:?}",
+                cfg.map_subrings, cfg.reduce_subrings,
+            ),
+            "phases share cores only sequentially; the ranges must be disjoint",
+        ));
+    }
+    let resident = chip.tcg.resident_threads;
+    if cfg.threads_per_core == 0 || cfg.threads_per_core > resident {
+        out.push(shape(
+            format!(
+                "threads_per_core {} outside 1..={resident}",
+                cfg.threads_per_core,
+            ),
+            "each task needs a resident thread slot",
+        ));
+    }
+    if cfg.input_len == 0 {
+        out.push(shape("empty input".into(), "input_len must be positive"));
+    }
+    out.extend(dram_region(space, "input", cfg.input_base, cfg.input_len));
+    out.extend(dram_region(
+        space,
+        "shuffle",
+        cfg.shuffle_base,
+        cfg.shuffle_len,
+    ));
+    if cfg.shuffle_len > 0
+        && cfg.input_base < cfg.shuffle_base + cfg.shuffle_len
+        && cfg.shuffle_base < cfg.input_base + cfg.input_len
+    {
+        out.push(
+            Diagnostic::new(
+                Code::PlanShape,
+                Span::Whole,
+                format!(
+                    "input [{:#x}, {:#x}) overlaps shuffle [{:#x}, {:#x})",
+                    cfg.input_base,
+                    cfg.input_base + cfg.input_len,
+                    cfg.shuffle_base,
+                    cfg.shuffle_base + cfg.shuffle_len,
+                ),
+            )
+            .with_help("map output would overwrite unread input"),
+        );
+    }
+    if out
+        .iter()
+        .any(|d| d.severity == crate::diag::Severity::Deny)
+    {
+        return out; // placement arithmetic below needs a sane shape
+    }
+
+    let spm_per_task = Spm::data_bytes() / cfg.threads_per_core as u64;
+    for (phase, srs, region_len) in [
+        ("map", cfg.map_subrings.clone(), cfg.input_len),
+        ("reduce", cfg.reduce_subrings.clone(), cfg.shuffle_len),
+    ] {
+        let cores: Vec<usize> = srs.flat_map(|sr| sr * cps..(sr + 1) * cps).collect();
+        let total = cores.len() * cfg.threads_per_core;
+        if total == 0 || region_len == 0 {
+            continue;
+        }
+        let slice_len = (region_len / total as u64).max(1);
+        let covered = total as u64 * slice_len;
+        if covered > region_len {
+            out.push(
+                Diagnostic::new(
+                    Code::SliceBeyondInput,
+                    Span::Plan(format!("{phase} slicing")),
+                    format!(
+                        "{total} {phase} tasks x {slice_len} B slices cover {covered} B but the \
+                         region holds only {region_len} B; trailing tasks read past it",
+                    ),
+                )
+                .with_help("grow the region or launch fewer tasks than bytes"),
+            );
+        }
+        if slice_len <= spm_per_task {
+            let mut buffers = Vec::with_capacity(total);
+            let mut index = 0usize;
+            for &core in &cores {
+                for slot in 0..cfg.threads_per_core {
+                    let start = space.spm_base(core) + slot as u64 * spm_per_task;
+                    buffers.push(StagedBuffer {
+                        label: format!("{phase} task {index} (core {core} slot {slot})"),
+                        core,
+                        start,
+                        end: start + slice_len,
+                    });
+                    index += 1;
+                }
+            }
+            out.extend(check_staging(space, &buffers));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use smarco_isa::op::Instr;
+    use smarco_mem::map::SPM_BASE;
+
+    fn prog(name: &str, core: usize, ops: Vec<Op>) -> ThreadProgram {
+        let instrs = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| Instr {
+                pc: 0x2000 + i as u64 * 4,
+                op,
+            })
+            .collect();
+        ThreadProgram::new(name, core, 0, instrs)
+    }
+
+    #[test]
+    fn src_dst_overlap_is_denied_with_sl0301() {
+        let t = prog(
+            "t",
+            0,
+            vec![Op::Dma {
+                src: 0x1000,
+                dst: 0x1800,
+                bytes: 4096, // [0x1000,0x2000) vs [0x1800,0x2800)
+            }],
+        );
+        let ds = check_dma(&[t]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0301");
+        assert_eq!(ds[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn cross_thread_dst_conflict_is_denied_with_sl0302() {
+        let mk = |name: &str, dst: u64| {
+            prog(
+                name,
+                0,
+                vec![Op::Dma {
+                    src: 0x10_0000,
+                    dst,
+                    bytes: 4096,
+                }],
+            )
+        };
+        let ds = check_dma(&[mk("a", SPM_BASE), mk("b", SPM_BASE + 2048)]);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0302"), "{ds:?}");
+        let clean = check_dma(&[mk("a", SPM_BASE), mk("b", SPM_BASE + 4096)]);
+        assert!(clean.is_empty(), "disjoint destinations are fine");
+    }
+
+    #[test]
+    fn staging_overlap_and_escape_are_denied_with_sl0303() {
+        let space = AddressSpace::new(4, 2);
+        let base = space.spm_base(0);
+        let buffers = [
+            StagedBuffer {
+                label: "map task 0".into(),
+                core: 0,
+                start: base,
+                end: base + 8192,
+            },
+            StagedBuffer {
+                label: "map task 1".into(),
+                core: 0,
+                start: base + 4096, // overlaps task 0
+                end: base + 12288,
+            },
+            StagedBuffer {
+                label: "map task 2".into(),
+                core: 1,
+                start: space.spm_base(2), // wrong core's window
+                end: space.spm_base(2) + 64,
+            },
+        ];
+        let ds = check_staging(&space, &buffers);
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        assert!(ds.iter().all(|d| d.code.as_str() == "SL0303"));
+    }
+
+    #[test]
+    fn valid_plan_is_clean_and_bad_shape_is_denied() {
+        let chip = SmarcoConfig::tiny();
+        let space = AddressSpace::new(chip.noc.cores(), chip.dram.channels);
+        let good = MapReduceConfig {
+            threads_per_core: 4,
+            ..MapReduceConfig::split(chip.noc.subrings, 0x100_0000, 4 << 20)
+        };
+        assert!(check_mapreduce_plan(&good, &chip, &space).is_empty());
+
+        let overlapping = MapReduceConfig {
+            map_subrings: 0..3,
+            reduce_subrings: 2..4,
+            ..good.clone()
+        };
+        let ds = check_mapreduce_plan(&overlapping, &chip, &space);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0304"), "{ds:?}");
+    }
+
+    #[test]
+    fn shuffle_colliding_with_input_is_denied() {
+        let chip = SmarcoConfig::tiny();
+        let space = AddressSpace::new(chip.noc.cores(), chip.dram.channels);
+        let bad = MapReduceConfig {
+            threads_per_core: 4,
+            shuffle_base: 0x100_0000 + 1024, // inside the input
+            ..MapReduceConfig::split(chip.noc.subrings, 0x100_0000, 4 << 20)
+        };
+        let ds = check_mapreduce_plan(&bad, &chip, &space);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0304" && d.message.contains("overlaps")),
+            "{ds:?}"
+        );
+    }
+
+    #[test]
+    fn tiny_input_warns_about_slice_rounding() {
+        let chip = SmarcoConfig::tiny();
+        let space = AddressSpace::new(chip.noc.cores(), chip.dram.channels);
+        // 16 bytes over 48 map tasks: every task gets a 1-byte slice and
+        // tasks 16.. read past the region.
+        let tiny_input = MapReduceConfig {
+            threads_per_core: 4,
+            shuffle_base: 0x200_0000,
+            shuffle_len: 4096,
+            ..MapReduceConfig::split(chip.noc.subrings, 0x100_0000, 16)
+        };
+        let ds = check_mapreduce_plan(&tiny_input, &chip, &space);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0305" && d.severity == Severity::Warn),
+            "{ds:?}"
+        );
+    }
+}

@@ -1,0 +1,194 @@
+//! `smarco-lint` — static verifier for guest programs, DMA plans, and
+//! chip configurations.
+//!
+//! The simulator's runtime checks (asserts in `Spm::access`, config
+//! `validate()` panics, MACT debug invariants) catch a defect only on
+//! the cycle it executes. This crate finds the same classes of defect
+//! *statically*, from a bounded capture of each thread's instruction
+//! stream and the plain config structs, before a chip is ever built:
+//!
+//! * [`addr`] — **SL01xx** address-map analysis: every memory reference
+//!   and DMA endpoint must resolve wholly inside one mapped region of
+//!   the unified address space.
+//! * [`race`] — **SL02xx** cross-thread race detection: the ISA has no
+//!   inter-thread barrier, so overlapping write/write or read/write
+//!   footprints of co-scheduled threads are races; so is touching your
+//!   own DMA destination before `Sync`.
+//! * [`dma`] — **SL03xx** DMA/overlap analysis: self-overlapping
+//!   copies, conflicting destinations, and MapReduce staging plans whose
+//!   SPM buffers collide (mirroring `run_mapreduce`'s placement).
+//! * [`config`] — **SL04xx** configuration validation: the structural
+//!   invariants of [`SmarcoConfig`] and friends as diagnostics instead
+//!   of panics, plus soft heuristics (slice widths, MACT deadlines,
+//!   infeasible tasks).
+//!
+//! Every finding is a [`Diagnostic`] with a stable `SLxxxx` code, a
+//! severity (deny / warn / note), a span, and usually a help line;
+//! [`Report`] renders them as text or JSON. The `lint` binary in
+//! `smarco-bench` sweeps the built-in benchmarks and configs.
+//!
+//! Statically certified footprints can be cross-checked at runtime:
+//! [`certified_spm_footprint`] converts a thread set's verdict into the
+//! ranges `Spm::certify` enforces under `debug_assertions`.
+
+#![warn(missing_docs)]
+
+pub mod access;
+pub mod addr;
+pub mod config;
+pub mod diag;
+pub mod dma;
+pub mod race;
+
+pub use access::{Interval, IntervalSet, ThreadAccesses, ThreadProgram};
+pub use addr::{check_addresses, check_thread_addresses};
+pub use config::{check_config, check_link, check_mact, check_noc, check_task, check_tcg};
+pub use diag::{Code, Diagnostic, Report, Severity, Span};
+pub use dma::{check_dma, check_mapreduce_plan, check_staging, StagedBuffer};
+pub use race::{check_races, check_unsynced_dma};
+
+use smarco_core::config::SmarcoConfig;
+use smarco_mem::map::{AddressSpace, RangeClass, Region};
+
+/// Runs the address, race, and DMA passes over a co-scheduled thread
+/// set and returns the sorted report.
+pub fn lint_threads(space: &AddressSpace, threads: &[ThreadProgram]) -> Report {
+    let mut report = Report::new();
+    report.absorb(addr::check_addresses(space, threads));
+    report.absorb(race::check_races(threads));
+    report.absorb(dma::check_dma(threads));
+    report.sort();
+    report
+}
+
+/// Runs the configuration pass over a whole-chip config and returns the
+/// sorted report.
+pub fn lint_config(cfg: &SmarcoConfig) -> Report {
+    let mut report = Report::new();
+    report.absorb(config::check_config(cfg));
+    report.sort();
+    report
+}
+
+/// The union of `core`'s SPM-data ranges touched by `threads`, as
+/// `(offset, len)` pairs relative to the data region — the exact shape
+/// `Spm::certify` takes. Feed a lint-clean thread set's footprint to the
+/// SPM and every debug-build access outside it will panic, catching any
+/// divergence between the static model and the actual execution.
+pub fn certified_spm_footprint(
+    space: &AddressSpace,
+    threads: &[ThreadProgram],
+    core: usize,
+) -> Vec<(u64, u64)> {
+    let mut intervals = Vec::new();
+    for t in threads {
+        for (index, instr) in t.instrs.iter().enumerate() {
+            for e in instr.op.effects() {
+                if e.start >= e.end {
+                    continue;
+                }
+                if let RangeClass::Within(Region::Spm { core: c, offset }) =
+                    space.classify_range(e.start, e.end - e.start)
+                {
+                    if c == core {
+                        intervals.push(Interval {
+                            start: offset,
+                            end: offset + (e.end - e.start),
+                            pc: instr.pc,
+                            index,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    IntervalSet::build(intervals)
+        .intervals()
+        .iter()
+        .map(|iv| (iv.start, iv.end - iv.start))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smarco_isa::op::{Instr, Op};
+    use smarco_mem::map::{DRAM_BYTES, SPM_BASE};
+
+    fn prog(name: &str, core: usize, slot: usize, ops: Vec<Op>) -> ThreadProgram {
+        let instrs = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| Instr {
+                pc: 0x4000 + i as u64 * 4,
+                op,
+            })
+            .collect();
+        ThreadProgram::new(name, core, slot, instrs)
+    }
+
+    #[test]
+    fn seeded_violations_surface_in_text_and_json() {
+        let space = AddressSpace::new(4, 2);
+        let threads = vec![
+            // SL0101: load from the unmapped hole above DRAM.
+            prog("core0/slot0", 0, 0, vec![Op::load(DRAM_BYTES + 64, 8)]),
+            // SL0201: both threads store the same DRAM word.
+            prog("core0/slot2", 0, 2, vec![Op::store(0x9000, 8)]),
+            prog("core1/slot0", 1, 0, vec![Op::store(0x9000, 8)]),
+        ];
+        let report = lint_threads(&space, &threads);
+        assert!(report.has_deny());
+        let text = report.render_text();
+        assert!(text.contains("SL0101"), "{text}");
+        assert!(text.contains("SL0201"), "{text}");
+        let json = report.to_json();
+        assert!(json.contains("\"code\":\"SL0101\""), "{json}");
+        assert!(json.contains("\"code\":\"SL0201\""), "{json}");
+    }
+
+    #[test]
+    fn clean_threads_and_configs_produce_empty_reports() {
+        let space = AddressSpace::new(4, 2);
+        let threads = vec![
+            prog("a", 0, 0, vec![Op::load(0x1000, 8), Op::store(SPM_BASE, 8)]),
+            prog("b", 1, 0, vec![Op::load(0x1000, 8), Op::store(0x2000, 8)]),
+        ];
+        assert!(lint_threads(&space, &threads).is_empty());
+        assert!(lint_config(&SmarcoConfig::tiny()).is_empty());
+    }
+
+    #[test]
+    fn config_violations_surface_in_both_renderings() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.dram.channels = 9;
+        let report = lint_config(&cfg);
+        assert!(report.has_deny());
+        assert!(report.render_text().contains("SL0403"));
+        assert!(report.to_json().contains("\"code\":\"SL0403\""));
+    }
+
+    #[test]
+    fn footprint_covers_spm_effects_and_ignores_the_rest() {
+        let space = AddressSpace::new(4, 2);
+        let threads = vec![prog(
+            "t",
+            0,
+            0,
+            vec![
+                Op::store(SPM_BASE + 128, 8),
+                Op::load(SPM_BASE + 132, 4), // merges with the store
+                Op::load(0x1000, 8),         // DRAM: not part of the SPM footprint
+                Op::Dma {
+                    src: 0x1_0000,
+                    dst: SPM_BASE + 4096,
+                    bytes: 1024,
+                },
+                Op::Sync,
+            ],
+        )];
+        let fp = certified_spm_footprint(&space, &threads, 0);
+        assert_eq!(fp, vec![(128, 8), (4096, 1024)]);
+        assert!(certified_spm_footprint(&space, &threads, 1).is_empty());
+    }
+}

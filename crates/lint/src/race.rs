@@ -1,0 +1,260 @@
+//! Pass 2 — cross-thread race detection.
+//!
+//! The ISA has no inter-thread barrier: `Sync` only orders a thread
+//! after *its own* DMA transfers. Co-scheduled threads (one TCG, one
+//! sub-ring team, or a whole chip — whatever set the caller passes) are
+//! therefore all concurrent, and any write/write or read/write overlap
+//! between two threads' static footprints is a race. In-pair friends
+//! (same core, same `slot / 2`) interleave at single-cycle granularity,
+//! so findings name the pairing explicitly.
+//!
+//! One intra-thread hazard also lives here: touching the destination of
+//! your own in-flight DMA before the `Sync` that completes it reads or
+//! clobbers bytes the engine is still writing.
+
+use smarco_isa::op::Op;
+
+use crate::access::{Interval, ThreadAccesses, ThreadProgram};
+use crate::diag::{Code, Diagnostic, Span};
+
+fn relation(a: &ThreadProgram, b: &ThreadProgram) -> &'static str {
+    if a.core == b.core && a.pair() == b.pair() {
+        "in-pair friends on one core"
+    } else if a.core == b.core {
+        "co-resident on one core"
+    } else {
+        "concurrent on the chip"
+    }
+}
+
+fn race_diag(
+    code: Code,
+    a: &ThreadProgram,
+    b: &ThreadProgram,
+    ia: Interval,
+    ib: Interval,
+    what: &str,
+) -> Diagnostic {
+    Diagnostic::new(
+        code,
+        Span::Pc {
+            thread: a.name.clone(),
+            pc: ia.pc,
+            index: ia.index,
+        },
+        format!(
+            "{what}: `{}` [{:#x}, {:#x}) overlaps `{}` [{:#x}, {:#x}) at pc {:#x}; \
+             threads are {}",
+            a.name,
+            ia.start,
+            ia.end,
+            b.name,
+            ib.start,
+            ib.end,
+            ib.pc,
+            relation(a, b),
+        ),
+    )
+    .with_help("give each thread a disjoint slice, or stage through per-thread SPM buffers")
+}
+
+/// Lints a co-scheduled set of threads for write/write and read/write
+/// overlaps, plus the intra-thread unsynced-DMA hazard. At most one
+/// finding per thread pair and kind (the first overlapping range).
+pub fn check_races(threads: &[ThreadProgram]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let accesses: Vec<ThreadAccesses> = threads.iter().map(ThreadAccesses::collect).collect();
+    for i in 0..threads.len() {
+        for j in i + 1..threads.len() {
+            let (a, b) = (&threads[i], &threads[j]);
+            if let Some((ia, ib)) = accesses[i].writes.first_overlap(&accesses[j].writes) {
+                out.push(race_diag(
+                    Code::WriteWriteRace,
+                    a,
+                    b,
+                    ia,
+                    ib,
+                    "unordered write/write",
+                ));
+            }
+            if let Some((ia, ib)) = accesses[i].writes.first_overlap(&accesses[j].reads) {
+                out.push(race_diag(
+                    Code::ReadWriteRace,
+                    a,
+                    b,
+                    ia,
+                    ib,
+                    "write racing a read",
+                ));
+            }
+            if let Some((ib, ia)) = accesses[j].writes.first_overlap(&accesses[i].reads) {
+                out.push(race_diag(
+                    Code::ReadWriteRace,
+                    b,
+                    a,
+                    ib,
+                    ia,
+                    "write racing a read",
+                ));
+            }
+        }
+    }
+    for t in threads {
+        out.extend(check_unsynced_dma(t));
+    }
+    out
+}
+
+/// Walks one thread, tracking in-flight DMA destination ranges (cleared
+/// at each `Sync`); the first access overlapping an in-flight
+/// destination is reported.
+pub fn check_unsynced_dma(t: &ThreadProgram) -> Vec<Diagnostic> {
+    let mut inflight: Vec<(u64, u64, u64)> = Vec::new(); // (start, end, dma pc)
+    for (index, instr) in t.instrs.iter().enumerate() {
+        if instr.op.is_dma_barrier() {
+            inflight.clear();
+            continue;
+        }
+        for e in instr.op.effects() {
+            if let Some(&(ds, de, dma_pc)) = inflight
+                .iter()
+                .find(|&&(s, en, _)| e.start < en && s < e.end)
+            {
+                return vec![Diagnostic::new(
+                    Code::UnsyncedDmaAccess,
+                    Span::Pc {
+                        thread: t.name.clone(),
+                        pc: instr.pc,
+                        index,
+                    },
+                    format!(
+                        "access [{:#x}, {:#x}) touches the destination [{ds:#x}, {de:#x}) of the \
+                         DMA issued at pc {dma_pc:#x} before any `Sync`",
+                        e.start, e.end,
+                    ),
+                )
+                .with_help("insert `Sync` after the DMA before using the staged bytes")];
+            }
+        }
+        if let Op::Dma { dst, bytes, .. } = instr.op {
+            if bytes > 0 {
+                inflight.push((dst, dst.saturating_add(u64::from(bytes)), instr.pc));
+            }
+        }
+    }
+    Vec::new()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use smarco_isa::op::Instr;
+
+    fn prog(name: &str, core: usize, slot: usize, ops: Vec<Op>) -> ThreadProgram {
+        let instrs = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| Instr {
+                pc: 0x1000 + i as u64 * 4,
+                op,
+            })
+            .collect();
+        ThreadProgram::new(name, core, slot, instrs)
+    }
+
+    #[test]
+    fn disjoint_threads_are_clean() {
+        let a = prog("a", 0, 0, vec![Op::load(0x1000, 8), Op::store(0x2000, 8)]);
+        let b = prog("b", 0, 1, vec![Op::load(0x1000, 8), Op::store(0x3000, 8)]);
+        assert!(check_races(&[a, b]).is_empty(), "shared reads are fine");
+    }
+
+    #[test]
+    fn write_write_race_is_denied_with_sl0201() {
+        let a = prog("core0/slot0", 0, 0, vec![Op::store(0x2000, 8)]);
+        let b = prog("core0/slot1", 0, 1, vec![Op::store(0x2004, 8)]);
+        let ds = check_races(&[a, b]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0201");
+        assert_eq!(ds[0].severity, Severity::Deny);
+        assert!(
+            ds[0].message.contains("in-pair friends"),
+            "{}",
+            ds[0].message
+        );
+    }
+
+    #[test]
+    fn read_write_race_is_denied_with_sl0202_in_both_directions() {
+        let writer = prog("w", 0, 0, vec![Op::store(0x5000, 64)]);
+        let reader = prog("r", 1, 0, vec![Op::load(0x5010, 4)]);
+        let ds = check_races(&[reader.clone(), writer.clone()]);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0202");
+        let ds2 = check_races(&[writer, reader]);
+        assert_eq!(ds2.len(), 1);
+        assert_eq!(ds2[0].code.as_str(), "SL0202");
+    }
+
+    #[test]
+    fn dma_destination_counts_as_a_write() {
+        let dma = prog(
+            "dma",
+            0,
+            0,
+            vec![
+                Op::Dma {
+                    src: 0x1_0000,
+                    dst: 0x8000,
+                    bytes: 4096,
+                },
+                Op::Sync,
+            ],
+        );
+        let reader = prog("r", 1, 0, vec![Op::load(0x8100, 8)]);
+        let ds = check_races(&[dma, reader]);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0202"), "{ds:?}");
+    }
+
+    #[test]
+    fn unsynced_dma_access_is_denied_with_sl0203() {
+        let t = prog(
+            "t",
+            0,
+            0,
+            vec![
+                Op::Dma {
+                    src: 0x1_0000,
+                    dst: 0x8000,
+                    bytes: 4096,
+                },
+                Op::load(0x8000, 8), // before the Sync
+                Op::Sync,
+            ],
+        );
+        let ds = check_unsynced_dma(&t);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0203");
+        assert_eq!(ds[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn sync_clears_the_inflight_window() {
+        let t = prog(
+            "t",
+            0,
+            0,
+            vec![
+                Op::Dma {
+                    src: 0x1_0000,
+                    dst: 0x8000,
+                    bytes: 4096,
+                },
+                Op::Sync,
+                Op::load(0x8000, 8), // after the Sync: fine
+            ],
+        );
+        assert!(check_unsynced_dma(&t).is_empty());
+    }
+}

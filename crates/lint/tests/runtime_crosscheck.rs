@@ -1,0 +1,85 @@
+//! Static-to-runtime cross-check: a lint-clean thread set's certified
+//! SPM footprint is enforced by `Spm::certify` in debug builds, so any
+//! divergence between the linter's access model and the simulated
+//! execution panics instead of passing silently.
+
+use smarco_core::chip::SmarcoSystem;
+use smarco_core::config::SmarcoConfig;
+use smarco_isa::op::Op;
+use smarco_isa::program::{Program, ProgramBuilder};
+use smarco_lint::{certified_spm_footprint, lint_threads, ThreadProgram};
+
+/// Two threads per core, each looping over its own SPM slice plus a
+/// shared read-only DRAM table.
+fn guest(space_base: u64, slot: usize) -> Program {
+    let slice = space_base + slot as u64 * 4096;
+    ProgramBuilder::at(0x1000 + slot as u64 * 0x400)
+        .op(Op::load(0x10_0000, 8))
+        .op(Op::store(slice, 8))
+        .op(Op::compute())
+        .op(Op::load(slice + 8, 8))
+        .op(Op::store(slice + 1024, 64))
+        .repeat(50)
+        .build()
+}
+
+#[test]
+fn certified_run_stays_inside_the_footprint() {
+    let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+    let space = sys.address_space();
+    let cores = 2;
+    let slots = 2;
+
+    let mut threads = Vec::new();
+    let mut programs = Vec::new();
+    for core in 0..cores {
+        for slot in 0..slots {
+            let prog = guest(space.spm_base(core), slot);
+            threads.push(ThreadProgram::from_stream(
+                format!("core{core}/slot{slot}"),
+                core,
+                slot,
+                prog.stream(),
+                2048,
+            ));
+            programs.push((core, prog));
+        }
+    }
+
+    let report = lint_threads(&space, &threads);
+    assert!(
+        report.is_empty(),
+        "guests must lint clean:\n{}",
+        report.render_text()
+    );
+
+    for core in 0..cores {
+        let footprint = certified_spm_footprint(&space, &threads, core);
+        assert!(!footprint.is_empty(), "core {core} touches its SPM");
+        let spm = sys.core_mut(core).spm_mut();
+        spm.make_resident(0, 16384);
+        spm.certify(&footprint);
+    }
+    for (core, prog) in programs {
+        sys.attach(core, Box::new(prog.into_stream())).unwrap();
+    }
+    let report = sys.run(1_000_000);
+    assert!(sys.is_done(), "run completed under the certified footprint");
+    assert!(report.instructions > 0);
+}
+
+#[cfg(debug_assertions)]
+#[test]
+#[should_panic(expected = "escapes the statically certified footprint")]
+fn escaping_access_panics_under_certification() {
+    let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+    let space = sys.address_space();
+    let prog = guest(space.spm_base(0), 1); // touches offsets 4096..=5184
+    {
+        let spm = sys.core_mut(0).spm_mut();
+        spm.make_resident(0, 16384);
+        spm.certify(&[(0, 64)]); // certified footprint misses the program's slice
+    }
+    sys.attach(0, Box::new(prog.into_stream())).unwrap();
+    sys.run(1_000_000);
+}

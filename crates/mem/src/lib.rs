@@ -33,5 +33,6 @@ pub mod spm;
 
 pub use cache::{Cache, CacheConfig, CacheOutcome};
 pub use mact::{Batch, Mact, MactConfig, MactOutcome};
+pub use map::{AddressSpace, RangeClass, Region};
 pub use request::{MemRequest, RequestId};
 pub use spm::Spm;

@@ -230,6 +230,35 @@ impl Mact {
 
     fn pack(&mut self, idx: usize, cause: FlushCause, now: Cycle) -> Batch {
         let line = self.lines.remove(idx);
+        // Lint runtime cross-check (debug builds only): a packed line must
+        // obey the invariants the static DMA/overlap pass assumes — every
+        // collected request inside [base, base + line_bytes), and the bitmap
+        // popcount never below the widest single request.
+        #[cfg(debug_assertions)]
+        {
+            for req in &line.requests {
+                debug_assert!(
+                    req.mem.addr >= line.base
+                        && req.mem.end() <= line.base + self.config.line_bytes,
+                    "collected request [{:#x}, {:#x}) escapes its MACT line [{:#x}, {:#x})",
+                    req.mem.addr,
+                    req.mem.end(),
+                    line.base,
+                    line.base + self.config.line_bytes,
+                );
+            }
+            let widest = line
+                .requests
+                .iter()
+                .map(|r| u32::from(r.mem.bytes))
+                .max()
+                .unwrap_or(0);
+            debug_assert!(
+                line.bitmap.count_ones() >= widest,
+                "MACT bitmap popcount {} below widest collected request ({widest} B)",
+                line.bitmap.count_ones(),
+            );
+        }
         self.stats.batches.inc();
         self.stats
             .requests_per_batch

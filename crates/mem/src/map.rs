@@ -52,6 +52,25 @@ pub enum Region {
     Unmapped,
 }
 
+/// Where a byte *range* lands; see [`AddressSpace::classify_range`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RangeClass {
+    /// The whole range lies inside one region (the region of its first
+    /// byte; for DRAM the channel is the first byte's channel — a range
+    /// may still span interleave boundaries).
+    Within(Region),
+    /// The range starts and ends in different regions (or different
+    /// cores' SPM windows) — two agents would service it.
+    Straddles {
+        /// Region of the first byte.
+        first: Region,
+        /// Region of the last byte.
+        end: Region,
+    },
+    /// Both ends fall outside every mapped region.
+    Unmapped,
+}
+
 /// Address-space geometry: core count and DDR channel count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AddressSpace {
@@ -126,6 +145,37 @@ impl AddressSpace {
             }
         }
         Region::Unmapped
+    }
+
+    /// Classifies a byte *range* `[addr, addr + bytes)`.
+    ///
+    /// Static analyses (the `smarco-lint` address-map pass) need to know
+    /// not just where a range starts but whether it stays inside one
+    /// region: an access that straddles a region boundary is serviced by
+    /// two different agents and is almost certainly a bug.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero or the range overflows the address space.
+    pub fn classify_range(&self, addr: u64, bytes: u64) -> RangeClass {
+        assert!(bytes > 0, "zero-length range");
+        let last = addr
+            .checked_add(bytes - 1)
+            .expect("range overflows the address space");
+        let first = self.classify(addr);
+        let end = self.classify(last);
+        match (first, end) {
+            (Region::Unmapped, Region::Unmapped) => RangeClass::Unmapped,
+            (Region::Unmapped, _) | (_, Region::Unmapped) => RangeClass::Straddles { first, end },
+            (Region::Dram { .. }, Region::Dram { .. }) => RangeClass::Within(first),
+            (Region::Spm { core: a, .. }, Region::Spm { core: b, .. }) if a == b => {
+                RangeClass::Within(first)
+            }
+            (Region::SpmCtrl { core: a, .. }, Region::SpmCtrl { core: b, .. }) if a == b => {
+                RangeClass::Within(first)
+            }
+            _ => RangeClass::Straddles { first, end },
+        }
     }
 
     /// Whether `addr` is scratchpad space (data or control) of any core.
@@ -221,6 +271,121 @@ mod tests {
                 Region::Spm { core, offset: 0 }
             );
         }
+    }
+
+    #[test]
+    fn dram_region_first_and_last_byte() {
+        let a = AddressSpace::new(2, 2);
+        assert!(matches!(a.classify(0), Region::Dram { channel: 0 }));
+        assert!(matches!(a.classify(DRAM_BYTES - 1), Region::Dram { .. }));
+        assert_eq!(a.classify(DRAM_BYTES), Region::Unmapped);
+    }
+
+    #[test]
+    fn spm_window_first_and_last_byte_of_every_core() {
+        let a = AddressSpace::new(3, 1);
+        for core in 0..3 {
+            let base = a.spm_base(core);
+            assert_eq!(a.classify(base), Region::Spm { core, offset: 0 });
+            // Last byte of the window is the last control register.
+            assert_eq!(
+                a.classify(base + SPM_BYTES - 1),
+                Region::SpmCtrl {
+                    core,
+                    offset: SPM_CTRL_BYTES - 1
+                }
+            );
+            // Last data byte sits just below the control window.
+            assert_eq!(
+                a.classify(base + SPM_BYTES - SPM_CTRL_BYTES - 1),
+                Region::Spm {
+                    core,
+                    offset: SPM_BYTES - SPM_CTRL_BYTES - 1
+                }
+            );
+        }
+        // One byte past the last core's window is unmapped.
+        assert_eq!(a.classify(SPM_BASE + 3 * SPM_BYTES), Region::Unmapped);
+    }
+
+    #[test]
+    fn unmapped_hole_between_dram_and_spm() {
+        let a = AddressSpace::new(2, 1);
+        assert_eq!(a.classify(DRAM_BYTES), Region::Unmapped);
+        assert_eq!(a.classify((DRAM_BYTES + SPM_BASE) / 2), Region::Unmapped);
+        assert_eq!(a.classify(SPM_BASE - 1), Region::Unmapped);
+        assert!(matches!(a.classify(SPM_BASE), Region::Spm { core: 0, .. }));
+    }
+
+    #[test]
+    fn range_within_a_single_region() {
+        let a = AddressSpace::new(2, 2);
+        assert_eq!(
+            a.classify_range(64, 64),
+            RangeClass::Within(Region::Dram { channel: 0 })
+        );
+        let base = a.spm_base(1);
+        assert_eq!(
+            a.classify_range(base, 64),
+            RangeClass::Within(Region::Spm { core: 1, offset: 0 })
+        );
+    }
+
+    #[test]
+    fn range_straddling_region_boundaries() {
+        let a = AddressSpace::new(2, 1);
+        // DRAM running into the unmapped hole.
+        assert!(matches!(
+            a.classify_range(DRAM_BYTES - 8, 16),
+            RangeClass::Straddles {
+                first: Region::Dram { .. },
+                end: Region::Unmapped
+            }
+        ));
+        // SPM data running into the control window.
+        let base = a.spm_base(0);
+        assert!(matches!(
+            a.classify_range(base + SPM_BYTES - SPM_CTRL_BYTES - 4, 8),
+            RangeClass::Straddles {
+                first: Region::Spm { core: 0, .. },
+                end: Region::SpmCtrl { core: 0, .. }
+            }
+        ));
+        // One core's control window running into the next core's data.
+        assert!(matches!(
+            a.classify_range(base + SPM_BYTES - 4, 8),
+            RangeClass::Straddles {
+                first: Region::SpmCtrl { core: 0, .. },
+                end: Region::Spm { core: 1, .. }
+            }
+        ));
+        // Hole running into the first SPM window.
+        assert!(matches!(
+            a.classify_range(SPM_BASE - 2, 4),
+            RangeClass::Straddles {
+                first: Region::Unmapped,
+                end: Region::Spm { core: 0, .. }
+            }
+        ));
+    }
+
+    #[test]
+    fn range_fully_unmapped() {
+        let a = AddressSpace::new(2, 1);
+        assert_eq!(
+            a.classify_range(DRAM_BYTES + 4096, 64),
+            RangeClass::Unmapped
+        );
+        assert_eq!(
+            a.classify_range(SPM_BASE + 2 * SPM_BYTES, 64),
+            RangeClass::Unmapped
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-length")]
+    fn zero_length_range_rejected() {
+        AddressSpace::new(2, 1).classify_range(0, 0);
     }
 
     #[test]

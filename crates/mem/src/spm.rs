@@ -31,6 +31,11 @@ pub const SPM_BLOCK_BYTES: u64 = 64;
 pub struct Spm {
     resident: Vec<bool>,
     stats: SpmStats,
+    /// Ranges a static analysis certified as the only ones this SPM's
+    /// guests touch; debug builds assert every access stays inside them
+    /// (the `smarco-lint` runtime cross-check). Compiled out in release.
+    #[cfg(debug_assertions)]
+    certified: Option<Vec<(u64, u64)>>,
 }
 
 /// SPM access statistics.
@@ -56,6 +61,8 @@ impl Spm {
         Self {
             resident: vec![false; blocks],
             stats: SpmStats::default(),
+            #[cfg(debug_assertions)]
+            certified: None,
         }
     }
 
@@ -67,6 +74,50 @@ impl Spm {
     /// Statistics so far.
     pub fn stats(&self) -> SpmStats {
         self.stats
+    }
+
+    /// Installs the lint runtime cross-check: in debug builds, every
+    /// subsequent [`Spm::access`] must fall inside one of the given
+    /// `(offset, bytes)` ranges or the process panics with the offending
+    /// access. The ranges are what a static analysis (the `smarco-lint`
+    /// address-map pass) certified as this SPM's complete footprint, so a
+    /// trip means the linter's model and the execution disagree.
+    ///
+    /// Release builds compile this to a no-op.
+    pub fn certify(&mut self, ranges: &[(u64, u64)]) {
+        #[cfg(debug_assertions)]
+        {
+            self.certified = Some(ranges.to_vec());
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            let _ = ranges;
+        }
+    }
+
+    /// Removes the certified footprint installed by [`Spm::certify`].
+    pub fn decertify(&mut self) {
+        #[cfg(debug_assertions)]
+        {
+            self.certified = None;
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    fn check_certified(&self, offset: u64, bytes: u64) {
+        if let Some(ranges) = &self.certified {
+            let covered = ranges
+                .iter()
+                .any(|&(start, len)| offset >= start && offset + bytes <= start + len);
+            assert!(
+                covered,
+                "SPM access [{offset:#x}, {:#x}) escapes the statically \
+                 certified footprint ({} certified range(s)); the linter's \
+                 model and this execution disagree",
+                offset + bytes,
+                ranges.len(),
+            );
+        }
     }
 
     fn block_range(offset: u64, bytes: u64) -> (usize, usize) {
@@ -87,6 +138,8 @@ impl Spm {
             offset + bytes <= Self::data_bytes(),
             "SPM access out of bounds"
         );
+        #[cfg(debug_assertions)]
+        self.check_certified(offset, bytes);
         let (first, last) = Self::block_range(offset, bytes);
         let hit = self.resident[first..=last].iter().all(|&r| r);
         self.stats.accesses.record(hit);
@@ -214,5 +267,26 @@ mod tests {
     #[should_panic(expected = "zero-length")]
     fn zero_length_access_rejected() {
         Spm::new().access(0, 0);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn certified_footprint_admits_covered_accesses() {
+        let mut s = Spm::new();
+        s.certify(&[(0, 4096), (8192, 1024)]);
+        s.access(0, 64);
+        s.access(4088, 8); // last bytes of the first range
+        s.access(8192, 1024);
+        s.decertify();
+        s.access(100_000, 4); // no footprint installed: anything goes
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "escapes the statically certified footprint")]
+    fn certified_footprint_rejects_escaping_access() {
+        let mut s = Spm::new();
+        s.certify(&[(0, 4096)]);
+        s.access(4092, 8); // straddles the certified boundary
     }
 }

@@ -447,7 +447,7 @@ impl<P> HierarchicalRing<P> {
         self.bridge_to_main.is_empty()
             && self.bridge_to_sub.is_empty()
             && self.main.is_idle()
-            && self.subrings.iter().all(|r| r.is_idle())
+            && self.subrings.iter().all(Ring::is_idle)
     }
 
     /// Mean payload utilization of the main ring's channels.
@@ -457,7 +457,7 @@ impl<P> HierarchicalRing<P> {
 
     /// Mean payload utilization across sub-ring channels.
     pub fn subring_utilization(&self) -> f64 {
-        let sum: f64 = self.subrings.iter().map(|r| r.payload_utilization()).sum();
+        let sum: f64 = self.subrings.iter().map(Ring::payload_utilization).sum();
         sum / self.subrings.len() as f64
     }
 

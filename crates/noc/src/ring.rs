@@ -202,7 +202,7 @@ impl<T: Transmittable> Ring<T> {
 
     /// Whether nothing is queued or in flight anywhere on the ring.
     pub fn is_idle(&self) -> bool {
-        self.channels.iter().all(|c| c.is_empty())
+        self.channels.iter().all(Channel::is_empty)
     }
 
     /// Cumulative `(payload, offered)` bytes summed over all channel

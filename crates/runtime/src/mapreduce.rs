@@ -338,27 +338,39 @@ mod tests {
         reduce_ops: u64,
     }
 
+    impl BenchApp {
+        /// When a task is SPM-staged its output buffer and hot table
+        /// window must live inside the staged share too: the generator's
+        /// default 256 KB output buffer right after the slice would
+        /// overrun the share into the neighbouring slots (smarco-lint
+        /// reports it as SL0201/SL0303).
+        fn params(
+            &self,
+            base: u64,
+            len: u64,
+            in_spm: bool,
+            ops: u64,
+        ) -> smarco_workloads::ThreadGenParams {
+            // Slice is private: no team interleaving inside it.
+            let mut p = self.bench.thread_params(base, len, 0x3000_0000, 0, 1, ops);
+            if in_spm {
+                let hot = p.table_hot_bytes.min(4 << 10).min(len / 2);
+                p.out_len = 4 << 10;
+                p.out_base = base + len;
+                p.table_hot_bytes = hot.max(64);
+                p.table_hot_base = Some(base);
+            }
+            p
+        }
+    }
+
     impl MapReduceApp for BenchApp {
         fn map_stream(&self, t: &MapTask) -> Box<dyn InstructionStream + Send> {
-            let p = self.bench.thread_params(
-                t.slice_base,
-                t.slice_len,
-                0x3000_0000,
-                0, // slice is private: no team interleaving inside it
-                1,
-                self.map_ops,
-            );
+            let p = self.params(t.slice_base, t.slice_len, t.in_spm, self.map_ops);
             Box::new(smarco_workloads::HtcStream::new(p, SimRng::new(t.seed)))
         }
         fn reduce_stream(&self, t: &ReduceTask) -> Box<dyn InstructionStream + Send> {
-            let p = self.bench.thread_params(
-                t.partition_base,
-                t.partition_len,
-                0x3000_0000,
-                0,
-                1,
-                self.reduce_ops,
-            );
+            let p = self.params(t.partition_base, t.partition_len, t.in_spm, self.reduce_ops);
             Box::new(smarco_workloads::HtcStream::new(p, SimRng::new(t.seed)))
         }
     }

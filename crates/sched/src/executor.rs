@@ -99,7 +99,7 @@ pub fn run_tasks(
             next_arrival += 1;
         }
         // Completions.
-        for slot in running.iter_mut() {
+        for slot in &mut running {
             if let Some((task, start, done)) = *slot {
                 if done <= now {
                     records.push(ExitRecord {

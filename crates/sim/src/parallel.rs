@@ -216,7 +216,7 @@ impl<S: Shard> ParallelEngine<S> {
             while now < end {
                 let to = (now + lookahead).min(end);
                 barrier.wait(); // wait for every shard's window
-                for slot in produced.iter() {
+                for slot in &produced {
                     for env in slot.lock().expect("produced lock").drain(..) {
                         assert!(env.to < n, "unknown shard {}", env.to);
                         staging[env.to]

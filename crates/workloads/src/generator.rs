@@ -353,11 +353,7 @@ mod tests {
         p.branch_frac = 0.0;
         p.granularity = GranularityMix::new([0.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0]); // all 2 B
         let ops = drain(HtcStream::new(p.clone(), SimRng::new(2)));
-        let addrs: Vec<u64> = ops
-            .iter()
-            .filter_map(|o| o.mem_ref())
-            .map(|m| m.addr)
-            .collect();
+        let addrs: Vec<u64> = ops.iter().filter_map(Op::mem_ref).map(|m| m.addr).collect();
         // Thread 3 of 16 with 2-byte grain: addresses base + (16i + 3) * 2.
         assert_eq!(addrs[0], p.scan_base + 3 * 2);
         assert_eq!(addrs[1], p.scan_base + (16 + 3) * 2);

@@ -37,7 +37,7 @@ impl MapReduceApp for WordCountApp {
         Box::new(HtcStream::new(p, SimRng::new(t.seed)))
     }
     fn reduce_stream(&self, t: &ReduceTask) -> Box<dyn InstructionStream + Send> {
-        let p = Benchmark::WordCount.thread_params(
+        let mut p = Benchmark::WordCount.thread_params(
             t.partition_base,
             t.partition_len,
             0x3000_0000,
@@ -45,6 +45,15 @@ impl MapReduceApp for WordCountApp {
             1,
             400,
         );
+        if t.in_spm {
+            // Same layout as the map side: without this the default
+            // 256 KB output buffer overruns the task's SPM share
+            // (smarco-lint flags it as SL0201/SL0303).
+            p.out_base = t.partition_base + t.partition_len;
+            p.out_len = 4 << 10;
+            p.table_hot_base = Some(t.partition_base);
+            p.table_hot_bytes = p.table_hot_bytes.min(4 << 10);
+        }
         Box::new(HtcStream::new(p, SimRng::new(t.seed)))
     }
 }

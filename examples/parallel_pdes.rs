@@ -118,7 +118,7 @@ fn main() {
     let shards = 16;
     let cycles = 20_000;
     let host = std::thread::available_parallelism()
-        .map(|n| n.get())
+        .map(std::num::NonZero::get)
         .unwrap_or(1);
     println!(
         "Conservative PDES over {shards} sub-ring shards, {cycles} cycles (host has {host} CPU{}):",

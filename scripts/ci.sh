@@ -9,12 +9,21 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (all targets, warnings are errors)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+# Beyond the default lint set, a low-noise pedantic subset the codebase
+# commits to keeping clean.
+cargo clippy --offline --workspace --all-targets -- -D warnings \
+    -W clippy::semicolon_if_nothing_returned \
+    -W clippy::redundant_closure_for_method_calls \
+    -W clippy::explicit_iter_loop \
+    -W clippy::uninlined_format_args
 
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
 echo "==> cargo test"
 cargo test --offline -q --workspace
+
+echo "==> smarco-lint (static verifier, warnings are errors)"
+cargo run --offline --release -p smarco-bench --bin lint -- --deny-warnings
 
 echo "ci: all gates passed"

@@ -14,6 +14,8 @@
 //! * [`workloads`] — the six HTC benchmarks, CDN, and SPLASH2-like loads
 //! * [`runtime`] — pthreads-like API and MapReduce framework
 //! * [`power`] — analytic area/power/energy models
+//! * [`lint`] — static verifier: address-map, race, DMA-overlap, and
+//!   config passes with stable `SLxxxx` diagnostics
 //!
 //! # Examples
 //!
@@ -46,6 +48,7 @@
 pub use smarco_baseline as baseline;
 pub use smarco_core as core;
 pub use smarco_isa as isa;
+pub use smarco_lint as lint;
 pub use smarco_mem as mem;
 pub use smarco_noc as noc;
 pub use smarco_power as power;
