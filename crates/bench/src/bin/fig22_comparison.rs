@@ -1,7 +1,9 @@
 //! Regenerates the paper's fig22 data. Pass `--scale paper` for the
-//! fuller configuration.
+//! fuller configuration and `--parallel N` to drive the chip's shards
+//! with N host threads (bit-identical results).
 
 fn main() {
     let scale = smarco_bench::Scale::from_args();
-    println!("{}", smarco_bench::figures::fig22::run(scale));
+    let workers = smarco_bench::scale::parallel_from_args();
+    println!("{}", smarco_bench::figures::fig22::run_with(scale, workers));
 }

@@ -1,0 +1,14 @@
+//! Host-side scaling of the sharded simulator: wall-clock speedup of
+//! parallel PDES runs over the sequential one on Fig. 22's workload.
+//! Pass `--scale paper` for the full 256-core chip; `--parallel N` adds
+//! another worker count to the default 1/2/4 sweep.
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    let mut counts = vec![1, 2, 4];
+    let extra = smarco_bench::scale::parallel_from_args();
+    if !counts.contains(&extra) {
+        counts.push(extra);
+    }
+    println!("{}", smarco_bench::figures::speedup::run(scale, &counts));
+}

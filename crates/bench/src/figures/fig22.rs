@@ -94,7 +94,13 @@ pub fn compare_one(
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Fig22 {
-    let (scfg, xcfg, map_ops, reduce_ops) = match scale {
+    run_with(scale, 1)
+}
+
+/// [`run`] with the SmarCo side simulated by `workers` PDES threads
+/// (`--parallel N`). Results are bit-identical to the sequential run.
+pub fn run_with(scale: Scale, workers: usize) -> Fig22 {
+    let (mut scfg, xcfg, map_ops, reduce_ops) = match scale {
         Scale::Quick => (SmarcoConfig::tiny(), XeonConfig::small(), 1_500, 500),
         Scale::Paper => (
             SmarcoConfig::smarco(),
@@ -103,6 +109,7 @@ pub fn run(scale: Scale) -> Fig22 {
             1_500,
         ),
     };
+    scfg.workers = workers.max(1);
     let rows = Benchmark::ALL
         .iter()
         .map(|&b| compare_one(b, &scfg, &xcfg, TechNode::n32(), map_ops, reduce_ops))

@@ -100,7 +100,13 @@ fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> f64 {
 
 /// Runs the experiment.
 pub fn run(scale: Scale) -> Fig23 {
-    let (scfg, xcfg, sweep, total_work): (_, _, &[usize], u64) = match scale {
+    run_with(scale, 1)
+}
+
+/// [`run`] with the SmarCo side simulated by `workers` PDES threads
+/// (`--parallel N`). Results are bit-identical to the sequential run.
+pub fn run_with(scale: Scale, workers: usize) -> Fig23 {
+    let (mut scfg, xcfg, sweep, total_work): (_, _, &[usize], u64) = match scale {
         Scale::Quick => (
             SmarcoConfig::tiny(),
             XeonConfig::small(),
@@ -114,6 +120,7 @@ pub fn run(scale: Scale) -> Fig23 {
             2_000_000,
         ),
     };
+    scfg.workers = workers.max(1);
     let mut rows = Vec::new();
     for &threads in sweep {
         let ops = (total_work / threads as u64).max(1);

@@ -1,0 +1,115 @@
+//! `scale` bench: host-side scaling of the sharded simulator.
+//!
+//! Runs Fig. 22's SmarCo workload (a MapReduce job over the whole chip)
+//! once per PDES worker count and reports the wall-clock time of each run
+//! and its speedup over the sequential one. Every run must produce a
+//! bit-identical [`smarco_core::SmarcoReport`] — the sweep asserts it, so
+//! this bench doubles as a determinism check at full-chip scale.
+
+use std::time::Instant;
+
+use smarco_core::config::SmarcoConfig;
+use smarco_workloads::Benchmark;
+
+use crate::harness::smarco_mapreduce;
+use crate::Scale;
+
+/// One worker count's measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedupRow {
+    /// PDES worker threads driving the shards.
+    pub workers: usize,
+    /// Host wall-clock seconds for the run.
+    pub seconds: f64,
+    /// Sequential wall-clock over this run's (≥ 1.0 means faster).
+    pub speedup: f64,
+}
+
+/// The bench's data.
+#[derive(Debug, Clone)]
+pub struct ScaleBench {
+    /// One row per worker count, sequential first.
+    pub rows: Vec<SpeedupRow>,
+    /// Simulated cycles of the (identical) runs.
+    pub cycles: u64,
+    /// Host CPUs available to the sweep — speedup is bounded by this:
+    /// on a single-core host every extra worker is pure overhead.
+    pub host_cpus: usize,
+}
+
+impl ScaleBench {
+    /// The measured speedup at `workers`, if that count was swept.
+    pub fn speedup_at(&self, workers: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.workers == workers)
+            .map(|r| r.speedup)
+    }
+}
+
+/// Runs Fig. 22's workload once per entry of `worker_counts`.
+///
+/// # Panics
+///
+/// Panics if any parallel run's report differs from the sequential one —
+/// the determinism contract is part of what this bench measures.
+pub fn run(scale: Scale, worker_counts: &[usize]) -> ScaleBench {
+    let (cfg, map_ops, reduce_ops) = match scale {
+        Scale::Quick => (SmarcoConfig::tiny(), 1_500, 500),
+        Scale::Paper => (SmarcoConfig::smarco(), 4_000, 1_500),
+    };
+    let bench = Benchmark::WordCount;
+    let mut rows = Vec::new();
+    let mut baseline = None;
+    let mut seq_seconds = 0.0;
+    let mut cycles = 0;
+    for &workers in worker_counts {
+        let mut wcfg = cfg.clone();
+        wcfg.workers = workers;
+        let start = Instant::now();
+        let run = smarco_mapreduce(bench, &wcfg, map_ops, reduce_ops, cfg.tcg.resident_threads);
+        let seconds = start.elapsed().as_secs_f64();
+        cycles = run.total_cycles();
+        match &baseline {
+            None => {
+                baseline = Some(run.report);
+                seq_seconds = seconds;
+            }
+            Some(seq) => assert_eq!(
+                &run.report, seq,
+                "run with {workers} workers diverged from the first"
+            ),
+        }
+        rows.push(SpeedupRow {
+            workers,
+            seconds,
+            speedup: seq_seconds / seconds,
+        });
+    }
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    ScaleBench {
+        rows,
+        cycles,
+        host_cpus,
+    }
+}
+
+impl std::fmt::Display for ScaleBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "scale: wall-clock of Fig. 22's workload vs PDES workers \
+             ({} simulated cycles, bit-identical reports, {} host CPUs)",
+            self.cycles, self.host_cpus
+        )?;
+        writeln!(f, "  {:>8} {:>10} {:>9}", "workers", "seconds", "speedup")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>8} {:>10.3} {:>8.2}x",
+                r.workers, r.seconds, r.speedup
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -36,6 +36,23 @@ impl Scale {
     }
 }
 
+/// Parses `--parallel N` style arguments (any position): the PDES worker
+/// count the bench binaries write into `SmarcoConfig::workers`. Defaults
+/// to `1` (sequential); results are bit-identical either way.
+pub fn parallel_from_args() -> usize {
+    parallel_from(&std::env::args().collect::<Vec<_>>())
+}
+
+/// The testable core of [`parallel_from_args`]: scans an argument list.
+pub fn parallel_from(args: &[String]) -> usize {
+    for pair in args.windows(2) {
+        if pair[0] == "--parallel" {
+            return pair[1].parse().ok().filter(|&n| n > 0).unwrap_or(1);
+        }
+    }
+    1
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +62,19 @@ mod tests {
         assert_eq!(Scale::Quick.scaled(10, 100), 10);
         assert_eq!(Scale::Paper.scaled(10, 100), 100);
         assert_eq!(Scale::default(), Scale::Quick);
+    }
+
+    #[test]
+    fn parallel_flag_parsed() {
+        let args = |s: &[&str]| s.iter().map(|a| (*a).to_string()).collect::<Vec<_>>();
+        assert_eq!(parallel_from(&args(&["bin"])), 1);
+        assert_eq!(parallel_from(&args(&["bin", "--parallel", "4"])), 4);
+        assert_eq!(
+            parallel_from(&args(&["bin", "--scale", "paper", "--parallel", "2"])),
+            2
+        );
+        // Garbage and zero fall back to sequential.
+        assert_eq!(parallel_from(&args(&["bin", "--parallel", "zero"])), 1);
+        assert_eq!(parallel_from(&args(&["bin", "--parallel", "0"])), 1);
     }
 }

@@ -1,5 +1,5 @@
 //! The full SmarCo chip: cores + hierarchical ring + MACT + direct
-//! datapath + DDR (Fig. 4).
+//! datapath + DDR (Fig. 4), assembled from PDES shards.
 //!
 //! Request life cycle (read): a thread's load misses → the core emits a
 //! word-granularity request → it rides the sub-ring to the junction →
@@ -10,69 +10,35 @@
 //! the sub-ring → [`crate::tcg::TcgCore::complete`] unblocks the thread,
 //! which resumes per the in-pair state machine. Real-time reads can take
 //! the star-shaped direct datapath both ways instead (§3.5.2).
+//!
+//! Internally the chip is a [`ParallelEngine`] over one
+//! [`SubShard`] per sub-ring plus one [`HubShard`] (main ring + DDR +
+//! main scheduler), exchanging timestamped boundary messages with the
+//! junction latency as lookahead. [`SmarcoSystem::run`] drives them with
+//! `config.workers` host threads; results are bit-identical for every
+//! worker count.
 
-use std::collections::HashMap;
 use std::path::PathBuf;
 
-use smarco_mem::dram::Dram;
-use smarco_mem::mact::{Batch, Mact, MactOutcome};
 use smarco_mem::map::AddressSpace;
-use smarco_mem::request::{MemRequest, RequestId, RequestIdAllocator};
-use smarco_noc::direct::DirectPath;
-use smarco_noc::packet::{NodeId, Packet};
-use smarco_noc::HierarchicalRing;
+use smarco_sched::Task;
 use smarco_sim::engine::CycleModel;
 use smarco_sim::obs::{EventTrace, MetricsRecorder, TraceConfig};
+use smarco_sim::parallel::ParallelEngine;
 use smarco_sim::stats::{MeanTracker, StatsReport};
 use smarco_sim::Cycle;
 
 use crate::config::SmarcoConfig;
-use crate::dispatch::HardwareDispatcher;
 use crate::report::SmarcoReport;
-use crate::tcg::{CoreFull, CoreRequest, RequestKind, TcgCore};
+use crate::shard::{ChipShard, HubShard, SubShard};
+use crate::tcg::{CoreFull, TcgCore};
 
-/// A request travelling the uncore, with enough context to complete it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct UncoreReq {
-    /// The memory request.
-    pub req: MemRequest,
-    /// Issuing thread slot on the core (for completion).
-    pub thread: usize,
-    /// Path that produced it.
-    pub kind: RequestKind,
-}
+pub use crate::shard::{ChipPayload, UncoreReq};
 
-/// Semantic payload of chip NoC packets.
-#[derive(Debug, Clone, PartialEq)]
-pub enum ChipPayload {
-    /// Core → junction (MACT-eligible) or → memory controller (bypass).
-    Req(UncoreReq),
-    /// Junction → memory controller: a packed MACT line.
-    Batch(Batch),
-    /// Memory controller → junction: a served read batch.
-    BatchReply(Batch),
-    /// Memory-side reply to a single blocking request.
-    Reply(UncoreReq),
-    /// Core → core: access to a remote scratchpad.
-    RemoteSpm(UncoreReq),
-    /// Owner core → requester: remote-scratchpad completion.
-    RemoteSpmReply(UncoreReq),
-    /// Core → owner core: SPM-to-SPM DMA pull command (§3.5.1).
-    DmaReq(UncoreReq),
-    /// Owner core → requester: the pulled DMA data.
-    DmaData(UncoreReq),
-}
-
-#[derive(Debug, Clone)]
-enum DramJob {
-    Single { ucr: UncoreReq, via_direct: bool },
-    BatchJob(Batch),
-}
-
-/// Fixed NoC header bytes for request/descriptor packets.
-const REQ_HEADER_BYTES: u32 = 4;
-/// Descriptor bytes of a batch packet (type, tag, vector).
-const BATCH_HEADER_BYTES: u32 = 8;
+/// Cycles between completion checks in [`SmarcoSystem::run`]. The check
+/// grid is fixed — independent of the observability configuration and the
+/// worker count — so every variant of a run stops at the same cycle.
+const CHUNK: Cycle = 2048;
 
 /// The assembled chip.
 ///
@@ -92,27 +58,12 @@ const BATCH_HEADER_BYTES: u32 = 8;
 pub struct SmarcoSystem {
     config: SmarcoConfig,
     space: AddressSpace,
-    cores: Vec<TcgCore>,
-    noc: HierarchicalRing<ChipPayload>,
-    macts: Vec<Mact>,
-    dram: Dram<DramJob>,
-    direct_to_mem: Option<DirectPath<UncoreReq>>,
-    direct_from_mem: Option<DirectPath<UncoreReq>>,
-    ids: RequestIdAllocator,
-    next_packet: u64,
-    /// End-to-end latency of blocking requests (issue → complete).
-    mem_latency: MeanTracker,
-    requests: u64,
-    dram_requests: u64,
-    /// Blocking requests in flight: id → issuing thread slot (the thread
-    /// context is not carried through MACT batches, so it lives here).
-    outstanding: HashMap<RequestId, usize>,
-    /// Two-level hardware task dispatcher (§3.7).
-    dispatcher: HardwareDispatcher,
-    req_buf: Vec<CoreRequest>,
-    now: Cycle,
-    /// Chip-wide event trace (ring buffer); components drain into it each
-    /// tick.
+    engine: ParallelEngine<ChipShard>,
+    /// Host threads driving the shards (from `config.workers`).
+    workers: usize,
+    next_task: u64,
+    /// Chip-wide event trace (ring buffer); shards drain into it at every
+    /// synchronization point.
     trace: Option<EventTrace>,
     /// Windowed time-series metrics.
     metrics: Option<MetricsRecorder>,
@@ -125,9 +76,9 @@ pub struct SmarcoSystem {
 impl std::fmt::Debug for SmarcoSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SmarcoSystem")
-            .field("cores", &self.cores.len())
-            .field("now", &self.now)
-            .field("outstanding", &self.outstanding.len())
+            .field("cores", &self.cores_len())
+            .field("now", &self.engine.now())
+            .field("workers", &self.workers)
             .finish()
     }
 }
@@ -140,35 +91,18 @@ impl SmarcoSystem {
     /// Panics if the configuration is invalid.
     pub fn new(config: SmarcoConfig) -> Self {
         config.validate();
-        let dispatcher = HardwareDispatcher::new(
-            config.noc.subrings,
-            config.noc.cores_per_subring * config.tcg.resident_threads,
-        );
         let space = AddressSpace::new(config.noc.cores(), config.dram.channels);
-        let cores = (0..config.noc.cores())
-            .map(|i| TcgCore::new(i, config.tcg, space))
+        let mut shards: Vec<ChipShard> = (0..config.noc.subrings)
+            .map(|sr| ChipShard::Sub(Box::new(SubShard::new(sr, &config, space))))
             .collect();
-        let macts = (0..config.noc.subrings)
-            .map(|_| Mact::new(config.mact.unwrap_or_default()))
-            .collect();
+        shards.push(ChipShard::Hub(Box::new(HubShard::new(&config))));
+        let engine = ParallelEngine::new(shards, config.noc.junction_latency);
         let mut sys = Self {
-            noc: HierarchicalRing::new(config.noc),
-            macts,
-            dram: Dram::new(config.dram),
-            direct_to_mem: config.direct.map(DirectPath::new),
-            direct_from_mem: config.direct.map(DirectPath::new),
-            cores,
+            engine,
+            workers: config.workers.max(1),
             space,
             config,
-            ids: RequestIdAllocator::new(),
-            next_packet: 0,
-            mem_latency: MeanTracker::new(),
-            requests: 0,
-            dram_requests: 0,
-            outstanding: HashMap::new(),
-            dispatcher,
-            req_buf: Vec::new(),
-            now: 0,
+            next_task: 0,
             trace: None,
             metrics: None,
             trace_path: None,
@@ -183,18 +117,45 @@ impl SmarcoSystem {
         sys
     }
 
+    fn subs(&self) -> impl Iterator<Item = &SubShard> {
+        self.engine.shards().iter().filter_map(ChipShard::as_sub)
+    }
+
+    fn sub(&self, sr: usize) -> &SubShard {
+        self.engine.shards()[sr].as_sub().expect("sub-ring shard")
+    }
+
+    fn sub_mut(&mut self, sr: usize) -> &mut SubShard {
+        self.engine.shards_mut()[sr]
+            .as_sub_mut()
+            .expect("sub-ring shard")
+    }
+
+    fn hub(&self) -> &HubShard {
+        self.engine
+            .shards()
+            .last()
+            .and_then(ChipShard::as_hub)
+            .expect("hub shard")
+    }
+
+    fn hub_mut(&mut self) -> &mut HubShard {
+        self.engine
+            .shards_mut()
+            .last_mut()
+            .and_then(ChipShard::as_hub_mut)
+            .expect("hub shard")
+    }
+
     /// Turns event tracing on across every component. Idempotent beyond
     /// resetting the ring buffer to `cfg.capacity`.
     pub fn enable_tracing(&mut self, cfg: TraceConfig) {
-        for core in &mut self.cores {
-            core.enable_trace(cfg);
+        for shard in self.engine.shards_mut() {
+            match shard {
+                ChipShard::Sub(s) => s.enable_trace(cfg),
+                ChipShard::Hub(h) => h.enable_trace(),
+            }
         }
-        for (sr, m) in self.macts.iter_mut().enumerate() {
-            m.enable_trace(sr);
-        }
-        self.dram.enable_trace();
-        self.noc.enable_trace();
-        self.dispatcher.enable_trace();
         self.trace = Some(EventTrace::new(cfg.capacity));
         self.config.obs.trace = Some(cfg);
     }
@@ -217,6 +178,11 @@ impl SmarcoSystem {
     pub fn sample_every(&mut self, window: Cycle) {
         self.metrics = Some(MetricsRecorder::new(window));
         self.config.obs.sample_window = Some(window);
+        for shard in self.engine.shards_mut() {
+            if let Some(s) = shard.as_sub_mut() {
+                s.collect_latency();
+            }
+        }
     }
 
     /// Writes the per-window metrics CSV to `path` when the run finishes
@@ -248,24 +214,31 @@ impl SmarcoSystem {
         self.space
     }
 
+    fn core_location(&self, id: usize) -> (usize, usize) {
+        let cps = self.config.noc.cores_per_subring;
+        (id / cps, id % cps)
+    }
+
     /// Immutable view of core `id`.
     pub fn core(&self, id: usize) -> &TcgCore {
-        &self.cores[id]
+        let (sr, local) = self.core_location(id);
+        &self.sub(sr).cores()[local]
     }
 
     /// Mutable view of core `id` (e.g. to pre-stage SPM data).
     pub fn core_mut(&mut self, id: usize) -> &mut TcgCore {
-        &mut self.cores[id]
+        let (sr, local) = self.core_location(id);
+        &mut self.sub_mut(sr).cores_mut()[local]
     }
 
     /// Number of cores.
     pub fn cores_len(&self) -> usize {
-        self.cores.len()
+        self.config.noc.cores()
     }
 
     /// Per-sub-ring MACT statistics.
     pub fn mact_stats(&self) -> Vec<&smarco_mem::mact::MactStats> {
-        self.macts.iter().map(smarco_mem::Mact::stats).collect()
+        self.subs().map(|s| s.mact().stats()).collect()
     }
 
     /// Submits a task with a deadline to the hardware dispatcher (§3.7):
@@ -280,13 +253,21 @@ impl SmarcoSystem {
         work_estimate: Cycle,
         priority: smarco_sched::TaskPriority,
     ) -> u64 {
-        self.dispatcher
-            .submit(stream, deadline, work_estimate, priority, self.now)
+        let id = self.next_task;
+        self.next_task += 1;
+        let now = self.engine.now();
+        let mut task = Task::new(id, now, deadline, work_estimate.max(1));
+        if priority == smarco_sched::TaskPriority::High {
+            task = task.with_high_priority();
+        }
+        let sr = self.hub_mut().assign(&task);
+        self.sub_mut(sr).enqueue_task(task, stream, now);
+        id
     }
 
     /// Exit records of hardware-dispatched tasks.
     pub fn task_exits(&self) -> &[crate::dispatch::TaskExit] {
-        self.dispatcher.exits()
+        self.hub().exits()
     }
 
     /// Attaches a thread stream to a specific core.
@@ -299,7 +280,8 @@ impl SmarcoSystem {
         core: usize,
         stream: Box<dyn smarco_isa::InstructionStream + Send>,
     ) -> Result<usize, CoreFull> {
-        self.cores[core].attach(stream)
+        let (sr, local) = self.core_location(core);
+        self.sub_mut(sr).attach(local, stream)
     }
 
     /// Attaches a stream to the first core with a vacant slot.
@@ -312,286 +294,40 @@ impl SmarcoSystem {
         stream: Box<dyn smarco_isa::InstructionStream + Send>,
     ) -> Result<(usize, usize), CoreFull> {
         let mut stream = stream;
-        for c in 0..self.cores.len() {
-            match self.cores[c].attach(stream) {
+        for c in 0..self.cores_len() {
+            match self.attach(c, stream) {
                 Ok(t) => return Ok((c, t)),
                 Err(e) => stream = e.into_stream(),
             }
         }
-        Err(self.cores[0].attach(stream).expect_err("core 0 known full"))
+        Err(self.attach(0, stream).expect_err("core 0 known full"))
     }
 
-    fn channel_of(&self, addr: u64) -> usize {
-        ((addr / 4096) % self.config.dram.channels as u64) as usize
-    }
-
-    fn packet(
-        &mut self,
-        src: NodeId,
-        dst: NodeId,
-        bytes: u32,
-        payload: ChipPayload,
-    ) -> Packet<ChipPayload> {
-        let id = self.next_packet;
-        self.next_packet += 1;
-        Packet::new(id, src, dst, bytes.max(1), self.now, payload)
-    }
-
-    fn subring_of_core(&self, core: usize) -> usize {
-        core / self.config.noc.cores_per_subring
-    }
-
-    /// Routes a fresh core request into the uncore.
-    fn route_request(&mut self, core: usize, r: CoreRequest, now: Cycle) {
-        self.requests += 1;
-        let req = MemRequest {
-            id: self.ids.next_id(),
-            core,
-            mem: r.mem,
-            is_write: r.is_write,
-            issued_at: now,
-        };
-        let ucr = UncoreReq {
-            req,
-            thread: r.thread,
-            kind: r.kind,
-        };
-        if r.blocking {
-            self.outstanding.insert(req.id, r.thread);
-        }
-        let sr = self.subring_of_core(core);
-        if let RequestKind::DmaPull { owner, .. } = r.kind {
-            // DMA command descriptor to the owning core; the data rides
-            // back as one (possibly multi-cycle) packet.
-            let pkt = self.packet(
-                NodeId::Core(core),
-                NodeId::Core(owner),
-                REQ_HEADER_BYTES,
-                ChipPayload::DmaReq(ucr),
-            );
-            if let Some(p) = self.noc.inject(pkt, now) {
-                self.handle_delivery(p, now);
-            }
-            return;
-        }
-        if let RequestKind::RemoteSpm { owner } = r.kind {
-            let bytes = if r.is_write {
-                u32::from(r.mem.bytes) + REQ_HEADER_BYTES
-            } else {
-                REQ_HEADER_BYTES
-            };
-            let pkt = self.packet(
-                NodeId::Core(core),
-                NodeId::Core(owner),
-                bytes,
-                ChipPayload::RemoteSpm(ucr),
-            );
-            if let Some(p) = self.noc.inject(pkt, now) {
-                self.handle_delivery(p, now);
-            }
-            return;
-        }
-        // Real-time reads may use the direct datapath.
-        let realtime = r.mem.priority == smarco_isa::Priority::Realtime;
-        if realtime && !r.is_write {
-            if let Some(dp) = self.direct_to_mem.as_mut() {
-                dp.send(sr, REQ_HEADER_BYTES, now, ucr);
-                return;
-            }
-        }
-        let bytes = if r.is_write {
-            (r.span_bytes.min(u64::from(u32::MAX)) as u32) + REQ_HEADER_BYTES
-        } else {
-            REQ_HEADER_BYTES
-        };
-        let mact_on = self.config.mact.is_some() && !realtime;
-        let dst = if mact_on {
-            NodeId::Junction(sr)
-        } else {
-            NodeId::MemCtrl(self.channel_of(r.mem.addr))
-        };
-        let mut pkt = self.packet(NodeId::Core(core), dst, bytes, ChipPayload::Req(ucr));
-        pkt.realtime = realtime;
-        if let Some(p) = self.noc.inject(pkt, now) {
-            self.handle_delivery(p, now);
-        }
-    }
-
-    fn enqueue_dram(&mut self, addr: u64, span: u64, job: DramJob, now: Cycle) {
-        self.dram_requests += 1;
-        let channel = self.channel_of(addr);
-        self.dram.enqueue(channel, span.max(1), now, job);
-    }
-
-    fn handle_delivery(&mut self, pkt: Packet<ChipPayload>, now: Cycle) {
-        match pkt.payload {
-            ChipPayload::Req(ucr) => match pkt.dst {
-                NodeId::Junction(sr) => match self.macts[sr].offer(ucr.req, now) {
-                    MactOutcome::Collected => {}
-                    MactOutcome::Bypass(req) => {
-                        let bytes = if req.is_write {
-                            u32::from(req.mem.bytes) + REQ_HEADER_BYTES
-                        } else {
-                            REQ_HEADER_BYTES
-                        };
-                        let dst = NodeId::MemCtrl(self.channel_of(req.mem.addr));
-                        let ucr2 = UncoreReq { req, ..ucr };
-                        let p =
-                            self.packet(NodeId::Junction(sr), dst, bytes, ChipPayload::Req(ucr2));
-                        if let Some(d) = self.noc.inject(p, now) {
-                            self.handle_delivery(d, now);
-                        }
-                    }
-                },
-                NodeId::MemCtrl(_) => {
-                    self.enqueue_dram(
-                        ucr.req.mem.addr,
-                        u64::from(ucr.req.mem.bytes),
-                        DramJob::Single {
-                            ucr,
-                            via_direct: false,
-                        },
-                        now,
-                    );
-                }
-                other => panic!("request packet delivered to {other:?}"),
-            },
-            ChipPayload::Batch(batch) => {
-                self.enqueue_dram(batch.base, batch.span_bytes, DramJob::BatchJob(batch), now);
-            }
-            ChipPayload::BatchReply(batch) => {
-                let NodeId::Junction(sr) = pkt.dst else {
-                    panic!("batch reply delivered off-junction to {:?}", pkt.dst)
-                };
-                for req in batch.requests {
-                    if req.is_write {
-                        continue;
-                    }
-                    let ucr = UncoreReq {
-                        req,
-                        thread: usize::MAX,
-                        kind: RequestKind::CacheFill,
-                    };
-                    let p = self.packet(
-                        NodeId::Junction(sr),
-                        NodeId::Core(req.core),
-                        u32::from(req.mem.bytes),
-                        ChipPayload::Reply(ucr),
-                    );
-                    if let Some(d) = self.noc.inject(p, now) {
-                        self.handle_delivery(d, now);
-                    }
-                }
-            }
-            ChipPayload::Reply(ucr) => {
-                let NodeId::Core(c) = pkt.dst else {
-                    panic!("reply delivered off-core to {:?}", pkt.dst)
-                };
-                self.complete_request(c, ucr, now);
-            }
-            ChipPayload::RemoteSpm(ucr) => {
-                let NodeId::Core(owner) = pkt.dst else {
-                    panic!("remote SPM packet delivered off-core to {:?}", pkt.dst)
-                };
-                // Serve at the owner (the owner's SPM is software-managed;
-                // remote accesses are to data the runtime placed there).
-                let bytes = if ucr.req.is_write {
-                    1
-                } else {
-                    u32::from(ucr.req.mem.bytes)
-                };
-                let p = self.packet(
-                    NodeId::Core(owner),
-                    NodeId::Core(ucr.req.core),
-                    bytes,
-                    ChipPayload::RemoteSpmReply(ucr),
-                );
-                if let Some(d) = self.noc.inject(p, now) {
-                    self.handle_delivery(d, now);
-                }
-            }
-            ChipPayload::RemoteSpmReply(ucr) => {
-                let NodeId::Core(c) = pkt.dst else {
-                    panic!("remote SPM reply delivered off-core to {:?}", pkt.dst)
-                };
-                self.complete_request(c, ucr, now);
-            }
-            ChipPayload::DmaReq(ucr) => {
-                let NodeId::Core(owner) = pkt.dst else {
-                    panic!("DMA command delivered off-core to {:?}", pkt.dst)
-                };
-                // The owner streams the requested range back as one
-                // wormhole packet sized by the transfer.
-                let span = u32::try_from(self.dma_span_of(&ucr))
-                    .unwrap_or(u32::MAX)
-                    .max(1);
-                let p = self.packet(
-                    NodeId::Core(owner),
-                    NodeId::Core(ucr.req.core),
-                    span,
-                    ChipPayload::DmaData(ucr),
-                );
-                if let Some(d) = self.noc.inject(p, now) {
-                    self.handle_delivery(d, now);
-                }
-            }
-            ChipPayload::DmaData(ucr) => {
-                let NodeId::Core(c) = pkt.dst else {
-                    panic!("DMA data delivered off-core to {:?}", pkt.dst)
-                };
-                debug_assert_eq!(c, ucr.req.core);
-                if let RequestKind::DmaPull { fill, .. } = ucr.kind {
-                    self.cores[c].dma_complete(ucr.thread, fill);
+    /// Moves every shard's staged observations into the facade: trace
+    /// events (in shard order) and latency samples (into the metrics
+    /// recorder). Strictly read-only with respect to the simulation.
+    fn sync_obs(&mut self) {
+        if let Some(trace) = self.trace.as_mut() {
+            for shard in self.engine.shards_mut() {
+                match shard {
+                    ChipShard::Sub(s) => s.drain_trace(trace),
+                    ChipShard::Hub(h) => h.drain_trace(trace),
                 }
             }
         }
-    }
-
-    /// Transfer size of a DMA pull. `MemRef` widths cap at 64 bytes, so
-    /// the size is carried by the fill range (one SPM block when the
-    /// destination is not local SPM).
-    fn dma_span_of(&self, ucr: &UncoreReq) -> u64 {
-        match ucr.kind {
-            RequestKind::DmaPull {
-                fill: Some((_, bytes)),
-                ..
-            } => bytes,
-            _ => 64,
-        }
-    }
-
-    fn complete_request(&mut self, core: usize, ucr: UncoreReq, now: Cycle) {
-        debug_assert_eq!(core, ucr.req.core);
-        if let Some(thread) = self.outstanding.remove(&ucr.req.id) {
-            let lat = now.saturating_sub(ucr.req.issued_at) as f64;
-            self.mem_latency.record(lat);
+        if self.metrics.is_some() {
+            let mut samples = Vec::new();
+            for shard in self.engine.shards_mut() {
+                if let Some(s) = shard.as_sub_mut() {
+                    samples.append(&mut s.take_lat_samples());
+                }
+            }
             if let Some(rec) = self.metrics.as_mut() {
-                rec.record_latency(lat);
-            }
-            self.cores[core].complete(thread, now);
-        }
-    }
-
-    /// Moves every component's staged events into the chip-wide ring
-    /// buffer (deterministic drain order: cores, NoC, MACTs, DRAM,
-    /// scheduler).
-    fn drain_traces(&mut self) {
-        let Some(trace) = self.trace.as_mut() else {
-            return;
-        };
-        for core in &mut self.cores {
-            if let Some(buf) = core.trace_mut() {
-                buf.drain_into(trace);
+                for v in samples {
+                    rec.record_latency(v);
+                }
             }
         }
-        self.noc.drain_trace(trace);
-        for m in &mut self.macts {
-            if let Some(buf) = m.trace_mut() {
-                buf.drain_into(trace);
-            }
-        }
-        self.dram.drain_trace(trace);
-        self.dispatcher.drain_trace(trace);
     }
 
     /// Cumulative chip counters for windowed-metrics diffing.
@@ -600,34 +336,45 @@ impl SmarcoSystem {
         s.set("cycles", now as f64);
         let mut instructions = 0u64;
         let mut idle_pairs = 0u64;
-        for (i, c) in self.cores.iter().enumerate() {
-            let cs = c.stats();
-            instructions += cs.instructions;
-            idle_pairs += cs.idle_pair_cycles;
-            s.set(&format!("core{i:02}_instructions"), cs.instructions as f64);
+        let cps = self.config.noc.cores_per_subring;
+        for (sr, sub) in self.subs().enumerate() {
+            for (local, c) in sub.cores().iter().enumerate() {
+                let cs = c.stats();
+                instructions += cs.instructions;
+                idle_pairs += cs.idle_pair_cycles;
+                let i = sr * cps + local;
+                s.set(&format!("core{i:02}_instructions"), cs.instructions as f64);
+            }
         }
         s.set("instructions", instructions as f64);
         s.set("idle_pair_cycles", idle_pairs as f64);
-        s.set("requests", self.requests as f64);
-        s.set("dram_requests", self.dram_requests as f64);
-        s.set("dram_bytes", self.dram.bytes_served() as f64);
-        s.set("dram_busy_cycles", self.dram.busy_cycles() as f64);
+        s.set(
+            "requests",
+            self.subs().map(SubShard::requests).sum::<u64>() as f64,
+        );
+        s.set("dram_requests", self.hub().dram_requests() as f64);
+        s.set("dram_bytes", self.hub().dram().bytes_served() as f64);
+        s.set("dram_busy_cycles", self.hub().dram().busy_cycles() as f64);
         s.set(
             "mact_collected",
-            self.macts
-                .iter()
-                .map(|m| m.stats().collected.get())
+            self.subs()
+                .map(|sh| sh.mact().stats().collected.get())
                 .sum::<u64>() as f64,
         );
         s.set(
             "mact_batches",
-            self.macts
-                .iter()
-                .map(|m| m.stats().batches.get())
+            self.subs()
+                .map(|sh| sh.mact().stats().batches.get())
                 .sum::<u64>() as f64,
         );
-        let (mp, mo) = self.noc.main_payload_offered();
-        let (sp, so) = self.noc.sub_payload_offered();
+        let (mp, mo) = self.hub().payload_offered_bytes();
+        let mut sp = 0u64;
+        let mut so = 0u64;
+        for sub in self.subs() {
+            let (p, o) = sub.payload_offered_bytes();
+            sp += p;
+            so += o;
+        }
         s.set("main_ring_payload_bytes", mp as f64);
         s.set("main_ring_offered_bytes", mo as f64);
         s.set("subring_payload_bytes", sp as f64);
@@ -638,16 +385,28 @@ impl SmarcoSystem {
     /// Instantaneous gauges copied into the closing window as-is.
     fn gauges(&self) -> StatsReport {
         let mut g = StatsReport::new();
-        g.set("sched_queue_depth", self.dispatcher.queued() as f64);
-        g.set("sched_in_flight", self.dispatcher.in_flight() as f64);
         g.set(
-            "mact_open_lines",
-            self.macts
-                .iter()
-                .map(|m| m.open_lines() as u64)
+            "sched_queue_depth",
+            self.subs()
+                .map(|sh| sh.dispatcher().queued() as u64)
                 .sum::<u64>() as f64,
         );
-        g.set("outstanding_requests", self.outstanding.len() as f64);
+        g.set(
+            "sched_in_flight",
+            self.subs()
+                .map(|sh| sh.dispatcher().in_flight() as u64)
+                .sum::<u64>() as f64,
+        );
+        g.set(
+            "mact_open_lines",
+            self.subs()
+                .map(|sh| sh.mact().open_lines() as u64)
+                .sum::<u64>() as f64,
+        );
+        g.set(
+            "outstanding_requests",
+            self.subs().map(|sh| sh.outstanding() as u64).sum::<u64>() as f64,
+        );
         g
     }
 
@@ -656,7 +415,8 @@ impl SmarcoSystem {
         let cumulative = self.cumulative_counters(now);
         let gauges = self.gauges();
         let pairs = self.config.tcg.pairs as f64;
-        let ncores = self.cores.len() as f64;
+        let ncores = self.cores_len() as f64;
+        let channels = self.config.dram.channels as f64;
         let Some(rec) = self.metrics.as_mut() else {
             return;
         };
@@ -677,7 +437,6 @@ impl SmarcoSystem {
                 "dram_bandwidth_bpc",
                 w.get("dram_bytes").unwrap_or(0.0) / dc,
             );
-            let channels = self.config.dram.channels as f64;
             w.set(
                 "dram_utilization",
                 w.get("dram_busy_cycles").unwrap_or(0.0) / (dc * channels),
@@ -711,8 +470,9 @@ impl SmarcoSystem {
     ///
     /// Returns any I/O error from writing the export files.
     pub fn flush_observations(&mut self) -> std::io::Result<()> {
+        self.sync_obs();
         if self.metrics.is_some() {
-            self.close_metrics_window(self.now);
+            self.close_metrics_window(self.engine.now());
         }
         if let (Some(trace), Some(path)) = (self.trace.as_ref(), self.trace_path.as_ref()) {
             Self::ensure_parent(path)?;
@@ -733,26 +493,43 @@ impl SmarcoSystem {
     }
 
     /// Whether the chip has fully drained: all threads done, no packets,
-    /// batches, DRAM bursts or undispatched tasks in flight.
+    /// batches, DRAM bursts, boundary messages or undispatched tasks in
+    /// flight.
     pub fn is_done(&self) -> bool {
-        self.dispatcher.is_idle()
-            && self.outstanding.is_empty()
-            && self.noc.is_idle()
-            && self.dram.is_idle()
-            && self.macts.iter().all(|m| m.open_lines() == 0)
-            && self.direct_to_mem.as_ref().is_none_or(DirectPath::is_idle)
-            && self
-                .direct_from_mem
-                .as_ref()
-                .is_none_or(DirectPath::is_idle)
-            && self.cores.iter().all(TcgCore::is_done)
+        self.engine.pending_messages() == 0 && self.engine.shards().iter().all(ChipShard::is_idle)
+    }
+
+    /// Advances the chip to cycle `stop`, pausing at metric-window
+    /// boundaries so windows close exactly on their nominal edge. Thanks
+    /// to absolute message timestamps, the pause schedule never changes
+    /// the simulation's state evolution.
+    fn advance_to(&mut self, stop: Cycle) {
+        while self.engine.now() < stop {
+            let now = self.engine.now();
+            let mut to = stop;
+            if let Some(rec) = self.metrics.as_ref() {
+                let b = rec.next_boundary();
+                if b > now {
+                    to = to.min(b);
+                }
+            }
+            self.engine.run_windowed(to - now, self.workers);
+            self.sync_obs();
+            let reached = self.engine.now();
+            while self.metrics.as_ref().is_some_and(|r| r.due(reached)) {
+                self.close_metrics_window(reached);
+            }
+        }
     }
 
     /// Runs until every thread exits and the uncore drains, or `max`
-    /// cycles elapse; returns the report.
+    /// cycles elapse; returns the report. Completion is checked on a
+    /// fixed cycle grid so the stopping point is identical for every
+    /// worker count and observability configuration.
     pub fn run(&mut self, max: Cycle) -> SmarcoReport {
-        while self.now < max && !self.is_done() {
-            self.tick(self.now);
+        while self.engine.now() < max && !self.is_done() {
+            let stop = (((self.engine.now() / CHUNK) + 1) * CHUNK).min(max);
+            self.advance_to(stop);
         }
         if self.config.obs.enabled() {
             self.flush_observations()
@@ -763,31 +540,38 @@ impl SmarcoSystem {
 
     /// Builds the statistics report at the current cycle.
     pub fn report(&self) -> SmarcoReport {
+        let now = self.engine.now();
         let mut instructions = 0;
         let mut idle = 0.0;
         let mut ifetch_miss = 0.0;
         let (mut l1d_hits, mut l1d_total) = (0u64, 0u64);
-        for c in &self.cores {
-            let s = c.stats();
-            instructions += s.instructions;
-            idle += s.idle_ratio(c.config().pairs);
-            ifetch_miss += 1.0 - s.ifetch.ratio();
-            let cs = c.l1d_stats();
-            l1d_hits += cs.accesses.hits();
-            l1d_total += cs.accesses.total();
+        let mut mem_latency = MeanTracker::new();
+        let mut sub_util = 0.0;
+        for sub in self.subs() {
+            for c in sub.cores() {
+                let s = c.stats();
+                instructions += s.instructions;
+                idle += s.idle_ratio(c.config().pairs);
+                ifetch_miss += 1.0 - s.ifetch.ratio();
+                let cs = c.l1d_stats();
+                l1d_hits += cs.accesses.hits();
+                l1d_total += cs.accesses.total();
+            }
+            mem_latency.merge(sub.mem_latency());
+            sub_util += sub.payload_utilization();
         }
-        let n = self.cores.len() as f64;
+        let n = self.cores_len() as f64;
         SmarcoReport {
-            cycles: self.now,
+            cycles: now,
             instructions,
-            requests: self.requests,
-            dram_requests: self.dram_requests,
-            mem_latency: self.mem_latency,
-            dram_utilization: self.dram.utilization(self.now.max(1)),
-            main_ring_utilization: self.noc.main_ring_utilization(),
-            subring_utilization: self.noc.subring_utilization(),
-            mact_collected: self.macts.iter().map(|m| m.stats().collected.get()).sum(),
-            mact_batches: self.macts.iter().map(|m| m.stats().batches.get()).sum(),
+            requests: self.subs().map(SubShard::requests).sum(),
+            dram_requests: self.hub().dram_requests(),
+            mem_latency,
+            dram_utilization: self.hub().dram().utilization(now.max(1)),
+            main_ring_utilization: self.hub().payload_utilization(),
+            subring_utilization: sub_util / self.config.noc.subrings as f64,
+            mact_collected: self.subs().map(|s| s.mact().stats().collected.get()).sum(),
+            mact_batches: self.subs().map(|s| s.mact().stats().batches.get()).sum(),
             idle_ratio: idle / n,
             ifetch_miss_ratio: ifetch_miss / n,
             l1d_miss_ratio: if l1d_total == 0 {
@@ -801,111 +585,12 @@ impl SmarcoSystem {
 
 impl CycleModel for SmarcoSystem {
     fn tick(&mut self, now: Cycle) {
-        self.now = now + 1;
-        // 1. Direct-path replies reach cores.
-        if let Some(dp) = self.direct_from_mem.as_mut() {
-            for ucr in dp.tick(now) {
-                self.complete_request(ucr.req.core, ucr, now);
-            }
-        }
-        // 2. NoC deliveries.
-        for pkt in self.noc.tick(now) {
-            self.handle_delivery(pkt, now);
-        }
-        // 3. The hardware dispatcher binds ready tasks to freed slots.
-        self.dispatcher
-            .tick(&mut self.cores, self.config.noc.cores_per_subring, now);
-        // 4. Cores issue; requests enter the uncore.
-        let mut buf = std::mem::take(&mut self.req_buf);
-        for c in 0..self.cores.len() {
-            buf.clear();
-            self.cores[c].tick(now, &mut buf);
-            for r in buf.drain(..) {
-                self.route_request(c, r, now);
-            }
-        }
-        self.req_buf = buf;
-        // 5. MACT deadlines; flushed batches head for memory.
-        for sr in 0..self.macts.len() {
-            let batches = self.macts[sr].tick(now);
-            for batch in batches {
-                let bytes = if batch.is_write {
-                    batch.bytes_referenced + BATCH_HEADER_BYTES
-                } else {
-                    BATCH_HEADER_BYTES
-                };
-                let dst = NodeId::MemCtrl(self.channel_of(batch.base));
-                let p = self.packet(NodeId::Junction(sr), dst, bytes, ChipPayload::Batch(batch));
-                if let Some(d) = self.noc.inject(p, now) {
-                    self.handle_delivery(d, now);
-                }
-            }
-        }
-        // 6. Direct-path requests reach DRAM.
-        if let Some(dp) = self.direct_to_mem.as_mut() {
-            let arrivals = dp.tick(now);
-            for ucr in arrivals {
-                self.enqueue_dram(
-                    ucr.req.mem.addr,
-                    u64::from(ucr.req.mem.bytes),
-                    DramJob::Single {
-                        ucr,
-                        via_direct: true,
-                    },
-                    now,
-                );
-            }
-        }
-        // 7. DRAM completions produce replies.
-        for job in self.dram.tick(now) {
-            match job {
-                DramJob::Single { ucr, via_direct } => {
-                    if ucr.req.is_write {
-                        continue; // writes complete silently
-                    }
-                    if via_direct {
-                        let sr = self.subring_of_core(ucr.req.core);
-                        self.direct_from_mem
-                            .as_mut()
-                            .expect("direct reply path exists")
-                            .send(sr, u32::from(ucr.req.mem.bytes), now, ucr);
-                    } else {
-                        let p = self.packet(
-                            NodeId::MemCtrl(self.channel_of(ucr.req.mem.addr)),
-                            NodeId::Core(ucr.req.core),
-                            u32::from(ucr.req.mem.bytes),
-                            ChipPayload::Reply(ucr),
-                        );
-                        if let Some(d) = self.noc.inject(p, now) {
-                            self.handle_delivery(d, now);
-                        }
-                    }
-                }
-                DramJob::BatchJob(batch) => {
-                    if batch.is_write {
-                        continue;
-                    }
-                    let sr =
-                        self.subring_of_core(batch.requests.first().map(|r| r.core).unwrap_or(0));
-                    let p = self.packet(
-                        NodeId::MemCtrl(self.channel_of(batch.base)),
-                        NodeId::Junction(sr),
-                        batch.bytes_referenced.max(1),
-                        ChipPayload::BatchReply(batch),
-                    );
-                    if let Some(d) = self.noc.inject(p, now) {
-                        self.handle_delivery(d, now);
-                    }
-                }
-            }
-        }
-        // 8. Observability: drain staged events, close due sample windows.
-        // Strictly read-only with respect to the simulation state.
-        if self.trace.is_some() {
-            self.drain_traces();
-        }
-        if self.metrics.as_ref().is_some_and(|r| r.due(self.now)) {
-            self.close_metrics_window(self.now);
+        debug_assert_eq!(now, self.engine.now(), "tick must follow the chip clock");
+        self.engine.run_windowed(1, 1);
+        self.sync_obs();
+        let reached = self.engine.now();
+        if self.metrics.as_ref().is_some_and(|r| r.due(reached)) {
+            self.close_metrics_window(reached);
         }
     }
 
@@ -934,7 +619,11 @@ mod tests {
     }
 
     fn loaded_tiny(threads_per_core: usize, instrs: u64) -> SmarcoSystem {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        loaded_tiny_with(SmarcoConfig::tiny(), threads_per_core, instrs)
+    }
+
+    fn loaded_tiny_with(cfg: SmarcoConfig, threads_per_core: usize, instrs: u64) -> SmarcoSystem {
+        let mut sys = SmarcoSystem::new(cfg);
         let mut seed = 1;
         for c in 0..sys.cores_len() {
             for _ in 0..threads_per_core {
@@ -1174,6 +863,17 @@ mod tests {
         assert_eq!(r1.requests, r2.requests);
         assert_eq!(r1.dram_requests, r2.dram_requests);
         assert_eq!(r1.instructions, r2.instructions);
+    }
+
+    #[test]
+    fn parallel_workers_match_sequential_exactly() {
+        let seq = loaded_tiny(4, 200).run(2_000_000);
+        for workers in [2, 3, 5] {
+            let mut cfg = SmarcoConfig::tiny();
+            cfg.workers = workers;
+            let par = loaded_tiny_with(cfg, 4, 200).run(2_000_000);
+            assert_eq!(par, seq, "worker count {workers} diverged");
+        }
     }
 
     #[test]

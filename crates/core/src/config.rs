@@ -111,6 +111,10 @@ pub struct SmarcoConfig {
     /// Observability layer (tracing + windowed metrics). Default-off:
     /// results are bit-identical to an uninstrumented run.
     pub obs: ObsConfig,
+    /// Host threads driving the chip's shards on the PDES engine. `1`
+    /// (the default) simulates in-process; any value yields bit-identical
+    /// results.
+    pub workers: usize,
 }
 
 impl SmarcoConfig {
@@ -124,6 +128,7 @@ impl SmarcoConfig {
             direct: Some(DirectPathConfig::smarco()),
             freq_ghz: 1.5,
             obs: ObsConfig::off(),
+            workers: 1,
         }
     }
 
@@ -144,6 +149,7 @@ impl SmarcoConfig {
             }),
             freq_ghz: 1.5,
             obs: ObsConfig::off(),
+            workers: 1,
         }
     }
 
@@ -170,6 +176,7 @@ impl SmarcoConfig {
             }),
             freq_ghz: 1.0,
             obs: ObsConfig::off(),
+            workers: 1,
         }
     }
 
@@ -187,6 +194,7 @@ impl SmarcoConfig {
         self.noc.validate();
         self.tcg.validate();
         assert!(self.freq_ghz > 0.0, "frequency must be positive");
+        assert!(self.workers > 0, "need at least one worker");
         assert_eq!(
             self.dram.channels, self.noc.mem_ctrls,
             "DRAM channels must match NoC memory controllers"

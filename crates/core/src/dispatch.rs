@@ -1,17 +1,22 @@
-//! The hardware task-dispatch path (§3.7, Fig. 4): the main scheduler on
-//! the main ring load-balances submitted tasks across sub-rings; each
-//! sub-ring's laxity-aware hardware scheduler then binds tasks to TCG
-//! thread slots as they free up, preferring the least execution laxity.
+//! The hardware task-dispatch path (§3.7, Fig. 4), split along the shard
+//! boundary: the main scheduler (load balancing across sub-rings) lives in
+//! the hub shard next to the main ring, while each sub-ring shard owns a
+//! [`SubDispatcher`] — the laxity-aware chain table that binds tasks to TCG
+//! thread slots as they free up.
 //!
 //! This closes the loop the paper draws between Figs. 4 and 16: tasks
 //! arrive from the host with deadlines, hardware decides placement and
 //! order, and exits are recorded against their deadlines — all while the
 //! tasks' memory traffic contends on the real simulated rings and DRAM.
+//! Exits travel back to the main scheduler as timestamped boundary
+//! messages ([`ExitSignal`]), one junction latency after the thread
+//! retires, so the hub's load accounting never needs to peek inside a
+//! sub-ring shard mid-window.
 
 use std::collections::HashMap;
 
 use smarco_isa::InstructionStream;
-use smarco_sched::{LaxityAwareScheduler, MainScheduler, Task, TaskPriority, TaskScheduler};
+use smarco_sched::{LaxityAwareScheduler, Task, TaskScheduler};
 use smarco_sim::obs::{EventKind, TraceBuffer, TraceSink, Track};
 use smarco_sim::Cycle;
 
@@ -35,53 +40,61 @@ impl TaskExit {
     }
 }
 
-/// The two-level hardware dispatcher.
-pub struct HardwareDispatcher {
-    main: MainScheduler,
-    subs: Vec<LaxityAwareScheduler>,
-    /// Submitted-but-undispatched task streams.
+/// A task completion leaving a sub-ring shard for the hub's main
+/// scheduler: everything the hub needs to record the exit and release the
+/// sub-ring's load share.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExitSignal {
+    /// Task id.
+    pub task: u64,
+    /// Cycle the task's thread exited (on the sub-ring's clock).
+    pub exit: Cycle,
+    /// The task's deadline.
+    pub deadline: Cycle,
+    /// The work estimate the main scheduler charged at assignment.
+    pub work: u64,
+}
+
+/// One sub-ring's half of the two-level dispatcher: the laxity-aware chain
+/// table plus the streams of queued tasks and the bookkeeping of which
+/// thread slot runs which task.
+pub struct SubDispatcher {
+    sched: LaxityAwareScheduler,
+    /// Queued-but-undispatched task streams.
     pending: HashMap<u64, Box<dyn InstructionStream + Send>>,
-    /// `(core, slot)` → `(task, sub-ring, work estimate)`.
-    dispatched: HashMap<(usize, usize), (u64, usize, u64)>,
-    exits: Vec<TaskExit>,
-    /// Deadlines of in-flight tasks, by id.
+    /// `(local core, slot)` → `(task, work estimate)`.
+    dispatched: HashMap<(usize, usize), (u64, u64)>,
+    /// Deadlines of queued and in-flight tasks, by id.
     deadlines: HashMap<u64, Cycle>,
-    /// Per-sub-ring dispatcher pipeline availability.
-    ready_at: Vec<Cycle>,
-    next_id: u64,
+    /// Dispatcher pipeline availability (chain-table walks cost cycles).
+    ready_at: Cycle,
     /// Staged dispatch/exit events when tracing is enabled.
     trace: Option<TraceBuffer>,
 }
 
-impl std::fmt::Debug for HardwareDispatcher {
+impl std::fmt::Debug for SubDispatcher {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HardwareDispatcher")
+        f.debug_struct("SubDispatcher")
             .field("pending", &self.pending.len())
             .field("dispatched", &self.dispatched.len())
-            .field("exits", &self.exits.len())
             .finish()
     }
 }
 
-impl HardwareDispatcher {
-    /// Creates the dispatcher for `subrings` sub-rings whose chain tables
-    /// hold `capacity` tasks each (SmarCo: 128).
+impl SubDispatcher {
+    /// Creates the dispatcher with a chain table of `capacity` tasks
+    /// (SmarCo: one sub-ring's worth of thread slots).
     ///
     /// # Panics
     ///
-    /// Panics if either count is zero.
-    pub fn new(subrings: usize, capacity: usize) -> Self {
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
         Self {
-            main: MainScheduler::new(subrings),
-            subs: (0..subrings)
-                .map(|_| LaxityAwareScheduler::new(capacity))
-                .collect(),
+            sched: LaxityAwareScheduler::new(capacity),
             pending: HashMap::new(),
             dispatched: HashMap::new(),
-            exits: Vec::new(),
             deadlines: HashMap::new(),
-            ready_at: vec![0; subrings],
-            next_id: 0,
+            ready_at: 0,
             trace: None,
         }
     }
@@ -100,49 +113,38 @@ impl HardwareDispatcher {
         }
     }
 
-    /// Tasks queued in sub-ring chain tables, not yet bound to a slot.
-    pub fn queued(&self) -> u64 {
-        self.subs.iter().map(|s| s.pending() as u64).sum()
+    /// Queues `task` (already assigned to this sub-ring by the main
+    /// scheduler) with its instruction stream.
+    pub fn enqueue(&mut self, task: Task, stream: Box<dyn InstructionStream + Send>, now: Cycle) {
+        self.deadlines.insert(task.id, task.deadline);
+        self.pending.insert(task.id, stream);
+        self.sched.enqueue(task, now);
+    }
+
+    /// Tasks queued in the chain table, not yet bound to a slot.
+    pub fn queued(&self) -> usize {
+        self.sched.pending()
     }
 
     /// Tasks currently bound to thread slots.
-    pub fn in_flight(&self) -> u64 {
-        self.dispatched.len() as u64
+    pub fn in_flight(&self) -> usize {
+        self.dispatched.len()
     }
 
-    /// Submits a task at cycle `now`: the main scheduler picks the
-    /// least-loaded sub-ring; the sub-ring's chain table queues it by
-    /// laxity. Returns the task id.
-    pub fn submit(
-        &mut self,
-        stream: Box<dyn InstructionStream + Send>,
-        deadline: Cycle,
-        work_estimate: Cycle,
-        priority: TaskPriority,
-        now: Cycle,
-    ) -> u64 {
-        let id = self.next_id;
-        self.next_id += 1;
-        let mut task = Task::new(id, now, deadline, work_estimate.max(1));
-        if priority == TaskPriority::High {
-            task = task.with_high_priority();
-        }
-        let sr = self.main.assign(&task);
-        self.subs[sr].enqueue(task, now);
-        self.pending.insert(id, stream);
-        id
+    /// Whether every queued task has been dispatched and exited.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_empty() && self.dispatched.is_empty()
     }
 
-    /// One cycle of dispatcher work over the chip's cores: consume exit
-    /// signals, then bind at most one task per sub-ring to a vacant slot
-    /// (the chain-table walk costs dispatch cycles).
-    pub fn tick(&mut self, cores: &mut [TcgCore], cores_per_subring: usize, now: Cycle) {
+    /// One cycle of dispatcher work over this sub-ring's cores: consume
+    /// exit signals into `exits`, then bind at most one task to a vacant
+    /// slot (the chain-table walk costs dispatch cycles).
+    pub fn tick(&mut self, cores: &mut [TcgCore], now: Cycle, exits: &mut Vec<ExitSignal>) {
         // Completions.
         for (c, core) in cores.iter_mut().enumerate() {
             for slot in core.take_retired() {
-                if let Some((task, sr, work)) = self.dispatched.remove(&(c, slot)) {
-                    self.main.complete(sr, work);
-                    let deadline = self.deadline_of(task);
+                if let Some((task, work)) = self.dispatched.remove(&(c, slot)) {
+                    let deadline = self.deadlines.remove(&task).unwrap_or(Cycle::MAX);
                     if let Some(buf) = self.trace.as_mut() {
                         buf.emit(
                             now,
@@ -152,63 +154,38 @@ impl HardwareDispatcher {
                             },
                         );
                     }
-                    self.exits.push(TaskExit {
+                    exits.push(ExitSignal {
                         task,
                         exit: now,
                         deadline,
+                        work,
                     });
-                    self.deadlines.remove(&task);
                 }
             }
         }
         // Dispatch.
-        for sr in 0..self.subs.len() {
-            if now < self.ready_at[sr] || self.subs[sr].pending() == 0 {
-                continue;
-            }
-            let first = sr * cores_per_subring;
-            let Some(core_idx) =
-                (first..first + cores_per_subring).find(|&c| cores[c].has_vacancy())
-            else {
-                continue;
-            };
-            if let Some(task) = self.subs[sr].dispatch(now) {
-                self.ready_at[sr] = now + self.subs[sr].overhead();
-                let stream = self.pending.remove(&task.id).expect("stream pending");
-                let slot = cores[core_idx].attach(stream).expect("vacancy checked");
-                if let Some(buf) = self.trace.as_mut() {
-                    buf.emit(
-                        now,
-                        EventKind::TaskDispatch {
-                            task: task.id,
-                            laxity: task.laxity(now),
-                            queued: self.subs[sr].pending() as u64,
-                        },
-                    );
-                }
-                self.dispatched
-                    .insert((core_idx, slot), (task.id, sr, task.work));
-                self.deadlines.insert(task.id, task.deadline);
-            }
+        if now < self.ready_at || self.sched.pending() == 0 {
+            return;
         }
-    }
-
-    fn deadline_of(&self, task: u64) -> Cycle {
-        self.deadlines.get(&task).copied().unwrap_or(Cycle::MAX)
-    }
-
-    /// Exit records so far.
-    pub fn exits(&self) -> &[TaskExit] {
-        &self.exits
-    }
-
-    /// Whether every submitted task has been dispatched and exited.
-    pub fn is_idle(&self) -> bool {
-        self.pending.is_empty() && self.dispatched.is_empty()
-    }
-
-    /// Tasks submitted so far.
-    pub fn submitted(&self) -> u64 {
-        self.next_id
+        let Some(core_idx) = (0..cores.len()).find(|&c| cores[c].has_vacancy()) else {
+            return;
+        };
+        if let Some(task) = self.sched.dispatch(now) {
+            self.ready_at = now + self.sched.overhead();
+            let stream = self.pending.remove(&task.id).expect("stream pending");
+            let slot = cores[core_idx].attach(stream).expect("vacancy checked");
+            if let Some(buf) = self.trace.as_mut() {
+                buf.emit(
+                    now,
+                    EventKind::TaskDispatch {
+                        task: task.id,
+                        laxity: task.laxity(now),
+                        queued: self.sched.pending() as u64,
+                    },
+                );
+            }
+            self.dispatched
+                .insert((core_idx, slot), (task.id, task.work));
+        }
     }
 }

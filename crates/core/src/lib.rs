@@ -13,9 +13,15 @@
 //!   across 4 pairs (8 resident threads), 16 KB L1 I/D, 128 KB SPM, LSQ
 //!   address steering, shared-instruction-segment SPM prefetch (§3.1.2),
 //!   and a per-core DMA engine.
+//! * [`shard`] — the chip cut along its sub-ring boundaries for parallel
+//!   discrete-event simulation: one [`shard::SubShard`] per sub-ring
+//!   (cores + router + MACT + sub-dispatcher) plus one [`shard::HubShard`]
+//!   (main ring + DDR + main scheduler), exchanging timestamped boundary
+//!   messages with the junction latency as lookahead.
 //! * [`chip`] — [`chip::SmarcoSystem`]: 256 TCG cores on the hierarchical
 //!   ring with per-sub-ring MACTs, the direct memory datapath, four DDR4
-//!   controllers, and end-to-end request/reply plumbing.
+//!   controllers, and end-to-end request/reply plumbing, assembled from
+//!   shards on the PDES engine.
 //! * [`dispatch`] — the two-level hardware task dispatcher (§3.7): main
 //!   scheduler load-balancing + per-sub-ring laxity-aware binding of
 //!   submitted tasks to TCG thread slots.
@@ -28,6 +34,7 @@ pub mod chip;
 pub mod config;
 pub mod dispatch;
 pub mod report;
+pub mod shard;
 pub mod tcg;
 pub mod thread;
 

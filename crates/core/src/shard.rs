@@ -1,0 +1,974 @@
+//! The chip cut along its junction routers into PDES shards (§4.2).
+//!
+//! Each of the chip's sub-rings — 16 TCG cores, the sub-ring router, the
+//! junction's MACT and the laxity-aware sub-dispatcher — is one
+//! [`SubShard`]. Everything attached to the main ring — DDR controllers,
+//! the memory side of the direct datapath and the main scheduler — is the
+//! single [`HubShard`]. The shards share no state: every interaction
+//! crosses a junction (± the direct datapath) and travels as a timestamped
+//! [`ChipMsg`] with at least `junction_latency` cycles of delay, which is
+//! exactly the lookahead the conservative PDES engine needs to advance all
+//! shards in parallel.
+//!
+//! Determinism contract: a shard's evolution depends only on its own state
+//! and the `(timestamp, sender, sequence)`-ordered inbox, and every
+//! message carries an absolute delivery cycle fixed at emission. Parallel
+//! and sequential window execution therefore produce bit-identical chips —
+//! the property `tests/parallel_determinism.rs` locks in.
+
+use std::collections::HashMap;
+
+use smarco_mem::dram::Dram;
+use smarco_mem::mact::{Batch, Mact, MactOutcome};
+use smarco_mem::map::AddressSpace;
+use smarco_mem::request::{MemRequest, RequestId, RequestIdAllocator};
+use smarco_noc::direct::DirectSpoke;
+use smarco_noc::packet::{NodeId, Packet};
+use smarco_noc::{MainRingEvent, MainRingNoc, SubRingEvent, SubRingNoc};
+use smarco_sched::{MainScheduler, Task};
+use smarco_sim::obs::{TraceConfig, TraceSink};
+use smarco_sim::parallel::{Inbox, Outbox, Shard};
+use smarco_sim::stats::MeanTracker;
+use smarco_sim::Cycle;
+
+use crate::config::SmarcoConfig;
+use crate::dispatch::{ExitSignal, SubDispatcher, TaskExit};
+use crate::tcg::{CoreFull, CoreRequest, RequestKind, TcgCore};
+
+/// A request travelling the uncore, with enough context to complete it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UncoreReq {
+    /// The memory request.
+    pub req: MemRequest,
+    /// Issuing thread slot on the core (for completion).
+    pub thread: usize,
+    /// Path that produced it.
+    pub kind: RequestKind,
+}
+
+/// Semantic payload of chip NoC packets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChipPayload {
+    /// Core → junction (MACT-eligible) or → memory controller (bypass).
+    Req(UncoreReq),
+    /// Junction → memory controller: a packed MACT line.
+    Batch(Batch),
+    /// Memory controller → junction: a served read batch.
+    BatchReply(Batch),
+    /// Memory-side reply to a single blocking request.
+    Reply(UncoreReq),
+    /// Core → core: access to a remote scratchpad.
+    RemoteSpm(UncoreReq),
+    /// Owner core → requester: remote-scratchpad completion.
+    RemoteSpmReply(UncoreReq),
+    /// Core → owner core: SPM-to-SPM DMA pull command (§3.5.1).
+    DmaReq(UncoreReq),
+    /// Owner core → requester: the pulled DMA data.
+    DmaData(UncoreReq),
+}
+
+/// A DRAM service payload: either one request or a packed MACT batch.
+#[derive(Debug, Clone)]
+pub enum DramJob {
+    /// A single (bypass or direct-path) request.
+    Single {
+        /// The request.
+        ucr: UncoreReq,
+        /// Whether the reply returns over the direct datapath.
+        via_direct: bool,
+    },
+    /// A packed MACT line served as one burst.
+    BatchJob(Batch),
+}
+
+/// Fixed NoC header bytes for request/descriptor packets.
+pub(crate) const REQ_HEADER_BYTES: u32 = 4;
+/// Descriptor bytes of a batch packet (type, tag, vector).
+pub(crate) const BATCH_HEADER_BYTES: u32 = 8;
+
+/// Everything that crosses a shard boundary.
+#[derive(Debug, Clone)]
+pub enum ChipMsg {
+    /// Sub-ring → hub: a packet that crossed its junction upward, visible
+    /// on the main ring one junction latency later.
+    Up(Packet<ChipPayload>),
+    /// Hub → sub-ring: a packet that crossed a junction downward — a
+    /// core-bound reply or a junction-bound batch reply.
+    Down(Packet<ChipPayload>),
+    /// Sub-ring → hub: a direct-datapath read arriving at memory after
+    /// the spoke's fixed traversal.
+    DirectReq(UncoreReq),
+    /// Hub → sub-ring: a direct-datapath reply arriving at its core.
+    DirectReply(UncoreReq),
+    /// Sub-ring → hub: a task exit for the main scheduler's accounting.
+    Exit {
+        /// The sub-ring the task ran on (for load release).
+        subring: usize,
+        /// The exit record.
+        signal: ExitSignal,
+    },
+}
+
+/// Transfer size of a DMA pull. `MemRef` widths cap at 64 bytes, so the
+/// size is carried by the fill range (one SPM block when the destination
+/// is not local SPM).
+fn dma_span_of(ucr: &UncoreReq) -> u64 {
+    match ucr.kind {
+        RequestKind::DmaPull {
+            fill: Some((_, bytes)),
+            ..
+        } => bytes,
+        _ => 64,
+    }
+}
+
+/// One sub-ring's slice of the chip: its cores, sub-ring router, MACT,
+/// direct-datapath sender spoke and sub-dispatcher.
+pub struct SubShard {
+    sr: usize,
+    /// The hub's shard index (`= subrings`).
+    hub: usize,
+    /// Junction crossing latency — the boundary message delay.
+    jl: Cycle,
+    cores_per_subring: usize,
+    channels: usize,
+    mact_on: bool,
+    cores: Vec<TcgCore>,
+    noc: SubRingNoc<ChipPayload>,
+    mact: Mact,
+    dispatcher: SubDispatcher,
+    /// Sender-side gate of this sub-ring's direct-datapath spoke.
+    to_mem: Option<DirectSpoke<UncoreReq>>,
+    ids: RequestIdAllocator,
+    next_packet: u64,
+    packet_stride: u64,
+    /// End-to-end latency of blocking requests (issue → complete).
+    mem_latency: MeanTracker,
+    /// Latency samples staged for the facade's windowed metrics recorder.
+    lat_samples: Vec<f64>,
+    collect_latency: bool,
+    requests: u64,
+    /// Blocking requests in flight: id → issuing thread slot.
+    outstanding: HashMap<RequestId, usize>,
+    req_buf: Vec<CoreRequest>,
+    exit_buf: Vec<ExitSignal>,
+}
+
+impl std::fmt::Debug for SubShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SubShard")
+            .field("sr", &self.sr)
+            .field("outstanding", &self.outstanding.len())
+            .finish()
+    }
+}
+
+impl SubShard {
+    /// Builds sub-ring shard `sr` of a chip with `config`; `n_shards`
+    /// strides the request/packet id spaces so shards allocate without
+    /// coordinating.
+    pub fn new(sr: usize, config: &SmarcoConfig, space: AddressSpace) -> Self {
+        let cps = config.noc.cores_per_subring;
+        let n_shards = (config.noc.subrings + 1) as u64;
+        let cores = (sr * cps..(sr + 1) * cps)
+            .map(|i| TcgCore::new(i, config.tcg, space))
+            .collect();
+        Self {
+            sr,
+            hub: config.noc.subrings,
+            jl: config.noc.junction_latency,
+            cores_per_subring: cps,
+            channels: config.dram.channels,
+            mact_on: config.mact.is_some(),
+            cores,
+            noc: SubRingNoc::new(sr, cps, config.noc.sub_link),
+            mact: Mact::new(config.mact.unwrap_or_default()),
+            dispatcher: SubDispatcher::new(cps * config.tcg.resident_threads),
+            to_mem: config
+                .direct
+                .map(|d| DirectSpoke::new(d.latency, d.bytes_per_cycle)),
+            ids: RequestIdAllocator::strided(sr as u64, n_shards),
+            next_packet: sr as u64,
+            packet_stride: n_shards,
+            mem_latency: MeanTracker::new(),
+            lat_samples: Vec::new(),
+            collect_latency: false,
+            requests: 0,
+            outstanding: HashMap::new(),
+            req_buf: Vec::new(),
+            exit_buf: Vec::new(),
+        }
+    }
+
+    /// This shard's sub-ring index.
+    pub fn subring(&self) -> usize {
+        self.sr
+    }
+
+    /// The shard's cores (locally indexed; global id = `sr * cps + i`).
+    pub fn cores(&self) -> &[TcgCore] {
+        &self.cores
+    }
+
+    /// Mutable view of the shard's cores.
+    pub fn cores_mut(&mut self) -> &mut [TcgCore] {
+        &mut self.cores
+    }
+
+    /// The junction's MACT.
+    pub fn mact(&self) -> &Mact {
+        &self.mact
+    }
+
+    /// Requests this shard's cores issued into the uncore.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// End-to-end blocking-request latency tracker.
+    pub fn mem_latency(&self) -> &MeanTracker {
+        &self.mem_latency
+    }
+
+    /// Blocking requests currently in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// The sub-dispatcher (queue depth, in-flight count).
+    pub fn dispatcher(&self) -> &SubDispatcher {
+        &self.dispatcher
+    }
+
+    /// Queues an assigned task with its stream.
+    pub fn enqueue_task(
+        &mut self,
+        task: Task,
+        stream: Box<dyn smarco_isa::InstructionStream + Send>,
+        now: Cycle,
+    ) {
+        self.dispatcher.enqueue(task, stream, now);
+    }
+
+    /// Attaches a stream to local core `local`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreFull`] when the core has no vacant slot.
+    pub fn attach(
+        &mut self,
+        local: usize,
+        stream: Box<dyn smarco_isa::InstructionStream + Send>,
+    ) -> Result<usize, CoreFull> {
+        self.cores[local].attach(stream)
+    }
+
+    /// Starts staging latency samples for the facade's metrics recorder.
+    pub fn collect_latency(&mut self) {
+        self.collect_latency = true;
+    }
+
+    /// Drains staged latency samples (in completion order).
+    pub fn take_lat_samples(&mut self) -> Vec<f64> {
+        std::mem::take(&mut self.lat_samples)
+    }
+
+    /// Cumulative `(payload, offered)` bytes of the sub-ring's channels.
+    pub fn payload_offered_bytes(&self) -> (u64, u64) {
+        self.noc.payload_offered_bytes()
+    }
+
+    /// Payload utilization of the sub-ring's channels.
+    pub fn payload_utilization(&self) -> f64 {
+        self.noc.payload_utilization()
+    }
+
+    /// Turns event tracing on across the shard's components.
+    pub fn enable_trace(&mut self, cfg: TraceConfig) {
+        for core in &mut self.cores {
+            core.enable_trace(cfg);
+        }
+        self.noc.enable_trace();
+        self.mact.enable_trace(self.sr);
+        self.dispatcher.enable_trace();
+    }
+
+    /// Moves staged events into `sink` (cores, ring, MACT, dispatcher).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        for core in &mut self.cores {
+            if let Some(buf) = core.trace_mut() {
+                buf.drain_into(sink);
+            }
+        }
+        self.noc.drain_trace(sink);
+        if let Some(buf) = self.mact.trace_mut() {
+            buf.drain_into(sink);
+        }
+        self.dispatcher.drain_trace(sink);
+    }
+
+    /// Whether the shard holds no runnable or in-flight work. In-flight
+    /// boundary messages are the engine's to account for.
+    pub fn is_idle(&self) -> bool {
+        self.dispatcher.is_idle()
+            && self.outstanding.is_empty()
+            && self.noc.is_idle()
+            && self.mact.open_lines() == 0
+            && self.to_mem.as_ref().is_none_or(DirectSpoke::is_idle)
+            && self.cores.iter().all(TcgCore::is_done)
+    }
+
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / 4096) % self.channels as u64) as usize
+    }
+
+    fn packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        now: Cycle,
+        payload: ChipPayload,
+    ) -> Packet<ChipPayload> {
+        let id = self.next_packet;
+        self.next_packet += self.packet_stride;
+        Packet::new(id, src, dst, bytes.max(1), now, payload)
+    }
+
+    fn local_pos(&self, core: usize) -> usize {
+        debug_assert!(self.noc.owns_core(core));
+        core % self.cores_per_subring
+    }
+
+    /// Injects a core-sourced packet; local exits may deliver instantly.
+    fn send_from_core(
+        &mut self,
+        core: usize,
+        pkt: Packet<ChipPayload>,
+        now: Cycle,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        if pkt.src == pkt.dst {
+            self.handle_delivery(pkt, now, outbox);
+            return;
+        }
+        let pos = self.local_pos(core);
+        if let Some(p) = self.noc.inject_from_core(pos, pkt) {
+            self.handle_delivery(p, now, outbox);
+        }
+    }
+
+    /// Routes a fresh core request into the uncore.
+    fn route_request(
+        &mut self,
+        core: usize,
+        r: CoreRequest,
+        now: Cycle,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        self.requests += 1;
+        let req = MemRequest {
+            id: self.ids.next_id(),
+            core,
+            mem: r.mem,
+            is_write: r.is_write,
+            issued_at: now,
+        };
+        let ucr = UncoreReq {
+            req,
+            thread: r.thread,
+            kind: r.kind,
+        };
+        if r.blocking {
+            self.outstanding.insert(req.id, r.thread);
+        }
+        if let RequestKind::DmaPull { owner, .. } = r.kind {
+            // DMA command descriptor to the owning core; the data rides
+            // back as one (possibly multi-cycle) packet.
+            let pkt = self.packet(
+                NodeId::Core(core),
+                NodeId::Core(owner),
+                REQ_HEADER_BYTES,
+                now,
+                ChipPayload::DmaReq(ucr),
+            );
+            self.send_from_core(core, pkt, now, outbox);
+            return;
+        }
+        if let RequestKind::RemoteSpm { owner } = r.kind {
+            let bytes = if r.is_write {
+                u32::from(r.mem.bytes) + REQ_HEADER_BYTES
+            } else {
+                REQ_HEADER_BYTES
+            };
+            let pkt = self.packet(
+                NodeId::Core(core),
+                NodeId::Core(owner),
+                bytes,
+                now,
+                ChipPayload::RemoteSpm(ucr),
+            );
+            self.send_from_core(core, pkt, now, outbox);
+            return;
+        }
+        // Real-time reads may use the direct datapath.
+        let realtime = r.mem.priority == smarco_isa::Priority::Realtime;
+        if realtime && !r.is_write {
+            if let Some(spoke) = self.to_mem.as_mut() {
+                spoke.send(REQ_HEADER_BYTES, ucr);
+                return;
+            }
+        }
+        let bytes = if r.is_write {
+            (r.span_bytes.min(u64::from(u32::MAX)) as u32) + REQ_HEADER_BYTES
+        } else {
+            REQ_HEADER_BYTES
+        };
+        let mact_on = self.mact_on && !realtime;
+        let dst = if mact_on {
+            NodeId::Junction(self.sr)
+        } else {
+            NodeId::MemCtrl(self.channel_of(r.mem.addr))
+        };
+        let mut pkt = self.packet(NodeId::Core(core), dst, bytes, now, ChipPayload::Req(ucr));
+        pkt.realtime = realtime;
+        self.send_from_core(core, pkt, now, outbox);
+    }
+
+    /// Handles a packet delivered at one of this shard's endpoints (a core
+    /// or the junction's own structures).
+    fn handle_delivery(
+        &mut self,
+        pkt: Packet<ChipPayload>,
+        now: Cycle,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        match pkt.payload {
+            ChipPayload::Req(ucr) => {
+                let NodeId::Junction(sr) = pkt.dst else {
+                    panic!(
+                        "request packet delivered to {:?} in sub-ring shard",
+                        pkt.dst
+                    )
+                };
+                debug_assert_eq!(sr, self.sr);
+                match self.mact.offer(ucr.req, now) {
+                    MactOutcome::Collected => {}
+                    MactOutcome::Bypass(req) => {
+                        let bytes = if req.is_write {
+                            u32::from(req.mem.bytes) + REQ_HEADER_BYTES
+                        } else {
+                            REQ_HEADER_BYTES
+                        };
+                        let dst = NodeId::MemCtrl(self.channel_of(req.mem.addr));
+                        let ucr2 = UncoreReq { req, ..ucr };
+                        let p = self.packet(
+                            NodeId::Junction(sr),
+                            dst,
+                            bytes,
+                            now,
+                            ChipPayload::Req(ucr2),
+                        );
+                        outbox.send(self.hub, now + self.jl, ChipMsg::Up(p));
+                    }
+                }
+            }
+            ChipPayload::BatchReply(batch) => {
+                let NodeId::Junction(sr) = pkt.dst else {
+                    panic!("batch reply delivered off-junction to {:?}", pkt.dst)
+                };
+                for req in batch.requests {
+                    if req.is_write {
+                        continue;
+                    }
+                    let ucr = UncoreReq {
+                        req,
+                        thread: usize::MAX,
+                        kind: RequestKind::CacheFill,
+                    };
+                    let p = self.packet(
+                        NodeId::Junction(sr),
+                        NodeId::Core(req.core),
+                        u32::from(req.mem.bytes),
+                        now,
+                        ChipPayload::Reply(ucr),
+                    );
+                    if let Some(d) = self.noc.inject_from_junction(p) {
+                        self.handle_delivery(d, now, outbox);
+                    }
+                }
+            }
+            ChipPayload::Reply(ucr) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    panic!("reply delivered off-core to {:?}", pkt.dst)
+                };
+                self.complete_request(c, ucr, now);
+            }
+            ChipPayload::RemoteSpm(ucr) => {
+                let NodeId::Core(owner) = pkt.dst else {
+                    panic!("remote SPM packet delivered off-core to {:?}", pkt.dst)
+                };
+                // Serve at the owner (the owner's SPM is software-managed;
+                // remote accesses are to data the runtime placed there).
+                let bytes = if ucr.req.is_write {
+                    1
+                } else {
+                    u32::from(ucr.req.mem.bytes)
+                };
+                let p = self.packet(
+                    NodeId::Core(owner),
+                    NodeId::Core(ucr.req.core),
+                    bytes,
+                    now,
+                    ChipPayload::RemoteSpmReply(ucr),
+                );
+                self.send_from_core(owner, p, now, outbox);
+            }
+            ChipPayload::RemoteSpmReply(ucr) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    panic!("remote SPM reply delivered off-core to {:?}", pkt.dst)
+                };
+                self.complete_request(c, ucr, now);
+            }
+            ChipPayload::DmaReq(ucr) => {
+                let NodeId::Core(owner) = pkt.dst else {
+                    panic!("DMA command delivered off-core to {:?}", pkt.dst)
+                };
+                // The owner streams the requested range back as one
+                // wormhole packet sized by the transfer.
+                let span = u32::try_from(dma_span_of(&ucr)).unwrap_or(u32::MAX).max(1);
+                let p = self.packet(
+                    NodeId::Core(owner),
+                    NodeId::Core(ucr.req.core),
+                    span,
+                    now,
+                    ChipPayload::DmaData(ucr),
+                );
+                self.send_from_core(owner, p, now, outbox);
+            }
+            ChipPayload::DmaData(ucr) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    panic!("DMA data delivered off-core to {:?}", pkt.dst)
+                };
+                debug_assert_eq!(c, ucr.req.core);
+                if let RequestKind::DmaPull { fill, .. } = ucr.kind {
+                    let local = self.local_pos(c);
+                    self.cores[local].dma_complete(ucr.thread, fill);
+                }
+            }
+            ChipPayload::Batch(_) => panic!("MACT batch delivered inside a sub-ring shard"),
+        }
+    }
+
+    fn complete_request(&mut self, core: usize, ucr: UncoreReq, now: Cycle) {
+        debug_assert_eq!(core, ucr.req.core);
+        if let Some(thread) = self.outstanding.remove(&ucr.req.id) {
+            let lat = now.saturating_sub(ucr.req.issued_at) as f64;
+            self.mem_latency.record(lat);
+            if self.collect_latency {
+                self.lat_samples.push(lat);
+            }
+            let local = self.local_pos(core);
+            self.cores[local].complete(thread, now);
+        }
+    }
+
+    /// One simulated cycle, mirroring the monolithic chip's step order
+    /// within the shard: boundary arrivals, ring, dispatcher, cores, MACT,
+    /// direct-path departures.
+    fn step(&mut self, now: Cycle, inbox: &mut Inbox<ChipMsg>, outbox: &mut Outbox<ChipMsg>) {
+        // 1. Boundary messages due this cycle.
+        while let Some(msg) = inbox.pop_due(now) {
+            match msg {
+                ChipMsg::Down(pkt) => match pkt.dst {
+                    NodeId::Core(_) => {
+                        if let Some(p) = self.noc.inject_from_junction(pkt) {
+                            self.handle_delivery(p, now, outbox);
+                        }
+                    }
+                    NodeId::Junction(_) => self.handle_delivery(pkt, now, outbox),
+                    other => panic!("downlink packet addressed to {other:?}"),
+                },
+                ChipMsg::DirectReply(ucr) => self.complete_request(ucr.req.core, ucr, now),
+                other => panic!("sub-ring shard received {other:?}"),
+            }
+        }
+        // 2. Sub-ring deliveries and junction climbs.
+        for ev in self.noc.tick(now) {
+            match ev {
+                SubRingEvent::Delivered(p) => self.handle_delivery(p, now, outbox),
+                SubRingEvent::Climb(p) => outbox.send(self.hub, now + self.jl, ChipMsg::Up(p)),
+            }
+        }
+        // 3. The sub-dispatcher binds ready tasks to freed slots; exits
+        //    head for the main scheduler.
+        let mut exits = std::mem::take(&mut self.exit_buf);
+        self.dispatcher.tick(&mut self.cores, now, &mut exits);
+        for signal in exits.drain(..) {
+            outbox.send(
+                self.hub,
+                now + self.jl,
+                ChipMsg::Exit {
+                    subring: self.sr,
+                    signal,
+                },
+            );
+        }
+        self.exit_buf = exits;
+        // 4. Cores issue; requests enter the uncore.
+        let mut buf = std::mem::take(&mut self.req_buf);
+        for i in 0..self.cores.len() {
+            buf.clear();
+            let core = self.sr * self.cores_per_subring + i;
+            self.cores[i].tick(now, &mut buf);
+            for r in buf.drain(..) {
+                self.route_request(core, r, now, outbox);
+            }
+        }
+        self.req_buf = buf;
+        // 5. MACT deadlines; flushed batches head for memory.
+        for batch in self.mact.tick(now) {
+            let bytes = if batch.is_write {
+                batch.bytes_referenced + BATCH_HEADER_BYTES
+            } else {
+                BATCH_HEADER_BYTES
+            };
+            let dst = NodeId::MemCtrl(self.channel_of(batch.base));
+            let p = self.packet(
+                NodeId::Junction(self.sr),
+                dst,
+                bytes,
+                now,
+                ChipPayload::Batch(batch),
+            );
+            outbox.send(self.hub, now + self.jl, ChipMsg::Up(p));
+        }
+        // 6. Direct-path departures arrive at memory after the spoke's
+        //    fixed traversal — already an absolute-cycle message.
+        if let Some(spoke) = self.to_mem.as_mut() {
+            for (arrives, ucr) in spoke.tick(now) {
+                outbox.send(self.hub, arrives, ChipMsg::DirectReq(ucr));
+            }
+        }
+    }
+}
+
+/// The main-ring slice of the chip: DDR controllers, the memory side of
+/// the direct datapath, and the main scheduler.
+pub struct HubShard {
+    jl: Cycle,
+    cores_per_subring: usize,
+    channels: usize,
+    main: MainRingNoc<ChipPayload>,
+    dram: Dram<DramJob>,
+    /// Memory-side direct-datapath spokes, one per sub-ring.
+    from_mem: Vec<DirectSpoke<UncoreReq>>,
+    sched: MainScheduler,
+    exits: Vec<TaskExit>,
+    dram_requests: u64,
+    next_packet: u64,
+    packet_stride: u64,
+}
+
+impl std::fmt::Debug for HubShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HubShard")
+            .field("exits", &self.exits.len())
+            .field("dram_requests", &self.dram_requests)
+            .finish()
+    }
+}
+
+impl HubShard {
+    /// Builds the hub shard of a chip with `config`.
+    pub fn new(config: &SmarcoConfig) -> Self {
+        let n_shards = (config.noc.subrings + 1) as u64;
+        Self {
+            jl: config.noc.junction_latency,
+            cores_per_subring: config.noc.cores_per_subring,
+            channels: config.dram.channels,
+            main: MainRingNoc::new(&config.noc),
+            dram: Dram::new(config.dram),
+            from_mem: config
+                .direct
+                .map(|d| {
+                    (0..d.subrings)
+                        .map(|_| DirectSpoke::new(d.latency, d.bytes_per_cycle))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            sched: MainScheduler::new(config.noc.subrings),
+            exits: Vec::new(),
+            dram_requests: 0,
+            next_packet: config.noc.subrings as u64,
+            packet_stride: n_shards,
+        }
+    }
+
+    /// Assigns a submitted task to the least-loaded sub-ring.
+    pub fn assign(&mut self, task: &Task) -> usize {
+        self.sched.assign(task)
+    }
+
+    /// Exit records of hardware-dispatched tasks, in boundary-message
+    /// delivery order.
+    pub fn exits(&self) -> &[TaskExit] {
+        &self.exits
+    }
+
+    /// Bursts DRAM has served.
+    pub fn dram_requests(&self) -> u64 {
+        self.dram_requests
+    }
+
+    /// The DRAM model (bytes served, busy cycles, utilization).
+    pub fn dram(&self) -> &Dram<DramJob> {
+        &self.dram
+    }
+
+    /// Cumulative `(payload, offered)` bytes of the main ring's channels.
+    pub fn payload_offered_bytes(&self) -> (u64, u64) {
+        self.main.payload_offered_bytes()
+    }
+
+    /// Payload utilization of the main ring's channels.
+    pub fn payload_utilization(&self) -> f64 {
+        self.main.payload_utilization()
+    }
+
+    /// Turns event tracing on across the hub's components.
+    pub fn enable_trace(&mut self) {
+        self.main.enable_trace();
+        self.dram.enable_trace();
+    }
+
+    /// Moves staged events into `sink` (main ring, DRAM).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        self.main.drain_trace(sink);
+        self.dram.drain_trace(sink);
+    }
+
+    /// Whether the hub holds no in-flight work.
+    pub fn is_idle(&self) -> bool {
+        self.main.is_idle() && self.dram.is_idle() && self.from_mem.iter().all(DirectSpoke::is_idle)
+    }
+
+    fn channel_of(&self, addr: u64) -> usize {
+        ((addr / 4096) % self.channels as u64) as usize
+    }
+
+    fn packet(
+        &mut self,
+        src: NodeId,
+        dst: NodeId,
+        bytes: u32,
+        now: Cycle,
+        payload: ChipPayload,
+    ) -> Packet<ChipPayload> {
+        let id = self.next_packet;
+        self.next_packet += self.packet_stride;
+        Packet::new(id, src, dst, bytes.max(1), now, payload)
+    }
+
+    fn enqueue_dram(&mut self, addr: u64, span: u64, job: DramJob, now: Cycle) {
+        self.dram_requests += 1;
+        let channel = self.channel_of(addr);
+        self.dram.enqueue(channel, span.max(1), now, job);
+    }
+
+    fn on_main_event(
+        &mut self,
+        ev: MainRingEvent<ChipPayload>,
+        now: Cycle,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        match ev {
+            MainRingEvent::Delivered(pkt) => match pkt.dst {
+                NodeId::MemCtrl(_) => match pkt.payload {
+                    ChipPayload::Req(ucr) => self.enqueue_dram(
+                        ucr.req.mem.addr,
+                        u64::from(ucr.req.mem.bytes),
+                        DramJob::Single {
+                            ucr,
+                            via_direct: false,
+                        },
+                        now,
+                    ),
+                    ChipPayload::Batch(batch) => {
+                        self.enqueue_dram(
+                            batch.base,
+                            batch.span_bytes,
+                            DramJob::BatchJob(batch),
+                            now,
+                        );
+                    }
+                    other => panic!("memory controller received {other:?}"),
+                },
+                NodeId::Junction(sr) => outbox.send(sr, now + self.jl, ChipMsg::Down(pkt)),
+                other => panic!("unexpected main-ring delivery at {other:?}"),
+            },
+            MainRingEvent::Descend(pkt) => {
+                let NodeId::Core(c) = pkt.dst else {
+                    unreachable!("only core packets descend");
+                };
+                let sr = c / self.cores_per_subring;
+                outbox.send(sr, now + self.jl, ChipMsg::Down(pkt));
+            }
+        }
+    }
+
+    fn inject_main(&mut self, pkt: Packet<ChipPayload>, now: Cycle, outbox: &mut Outbox<ChipMsg>) {
+        if let Some(ev) = self.main.inject(pkt) {
+            self.on_main_event(ev, now, outbox);
+        }
+    }
+
+    /// One simulated cycle: boundary arrivals, direct-path reply
+    /// departures, main ring, DRAM.
+    fn step(&mut self, now: Cycle, inbox: &mut Inbox<ChipMsg>, outbox: &mut Outbox<ChipMsg>) {
+        // 1. Boundary messages due this cycle.
+        while let Some(msg) = inbox.pop_due(now) {
+            match msg {
+                ChipMsg::Up(pkt) => self.inject_main(pkt, now, outbox),
+                ChipMsg::DirectReq(ucr) => self.enqueue_dram(
+                    ucr.req.mem.addr,
+                    u64::from(ucr.req.mem.bytes),
+                    DramJob::Single {
+                        ucr,
+                        via_direct: true,
+                    },
+                    now,
+                ),
+                ChipMsg::Exit { subring, signal } => {
+                    self.sched.complete(subring, signal.work);
+                    self.exits.push(TaskExit {
+                        task: signal.task,
+                        exit: signal.exit,
+                        deadline: signal.deadline,
+                    });
+                }
+                other => panic!("hub shard received {other:?}"),
+            }
+        }
+        // 2. Direct-path replies depart toward their cores (before DRAM
+        //    produces new ones, matching the monolithic step order).
+        for sr in 0..self.from_mem.len() {
+            for (arrives, ucr) in self.from_mem[sr].tick(now) {
+                outbox.send(sr, arrives, ChipMsg::DirectReply(ucr));
+            }
+        }
+        // 3. Main-ring deliveries and descents.
+        for ev in self.main.tick(now) {
+            self.on_main_event(ev, now, outbox);
+        }
+        // 4. DRAM completions produce replies.
+        for job in self.dram.tick(now) {
+            match job {
+                DramJob::Single { ucr, via_direct } => {
+                    if ucr.req.is_write {
+                        continue; // writes complete silently
+                    }
+                    if via_direct {
+                        let sr = ucr.req.core / self.cores_per_subring;
+                        self.from_mem[sr].send(u32::from(ucr.req.mem.bytes), ucr);
+                    } else {
+                        let p = self.packet(
+                            NodeId::MemCtrl(self.channel_of(ucr.req.mem.addr)),
+                            NodeId::Core(ucr.req.core),
+                            u32::from(ucr.req.mem.bytes),
+                            now,
+                            ChipPayload::Reply(ucr),
+                        );
+                        self.inject_main(p, now, outbox);
+                    }
+                }
+                DramJob::BatchJob(batch) => {
+                    if batch.is_write {
+                        continue;
+                    }
+                    let sr = batch.requests.first().map(|r| r.core).unwrap_or(0)
+                        / self.cores_per_subring;
+                    let p = self.packet(
+                        NodeId::MemCtrl(self.channel_of(batch.base)),
+                        NodeId::Junction(sr),
+                        batch.bytes_referenced.max(1),
+                        now,
+                        ChipPayload::BatchReply(batch),
+                    );
+                    self.inject_main(p, now, outbox);
+                }
+            }
+        }
+    }
+}
+
+/// One shard of the sharded chip: a sub-ring or the hub. Boxed so the
+/// engine's shard vector stays compact despite the variants' bulk.
+#[derive(Debug)]
+pub enum ChipShard {
+    /// A sub-ring shard.
+    Sub(Box<SubShard>),
+    /// The hub shard.
+    Hub(Box<HubShard>),
+}
+
+impl ChipShard {
+    /// The sub-ring shard inside, if any.
+    pub fn as_sub(&self) -> Option<&SubShard> {
+        match self {
+            ChipShard::Sub(s) => Some(s),
+            ChipShard::Hub(_) => None,
+        }
+    }
+
+    /// Mutable sub-ring shard inside, if any.
+    pub fn as_sub_mut(&mut self) -> Option<&mut SubShard> {
+        match self {
+            ChipShard::Sub(s) => Some(s),
+            ChipShard::Hub(_) => None,
+        }
+    }
+
+    /// The hub shard inside, if any.
+    pub fn as_hub(&self) -> Option<&HubShard> {
+        match self {
+            ChipShard::Sub(_) => None,
+            ChipShard::Hub(h) => Some(h),
+        }
+    }
+
+    /// Mutable hub shard inside, if any.
+    pub fn as_hub_mut(&mut self) -> Option<&mut HubShard> {
+        match self {
+            ChipShard::Sub(_) => None,
+            ChipShard::Hub(h) => Some(h),
+        }
+    }
+
+    /// Whether the shard holds no in-flight work.
+    pub fn is_idle(&self) -> bool {
+        match self {
+            ChipShard::Sub(s) => s.is_idle(),
+            ChipShard::Hub(h) => h.is_idle(),
+        }
+    }
+}
+
+impl Shard for ChipShard {
+    type Msg = ChipMsg;
+
+    fn run_window(
+        &mut self,
+        from: Cycle,
+        to: Cycle,
+        inbox: &mut Inbox<ChipMsg>,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        for now in from..to {
+            match self {
+                ChipShard::Sub(s) => s.step(now, inbox, outbox),
+                ChipShard::Hub(h) => h.step(now, inbox, outbox),
+            }
+        }
+    }
+}

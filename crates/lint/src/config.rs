@@ -11,6 +11,7 @@
 
 use smarco_core::config::{SmarcoConfig, TcgConfig};
 use smarco_mem::mact::MactConfig;
+use smarco_noc::direct::DirectPathConfig;
 use smarco_noc::{LinkConfig, NocConfig};
 use smarco_sched::Task;
 
@@ -209,6 +210,68 @@ pub fn check_mact(mact: &MactConfig) -> Vec<Diagnostic> {
     out
 }
 
+/// Lints the shard partition the PDES engine derives from a chip
+/// configuration: `total_cores` cores cut into per-sub-ring shards of
+/// `noc.cores_per_subring` plus one hub shard, driven by `workers` host
+/// threads with the junction latency as lookahead.
+pub fn check_shard_partition(
+    total_cores: usize,
+    noc: &NocConfig,
+    direct: Option<&DirectPathConfig>,
+    workers: usize,
+) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if workers == 0 {
+        out.push(zero("workers", "PDES worker count"));
+    }
+    if noc.cores_per_subring > 0 && !total_cores.is_multiple_of(noc.cores_per_subring) {
+        out.push(
+            Diagnostic::new(
+                Code::ShardPartition,
+                Span::Field("noc.cores_per_subring".to_string()),
+                format!(
+                    "{total_cores} cores do not split into sub-ring shards of {}",
+                    noc.cores_per_subring,
+                ),
+            )
+            .with_help("every shard owns exactly one full sub-ring"),
+        );
+    }
+    if let Some(d) = direct {
+        if noc.junction_latency > d.latency {
+            out.push(
+                Diagnostic::new(
+                    Code::ShardLookahead,
+                    Span::Field("noc.junction_latency".to_string()),
+                    format!(
+                        "shard lookahead {} exceeds the {}-cycle direct-path \
+                         latency: a spoke would deliver inside a window the \
+                         engine already simulated",
+                        noc.junction_latency, d.latency,
+                    ),
+                )
+                .with_help("keep every boundary-crossing latency at or above the junction latency"),
+            );
+        }
+    }
+    let shards = noc.subrings + 1;
+    if workers > shards {
+        out.push(
+            Diagnostic::new(
+                Code::ShardWorkers,
+                Span::Field("workers".to_string()),
+                format!(
+                    "{workers} workers for {shards} shards ({} sub-rings + hub): \
+                     the engine clamps, so the extra host threads never run",
+                    noc.subrings,
+                ),
+            )
+            .with_help("workers beyond the shard count add no parallelism"),
+        );
+    }
+    out
+}
+
 /// Lints a whole-chip configuration (topology, core, MACT, and the
 /// cross-component agreement invariants).
 pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
@@ -251,6 +314,12 @@ pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
             );
         }
     }
+    out.extend(check_shard_partition(
+        cfg.noc.cores(),
+        &cfg.noc,
+        cfg.direct.as_ref(),
+        cfg.workers,
+    ));
     out
 }
 
@@ -370,6 +439,48 @@ mod tests {
             "{ds:?}"
         );
         assert!(check_mact(&MactConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn short_boundary_path_denied_with_sl0410() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.noc.junction_latency = 20; // > the 8-cycle direct spoke
+        let ds = check_config(&cfg);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0410" && d.severity == Severity::Deny),
+            "{ds:?}"
+        );
+        // Without a direct datapath every boundary crosses a junction,
+        // so any positive lookahead is safe.
+        cfg.direct = None;
+        assert!(check_config(&cfg).is_empty());
+    }
+
+    #[test]
+    fn ragged_core_partition_denied_with_sl0411() {
+        let noc = NocConfig::tiny();
+        let ds = check_shard_partition(noc.cores() + 1, &noc, None, 1);
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds[0].code.as_str(), "SL0411");
+        assert_eq!(ds[0].severity, Severity::Deny);
+    }
+
+    #[test]
+    fn worker_count_sanity_with_sl0412() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.workers = 16; // tiny has 4 sub-rings + hub = 5 shards
+        let ds = check_config(&cfg);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0412" && d.severity == Severity::Warn),
+            "{ds:?}"
+        );
+        cfg.workers = 5;
+        assert!(check_config(&cfg).is_empty());
+        cfg.workers = 0;
+        let ds = check_config(&cfg);
+        assert!(ds.iter().any(|d| d.code.as_str() == "SL0401"), "{ds:?}");
     }
 
     #[test]

@@ -91,11 +91,20 @@ pub enum Code {
     MactThreshold,
     /// SL0409: task deadline is infeasible (negative laxity at arrival).
     InfeasibleTask,
+    /// SL0410: shard lookahead (the junction latency) exceeds a
+    /// boundary-crossing path latency, so a shard would have to deliver
+    /// a message into a window the engine already simulated.
+    ShardLookahead,
+    /// SL0411: core count does not split into whole sub-ring shards.
+    ShardPartition,
+    /// SL0412: more PDES workers than shards — the excess host threads
+    /// never run.
+    ShardWorkers,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 23] = [
+    pub const ALL: [Code; 26] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -119,6 +128,9 @@ impl Code {
         Code::MactGeometry,
         Code::MactThreshold,
         Code::InfeasibleTask,
+        Code::ShardLookahead,
+        Code::ShardPartition,
+        Code::ShardWorkers,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -147,6 +159,9 @@ impl Code {
             Code::MactGeometry => "SL0407",
             Code::MactThreshold => "SL0408",
             Code::InfeasibleTask => "SL0409",
+            Code::ShardLookahead => "SL0410",
+            Code::ShardPartition => "SL0411",
+            Code::ShardWorkers => "SL0412",
         }
     }
 
@@ -169,13 +184,16 @@ impl Code {
             | Code::DramChannelMismatch
             | Code::DirectSpokeMismatch
             | Code::CtrlSpacing
-            | Code::MactGeometry => Severity::Deny,
+            | Code::MactGeometry
+            | Code::ShardLookahead
+            | Code::ShardPartition => Severity::Deny,
             Code::MisalignedRef
             | Code::CtrlRef
             | Code::SliceBeyondInput
             | Code::SliceWidth
             | Code::MactThreshold
-            | Code::InfeasibleTask => Severity::Warn,
+            | Code::InfeasibleTask
+            | Code::ShardWorkers => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -206,6 +224,9 @@ impl Code {
             Code::MactGeometry => "invalid MACT geometry",
             Code::MactThreshold => "MACT deadline exceeds line capacity",
             Code::InfeasibleTask => "task deadline infeasible at arrival",
+            Code::ShardLookahead => "shard lookahead exceeds a boundary latency",
+            Code::ShardPartition => "cores do not split into sub-ring shards",
+            Code::ShardWorkers => "more PDES workers than shards",
         }
     }
 }

@@ -15,19 +15,48 @@ impl RequestId {
 }
 
 /// Allocates unique [`RequestId`]s.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct RequestIdAllocator(u64);
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestIdAllocator {
+    next: u64,
+    stride: u64,
+}
+
+impl Default for RequestIdAllocator {
+    fn default() -> Self {
+        Self { next: 0, stride: 1 }
+    }
+}
 
 impl RequestIdAllocator {
-    /// Creates an allocator starting at id 0.
+    /// Creates an allocator starting at id 0 with stride 1.
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// Creates an allocator yielding `start`, `start + stride`,
+    /// `start + 2·stride`, … — allocators with the same stride and distinct
+    /// `start < stride` partition the id space, so independent shards can
+    /// allocate without coordinating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride` is zero or `start` is not below `stride`.
+    pub fn strided(start: u64, stride: u64) -> Self {
+        assert!(stride > 0, "stride must be positive");
+        assert!(
+            start < stride,
+            "start {start} must be below stride {stride}"
+        );
+        Self {
+            next: start,
+            stride,
+        }
+    }
+
     /// Returns a fresh id.
     pub fn next_id(&mut self) -> RequestId {
-        let id = RequestId(self.0);
-        self.0 += 1;
+        let id = RequestId(self.next);
+        self.next += self.stride;
         id
     }
 }
@@ -69,6 +98,27 @@ mod tests {
         assert!(a < b);
         assert_eq!(a.raw(), 0);
         assert_eq!(b.raw(), 1);
+    }
+
+    #[test]
+    fn strided_allocators_partition_the_id_space() {
+        let mut a = RequestIdAllocator::strided(0, 3);
+        let mut b = RequestIdAllocator::strided(1, 3);
+        let mut c = RequestIdAllocator::strided(2, 3);
+        let mut seen: Vec<u64> = Vec::new();
+        for _ in 0..4 {
+            seen.push(a.next_id().raw());
+            seen.push(b.next_id().raw());
+            seen.push(c.next_id().raw());
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..12).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "below stride")]
+    fn strided_start_must_fit() {
+        let _ = RequestIdAllocator::strided(3, 3);
     }
 
     #[test]

@@ -34,10 +34,86 @@ impl DirectPathConfig {
     }
 }
 
+/// One spoke's sender-side bandwidth gate: items queue until the spoke has
+/// accumulated enough byte credit, then depart on a fixed-latency pipeline.
+///
+/// [`tick`](Self::tick) returns departures together with their *absolute*
+/// arrival cycle (`now + latency`), so the receiving end may live in a
+/// different shard and treat the traversal as a timestamped message — the
+/// spoke itself is the whole sender-side state.
 #[derive(Debug, Clone)]
-struct Spoke<T> {
+pub struct DirectSpoke<T> {
+    latency: Cycle,
+    bytes_per_cycle: f64,
     queue: VecDeque<(u32, T)>,
     credit: f64,
+    sent: u64,
+}
+
+impl<T> DirectSpoke<T> {
+    /// Creates an idle spoke.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `latency` or `bytes_per_cycle` is non-positive.
+    pub fn new(latency: Cycle, bytes_per_cycle: f64) -> Self {
+        assert!(latency > 0, "latency must be positive");
+        assert!(bytes_per_cycle > 0.0, "bandwidth must be positive");
+        Self {
+            latency,
+            bytes_per_cycle,
+            queue: VecDeque::new(),
+            credit: 0.0,
+            sent: 0,
+        }
+    }
+
+    /// Queues `item` of `bytes` for traversal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is zero.
+    pub fn send(&mut self, bytes: u32, item: T) {
+        assert!(bytes > 0, "zero-byte direct send");
+        self.queue.push_back((bytes, item));
+    }
+
+    /// Advances one cycle; returns `(arrival_cycle, item)` for every item
+    /// that started its traversal this cycle.
+    pub fn tick(&mut self, now: Cycle) -> Vec<(Cycle, T)> {
+        let mut out = Vec::new();
+        self.credit += self.bytes_per_cycle;
+        while let Some(&(bytes, _)) = self.queue.front() {
+            if self.credit < f64::from(bytes) {
+                break;
+            }
+            self.credit -= f64::from(bytes);
+            let (_, item) = self.queue.pop_front().expect("front exists");
+            out.push((now + self.latency, item));
+            self.sent += 1;
+        }
+        // Idle spokes don't hoard credit.
+        if self.queue.is_empty() {
+            self.credit = self.credit.min(self.bytes_per_cycle);
+        }
+        out
+    }
+
+    /// Items that have departed so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Whether nothing is waiting to depart (in-flight items are the
+    /// receiver's problem once `tick` has handed them out).
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Spoke<T> {
+    gate: DirectSpoke<T>,
     wheel: EventWheel<T>,
 }
 
@@ -79,8 +155,7 @@ impl<T> DirectPath<T> {
             config,
             spokes: (0..config.subrings)
                 .map(|_| Spoke {
-                    queue: VecDeque::new(),
-                    credit: 0.0,
+                    gate: DirectSpoke::new(config.latency, config.bytes_per_cycle),
                     wheel: EventWheel::new(),
                 })
                 .collect(),
@@ -100,28 +175,17 @@ impl<T> DirectPath<T> {
     /// Panics if the spoke index is out of range or `bytes` is zero.
     pub fn send(&mut self, subring: usize, bytes: u32, now: Cycle, item: T) {
         assert!(subring < self.spokes.len(), "spoke {subring} out of range");
-        assert!(bytes > 0, "zero-byte direct send");
         let _ = now;
-        self.spokes[subring].queue.push_back((bytes, item));
+        self.spokes[subring].gate.send(bytes, item);
     }
 
     /// Advances one cycle; returns items that traversed their spoke.
     pub fn tick(&mut self, now: Cycle) -> Vec<T> {
         let mut out = Vec::new();
         for spoke in &mut self.spokes {
-            spoke.credit += self.config.bytes_per_cycle;
-            while let Some(&(bytes, _)) = spoke.queue.front() {
-                if spoke.credit < f64::from(bytes) {
-                    break;
-                }
-                spoke.credit -= f64::from(bytes);
-                let (_, item) = spoke.queue.pop_front().expect("front exists");
-                spoke.wheel.schedule(now + self.config.latency, item);
+            for (arrives, item) in spoke.gate.tick(now) {
+                spoke.wheel.schedule(arrives, item);
                 self.sent += 1;
-            }
-            // Idle spokes don't hoard credit.
-            if spoke.queue.is_empty() {
-                spoke.credit = spoke.credit.min(self.config.bytes_per_cycle);
             }
             while let Some(item) = spoke.wheel.pop_due(now) {
                 out.push(item);
@@ -139,7 +203,7 @@ impl<T> DirectPath<T> {
     pub fn is_idle(&self) -> bool {
         self.spokes
             .iter()
-            .all(|s| s.queue.is_empty() && s.wheel.is_empty())
+            .all(|s| s.gate.is_idle() && s.wheel.is_empty())
     }
 }
 
@@ -205,5 +269,17 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_spoke_rejected() {
         dp().send(7, 8, 0, 1);
+    }
+
+    #[test]
+    fn spoke_reports_absolute_arrival_cycles() {
+        let mut s: DirectSpoke<u32> = DirectSpoke::new(4, 8.0);
+        s.send(16, 1); // 16 B at 8 B/cycle → departs on the 2nd tick
+        s.send(8, 2);
+        assert!(s.tick(0).is_empty());
+        assert_eq!(s.tick(1), vec![(5, 1)]);
+        assert_eq!(s.tick(2), vec![(6, 2)]);
+        assert!(s.is_idle());
+        assert_eq!(s.sent(), 2);
     }
 }

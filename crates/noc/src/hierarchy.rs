@@ -6,6 +6,18 @@
 //! A packet from a core to memory rides its sub-ring to the junction,
 //! bridges, rides the main ring to the controller, and is delivered;
 //! replies take the reverse path.
+//!
+//! The topology is built from two independent halves joined only at the
+//! junctions: [`SubRingNoc`] (one sub-ring plus its junction port) and
+//! [`MainRingNoc`] (the main ring with its endpoint layout). Neither half
+//! holds a reference to the other — a packet crossing a junction leaves
+//! one half as an explicit boundary event ([`SubRingEvent::Climb`] /
+//! [`MainRingEvent::Descend`]) and becomes visible in the other half one
+//! `junction_latency` later. That makes the junction latency a true
+//! lookahead: the halves can live in different PDES shards and exchange
+//! crossings as timestamped messages. [`HierarchicalRing`] recomposes the
+//! halves into the classic single-threaded topology using event wheels as
+//! the bridge buffers.
 
 use std::collections::HashMap;
 
@@ -112,7 +124,311 @@ pub struct NocStats {
     pub latency_hist: Histogram,
 }
 
-/// The hierarchical-ring NoC, generic over packet payload `P`.
+/// What one sub-ring tick produced at each endpoint.
+#[derive(Debug)]
+pub enum SubRingEvent<P> {
+    /// Reached a local endpoint: a core position, or the junction's own
+    /// structures (`dst == Junction(sr)`).
+    Delivered(Packet<P>),
+    /// Reached the junction addressed beyond this sub-ring; it becomes
+    /// visible on the main ring one junction latency later.
+    Climb(Packet<P>),
+}
+
+/// One sub-ring with its junction port — the sub-ring half of the
+/// topology. It knows nothing about the main ring: packets leaving for it
+/// surface as [`SubRingEvent::Climb`] boundary events.
+#[derive(Debug)]
+pub struct SubRingNoc<P> {
+    sr: usize,
+    cores_per_subring: usize,
+    ring: Ring<Packet<P>>,
+    trace: Option<TraceBuffer>,
+}
+
+impl<P> SubRingNoc<P> {
+    /// Builds sub-ring `sr`: `cores_per_subring` core positions plus the
+    /// junction at position `cores_per_subring`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores_per_subring` is zero or the link is invalid.
+    pub fn new(sr: usize, cores_per_subring: usize, link: LinkConfig) -> Self {
+        assert!(cores_per_subring > 0, "zero topology");
+        Self {
+            sr,
+            cores_per_subring,
+            ring: Ring::new(cores_per_subring + 1, link),
+            trace: None,
+        }
+    }
+
+    /// This sub-ring's index.
+    pub fn subring(&self) -> usize {
+        self.sr
+    }
+
+    fn junction(&self) -> usize {
+        self.cores_per_subring
+    }
+
+    /// Whether a core id lives on this sub-ring.
+    pub fn owns_core(&self, core: usize) -> bool {
+        core / self.cores_per_subring == self.sr
+    }
+
+    fn local_pos(&self, core: usize) -> usize {
+        debug_assert!(self.owns_core(core));
+        core % self.cores_per_subring
+    }
+
+    /// Injects a packet sourced by the local core at ring position `pos`.
+    /// The exit is the destination core's position for local traffic and
+    /// the junction for everything else. Returns the packet if it reached
+    /// its exit instantly (`pos == exit`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos` is not a core position.
+    pub fn inject_from_core(&mut self, pos: usize, pkt: Packet<P>) -> Option<Packet<P>> {
+        assert!(pos < self.cores_per_subring, "not a core position: {pos}");
+        let exit = match pkt.dst {
+            NodeId::Core(d) if self.owns_core(d) => self.local_pos(d),
+            _ => self.junction(),
+        };
+        self.ring.inject(pos, exit, pkt)
+    }
+
+    /// Injects a packet entering at the junction (bridged down from the
+    /// main ring, or sourced by the junction's own structures) addressed
+    /// to a local core. Returns the packet if delivered instantly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination is not a core of this sub-ring.
+    pub fn inject_from_junction(&mut self, pkt: Packet<P>) -> Option<Packet<P>> {
+        let NodeId::Core(d) = pkt.dst else {
+            panic!("junction downlink carries core packets, got {:?}", pkt.dst);
+        };
+        assert!(self.owns_core(d), "core {d} not on sub-ring {}", self.sr);
+        let dpos = self.local_pos(d);
+        self.ring.inject(self.junction(), dpos, pkt)
+    }
+
+    /// Advances one cycle; returns deliveries and junction crossings.
+    pub fn tick(&mut self, now: Cycle) -> Vec<SubRingEvent<P>> {
+        let mut out = Vec::new();
+        for (pos, hops, pkt) in self.ring.tick(now) {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.emit(
+                    now,
+                    EventKind::RingHop {
+                        hops: u64::from(hops),
+                        bytes: u64::from(pkt.bytes),
+                    },
+                );
+            }
+            if pos == self.junction() && pkt.dst != NodeId::Junction(self.sr) {
+                out.push(SubRingEvent::Climb(pkt));
+            } else {
+                out.push(SubRingEvent::Delivered(pkt));
+            }
+        }
+        out
+    }
+
+    /// Whether nothing is queued or in flight on the ring.
+    pub fn is_idle(&self) -> bool {
+        self.ring.is_idle()
+    }
+
+    /// Congestion (queued output bytes) at ring position `pos`.
+    pub fn congestion_at(&self, pos: usize) -> u64 {
+        self.ring.congestion_at(pos)
+    }
+
+    /// Cumulative `(payload, offered)` bytes over the ring's channels.
+    pub fn payload_offered_bytes(&self) -> (u64, u64) {
+        self.ring.payload_offered_bytes()
+    }
+
+    /// Aggregated payload utilization of the ring's channels.
+    pub fn payload_utilization(&self) -> f64 {
+        self.ring.payload_utilization()
+    }
+
+    /// Turns event tracing on ([`Track::SubRing`] of this index).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceBuffer::new(Track::SubRing(self.sr)));
+    }
+
+    /// Moves staged ring events into `sink` (no-op when tracing is off).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.drain_into(sink);
+        }
+    }
+}
+
+/// What one main-ring tick produced at each endpoint.
+#[derive(Debug)]
+pub enum MainRingEvent<P> {
+    /// Reached a main-ring endpoint: a memory controller, the scheduler,
+    /// the host, or a junction's own structures (`dst == Junction(sr)`).
+    Delivered(Packet<P>),
+    /// Reached the junction of the destination core's sub-ring; it
+    /// becomes visible on that sub-ring one junction latency later.
+    Descend(Packet<P>),
+}
+
+/// The main ring with its endpoint layout — the hub half of the topology.
+/// It knows nothing about sub-ring interiors: packets addressed to cores
+/// surface as [`MainRingEvent::Descend`] boundary events at the
+/// destination junction.
+#[derive(Debug)]
+pub struct MainRingNoc<P> {
+    cores_per_subring: usize,
+    ring: Ring<Packet<P>>,
+    /// Position of each non-junction main-ring endpoint.
+    main_pos: HashMap<NodeId, usize>,
+    /// Junction position on the main ring, per sub-ring.
+    junction_main_pos: Vec<usize>,
+    trace: Option<TraceBuffer>,
+}
+
+impl<P> MainRingNoc<P> {
+    /// Builds the main ring: junctions in order, a memory controller after
+    /// every `subrings / mem_ctrls` junctions, then scheduler and host.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`NocConfig::validate`]).
+    pub fn new(config: &NocConfig) -> Self {
+        config.validate();
+        let mut main_pos = HashMap::new();
+        let mut junction_main_pos = vec![0usize; config.subrings];
+        let group = config.subrings / config.mem_ctrls;
+        let mut pos = 0usize;
+        let mut mc = 0usize;
+        for (sr, jpos) in junction_main_pos.iter_mut().enumerate() {
+            *jpos = pos;
+            pos += 1;
+            if (sr + 1) % group == 0 {
+                main_pos.insert(NodeId::MemCtrl(mc), pos);
+                mc += 1;
+                pos += 1;
+            }
+        }
+        main_pos.insert(NodeId::MainScheduler, pos);
+        pos += 1;
+        main_pos.insert(NodeId::Host, pos);
+        pos += 1;
+        Self {
+            cores_per_subring: config.cores_per_subring,
+            ring: Ring::new(pos, config.main_link),
+            main_pos,
+            junction_main_pos,
+            trace: None,
+        }
+    }
+
+    fn subring_of_core(&self, core: usize) -> usize {
+        core / self.cores_per_subring
+    }
+
+    fn exit_for(&self, dst: NodeId) -> usize {
+        match dst {
+            NodeId::Core(c) => self.junction_main_pos[self.subring_of_core(c)],
+            NodeId::Junction(sr) => {
+                assert!(sr < self.junction_main_pos.len(), "unknown junction {sr}");
+                self.junction_main_pos[sr]
+            }
+            other => *self
+                .main_pos
+                .get(&other)
+                .unwrap_or_else(|| panic!("unknown main-ring endpoint {other:?}")),
+        }
+    }
+
+    /// Where a packet enters the main ring, derived from its source: core
+    /// packets enter at their sub-ring's junction, junction packets at
+    /// that junction, everything else at its own endpoint position.
+    fn entry_for(&self, src: NodeId) -> usize {
+        match src {
+            NodeId::Core(c) => self.junction_main_pos[self.subring_of_core(c)],
+            other => self.exit_for(other),
+        }
+    }
+
+    fn classify(&self, pkt: Packet<P>) -> MainRingEvent<P> {
+        if matches!(pkt.dst, NodeId::Core(_)) {
+            MainRingEvent::Descend(pkt)
+        } else {
+            MainRingEvent::Delivered(pkt)
+        }
+    }
+
+    /// Injects a packet at its entry position. Returns the boundary event
+    /// immediately if the exit coincides with the entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source or destination endpoint does not exist.
+    pub fn inject(&mut self, pkt: Packet<P>) -> Option<MainRingEvent<P>> {
+        let at = self.entry_for(pkt.src);
+        let exit = self.exit_for(pkt.dst);
+        self.ring.inject(at, exit, pkt).map(|p| self.classify(p))
+    }
+
+    /// Advances one cycle; returns deliveries and junction descents.
+    pub fn tick(&mut self, now: Cycle) -> Vec<MainRingEvent<P>> {
+        let mut out = Vec::new();
+        for (_pos, hops, pkt) in self.ring.tick(now) {
+            if let Some(buf) = self.trace.as_mut() {
+                buf.emit(
+                    now,
+                    EventKind::RingHop {
+                        hops: u64::from(hops),
+                        bytes: u64::from(pkt.bytes),
+                    },
+                );
+            }
+            out.push(self.classify(pkt));
+        }
+        out
+    }
+
+    /// Whether nothing is queued or in flight on the ring.
+    pub fn is_idle(&self) -> bool {
+        self.ring.is_idle()
+    }
+
+    /// Cumulative `(payload, offered)` bytes over the ring's channels.
+    pub fn payload_offered_bytes(&self) -> (u64, u64) {
+        self.ring.payload_offered_bytes()
+    }
+
+    /// Aggregated payload utilization of the ring's channels.
+    pub fn payload_utilization(&self) -> f64 {
+        self.ring.payload_utilization()
+    }
+
+    /// Turns event tracing on ([`Track::MainRing`]).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(TraceBuffer::new(Track::MainRing));
+    }
+
+    /// Moves staged ring events into `sink` (no-op when tracing is off).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.drain_into(sink);
+        }
+    }
+}
+
+/// The hierarchical-ring NoC, generic over packet payload `P` — the
+/// single-threaded recomposition of [`SubRingNoc`] halves and one
+/// [`MainRingNoc`], with event wheels as the junction bridge buffers.
 ///
 /// # Examples
 ///
@@ -132,19 +448,12 @@ pub struct NocStats {
 #[derive(Debug)]
 pub struct HierarchicalRing<P> {
     config: NocConfig,
-    subrings: Vec<Ring<Packet<P>>>,
-    main: Ring<Packet<P>>,
-    /// Position of each main-ring endpoint.
-    main_pos: HashMap<NodeId, usize>,
-    /// Junction position on the main ring, per sub-ring.
-    junction_main_pos: Vec<usize>,
+    subrings: Vec<SubRingNoc<P>>,
+    main: MainRingNoc<P>,
     /// Packets crossing a junction, delayed by `junction_latency`.
     bridge_to_main: EventWheel<Packet<P>>,
     bridge_to_sub: EventWheel<Packet<P>>,
     stats: NocStats,
-    /// Staged ring-traversal events when tracing is enabled.
-    trace_main: Option<TraceBuffer>,
-    trace_subs: Option<Vec<TraceBuffer>>,
 }
 
 impl<P> HierarchicalRing<P> {
@@ -154,66 +463,34 @@ impl<P> HierarchicalRing<P> {
     ///
     /// Panics if the configuration is invalid (see [`NocConfig::validate`]).
     pub fn new(config: NocConfig) -> Self {
-        config.validate();
-        let sub_positions = config.cores_per_subring + 1; // cores + junction
+        let main = MainRingNoc::new(&config);
         let subrings = (0..config.subrings)
-            .map(|_| Ring::new(sub_positions, config.sub_link))
+            .map(|sr| SubRingNoc::new(sr, config.cores_per_subring, config.sub_link))
             .collect();
-        // Main-ring layout: junctions in order, a memory controller after
-        // every `subrings / mem_ctrls` junctions, then scheduler and host.
-        let mut main_pos = HashMap::new();
-        let mut junction_main_pos = vec![0usize; config.subrings];
-        let group = config.subrings / config.mem_ctrls;
-        let mut pos = 0usize;
-        let mut mc = 0usize;
-        for (sr, jpos) in junction_main_pos.iter_mut().enumerate() {
-            *jpos = pos;
-            pos += 1;
-            if (sr + 1) % group == 0 {
-                main_pos.insert(NodeId::MemCtrl(mc), pos);
-                mc += 1;
-                pos += 1;
-            }
-        }
-        main_pos.insert(NodeId::MainScheduler, pos);
-        pos += 1;
-        main_pos.insert(NodeId::Host, pos);
-        pos += 1;
-        let main = Ring::new(pos, config.main_link);
         Self {
             config,
             subrings,
             main,
-            main_pos,
-            junction_main_pos,
             bridge_to_main: EventWheel::new(),
             bridge_to_sub: EventWheel::new(),
             stats: NocStats::default(),
-            trace_main: None,
-            trace_subs: None,
         }
     }
 
     /// Turns event tracing on: each ring reports completed traversals on
     /// its own track ([`Track::MainRing`] / [`Track::SubRing`]).
     pub fn enable_trace(&mut self) {
-        self.trace_main = Some(TraceBuffer::new(Track::MainRing));
-        self.trace_subs = Some(
-            (0..self.config.subrings)
-                .map(|i| TraceBuffer::new(Track::SubRing(i)))
-                .collect(),
-        );
+        self.main.enable_trace();
+        for sub in &mut self.subrings {
+            sub.enable_trace();
+        }
     }
 
     /// Moves staged ring events into `sink` (no-op when tracing is off).
     pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
-        if let Some(buf) = self.trace_main.as_mut() {
-            buf.drain_into(sink);
-        }
-        if let Some(bufs) = self.trace_subs.as_mut() {
-            for b in bufs {
-                b.drain_into(sink);
-            }
+        self.main.drain_trace(sink);
+        for sub in &mut self.subrings {
+            sub.drain_trace(sink);
         }
     }
 
@@ -257,26 +534,23 @@ impl<P> HierarchicalRing<P> {
         )
     }
 
-    fn main_exit_for(&self, dst: NodeId) -> usize {
-        match dst {
-            NodeId::Core(c) => self.junction_main_pos[self.core_location(c).0],
-            NodeId::Junction(sr) => {
-                assert!(sr < self.junction_main_pos.len(), "unknown junction {sr}");
-                self.junction_main_pos[sr]
-            }
-            other => *self
-                .main_pos
-                .get(&other)
-                .unwrap_or_else(|| panic!("unknown main-ring endpoint {other:?}")),
-        }
-    }
-
     fn deliver(&mut self, pkt: Packet<P>, now: Cycle) -> Packet<P> {
         self.stats.delivered += 1;
         let lat = now.saturating_sub(pkt.injected_at);
         self.stats.latency.record(lat as f64);
         self.stats.latency_hist.record(lat);
         pkt
+    }
+
+    fn on_main_event(&mut self, ev: MainRingEvent<P>, now: Cycle) -> Option<Packet<P>> {
+        match ev {
+            MainRingEvent::Delivered(p) => Some(self.deliver(p, now)),
+            MainRingEvent::Descend(p) => {
+                self.bridge_to_sub
+                    .schedule(now + self.config.junction_latency, p);
+                None
+            }
+        }
     }
 
     /// Injects a packet at its source endpoint at cycle `now`.
@@ -293,19 +567,7 @@ impl<P> HierarchicalRing<P> {
         match pkt.src {
             NodeId::Core(c) => {
                 let (sr, pos) = self.core_location(c);
-                let junction = self.config.cores_per_subring;
-                let exit = match pkt.dst {
-                    NodeId::Core(d) => {
-                        let (dsr, dpos) = self.core_location(d);
-                        if dsr == sr {
-                            dpos
-                        } else {
-                            junction
-                        }
-                    }
-                    _ => junction,
-                };
-                if let Some(p) = self.subrings[sr].inject(pos, exit, pkt) {
+                if let Some(p) = self.subrings[sr].inject_from_core(pos, pkt) {
                     // Exit reached instantly: either a same-position core
                     // (impossible: src != dst) or… exit == pos can only
                     // happen for distinct cores at same pos, which cannot
@@ -320,44 +582,22 @@ impl<P> HierarchicalRing<P> {
                 // either down into its own sub-ring or out onto the main
                 // ring.
                 assert!(sr < self.subrings.len(), "unknown junction {sr}");
-                let junction = self.config.cores_per_subring;
                 match pkt.dst {
-                    NodeId::Core(d) if self.core_location(d).0 == sr => {
-                        let dpos = self.core_location(d).1;
-                        if let Some(p) = self.subrings[sr].inject(junction, dpos, pkt) {
+                    NodeId::Core(d) if self.subrings[sr].owns_core(d) => {
+                        if let Some(p) = self.subrings[sr].inject_from_junction(pkt) {
                             return Some(self.deliver(p, now));
                         }
                         None
                     }
                     _ => {
-                        let at = self.junction_main_pos[sr];
-                        let exit = self.main_exit_for(pkt.dst);
-                        if let Some(p) = self.main.inject(at, exit, pkt) {
-                            if matches!(p.dst, NodeId::Core(_)) {
-                                self.bridge_to_sub
-                                    .schedule(now + self.config.junction_latency, p);
-                                return None;
-                            }
-                            return Some(self.deliver(p, now));
-                        }
-                        None
+                        let ev = self.main.inject(pkt)?;
+                        self.on_main_event(ev, now)
                     }
                 }
             }
             NodeId::MemCtrl(_) | NodeId::MainScheduler | NodeId::Host => {
-                let at = self.main_exit_for(pkt.src);
-                let exit = self.main_exit_for(pkt.dst);
-                if let Some(p) = self.main.inject(at, exit, pkt) {
-                    // Destination shares the position only when it *is* the
-                    // destination junction: bridge down.
-                    if matches!(p.dst, NodeId::Core(_)) {
-                        self.bridge_to_sub
-                            .schedule(now + self.config.junction_latency, p);
-                        return None;
-                    }
-                    return Some(self.deliver(p, now));
-                }
-                None
+                let ev = self.main.inject(pkt)?;
+                self.on_main_event(ev, now)
             }
         }
     }
@@ -368,76 +608,34 @@ impl<P> HierarchicalRing<P> {
         let mut out = Vec::new();
         // Junction crossings that completed this cycle.
         while let Some(pkt) = self.bridge_to_main.pop_due(now) {
-            let (sr, _) = match pkt.src {
-                NodeId::Core(c) => self.core_location(c),
-                _ => unreachable!("only core packets bridge upward"),
-            };
-            let at = self.junction_main_pos[sr];
-            let exit = self.main_exit_for(pkt.dst);
-            if let Some(p) = self.main.inject(at, exit, pkt) {
-                if matches!(p.dst, NodeId::Core(_)) {
-                    self.bridge_to_sub
-                        .schedule(now + self.config.junction_latency, p);
-                } else {
-                    out.push(self.deliver(p, now));
-                }
+            if let Some(ev) = self.main.inject(pkt) {
+                out.extend(self.on_main_event(ev, now));
             }
         }
         while let Some(pkt) = self.bridge_to_sub.pop_due(now) {
             let NodeId::Core(d) = pkt.dst else {
                 unreachable!("only core packets bridge downward");
             };
-            let (sr, dpos) = self.core_location(d);
-            let junction = self.config.cores_per_subring;
-            if let Some(p) = self.subrings[sr].inject(junction, dpos, pkt) {
+            let (sr, _) = self.core_location(d);
+            if let Some(p) = self.subrings[sr].inject_from_junction(pkt) {
                 out.push(self.deliver(p, now));
             }
         }
         // Sub-rings.
         for sr in 0..self.subrings.len() {
-            for (pos, hops, pkt) in self.subrings[sr].tick(now) {
-                if let Some(bufs) = self.trace_subs.as_mut() {
-                    bufs[sr].emit(
-                        now,
-                        EventKind::RingHop {
-                            hops: u64::from(hops),
-                            bytes: u64::from(pkt.bytes),
-                        },
-                    );
-                }
-                if pos == self.config.cores_per_subring {
-                    if pkt.dst == NodeId::Junction(sr) {
-                        // Addressed to this junction's own structures.
-                        out.push(self.deliver(pkt, now));
-                    } else {
-                        // Climb to the main ring.
+            for ev in self.subrings[sr].tick(now) {
+                match ev {
+                    SubRingEvent::Delivered(p) => out.push(self.deliver(p, now)),
+                    SubRingEvent::Climb(p) => {
                         self.bridge_to_main
-                            .schedule(now + self.config.junction_latency, pkt);
+                            .schedule(now + self.config.junction_latency, p);
                     }
-                } else {
-                    out.push(self.deliver(pkt, now));
                 }
             }
         }
         // Main ring.
-        let mut main_deliveries = self.main.tick(now);
-        for (pos, hops, pkt) in main_deliveries.drain(..) {
-            if let Some(buf) = self.trace_main.as_mut() {
-                buf.emit(
-                    now,
-                    EventKind::RingHop {
-                        hops: u64::from(hops),
-                        bytes: u64::from(pkt.bytes),
-                    },
-                );
-            }
-            if matches!(pkt.dst, NodeId::Core(_)) {
-                debug_assert!(self.junction_main_pos.contains(&pos));
-                self.bridge_to_sub
-                    .schedule(now + self.config.junction_latency, pkt);
-            } else {
-                out.push(self.deliver(pkt, now));
-            }
+        for ev in self.main.tick(now) {
+            out.extend(self.on_main_event(ev, now));
         }
         out
     }
@@ -447,7 +645,7 @@ impl<P> HierarchicalRing<P> {
         self.bridge_to_main.is_empty()
             && self.bridge_to_sub.is_empty()
             && self.main.is_idle()
-            && self.subrings.iter().all(Ring::is_idle)
+            && self.subrings.iter().all(SubRingNoc::is_idle)
     }
 
     /// Mean payload utilization of the main ring's channels.
@@ -457,7 +655,11 @@ impl<P> HierarchicalRing<P> {
 
     /// Mean payload utilization across sub-ring channels.
     pub fn subring_utilization(&self) -> f64 {
-        let sum: f64 = self.subrings.iter().map(Ring::payload_utilization).sum();
+        let sum: f64 = self
+            .subrings
+            .iter()
+            .map(SubRingNoc::payload_utilization)
+            .sum();
         sum / self.subrings.len() as f64
     }
 
@@ -669,6 +871,45 @@ mod tests {
         let d = run(&mut noc, 300);
         assert_eq!(d.len(), 1);
         assert!(d[0].0 > 5, "remote junction cannot be instant");
+    }
+
+    #[test]
+    fn split_halves_expose_boundary_events() {
+        // Drive the halves by hand: a packet leaves sub-ring 0 as a Climb,
+        // crosses, rides the main ring to a junction, and descends.
+        let cfg = NocConfig::tiny();
+        let mut sub: SubRingNoc<()> = SubRingNoc::new(0, cfg.cores_per_subring, cfg.sub_link);
+        let mut main: MainRingNoc<()> = MainRingNoc::new(&cfg);
+        let pkt = Packet::new(1, NodeId::Core(0), NodeId::Core(14), 8, 0, ());
+        assert!(sub.inject_from_core(0, pkt).is_none());
+        let mut climbed = None;
+        for now in 0..50 {
+            for ev in sub.tick(now) {
+                match ev {
+                    SubRingEvent::Climb(p) => climbed = Some((now, p)),
+                    SubRingEvent::Delivered(_) => panic!("dst is remote"),
+                }
+            }
+            if climbed.is_some() {
+                break;
+            }
+        }
+        let (t, p) = climbed.expect("packet must climb");
+        assert!(main.inject(p).is_none());
+        let mut descended = None;
+        for now in t..t + 100 {
+            for ev in main.tick(now) {
+                match ev {
+                    MainRingEvent::Descend(p) => descended = Some(p),
+                    MainRingEvent::Delivered(_) => panic!("dst is a core"),
+                }
+            }
+            if descended.is_some() {
+                break;
+            }
+        }
+        let p = descended.expect("packet must descend");
+        assert_eq!(p.dst, NodeId::Core(14));
     }
 
     #[test]

@@ -29,6 +29,8 @@ pub mod packet;
 pub mod ring;
 pub mod traffic;
 
-pub use hierarchy::{HierarchicalRing, NocConfig};
+pub use hierarchy::{
+    HierarchicalRing, MainRingEvent, MainRingNoc, NocConfig, SubRingEvent, SubRingNoc,
+};
 pub use link::LinkConfig;
 pub use packet::{NodeId, Packet};

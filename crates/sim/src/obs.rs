@@ -419,6 +419,30 @@ impl EventTrace {
         head.iter().chain(tail.iter())
     }
 
+    /// Deterministically merges per-shard traces into one buffer: events
+    /// order by cycle, same-cycle ties break by the order of `parts` (the
+    /// shard index), and events of one part keep their emission order.
+    /// Eviction counts carry over, so `total()` on the merged trace still
+    /// counts every event emitted chip-wide.
+    pub fn merged<'a>(
+        parts: impl IntoIterator<Item = &'a EventTrace>,
+        capacity: usize,
+    ) -> EventTrace {
+        let mut out = EventTrace::new(capacity);
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for part in parts {
+            out.dropped += part.dropped();
+            events.extend(part.iter().copied());
+        }
+        // Each part is already nondecreasing in cycle; a stable sort on the
+        // cycle alone therefore yields (cycle, part, emission) order.
+        events.sort_by_key(|e| e.cycle);
+        for ev in events {
+            out.emit(ev);
+        }
+        out
+    }
+
     /// Count of retained events per event-type name.
     pub fn counts_by_kind(&self) -> BTreeMap<&'static str, u64> {
         let mut out = BTreeMap::new();
@@ -572,6 +596,12 @@ impl MetricsRecorder {
     /// Whether a window boundary is due at or before `now`.
     pub fn due(&self, now: Cycle) -> bool {
         now >= self.next_boundary
+    }
+
+    /// Cycle of the next window boundary — chunked run loops pause the
+    /// engine exactly here so windows close at their nominal edge.
+    pub fn next_boundary(&self) -> Cycle {
+        self.next_boundary
     }
 
     /// Records one latency sample into the current window (and the

@@ -14,12 +14,26 @@
 //! until the next window. At each window boundary the engine routes the
 //! emitted envelopes into the destination shards' inboxes.
 //!
-//! Determinism: envelopes are routed in (source shard, emission order), and
-//! inboxes deliver equal-timestamp messages FIFO, so results are identical
-//! to sequential execution regardless of thread scheduling — which
+//! Determinism: every envelope carries its source shard and a per-source
+//! sequence number, and inboxes deliver in `(timestamp, source, sequence)`
+//! order — a total order fixed at emission time, independent of both host
+//! thread interleaving and the order envelopes happen to arrive in. The
+//! sequence counters live in the engine and persist across windows, so the
+//! order is total across the whole run, not just within one window.
+//! Results are therefore identical for any worker count, which
 //! [`ParallelEngine::run_sequential`] exists to verify.
+//!
+//! A second property falls out of absolute timestamps: the window length
+//! never affects results, only synchronization frequency. Any window no
+//! longer than the lookahead is conservative, so running cycle-by-cycle
+//! (`run_windowed(n, 1)` with a 1-cycle clamp at the end of a run) produces
+//! the same states and messages as full-lookahead windows.
 
-use crate::event::EventWheel;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicUsize, Ordering as MemOrder};
+use std::sync::Mutex;
+
 use crate::Cycle;
 
 /// Timestamped message addressed to another shard.
@@ -29,20 +43,63 @@ pub struct Envelope<M> {
     pub at: Cycle,
     /// Destination shard index.
     pub to: usize,
+    /// Source shard index (stamped by the [`Outbox`]).
+    pub from: usize,
+    /// Per-source emission sequence number (stamped by the [`Outbox`]).
+    pub seq: u64,
     /// Payload.
     pub msg: M,
 }
 
-/// Messages delivered to a shard, popped in timestamp order.
+/// Heap entry ordered min-first by `(at, from, seq)` — the deterministic
+/// delivery order. The payload never participates in comparisons.
+#[derive(Debug, Clone)]
+struct Pending<M> {
+    at: Cycle,
+    from: usize,
+    seq: u64,
+    msg: M,
+}
+
+impl<M> Pending<M> {
+    fn key(&self) -> (Cycle, usize, u64) {
+        (self.at, self.from, self.seq)
+    }
+}
+
+impl<M> PartialEq for Pending<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl<M> Eq for Pending<M> {}
+
+impl<M> PartialOrd for Pending<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Pending<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the smallest key.
+        other.key().cmp(&self.key())
+    }
+}
+
+/// Messages delivered to a shard, popped in `(timestamp, source shard,
+/// sequence)` order — so same-cycle delivery is deterministic no matter in
+/// which order the host threads happened to route the envelopes.
 #[derive(Debug, Clone)]
 pub struct Inbox<M> {
-    wheel: EventWheel<M>,
+    heap: BinaryHeap<Pending<M>>,
 }
 
 impl<M> Default for Inbox<M> {
     fn default() -> Self {
         Self {
-            wheel: EventWheel::new(),
+            heap: BinaryHeap::new(),
         }
     }
 }
@@ -50,35 +107,49 @@ impl<M> Default for Inbox<M> {
 impl<M> Inbox<M> {
     /// Pops the next message due at or before `now`, if any.
     pub fn pop_due(&mut self, now: Cycle) -> Option<M> {
-        self.wheel.pop_due(now)
+        if self.heap.peek().is_some_and(|p| p.at <= now) {
+            self.heap.pop().map(|p| p.msg)
+        } else {
+            None
+        }
     }
 
     /// Number of undelivered messages.
     pub fn len(&self) -> usize {
-        self.wheel.len()
+        self.heap.len()
     }
 
     /// Whether no messages are pending.
     pub fn is_empty(&self) -> bool {
-        self.wheel.is_empty()
+        self.heap.is_empty()
     }
 
-    fn push(&mut self, at: Cycle, msg: M) {
-        self.wheel.schedule(at, msg);
+    fn push(&mut self, env: Envelope<M>) {
+        self.heap.push(Pending {
+            at: env.at,
+            from: env.from,
+            seq: env.seq,
+            msg: env.msg,
+        });
     }
 }
 
-/// Collects messages a shard emits during a window.
+/// Collects messages a shard emits during a window, stamping each with the
+/// source shard and a monotonically increasing sequence number.
 #[derive(Debug)]
 pub struct Outbox<M> {
+    from: usize,
     window_end: Cycle,
+    next_seq: u64,
     envelopes: Vec<Envelope<M>>,
 }
 
 impl<M> Outbox<M> {
-    fn new(window_end: Cycle) -> Self {
+    fn new(from: usize, window_end: Cycle, next_seq: u64) -> Self {
         Self {
+            from,
             window_end,
+            next_seq,
             envelopes: Vec::new(),
         }
     }
@@ -96,7 +167,14 @@ impl<M> Outbox<M> {
             "lookahead violation: message timestamped {at} inside window ending {}",
             self.window_end
         );
-        self.envelopes.push(Envelope { at, to, msg });
+        self.envelopes.push(Envelope {
+            at,
+            to,
+            from: self.from,
+            seq: self.next_seq,
+            msg,
+        });
+        self.next_seq += 1;
     }
 }
 
@@ -117,11 +195,101 @@ pub trait Shard: Send {
     );
 }
 
+/// One shard's per-window execution state: the shard itself, its inbox,
+/// and its persistent sequence counter, keyed by shard index.
+struct Lane<'a, S: Shard> {
+    i: usize,
+    shard: &'a mut S,
+    inbox: &'a mut Inbox<S::Msg>,
+    seq: &'a mut u64,
+}
+
+/// One shard's window: drain freshly routed envelopes into the inbox, run
+/// the model, park the produced envelopes for the routing phase.
+fn window_step<S: Shard>(
+    lane: &mut Lane<'_, S>,
+    from: Cycle,
+    to: Cycle,
+    staging: &[Mutex<Vec<Envelope<S::Msg>>>],
+    produced: &[Mutex<Vec<Envelope<S::Msg>>>],
+) {
+    for env in staging[lane.i].lock().expect("staging lock").drain(..) {
+        lane.inbox.push(env);
+    }
+    let mut outbox = Outbox::new(lane.i, to, *lane.seq);
+    lane.shard.run_window(from, to, lane.inbox, &mut outbox);
+    *lane.seq = outbox.next_seq;
+    *produced[lane.i].lock().expect("produced lock") = outbox.envelopes;
+}
+
+/// Routing phase: move every produced envelope to its destination's staging
+/// row. Envelope keys already fix the delivery order, so this only has to
+/// be exhaustive, not ordered.
+fn route_window<M>(produced: &[Mutex<Vec<Envelope<M>>>], staging: &[Mutex<Vec<Envelope<M>>>]) {
+    let n = staging.len();
+    for slot in produced {
+        for env in slot.lock().expect("produced lock").drain(..) {
+            assert!(env.to < n, "unknown shard {}", env.to);
+            staging[env.to].lock().expect("staging lock").push(env);
+        }
+    }
+}
+
+/// Sense-reversing spin barrier. The chip synchronizes every `lookahead`
+/// (typically 2) cycles — tens of thousands of window boundaries per run —
+/// so parties spin instead of sleeping: a futex-based barrier's sleep/wake
+/// round-trip costs more than an entire window of simulation. After a
+/// bounded spin each check yields the CPU, so oversubscribed hosts (more
+/// workers than cores) still make progress instead of burning whole
+/// scheduler quanta. The last party to arrive runs a serial section (the
+/// routing phase) before releasing the others.
+struct SpinBarrier {
+    parties: usize,
+    arrived: AtomicUsize,
+    generation: AtomicUsize,
+}
+
+impl SpinBarrier {
+    /// Spins this many times before each yield while waiting.
+    const SPINS_PER_YIELD: u32 = 256;
+
+    fn new(parties: usize) -> Self {
+        Self {
+            parties,
+            arrived: AtomicUsize::new(0),
+            generation: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until all parties arrive; the last runs `serial` first.
+    fn wait_with(&self, serial: impl FnOnce()) {
+        let generation = self.generation.load(MemOrder::Acquire);
+        if self.arrived.fetch_add(1, MemOrder::AcqRel) + 1 == self.parties {
+            serial();
+            // Reset before the release so parties freed by the new
+            // generation start the next arrival count from zero.
+            self.arrived.store(0, MemOrder::Relaxed);
+            self.generation.store(generation + 1, MemOrder::Release);
+        } else {
+            let mut spins = 0;
+            while self.generation.load(MemOrder::Acquire) == generation {
+                spins += 1u32;
+                if spins.is_multiple_of(Self::SPINS_PER_YIELD) {
+                    std::thread::yield_now();
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+        }
+    }
+}
+
 /// Drives a set of shards with conservative window synchronization.
 #[derive(Debug)]
 pub struct ParallelEngine<S: Shard> {
     shards: Vec<S>,
     inboxes: Vec<Inbox<S::Msg>>,
+    seqs: Vec<u64>,
     lookahead: Cycle,
     now: Cycle,
 }
@@ -137,9 +305,11 @@ impl<S: Shard> ParallelEngine<S> {
         assert!(!shards.is_empty(), "need at least one shard");
         assert!(lookahead > 0, "lookahead must be positive");
         let inboxes = shards.iter().map(|_| Inbox::default()).collect();
+        let seqs = vec![0; shards.len()];
         Self {
             shards,
             inboxes,
+            seqs,
             lookahead,
             now: 0,
         }
@@ -165,108 +335,103 @@ impl<S: Shard> ParallelEngine<S> {
         self.shards
     }
 
+    /// Cross-shard messages routed but not yet consumed by any shard.
+    pub fn pending_messages(&self) -> usize {
+        self.inboxes.iter().map(Inbox::len).sum()
+    }
+
     /// Runs `cycles` further cycles with one persistent worker thread per
-    /// shard; workers synchronize at window boundaries with a barrier and
-    /// a single routing phase keeps message delivery deterministic.
+    /// shard; equivalent to [`run_windowed`](Self::run_windowed) with as
+    /// many workers as shards.
     pub fn run_parallel(&mut self, cycles: Cycle) {
-        use std::sync::{Barrier, Mutex};
+        self.run_windowed(cycles, self.shards.len());
+    }
+
+    /// Runs `cycles` further cycles on the calling thread with identical
+    /// results; the single-worker degenerate case of
+    /// [`run_windowed`](Self::run_windowed).
+    pub fn run_sequential(&mut self, cycles: Cycle) {
+        self.run_windowed(cycles, 1);
+    }
+
+    /// The windowing core: advances all shards by `cycles` using up to
+    /// `workers` host threads (clamped to `1..=shards`). One worker runs
+    /// inline on the calling thread with no synchronization; more workers
+    /// split the shards into contiguous groups, synchronize at window
+    /// boundaries with a barrier, and a single routing phase moves
+    /// envelopes between windows. Results are bit-identical for every
+    /// worker count.
+    pub fn run_windowed(&mut self, cycles: Cycle, workers: usize) {
         let end = self.now + cycles;
         if self.now >= end {
             return;
         }
         let n = self.shards.len();
+        let workers = workers.clamp(1, n);
         let lookahead = self.lookahead;
         let start = self.now;
-        // Workers park their window's envelopes here; the router phase
-        // moves them (in shard order) into the staging rows, which each
-        // worker drains into its own inbox at the next window start.
+        // Workers park each window's envelopes in `produced`; the routing
+        // phase moves them to the destination's `staging` row, which the
+        // owner drains into its inbox at the next window start.
         let produced: Vec<Mutex<Vec<Envelope<S::Msg>>>> =
             (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        type Staging<M> = Vec<Mutex<Vec<(Cycle, M)>>>;
-        let staging: Staging<S::Msg> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let barrier = Barrier::new(n + 1);
-        std::thread::scope(|scope| {
-            for (i, (shard, inbox)) in self
-                .shards
-                .iter_mut()
-                .zip(self.inboxes.iter_mut())
-                .enumerate()
-            {
-                let produced = &produced;
-                let staging = &staging;
-                let barrier = &barrier;
-                scope.spawn(move || {
-                    let mut now = start;
-                    while now < end {
-                        let to = (now + lookahead).min(end);
-                        for (at, msg) in staging[i].lock().expect("staging lock").drain(..) {
-                            inbox.push(at, msg);
-                        }
-                        let mut outbox = Outbox::new(to);
-                        shard.run_window(now, to, inbox, &mut outbox);
-                        *produced[i].lock().expect("produced lock") = outbox.envelopes;
-                        barrier.wait(); // all windows produced
-                        barrier.wait(); // router finished
-                        now = to;
-                    }
-                });
-            }
-            // Router phase on the coordinating thread.
+        let staging: Vec<Mutex<Vec<Envelope<S::Msg>>>> =
+            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+
+        let mut lanes: Vec<Lane<'_, S>> = self
+            .shards
+            .iter_mut()
+            .zip(self.inboxes.iter_mut())
+            .zip(self.seqs.iter_mut())
+            .enumerate()
+            .map(|(i, ((shard, inbox), seq))| Lane {
+                i,
+                shard,
+                inbox,
+                seq,
+            })
+            .collect();
+        if workers == 1 {
             let mut now = start;
             while now < end {
                 let to = (now + lookahead).min(end);
-                barrier.wait(); // wait for every shard's window
-                for slot in &produced {
-                    for env in slot.lock().expect("produced lock").drain(..) {
-                        assert!(env.to < n, "unknown shard {}", env.to);
-                        staging[env.to]
-                            .lock()
-                            .expect("staging lock")
-                            .push((env.at, env.msg));
-                    }
+                for lane in &mut lanes {
+                    window_step(lane, now, to, &staging, &produced);
                 }
-                barrier.wait(); // release the workers
+                route_window(&produced, &staging);
                 now = to;
             }
-        });
+        } else {
+            let group_size = n.div_ceil(workers);
+            let groups: Vec<&mut [Lane<'_, S>]> = lanes.chunks_mut(group_size).collect();
+            let barrier = SpinBarrier::new(groups.len());
+            std::thread::scope(|scope| {
+                for group in groups {
+                    let (produced, staging, barrier) = (&produced, &staging, &barrier);
+                    scope.spawn(move || {
+                        let mut now = start;
+                        while now < end {
+                            let to = (now + lookahead).min(end);
+                            for lane in group.iter_mut() {
+                                window_step(lane, now, to, staging, produced);
+                            }
+                            // Last group to finish routes the window's
+                            // envelopes, then everyone proceeds.
+                            barrier.wait_with(|| route_window(produced, staging));
+                            now = to;
+                        }
+                    });
+                }
+            });
+        }
         // Anything routed in the final window still sits in staging:
-        // deliver it so a later run (parallel or sequential) sees it.
+        // deliver it so a later run (any worker count) sees it.
         for (i, slot) in staging.into_iter().enumerate() {
-            for (at, msg) in slot.into_inner().expect("staging lock") {
-                self.inboxes[i].push(at, msg);
+            for env in slot.into_inner().expect("staging lock") {
+                self.inboxes[i].push(env);
             }
         }
         self.now = end;
-    }
-
-    /// Runs `cycles` further cycles on the calling thread with identical
-    /// semantics to [`run_parallel`](Self::run_parallel); used to validate
-    /// that parallel execution is deterministic.
-    pub fn run_sequential(&mut self, cycles: Cycle) {
-        let end = self.now + cycles;
-        while self.now < end {
-            let to = (self.now + self.lookahead).min(end);
-            let from = self.now;
-            let mut outboxes = Vec::with_capacity(self.shards.len());
-            for (shard, inbox) in self.shards.iter_mut().zip(self.inboxes.iter_mut()) {
-                let mut outbox = Outbox::new(to);
-                shard.run_window(from, to, inbox, &mut outbox);
-                outboxes.push(outbox);
-            }
-            self.route(outboxes);
-            self.now = to;
-        }
-    }
-
-    fn route(&mut self, outboxes: Vec<Outbox<S::Msg>>) {
-        // Route in (source shard, emission order); inboxes are FIFO at equal
-        // timestamps, so delivery order is deterministic.
-        for outbox in outboxes {
-            for env in outbox.envelopes {
-                assert!(env.to < self.inboxes.len(), "unknown shard {}", env.to);
-                self.inboxes[env.to].push(env.at, env.msg);
-            }
-        }
     }
 }
 
@@ -316,14 +481,16 @@ mod tests {
     }
 
     #[test]
-    fn parallel_matches_sequential() {
-        let mut par = ParallelEngine::new(make_ring(8), 4);
-        par.run_parallel(1000);
+    fn every_worker_count_matches_sequential() {
         let mut seq = ParallelEngine::new(make_ring(8), 4);
         seq.run_sequential(1000);
-        for (p, s) in par.shards().iter().zip(seq.shards().iter()) {
-            assert_eq!(p.counter, s.counter);
-            assert_eq!(p.log, s.log);
+        for workers in [2, 3, 5, 8, 64] {
+            let mut par = ParallelEngine::new(make_ring(8), 4);
+            par.run_windowed(1000, workers);
+            for (p, s) in par.shards().iter().zip(seq.shards().iter()) {
+                assert_eq!(p.counter, s.counter, "{workers} workers diverged");
+                assert_eq!(p.log, s.log, "{workers} workers diverged");
+            }
         }
     }
 
@@ -343,9 +510,173 @@ mod tests {
     }
 
     #[test]
+    fn single_cycle_windows_match_full_lookahead_windows() {
+        // Absolute timestamps make the window length irrelevant to results
+        // — for models that emit per simulated cycle (as the chip shards
+        // do), not per window. Chop the same run into 1-cycle slices and
+        // compare against full-lookahead windows.
+        struct Pulse {
+            id: usize,
+            n: usize,
+            acc: u64,
+            log: Vec<(Cycle, u64)>,
+        }
+        impl Shard for Pulse {
+            type Msg = u64;
+            fn run_window(
+                &mut self,
+                from: Cycle,
+                to: Cycle,
+                inbox: &mut Inbox<u64>,
+                outbox: &mut Outbox<u64>,
+            ) {
+                for now in from..to {
+                    while let Some(v) = inbox.pop_due(now) {
+                        self.acc = self.acc.wrapping_mul(31).wrapping_add(v);
+                        self.log.push((now, self.acc));
+                    }
+                    if now % 3 == self.id as u64 % 3 {
+                        outbox.send((self.id + 1) % self.n, now + 4, self.acc % 101);
+                    }
+                }
+            }
+        }
+        let mk = |n: usize| {
+            (0..n)
+                .map(|id| Pulse {
+                    id,
+                    n,
+                    acc: id as u64 + 1,
+                    log: Vec::new(),
+                })
+                .collect::<Vec<_>>()
+        };
+        let mut whole = ParallelEngine::new(mk(6), 4);
+        whole.run_sequential(400);
+        let mut sliced = ParallelEngine::new(mk(6), 4);
+        for _ in 0..400 {
+            sliced.run_windowed(1, 1);
+        }
+        for (a, b) in whole.shards().iter().zip(sliced.shards().iter()) {
+            assert_eq!(a.acc, b.acc);
+            assert_eq!(a.log, b.log);
+        }
+    }
+
+    #[test]
+    fn delivery_order_is_independent_of_arrival_order() {
+        // Four same-cycle envelopes from different (source, sequence)
+        // points; every arrival permutation must pop identically.
+        let envs: Vec<Envelope<u64>> = vec![
+            Envelope {
+                at: 5,
+                to: 0,
+                from: 2,
+                seq: 0,
+                msg: 20,
+            },
+            Envelope {
+                at: 5,
+                to: 0,
+                from: 0,
+                seq: 1,
+                msg: 1,
+            },
+            Envelope {
+                at: 5,
+                to: 0,
+                from: 0,
+                seq: 0,
+                msg: 0,
+            },
+            Envelope {
+                at: 3,
+                to: 0,
+                from: 7,
+                seq: 9,
+                msg: 79,
+            },
+        ];
+        let expected = [79, 0, 1, 20]; // (at, from, seq) ascending
+        fn permute(k: usize, arr: &mut Vec<Envelope<u64>>, out: &mut Vec<Vec<Envelope<u64>>>) {
+            if k <= 1 {
+                out.push(arr.clone());
+                return;
+            }
+            for i in 0..k {
+                permute(k - 1, arr, out);
+                let swap = if k.is_multiple_of(2) { i } else { 0 };
+                arr.swap(swap, k - 1);
+            }
+        }
+        let mut perms = Vec::new();
+        permute(envs.len(), &mut envs.clone(), &mut perms);
+        assert_eq!(perms.len(), 24);
+        for perm in perms {
+            let mut inbox = Inbox::default();
+            for env in perm {
+                inbox.push(env);
+            }
+            let mut got = Vec::new();
+            while let Some(m) = inbox.pop_due(10) {
+                got.push(m);
+            }
+            assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn sequence_counters_persist_across_windows() {
+        // Two separate windows emitting at the same future timestamp must
+        // still have distinct, ordered sequence numbers.
+        struct Burst {
+            sender: bool,
+            got: Vec<u64>,
+        }
+        impl Shard for Burst {
+            type Msg = u64;
+            fn run_window(
+                &mut self,
+                from: Cycle,
+                to: Cycle,
+                inbox: &mut Inbox<u64>,
+                outbox: &mut Outbox<u64>,
+            ) {
+                for now in from..to {
+                    while let Some(v) = inbox.pop_due(now) {
+                        self.got.push(v);
+                    }
+                }
+                if self.sender && from < 15 {
+                    // The first three windows all land messages at t=20.
+                    outbox.send(1, 20.max(to), from);
+                }
+            }
+        }
+        let mk = || {
+            vec![
+                Burst {
+                    sender: true,
+                    got: Vec::new(),
+                },
+                Burst {
+                    sender: false,
+                    got: Vec::new(),
+                },
+            ]
+        };
+        let mut seq = ParallelEngine::new(mk(), 5);
+        seq.run_sequential(40);
+        let mut par = ParallelEngine::new(mk(), 5);
+        par.run_parallel(40);
+        assert_eq!(seq.shards()[1].got, par.shards()[1].got);
+        assert_eq!(seq.shards()[1].got, vec![0, 5, 10]);
+    }
+
+    #[test]
     #[should_panic(expected = "lookahead violation")]
     fn outbox_rejects_early_timestamps() {
-        let mut outbox: Outbox<()> = Outbox::new(10);
+        let mut outbox: Outbox<()> = Outbox::new(0, 10, 0);
         outbox.send(0, 9, ());
     }
 
@@ -361,5 +692,16 @@ mod tests {
         eng.run_sequential(5);
         let shards = eng.into_shards();
         assert_eq!(shards.len(), 3);
+    }
+
+    #[test]
+    fn pending_messages_counts_undelivered_envelopes() {
+        let mut eng = ParallelEngine::new(make_ring(2), 8);
+        assert_eq!(eng.pending_messages(), 0);
+        eng.run_sequential(8);
+        // Each shard sent one message due at cycle 8, not yet consumed.
+        assert_eq!(eng.pending_messages(), 2);
+        eng.run_sequential(8);
+        assert_eq!(eng.pending_messages(), 2);
     }
 }

@@ -100,6 +100,23 @@ impl MeanTracker {
     pub fn sum(&self) -> f64 {
         self.sum
     }
+
+    /// Folds another tracker's samples into this one. Count, min and max
+    /// merge exactly; the sums add in merge order, so merging a fixed
+    /// sequence of trackers is bit-deterministic.
+    pub fn merge(&mut self, other: &MeanTracker) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
 }
 
 /// A ratio of two counters, e.g. misses / accesses.

@@ -23,6 +23,12 @@ cargo build --offline --release --workspace
 echo "==> cargo test"
 cargo test --offline -q --workspace
 
+echo "==> parallel determinism (sharded chip vs sequential, all benchmarks)"
+cargo test --offline -q --test parallel_determinism
+
+echo "==> scale bench (PDES speedup sweep, quick; asserts bit-identical reports)"
+cargo run --offline --release -p smarco-bench --bin scale
+
 echo "==> smarco-lint (static verifier, warnings are errors)"
 cargo run --offline --release -p smarco-bench --bin lint -- --deny-warnings
 
