@@ -1,9 +1,17 @@
 //! Regenerates the paper's fig23 data. Pass `--scale paper` for the
 //! fuller configuration and `--parallel N` to drive the chip's shards
-//! with N host threads (bit-identical results).
+//! with N host threads (bit-identical results). Parallel runs also
+//! write their perf records to `BENCH_cycle_skip.json`.
 
 fn main() {
     let scale = smarco_bench::Scale::from_args();
     let workers = smarco_bench::scale::parallel_from_args();
-    println!("{}", smarco_bench::figures::fig23::run_with(scale, workers));
+    let fig = smarco_bench::figures::fig23::run_with(scale, workers);
+    println!("{fig}");
+    if workers > 1 {
+        match fig.skip.write_default() {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write perf records: {e}"),
+        }
+    }
 }

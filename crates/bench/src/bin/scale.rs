@@ -1,7 +1,9 @@
 //! Host-side scaling of the sharded simulator: wall-clock speedup of
-//! parallel PDES runs over the sequential one on Fig. 22's workload.
+//! parallel PDES runs over the sequential one on Fig. 22's workload,
+//! plus the cycle-skip study on the memory-intensive benchmark.
 //! Pass `--scale paper` for the full 256-core chip; `--parallel N` adds
-//! another worker count to the default 1/2/4 sweep.
+//! another worker count to the default 1/2/4 sweep. Writes the per-run
+//! perf records to `BENCH_cycle_skip.json`.
 
 fn main() {
     let scale = smarco_bench::Scale::from_args();
@@ -10,5 +12,10 @@ fn main() {
     if !counts.contains(&extra) {
         counts.push(extra);
     }
-    println!("{}", smarco_bench::figures::speedup::run(scale, &counts));
+    let bench = smarco_bench::figures::speedup::run(scale, &counts);
+    println!("{bench}");
+    match bench.skip.write_default() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write perf records: {e}"),
+    }
 }

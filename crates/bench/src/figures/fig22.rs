@@ -7,11 +7,14 @@
 //! the activity-based power models. The paper reports 4.86–18.57×
 //! speedup (avg 10.11×) and 3.34–12.77× efficiency (avg 6.95×).
 
+use std::time::Instant;
+
 use smarco_baseline::XeonConfig;
 use smarco_core::config::SmarcoConfig;
 use smarco_power::{efficiency_ratio, run_energy, TechNode};
 use smarco_workloads::Benchmark;
 
+use crate::cycle_skip::{SkipEntry, SkipReport};
 use crate::harness::{smarco_mapreduce, xeon_system};
 use crate::Scale;
 
@@ -31,6 +34,9 @@ pub struct CompareRow {
 pub struct Fig22 {
     /// One row per benchmark.
     pub rows: Vec<CompareRow>,
+    /// Per-benchmark SmarCo-run perf records (wall clock + cycle-skip
+    /// counters), written to `BENCH_cycle_skip.json` by the binary.
+    pub skip: SkipReport,
 }
 
 impl Fig22 {
@@ -54,7 +60,21 @@ pub fn compare_one(
     map_ops: u64,
     reduce_ops: u64,
 ) -> CompareRow {
+    compare_one_timed(bench, scfg, xcfg, node, map_ops, reduce_ops).0
+}
+
+/// [`compare_one`] plus the SmarCo run's perf record.
+pub fn compare_one_timed(
+    bench: Benchmark,
+    scfg: &SmarcoConfig,
+    xcfg: &XeonConfig,
+    node: TechNode,
+    map_ops: u64,
+    reduce_ops: u64,
+) -> (CompareRow, SkipEntry) {
+    let start = Instant::now();
     let run = smarco_mapreduce(bench, scfg, map_ops, reduce_ops, scfg.tcg.resident_threads);
+    let wall_seconds = start.elapsed().as_secs_f64();
     let smarco_seconds = run.total_cycles() as f64 / (scfg.freq_ghz * 1e9);
     let total_work = run.report.instructions;
     // Xeon: one software thread per context, equal total work.
@@ -85,11 +105,21 @@ pub fn compare_one(
             xr.dram_utilization,
         );
     }
-    CompareRow {
+    let row = CompareRow {
         bench,
         speedup,
         energy_efficiency: efficiency_ratio(&se, &xe),
-    }
+    };
+    let entry = SkipEntry {
+        label: bench.name().to_ascii_lowercase(),
+        workers: scfg.workers,
+        cycle_skip: scfg.cycle_skip,
+        wall_seconds,
+        simulated_cycles: run.total_cycles(),
+        stepped_cycles: run.stepped_cycles,
+        skipped_cycles: run.skipped_cycles,
+    };
+    (row, entry)
 }
 
 /// Runs the experiment.
@@ -110,11 +140,14 @@ pub fn run_with(scale: Scale, workers: usize) -> Fig22 {
         ),
     };
     scfg.workers = workers.max(1);
-    let rows = Benchmark::ALL
-        .iter()
-        .map(|&b| compare_one(b, &scfg, &xcfg, TechNode::n32(), map_ops, reduce_ops))
-        .collect();
-    Fig22 { rows }
+    let mut rows = Vec::new();
+    let mut skip = SkipReport::default();
+    for &b in &Benchmark::ALL {
+        let (row, entry) = compare_one_timed(b, &scfg, &xcfg, TechNode::n32(), map_ops, reduce_ops);
+        rows.push(row);
+        skip.entries.push(entry);
+    }
+    Fig22 { rows, skip }
 }
 
 impl std::fmt::Display for Fig22 {

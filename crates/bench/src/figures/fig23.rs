@@ -6,12 +6,15 @@
 //! thread is slow — but keeps rising with its 8-per-core hardware threads
 //! and crosses the Xeon curve.
 
+use std::time::Instant;
+
 use smarco_baseline::XeonConfig;
 use smarco_core::chip::SmarcoSystem;
 use smarco_core::config::SmarcoConfig;
 use smarco_sim::rng::SimRng;
 use smarco_workloads::{Benchmark, HtcStream};
 
+use crate::cycle_skip::{SkipEntry, SkipReport};
 use crate::harness::xeon_system;
 use crate::Scale;
 
@@ -32,6 +35,9 @@ pub struct ScaleRow {
 pub struct Fig23 {
     /// Sweep rows in thread order.
     pub rows: Vec<ScaleRow>,
+    /// Per-sweep-point SmarCo-run perf records (wall clock + cycle-skip
+    /// counters), written to `BENCH_cycle_skip.json` by the binary.
+    pub skip: SkipReport,
 }
 
 impl Fig23 {
@@ -71,7 +77,7 @@ fn sized_for(cfg: &SmarcoConfig, threads: usize) -> SmarcoConfig {
     out
 }
 
-fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> f64 {
+fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> (f64, SkipEntry) {
     let cfg = &sized_for(cfg, threads);
     let mut sys = SmarcoSystem::new(cfg.clone());
     let ops = (total_work / threads as u64).max(1);
@@ -94,8 +100,18 @@ fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> f64 {
         )
         .expect("vacant slot");
     }
+    let start = Instant::now();
     let r = sys.run(u64::MAX / 2);
-    r.instructions as f64 / r.seconds(cfg.freq_ghz)
+    let entry = SkipEntry {
+        label: format!("kmp-{threads}t"),
+        workers: cfg.workers,
+        cycle_skip: cfg.cycle_skip,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        simulated_cycles: r.cycles,
+        stepped_cycles: sys.stepped_cycles(),
+        skipped_cycles: sys.skipped_cycles(),
+    };
+    (r.instructions as f64 / r.seconds(cfg.freq_ghz), entry)
 }
 
 /// Runs the experiment.
@@ -122,19 +138,21 @@ pub fn run_with(scale: Scale, workers: usize) -> Fig23 {
     };
     scfg.workers = workers.max(1);
     let mut rows = Vec::new();
+    let mut skip = SkipReport::default();
     for &threads in sweep {
         let ops = (total_work / threads as u64).max(1);
         let mut xeon = xeon_system(Benchmark::Kmp, &xcfg, threads, ops);
         let xr = xeon.run(u64::MAX / 2);
         let xeon_ips = xr.instructions as f64 / (xr.cycles as f64 / (xcfg.freq_ghz * 1e9));
-        let smarco = smarco_ips(&scfg, threads, total_work);
+        let (smarco, entry) = smarco_ips(&scfg, threads, total_work);
+        skip.entries.push(entry);
         rows.push(ScaleRow {
             threads,
             xeon_ips,
             smarco_ips: smarco,
         });
     }
-    Fig23 { rows }
+    Fig23 { rows, skip }
 }
 
 impl std::fmt::Display for Fig23 {

@@ -5,12 +5,21 @@
 //! and its speedup over the sequential one. Every run must produce a
 //! bit-identical [`smarco_core::SmarcoReport`] — the sweep asserts it, so
 //! this bench doubles as a determinism check at full-chip scale.
+//!
+//! A second study measures event-horizon cycle skipping on the
+//! memory-intensive benchmark (TeraSort: the highest load fraction of the
+//! HTC suite combined with a store-heavy mix, so its threads spend most
+//! cycles stalled on DRAM): the same job runs with skipping off and on,
+//! asserts bit-identical reports, and records both in the machine-readable
+//! [`crate::cycle_skip::SkipReport`] the `scale` binary writes to
+//! `BENCH_cycle_skip.json`.
 
 use std::time::Instant;
 
 use smarco_core::config::SmarcoConfig;
 use smarco_workloads::Benchmark;
 
+use crate::cycle_skip::{SkipEntry, SkipReport};
 use crate::harness::smarco_mapreduce;
 use crate::Scale;
 
@@ -35,6 +44,9 @@ pub struct ScaleBench {
     /// Host CPUs available to the sweep — speedup is bounded by this:
     /// on a single-core host every extra worker is pure overhead.
     pub host_cpus: usize,
+    /// Machine-readable per-run records (the worker sweep plus the
+    /// skip-off/skip-on study), destined for `BENCH_cycle_skip.json`.
+    pub skip: SkipReport,
 }
 
 impl ScaleBench {
@@ -45,14 +57,52 @@ impl ScaleBench {
             .find(|r| r.workers == workers)
             .map(|r| r.speedup)
     }
+
+    /// The skip study's (off, on) pair.
+    pub fn skip_study(&self) -> Option<(&SkipEntry, &SkipEntry)> {
+        let off = self.skip.entries.iter().find(|e| !e.cycle_skip)?;
+        let on = self
+            .skip
+            .entries
+            .iter()
+            .find(|e| e.cycle_skip && e.label == off.label && e.workers == off.workers)?;
+        Some((off, on))
+    }
 }
 
-/// Runs Fig. 22's workload once per entry of `worker_counts`.
+/// Runs one MapReduce job and records it as a [`SkipEntry`].
+fn measured(
+    label: &str,
+    bench: Benchmark,
+    cfg: &SmarcoConfig,
+    map_ops: u64,
+    reduce_ops: u64,
+) -> (smarco_runtime::MapReduceRun, SkipEntry) {
+    let start = Instant::now();
+    let run = smarco_mapreduce(bench, cfg, map_ops, reduce_ops, cfg.tcg.resident_threads);
+    let wall_seconds = start.elapsed().as_secs_f64();
+    let entry = SkipEntry {
+        label: label.to_string(),
+        workers: cfg.workers,
+        cycle_skip: cfg.cycle_skip,
+        wall_seconds,
+        simulated_cycles: run.total_cycles(),
+        stepped_cycles: run.stepped_cycles,
+        skipped_cycles: run.skipped_cycles,
+    };
+    (run, entry)
+}
+
+/// Runs Fig. 22's workload once per entry of `worker_counts`, then the
+/// TeraSort cycle-skip study.
 ///
 /// # Panics
 ///
-/// Panics if any parallel run's report differs from the sequential one —
-/// the determinism contract is part of what this bench measures.
+/// Panics if any parallel run's report differs from the sequential one,
+/// if the skip-off run of the study differs from the skip-on run, or if
+/// the skipper never engages on the memory-intensive study (a zero skip
+/// ratio there means the event horizons are dead) — the determinism and
+/// liveness contracts are part of what this bench measures.
 pub fn run(scale: Scale, worker_counts: &[usize]) -> ScaleBench {
     let (cfg, map_ops, reduce_ops) = match scale {
         Scale::Quick => (SmarcoConfig::tiny(), 1_500, 500),
@@ -60,16 +110,17 @@ pub fn run(scale: Scale, worker_counts: &[usize]) -> ScaleBench {
     };
     let bench = Benchmark::WordCount;
     let mut rows = Vec::new();
+    let mut skip = SkipReport::default();
     let mut baseline = None;
     let mut seq_seconds = 0.0;
     let mut cycles = 0;
     for &workers in worker_counts {
         let mut wcfg = cfg.clone();
         wcfg.workers = workers;
-        let start = Instant::now();
-        let run = smarco_mapreduce(bench, &wcfg, map_ops, reduce_ops, cfg.tcg.resident_threads);
-        let seconds = start.elapsed().as_secs_f64();
+        let (run, entry) = measured("wordcount", bench, &wcfg, map_ops, reduce_ops);
+        let seconds = entry.wall_seconds;
         cycles = run.total_cycles();
+        skip.entries.push(entry);
         match &baseline {
             None => {
                 baseline = Some(run.report);
@@ -86,11 +137,31 @@ pub fn run(scale: Scale, worker_counts: &[usize]) -> ScaleBench {
             speedup: seq_seconds / seconds,
         });
     }
+
+    // Cycle-skip study: the memory-intensive benchmark, skipping off vs on
+    // at the same worker count.
+    let study = Benchmark::TeraSort;
+    let mut off_cfg = cfg.clone();
+    off_cfg.cycle_skip = false;
+    let (off_run, off_entry) = measured("terasort", study, &off_cfg, map_ops, reduce_ops);
+    let (on_run, on_entry) = measured("terasort", study, &cfg, map_ops, reduce_ops);
+    assert_eq!(
+        on_run.report, off_run.report,
+        "cycle skipping changed the study's report"
+    );
+    assert!(
+        on_entry.skip_ratio() > 0.0,
+        "skipper never engaged on the memory-intensive study"
+    );
+    skip.entries.push(off_entry);
+    skip.entries.push(on_entry);
+
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
     ScaleBench {
         rows,
         cycles,
         host_cpus,
+        skip,
     }
 }
 
@@ -108,6 +179,20 @@ impl std::fmt::Display for ScaleBench {
                 f,
                 "  {:>8} {:>10.3} {:>8.2}x",
                 r.workers, r.seconds, r.speedup
+            )?;
+        }
+        if let Some((off, on)) = self.skip_study() {
+            let speedup = off.wall_seconds / on.wall_seconds.max(1e-12);
+            let stepped_cut = 1.0 - on.stepped_cycles as f64 / off.stepped_cycles.max(1) as f64;
+            writeln!(
+                f,
+                "cycle skipping on {} ({} workers): {:.2}x wall-clock, \
+                 {:.0}% fewer stepped cycles, skip ratio {:.2}",
+                off.label,
+                off.workers,
+                speedup,
+                stepped_cut * 100.0,
+                on.skip_ratio()
             )?;
         }
         Ok(())

@@ -96,7 +96,8 @@ impl SmarcoSystem {
             .map(|sr| ChipShard::Sub(Box::new(SubShard::new(sr, &config, space))))
             .collect();
         shards.push(ChipShard::Hub(Box::new(HubShard::new(&config))));
-        let engine = ParallelEngine::new(shards, config.noc.junction_latency);
+        let mut engine = ParallelEngine::new(shards, config.noc.junction_latency);
+        engine.set_skip_enabled(config.cycle_skip);
         let mut sys = Self {
             engine,
             workers: config.workers.max(1),
@@ -209,6 +210,21 @@ impl SmarcoSystem {
         &self.config
     }
 
+    /// Shard-cycles executed with per-cycle `step` calls so far.
+    pub fn stepped_cycles(&self) -> u64 {
+        self.engine.stepped_cycles()
+    }
+
+    /// Shard-cycles fast-forwarded by event-horizon skipping so far.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.engine.skipped_cycles()
+    }
+
+    /// Fraction of shard-cycles skipped: `skipped / (stepped + skipped)`.
+    pub fn skip_ratio(&self) -> f64 {
+        self.engine.skip_ratio()
+    }
+
     /// The unified address space.
     pub fn address_space(&self) -> AddressSpace {
         self.space
@@ -306,7 +322,14 @@ impl SmarcoSystem {
     /// Moves every shard's staged observations into the facade: trace
     /// events (in shard order) and latency samples (into the metrics
     /// recorder). Strictly read-only with respect to the simulation.
+    ///
+    /// Sits on the per-cycle [`CycleModel::tick`] path, so a disabled
+    /// `ObsConfig` must exit on the first test — no shard walk, no
+    /// staging allocation.
     fn sync_obs(&mut self) {
+        if self.trace.is_none() && self.metrics.is_none() {
+            return;
+        }
         if let Some(trace) = self.trace.as_mut() {
             for shard in self.engine.shards_mut() {
                 match shard {

@@ -115,6 +115,11 @@ pub struct SmarcoConfig {
     /// (the default) simulates in-process; any value yields bit-identical
     /// results.
     pub workers: usize,
+    /// Event-horizon cycle skipping: quiescent shards fast-forward past
+    /// idle stretches instead of stepping them cycle by cycle. Results are
+    /// bit-identical either way (the off switch exists for debugging and
+    /// for the determinism suite's cross-checks).
+    pub cycle_skip: bool,
 }
 
 impl SmarcoConfig {
@@ -129,6 +134,7 @@ impl SmarcoConfig {
             freq_ghz: 1.5,
             obs: ObsConfig::off(),
             workers: 1,
+            cycle_skip: true,
         }
     }
 
@@ -150,6 +156,7 @@ impl SmarcoConfig {
             freq_ghz: 1.5,
             obs: ObsConfig::off(),
             workers: 1,
+            cycle_skip: true,
         }
     }
 
@@ -177,6 +184,7 @@ impl SmarcoConfig {
             freq_ghz: 1.0,
             obs: ObsConfig::off(),
             workers: 1,
+            cycle_skip: true,
         }
     }
 

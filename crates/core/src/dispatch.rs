@@ -136,6 +136,21 @@ impl SubDispatcher {
         self.pending.is_empty() && self.dispatched.is_empty()
     }
 
+    /// Event horizon: the earliest cycle at or after `now` the dispatcher
+    /// can act, given whether any local core currently has a vacant slot.
+    /// Collection of retirees is covered by the cores' own horizons (a
+    /// retired thread makes its core report `Some(now)`), so this only
+    /// models the dispatch side: pending tasks plus a vacancy wait for the
+    /// chain-table pipeline (`ready_at`); otherwise the dispatcher is
+    /// event-driven and an idle [`tick`](Self::tick) mutates nothing.
+    pub fn next_event(&self, now: Cycle, vacancy: bool) -> Option<Cycle> {
+        if self.sched.pending() > 0 && vacancy {
+            Some(now.max(self.ready_at))
+        } else {
+            None
+        }
+    }
+
     /// One cycle of dispatcher work over this sub-ring's cores: consume
     /// exit signals into `exits`, then bind at most one task to a vacant
     /// slot (the chain-table walk costs dispatch cycles).

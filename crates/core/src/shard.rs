@@ -109,6 +109,14 @@ pub enum ChipMsg {
     },
 }
 
+/// Folds two optional horizons into their minimum (`None` = no event).
+fn min_horizon(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) | (None, x) => x,
+    }
+}
+
 /// Transfer size of a DMA pull. `MemRef` widths cap at 64 bytes, so the
 /// size is carried by the fill range (one SPM block when the destination
 /// is not local SPM).
@@ -651,6 +659,57 @@ impl SubShard {
             }
         }
     }
+
+    /// Event horizon over every simulated structure in the shard: cores
+    /// (stall ends, DMA, retirees), the sub-ring router (in-flight flits),
+    /// the MACT (open-line deadlines), the dispatcher (pending tasks able
+    /// to bind) and the direct-path sender spoke. Blocking requests in
+    /// `outstanding` need no term — their replies arrive as boundary
+    /// messages, which the engine accounts for via the inbox.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = None;
+        for core in &self.cores {
+            h = min_horizon(h, core.next_event(now));
+        }
+        h = min_horizon(h, self.noc.next_event(now));
+        h = min_horizon(h, self.mact.next_event(now));
+        let vacancy = self.cores.iter().any(TcgCore::has_vacancy);
+        h = min_horizon(h, self.dispatcher.next_event(now, vacancy));
+        if let Some(spoke) = self.to_mem.as_ref() {
+            h = min_horizon(h, spoke.next_event(now));
+        }
+        h
+    }
+
+    /// Fast-forwards the quiescent shard across `[from, to)`: cores charge
+    /// their idle/stall pair-cycles, the router charges its idle-grant
+    /// bandwidth, the spoke saturates its credit. The MACT and dispatcher
+    /// mutate nothing on idle ticks, so they only contribute debug
+    /// assertions that the horizon really cleared them.
+    fn skip_window(&mut self, from: Cycle, to: Cycle) {
+        for core in &mut self.cores {
+            core.skip(from, to);
+        }
+        self.noc.skip_idle(from, to);
+        debug_assert_eq!(
+            self.mact.ready_batches(),
+            0,
+            "cycle-skipped a MACT with flushed batches waiting"
+        );
+        debug_assert!(
+            self.mact.earliest_deadline().is_none_or(|d| d >= to),
+            "cycle-skipped past a MACT line deadline"
+        );
+        debug_assert!(
+            self.dispatcher
+                .next_event(from, self.cores.iter().any(TcgCore::has_vacancy))
+                .is_none_or(|d| d >= to),
+            "cycle-skipped past a ready dispatch"
+        );
+        if let Some(spoke) = self.to_mem.as_mut() {
+            spoke.skip_idle(from, to);
+        }
+    }
 }
 
 /// The main-ring slice of the chip: DDR controllers, the memory side of
@@ -900,6 +959,34 @@ impl HubShard {
             }
         }
     }
+
+    /// Event horizon over the hub's structures: the main ring's in-flight
+    /// flits, the earliest DRAM completion and the memory-side reply
+    /// spokes. The main scheduler is purely message-driven (assignment and
+    /// load release both ride boundary messages), so it has no term.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut h = self.main.next_event(now);
+        h = min_horizon(h, self.dram.next_event().map(|d| now.max(d)));
+        for spoke in &self.from_mem {
+            h = min_horizon(h, spoke.next_event(now));
+        }
+        h
+    }
+
+    /// Fast-forwards the quiescent hub across `[from, to)`: the main ring
+    /// charges its idle-grant bandwidth and the spokes saturate their
+    /// credit. An idle DRAM tick mutates nothing, so it only contributes a
+    /// debug assertion.
+    fn skip_window(&mut self, from: Cycle, to: Cycle) {
+        self.main.skip_idle(from, to);
+        debug_assert!(
+            self.dram.next_event().is_none_or(|d| d >= to),
+            "cycle-skipped past a DRAM completion"
+        );
+        for spoke in &mut self.from_mem {
+            spoke.skip_idle(from, to);
+        }
+    }
 }
 
 /// One shard of the sharded chip: a sub-ring or the hub. Boxed so the
@@ -969,6 +1056,20 @@ impl Shard for ChipShard {
                 ChipShard::Sub(s) => s.step(now, inbox, outbox),
                 ChipShard::Hub(h) => h.step(now, inbox, outbox),
             }
+        }
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        match self {
+            ChipShard::Sub(s) => s.next_event(now),
+            ChipShard::Hub(h) => h.next_event(now),
+        }
+    }
+
+    fn skip_window(&mut self, from: Cycle, to: Cycle) {
+        match self {
+            ChipShard::Sub(s) => s.skip_window(from, to),
+            ChipShard::Hub(h) => h.skip_window(from, to),
         }
     }
 }

@@ -362,9 +362,11 @@ impl TcgCore {
         self.block_info[thread] = Some((now, spm_fill));
         self.stats.block_events += 1;
         let p = self.pairs.pair_of(thread);
-        let before = self.pairs.active_thread(p);
+        // Pre-switch snapshot only matters to the trace; keep the disabled
+        // path free of the extra scheduler query.
+        let before = self.trace.is_some().then(|| self.pairs.active_thread(p));
         let _ = self.pairs.on_block(p, &mut self.slots);
-        if let Some(tb) = self.trace.as_mut() {
+        if let (Some(tb), Some(before)) = (self.trace.as_mut(), before) {
             tb.emit(now, EventKind::ThreadBlock { thread });
             let after = self.pairs.active_thread(p);
             if after != before && after < self.slots.len() {
@@ -430,6 +432,73 @@ impl TcgCore {
     /// Whether the core has a vacant thread slot.
     pub fn has_vacancy(&self) -> bool {
         self.slots.iter().any(|s| !s.is_live())
+    }
+
+    /// Event horizon: the earliest cycle at or after `now` at which the
+    /// core can act — hand out retired slots, progress its DMA engine, or
+    /// issue from a runnable pair once its stall window ends. `None` when
+    /// every pair is parked: blocked threads wake only through
+    /// [`complete`](Self::complete)/[`dma_complete`](Self::dma_complete),
+    /// which the owning shard accounts for via its inbox and uncore
+    /// horizons.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.retired.is_empty() || self.dma.is_busy() {
+            // Retirees are collected by the dispatcher next tick; the DMA
+            // engine makes per-call progress, so it must be ticked.
+            return Some(now);
+        }
+        let mut horizon: Option<Cycle> = None;
+        for p in 0..self.pairs.pairs() {
+            let t = self.pairs.active_thread(p);
+            if t >= self.slots.len() {
+                continue;
+            }
+            if self.slots[t].state == ThreadState::Runnable {
+                let at = now.max(self.slots[t].stall_until);
+                horizon = Some(horizon.map_or(at, |h| h.min(at)));
+            }
+        }
+        horizon
+    }
+
+    /// Fast-forwards the core across `[from, to)`, a range in which
+    /// [`next_event`](Self::next_event) proved no pair can issue. Every
+    /// cycle is charged exactly as [`tick`](Self::tick) would have charged
+    /// it: a stall pair-cycle for runnable-but-stalled pairs, an idle
+    /// pair-cycle otherwise, and one core cycle either way.
+    ///
+    /// Debug builds re-scan the real thread state — a `next_event`
+    /// implementation reporting a too-late horizon panics here instead of
+    /// silently corrupting statistics.
+    pub fn skip(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(from < to, "empty skip range");
+        debug_assert!(
+            self.retired.is_empty(),
+            "cycle-skipped a core with retired threads to hand out"
+        );
+        debug_assert!(
+            !self.dma.is_busy(),
+            "cycle-skipped a core with an active DMA engine"
+        );
+        let cycles = to - from;
+        self.stats.cycles += cycles;
+        for p in 0..self.pairs.pairs() {
+            let t = self.pairs.active_thread(p);
+            if t >= self.slots.len() {
+                self.stats.idle_pair_cycles += cycles;
+                continue;
+            }
+            if self.slots[t].state == ThreadState::Runnable {
+                debug_assert!(
+                    self.slots[t].stall_until >= to,
+                    "cycle-skipped past thread {t}'s stall end ({} < {to})",
+                    self.slots[t].stall_until
+                );
+                self.stats.stall_pair_cycles += cycles;
+            } else {
+                self.stats.idle_pair_cycles += cycles;
+            }
+        }
     }
 
     /// Advances one cycle, pushing outgoing memory requests into `out`.
@@ -1064,5 +1133,83 @@ mod tests {
         c.attach(Box::new(prog.into_stream())).unwrap();
         let mut out = Vec::new();
         c.tick(0, &mut out);
+    }
+
+    #[test]
+    fn skip_matches_ticking_through_stall_windows() {
+        let mk = || {
+            let mut c = core();
+            let prog = ProgramBuilder::at(0x1000)
+                .op(Op::Compute { latency: 40 })
+                .op(Op::compute())
+                .op(Op::Compute { latency: 25 })
+                .build();
+            c.attach(Box::new(prog.into_stream())).unwrap();
+            c
+        };
+        let mut ticked = mk();
+        let mut skipped = mk();
+        let mut out = Vec::new();
+        for now in 0..200 {
+            ticked.tick(now, &mut out);
+        }
+        assert!(out.is_empty(), "compute-only program emitted requests");
+        // Drive the other core horizon-first: tick only when `next_event`
+        // says the cycle matters, fast-forward otherwise.
+        let mut now = 0;
+        while now < 200 {
+            match skipped.next_event(now) {
+                Some(h) if h > now => {
+                    skipped.skip(now, h.min(200));
+                    now = h.min(200);
+                }
+                Some(_) => {
+                    skipped.tick(now, &mut out);
+                    now += 1;
+                }
+                None => {
+                    skipped.skip(now, 200);
+                    now = 200;
+                }
+            }
+        }
+        assert!(ticked.is_done() && skipped.is_done());
+        assert_eq!(ticked.stats().cycles, skipped.stats().cycles);
+        assert_eq!(ticked.stats().instructions, skipped.stats().instructions);
+        assert_eq!(
+            ticked.stats().stall_pair_cycles,
+            skipped.stats().stall_pair_cycles
+        );
+        assert_eq!(
+            ticked.stats().idle_pair_cycles,
+            skipped.stats().idle_pair_cycles
+        );
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "stall end")]
+    fn too_late_horizon_is_caught_by_skip() {
+        // No iseg prefetch: its DMA would trip the (earlier) DMA assert.
+        let mut c = TcgCore::new(
+            0,
+            TcgConfig {
+                shared_iseg: false,
+                ..TcgConfig::smarco()
+            },
+            space(),
+        );
+        let prog = ProgramBuilder::at(0x1000)
+            .op(Op::Compute { latency: 10 })
+            .op(Op::compute())
+            .build();
+        c.attach(Box::new(prog.into_stream())).unwrap();
+        let mut out = Vec::new();
+        c.tick(0, &mut out); // thread now stalled until cycle 10
+
+        // A broken `next_event` claiming quiescence through cycle 50 would
+        // drive exactly this call; debug builds refuse to jump past the
+        // stall end.
+        c.skip(1, 50);
     }
 }

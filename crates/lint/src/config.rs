@@ -320,6 +320,26 @@ pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
         cfg.direct.as_ref(),
         cfg.workers,
     ));
+    if cfg.cycle_skip {
+        if let Some(mact) = &cfg.mact {
+            if mact.threshold == 1 {
+                out.push(
+                    Diagnostic::new(
+                        Code::DegenerateHorizon,
+                        Span::Field("mact.threshold".to_string()),
+                        "a 1-cycle MACT deadline pins every open line's horizon to \
+                         the next cycle, so shards with memory traffic can never \
+                         fast-forward"
+                            .to_string(),
+                    )
+                    .with_help(
+                        "raise the threshold (16 is best overall) or disable \
+                         cycle skipping if the sweep needs this point",
+                    ),
+                );
+            }
+        }
+    }
     out
 }
 
@@ -481,6 +501,21 @@ mod tests {
         cfg.workers = 0;
         let ds = check_config(&cfg);
         assert!(ds.iter().any(|d| d.code.as_str() == "SL0401"), "{ds:?}");
+    }
+
+    #[test]
+    fn degenerate_horizon_warns_with_sl0413() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.mact.as_mut().unwrap().threshold = 1;
+        let ds = check_config(&cfg);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0413" && d.severity == Severity::Warn),
+            "{ds:?}"
+        );
+        // With skipping off the horizon quality is irrelevant.
+        cfg.cycle_skip = false;
+        assert!(check_config(&cfg).is_empty());
     }
 
     #[test]

@@ -100,11 +100,15 @@ pub enum Code {
     /// SL0412: more PDES workers than shards — the excess host threads
     /// never run.
     ShardWorkers,
+    /// SL0413: the configuration makes event horizons degenerate (e.g. a
+    /// 1-cycle MACT threshold keeps every open line's deadline at the
+    /// next cycle), so the cycle skipper can rarely fast-forward.
+    DegenerateHorizon,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 26] = [
+    pub const ALL: [Code; 27] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -131,6 +135,7 @@ impl Code {
         Code::ShardLookahead,
         Code::ShardPartition,
         Code::ShardWorkers,
+        Code::DegenerateHorizon,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -162,6 +167,7 @@ impl Code {
             Code::ShardLookahead => "SL0410",
             Code::ShardPartition => "SL0411",
             Code::ShardWorkers => "SL0412",
+            Code::DegenerateHorizon => "SL0413",
         }
     }
 
@@ -193,7 +199,8 @@ impl Code {
             | Code::SliceWidth
             | Code::MactThreshold
             | Code::InfeasibleTask
-            | Code::ShardWorkers => Severity::Warn,
+            | Code::ShardWorkers
+            | Code::DegenerateHorizon => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -227,6 +234,7 @@ impl Code {
             Code::ShardLookahead => "shard lookahead exceeds a boundary latency",
             Code::ShardPartition => "cores do not split into sub-ring shards",
             Code::ShardWorkers => "more PDES workers than shards",
+            Code::DegenerateHorizon => "config makes event horizons degenerate",
         }
     }
 }

@@ -189,6 +189,13 @@ impl<T> Dram<T> {
         self.completions.is_empty()
     }
 
+    /// Event horizon: the earliest in-flight completion, if any. All
+    /// counters are updated at enqueue time and an idle `tick` mutates
+    /// nothing, so skipped cycles need no compensation.
+    pub fn next_event(&self) -> Option<Cycle> {
+        self.completions.next_due()
+    }
+
     /// Total bytes served across channels.
     pub fn bytes_served(&self) -> u64 {
         self.channels.iter().map(|c| c.bytes_served).sum()
@@ -241,6 +248,19 @@ mod tests {
         assert!(d.tick(17).is_empty());
         assert_eq!(d.tick(18), vec![1]);
         assert!(d.is_idle());
+    }
+
+    #[test]
+    fn horizon_is_earliest_completion() {
+        let mut d = dram();
+        assert_eq!(d.next_event(), None);
+        d.enqueue(0, 64, 0, 1); // done at 18
+        d.enqueue(1, 32, 0, 2); // transfer = 4 cycles, done at 14
+        assert_eq!(d.next_event(), Some(14));
+        let _ = d.tick(14);
+        assert_eq!(d.next_event(), Some(18));
+        let _ = d.tick(18);
+        assert_eq!(d.next_event(), None);
     }
 
     #[test]

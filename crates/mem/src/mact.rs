@@ -207,6 +207,29 @@ impl Mact {
         self.lines.iter().map(|l| l.requests.len()).sum()
     }
 
+    /// Batches flushed (by `offer`'s bitmap-full/capacity paths) but not
+    /// yet collected through `tick`/`drain_ready`.
+    pub fn ready_batches(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Earliest deadline among open lines, if any.
+    pub fn earliest_deadline(&self) -> Option<Cycle> {
+        self.lines.iter().map(|l| l.deadline).min()
+    }
+
+    /// Event horizon: the earliest cycle at or after `now` at which a
+    /// `tick` would produce a batch — immediately while flushed batches
+    /// wait in the ready list, at the earliest open-line deadline
+    /// otherwise, never for an empty table. The table mutates no
+    /// statistics on an idle tick, so skipped cycles need no compensation.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.ready.is_empty() {
+            return Some(now);
+        }
+        self.earliest_deadline().map(|d| now.max(d))
+    }
+
     fn line_base(&self, addr: u64) -> u64 {
         addr - addr % self.config.line_bytes
     }
@@ -424,6 +447,27 @@ mod tests {
         assert_eq!(batches[0].requests.len(), 4);
         assert_eq!(batches[0].bytes_referenced, 32);
         assert_eq!(batches[0].cause, FlushCause::Deadline);
+    }
+
+    #[test]
+    fn horizon_tracks_deadlines_and_ready_batches() {
+        let mut m = mact(10);
+        let mut ids = RequestIdAllocator::new();
+        assert_eq!(m.next_event(5), None, "empty table has no horizon");
+        m.offer(req(&mut ids, 0, 4, false), 3);
+        assert_eq!(
+            m.next_event(5),
+            Some(13),
+            "deadline = opened_at + threshold"
+        );
+        assert_eq!(m.next_event(20), Some(20), "overdue deadline clamps to now");
+        for i in 0..8 {
+            m.offer(req(&mut ids, i * 8, 8, false), 4);
+        }
+        assert!(m.ready_batches() > 0, "bitmap-full flush parked a batch");
+        assert_eq!(m.next_event(5), Some(5), "ready batches act immediately");
+        let _ = m.tick(20);
+        assert_eq!(m.next_event(21), None);
     }
 
     #[test]

@@ -109,6 +109,26 @@ impl<T> DirectSpoke<T> {
     pub fn is_idle(&self) -> bool {
         self.queue.is_empty()
     }
+
+    /// Event horizon: `Some(now)` while items wait for credit, `None` when
+    /// the queue is empty (an empty spoke's only per-cycle effect is the
+    /// credit refill, which saturates after one idle tick).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(now)
+        }
+    }
+
+    /// Fast-forwards an idle spoke: any positive number of idle ticks
+    /// leaves the credit saturated at exactly one cycle's worth (`tick`
+    /// refills then clamps), so the skip is a single assignment.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(from < to, "empty skip range");
+        debug_assert!(self.queue.is_empty(), "cycle-skipped a loaded spoke");
+        self.credit = self.bytes_per_cycle;
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -269,6 +289,28 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_spoke_rejected() {
         dp().send(7, 8, 0, 1);
+    }
+
+    #[test]
+    fn spoke_skip_matches_idle_ticks() {
+        let mut ticked: DirectSpoke<u32> = DirectSpoke::new(4, 8.0);
+        let mut skipped: DirectSpoke<u32> = DirectSpoke::new(4, 8.0);
+        // Leave both with partial credit, then idle one the slow way.
+        ticked.send(12, 1);
+        skipped.send(12, 1);
+        assert!(ticked.tick(0).is_empty() && skipped.tick(0).is_empty());
+        assert_eq!(ticked.tick(1), vec![(5, 1)]);
+        assert_eq!(skipped.tick(1), vec![(5, 1)]);
+        for now in 2..9 {
+            ticked.tick(now);
+        }
+        skipped.skip_idle(2, 9);
+        assert_eq!(skipped.next_event(9), None);
+        // Identical behaviour after the idle stretch.
+        ticked.send(16, 2);
+        skipped.send(16, 2);
+        assert_eq!(ticked.tick(9), skipped.tick(9));
+        assert_eq!(ticked.tick(10), skipped.tick(10));
     }
 
     #[test]

@@ -242,6 +242,17 @@ impl<P> SubRingNoc<P> {
         self.ring.is_idle()
     }
 
+    /// Event horizon of the underlying ring (see [`Ring::next_event`]).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.ring.next_event(now)
+    }
+
+    /// Fast-forwards the idle ring across `[from, to)` (see
+    /// [`Ring::skip_idle`]).
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        self.ring.skip_idle(from, to);
+    }
+
     /// Congestion (queued output bytes) at ring position `pos`.
     pub fn congestion_at(&self, pos: usize) -> u64 {
         self.ring.congestion_at(pos)
@@ -401,6 +412,17 @@ impl<P> MainRingNoc<P> {
     /// Whether nothing is queued or in flight on the ring.
     pub fn is_idle(&self) -> bool {
         self.ring.is_idle()
+    }
+
+    /// Event horizon of the underlying ring (see [`Ring::next_event`]).
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.ring.next_event(now)
+    }
+
+    /// Fast-forwards the idle ring across `[from, to)` (see
+    /// [`Ring::skip_idle`]).
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        self.ring.skip_idle(from, to);
     }
 
     /// Cumulative `(payload, offered)` bytes over the ring's channels.

@@ -281,6 +281,12 @@ impl<T: Transmittable> DirectedLink<T> {
     pub fn is_empty(&self) -> bool {
         self.queue.is_empty() && self.wire.is_empty()
     }
+
+    /// Cycle at which the earliest in-flight item reaches the far router,
+    /// if anything is on the wire.
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.wire.next_due()
+    }
 }
 
 /// A bidirectional channel: two directed links sharing the bidirectional
@@ -355,6 +361,45 @@ impl<T: Transmittable> Channel<T> {
     /// Whether both directions are idle.
     pub fn is_empty(&self) -> bool {
         self.fwd.is_empty() && self.rev.is_empty()
+    }
+
+    /// Event horizon: the earliest cycle at or after `now` at which this
+    /// channel can transmit or deliver something. `Some(now)` while bytes
+    /// are queued, the earliest wire arrival while items are in flight,
+    /// `None` when fully drained.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.fwd.queue.is_empty() || !self.rev.queue.is_empty() {
+            return Some(now);
+        }
+        match (self.fwd.wire.next_due(), self.rev.wire.next_due()) {
+            (Some(a), Some(b)) => Some(now.max(a.min(b))),
+            (Some(a), None) | (None, Some(a)) => Some(now.max(a)),
+            (None, None) => None,
+        }
+    }
+
+    /// Fast-forwards an idle channel across `[from, to)`, applying exactly
+    /// the statistics `tick` accumulates when both queues are empty: the
+    /// grant loop's tie-break hands every bidirectional lane to the forward
+    /// direction, so per cycle `fwd` is offered the peak capacity and `rev`
+    /// the guaranteed minimum.
+    ///
+    /// Debug builds assert the channel really is quiescent through `to` —
+    /// a lying [`next_event`](Self::next_event) trips these rather than
+    /// silently corrupting results.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        debug_assert!(
+            self.fwd.queue.is_empty() && self.rev.queue.is_empty(),
+            "cycle-skipped a channel with queued traffic"
+        );
+        debug_assert!(
+            self.fwd.wire.next_due().is_none_or(|d| d >= to)
+                && self.rev.wire.next_due().is_none_or(|d| d >= to),
+            "cycle-skipped past an in-flight arrival"
+        );
+        let cycles = to - from;
+        self.fwd.stats.offered_bytes += cycles * u64::from(self.config.max_capacity());
+        self.rev.stats.offered_bytes += cycles * u64::from(self.config.min_capacity());
     }
 }
 
@@ -560,5 +605,37 @@ mod tests {
     #[should_panic(expected = "slice wider than peak capacity")]
     fn oversized_slice_rejected() {
         let _ = LinkConfig::sub_ring().sliced(64);
+    }
+
+    #[test]
+    fn skip_idle_matches_ticking_an_idle_channel() {
+        for cfg in [
+            LinkConfig::sub_ring(),
+            LinkConfig::main_ring(),
+            LinkConfig::main_ring().conventional(),
+        ] {
+            let mut ticked: Channel<Pkt> = Channel::new(cfg);
+            let mut skipped: Channel<Pkt> = Channel::new(cfg);
+            for now in 0..100 {
+                ticked.tick(now);
+            }
+            skipped.skip_idle(0, 100);
+            assert_eq!(ticked.fwd.stats(), skipped.fwd.stats());
+            assert_eq!(ticked.rev.stats(), skipped.rev.stats());
+        }
+    }
+
+    #[test]
+    fn channel_horizon_tracks_queue_and_wire() {
+        let mut ch: Channel<Pkt> = Channel::new(LinkConfig::sub_ring());
+        assert_eq!(ch.next_event(5), None);
+        ch.rev.push(pkt(0, 2));
+        assert_eq!(ch.next_event(5), Some(5));
+        ch.tick(5); // transmits; arrival due at 6
+        assert_eq!(ch.next_event(5), Some(6));
+        assert_eq!(ch.fwd.next_arrival(), None);
+        assert_eq!(ch.rev.next_arrival(), Some(6));
+        let _ = ch.rev.arrivals(6);
+        assert_eq!(ch.next_event(7), None);
     }
 }

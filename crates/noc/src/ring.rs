@@ -205,6 +205,27 @@ impl<T: Transmittable> Ring<T> {
         self.channels.iter().all(Channel::is_empty)
     }
 
+    /// Event horizon: the earliest cycle at or after `now` at which any
+    /// channel can transmit or deliver. Arrivals are processed before
+    /// transmits within a tick, so an in-flight item due at `t` acts
+    /// exactly at `t` — the wire due-cycle is an exact horizon, not an
+    /// approximation. `None` when the ring is fully drained.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.next_event(now))
+            .min()
+    }
+
+    /// Fast-forwards an idle ring across `[from, to)`: every channel
+    /// accumulates its idle-grant offered-capacity statistics without
+    /// being ticked.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        for ch in &mut self.channels {
+            ch.skip_idle(from, to);
+        }
+    }
+
     /// Cumulative `(payload, offered)` bytes summed over all channel
     /// directions. Monotonic counters: the windowed-metrics recorder diffs
     /// successive snapshots to get per-window utilization.
@@ -344,6 +365,32 @@ mod tests {
         }
         let _ = run_until_delivered(&mut r, 100);
         assert!(r.payload_utilization() > 0.0);
+    }
+
+    #[test]
+    fn skip_idle_matches_ticking_an_idle_ring() {
+        let mut ticked = ring(4);
+        let mut skipped = ring(4);
+        for now in 0..50 {
+            ticked.tick(now);
+        }
+        skipped.skip_idle(0, 50);
+        assert_eq!(
+            ticked.payload_offered_bytes(),
+            skipped.payload_offered_bytes()
+        );
+    }
+
+    #[test]
+    fn ring_horizon_follows_in_flight_items() {
+        let mut r = ring(8);
+        assert_eq!(r.next_event(3), None);
+        r.inject(0, 2, P(4));
+        assert_eq!(r.next_event(3), Some(3), "queued item acts immediately");
+        r.tick(3); // transmits; arrival due at 4
+        assert_eq!(r.next_event(3), Some(4));
+        let _ = run_until_delivered(&mut r, 20);
+        assert_eq!(r.next_event(20), None);
     }
 
     #[test]

@@ -145,6 +145,11 @@ pub struct MapReduceRun {
     pub map_cycles: Cycle,
     /// Cycles the reduce phase took.
     pub reduce_cycles: Cycle,
+    /// Shard-cycles the PDES engine stepped one by one (host-side cost,
+    /// not a simulated quantity).
+    pub stepped_cycles: u64,
+    /// Shard-cycles the engine fast-forwarded past via event horizons.
+    pub skipped_cycles: u64,
     /// Final chip report (cumulative).
     pub report: SmarcoReport,
 }
@@ -153,6 +158,16 @@ impl MapReduceRun {
     /// Total job cycles.
     pub fn total_cycles(&self) -> Cycle {
         self.map_cycles + self.reduce_cycles
+    }
+
+    /// Fraction of shard-cycles the engine skipped rather than stepped.
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.stepped_cycles + self.skipped_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / total as f64
+        }
     }
 }
 
@@ -319,6 +334,8 @@ pub fn run_mapreduce(
         reduce_tasks: total_reduce,
         map_cycles,
         reduce_cycles,
+        stepped_cycles: sys.stepped_cycles(),
+        skipped_cycles: sys.skipped_cycles(),
         report,
     }
 }

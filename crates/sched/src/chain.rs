@@ -173,6 +173,21 @@ impl ChainTable {
         task
     }
 
+    /// Earliest cycle at which a queued task's laxity reaches zero
+    /// (`deadline − work`); `None` when the table is empty. Note that
+    /// *relative* laxity order is invariant under time shifts (every
+    /// laxity decreases by the same amount per cycle), so a cycle-skipping
+    /// simulator need not wake at this horizon for ordering correctness —
+    /// it marks when a task becomes unable to meet its deadline. A pure
+    /// observer: no RAM walk is charged.
+    pub fn earliest_zero_laxity(&self) -> Option<smarco_sim::Cycle> {
+        self.entries
+            .iter()
+            .filter_map(|e| e.task)
+            .map(|t| t.deadline.saturating_sub(t.work))
+            .min()
+    }
+
     /// Removes and returns the head of the preferred chain (FIFO order),
     /// high-priority first.
     pub fn pop_front(&mut self) -> Option<Task> {

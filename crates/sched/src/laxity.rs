@@ -62,6 +62,23 @@ impl LaxityAwareScheduler {
             self.table.insert(t).expect("free entry available");
         }
     }
+
+    /// Earliest cycle at which any queued task — chain table or overflow —
+    /// runs out of laxity. Dispatch *order* is unaffected by fast-forwarding
+    /// across this point (laxities shift uniformly with time), so shards use
+    /// it for deadline-pressure observability, not as a wakeup horizon.
+    pub fn next_laxity_deadline(&self) -> Option<Cycle> {
+        let table = self.table.earliest_zero_laxity();
+        let overflow = self
+            .overflow
+            .iter()
+            .map(|t| t.deadline.saturating_sub(t.work))
+            .min();
+        match (table, overflow) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (x, None) | (None, x) => x,
+        }
+    }
 }
 
 impl TaskScheduler for LaxityAwareScheduler {
@@ -137,6 +154,20 @@ mod tests {
         }
         assert_eq!(got.len(), 5);
         assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn laxity_deadline_spans_table_and_overflow() {
+        let mut s = LaxityAwareScheduler::new(2);
+        assert_eq!(s.next_laxity_deadline(), None);
+        s.enqueue(Task::new(1, 0, 1000, 100), 0); // zero laxity at 900
+        s.enqueue(Task::new(2, 0, 600, 100), 0); // at 500
+        s.enqueue(Task::new(3, 0, 300, 100), 0); // overflows; at 200
+        assert_eq!(s.next_laxity_deadline(), Some(200));
+        let _ = s.dispatch(0);
+        let _ = s.dispatch(0);
+        let _ = s.dispatch(0);
+        assert_eq!(s.next_laxity_deadline(), None);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering as MemOrder};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as MemOrder};
 use std::sync::Mutex;
 
 use crate::Cycle;
@@ -124,13 +124,22 @@ impl<M> Inbox<M> {
         self.heap.is_empty()
     }
 
-    fn push(&mut self, env: Envelope<M>) {
-        self.heap.push(Pending {
+    /// Due-cycle of the earliest pending message, if any. Together with
+    /// [`Shard::next_event`] this bounds the next cycle at which the owning
+    /// shard can possibly act.
+    pub fn next_due(&self) -> Option<Cycle> {
+        self.heap.peek().map(|p| p.at)
+    }
+
+    /// Bulk insertion: one capacity reservation for the whole batch instead
+    /// of a possible reallocation per envelope.
+    fn push_all(&mut self, envs: impl IntoIterator<Item = Envelope<M>>) {
+        self.heap.extend(envs.into_iter().map(|env| Pending {
             at: env.at,
             from: env.from,
             seq: env.seq,
             msg: env.msg,
-        });
+        }));
     }
 }
 
@@ -145,12 +154,15 @@ pub struct Outbox<M> {
 }
 
 impl<M> Outbox<M> {
-    fn new(from: usize, window_end: Cycle, next_seq: u64) -> Self {
+    /// `envelopes` is a recycled buffer (cleared here) so steady-state
+    /// windows allocate nothing.
+    fn new(from: usize, window_end: Cycle, next_seq: u64, mut envelopes: Vec<Envelope<M>>) -> Self {
+        envelopes.clear();
         Self {
             from,
             window_end,
             next_seq,
-            envelopes: Vec::new(),
+            envelopes,
         }
     }
 
@@ -193,6 +205,33 @@ pub trait Shard: Send {
         inbox: &mut Inbox<Self::Msg>,
         outbox: &mut Outbox<Self::Msg>,
     );
+
+    /// Event horizon: the earliest cycle at or after `now` at which this
+    /// shard might act — consume an already-delivered message, change
+    /// externally visible state (including statistics that are not pure
+    /// idle bookkeeping), or emit an envelope. `None` means the shard is
+    /// fully drained and only a new inbox message can re-activate it
+    /// (the engine accounts for inbox due-cycles separately).
+    ///
+    /// The contract is conservative: returning a cycle *earlier* than the
+    /// true next state change is always safe (it merely disables
+    /// skipping); returning a *later* cycle breaks bit-identity. The
+    /// default, `Some(now)`, declares the shard permanently active and
+    /// opts it out of cycle skipping entirely.
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now)
+    }
+
+    /// Fast-forwards the shard across `[from, to)`, a range the engine has
+    /// proven event-free via [`next_event`](Self::next_event) and the
+    /// inbox. Implementations must apply exactly the state changes
+    /// `run_window` would have applied over an idle range (typically
+    /// idle-counter bookkeeping) and must not emit messages. The default
+    /// does nothing, matching the default always-active horizon (which
+    /// guarantees this is never called).
+    fn skip_window(&mut self, from: Cycle, to: Cycle) {
+        let _ = (from, to);
+    }
 }
 
 /// One shard's per-window execution state: the shard itself, its inbox,
@@ -204,35 +243,65 @@ struct Lane<'a, S: Shard> {
     seq: &'a mut u64,
 }
 
-/// One shard's window: drain freshly routed envelopes into the inbox, run
-/// the model, park the produced envelopes for the routing phase.
+/// Earliest cycle at which `lane` can possibly act at or after `now`:
+/// the shard's own horizon or its earliest undelivered message, whichever
+/// comes first. `u64::MAX` encodes "never without new input".
+fn lane_horizon<S: Shard>(lane: &Lane<'_, S>, now: Cycle) -> u64 {
+    let shard = lane.shard.next_event(now).unwrap_or(u64::MAX);
+    let inbox = lane.inbox.next_due().unwrap_or(u64::MAX);
+    shard.min(inbox)
+}
+
+/// One shard's window: drain freshly routed envelopes into the inbox, then
+/// either fast-forward (when the shard's horizon and inbox both clear the
+/// window) or run the model and park the produced envelopes for the
+/// routing phase. Returns whether the window was skipped.
 fn window_step<S: Shard>(
     lane: &mut Lane<'_, S>,
     from: Cycle,
     to: Cycle,
     staging: &[Mutex<Vec<Envelope<S::Msg>>>],
     produced: &[Mutex<Vec<Envelope<S::Msg>>>],
-) {
-    for env in staging[lane.i].lock().expect("staging lock").drain(..) {
-        lane.inbox.push(env);
+    skip: bool,
+) -> bool {
+    {
+        let mut slot = staging[lane.i].lock().expect("staging lock");
+        lane.inbox.push_all(slot.drain(..));
     }
-    let mut outbox = Outbox::new(lane.i, to, *lane.seq);
+    if skip && lane_horizon(lane, from) >= to {
+        // Nothing can happen in [from, to): skip the per-cycle loop. No
+        // outbox is created — a quiescent shard emits nothing, so the
+        // sequence counter is untouched and delivery order is unchanged.
+        lane.shard.skip_window(from, to);
+        return true;
+    }
+    let buf = std::mem::take(&mut *produced[lane.i].lock().expect("produced lock"));
+    let mut outbox = Outbox::new(lane.i, to, *lane.seq, buf);
     lane.shard.run_window(from, to, lane.inbox, &mut outbox);
     *lane.seq = outbox.next_seq;
     *produced[lane.i].lock().expect("produced lock") = outbox.envelopes;
+    false
 }
 
 /// Routing phase: move every produced envelope to its destination's staging
 /// row. Envelope keys already fix the delivery order, so this only has to
-/// be exhaustive, not ordered.
-fn route_window<M>(produced: &[Mutex<Vec<Envelope<M>>>], staging: &[Mutex<Vec<Envelope<M>>>]) {
+/// be exhaustive, not ordered. Returns the earliest due-cycle routed this
+/// window (`u64::MAX` when no envelope moved), which feeds the engine's
+/// whole-run fast-forward decision.
+fn route_window<M>(
+    produced: &[Mutex<Vec<Envelope<M>>>],
+    staging: &[Mutex<Vec<Envelope<M>>>],
+) -> u64 {
     let n = staging.len();
+    let mut earliest = u64::MAX;
     for slot in produced {
         for env in slot.lock().expect("produced lock").drain(..) {
             assert!(env.to < n, "unknown shard {}", env.to);
+            earliest = earliest.min(env.at);
             staging[env.to].lock().expect("staging lock").push(env);
         }
     }
+    earliest
 }
 
 /// Sense-reversing spin barrier. The chip synchronizes every `lookahead`
@@ -285,6 +354,17 @@ impl SpinBarrier {
 }
 
 /// Drives a set of shards with conservative window synchronization.
+///
+/// With cycle skipping enabled (the default), the engine additionally
+/// exploits each shard's [`Shard::next_event`] horizon at two levels:
+/// within a window, a shard whose horizon and inbox both clear the window
+/// end fast-forwards via [`Shard::skip_window`] instead of stepping; and
+/// at window boundaries, when *every* shard's horizon, every undelivered
+/// inbox message, and every just-routed envelope lie beyond the boundary,
+/// the clock jumps straight to the earliest of them (clamped to the run
+/// end). Both are provably result-neutral: absolute timestamps and the
+/// `(at, from, seq)` delivery order mean a cycle nobody acts in is
+/// indistinguishable from a cycle that was never stepped.
 #[derive(Debug)]
 pub struct ParallelEngine<S: Shard> {
     shards: Vec<S>,
@@ -292,6 +372,16 @@ pub struct ParallelEngine<S: Shard> {
     seqs: Vec<u64>,
     lookahead: Cycle,
     now: Cycle,
+    skip_enabled: bool,
+    stepped_cycles: u64,
+    skipped_cycles: u64,
+    // Persistent window-exchange buffers: workers park each window's
+    // envelopes in `produced`; the routing phase moves them to the
+    // destination's `staging` row, which the owner drains into its inbox
+    // at the next window start. Held in the engine so per-call (and in the
+    // cycle-stepped facade, per-cycle) invocations reuse the allocations.
+    produced: Vec<Mutex<Vec<Envelope<S::Msg>>>>,
+    staging: Vec<Mutex<Vec<Envelope<S::Msg>>>>,
 }
 
 impl<S: Shard> ParallelEngine<S> {
@@ -306,12 +396,52 @@ impl<S: Shard> ParallelEngine<S> {
         assert!(lookahead > 0, "lookahead must be positive");
         let inboxes = shards.iter().map(|_| Inbox::default()).collect();
         let seqs = vec![0; shards.len()];
+        let produced = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let staging = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
         Self {
             shards,
             inboxes,
             seqs,
             lookahead,
             now: 0,
+            skip_enabled: true,
+            stepped_cycles: 0,
+            skipped_cycles: 0,
+            produced,
+            staging,
+        }
+    }
+
+    /// Enables or disables event-horizon cycle skipping (default: on).
+    /// Results are bit-identical either way; off exists for A/B timing and
+    /// for flushing out horizon bugs.
+    pub fn set_skip_enabled(&mut self, enabled: bool) {
+        self.skip_enabled = enabled;
+    }
+
+    /// Whether event-horizon cycle skipping is active.
+    pub fn skip_enabled(&self) -> bool {
+        self.skip_enabled
+    }
+
+    /// Shard-cycles executed through `run_window` (one unit = one shard
+    /// advanced one cycle the slow way).
+    pub fn stepped_cycles(&self) -> u64 {
+        self.stepped_cycles
+    }
+
+    /// Shard-cycles fast-forwarded through `skip_window`.
+    pub fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Fraction of shard-cycles skipped so far (0 when nothing ran).
+    pub fn skip_ratio(&self) -> f64 {
+        let total = self.stepped_cycles + self.skipped_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.skipped_cycles as f64 / total as f64
         }
     }
 
@@ -370,19 +500,21 @@ impl<S: Shard> ParallelEngine<S> {
         let workers = workers.clamp(1, n);
         let lookahead = self.lookahead;
         let start = self.now;
-        // Workers park each window's envelopes in `produced`; the routing
-        // phase moves them to the destination's `staging` row, which the
-        // owner drains into its inbox at the next window start.
-        let produced: Vec<Mutex<Vec<Envelope<S::Msg>>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let staging: Vec<Mutex<Vec<Envelope<S::Msg>>>> =
-            (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let skip = self.skip_enabled;
+        let Self {
+            shards,
+            inboxes,
+            seqs,
+            produced,
+            staging,
+            ..
+        } = self;
+        let (produced, staging) = (&produced[..], &staging[..]);
 
-        let mut lanes: Vec<Lane<'_, S>> = self
-            .shards
+        let mut lanes: Vec<Lane<'_, S>> = shards
             .iter_mut()
-            .zip(self.inboxes.iter_mut())
-            .zip(self.seqs.iter_mut())
+            .zip(inboxes.iter_mut())
+            .zip(seqs.iter_mut())
             .enumerate()
             .map(|(i, ((shard, inbox), seq))| Lane {
                 i,
@@ -391,46 +523,116 @@ impl<S: Shard> ParallelEngine<S> {
                 seq,
             })
             .collect();
+        let (mut stepped, mut skipped) = (0u64, 0u64);
         if workers == 1 {
             let mut now = start;
             while now < end {
                 let to = (now + lookahead).min(end);
                 for lane in &mut lanes {
-                    window_step(lane, now, to, &staging, &produced);
+                    if window_step(lane, now, to, staging, produced, skip) {
+                        skipped += to - now;
+                    } else {
+                        stepped += to - now;
+                    }
                 }
-                route_window(&produced, &staging);
+                let routed = route_window(produced, staging);
                 now = to;
+                if skip && now < end {
+                    // Whole-run fast-forward: if every shard, every
+                    // undelivered message, and every just-routed envelope
+                    // is beyond `now`, jump straight to the earliest of
+                    // them instead of grinding out empty windows.
+                    let mut h = routed;
+                    for lane in &lanes {
+                        h = h.min(lane_horizon(lane, now));
+                    }
+                    if h > now {
+                        let jump = h.min(end);
+                        for lane in &mut lanes {
+                            lane.shard.skip_window(now, jump);
+                        }
+                        skipped += (jump - now) * n as u64;
+                        now = jump;
+                    }
+                }
             }
         } else {
             let group_size = n.div_ceil(workers);
             let groups: Vec<&mut [Lane<'_, S>]> = lanes.chunks_mut(group_size).collect();
             let barrier = SpinBarrier::new(groups.len());
+            // Cross-worker horizon exchange: each worker publishes the
+            // minimum horizon of its lanes before the barrier; the serial
+            // routing section folds in the routed envelopes' due-cycles
+            // and publishes the agreed jump target for everyone.
+            let horizon = AtomicU64::new(u64::MAX);
+            let jump_to = AtomicU64::new(0);
+            let stepped_total = AtomicU64::new(0);
+            let skipped_total = AtomicU64::new(0);
             std::thread::scope(|scope| {
                 for group in groups {
-                    let (produced, staging, barrier) = (&produced, &staging, &barrier);
+                    let (barrier, horizon, jump_to) = (&barrier, &horizon, &jump_to);
+                    let (stepped_total, skipped_total) = (&stepped_total, &skipped_total);
                     scope.spawn(move || {
+                        let (mut stepped, mut skipped) = (0u64, 0u64);
                         let mut now = start;
                         while now < end {
                             let to = (now + lookahead).min(end);
                             for lane in group.iter_mut() {
-                                window_step(lane, now, to, staging, produced);
+                                if window_step(lane, now, to, staging, produced, skip) {
+                                    skipped += to - now;
+                                } else {
+                                    stepped += to - now;
+                                }
+                            }
+                            if skip {
+                                let mut h = u64::MAX;
+                                for lane in group.iter() {
+                                    h = h.min(lane_horizon(lane, to));
+                                }
+                                horizon.fetch_min(h, MemOrder::AcqRel);
                             }
                             // Last group to finish routes the window's
-                            // envelopes, then everyone proceeds.
-                            barrier.wait_with(|| route_window(produced, staging));
+                            // envelopes (and picks the jump target), then
+                            // everyone proceeds.
+                            barrier.wait_with(|| {
+                                let routed = route_window(produced, staging);
+                                if skip {
+                                    let h = horizon.swap(u64::MAX, MemOrder::AcqRel).min(routed);
+                                    let jump = if h > to { h.min(end) } else { to };
+                                    jump_to.store(jump, MemOrder::Relaxed);
+                                }
+                            });
                             now = to;
+                            if skip {
+                                // The barrier release orders this load
+                                // after the serial section's store.
+                                let jump = jump_to.load(MemOrder::Relaxed);
+                                if jump > now {
+                                    for lane in group.iter_mut() {
+                                        lane.shard.skip_window(now, jump);
+                                        skipped += jump - now;
+                                    }
+                                    now = jump;
+                                }
+                            }
                         }
+                        stepped_total.fetch_add(stepped, MemOrder::Relaxed);
+                        skipped_total.fetch_add(skipped, MemOrder::Relaxed);
                     });
                 }
             });
+            stepped += stepped_total.load(MemOrder::Relaxed);
+            skipped += skipped_total.load(MemOrder::Relaxed);
         }
         // Anything routed in the final window still sits in staging:
         // deliver it so a later run (any worker count) sees it.
-        for (i, slot) in staging.into_iter().enumerate() {
-            for env in slot.into_inner().expect("staging lock") {
-                self.inboxes[i].push(env);
-            }
+        drop(lanes);
+        for (slot, inbox) in staging.iter().zip(inboxes.iter_mut()) {
+            let mut slot = slot.lock().expect("staging lock");
+            inbox.push_all(slot.drain(..));
         }
+        self.stepped_cycles += stepped;
+        self.skipped_cycles += skipped;
         self.now = end;
     }
 }
@@ -614,9 +816,7 @@ mod tests {
         assert_eq!(perms.len(), 24);
         for perm in perms {
             let mut inbox = Inbox::default();
-            for env in perm {
-                inbox.push(env);
-            }
+            inbox.push_all(perm);
             let mut got = Vec::new();
             while let Some(m) = inbox.pop_due(10) {
                 got.push(m);
@@ -676,7 +876,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "lookahead violation")]
     fn outbox_rejects_early_timestamps() {
-        let mut outbox: Outbox<()> = Outbox::new(0, 10, 0);
+        let mut outbox: Outbox<()> = Outbox::new(0, 10, 0, Vec::new());
         outbox.send(0, 9, ());
     }
 
@@ -692,6 +892,144 @@ mod tests {
         eng.run_sequential(5);
         let shards = eng.into_shards();
         assert_eq!(shards.len(), 3);
+    }
+
+    /// Toy model with a real horizon: wakes every `period` cycles, pings
+    /// the next shard (due two windows out), and tracks idle cycles the
+    /// way the chip shards track stall/idle counters — so a horizon bug
+    /// would show up as diverging state, not just timing.
+    struct Sleeper {
+        id: usize,
+        n: usize,
+        period: Cycle,
+        idle_cycles: u64,
+        acc: u64,
+        log: Vec<(Cycle, u64)>,
+    }
+
+    impl Sleeper {
+        fn awake_at(&self, now: Cycle) -> Cycle {
+            now.next_multiple_of(self.period)
+        }
+    }
+
+    impl Shard for Sleeper {
+        type Msg = u64;
+
+        fn run_window(
+            &mut self,
+            from: Cycle,
+            to: Cycle,
+            inbox: &mut Inbox<u64>,
+            outbox: &mut Outbox<u64>,
+        ) {
+            for now in from..to {
+                let mut acted = false;
+                while let Some(v) = inbox.pop_due(now) {
+                    self.acc = self.acc.wrapping_mul(31).wrapping_add(v);
+                    self.log.push((now, self.acc));
+                    acted = true;
+                }
+                if now.is_multiple_of(self.period) {
+                    outbox.send((self.id + 1) % self.n, now + 2 * self.period, self.acc % 89);
+                    acted = true;
+                }
+                if !acted {
+                    self.idle_cycles += 1;
+                }
+            }
+        }
+
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            Some(self.awake_at(now))
+        }
+
+        fn skip_window(&mut self, from: Cycle, to: Cycle) {
+            debug_assert!(self.awake_at(from) >= to, "skipped past a wakeup");
+            self.idle_cycles += to - from;
+        }
+    }
+
+    fn make_sleepers(n: usize, period: Cycle) -> Vec<Sleeper> {
+        (0..n)
+            .map(|id| Sleeper {
+                id,
+                n,
+                period,
+                idle_cycles: 0,
+                acc: id as u64 + 7,
+                log: Vec::new(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn skipping_is_bit_identical_and_actually_skips() {
+        // Long sleep periods relative to the 2-cycle lookahead: the engine
+        // should fast-forward most of the run yet reproduce the no-skip
+        // states exactly, for every worker count.
+        let mut base = ParallelEngine::new(make_sleepers(6, 64), 2);
+        base.set_skip_enabled(false);
+        base.run_sequential(5_000);
+        assert_eq!(base.skipped_cycles(), 0);
+        for workers in [1, 2, 6] {
+            let mut eng = ParallelEngine::new(make_sleepers(6, 64), 2);
+            eng.run_windowed(5_000, workers);
+            assert!(
+                eng.skipped_cycles() > eng.stepped_cycles(),
+                "{workers} workers: skipped {} vs stepped {}",
+                eng.skipped_cycles(),
+                eng.stepped_cycles()
+            );
+            for (a, b) in eng.shards().iter().zip(base.shards().iter()) {
+                assert_eq!(a.acc, b.acc, "{workers} workers diverged");
+                assert_eq!(a.log, b.log, "{workers} workers diverged");
+                assert_eq!(a.idle_cycles, b.idle_cycles, "{workers} workers diverged");
+            }
+            assert_eq!(eng.now(), base.now());
+            assert_eq!(eng.pending_messages(), base.pending_messages());
+        }
+    }
+
+    #[test]
+    fn skip_counters_account_for_every_shard_cycle() {
+        let mut eng = ParallelEngine::new(make_sleepers(4, 32), 2);
+        eng.run_sequential(1_000);
+        assert_eq!(eng.stepped_cycles() + eng.skipped_cycles(), 4 * 1_000);
+        assert!(eng.skip_ratio() > 0.5);
+        let mut off = ParallelEngine::new(make_sleepers(4, 32), 2);
+        off.set_skip_enabled(false);
+        off.run_sequential(1_000);
+        assert_eq!(off.stepped_cycles(), 4 * 1_000);
+        assert_eq!(off.skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn default_horizon_never_skips() {
+        // RingShard keeps the default `Some(now)` horizon, so skipping
+        // stays inert even though it is enabled by default.
+        let mut eng = ParallelEngine::new(make_ring(4), 4);
+        assert!(eng.skip_enabled());
+        eng.run_sequential(200);
+        assert_eq!(eng.skipped_cycles(), 0);
+        assert_eq!(eng.stepped_cycles(), 4 * 200);
+    }
+
+    #[test]
+    fn resumed_runs_still_skip_identically() {
+        // Chop one run into many `run_windowed` calls (as the chip's
+        // chunked is_done grid does) and compare against one long call.
+        let mut whole = ParallelEngine::new(make_sleepers(5, 48), 2);
+        whole.run_sequential(4_096);
+        let mut chopped = ParallelEngine::new(make_sleepers(5, 48), 2);
+        for _ in 0..4 {
+            chopped.run_windowed(1_024, 2);
+        }
+        for (a, b) in whole.shards().iter().zip(chopped.shards().iter()) {
+            assert_eq!(a.acc, b.acc);
+            assert_eq!(a.log, b.log);
+            assert_eq!(a.idle_cycles, b.idle_cycles);
+        }
     }
 
     #[test]

@@ -26,7 +26,11 @@ cargo test --offline -q --workspace
 echo "==> parallel determinism (sharded chip vs sequential, all benchmarks)"
 cargo test --offline -q --test parallel_determinism
 
-echo "==> scale bench (PDES speedup sweep, quick; asserts bit-identical reports)"
+echo "==> cycle skipping (skip-on vs skip-off bit-identical, all benchmarks)"
+cargo test --offline -q --test cycle_skip
+
+echo "==> scale bench (PDES speedup sweep + cycle-skip study; asserts"
+echo "    bit-identical reports and a non-zero skip ratio on TeraSort)"
 cargo run --offline --release -p smarco-bench --bin scale
 
 echo "==> smarco-lint (static verifier, warnings are errors)"
