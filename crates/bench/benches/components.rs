@@ -4,7 +4,6 @@
 use std::hint::black_box;
 
 use smarco_bench::timing::bench;
-use smarco_core::chip::SmarcoSystem;
 use smarco_core::config::SmarcoConfig;
 use smarco_mem::cache::{Cache, CacheConfig};
 use smarco_mem::mact::{Mact, MactConfig};
@@ -60,11 +59,12 @@ fn bench_noc() {
 }
 
 fn bench_chip_tick() {
-    let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+    let mut sys = smarco_bench::harness::build_system(&SmarcoConfig::tiny());
     for core in 0..sys.cores_len() {
         for _ in 0..4 {
-            sys.attach(core, Box::new(smarco_isa::mix::compute_only(u64::MAX / 2)))
-                .unwrap();
+            smarco_bench::harness::or_exit(
+                sys.attach(core, Box::new(smarco_isa::mix::compute_only(u64::MAX / 2))),
+            );
         }
     }
     let mut now = 0;

@@ -4,9 +4,25 @@
 //! Pass `--scale paper` for the full 256-core chip; `--parallel N` adds
 //! another worker count to the default 1/2/4 sweep. Writes the per-run
 //! perf records to `BENCH_cycle_skip.json`.
+//!
+//! Pass `--faults <seed>` to run chaos mode instead: TeraSort through the
+//! hardware dispatcher, healthy and under a seeded fault plan, printing
+//! the degradation counters and goodput retained. Exits non-zero if the
+//! injected faults produced no recovery activity (the injection or
+//! recovery path is then broken).
 
 fn main() {
     let scale = smarco_bench::Scale::from_args();
+    if let Some(seed) = smarco_bench::scale::faults_from_args() {
+        let out = smarco_bench::chaos::run_chaos(seed, scale);
+        println!("{out}");
+        let d = &out.degraded.degradation;
+        if d.link_retries == 0 {
+            eprintln!("chaos run saw zero link retries: fault injection is inert");
+            std::process::exit(3);
+        }
+        return;
+    }
     let mut counts = vec![1, 2, 4];
     let extra = smarco_bench::scale::parallel_from_args();
     if !counts.contains(&extra) {

@@ -2,7 +2,6 @@
 //! paper argues qualitatively (§3.2's ring-vs-mesh case, §3.1's in-pair
 //! threads, §3.6/§7's SPM staging) but does not plot.
 
-use smarco_core::chip::SmarcoSystem;
 use smarco_core::config::SmarcoConfig;
 use smarco_noc::link::{LinkConfig, Transmittable};
 use smarco_noc::mesh::Mesh;
@@ -192,8 +191,8 @@ pub fn staging_ablation(scale: Scale) -> Vec<StagingRow> {
         .map(|&bench| {
             let staged = smarco_mapreduce(bench, &SmarcoConfig::tiny(), map_ops, reduce_ops, 8);
             // Oversized slices: same ops, data stays in DRAM.
-            let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
             let cfg = SmarcoConfig::tiny();
+            let mut sys = crate::harness::build_system(&cfg);
             let cps = cfg.noc.cores_per_subring;
             let mut seed = 1;
             for core in 0..sys.cores_len() {
@@ -207,8 +206,9 @@ pub fn staging_ablation(scale: Scale) -> Vec<StagingRow> {
                         1,
                         map_ops + reduce_ops / 4,
                     );
-                    sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
-                        .expect("slot");
+                    crate::harness::or_exit(
+                        sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed)))),
+                    );
                     seed += 1;
                 }
             }

@@ -9,7 +9,6 @@
 use std::time::Instant;
 
 use smarco_baseline::XeonConfig;
-use smarco_core::chip::SmarcoSystem;
 use smarco_core::config::SmarcoConfig;
 use smarco_sim::rng::SimRng;
 use smarco_workloads::{Benchmark, HtcStream};
@@ -79,7 +78,7 @@ fn sized_for(cfg: &SmarcoConfig, threads: usize) -> SmarcoConfig {
 
 fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> (f64, SkipEntry) {
     let cfg = &sized_for(cfg, threads);
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = crate::harness::build_system(cfg);
     let ops = (total_work / threads as u64).max(1);
     let bench = Benchmark::Kmp;
     let tpc = cfg.tcg.resident_threads;
@@ -94,11 +93,10 @@ fn smarco_ips(cfg: &SmarcoConfig, threads: usize, total_work: u64) -> (f64, Skip
             (cfg.noc.cores_per_subring * tpc) as u64,
             ops,
         );
-        sys.attach(
+        crate::harness::or_exit(sys.attach(
             core,
             Box::new(HtcStream::new(p, SimRng::new(500 + t as u64))),
-        )
-        .expect("vacant slot");
+        ));
     }
     let start = Instant::now();
     let r = sys.run(u64::MAX / 2);

@@ -3,6 +3,7 @@
 use smarco_baseline::{ConventionalSystem, XeonConfig};
 use smarco_core::chip::SmarcoSystem;
 use smarco_core::config::{SmarcoConfig, TcgConfig};
+use smarco_core::error::SmarcoError;
 use smarco_core::tcg::TcgCore;
 use smarco_isa::InstructionStream;
 use smarco_mem::map::AddressSpace;
@@ -14,6 +15,26 @@ use smarco_workloads::{Benchmark, HtcStream};
 
 /// Per-thread working-set size used for baseline runs.
 pub const XEON_WS: u64 = 1 << 22;
+
+/// Unwraps a chip-side [`Result`] or terminates the benchmark process.
+///
+/// The bench binaries are batch jobs: a rejected config or a full chip is
+/// an operator error, so it surfaces as a message on stderr and a non-zero
+/// exit code rather than a panic backtrace.
+pub fn or_exit<T>(result: Result<T, SmarcoError>) -> T {
+    match result {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("smarco-bench: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Builds a chip from `cfg`, exiting the process on a rejected config.
+pub fn build_system(cfg: &SmarcoConfig) -> SmarcoSystem {
+    or_exit(SmarcoSystem::builder().config(cfg.clone()).build())
+}
 
 /// MapReduce adapter over a benchmark's structured generator.
 pub struct BenchmarkMapReduce {
@@ -100,7 +121,7 @@ pub fn smarco_mapreduce(
     reduce_ops: u64,
     threads_per_core: usize,
 ) -> MapReduceRun {
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = build_system(cfg);
     let app = BenchmarkMapReduce::new(bench, map_ops, reduce_ops);
     let subrings = cfg.noc.subrings;
     let reducers = (subrings / 4).max(1);
@@ -116,7 +137,9 @@ pub fn smarco_mapreduce(
         shuffle_len: reduce_tasks * slice,
         ..MapReduceConfig::split(subrings, 0x100_0000, map_tasks * slice)
     };
-    smarco_runtime::mapreduce::run_mapreduce(&mut sys, &app, &mr)
+    or_exit(smarco_runtime::mapreduce::run_mapreduce(
+        &mut sys, &app, &mr,
+    ))
 }
 
 /// Builds a chip where each sub-ring's threads cooperatively scan a shared
@@ -128,7 +151,7 @@ pub fn smarco_team_system(
     ops_per_thread: u64,
     threads_per_core: usize,
 ) -> SmarcoSystem {
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = build_system(cfg);
     let cps = cfg.noc.cores_per_subring;
     let team = (cps * threads_per_core) as u64;
     let mut seed = 1;
@@ -139,8 +162,7 @@ pub fn smarco_team_system(
         for t in 0..threads_per_core {
             let j = ((core % cps) * threads_per_core + t) as u64;
             let p = bench.thread_params(scan_base, 16 << 20, table_base, j, team, ops_per_thread);
-            sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
-                .expect("vacant slot");
+            or_exit(sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed)))));
             seed += 1;
         }
     }
@@ -160,7 +182,7 @@ pub fn smarco_task_system(
     threads_per_core: usize,
     deadline: Cycle,
 ) -> SmarcoSystem {
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = build_system(cfg);
     let total = (cfg.noc.cores() * threads_per_core) as u64;
     for j in 0..total {
         let p = bench.thread_params(0x100_0000, 16 << 20, 0x8000_0000, j, total, ops_per_thread);

@@ -16,6 +16,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod cycle_skip;
 pub mod figures;
 pub mod harness;

@@ -53,6 +53,23 @@ pub fn parallel_from(args: &[String]) -> usize {
     1
 }
 
+/// Parses `--faults <seed>` (any position): the seed for a chaos run with
+/// [`smarco_core::fault::FaultPlan::chaos`]. `None` when absent or
+/// unparsable — the binaries then run healthy as before.
+pub fn faults_from_args() -> Option<u64> {
+    faults_from(&std::env::args().collect::<Vec<_>>())
+}
+
+/// The testable core of [`faults_from_args`]: scans an argument list.
+pub fn faults_from(args: &[String]) -> Option<u64> {
+    for pair in args.windows(2) {
+        if pair[0] == "--faults" {
+            return pair[1].parse().ok();
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +93,17 @@ mod tests {
         // Garbage and zero fall back to sequential.
         assert_eq!(parallel_from(&args(&["bin", "--parallel", "zero"])), 1);
         assert_eq!(parallel_from(&args(&["bin", "--parallel", "0"])), 1);
+    }
+
+    #[test]
+    fn faults_flag_parsed() {
+        let args = |s: &[&str]| s.iter().map(|a| (*a).to_string()).collect::<Vec<_>>();
+        assert_eq!(faults_from(&args(&["bin"])), None);
+        assert_eq!(faults_from(&args(&["bin", "--faults", "42"])), Some(42));
+        assert_eq!(
+            faults_from(&args(&["bin", "--scale", "quick", "--faults", "7"])),
+            Some(7)
+        );
+        assert_eq!(faults_from(&args(&["bin", "--faults", "nope"])), None);
     }
 }

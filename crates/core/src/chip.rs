@@ -29,6 +29,8 @@ use smarco_sim::stats::{MeanTracker, StatsReport};
 use smarco_sim::Cycle;
 
 use crate::config::SmarcoConfig;
+use crate::error::SmarcoError;
+use crate::fault::FaultPlan;
 use crate::report::SmarcoReport;
 use crate::shard::{ChipShard, HubShard, SubShard};
 use crate::tcg::{CoreFull, TcgCore};
@@ -49,11 +51,13 @@ const CHUNK: Cycle = 2048;
 /// use smarco_core::config::SmarcoConfig;
 /// use smarco_isa::mix::compute_only;
 ///
-/// let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+/// let mut sys = SmarcoSystem::builder()
+///     .config(SmarcoConfig::tiny())
+///     .build()?;
 /// sys.attach(0, Box::new(compute_only(100)))?;
 /// let report = sys.run(100_000);
 /// assert_eq!(report.instructions, 101); // 100 computes + Exit
-/// # Ok::<(), smarco_core::tcg::CoreFull>(())
+/// # Ok::<(), smarco_core::error::SmarcoError>(())
 /// ```
 pub struct SmarcoSystem {
     config: SmarcoConfig,
@@ -83,14 +87,139 @@ impl std::fmt::Debug for SmarcoSystem {
     }
 }
 
+/// Fluent constructor for [`SmarcoSystem`]: pick a configuration, layer
+/// run options on top, and [`build`](Self::build) validates everything at
+/// once instead of panicking mid-assembly.
+///
+/// ```
+/// use smarco_core::chip::SmarcoSystem;
+/// use smarco_core::config::SmarcoConfig;
+/// use smarco_core::fault::FaultPlan;
+///
+/// let cfg = SmarcoConfig::tiny();
+/// let sys = SmarcoSystem::builder()
+///     .config(cfg.clone())
+///     .fault_plan(FaultPlan::chaos(42, &cfg))
+///     .workers(4)
+///     .build()?;
+/// assert_eq!(sys.cores_len(), 16);
+/// # Ok::<(), smarco_core::error::SmarcoError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SmarcoSystemBuilder {
+    config: SmarcoConfig,
+    fault: Option<FaultPlan>,
+    workers: Option<usize>,
+    trace_path: Option<PathBuf>,
+    metrics_path: Option<PathBuf>,
+}
+
+impl Default for SmarcoSystemBuilder {
+    /// The paper chip ([`SmarcoConfig::smarco`]) with no overrides.
+    fn default() -> Self {
+        Self {
+            config: SmarcoConfig::smarco(),
+            fault: None,
+            workers: None,
+            trace_path: None,
+            metrics_path: None,
+        }
+    }
+}
+
+impl SmarcoSystemBuilder {
+    /// Uses `config` as the base chip configuration.
+    #[must_use]
+    pub fn config(mut self, config: SmarcoConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Injects `plan`'s faults into the run (overrides any plan already
+    /// in the configuration).
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault = Some(plan);
+        self
+    }
+
+    /// Drives the shards with `workers` host threads (overrides the
+    /// configuration's worker count). Results are bit-identical for every
+    /// value.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Writes the Chrome `trace_event` JSON to `path` at end of run
+    /// (enables tracing with defaults if the configuration left it off).
+    #[must_use]
+    pub fn trace_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// Writes the per-window metrics CSV to `path` at end of run (enables
+    /// sampling with a 10 000-cycle window if the configuration left it
+    /// off).
+    #[must_use]
+    pub fn metrics_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_path = Some(path.into());
+        self
+    }
+
+    /// Validates the merged configuration and assembles the chip.
+    ///
+    /// # Errors
+    ///
+    /// [`SmarcoError::InvalidConfig`] when the configuration (including
+    /// the fault plan's geometry) is inconsistent.
+    pub fn build(self) -> Result<SmarcoSystem, SmarcoError> {
+        let mut config = self.config;
+        if let Some(plan) = self.fault {
+            config.fault = Some(plan);
+        }
+        if let Some(w) = self.workers {
+            config.workers = w;
+        }
+        if let Err(reason) = config.check() {
+            return Err(SmarcoError::InvalidConfig { reason });
+        }
+        let mut sys = SmarcoSystem::assemble(config);
+        if let Some(path) = self.trace_path {
+            sys.trace_to(path);
+        }
+        if let Some(path) = self.metrics_path {
+            sys.metrics_to(path);
+        }
+        Ok(sys)
+    }
+}
+
 impl SmarcoSystem {
-    /// Builds the chip.
+    /// Starts a [`SmarcoSystemBuilder`] (defaulting to the paper chip).
+    pub fn builder() -> SmarcoSystemBuilder {
+        SmarcoSystemBuilder::default()
+    }
+
+    /// Builds the chip directly from `config`.
+    ///
+    /// Thin compatibility shim over [`SmarcoSystem::builder`], which
+    /// reports configuration problems as values instead of panicking.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is invalid.
+    #[deprecated(since = "0.2.0", note = "use `SmarcoSystem::builder()` instead")]
     pub fn new(config: SmarcoConfig) -> Self {
         config.validate();
+        Self::assemble(config)
+    }
+
+    /// Assembles the shards and engine from an already-validated
+    /// configuration.
+    fn assemble(config: SmarcoConfig) -> Self {
         let space = AddressSpace::new(config.noc.cores(), config.dram.channels);
         let mut shards: Vec<ChipShard> = (0..config.noc.subrings)
             .map(|sr| ChipShard::Sub(Box::new(SubShard::new(sr, &config, space))))
@@ -290,8 +419,38 @@ impl SmarcoSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreFull`] when the core has no vacant slot.
+    /// [`SmarcoError::NoSuchCore`] when `core` is outside the chip,
+    /// [`SmarcoError::CoreFull`] when it has no vacant slot (a dead,
+    /// quarantined core is never vacant). The stream is dropped on
+    /// failure; use [`try_attach`](Self::try_attach) to recover it.
     pub fn attach(
+        &mut self,
+        core: usize,
+        stream: Box<dyn smarco_isa::InstructionStream + Send>,
+    ) -> Result<usize, SmarcoError> {
+        if core >= self.cores_len() {
+            return Err(SmarcoError::NoSuchCore {
+                core,
+                cores: self.cores_len(),
+            });
+        }
+        self.try_attach(core, stream)
+            .map_err(|_| SmarcoError::CoreFull { core })
+    }
+
+    /// Attaches a thread stream to a specific core, handing the stream
+    /// back inside the error when the core is full — for callers that
+    /// probe several cores with one stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreFull`] (carrying the stream) when the core has no
+    /// vacant slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the chip.
+    pub fn try_attach(
         &mut self,
         core: usize,
         stream: Box<dyn smarco_isa::InstructionStream + Send>,
@@ -304,19 +463,22 @@ impl SmarcoSystem {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreFull`] when the whole chip is saturated.
+    /// [`SmarcoError::NoVacancy`] when the whole chip is saturated,
+    /// naming the sub-rings that were probed and full.
     pub fn attach_anywhere(
         &mut self,
         stream: Box<dyn smarco_isa::InstructionStream + Send>,
-    ) -> Result<(usize, usize), CoreFull> {
+    ) -> Result<(usize, usize), SmarcoError> {
         let mut stream = stream;
         for c in 0..self.cores_len() {
-            match self.attach(c, stream) {
+            match self.try_attach(c, stream) {
                 Ok(t) => return Ok((c, t)),
                 Err(e) => stream = e.into_stream(),
             }
         }
-        Err(self.attach(0, stream).expect_err("core 0 known full"))
+        Err(SmarcoError::NoVacancy {
+            tried: (0..self.config.noc.subrings).collect(),
+        })
     }
 
     /// Moves every shard's staged observations into the facade: trace
@@ -583,6 +745,10 @@ impl SmarcoSystem {
             mem_latency.merge(sub.mem_latency());
             sub_util += sub.payload_utilization();
         }
+        let mut degradation = self.hub().degradation(now);
+        for sub in self.subs() {
+            degradation.absorb(&sub.degradation());
+        }
         let n = self.cores_len() as f64;
         SmarcoReport {
             cycles: now,
@@ -602,6 +768,7 @@ impl SmarcoSystem {
             } else {
                 1.0 - l1d_hits as f64 / l1d_total as f64
             },
+            degradation,
         }
     }
 }
@@ -629,6 +796,10 @@ mod tests {
     use smarco_isa::{Op, ProgramBuilder};
     use smarco_sim::rng::SimRng;
 
+    fn build(cfg: SmarcoConfig) -> SmarcoSystem {
+        SmarcoSystem::builder().config(cfg).build().unwrap()
+    }
+
     fn htc_mix(base: u64) -> OpMix {
         OpMix {
             mem_frac: 0.35,
@@ -646,7 +817,7 @@ mod tests {
     }
 
     fn loaded_tiny_with(cfg: SmarcoConfig, threads_per_core: usize, instrs: u64) -> SmarcoSystem {
-        let mut sys = SmarcoSystem::new(cfg);
+        let mut sys = build(cfg);
         let mut seed = 1;
         for c in 0..sys.cores_len() {
             for _ in 0..threads_per_core {
@@ -705,11 +876,11 @@ mod tests {
 
     #[test]
     fn mact_reduces_dram_requests() {
-        let mut with = loaded_interleaved(SmarcoSystem::new(SmarcoConfig::tiny()), 300);
+        let mut with = loaded_interleaved(build(SmarcoConfig::tiny()), 300);
         let r_with = with.run(4_000_000);
         let mut cfg = SmarcoConfig::tiny();
         cfg.mact = None;
-        let mut without = loaded_interleaved(SmarcoSystem::new(cfg), 300);
+        let mut without = loaded_interleaved(build(cfg), 300);
         let r_without = without.run(4_000_000);
         assert!(r_with.mact_batches > 0);
         assert!(
@@ -727,7 +898,7 @@ mod tests {
 
     #[test]
     fn spm_resident_workload_stays_local() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         let space = sys.address_space();
         for c in 0..sys.cores_len() {
             sys.core_mut(c).spm_mut().make_resident(0, 8192);
@@ -747,7 +918,7 @@ mod tests {
 
     #[test]
     fn realtime_requests_use_direct_path_and_bypass_mact() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         let mut mix = htc_mix(0x100_0000);
         mix.realtime_frac = 1.0;
         mix.load_frac = 1.0;
@@ -763,7 +934,7 @@ mod tests {
     fn realtime_without_direct_path_rides_the_rings() {
         let mut cfg = SmarcoConfig::tiny();
         cfg.direct = None;
-        let mut sys = SmarcoSystem::new(cfg);
+        let mut sys = build(cfg);
         let mut mix = htc_mix(0x100_0000);
         mix.realtime_frac = 1.0;
         mix.load_frac = 1.0;
@@ -777,7 +948,7 @@ mod tests {
 
     #[test]
     fn remote_spm_round_trip() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         let space = sys.address_space();
         let remote = space.spm_base(5);
         let prog = ProgramBuilder::at(0)
@@ -794,7 +965,7 @@ mod tests {
     #[test]
     fn hardware_dispatcher_runs_tasks_to_their_deadlines() {
         use smarco_sched::TaskPriority;
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         // 256 tasks on a 128-slot chip: the dispatcher must queue, place
         // and recycle slots. Work ≈ 500 compute ops each.
         for i in 0..256u64 {
@@ -828,7 +999,7 @@ mod tests {
     #[test]
     fn dispatcher_spreads_tasks_across_subrings() {
         use smarco_sched::TaskPriority;
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         for _ in 0..32 {
             sys.submit_task(
                 Box::new(smarco_isa::mix::compute_only(200)),
@@ -852,7 +1023,7 @@ mod tests {
 
     #[test]
     fn spm_to_spm_dma_travels_the_rings() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         let space = sys.address_space();
         // Core 5 (another sub-ring) owns the source data; core 0 pulls
         // 4 KB into its own SPM, syncs, then reads it locally.
@@ -901,7 +1072,7 @@ mod tests {
 
     #[test]
     fn attach_anywhere_fills_cores_in_order() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = build(SmarcoConfig::tiny());
         for i in 0..(16 * 8) {
             let (c, _t) = sys
                 .attach_anywhere(Box::new(smarco_isa::mix::compute_only(10)))

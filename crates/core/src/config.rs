@@ -1,5 +1,6 @@
 //! Core and chip configurations.
 
+use crate::fault::FaultPlan;
 use smarco_mem::cache::CacheConfig;
 use smarco_mem::dram::DramConfig;
 use smarco_mem::mact::MactConfig;
@@ -78,16 +79,30 @@ impl TcgConfig {
     ///
     /// Panics on zero pairs/threads or more threads than `2 × pairs`.
     pub fn validate(&self) {
-        assert!(self.pairs > 0, "need at least one pair");
-        assert!(
-            self.resident_threads > 0 && self.resident_threads <= 2 * self.pairs,
-            "resident threads must be 1..=2*pairs"
-        );
-        assert!(
-            self.spm_latency > 0 && self.cache_hit_latency > 0,
-            "latencies must be positive"
-        );
-        assert!(self.pipeline_depth > 0, "pipeline depth must be positive");
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
+        }
+    }
+
+    /// Non-panicking validation, used by the chip builder.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found, as a human-readable string.
+    pub fn check(&self) -> Result<(), String> {
+        if self.pairs == 0 {
+            return Err("need at least one pair".into());
+        }
+        if self.resident_threads == 0 || self.resident_threads > 2 * self.pairs {
+            return Err("resident threads must be 1..=2*pairs".into());
+        }
+        if self.spm_latency == 0 || self.cache_hit_latency == 0 {
+            return Err("latencies must be positive".into());
+        }
+        if self.pipeline_depth == 0 {
+            return Err("pipeline depth must be positive".into());
+        }
+        Ok(())
     }
 }
 
@@ -120,6 +135,10 @@ pub struct SmarcoConfig {
     /// bit-identical either way (the off switch exists for debugging and
     /// for the determinism suite's cross-checks).
     pub cycle_skip: bool,
+    /// Fault-injection plan; `None` (and the zero plan) model a healthy
+    /// chip. Usually set through
+    /// [`SmarcoSystemBuilder::fault_plan`](crate::chip::SmarcoSystemBuilder::fault_plan).
+    pub fault: Option<FaultPlan>,
 }
 
 impl SmarcoConfig {
@@ -135,6 +154,7 @@ impl SmarcoConfig {
             obs: ObsConfig::off(),
             workers: 1,
             cycle_skip: true,
+            fault: None,
         }
     }
 
@@ -157,6 +177,7 @@ impl SmarcoConfig {
             obs: ObsConfig::off(),
             workers: 1,
             cycle_skip: true,
+            fault: None,
         }
     }
 
@@ -185,6 +206,7 @@ impl SmarcoConfig {
             obs: ObsConfig::off(),
             workers: 1,
             cycle_skip: true,
+            fault: None,
         }
     }
 
@@ -199,20 +221,40 @@ impl SmarcoConfig {
     ///
     /// Panics if any component configuration is inconsistent.
     pub fn validate(&self) {
-        self.noc.validate();
-        self.tcg.validate();
-        assert!(self.freq_ghz > 0.0, "frequency must be positive");
-        assert!(self.workers > 0, "need at least one worker");
-        assert_eq!(
-            self.dram.channels, self.noc.mem_ctrls,
-            "DRAM channels must match NoC memory controllers"
-        );
-        if let Some(d) = &self.direct {
-            assert_eq!(
-                d.subrings, self.noc.subrings,
-                "direct spokes must match sub-rings"
-            );
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
         }
+    }
+
+    /// Non-panicking whole-chip validation: every component config plus
+    /// the cross-component invariants and (when present) the fault plan's
+    /// geometry. [`SmarcoSystemBuilder::build`](crate::chip::SmarcoSystemBuilder::build)
+    /// runs this before constructing any hardware.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found, as a human-readable string.
+    pub fn check(&self) -> Result<(), String> {
+        self.noc.check()?;
+        self.tcg.check()?;
+        if self.freq_ghz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        if self.workers == 0 {
+            return Err("need at least one worker".into());
+        }
+        if self.dram.channels != self.noc.mem_ctrls {
+            return Err("DRAM channels must match NoC memory controllers".into());
+        }
+        if let Some(d) = &self.direct {
+            if d.subrings != self.noc.subrings {
+                return Err("direct spokes must match sub-rings".into());
+            }
+        }
+        if let Some(plan) = &self.fault {
+            plan.check_geometry(self.noc.cores(), self.dram.channels, self.noc.subrings)?;
+        }
+        Ok(())
     }
 }
 

@@ -151,6 +151,48 @@ impl SubDispatcher {
         }
     }
 
+    /// Recovers from the death of local core `core`: tasks bound to its
+    /// slots are re-enqueued in the chain table with their recovered
+    /// streams (`(slot, stream)` pairs from [`TcgCore::fail`]) and a
+    /// laxity-aware recomputed deadline — restarting from scratch at `now`
+    /// needs at least `work` more cycles, so a deadline that would leave
+    /// negative laxity is pushed out to `now + work`. Returns
+    /// `(redispatched, lost)`: tasks requeued and directly-attached
+    /// threads (not dispatcher-managed) whose work is simply gone.
+    pub fn fail_core(
+        &mut self,
+        core: usize,
+        now: Cycle,
+        streams: Vec<(usize, Box<dyn InstructionStream + Send>)>,
+    ) -> (u64, u64) {
+        let mut redispatched = 0;
+        let mut lost = 0;
+        for (slot, stream) in streams {
+            let Some((task, work)) = self.dispatched.remove(&(core, slot)) else {
+                lost += 1;
+                continue;
+            };
+            let deadline = self.deadlines.get(&task).copied().unwrap_or(Cycle::MAX);
+            let recomputed = deadline.max(now.saturating_add(work));
+            self.deadlines.insert(task, recomputed);
+            if let Some(buf) = self.trace.as_mut() {
+                buf.emit(
+                    now,
+                    EventKind::TaskDispatch {
+                        task,
+                        laxity: (recomputed - now) as i64 - work as i64,
+                        queued: self.sched.pending() as u64 + 1,
+                    },
+                );
+            }
+            self.pending.insert(task, stream);
+            self.sched
+                .enqueue(Task::new(task, now, recomputed, work), now);
+            redispatched += 1;
+        }
+        (redispatched, lost)
+    }
+
     /// One cycle of dispatcher work over this sub-ring's cores: consume
     /// exit signals into `exits`, then bind at most one task to a vacant
     /// slot (the chain-table walk costs dispatch cycles).

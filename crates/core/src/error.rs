@@ -1,0 +1,102 @@
+//! The workspace-wide error type for chip construction and job admission.
+//!
+//! Hand-rolled (`thiserror`-style `Display`/`Error` impls, no derive
+//! macros) to keep the workspace dependency-free. Fallible entry points —
+//! [`crate::chip::SmarcoSystem::builder`], `attach`, `attach_anywhere`,
+//! and the runtime's plan-driven job launchers — all return
+//! [`SmarcoError`] so callers can branch on the failure instead of
+//! unwinding.
+
+/// Why a chip could not be built or a request could not be admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmarcoError {
+    /// The configuration failed validation before any hardware was built.
+    InvalidConfig {
+        /// Human-readable validation failure.
+        reason: String,
+    },
+    /// The addressed core exists but has no vacant thread slot.
+    CoreFull {
+        /// Global core index that was full.
+        core: usize,
+    },
+    /// No core anywhere on the chip had a vacant slot. `tried` lists the
+    /// sub-rings that were probed and found completely full, in probe
+    /// order, so callers can see *where* capacity ran out.
+    NoVacancy {
+        /// Sub-ring indices probed, every core full.
+        tried: Vec<usize>,
+    },
+    /// The addressed core index is outside the chip's geometry.
+    NoSuchCore {
+        /// The out-of-range index.
+        core: usize,
+        /// Cores actually present.
+        cores: usize,
+    },
+    /// A job/DMA plan was internally inconsistent (overlapping regions,
+    /// zero task counts, slices that cannot fit their SPM share, …).
+    InvalidPlan {
+        /// Human-readable plan defect.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for SmarcoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            Self::CoreFull { core } => write!(f, "core {core} has no vacant thread slot"),
+            Self::NoVacancy { tried } => {
+                write!(f, "no vacant thread slot on the chip (sub-rings ")?;
+                for (i, sr) in tried.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{sr}")?;
+                }
+                write!(f, " all full)")
+            }
+            Self::NoSuchCore { core, cores } => {
+                write!(f, "core {core} does not exist (chip has {cores} cores)")
+            }
+            Self::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SmarcoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failing_unit() {
+        let e = SmarcoError::CoreFull { core: 7 };
+        assert!(e.to_string().contains("core 7"));
+        let e = SmarcoError::NoSuchCore {
+            core: 99,
+            cores: 16,
+        };
+        assert!(e.to_string().contains("99"));
+        assert!(e.to_string().contains("16"));
+        let e = SmarcoError::NoVacancy {
+            tried: vec![0, 1, 2],
+        };
+        assert!(e.to_string().contains("0, 1, 2"));
+        let e = SmarcoError::InvalidConfig {
+            reason: "zero workers".into(),
+        };
+        assert!(e.to_string().contains("zero workers"));
+    }
+
+    #[test]
+    fn is_a_std_error() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&SmarcoError::InvalidPlan {
+            reason: "overlap".into(),
+        });
+    }
+}

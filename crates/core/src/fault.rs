@@ -1,0 +1,563 @@
+//! Deterministic fault injection and the recovery budget (§2.1's
+//! datacenter reality: "components fail all the time").
+//!
+//! A [`FaultPlan`] names the faults to inject into one run. Every fault
+//! targets a *site* in the modeled hardware:
+//!
+//! | site        | fault                                                |
+//! |-------------|------------------------------------------------------|
+//! | `noc::link` | transient flit corruption on sub-ring links          |
+//! | `noc::ring` | transient flit corruption on the main ring           |
+//! | `mem::dram` | DDR channel stall windows and hard channel death     |
+//! | `mem::mact` | MACT deadline-engine lockup (batches stop flushing)  |
+//! | `core::tcg` | whole-core failure (threads lost, slots quarantined) |
+//!
+//! Determinism contract: every injection decision is a pure function of
+//! the plan seed and stable identifiers (packet id, retry attempt, fault
+//! schedule cycles). Packet ids are allocated with per-shard strides, so
+//! the same packet gets the same fate for any PDES worker count, and all
+//! scheduled faults publish `next_event` horizons so cycle skipping stays
+//! bit-identical with skipping on or off.
+
+use smarco_sim::rng::SimRng;
+use smarco_sim::Cycle;
+
+use crate::config::SmarcoConfig;
+
+/// Where in the modeled hardware a fault lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// Sub-ring links (`noc::link`).
+    NocLink,
+    /// The main ring (`noc::ring`).
+    NocRing,
+    /// DDR channels (`mem::dram`).
+    MemDram,
+    /// The MACT deadline engine (`mem::mact`).
+    MemMact,
+    /// A TCG core (`core::tcg`).
+    CoreTcg,
+}
+
+impl FaultSite {
+    /// The site's stable name, used in lint messages and docs.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::NocLink => "noc::link",
+            Self::NocRing => "noc::ring",
+            Self::MemDram => "mem::dram",
+            Self::MemMact => "mem::mact",
+            Self::CoreTcg => "core::tcg",
+        }
+    }
+}
+
+/// One fault to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Each sub-ring injection attempt is corrupted (and NACKed back to
+    /// the sender) with probability `permille`/1000.
+    SubRingNoise {
+        /// Corruption probability in units of 1/1000 per attempt.
+        permille: u32,
+    },
+    /// Each main-ring injection attempt is corrupted with probability
+    /// `permille`/1000.
+    MainRingNoise {
+        /// Corruption probability in units of 1/1000 per attempt.
+        permille: u32,
+    },
+    /// DDR channel `channel` accepts no new bursts during
+    /// `[at, at + cycles)`; queued requests wait the stall out.
+    DramStall {
+        /// Channel index.
+        channel: usize,
+        /// First stalled cycle.
+        at: Cycle,
+        /// Stall length in cycles.
+        cycles: Cycle,
+    },
+    /// DDR channel `channel` dies at `at`; later requests are remapped to
+    /// the next live channel and the dead one is quarantined.
+    DramChannelDeath {
+        /// Channel index.
+        channel: usize,
+        /// Cycle of death.
+        at: Cycle,
+    },
+    /// Sub-ring `subring`'s MACT deadline engine locks up during
+    /// `[at, at + cycles)`: open lines stop flushing on deadline (full
+    /// lines and capacity evictions still flush) until the window ends.
+    MactLockup {
+        /// Sub-ring whose MACT is hit.
+        subring: usize,
+        /// First locked cycle.
+        at: Cycle,
+        /// Lockup length in cycles.
+        cycles: Cycle,
+    },
+    /// TCG core `core` fails at `at`: resident threads are lost, tasks
+    /// dispatched to it are re-enqueued with recomputed deadlines, and the
+    /// core is quarantined from further dispatch.
+    CoreDeath {
+        /// Global core index.
+        core: usize,
+        /// Cycle of death.
+        at: Cycle,
+    },
+}
+
+impl Fault {
+    /// The site this fault targets.
+    pub fn site(&self) -> FaultSite {
+        match self {
+            Self::SubRingNoise { .. } => FaultSite::NocLink,
+            Self::MainRingNoise { .. } => FaultSite::NocRing,
+            Self::DramStall { .. } | Self::DramChannelDeath { .. } => FaultSite::MemDram,
+            Self::MactLockup { .. } => FaultSite::MemMact,
+            Self::CoreDeath { .. } => FaultSite::CoreTcg,
+        }
+    }
+}
+
+/// Exponent cap for the backoff shift (keeps `base << k` from
+/// overflowing for absurd retry budgets).
+const MAX_BACKOFF_SHIFT: u32 = 16;
+
+/// The NoC retransmission budget: how many times a corrupted packet is
+/// retried and how long the sender backs off before each retry.
+///
+/// A corrupted injection attempt is NACKed; the sender re-injects after
+/// `backoff(k) = base_backoff << k` cycles (exponential). After
+/// `max_retries` retries the transient fault is considered cleared and
+/// the final attempt always succeeds, so the worst case *delays* a packet
+/// by [`RetryPolicy::worst_case_delay`] but never loses it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retransmissions allowed per packet (beyond the initial attempt).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Cycle,
+}
+
+impl Default for RetryPolicy {
+    /// Three retries starting at 2 cycles: worst case 2 + 4 + 8 = 14
+    /// cycles of added delay, inside the default 16-cycle MACT collection
+    /// window (see lint SL0415).
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff: 2,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry `attempt` (0-based): `base_backoff << attempt`.
+    pub fn backoff(&self, attempt: u32) -> Cycle {
+        self.base_backoff.max(1) << attempt.min(MAX_BACKOFF_SHIFT)
+    }
+
+    /// Total delay a packet suffers if every allowed retry is needed.
+    pub fn worst_case_delay(&self) -> Cycle {
+        (0..self.max_retries).map(|k| self.backoff(k)).sum()
+    }
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// [`FaultPlan::none`] injects nothing and reproduces a healthy run
+/// bit-for-bit; [`FaultPlan::chaos`] draws a representative mixed plan
+/// from a seed. Plans are plain data: build one, hand it to
+/// [`crate::chip::SmarcoSystem::builder`], and read the damage report
+/// from [`crate::report::SmarcoReport::degradation`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    retry: RetryPolicy,
+    faults: Vec<Fault>,
+}
+
+/// Domain-separation salts for the per-packet corruption hash.
+const SALT_SUB: u64 = 0x5355_4252_494e_4753; // "SUBRINGS"
+const SALT_MAIN: u64 = 0x4d41_494e_5249_4e47; // "MAINRING"
+
+impl FaultPlan {
+    /// An empty plan: no faults, no retries ever needed. A chip built
+    /// with this plan behaves exactly like one built with no plan.
+    pub fn none() -> Self {
+        Self::new(0)
+    }
+
+    /// An empty plan carrying `seed`; add faults with
+    /// [`FaultPlan::with_fault`].
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            retry: RetryPolicy::default(),
+            faults: Vec::new(),
+        }
+    }
+
+    /// A representative mixed plan drawn from `seed`: link noise on both
+    /// ring levels, one core death, one DDR stall, one channel death
+    /// (when more than one channel exists) and one MACT lockup, all
+    /// targeting units inside `config`'s geometry.
+    pub fn chaos(seed: u64, config: &SmarcoConfig) -> Self {
+        let mut rng = SimRng::new(seed);
+        let mut plan = Self::new(seed);
+        plan.faults.push(Fault::SubRingNoise {
+            permille: 20 + rng.gen_range(40) as u32,
+        });
+        plan.faults.push(Fault::MainRingNoise {
+            permille: 10 + rng.gen_range(30) as u32,
+        });
+        plan.faults.push(Fault::CoreDeath {
+            core: rng.gen_index(config.noc.cores()),
+            at: 2_000 + rng.gen_range(8_000),
+        });
+        plan.faults.push(Fault::DramStall {
+            channel: rng.gen_index(config.dram.channels),
+            at: 1_000 + rng.gen_range(4_000),
+            cycles: 1_000 + rng.gen_range(2_000),
+        });
+        if config.dram.channels > 1 {
+            plan.faults.push(Fault::DramChannelDeath {
+                channel: rng.gen_index(config.dram.channels),
+                at: 20_000 + rng.gen_range(20_000),
+            });
+        }
+        plan.faults.push(Fault::MactLockup {
+            subring: rng.gen_index(config.noc.subrings),
+            at: 1_000 + rng.gen_range(4_000),
+            cycles: 500 + rng.gen_range(1_000),
+        });
+        plan
+    }
+
+    /// Adds one fault (builder style).
+    #[must_use]
+    pub fn with_fault(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Overrides the retransmission budget (builder style).
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The retransmission budget.
+    pub fn retry(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// The faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether the plan injects nothing at all.
+    pub fn is_zero(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Strongest sub-ring corruption probability (permille per attempt).
+    pub fn sub_noise_permille(&self) -> u32 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::SubRingNoise { permille } => Some(*permille),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Strongest main-ring corruption probability (permille per attempt).
+    pub fn main_noise_permille(&self) -> u32 {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MainRingNoise { permille } => Some(*permille),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether injection attempt `attempt` of packet `packet` is
+    /// corrupted on a sub-ring link. Pure in `(seed, packet, attempt)`,
+    /// so the verdict is identical for any worker count.
+    pub fn corrupts_sub(&self, packet: u64, attempt: u32) -> bool {
+        corrupt(
+            self.seed,
+            SALT_SUB,
+            packet,
+            attempt,
+            self.sub_noise_permille(),
+        )
+    }
+
+    /// Whether injection attempt `attempt` of packet `packet` is
+    /// corrupted on the main ring.
+    pub fn corrupts_main(&self, packet: u64, attempt: u32) -> bool {
+        corrupt(
+            self.seed,
+            SALT_MAIN,
+            packet,
+            attempt,
+            self.main_noise_permille(),
+        )
+    }
+
+    /// Core deaths with `lo <= core < hi`, sorted by `(cycle, core)`.
+    pub fn core_kills_in(&self, lo: usize, hi: usize) -> Vec<(Cycle, usize)> {
+        let mut kills: Vec<(Cycle, usize)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::CoreDeath { core, at } if (lo..hi).contains(core) => Some((*at, *core)),
+                _ => None,
+            })
+            .collect();
+        kills.sort_unstable();
+        kills.dedup_by_key(|k| k.1);
+        kills
+    }
+
+    /// MACT lockup windows `[from, to)` for `subring`, sorted by start.
+    pub fn mact_lockups(&self, subring: usize) -> Vec<(Cycle, Cycle)> {
+        let mut windows: Vec<(Cycle, Cycle)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::MactLockup {
+                    subring: sr,
+                    at,
+                    cycles,
+                } if *sr == subring => Some((*at, at.saturating_add(*cycles))),
+                _ => None,
+            })
+            .collect();
+        windows.sort_unstable();
+        windows
+    }
+
+    /// DDR stall windows as `(channel, from, to)`.
+    pub fn dram_stalls(&self) -> Vec<(usize, Cycle, Cycle)> {
+        self.faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DramStall {
+                    channel,
+                    at,
+                    cycles,
+                } => Some((*channel, *at, at.saturating_add(*cycles))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Channel deaths as `(channel, cycle)`, earliest death per channel.
+    pub fn channel_deaths(&self) -> Vec<(usize, Cycle)> {
+        let mut deaths: Vec<(usize, Cycle)> = self
+            .faults
+            .iter()
+            .filter_map(|f| match f {
+                Fault::DramChannelDeath { channel, at } => Some((*channel, *at)),
+                _ => None,
+            })
+            .collect();
+        deaths.sort_unstable();
+        deaths.dedup_by_key(|d| d.0);
+        deaths
+    }
+
+    /// Checks every fault targets a unit inside the chip geometry and
+    /// carries a sane probability. Mirrors lint SL0414.
+    pub fn check_geometry(
+        &self,
+        cores: usize,
+        channels: usize,
+        subrings: usize,
+    ) -> Result<(), String> {
+        for fault in &self.faults {
+            match *fault {
+                Fault::SubRingNoise { permille } | Fault::MainRingNoise { permille } => {
+                    if permille > 1000 {
+                        return Err(format!(
+                            "{} noise of {permille}\u{2030} exceeds certainty (1000\u{2030})",
+                            fault.site().name()
+                        ));
+                    }
+                }
+                Fault::DramStall { channel, .. } | Fault::DramChannelDeath { channel, .. } => {
+                    if channel >= channels {
+                        return Err(format!(
+                            "{} fault targets channel {channel}, chip has {channels}",
+                            fault.site().name()
+                        ));
+                    }
+                }
+                Fault::MactLockup { subring, .. } => {
+                    if subring >= subrings {
+                        return Err(format!(
+                            "{} fault targets sub-ring {subring}, chip has {subrings}",
+                            fault.site().name()
+                        ));
+                    }
+                }
+                Fault::CoreDeath { core, .. } => {
+                    if core >= cores {
+                        return Err(format!(
+                            "{} fault targets core {core}, chip has {cores}",
+                            fault.site().name()
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The pure corruption verdict: hash `(seed, salt, packet, attempt)` into
+/// an RNG and draw once. No shared state, so any shard on any worker
+/// reaches the same verdict for the same attempt.
+fn corrupt(seed: u64, salt: u64, packet: u64, attempt: u32, permille: u32) -> bool {
+    if permille == 0 {
+        return false;
+    }
+    let mut rng = SimRng::new(
+        seed ^ salt ^ packet.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (u64::from(attempt) << 56),
+    );
+    rng.gen_range(1000) < u64::from(permille)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_schedule_is_exponential() {
+        let r = RetryPolicy {
+            max_retries: 4,
+            base_backoff: 8,
+        };
+        assert_eq!(r.backoff(0), 8);
+        assert_eq!(r.backoff(1), 16);
+        assert_eq!(r.backoff(2), 32);
+        assert_eq!(r.backoff(3), 64);
+        assert_eq!(r.worst_case_delay(), 8 + 16 + 32 + 64);
+    }
+
+    #[test]
+    fn backoff_shift_is_capped_and_base_floored() {
+        let r = RetryPolicy {
+            max_retries: 100,
+            base_backoff: 0,
+        };
+        // A zero base still backs off at least one cycle, and the shift
+        // saturates instead of overflowing.
+        assert_eq!(r.backoff(0), 1);
+        assert_eq!(r.backoff(63), 1 << MAX_BACKOFF_SHIFT);
+        assert!(r.worst_case_delay() > 0);
+    }
+
+    #[test]
+    fn default_budget_fits_the_mact_window() {
+        let r = RetryPolicy::default();
+        assert_eq!(r.worst_case_delay(), 14);
+        assert!(r.worst_case_delay() < 16, "must not starve batched lines");
+    }
+
+    #[test]
+    fn corruption_is_a_pure_function() {
+        let plan = FaultPlan::new(7).with_fault(Fault::SubRingNoise { permille: 500 });
+        for packet in 0..200u64 {
+            for attempt in 0..3 {
+                assert_eq!(
+                    plan.corrupts_sub(packet, attempt),
+                    plan.corrupts_sub(packet, attempt)
+                );
+            }
+        }
+        // Roughly half the packets should be corrupted at 500‰.
+        let hits = (0..1000u64).filter(|&p| plan.corrupts_sub(p, 0)).count();
+        assert!((350..650).contains(&hits), "hits {hits}");
+        // The main-ring verdict uses a different salt.
+        assert!((0..1000u64).any(|p| plan.corrupts_sub(p, 0) != plan.corrupts_main(p, 0)));
+    }
+
+    #[test]
+    fn zero_plan_corrupts_nothing() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_zero());
+        assert!(!plan.corrupts_sub(1, 0));
+        assert!(!plan.corrupts_main(1, 0));
+        assert!(plan.core_kills_in(0, usize::MAX).is_empty());
+        assert!(plan.channel_deaths().is_empty());
+    }
+
+    #[test]
+    fn chaos_respects_geometry() {
+        let cfg = SmarcoConfig::tiny();
+        for seed in 0..32 {
+            let plan = FaultPlan::chaos(seed, &cfg);
+            assert!(!plan.is_zero());
+            plan.check_geometry(cfg.noc.cores(), cfg.dram.channels, cfg.noc.subrings)
+                .expect("chaos plans target real units");
+        }
+    }
+
+    #[test]
+    fn geometry_check_rejects_out_of_range_targets() {
+        let plan = FaultPlan::new(1).with_fault(Fault::CoreDeath { core: 99, at: 10 });
+        assert!(plan.check_geometry(16, 2, 4).is_err());
+        let plan = FaultPlan::new(1).with_fault(Fault::DramChannelDeath { channel: 5, at: 10 });
+        assert!(plan.check_geometry(16, 2, 4).is_err());
+        let plan = FaultPlan::new(1).with_fault(Fault::MactLockup {
+            subring: 9,
+            at: 0,
+            cycles: 5,
+        });
+        assert!(plan.check_geometry(16, 2, 4).is_err());
+        let plan = FaultPlan::new(1).with_fault(Fault::SubRingNoise { permille: 2000 });
+        assert!(plan.check_geometry(16, 2, 4).is_err());
+    }
+
+    #[test]
+    fn per_shard_queries_slice_the_plan() {
+        let plan = FaultPlan::new(3)
+            .with_fault(Fault::CoreDeath { core: 2, at: 50 })
+            .with_fault(Fault::CoreDeath { core: 9, at: 20 })
+            .with_fault(Fault::MactLockup {
+                subring: 1,
+                at: 100,
+                cycles: 40,
+            })
+            .with_fault(Fault::DramStall {
+                channel: 0,
+                at: 10,
+                cycles: 5,
+            })
+            .with_fault(Fault::DramChannelDeath {
+                channel: 1,
+                at: 999,
+            });
+        assert_eq!(plan.core_kills_in(0, 4), vec![(50, 2)]);
+        assert_eq!(plan.core_kills_in(4, 12), vec![(20, 9)]);
+        assert_eq!(plan.mact_lockups(1), vec![(100, 140)]);
+        assert!(plan.mact_lockups(0).is_empty());
+        assert_eq!(plan.dram_stalls(), vec![(0, 10, 15)]);
+        assert_eq!(plan.channel_deaths(), vec![(1, 999)]);
+    }
+}

@@ -27,18 +27,27 @@
 //!   submitted tasks to TCG thread slots.
 //! * [`report`] — run statistics (IPC, latency, utilization) consumed by
 //!   the bench harness.
+//! * [`fault`] — deterministic fault injection ([`fault::FaultPlan`]) and
+//!   the three-layer recovery stack: NoC retransmit with exponential
+//!   backoff, scheduler re-dispatch off dead cores, chip-level quarantine.
+//! * [`error`] — [`error::SmarcoError`], the workspace-wide error type
+//!   returned by the builder and attach/submit entrypoints.
 
 #![warn(missing_docs)]
 
 pub mod chip;
 pub mod config;
 pub mod dispatch;
+pub mod error;
+pub mod fault;
 pub mod report;
 pub mod shard;
 pub mod tcg;
 pub mod thread;
 
-pub use chip::SmarcoSystem;
+pub use chip::{SmarcoSystem, SmarcoSystemBuilder};
 pub use config::{SmarcoConfig, TcgConfig};
-pub use report::SmarcoReport;
+pub use error::SmarcoError;
+pub use fault::{Fault, FaultPlan, FaultSite, RetryPolicy};
+pub use report::{DegradationReport, SmarcoReport};
 pub use tcg::TcgCore;

@@ -35,6 +35,55 @@ pub struct SmarcoReport {
     pub ifetch_miss_ratio: f64,
     /// D-cache miss ratio (aggregated).
     pub l1d_miss_ratio: f64,
+    /// What fault injection did to the run and what recovery cost. All
+    /// zeros (the default) on a healthy run, so report equality against
+    /// pre-fault baselines still holds.
+    pub degradation: DegradationReport,
+}
+
+/// The damage-and-recovery section of a [`SmarcoReport`]: how much fault
+/// injection perturbed the run and what the three recovery layers
+/// (NoC retransmit, scheduler re-dispatch, chip-level quarantine) did
+/// about it. Deterministic — bit-identical across worker counts and with
+/// cycle skipping on or off.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// NoC injection attempts NACKed and retransmitted (both ring levels).
+    pub link_retries: u64,
+    /// Tasks re-enqueued after their core died.
+    pub redispatches: u64,
+    /// Cores killed and quarantined from dispatch.
+    pub quarantined_cores: u64,
+    /// DDR channels dead and quarantined from the address map.
+    pub quarantined_channels: u64,
+    /// DRAM requests remapped from a dead channel to a live one.
+    pub redirected_requests: u64,
+    /// Memory replies that arrived for threads lost with a dead core.
+    pub dropped_replies: u64,
+    /// Directly-attached threads (not dispatcher-managed) lost with a
+    /// dead core — work with no recovery path.
+    pub lost_threads: u64,
+    /// Requests a DDR stall window delayed.
+    pub dram_stalled_requests: u64,
+}
+
+impl DegradationReport {
+    /// Whether the run saw no faults and spent nothing on recovery.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Adds `other`'s counters into this one (per-shard → chip-wide).
+    pub fn absorb(&mut self, other: &DegradationReport) {
+        self.link_retries += other.link_retries;
+        self.redispatches += other.redispatches;
+        self.quarantined_cores += other.quarantined_cores;
+        self.quarantined_channels += other.quarantined_channels;
+        self.redirected_requests += other.redirected_requests;
+        self.dropped_replies += other.dropped_replies;
+        self.lost_threads += other.lost_threads;
+        self.dram_stalled_requests += other.dram_stalled_requests;
+    }
 }
 
 impl SmarcoReport {
@@ -70,6 +119,17 @@ impl SmarcoReport {
         }
     }
 
+    /// Throughput of this (degraded) run relative to `healthy`'s: the
+    /// goodput fraction a chaos run retains. 1.0 when `healthy` did no
+    /// work (nothing to lose).
+    pub fn goodput_vs(&self, healthy: &SmarcoReport) -> f64 {
+        if healthy.ipc() == 0.0 {
+            1.0
+        } else {
+            self.ipc() / healthy.ipc()
+        }
+    }
+
     /// Flattens into a named scalar report for the bench harness.
     pub fn to_stats(&self) -> StatsReport {
         let mut s = StatsReport::new();
@@ -87,6 +147,17 @@ impl SmarcoReport {
         s.set("idle_ratio", self.idle_ratio);
         s.set("ifetch_miss_ratio", self.ifetch_miss_ratio);
         s.set("l1d_miss_ratio", self.l1d_miss_ratio);
+        if !self.degradation.is_clean() {
+            let d = &self.degradation;
+            s.set("link_retries", d.link_retries as f64);
+            s.set("redispatches", d.redispatches as f64);
+            s.set("quarantined_cores", d.quarantined_cores as f64);
+            s.set("quarantined_channels", d.quarantined_channels as f64);
+            s.set("redirected_requests", d.redirected_requests as f64);
+            s.set("dropped_replies", d.dropped_replies as f64);
+            s.set("lost_threads", d.lost_threads as f64);
+            s.set("dram_stalled_requests", d.dram_stalled_requests as f64);
+        }
         s
     }
 }

@@ -26,6 +26,7 @@ use smarco_noc::direct::DirectSpoke;
 use smarco_noc::packet::{NodeId, Packet};
 use smarco_noc::{MainRingEvent, MainRingNoc, SubRingEvent, SubRingNoc};
 use smarco_sched::{MainScheduler, Task};
+use smarco_sim::event::EventWheel;
 use smarco_sim::obs::{TraceConfig, TraceSink};
 use smarco_sim::parallel::{Inbox, Outbox, Shard};
 use smarco_sim::stats::MeanTracker;
@@ -33,6 +34,8 @@ use smarco_sim::Cycle;
 
 use crate::config::SmarcoConfig;
 use crate::dispatch::{ExitSignal, SubDispatcher, TaskExit};
+use crate::fault::FaultPlan;
+use crate::report::DegradationReport;
 use crate::tcg::{CoreFull, CoreRequest, RequestKind, TcgCore};
 
 /// A request travelling the uncore, with enough context to complete it.
@@ -117,6 +120,20 @@ fn min_horizon(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
     }
 }
 
+/// Where a sub-ring packet enters the ring — remembered across NACKed
+/// injection attempts so a retransmission re-enters at the same port.
+#[derive(Debug, Clone, Copy)]
+enum RingSource {
+    /// A core's injection port (global core id).
+    Core(usize),
+    /// The junction's downlink port.
+    Junction,
+}
+
+/// A NACKed packet waiting out its backoff: `(next attempt, entry port,
+/// packet)`.
+type Retransmit = (u32, RingSource, Packet<ChipPayload>);
+
 /// Transfer size of a DMA pull. `MemRef` widths cap at 64 bytes, so the
 /// size is carried by the fill range (one SPM block when the destination
 /// is not local SPM).
@@ -160,6 +177,16 @@ pub struct SubShard {
     outstanding: HashMap<RequestId, usize>,
     req_buf: Vec<CoreRequest>,
     exit_buf: Vec<ExitSignal>,
+    /// The run's fault plan (zero plan when none was configured).
+    plan: FaultPlan,
+    /// Scheduled deaths of this shard's cores, sorted by `(cycle, core)`.
+    kills: Vec<(Cycle, usize)>,
+    /// Next unprocessed entry in `kills`.
+    next_kill: usize,
+    /// NACKed packets waiting out their exponential backoff.
+    retransmit: EventWheel<Retransmit>,
+    /// Fault damage and recovery spend observed by this shard.
+    degradation: DegradationReport,
 }
 
 impl std::fmt::Debug for SubShard {
@@ -181,6 +208,10 @@ impl SubShard {
         let cores = (sr * cps..(sr + 1) * cps)
             .map(|i| TcgCore::new(i, config.tcg, space))
             .collect();
+        let plan = config.fault.clone().unwrap_or_else(FaultPlan::none);
+        let kills = plan.core_kills_in(sr * cps, (sr + 1) * cps);
+        let mut mact = Mact::new(config.mact.unwrap_or_default());
+        mact.set_lockups(plan.mact_lockups(sr));
         Self {
             sr,
             hub: config.noc.subrings,
@@ -190,7 +221,7 @@ impl SubShard {
             mact_on: config.mact.is_some(),
             cores,
             noc: SubRingNoc::new(sr, cps, config.noc.sub_link),
-            mact: Mact::new(config.mact.unwrap_or_default()),
+            mact,
             dispatcher: SubDispatcher::new(cps * config.tcg.resident_threads),
             to_mem: config
                 .direct
@@ -205,7 +236,17 @@ impl SubShard {
             outstanding: HashMap::new(),
             req_buf: Vec::new(),
             exit_buf: Vec::new(),
+            plan,
+            kills,
+            next_kill: 0,
+            retransmit: EventWheel::new(),
+            degradation: DegradationReport::default(),
         }
+    }
+
+    /// Fault damage and recovery spend this shard has observed.
+    pub fn degradation(&self) -> DegradationReport {
+        self.degradation
     }
 
     /// This shard's sub-ring index.
@@ -323,6 +364,7 @@ impl SubShard {
             && self.noc.is_idle()
             && self.mact.open_lines() == 0
             && self.to_mem.as_ref().is_none_or(DirectSpoke::is_idle)
+            && self.retransmit.is_empty()
             && self.cores.iter().all(TcgCore::is_done)
     }
 
@@ -357,11 +399,43 @@ impl SubShard {
         outbox: &mut Outbox<ChipMsg>,
     ) {
         if pkt.src == pkt.dst {
+            // Self-delivery never touches a link, so it cannot corrupt.
             self.handle_delivery(pkt, now, outbox);
             return;
         }
-        let pos = self.local_pos(core);
-        if let Some(p) = self.noc.inject_from_core(pos, pkt) {
+        self.inject_sub(RingSource::Core(core), pkt, 0, now, outbox);
+    }
+
+    /// Attempt `attempt` at putting `pkt` on the sub-ring. A corrupted
+    /// attempt is NACKed back to the entry port, which re-injects after
+    /// the retry policy's exponential backoff; the attempt after the last
+    /// allowed retry always succeeds (the transient has cleared), so a
+    /// noisy link *delays* packets but never loses them. The verdict is a
+    /// pure function of `(plan seed, packet id, attempt)` — identical for
+    /// any PDES worker count.
+    fn inject_sub(
+        &mut self,
+        source: RingSource,
+        pkt: Packet<ChipPayload>,
+        attempt: u32,
+        now: Cycle,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        let retry = self.plan.retry();
+        if attempt < retry.max_retries && self.plan.corrupts_sub(pkt.id, attempt) {
+            self.degradation.link_retries += 1;
+            self.retransmit
+                .schedule(now + retry.backoff(attempt), (attempt + 1, source, pkt));
+            return;
+        }
+        let delivered = match source {
+            RingSource::Core(core) => {
+                let pos = self.local_pos(core);
+                self.noc.inject_from_core(pos, pkt)
+            }
+            RingSource::Junction => self.noc.inject_from_junction(pkt),
+        };
+        if let Some(p) = delivered {
             self.handle_delivery(p, now, outbox);
         }
     }
@@ -501,9 +575,7 @@ impl SubShard {
                         now,
                         ChipPayload::Reply(ucr),
                     );
-                    if let Some(d) = self.noc.inject_from_junction(p) {
-                        self.handle_delivery(d, now, outbox);
-                    }
+                    self.inject_sub(RingSource::Junction, p, 0, now, outbox);
                 }
             }
             ChipPayload::Reply(ucr) => {
@@ -561,7 +633,11 @@ impl SubShard {
                 debug_assert_eq!(c, ucr.req.core);
                 if let RequestKind::DmaPull { fill, .. } = ucr.kind {
                     let local = self.local_pos(c);
-                    self.cores[local].dma_complete(ucr.thread, fill);
+                    if self.cores[local].is_alive() {
+                        self.cores[local].dma_complete(ucr.thread, fill);
+                    } else {
+                        self.degradation.dropped_replies += 1;
+                    }
                 }
             }
             ChipPayload::Batch(_) => panic!("MACT batch delivered inside a sub-ring shard"),
@@ -571,12 +647,19 @@ impl SubShard {
     fn complete_request(&mut self, core: usize, ucr: UncoreReq, now: Cycle) {
         debug_assert_eq!(core, ucr.req.core);
         if let Some(thread) = self.outstanding.remove(&ucr.req.id) {
+            let local = self.local_pos(core);
+            if !self.cores[local].is_alive() {
+                // The issuing thread died with its core; the reply has no
+                // one to wake. Still retired from `outstanding` above so
+                // the shard can drain.
+                self.degradation.dropped_replies += 1;
+                return;
+            }
             let lat = now.saturating_sub(ucr.req.issued_at) as f64;
             self.mem_latency.record(lat);
             if self.collect_latency {
                 self.lat_samples.push(lat);
             }
-            let local = self.local_pos(core);
             self.cores[local].complete(thread, now);
         }
     }
@@ -585,14 +668,28 @@ impl SubShard {
     /// within the shard: boundary arrivals, ring, dispatcher, cores, MACT,
     /// direct-path departures.
     fn step(&mut self, now: Cycle, inbox: &mut Inbox<ChipMsg>, outbox: &mut Outbox<ChipMsg>) {
+        // 0. Scheduled core deaths fire: rip out the streams, re-enqueue
+        //    dispatcher-managed tasks with recomputed deadlines, and
+        //    quarantine the core (it reports no vacancy from here on).
+        while self.next_kill < self.kills.len() && self.kills[self.next_kill].0 <= now {
+            let (_, core) = self.kills[self.next_kill];
+            self.next_kill += 1;
+            let local = self.local_pos(core);
+            if !self.cores[local].is_alive() {
+                continue;
+            }
+            let streams = self.cores[local].fail();
+            self.degradation.quarantined_cores += 1;
+            let (redispatched, lost) = self.dispatcher.fail_core(local, now, streams);
+            self.degradation.redispatches += redispatched;
+            self.degradation.lost_threads += lost;
+        }
         // 1. Boundary messages due this cycle.
         while let Some(msg) = inbox.pop_due(now) {
             match msg {
                 ChipMsg::Down(pkt) => match pkt.dst {
                     NodeId::Core(_) => {
-                        if let Some(p) = self.noc.inject_from_junction(pkt) {
-                            self.handle_delivery(p, now, outbox);
-                        }
+                        self.inject_sub(RingSource::Junction, pkt, 0, now, outbox);
                     }
                     NodeId::Junction(_) => self.handle_delivery(pkt, now, outbox),
                     other => panic!("downlink packet addressed to {other:?}"),
@@ -600,6 +697,10 @@ impl SubShard {
                 ChipMsg::DirectReply(ucr) => self.complete_request(ucr.req.core, ucr, now),
                 other => panic!("sub-ring shard received {other:?}"),
             }
+        }
+        // 1b. NACKed packets whose backoff expired re-enter the ring.
+        while let Some((attempt, source, pkt)) = self.retransmit.pop_due(now) {
+            self.inject_sub(source, pkt, attempt, now, outbox);
         }
         // 2. Sub-ring deliveries and junction climbs.
         for ev in self.noc.tick(now) {
@@ -662,10 +763,12 @@ impl SubShard {
 
     /// Event horizon over every simulated structure in the shard: cores
     /// (stall ends, DMA, retirees), the sub-ring router (in-flight flits),
-    /// the MACT (open-line deadlines), the dispatcher (pending tasks able
-    /// to bind) and the direct-path sender spoke. Blocking requests in
-    /// `outstanding` need no term — their replies arrive as boundary
-    /// messages, which the engine accounts for via the inbox.
+    /// the MACT (open-line deadlines, slid past lockup windows), the
+    /// dispatcher (pending tasks able to bind), the direct-path sender
+    /// spoke, plus the fault machinery — the next scheduled core death and
+    /// the earliest retransmission due. Blocking requests in `outstanding`
+    /// need no term — their replies arrive as boundary messages, which the
+    /// engine accounts for via the inbox.
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let mut h = None;
         for core in &self.cores {
@@ -678,6 +781,10 @@ impl SubShard {
         if let Some(spoke) = self.to_mem.as_ref() {
             h = min_horizon(h, spoke.next_event(now));
         }
+        if let Some(&(at, _)) = self.kills.get(self.next_kill) {
+            h = min_horizon(h, Some(now.max(at)));
+        }
+        h = min_horizon(h, self.retransmit.next_due().map(|d| now.max(d)));
         h
     }
 
@@ -697,7 +804,7 @@ impl SubShard {
             "cycle-skipped a MACT with flushed batches waiting"
         );
         debug_assert!(
-            self.mact.earliest_deadline().is_none_or(|d| d >= to),
+            self.mact.next_event(from).is_none_or(|d| d >= to),
             "cycle-skipped past a MACT line deadline"
         );
         debug_assert!(
@@ -705,6 +812,16 @@ impl SubShard {
                 .next_event(from, self.cores.iter().any(TcgCore::has_vacancy))
                 .is_none_or(|d| d >= to),
             "cycle-skipped past a ready dispatch"
+        );
+        debug_assert!(
+            self.kills
+                .get(self.next_kill)
+                .is_none_or(|&(at, _)| at >= to),
+            "cycle-skipped past a scheduled core death"
+        );
+        debug_assert!(
+            self.retransmit.next_due().is_none_or(|d| d >= to),
+            "cycle-skipped past a due retransmission"
         );
         if let Some(spoke) = self.to_mem.as_mut() {
             spoke.skip_idle(from, to);
@@ -727,6 +844,15 @@ pub struct HubShard {
     dram_requests: u64,
     next_packet: u64,
     packet_stride: u64,
+    /// The run's fault plan (zero plan when none was configured).
+    plan: FaultPlan,
+    /// DDR channel deaths as `(channel, cycle)`, earliest per channel.
+    channel_deaths: Vec<(usize, Cycle)>,
+    /// NACKed main-ring packets waiting out their backoff, with the
+    /// attempt number of the next injection.
+    retransmit: EventWheel<(u32, Packet<ChipPayload>)>,
+    /// Fault damage and recovery spend observed by the hub.
+    degradation: DegradationReport,
 }
 
 impl std::fmt::Debug for HubShard {
@@ -742,12 +868,17 @@ impl HubShard {
     /// Builds the hub shard of a chip with `config`.
     pub fn new(config: &SmarcoConfig) -> Self {
         let n_shards = (config.noc.subrings + 1) as u64;
+        let plan = config.fault.clone().unwrap_or_else(FaultPlan::none);
+        let mut dram = Dram::new(config.dram);
+        for (channel, from, to) in plan.dram_stalls() {
+            dram.stall_channel(channel, from, to);
+        }
         Self {
             jl: config.noc.junction_latency,
             cores_per_subring: config.noc.cores_per_subring,
             channels: config.dram.channels,
             main: MainRingNoc::new(&config.noc),
-            dram: Dram::new(config.dram),
+            dram,
             from_mem: config
                 .direct
                 .map(|d| {
@@ -761,7 +892,25 @@ impl HubShard {
             dram_requests: 0,
             next_packet: config.noc.subrings as u64,
             packet_stride: n_shards,
+            channel_deaths: plan.channel_deaths(),
+            plan,
+            retransmit: EventWheel::new(),
+            degradation: DegradationReport::default(),
         }
+    }
+
+    /// Fault damage and recovery spend the hub has observed by `now`,
+    /// including channels quarantined by then and requests DDR stall
+    /// windows delayed.
+    pub fn degradation(&self, now: Cycle) -> DegradationReport {
+        let mut d = self.degradation;
+        d.quarantined_channels = self
+            .channel_deaths
+            .iter()
+            .filter(|&&(_, at)| at <= now)
+            .count() as u64;
+        d.dram_stalled_requests = self.dram.stalled_requests();
+        d
     }
 
     /// Assigns a submitted task to the least-loaded sub-ring.
@@ -809,7 +958,10 @@ impl HubShard {
 
     /// Whether the hub holds no in-flight work.
     pub fn is_idle(&self) -> bool {
-        self.main.is_idle() && self.dram.is_idle() && self.from_mem.iter().all(DirectSpoke::is_idle)
+        self.main.is_idle()
+            && self.dram.is_idle()
+            && self.retransmit.is_empty()
+            && self.from_mem.iter().all(DirectSpoke::is_idle)
     }
 
     fn channel_of(&self, addr: u64) -> usize {
@@ -829,9 +981,31 @@ impl HubShard {
         Packet::new(id, src, dst, bytes.max(1), now, payload)
     }
 
+    /// The channel `channel` maps to after quarantine: itself while alive,
+    /// else the next live channel round-robin. When every channel is dead
+    /// the original keeps serving — a fully dead memory system has no
+    /// graceful degradation left to model.
+    fn live_channel(&mut self, channel: usize, now: Cycle) -> usize {
+        let dead = |c: usize, deaths: &[(usize, Cycle)]| {
+            deaths.iter().any(|&(dc, at)| dc == c && at <= now)
+        };
+        if self.channel_deaths.is_empty() || !dead(channel, &self.channel_deaths) {
+            return channel;
+        }
+        for off in 1..self.channels {
+            let c = (channel + off) % self.channels;
+            if !dead(c, &self.channel_deaths) {
+                self.degradation.redirected_requests += 1;
+                return c;
+            }
+        }
+        channel
+    }
+
     fn enqueue_dram(&mut self, addr: u64, span: u64, job: DramJob, now: Cycle) {
         self.dram_requests += 1;
         let channel = self.channel_of(addr);
+        let channel = self.live_channel(channel, now);
         self.dram.enqueue(channel, span.max(1), now, job);
     }
 
@@ -877,6 +1051,25 @@ impl HubShard {
     }
 
     fn inject_main(&mut self, pkt: Packet<ChipPayload>, now: Cycle, outbox: &mut Outbox<ChipMsg>) {
+        self.inject_main_attempt(pkt, 0, now, outbox);
+    }
+
+    /// Attempt `attempt` at putting `pkt` on the main ring, with the same
+    /// NACK/backoff/final-attempt-clean semantics as the sub-ring path.
+    fn inject_main_attempt(
+        &mut self,
+        pkt: Packet<ChipPayload>,
+        attempt: u32,
+        now: Cycle,
+        outbox: &mut Outbox<ChipMsg>,
+    ) {
+        let retry = self.plan.retry();
+        if attempt < retry.max_retries && self.plan.corrupts_main(pkt.id, attempt) {
+            self.degradation.link_retries += 1;
+            self.retransmit
+                .schedule(now + retry.backoff(attempt), (attempt + 1, pkt));
+            return;
+        }
         if let Some(ev) = self.main.inject(pkt) {
             self.on_main_event(ev, now, outbox);
         }
@@ -908,6 +1101,10 @@ impl HubShard {
                 }
                 other => panic!("hub shard received {other:?}"),
             }
+        }
+        // 1b. NACKed packets whose backoff expired re-enter the ring.
+        while let Some((attempt, pkt)) = self.retransmit.pop_due(now) {
+            self.inject_main_attempt(pkt, attempt, now, outbox);
         }
         // 2. Direct-path replies depart toward their cores (before DRAM
         //    produces new ones, matching the monolithic step order).
@@ -967,6 +1164,7 @@ impl HubShard {
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
         let mut h = self.main.next_event(now);
         h = min_horizon(h, self.dram.next_event().map(|d| now.max(d)));
+        h = min_horizon(h, self.retransmit.next_due().map(|d| now.max(d)));
         for spoke in &self.from_mem {
             h = min_horizon(h, spoke.next_event(now));
         }
@@ -982,6 +1180,10 @@ impl HubShard {
         debug_assert!(
             self.dram.next_event().is_none_or(|d| d >= to),
             "cycle-skipped past a DRAM completion"
+        );
+        debug_assert!(
+            self.retransmit.next_due().is_none_or(|d| d >= to),
+            "cycle-skipped past a due retransmission"
         );
         for spoke in &mut self.from_mem {
             spoke.skip_idle(from, to);

@@ -196,6 +196,10 @@ pub struct TcgCore {
     /// Thread slots that exited since the last [`take_retired`] call —
     /// the completion signal the chip's task dispatcher consumes.
     retired: Vec<usize>,
+    /// Cleared by [`fail`](Self::fail): a dead core accepts no work,
+    /// issues nothing, and reports no horizon. Its statistics freeze at
+    /// the cycle of death.
+    alive: bool,
     stats: CoreStats,
     /// Observability staging buffer; `None` (default) keeps every hook a
     /// single branch with no side effects.
@@ -242,6 +246,7 @@ impl TcgCore {
             iseg: None,
             iseg_state: IsegState::Absent,
             retired: Vec::new(),
+            alive: true,
             stats: CoreStats::default(),
             trace: None,
             retire_sample: 64,
@@ -297,8 +302,39 @@ impl TcgCore {
     }
 
     /// Whether every attached thread has exited and no DMA is in flight.
+    /// A dead core is always done: whatever it was running is gone.
     pub fn is_done(&self) -> bool {
-        self.live_threads() == 0 && !self.dma.is_busy()
+        !self.alive || (self.live_threads() == 0 && !self.dma.is_busy())
+    }
+
+    /// Whether the core is still functional (not killed by fault
+    /// injection).
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Kills the core (fault site `core::tcg`): every live thread's
+    /// unfinished stream is ripped out and returned as `(slot, stream)`
+    /// pairs for the dispatcher to re-run elsewhere, in-flight DMA is
+    /// abandoned, and the core stops accepting work, issuing, and
+    /// publishing horizons. Idempotent — a second kill returns nothing.
+    pub fn fail(&mut self) -> Vec<(usize, Box<dyn InstructionStream + Send>)> {
+        if !self.alive {
+            return Vec::new();
+        }
+        self.alive = false;
+        self.retired.clear();
+        self.dma = Dma::new(DmaConfig::default());
+        self.iseg = None;
+        self.iseg_state = IsegState::Absent;
+        let mut streams = Vec::new();
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if let Some(stream) = slot.take_stream() {
+                streams.push((i, stream));
+            }
+            self.block_info[i] = None;
+        }
+        streams
     }
 
     /// Attaches `stream` to the first vacant slot; returns the slot index.
@@ -309,6 +345,9 @@ impl TcgCore {
     /// [`CoreFull::into_stream`]) when every slot is occupied by a live
     /// thread.
     pub fn attach(&mut self, stream: Box<dyn InstructionStream + Send>) -> Result<usize, CoreFull> {
+        if !self.alive {
+            return Err(CoreFull(stream));
+        }
         let Some(idx) = self.slots.iter().position(|s| !s.is_live()) else {
             return Err(CoreFull(stream));
         };
@@ -429,9 +468,10 @@ impl TcgCore {
         std::mem::take(&mut self.retired)
     }
 
-    /// Whether the core has a vacant thread slot.
+    /// Whether the core has a vacant thread slot. A dead core never does:
+    /// quarantine means the dispatcher stops binding work to it.
     pub fn has_vacancy(&self) -> bool {
-        self.slots.iter().any(|s| !s.is_live())
+        self.alive && self.slots.iter().any(|s| !s.is_live())
     }
 
     /// Event horizon: the earliest cycle at or after `now` at which the
@@ -442,6 +482,9 @@ impl TcgCore {
     /// which the owning shard accounts for via its inbox and uncore
     /// horizons.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        if !self.alive {
+            return None;
+        }
         if !self.retired.is_empty() || self.dma.is_busy() {
             // Retirees are collected by the dispatcher next tick; the DMA
             // engine makes per-call progress, so it must be ticked.
@@ -472,6 +515,9 @@ impl TcgCore {
     /// silently corrupting statistics.
     pub fn skip(&mut self, from: Cycle, to: Cycle) {
         debug_assert!(from < to, "empty skip range");
+        if !self.alive {
+            return;
+        }
         debug_assert!(
             self.retired.is_empty(),
             "cycle-skipped a core with retired threads to hand out"
@@ -502,7 +548,11 @@ impl TcgCore {
     }
 
     /// Advances one cycle, pushing outgoing memory requests into `out`.
+    /// A dead core is inert: nothing issues and nothing is charged.
     pub fn tick(&mut self, now: Cycle, out: &mut Vec<CoreRequest>) {
+        if !self.alive {
+            return;
+        }
         self.stats.cycles += 1;
         // DMA completions.
         for job in self.dma.tick() {
@@ -1184,6 +1234,35 @@ mod tests {
             ticked.stats().idle_pair_cycles,
             skipped.stats().idle_pair_cycles
         );
+    }
+
+    #[test]
+    fn fail_rips_out_streams_and_quarantines_the_core() {
+        let mut c = core();
+        c.attach(Box::new(compute_only(100))).unwrap();
+        c.attach(Box::new(compute_only(100))).unwrap();
+        let mut out = Vec::new();
+        c.tick(0, &mut out);
+        assert!(c.is_alive() && c.has_vacancy());
+
+        let streams = c.fail();
+        assert_eq!(streams.len(), 2, "both live streams recovered");
+        assert_eq!(streams[0].0, 0);
+        assert_eq!(streams[1].0, 1);
+        assert!(!c.is_alive());
+        assert!(c.is_done(), "a dead core holds nothing up");
+        assert!(!c.has_vacancy(), "quarantined from dispatch");
+        assert_eq!(c.next_event(5), None, "no horizon from the dead");
+        assert!(c.attach(Box::new(compute_only(1))).is_err());
+
+        // Frozen: ticking and skipping charge nothing.
+        let cycles = c.stats().cycles;
+        out.clear();
+        c.tick(1, &mut out);
+        c.skip(2, 50);
+        assert_eq!(c.stats().cycles, cycles);
+        assert!(out.is_empty());
+        assert!(c.fail().is_empty(), "second kill is a no-op");
     }
 
     #[cfg(debug_assertions)]

@@ -93,6 +93,18 @@ impl ThreadSlot {
     pub fn is_live(&self) -> bool {
         !matches!(self.state, ThreadState::Done | ThreadState::Vacant)
     }
+
+    /// Rips the stream out of a live slot, leaving it vacant. Used when a
+    /// core fails: the unfinished stream is what the dispatcher re-runs
+    /// elsewhere. Returns `None` for done/vacant slots.
+    pub fn take_stream(&mut self) -> Option<Box<dyn InstructionStream + Send>> {
+        if !self.is_live() {
+            return None;
+        }
+        let stream = self.stream.take();
+        *self = Self::vacant();
+        stream
+    }
 }
 
 /// The pair scheduler: which thread of each pair holds the issue slot.

@@ -10,6 +10,7 @@
 //! tasks that are already late when they arrive).
 
 use smarco_core::config::{SmarcoConfig, TcgConfig};
+use smarco_core::fault::{Fault, FaultPlan};
 use smarco_mem::mact::MactConfig;
 use smarco_noc::direct::DirectPathConfig;
 use smarco_noc::{LinkConfig, NocConfig};
@@ -272,8 +273,65 @@ pub fn check_shard_partition(
     out
 }
 
-/// Lints a whole-chip configuration (topology, core, MACT, and the
-/// cross-component agreement invariants).
+/// Lints a fault plan against the chip geometry it targets (SL0414) and
+/// its retransmission budget against the MACT collection deadline
+/// (SL0415).
+pub fn check_fault_plan(plan: &FaultPlan, cfg: &SmarcoConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let cores = cfg.noc.cores();
+    let channels = cfg.dram.channels;
+    let subrings = cfg.noc.subrings;
+    for (i, f) in plan.faults().iter().enumerate() {
+        let bad = match f {
+            Fault::CoreDeath { core, .. } if *core >= cores => {
+                Some(format!("core {core} outside the chip's 0..{cores}"))
+            }
+            Fault::DramStall { channel, .. } | Fault::DramChannelDeath { channel, .. }
+                if *channel >= channels =>
+            {
+                Some(format!("DDR channel {channel} outside 0..{channels}"))
+            }
+            Fault::MactLockup { subring, .. } if *subring >= subrings => {
+                Some(format!("sub-ring {subring} outside 0..{subrings}"))
+            }
+            _ => None,
+        };
+        if let Some(why) = bad {
+            out.push(
+                Diagnostic::new(
+                    Code::FaultTargetOutOfRange,
+                    Span::Plan(format!("fault {i} ({})", f.site().name())),
+                    format!("{why}: this fault can never fire"),
+                )
+                .with_help("target a unit inside the chip geometry or drop the fault"),
+            );
+        }
+    }
+    if let Some(mact) = &cfg.mact {
+        let worst = plan.retry().worst_case_delay();
+        if worst >= mact.threshold {
+            out.push(
+                Diagnostic::new(
+                    Code::RetryExceedsDeadline,
+                    Span::Field("fault.retry".to_string()),
+                    format!(
+                        "worst-case retransmit delay {worst} cycles ({} retries, base \
+                         backoff {}) reaches the {}-cycle MACT collection deadline: a \
+                         fully-retried request always misses its batching window",
+                        plan.retry().max_retries,
+                        plan.retry().base_backoff,
+                        mact.threshold,
+                    ),
+                )
+                .with_help("shrink max_retries/base_backoff or raise the MACT threshold"),
+            );
+        }
+    }
+    out
+}
+
+/// Lints a whole-chip configuration (topology, core, MACT, fault plan,
+/// and the cross-component agreement invariants).
 pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
     let mut out = check_noc(&cfg.noc);
     out.extend(check_tcg(&cfg.tcg));
@@ -320,6 +378,9 @@ pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
         cfg.direct.as_ref(),
         cfg.workers,
     ));
+    if let Some(plan) = &cfg.fault {
+        out.extend(check_fault_plan(plan, cfg));
+    }
     if cfg.cycle_skip {
         if let Some(mact) = &cfg.mact {
             if mact.threshold == 1 {
@@ -516,6 +577,67 @@ mod tests {
         // With skipping off the horizon quality is irrelevant.
         cfg.cycle_skip = false;
         assert!(check_config(&cfg).is_empty());
+    }
+
+    #[test]
+    fn fault_targets_outside_geometry_denied_with_sl0414() {
+        use smarco_core::fault::Fault;
+        let mut cfg = SmarcoConfig::tiny();
+        let cores = cfg.noc.cores();
+        cfg.fault = Some(
+            FaultPlan::new(7)
+                .with_fault(Fault::CoreDeath {
+                    core: cores,
+                    at: 100,
+                })
+                .with_fault(Fault::DramChannelDeath {
+                    channel: cfg.dram.channels,
+                    at: 100,
+                })
+                .with_fault(Fault::MactLockup {
+                    subring: cfg.noc.subrings,
+                    at: 100,
+                    cycles: 10,
+                }),
+        );
+        let ds = check_config(&cfg);
+        let bad: Vec<_> = ds.iter().filter(|d| d.code.as_str() == "SL0414").collect();
+        assert_eq!(bad.len(), 3, "{ds:?}");
+        assert!(bad.iter().all(|d| d.severity == Severity::Deny));
+        // In-range targets (and the chaos generator, which only draws
+        // in-range ones) are clean.
+        cfg.fault = Some(FaultPlan::chaos(7, &cfg));
+        assert!(check_config(&cfg).is_empty());
+    }
+
+    #[test]
+    fn retry_budget_past_mact_deadline_warns_with_sl0415() {
+        use smarco_core::fault::RetryPolicy;
+        let mut cfg = SmarcoConfig::tiny();
+        // 4 retries from 4 cycles: 4 + 8 + 16 + 32 = 60 >= the 16-cycle
+        // collection deadline.
+        cfg.fault = Some(FaultPlan::new(1).with_retry(RetryPolicy {
+            max_retries: 4,
+            base_backoff: 4,
+        }));
+        let ds = check_config(&cfg);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0415" && d.severity == Severity::Warn),
+            "{ds:?}"
+        );
+        // The default budget (14 cycles) fits the default 16-cycle window.
+        cfg.fault = Some(FaultPlan::new(1));
+        assert!(check_config(&cfg).is_empty());
+        // No MACT, no deadline to blow.
+        cfg.fault = Some(FaultPlan::new(1).with_retry(RetryPolicy {
+            max_retries: 9,
+            base_backoff: 64,
+        }));
+        cfg.mact = None;
+        assert!(check_config(&cfg)
+            .iter()
+            .all(|d| d.code.as_str() != "SL0415"));
     }
 
     #[test]

@@ -104,11 +104,19 @@ pub enum Code {
     /// 1-cycle MACT threshold keeps every open line's deadline at the
     /// next cycle), so the cycle skipper can rarely fast-forward.
     DegenerateHorizon,
+    /// SL0414: a fault-plan entry targets a unit outside the chip's
+    /// geometry (core, DDR channel, or sub-ring index out of range) and
+    /// can never fire.
+    FaultTargetOutOfRange,
+    /// SL0415: the NoC retransmission budget (retries × exponential
+    /// backoff) can delay a request past the MACT collection deadline, so
+    /// every retried request blows its batching window.
+    RetryExceedsDeadline,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 27] = [
+    pub const ALL: [Code; 29] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -136,6 +144,8 @@ impl Code {
         Code::ShardPartition,
         Code::ShardWorkers,
         Code::DegenerateHorizon,
+        Code::FaultTargetOutOfRange,
+        Code::RetryExceedsDeadline,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -168,6 +178,8 @@ impl Code {
             Code::ShardPartition => "SL0411",
             Code::ShardWorkers => "SL0412",
             Code::DegenerateHorizon => "SL0413",
+            Code::FaultTargetOutOfRange => "SL0414",
+            Code::RetryExceedsDeadline => "SL0415",
         }
     }
 
@@ -192,7 +204,8 @@ impl Code {
             | Code::CtrlSpacing
             | Code::MactGeometry
             | Code::ShardLookahead
-            | Code::ShardPartition => Severity::Deny,
+            | Code::ShardPartition
+            | Code::FaultTargetOutOfRange => Severity::Deny,
             Code::MisalignedRef
             | Code::CtrlRef
             | Code::SliceBeyondInput
@@ -200,7 +213,8 @@ impl Code {
             | Code::MactThreshold
             | Code::InfeasibleTask
             | Code::ShardWorkers
-            | Code::DegenerateHorizon => Severity::Warn,
+            | Code::DegenerateHorizon
+            | Code::RetryExceedsDeadline => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -235,6 +249,8 @@ impl Code {
             Code::ShardPartition => "cores do not split into sub-ring shards",
             Code::ShardWorkers => "more PDES workers than shards",
             Code::DegenerateHorizon => "config makes event horizons degenerate",
+            Code::FaultTargetOutOfRange => "fault plan targets a unit outside the chip",
+            Code::RetryExceedsDeadline => "retry budget can outlast the MACT deadline",
         }
     }
 }

@@ -25,7 +25,10 @@ fn guest(space_base: u64, slot: usize) -> Program {
 
 #[test]
 fn certified_run_stays_inside_the_footprint() {
-    let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+    let mut sys = SmarcoSystem::builder()
+        .config(SmarcoConfig::tiny())
+        .build()
+        .expect("valid config");
     let space = sys.address_space();
     let cores = 2;
     let slots = 2;
@@ -61,7 +64,8 @@ fn certified_run_stays_inside_the_footprint() {
         spm.certify(&footprint);
     }
     for (core, prog) in programs {
-        sys.attach(core, Box::new(prog.into_stream())).unwrap();
+        sys.attach(core, Box::new(prog.into_stream()))
+            .expect("vacant slot");
     }
     let report = sys.run(1_000_000);
     assert!(sys.is_done(), "run completed under the certified footprint");
@@ -72,7 +76,10 @@ fn certified_run_stays_inside_the_footprint() {
 #[test]
 #[should_panic(expected = "escapes the statically certified footprint")]
 fn escaping_access_panics_under_certification() {
-    let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+    let mut sys = SmarcoSystem::builder()
+        .config(SmarcoConfig::tiny())
+        .build()
+        .expect("valid config");
     let space = sys.address_space();
     let prog = guest(space.spm_base(0), 1); // touches offsets 4096..=5184
     {
@@ -80,6 +87,7 @@ fn escaping_access_panics_under_certification() {
         spm.make_resident(0, 16384);
         spm.certify(&[(0, 64)]); // certified footprint misses the program's slice
     }
-    sys.attach(0, Box::new(prog.into_stream())).unwrap();
+    sys.attach(0, Box::new(prog.into_stream()))
+        .expect("vacant slot");
     sys.run(1_000_000);
 }

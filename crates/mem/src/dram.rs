@@ -86,6 +86,12 @@ pub struct Dram<T> {
     completions: EventWheel<T>,
     latency: MeanTracker,
     queue_delay: MeanTracker,
+    /// Fault-injected stall windows `(channel, from, to)`: a channel
+    /// accepts no new bursts while stalled, so arrivals queue behind the
+    /// window's end.
+    stalls: Vec<(usize, Cycle, Cycle)>,
+    /// Requests whose start was pushed back by a stall window.
+    stalled_requests: u64,
     /// One staging buffer per channel when tracing is enabled.
     trace: Option<Vec<TraceBuffer>>,
 }
@@ -112,8 +118,34 @@ impl<T> Dram<T> {
             completions: EventWheel::new(),
             latency: MeanTracker::new(),
             queue_delay: MeanTracker::new(),
+            stalls: Vec::new(),
+            stalled_requests: 0,
             trace: None,
         }
+    }
+
+    /// Installs a fault-injected stall: `channel` starts no new bursts
+    /// during `[from, to)`. Stalls only shift request start times at
+    /// enqueue, so completions (and the [`next_event`](Self::next_event)
+    /// horizon derived from them) stay exact under cycle skipping.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` is out of range.
+    pub fn stall_channel(&mut self, channel: usize, from: Cycle, to: Cycle) {
+        assert!(
+            channel < self.channels.len(),
+            "channel {channel} out of range"
+        );
+        if from < to {
+            self.stalls.push((channel, from, to));
+            self.stalls.sort_unstable();
+        }
+    }
+
+    /// Requests whose service was delayed by a stall window.
+    pub fn stalled_requests(&self) -> u64 {
+        self.stalled_requests
     }
 
     /// Turns event tracing on: each channel reports bursts on its own
@@ -155,8 +187,16 @@ impl<T> Dram<T> {
         assert!(bytes > 0, "zero-byte DRAM transfer");
         let burst = bytes.max(self.config.min_burst_bytes);
         let transfer = (burst as f64 / self.config.bytes_per_cycle).ceil() as Cycle;
+        let mut start = self.channels[channel].busy_until.max(now);
+        // Stall windows are sorted by start, so one pass settles chains of
+        // overlapping windows.
+        for &(c, from, to) in &self.stalls {
+            if c == channel && start >= from && start < to {
+                start = to;
+                self.stalled_requests += 1;
+            }
+        }
         let ch = &mut self.channels[channel];
-        let start = ch.busy_until.max(now);
         let done = start + self.config.base_latency + transfer.max(1);
         ch.busy_until = start + transfer.max(1);
         ch.busy_cycles += transfer.max(1);
@@ -355,6 +395,31 @@ mod tests {
         d.enqueue(0, 8, 0, 1); // done at 11 → latency 11
         let _ = d.tick(20);
         assert!((d.mean_latency() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stall_window_delays_service() {
+        let mut d = dram();
+        d.stall_channel(0, 0, 50);
+        d.enqueue(0, 64, 0, 1); // starts at 50, transfer 8 → done 68
+        d.enqueue(1, 64, 0, 2); // other channel unaffected → done 18
+        assert!(d.tick(17).is_empty());
+        assert_eq!(d.tick(18), vec![2]);
+        assert_eq!(d.tick(68), vec![1]);
+        assert_eq!(d.stalled_requests(), 1);
+        // After the window, the channel serves normally.
+        d.enqueue(0, 64, 100, 3);
+        assert_eq!(d.tick(118), vec![3]);
+        assert_eq!(d.stalled_requests(), 1);
+    }
+
+    #[test]
+    fn overlapping_stalls_chain() {
+        let mut d = dram();
+        d.stall_channel(0, 20, 40);
+        d.stall_channel(0, 0, 25);
+        d.enqueue(0, 8, 0, 1); // pushed 0 → 25 → 40, done 51
+        assert_eq!(d.tick(51), vec![1]);
     }
 
     #[test]

@@ -151,6 +151,11 @@ pub struct Mact {
     lines: Vec<MactLine>,
     ready: Vec<Batch>,
     stats: MactStats,
+    /// Fault-injected lockup windows `[from, to)`, sorted by start: the
+    /// deadline engine is frozen inside a window, so expired lines flush
+    /// only once the window ends (bitmap-full and capacity flushes still
+    /// fire — only the timer is dead).
+    lockups: Vec<(Cycle, Cycle)>,
     trace: Option<TraceBuffer>,
 }
 
@@ -173,8 +178,26 @@ impl Mact {
             lines: Vec::with_capacity(config.lines),
             ready: Vec::new(),
             stats: MactStats::default(),
+            lockups: Vec::new(),
             trace: None,
         }
+    }
+
+    /// Installs fault-injected deadline-engine lockup windows `[from, to)`.
+    /// Sorted internally; [`next_event`](Self::next_event) pushes horizons
+    /// that land inside a window out to its end, so cycle skipping sees
+    /// the delayed flush exactly.
+    pub fn set_lockups(&mut self, mut windows: Vec<(Cycle, Cycle)>) {
+        windows.retain(|&(from, to)| from < to);
+        windows.sort_unstable();
+        self.lockups = windows;
+    }
+
+    /// Whether the deadline engine is locked up at `now`.
+    pub fn locked(&self, now: Cycle) -> bool {
+        self.lockups
+            .iter()
+            .any(|&(from, to)| (from..to).contains(&now))
     }
 
     /// Turns event tracing on, reporting on the MACT of sub-ring `sr`.
@@ -227,7 +250,16 @@ impl Mact {
         if !self.ready.is_empty() {
             return Some(now);
         }
-        self.earliest_deadline().map(|d| now.max(d))
+        let d = self.earliest_deadline()?;
+        let mut at = now.max(d);
+        // A horizon inside a lockup window slides to the window's end —
+        // windows are sorted by start, so one pass settles chains.
+        for &(from, to) in &self.lockups {
+            if (from..to).contains(&at) {
+                at = to;
+            }
+        }
+        Some(at)
     }
 
     fn line_base(&self, addr: u64) -> u64 {
@@ -372,9 +404,11 @@ impl Mact {
     /// batch that became ready (including bitmap-full / capacity flushes
     /// accumulated since the last call).
     pub fn tick(&mut self, now: Cycle) -> Vec<Batch> {
-        while let Some(i) = self.lines.iter().position(|l| now >= l.deadline) {
-            let batch = self.pack(i, FlushCause::Deadline, now);
-            self.ready.push(batch);
+        if !self.locked(now) {
+            while let Some(i) = self.lines.iter().position(|l| now >= l.deadline) {
+                let batch = self.pack(i, FlushCause::Deadline, now);
+                self.ready.push(batch);
+            }
         }
         self.record_waits(now);
         std::mem::take(&mut self.ready)
@@ -578,6 +612,36 @@ mod tests {
         let s = m.stats();
         assert_eq!(s.collected.get(), 10);
         assert!(s.batches.get() < 10, "batching must reduce request count");
+    }
+
+    #[test]
+    fn lockup_freezes_the_deadline_engine() {
+        let mut m = mact(10);
+        let mut ids = RequestIdAllocator::new();
+        m.set_lockups(vec![(8, 30)]);
+        m.offer(req(&mut ids, 0, 4, false), 0); // deadline 10, inside lockup
+        assert!(m.locked(8) && m.locked(29) && !m.locked(30));
+        // The horizon slides from the dead deadline to the window's end.
+        assert_eq!(m.next_event(5), Some(30));
+        for now in 10..30 {
+            assert!(m.tick(now).is_empty(), "flushed during lockup at {now}");
+        }
+        let batches = m.tick(30);
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].cause, FlushCause::Deadline);
+    }
+
+    #[test]
+    fn bitmap_full_flushes_even_during_lockup() {
+        let mut m = mact(1000);
+        let mut ids = RequestIdAllocator::new();
+        m.set_lockups(vec![(0, 100)]);
+        for i in 0..8 {
+            m.offer(req(&mut ids, i * 8, 8, false), 10);
+        }
+        let batches = m.drain_ready();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].cause, FlushCause::BitmapFull);
     }
 
     #[test]

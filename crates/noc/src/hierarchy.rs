@@ -85,21 +85,31 @@ impl NocConfig {
     /// Panics on zero counts, invalid link configs, or a controller count
     /// that does not divide the sub-ring count (needed for equal spacing).
     pub fn validate(&self) {
-        assert!(
-            self.subrings > 0 && self.cores_per_subring > 0,
-            "zero topology"
-        );
-        assert!(self.mem_ctrls > 0, "need at least one memory controller");
-        assert!(
-            self.subrings.is_multiple_of(self.mem_ctrls),
-            "controllers must divide sub-rings for equal spacing"
-        );
-        assert!(
-            self.junction_latency > 0,
-            "junction latency must be positive"
-        );
-        self.main_link.validate();
-        self.sub_link.validate();
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
+        }
+    }
+
+    /// Non-panicking validation for builder-style callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found, as a human-readable string.
+    pub fn check(&self) -> Result<(), String> {
+        if self.subrings == 0 || self.cores_per_subring == 0 {
+            return Err("zero topology".into());
+        }
+        if self.mem_ctrls == 0 {
+            return Err("need at least one memory controller".into());
+        }
+        if !self.subrings.is_multiple_of(self.mem_ctrls) {
+            return Err("controllers must divide sub-rings for equal spacing".into());
+        }
+        if self.junction_latency == 0 {
+            return Err("junction latency must be positive".into());
+        }
+        self.main_link.check()?;
+        self.sub_link.check()
     }
 }
 

@@ -105,15 +105,32 @@ impl LinkConfig {
     /// Panics on zero lanes/width or a slice wider than the guaranteed
     /// capacity.
     pub fn validate(&self) {
-        assert!(
-            self.lanes_fixed_per_dir > 0,
-            "need at least one fixed lane per direction"
-        );
-        assert!(self.lane_bytes > 0, "lanes must be at least one byte wide");
-        assert!(self.hop_latency > 0, "hop latency must be positive");
-        if let Some(s) = self.slice_bytes {
-            assert!(s > 0 && s <= self.max_capacity(), "bad slice width {s}");
+        if let Err(reason) = self.check() {
+            panic!("{reason}");
         }
+    }
+
+    /// Non-panicking validation for builder-style callers.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first inconsistency found, as a human-readable string.
+    pub fn check(&self) -> Result<(), String> {
+        if self.lanes_fixed_per_dir == 0 {
+            return Err("need at least one fixed lane per direction".into());
+        }
+        if self.lane_bytes == 0 {
+            return Err("lanes must be at least one byte wide".into());
+        }
+        if self.hop_latency == 0 {
+            return Err("hop latency must be positive".into());
+        }
+        if let Some(s) = self.slice_bytes {
+            if s == 0 || s > self.max_capacity() {
+                return Err(format!("bad slice width {s}"));
+            }
+        }
+        Ok(())
     }
 }
 

@@ -10,6 +10,7 @@
 //! per-phase cycle counts.
 
 use smarco_core::chip::SmarcoSystem;
+use smarco_core::error::SmarcoError;
 use smarco_core::report::SmarcoReport;
 use smarco_isa::op::{Instr, Op, INSTR_BYTES};
 use smarco_isa::stream::InstructionStream;
@@ -105,32 +106,48 @@ impl MapReduceConfig {
         }
     }
 
+    /// Checks the job against a chip's topology, reporting the first
+    /// problem as a value.
+    ///
+    /// # Errors
+    ///
+    /// Describes empty ranges, overlap, or out-of-range sub-rings.
+    pub fn check(&self, subrings: usize, resident_threads: usize) -> Result<(), String> {
+        if self.map_subrings.is_empty() {
+            return Err("need map sub-rings".into());
+        }
+        if self.reduce_subrings.is_empty() {
+            return Err("need reduce sub-rings".into());
+        }
+        if self.map_subrings.end > subrings {
+            return Err("map sub-rings out of range".into());
+        }
+        if self.reduce_subrings.end > subrings {
+            return Err("reduce sub-rings out of range".into());
+        }
+        if !(self.map_subrings.end <= self.reduce_subrings.start
+            || self.reduce_subrings.end <= self.map_subrings.start)
+        {
+            return Err("map and reduce sub-rings must not overlap".into());
+        }
+        if self.threads_per_core == 0 || self.threads_per_core > resident_threads {
+            return Err("threads per core out of range".into());
+        }
+        if self.input_len == 0 {
+            return Err("empty input".into());
+        }
+        Ok(())
+    }
+
     /// Validates against a chip's topology.
     ///
     /// # Panics
     ///
     /// Panics on empty ranges, overlap, or out-of-range sub-rings.
     pub fn validate(&self, subrings: usize, resident_threads: usize) {
-        assert!(!self.map_subrings.is_empty(), "need map sub-rings");
-        assert!(!self.reduce_subrings.is_empty(), "need reduce sub-rings");
-        assert!(
-            self.map_subrings.end <= subrings,
-            "map sub-rings out of range"
-        );
-        assert!(
-            self.reduce_subrings.end <= subrings,
-            "reduce sub-rings out of range"
-        );
-        assert!(
-            self.map_subrings.end <= self.reduce_subrings.start
-                || self.reduce_subrings.end <= self.map_subrings.start,
-            "map and reduce sub-rings must not overlap"
-        );
-        assert!(
-            self.threads_per_core > 0 && self.threads_per_core <= resident_threads,
-            "threads per core out of range"
-        );
-        assert!(self.input_len > 0, "empty input");
+        if let Err(reason) = self.check(subrings, resident_threads) {
+            panic!("{reason}");
+        }
     }
 }
 
@@ -215,17 +232,24 @@ fn stage_prologue(dram_src: u64, spm_dst: u64, bytes: u64) -> Vec<Op> {
 
 /// Runs a MapReduce job on `sys`; returns per-phase timing.
 ///
+/// # Errors
+///
+/// [`SmarcoError::InvalidPlan`] when the config doesn't fit the chip,
+/// [`SmarcoError::CoreFull`] when a task's core has no vacant slot (e.g.
+/// the chip was pre-loaded, or a core died and was quarantined).
+///
 /// # Panics
 ///
-/// Panics if the config is invalid for the chip, a core has no vacant
-/// slots, or a phase exceeds its cycle budget.
+/// Panics if a phase exceeds its cycle budget.
 pub fn run_mapreduce(
     sys: &mut SmarcoSystem,
     app: &dyn MapReduceApp,
     config: &MapReduceConfig,
-) -> MapReduceRun {
+) -> Result<MapReduceRun, SmarcoError> {
     let noc = sys.config().noc;
-    config.validate(noc.subrings, sys.config().tcg.resident_threads);
+    config
+        .check(noc.subrings, sys.config().tcg.resident_threads)
+        .map_err(|reason| SmarcoError::InvalidPlan { reason })?;
     let space = sys.address_space();
     let cps = noc.cores_per_subring;
     let spm_per_task = Spm::data_bytes() / config.threads_per_core as u64;
@@ -269,8 +293,7 @@ pub fn run_mapreduce(
             } else {
                 inner
             };
-            sys.attach(core, stream)
-                .unwrap_or_else(|_| panic!("core {core} has no vacant slot for map task {index}"));
+            sys.attach(core, stream)?;
             index += 1;
         }
     }
@@ -318,9 +341,7 @@ pub fn run_mapreduce(
             } else {
                 inner
             };
-            sys.attach(core, stream).unwrap_or_else(|_| {
-                panic!("core {core} has no vacant slot for reduce task {index}")
-            });
+            sys.attach(core, stream)?;
             index += 1;
         }
     }
@@ -329,7 +350,7 @@ pub fn run_mapreduce(
     assert!(sys.is_done(), "reduce phase exceeded its cycle budget");
     let reduce_cycles = report.cycles - start;
 
-    MapReduceRun {
+    Ok(MapReduceRun {
         map_tasks: total_map,
         reduce_tasks: total_reduce,
         map_cycles,
@@ -337,7 +358,7 @@ pub fn run_mapreduce(
         stepped_cycles: sys.stepped_cycles(),
         skipped_cycles: sys.skipped_cycles(),
         report,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -394,7 +415,10 @@ mod tests {
 
     #[test]
     fn job_runs_both_phases() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = SmarcoSystem::builder()
+            .config(SmarcoConfig::tiny())
+            .build()
+            .unwrap();
         let cfg = MapReduceConfig {
             threads_per_core: 4,
             phase_budget: 20_000_000,
@@ -405,7 +429,7 @@ mod tests {
             map_ops: 500,
             reduce_ops: 200,
         };
-        let run = run_mapreduce(&mut sys, &app, &cfg);
+        let run = run_mapreduce(&mut sys, &app, &cfg).unwrap();
         assert_eq!(run.map_tasks, 3 * 4 * 4);
         assert_eq!(run.reduce_tasks, 4 * 4);
         assert!(run.map_cycles > 0);
@@ -420,7 +444,10 @@ mod tests {
 
     #[test]
     fn spm_staging_applies_when_slices_fit() {
-        let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys = SmarcoSystem::builder()
+            .config(SmarcoConfig::tiny())
+            .build()
+            .unwrap();
         // 4 MB over 48 map tasks → ~87 KB per slice: too big for an SPM
         // share at 4 threads/core (≈32 KB), so tasks address DRAM.
         let big = MapReduceConfig {
@@ -433,15 +460,18 @@ mod tests {
             map_ops: 300,
             reduce_ops: 100,
         };
-        let run_big = run_mapreduce(&mut sys, &app, &big);
+        let run_big = run_mapreduce(&mut sys, &app, &big).unwrap();
         // 256 KB total → ~5 KB slices: staged into SPM.
-        let mut sys2 = SmarcoSystem::new(SmarcoConfig::tiny());
+        let mut sys2 = SmarcoSystem::builder()
+            .config(SmarcoConfig::tiny())
+            .build()
+            .unwrap();
         let small = MapReduceConfig {
             threads_per_core: 4,
             phase_budget: 50_000_000,
             ..MapReduceConfig::split(4, 0x100_0000, 256 << 10)
         };
-        let run_small = run_mapreduce(&mut sys2, &app, &small);
+        let run_small = run_mapreduce(&mut sys2, &app, &small).unwrap();
         // Staged run keeps its scan traffic on-chip: far fewer DRAM
         // requests per instruction.
         let rate_big = run_big.report.requests as f64 / run_big.report.instructions as f64;

@@ -2,8 +2,8 @@
 //! `pthread_exit`, join.
 
 use smarco_core::chip::SmarcoSystem;
+use smarco_core::error::SmarcoError;
 use smarco_core::report::SmarcoReport;
-use smarco_core::tcg::CoreFull;
 use smarco_isa::InstructionStream;
 use smarco_sched::MainScheduler;
 use smarco_sim::Cycle;
@@ -58,19 +58,21 @@ impl Threads {
     ///
     /// # Errors
     ///
-    /// Returns [`CoreFull`] when no core on the chip has a vacant slot.
+    /// Returns [`SmarcoError::NoVacancy`] — naming every sub-ring that was
+    /// probed and full — when no core on the chip has a vacant slot.
     pub fn create(
         &mut self,
         stream: Box<dyn InstructionStream + Send>,
         estimated_work: u64,
-    ) -> Result<(usize, usize), CoreFull> {
+    ) -> Result<(usize, usize), SmarcoError> {
         let cps = self.sys.config().noc.cores_per_subring;
         let mut stream = stream;
         // Least-loaded sub-ring first; fall through when a sub-ring has no
         // vacant thread slot.
+        let mut tried = Vec::new();
         for sr in self.balancer.by_load() {
             for core in sr * cps..(sr + 1) * cps {
-                match self.sys.attach(core, stream) {
+                match self.sys.try_attach(core, stream) {
                     Ok(thread) => {
                         self.created += 1;
                         self.balancer.assign_to(sr, estimated_work.max(1));
@@ -79,8 +81,10 @@ impl Threads {
                     Err(e) => stream = e.into_stream(),
                 }
             }
+            tried.push(sr);
         }
-        Err(self.sys.attach(0, stream).expect_err("chip known full"))
+        tried.sort_unstable();
+        Err(SmarcoError::NoVacancy { tried })
     }
 
     /// Runs the chip until all threads exit (`join`), or `max` cycles.
@@ -97,7 +101,12 @@ mod tests {
 
     #[test]
     fn create_and_join() {
-        let mut t = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+        let mut t = Threads::new(
+            SmarcoSystem::builder()
+                .config(SmarcoConfig::tiny())
+                .build()
+                .unwrap(),
+        );
         for _ in 0..32 {
             t.create(Box::new(compute_only(500)), 500).unwrap();
         }
@@ -108,7 +117,12 @@ mod tests {
 
     #[test]
     fn placement_spreads_across_subrings() {
-        let mut t = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+        let mut t = Threads::new(
+            SmarcoSystem::builder()
+                .config(SmarcoConfig::tiny())
+                .build()
+                .unwrap(),
+        );
         let cps = t.system().config().noc.cores_per_subring;
         let mut subrings_used = std::collections::HashSet::new();
         for _ in 0..8 {
@@ -124,7 +138,12 @@ mod tests {
 
     #[test]
     fn chip_capacity_enforced() {
-        let mut t = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+        let mut t = Threads::new(
+            SmarcoSystem::builder()
+                .config(SmarcoConfig::tiny())
+                .build()
+                .unwrap(),
+        );
         let capacity = t.system().config().total_threads();
         for _ in 0..capacity {
             t.create(Box::new(compute_only(10)), 10).unwrap();

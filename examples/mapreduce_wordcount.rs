@@ -80,7 +80,10 @@ fn main() {
 
     // ---- Timing run: the same job shape on the simulated chip. ----
     let cfg = SmarcoConfig::tiny();
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = SmarcoSystem::builder()
+        .config(cfg.clone())
+        .build()
+        .expect("valid config");
     let tasks = (3 * cfg.noc.cores_per_subring * 8) as u64; // 3 map sub-rings
     let slice = 6 << 10;
     let mr = MapReduceConfig {
@@ -88,7 +91,7 @@ fn main() {
         phase_budget: 100_000_000,
         ..MapReduceConfig::split(cfg.noc.subrings, 0x100_0000, tasks * slice)
     };
-    let run = run_mapreduce(&mut sys, &WordCountApp, &mr);
+    let run = run_mapreduce(&mut sys, &WordCountApp, &mr).expect("valid plan");
     println!(
         "\nWordCount (timing model on a {}-core chip):",
         cfg.noc.cores()

@@ -21,7 +21,10 @@ fn main() {
     if let Some(d) = cfg.direct.as_mut() {
         d.subrings = 4;
     }
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = SmarcoSystem::builder()
+        .config(cfg.clone())
+        .build()
+        .expect("valid config");
 
     // Four KMP string-matching threads per core, each scanning its
     // sub-ring's slice of the text in the interleaved MapReduce layout.

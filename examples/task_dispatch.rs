@@ -16,7 +16,10 @@ use smarco::workloads::{Benchmark, HtcStream};
 
 fn main() {
     let cfg = SmarcoConfig::tiny();
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = SmarcoSystem::builder()
+        .config(cfg.clone())
+        .build()
+        .expect("valid config");
 
     // 192 RNC tasks on a 128-slot chip — oversubscribed, so the chain
     // tables matter. Every 6th task is a high-priority control task.

@@ -29,6 +29,12 @@ cargo test --offline -q --test parallel_determinism
 echo "==> cycle skipping (skip-on vs skip-off bit-identical, all benchmarks)"
 cargo test --offline -q --test cycle_skip
 
+echo "==> fault determinism (seeded chaos bit-identical across workers x skip)"
+cargo test --offline -q --test fault_determinism
+
+echo "==> chaos smoke (seeded fault run; exits non-zero on zero retries)"
+cargo run --offline --release -p smarco-bench --bin scale -- --faults 42
+
 echo "==> scale bench (PDES speedup sweep + cycle-skip study; asserts"
 echo "    bit-identical reports and a non-zero skip ratio on TeraSort)"
 cargo run --offline --release -p smarco-bench --bin scale

@@ -27,7 +27,10 @@
 //! use smarco::sim::rng::SimRng;
 //! use smarco::workloads::{Benchmark, HtcStream};
 //!
-//! let mut sys = SmarcoSystem::new(SmarcoConfig::tiny());
+//! let mut sys = SmarcoSystem::builder()
+//!     .config(SmarcoConfig::tiny())
+//!     .build()
+//!     .expect("valid config");
 //! for core in 0..sys.cores_len() {
 //!     let params = Benchmark::Kmp.thread_params(
 //!         0x100_0000, 1 << 20,  // this team's text slice

@@ -19,7 +19,7 @@ fn loaded(bench: Benchmark, workers: usize, cycle_skip: bool) -> SmarcoSystem {
     let mut cfg = SmarcoConfig::tiny();
     cfg.workers = workers;
     cfg.cycle_skip = cycle_skip;
-    let mut sys = SmarcoSystem::new(cfg);
+    let mut sys = SmarcoSystem::builder().config(cfg).build().unwrap();
     let teams = sys.cores_len() * THREADS_PER_CORE;
     let mut seed = 11u64;
     for core in 0..sys.cores_len() {
@@ -28,7 +28,7 @@ fn loaded(bench: Benchmark, workers: usize, cycle_skip: bool) -> SmarcoSystem {
             let p =
                 bench.thread_params(0x100_0000, 1 << 22, 0x8000_0000, lane, teams as u64, INSTRS);
             sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
-                .unwrap();
+                .expect("vacant slot");
             seed += 1;
         }
     }

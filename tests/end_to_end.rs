@@ -11,7 +11,7 @@ use smarco::workloads::{Benchmark, HtcStream};
 
 fn loaded_chip(bench: Benchmark, ops: u64) -> SmarcoSystem {
     let cfg = SmarcoConfig::tiny();
-    let mut sys = SmarcoSystem::new(cfg.clone());
+    let mut sys = SmarcoSystem::builder().config(cfg.clone()).build().unwrap();
     let cps = cfg.noc.cores_per_subring;
     let team = (cps * 4) as u64;
     let mut seed = 1;
@@ -68,7 +68,12 @@ fn chip_is_deterministic_end_to_end() {
 
 #[test]
 fn threads_runtime_balances_and_joins() {
-    let mut threads = Threads::new(SmarcoSystem::new(SmarcoConfig::tiny()));
+    let mut threads = Threads::new(
+        SmarcoSystem::builder()
+            .config(SmarcoConfig::tiny())
+            .build()
+            .unwrap(),
+    );
     for i in 0..64 {
         let p = Benchmark::Search.thread_params(
             0x100_0000 + i * (1 << 20),
@@ -130,7 +135,7 @@ fn in_pair_ablation_matters_at_chip_level() {
     let run = |in_pair: bool| {
         let mut cfg = SmarcoConfig::tiny();
         cfg.tcg.in_pair = in_pair;
-        let mut sys = SmarcoSystem::new(cfg.clone());
+        let mut sys = SmarcoSystem::builder().config(cfg.clone()).build().unwrap();
         let cps = cfg.noc.cores_per_subring;
         let mut seed = 1;
         for core in 0..sys.cores_len() {

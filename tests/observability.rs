@@ -16,7 +16,7 @@ const INSTRS: u64 = 400;
 fn loaded(obs: ObsConfig) -> SmarcoSystem {
     let mut cfg = SmarcoConfig::tiny();
     cfg.obs = obs;
-    let mut sys = SmarcoSystem::new(cfg);
+    let mut sys = SmarcoSystem::builder().config(cfg).build().unwrap();
     let teams = sys.cores_len() * THREADS_PER_CORE;
     let mut seed = 7u64;
     for core in 0..sys.cores_len() {
@@ -31,7 +31,7 @@ fn loaded(obs: ObsConfig) -> SmarcoSystem {
                 INSTRS,
             );
             sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
-                .unwrap();
+                .expect("vacant slot");
             seed += 1;
         }
     }
