@@ -1,0 +1,67 @@
+//! Self-profile of the PDES engine: sweeps the six HTC benchmarks across
+//! PDES worker counts with `smarco_sim::prof` enabled and writes the
+//! per-run phase accounting to `BENCH_parallel.json` (pass `--scale paper`
+//! for the full 256-core chip).
+//!
+//! CI modes:
+//!
+//! * `--gate <baseline.json>` — perf-regression gate: measure the gate
+//!   workload (unprofiled sequential quick wordcount, min-of-3) and exit
+//!   non-zero if it regressed more than 10% over the committed baseline.
+//!   Set `SMARCO_PERF_GATE=skip` to bypass (e.g. on a loaded host).
+//! * `--write-baseline <baseline.json>` — measure and (re)write the
+//!   baseline file.
+
+use smarco_bench::host::HostInfo;
+use smarco_bench::profile::{
+    gate_baseline_json, gate_baseline_seconds, gate_measure, GATE_TOLERANCE,
+};
+
+fn arg_value(flag: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .find(|pair| pair[0] == flag)
+        .map(|pair| pair[1].clone())
+}
+
+fn main() {
+    if let Some(path) = arg_value("--write-baseline") {
+        let seconds = gate_measure(3);
+        let host = HostInfo::capture(&[1], true, smarco_bench::Scale::Quick);
+        std::fs::write(&path, gate_baseline_json(seconds, &host)).expect("write baseline");
+        println!("wrote {path}: gate workload at {seconds:.3}s");
+        return;
+    }
+    if let Some(path) = arg_value("--gate") {
+        if std::env::var("SMARCO_PERF_GATE").as_deref() == Ok("skip") {
+            println!("perf gate skipped (SMARCO_PERF_GATE=skip)");
+            return;
+        }
+        let json = std::fs::read_to_string(&path).expect("read perf baseline");
+        let baseline = gate_baseline_seconds(&json).expect("parse perf baseline");
+        let measured = gate_measure(3);
+        let limit = baseline * GATE_TOLERANCE;
+        println!(
+            "perf gate: measured {measured:.3}s vs baseline {baseline:.3}s \
+             (limit {limit:.3}s)"
+        );
+        if measured > limit {
+            eprintln!(
+                "perf gate FAILED: the sequential engine regressed \
+                 {:.0}% over the committed baseline ({path}); if the \
+                 slowdown is intentional, rerun with --write-baseline",
+                (measured / baseline - 1.0) * 100.0
+            );
+            std::process::exit(4);
+        }
+        return;
+    }
+
+    let scale = smarco_bench::Scale::from_args();
+    let report = smarco_bench::profile::run(scale, &[1, 2, 4]);
+    println!("{report}");
+    match report.write_default() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write profile records: {e}"),
+    }
+}

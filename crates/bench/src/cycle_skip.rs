@@ -9,6 +9,8 @@
 
 use std::path::{Path, PathBuf};
 
+use crate::host::HostInfo;
+
 /// Default output filename, written to the working directory.
 pub const BENCH_FILE: &str = "BENCH_cycle_skip.json";
 
@@ -63,16 +65,23 @@ impl SkipEntry {
 /// A set of runs destined for [`BENCH_FILE`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SkipReport {
+    /// Host context of the sweep — without it the wall-clock columns are
+    /// uninterpretable across machines.
+    pub host: HostInfo,
     /// Entries in run order.
     pub entries: Vec<SkipEntry>,
 }
 
 impl SkipReport {
-    /// Serialises the report as a JSON array (hand-rolled: the workspace
-    /// is dependency-free).
+    /// Serialises the report as a JSON object with the host block first
+    /// (hand-rolled: the workspace is dependency-free).
     pub fn to_json(&self) -> String {
         let body: Vec<String> = self.entries.iter().map(SkipEntry::to_json).collect();
-        format!("[\n  {}\n]\n", body.join(",\n  "))
+        format!(
+            "{{\"host\":{},\n \"entries\":[\n  {}\n]}}\n",
+            self.host.to_json(),
+            body.join(",\n  ")
+        )
     }
 
     /// Writes the report to `path`.
@@ -117,9 +126,14 @@ mod tests {
     fn ratio_and_json_shape() {
         let e = entry();
         assert!((e.skip_ratio() - 0.8).abs() < 1e-12);
-        let r = SkipReport { entries: vec![e] };
+        let r = SkipReport {
+            host: HostInfo::capture(&[1], true, crate::Scale::Quick),
+            entries: vec![e],
+        };
         let j = r.to_json();
-        assert!(j.starts_with("[\n"), "{j}");
+        assert!(j.starts_with("{\"host\":{"), "{j}");
+        assert!(j.contains("\"entries\":["), "{j}");
+        assert!(j.contains("\"cpus\":"), "{j}");
         assert!(j.contains("\"label\":\"terasort\""), "{j}");
         assert!(j.contains("\"skip_ratio\":0.800000"), "{j}");
         assert!(j.contains("\"skipped_cycles\":2400"), "{j}");

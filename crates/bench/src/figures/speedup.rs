@@ -156,7 +156,8 @@ pub fn run(scale: Scale, worker_counts: &[usize]) -> ScaleBench {
     skip.entries.push(off_entry);
     skip.entries.push(on_entry);
 
-    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    skip.host = crate::host::HostInfo::capture(worker_counts, cfg.cycle_skip, scale);
+    let host_cpus = skip.host.cpus;
     ScaleBench {
         rows,
         cycles,

@@ -20,6 +20,8 @@ pub mod chaos;
 pub mod cycle_skip;
 pub mod figures;
 pub mod harness;
+pub mod host;
+pub mod profile;
 pub mod scale;
 pub mod timing;
 

@@ -25,6 +25,7 @@ use smarco_sched::Task;
 use smarco_sim::engine::CycleModel;
 use smarco_sim::obs::{EventTrace, MetricsRecorder, TraceConfig};
 use smarco_sim::parallel::ParallelEngine;
+use smarco_sim::prof::{ProfConfig, ProfileReport};
 use smarco_sim::stats::{MeanTracker, StatsReport};
 use smarco_sim::Cycle;
 
@@ -75,6 +76,12 @@ pub struct SmarcoSystem {
     trace_path: Option<PathBuf>,
     /// Where to write the per-window CSV at end of run.
     metrics_path: Option<PathBuf>,
+    /// Where to write the host-profile JSON at end of run.
+    profile_path: Option<PathBuf>,
+    /// Host nanoseconds the facade spent draining/flushing observability,
+    /// accounted only while self-profiling is enabled (the profiler's
+    /// `obs_flush` bucket).
+    obs_ns: u64,
 }
 
 impl std::fmt::Debug for SmarcoSystem {
@@ -112,6 +119,7 @@ pub struct SmarcoSystemBuilder {
     workers: Option<usize>,
     trace_path: Option<PathBuf>,
     metrics_path: Option<PathBuf>,
+    profile_path: Option<PathBuf>,
 }
 
 impl Default for SmarcoSystemBuilder {
@@ -123,6 +131,7 @@ impl Default for SmarcoSystemBuilder {
             workers: None,
             trace_path: None,
             metrics_path: None,
+            profile_path: None,
         }
     }
 }
@@ -169,6 +178,16 @@ impl SmarcoSystemBuilder {
         self
     }
 
+    /// Writes the host-profile JSON to `path` at end of run, plus a
+    /// folded-stack file and a Chrome trace of host phases next to it
+    /// (enables self-profiling with defaults if the configuration left it
+    /// off). Profiling never changes simulation results.
+    #[must_use]
+    pub fn profile_to(mut self, path: impl Into<PathBuf>) -> Self {
+        self.profile_path = Some(path.into());
+        self
+    }
+
     /// Validates the merged configuration and assembles the chip.
     ///
     /// # Errors
@@ -192,6 +211,9 @@ impl SmarcoSystemBuilder {
         }
         if let Some(path) = self.metrics_path {
             sys.metrics_to(path);
+        }
+        if let Some(path) = self.profile_path {
+            sys.profile_to(path);
         }
         Ok(sys)
     }
@@ -227,6 +249,9 @@ impl SmarcoSystem {
         shards.push(ChipShard::Hub(Box::new(HubShard::new(&config))));
         let mut engine = ParallelEngine::new(shards, config.noc.junction_latency);
         engine.set_skip_enabled(config.cycle_skip);
+        if config.prof.enabled {
+            engine.enable_profiling(config.prof);
+        }
         let mut sys = Self {
             engine,
             workers: config.workers.max(1),
@@ -237,6 +262,8 @@ impl SmarcoSystem {
             metrics: None,
             trace_path: None,
             metrics_path: None,
+            profile_path: None,
+            obs_ns: 0,
         };
         if let Some(tc) = sys.config.obs.trace {
             sys.enable_tracing(tc);
@@ -322,6 +349,57 @@ impl SmarcoSystem {
             self.sample_every(10_000);
         }
         self.metrics_path = Some(path.into());
+    }
+
+    /// Enables host-side self-profiling (every window sampled unless the
+    /// configuration says otherwise). Read-only with respect to the
+    /// simulation: results stay bit-identical. Resets any profile
+    /// accumulated so far.
+    pub fn enable_profiling(&mut self, cfg: ProfConfig) {
+        self.engine.enable_profiling(cfg);
+        self.config.prof = cfg;
+        self.obs_ns = 0;
+    }
+
+    /// Enables self-profiling (with defaults, if off) and writes the
+    /// host-profile JSON to `path` when the run finishes, plus a
+    /// folded-stack file (`.folded`) and a Chrome trace of host phases
+    /// (`.trace.json`) alongside it.
+    pub fn profile_to(&mut self, path: impl Into<PathBuf>) {
+        if !self.config.prof.enabled {
+            self.enable_profiling(ProfConfig::on());
+        }
+        self.profile_path = Some(path.into());
+    }
+
+    /// Snapshot of the host-side profile with chip shard names
+    /// (`sub-ring{i}` / `hub`) and the facade's observability time filled
+    /// in, when profiling is enabled.
+    pub fn profile_report(&self) -> Option<ProfileReport> {
+        self.engine.profile().map(|p| {
+            let mut r = p.report();
+            r.obs_ns = self.obs_ns;
+            r.shard_names = self.engine.shards().iter().map(ChipShard::label).collect();
+            r
+        })
+    }
+
+    /// Writes the profile exports next to `path` (JSON at `path` itself,
+    /// folded stacks at `.folded`, host Chrome trace at `.trace.json`).
+    /// No-op when profiling is disabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from writing the export files.
+    pub fn write_profile(&self, path: &std::path::Path) -> std::io::Result<()> {
+        let Some(report) = self.profile_report() else {
+            return Ok(());
+        };
+        Self::ensure_parent(path)?;
+        report.write_json(path)?;
+        report.write_folded(path.with_extension("folded"))?;
+        report.write_chrome_json(path.with_extension("trace.json"))?;
+        Ok(())
     }
 
     /// The chip-wide event trace, when tracing is enabled.
@@ -492,6 +570,9 @@ impl SmarcoSystem {
         if self.trace.is_none() && self.metrics.is_none() {
             return;
         }
+        // Time the drain into the profiler's obs bucket — after the
+        // early-out, so disabled observability still reads no clocks.
+        let t0 = self.engine.profile().map(|_| std::time::Instant::now());
         if let Some(trace) = self.trace.as_mut() {
             for shard in self.engine.shards_mut() {
                 match shard {
@@ -513,6 +594,14 @@ impl SmarcoSystem {
                 }
             }
         }
+        if let Some(t0) = t0 {
+            self.add_obs_ns(t0);
+        }
+    }
+
+    /// Adds the time elapsed since `t0` to the profiler's obs bucket.
+    fn add_obs_ns(&mut self, t0: std::time::Instant) {
+        self.obs_ns += u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
     }
 
     /// Cumulative chip counters for windowed-metrics diffing.
@@ -597,6 +686,14 @@ impl SmarcoSystem {
 
     /// Closes the metrics window ending at `now` and adds derived rates.
     fn close_metrics_window(&mut self, now: Cycle) {
+        let t0 = self.engine.profile().map(|_| std::time::Instant::now());
+        self.close_metrics_window_inner(now);
+        if let Some(t0) = t0 {
+            self.add_obs_ns(t0);
+        }
+    }
+
+    fn close_metrics_window_inner(&mut self, now: Cycle) {
         let cumulative = self.cumulative_counters(now);
         let gauges = self.gauges();
         let pairs = self.config.tcg.pairs as f64;
@@ -659,6 +756,7 @@ impl SmarcoSystem {
         if self.metrics.is_some() {
             self.close_metrics_window(self.engine.now());
         }
+        let t0 = self.engine.profile().map(|_| std::time::Instant::now());
         if let (Some(trace), Some(path)) = (self.trace.as_ref(), self.trace_path.as_ref()) {
             Self::ensure_parent(path)?;
             trace.write_chrome_json(path)?;
@@ -666,6 +764,9 @@ impl SmarcoSystem {
         if let (Some(rec), Some(path)) = (self.metrics.as_ref(), self.metrics_path.as_ref()) {
             Self::ensure_parent(path)?;
             rec.write_csv(path)?;
+        }
+        if let Some(t0) = t0 {
+            self.add_obs_ns(t0);
         }
         Ok(())
     }
@@ -719,6 +820,9 @@ impl SmarcoSystem {
         if self.config.obs.enabled() {
             self.flush_observations()
                 .expect("write observation exports");
+        }
+        if let Some(path) = self.profile_path.clone() {
+            self.write_profile(&path).expect("write profile exports");
         }
         self.report()
     }

@@ -9,6 +9,8 @@ use smarco_noc::NocConfig;
 use smarco_sim::obs::ObsConfig;
 use smarco_sim::Cycle;
 
+pub use smarco_sim::prof::ProfConfig;
+
 /// Thread Core Group parameters (§3.1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TcgConfig {
@@ -126,6 +128,11 @@ pub struct SmarcoConfig {
     /// Observability layer (tracing + windowed metrics). Default-off:
     /// results are bit-identical to an uninstrumented run.
     pub obs: ObsConfig,
+    /// Host-side self-profiling of the PDES engine (per-shard wall-clock
+    /// phase buckets and window telemetry). Default-off and, like `obs`,
+    /// result-neutral: a profiled run's report is bit-identical to an
+    /// unprofiled one.
+    pub prof: ProfConfig,
     /// Host threads driving the chip's shards on the PDES engine. `1`
     /// (the default) simulates in-process; any value yields bit-identical
     /// results.
@@ -152,6 +159,7 @@ impl SmarcoConfig {
             direct: Some(DirectPathConfig::smarco()),
             freq_ghz: 1.5,
             obs: ObsConfig::off(),
+            prof: ProfConfig::off(),
             workers: 1,
             cycle_skip: true,
             fault: None,
@@ -175,6 +183,7 @@ impl SmarcoConfig {
             }),
             freq_ghz: 1.5,
             obs: ObsConfig::off(),
+            prof: ProfConfig::off(),
             workers: 1,
             cycle_skip: true,
             fault: None,
@@ -204,6 +213,7 @@ impl SmarcoConfig {
             }),
             freq_ghz: 1.0,
             obs: ObsConfig::off(),
+            prof: ProfConfig::off(),
             workers: 1,
             cycle_skip: true,
             fault: None,
@@ -242,6 +252,9 @@ impl SmarcoConfig {
         }
         if self.workers == 0 {
             return Err("need at least one worker".into());
+        }
+        if self.prof.enabled && self.prof.sample_every == 0 {
+            return Err("profiling sample_every must be positive".into());
         }
         if self.dram.channels != self.noc.mem_ctrls {
             return Err("DRAM channels must match NoC memory controllers".into());
@@ -299,6 +312,22 @@ mod tests {
     fn mismatched_dram_rejected() {
         let mut c = SmarcoConfig::tiny();
         c.dram.channels = 9;
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_every must be positive")]
+    fn zero_profiling_stride_rejected() {
+        let mut c = SmarcoConfig::tiny();
+        c.prof = ProfConfig::on();
+        c.prof.sample_every = 0;
+        c.validate();
+    }
+
+    #[test]
+    fn disabled_profiling_stride_is_ignored() {
+        let mut c = SmarcoConfig::tiny();
+        c.prof.sample_every = 0; // irrelevant while disabled
         c.validate();
     }
 }

@@ -1234,6 +1234,15 @@ impl ChipShard {
         }
     }
 
+    /// Human-readable shard name (`sub-ring{i}` / `hub`), used to label
+    /// shard-ordered rows in the host-profile report.
+    pub fn label(&self) -> String {
+        match self {
+            ChipShard::Sub(s) => format!("sub-ring{}", s.subring()),
+            ChipShard::Hub(_) => "hub".to_string(),
+        }
+    }
+
     /// Whether the shard holds no in-flight work.
     pub fn is_idle(&self) -> bool {
         match self {

@@ -9,7 +9,7 @@
 //! guaranteed link capacity, MACT deadlines beyond the line capacity,
 //! tasks that are already late when they arrive).
 
-use smarco_core::config::{SmarcoConfig, TcgConfig};
+use smarco_core::config::{ProfConfig, SmarcoConfig, TcgConfig};
 use smarco_core::fault::{Fault, FaultPlan};
 use smarco_mem::mact::MactConfig;
 use smarco_noc::direct::DirectPathConfig;
@@ -401,6 +401,27 @@ pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
             }
         }
     }
+    if cfg.prof.enabled && cfg.prof.sample_every > ProfConfig::DEGENERATE_SAMPLE_EVERY {
+        out.push(
+            Diagnostic::new(
+                Code::DegenerateProfileSampling,
+                Span::Field("prof.sample_every".to_string()),
+                format!(
+                    "profiling samples window telemetry every {} windows — \
+                     short runs close few or no sampled windows, so the \
+                     occupancy histogram and barrier-spread percentiles \
+                     come back empty while the run still pays the \
+                     profiling overhead",
+                    cfg.prof.sample_every,
+                ),
+            )
+            .with_help(format!(
+                "keep the stride at or below {} (1 samples every window; \
+                 the phase buckets are exact at any stride)",
+                ProfConfig::DEGENERATE_SAMPLE_EVERY,
+            )),
+        );
+    }
     out
 }
 
@@ -576,6 +597,26 @@ mod tests {
         );
         // With skipping off the horizon quality is irrelevant.
         cfg.cycle_skip = false;
+        assert!(check_config(&cfg).is_empty());
+    }
+
+    #[test]
+    fn degenerate_profile_sampling_warns_with_sl0416() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.prof = ProfConfig::on();
+        cfg.prof.sample_every = ProfConfig::DEGENERATE_SAMPLE_EVERY + 1;
+        let ds = check_config(&cfg);
+        assert!(
+            ds.iter()
+                .any(|d| d.code.as_str() == "SL0416" && d.severity == Severity::Warn),
+            "{ds:?}"
+        );
+        // At the boundary the stride is still considered usable.
+        cfg.prof.sample_every = ProfConfig::DEGENERATE_SAMPLE_EVERY;
+        assert!(check_config(&cfg).is_empty());
+        // A sparse stride on *disabled* profiling is inert.
+        cfg.prof = ProfConfig::off();
+        cfg.prof.sample_every = u64::MAX;
         assert!(check_config(&cfg).is_empty());
     }
 

@@ -112,11 +112,16 @@ pub enum Code {
     /// backoff) can delay a request past the MACT collection deadline, so
     /// every retried request blows its batching window.
     RetryExceedsDeadline,
+    /// SL0416: self-profiling is enabled with a telemetry sampling stride
+    /// so sparse that short runs close few or no sampled windows — the
+    /// histograms and barrier-spread percentiles come back empty while
+    /// the run still pays the profiling overhead.
+    DegenerateProfileSampling,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 29] = [
+    pub const ALL: [Code; 30] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -146,6 +151,7 @@ impl Code {
         Code::DegenerateHorizon,
         Code::FaultTargetOutOfRange,
         Code::RetryExceedsDeadline,
+        Code::DegenerateProfileSampling,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -180,6 +186,7 @@ impl Code {
             Code::DegenerateHorizon => "SL0413",
             Code::FaultTargetOutOfRange => "SL0414",
             Code::RetryExceedsDeadline => "SL0415",
+            Code::DegenerateProfileSampling => "SL0416",
         }
     }
 
@@ -214,7 +221,8 @@ impl Code {
             | Code::InfeasibleTask
             | Code::ShardWorkers
             | Code::DegenerateHorizon
-            | Code::RetryExceedsDeadline => Severity::Warn,
+            | Code::RetryExceedsDeadline
+            | Code::DegenerateProfileSampling => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -251,6 +259,7 @@ impl Code {
             Code::DegenerateHorizon => "config makes event horizons degenerate",
             Code::FaultTargetOutOfRange => "fault plan targets a unit outside the chip",
             Code::RetryExceedsDeadline => "retry budget can outlast the MACT deadline",
+            Code::DegenerateProfileSampling => "profiling stride starves window telemetry",
         }
     }
 }

@@ -167,6 +167,10 @@ pub struct MapReduceRun {
     pub stepped_cycles: u64,
     /// Shard-cycles the engine fast-forwarded past via event horizons.
     pub skipped_cycles: u64,
+    /// Host-side self-profile of the PDES engine, when the system was
+    /// built with profiling enabled (`None` otherwise). Covers the whole
+    /// job — both phases share the engine's accumulators.
+    pub profile: Option<smarco_sim::prof::ProfileReport>,
     /// Final chip report (cumulative).
     pub report: SmarcoReport,
 }
@@ -357,6 +361,7 @@ pub fn run_mapreduce(
         reduce_cycles,
         stepped_cycles: sys.stepped_cycles(),
         skipped_cycles: sys.skipped_cycles(),
+        profile: sys.profile_report(),
         report,
     })
 }

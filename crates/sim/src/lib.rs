@@ -40,6 +40,7 @@ pub mod engine;
 pub mod event;
 pub mod obs;
 pub mod parallel;
+pub mod prof;
 pub mod rng;
 pub mod stats;
 

@@ -630,6 +630,7 @@ impl MetricsRecorder {
         stats.set("mem_latency_p50", self.lat_window.p50());
         stats.set("mem_latency_p90", self.lat_window.p90());
         stats.set("mem_latency_p99", self.lat_window.p99());
+        stats.set("mem_latency_p999", self.lat_window.p999());
         stats.set("mem_latency_samples", self.lat_window.count() as f64);
         self.prev = cumulative.clone();
         let start = self.prev_at;

@@ -33,7 +33,11 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as MemOrder};
 use std::sync::Mutex;
+use std::time::Instant;
 
+use crate::prof::{
+    EngineProfile, HostPhase, HostSlice, HostTrack, ProfConfig, Telemetry, WorkerScratch,
+};
 use crate::Cycle;
 
 /// Timestamped message addressed to another shard.
@@ -286,22 +290,35 @@ fn window_step<S: Shard>(
 /// Routing phase: move every produced envelope to its destination's staging
 /// row. Envelope keys already fix the delivery order, so this only has to
 /// be exhaustive, not ordered. Returns the earliest due-cycle routed this
-/// window (`u64::MAX` when no envelope moved), which feeds the engine's
-/// whole-run fast-forward decision.
+/// window (`u64::MAX` when no envelope moved) — which feeds the engine's
+/// whole-run fast-forward decision — and the number of envelopes moved,
+/// which feeds the self-profiler's exchange telemetry.
 fn route_window<M>(
     produced: &[Mutex<Vec<Envelope<M>>>],
     staging: &[Mutex<Vec<Envelope<M>>>],
-) -> u64 {
+) -> (u64, u64) {
     let n = staging.len();
     let mut earliest = u64::MAX;
+    let mut count = 0u64;
     for slot in produced {
         for env in slot.lock().expect("produced lock").drain(..) {
             assert!(env.to < n, "unknown shard {}", env.to);
             earliest = earliest.min(env.at);
+            count += 1;
             staging[env.to].lock().expect("staging lock").push(env);
         }
     }
-    earliest
+    (earliest, count)
+}
+
+/// Nanoseconds elapsed since `t0` on the monotonic host clock.
+fn ns_since(t0: Instant) -> u64 {
+    u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Nanoseconds from `epoch` to `t` (saturating at zero and `u64::MAX`).
+fn ns_between(epoch: Instant, t: Instant) -> u64 {
+    u64::try_from(t.duration_since(epoch).as_nanos()).unwrap_or(u64::MAX)
 }
 
 /// Sense-reversing spin barrier. The chip synchronizes every `lookahead`
@@ -382,6 +399,9 @@ pub struct ParallelEngine<S: Shard> {
     // cycle-stepped facade, per-cycle) invocations reuse the allocations.
     produced: Vec<Mutex<Vec<Envelope<S::Msg>>>>,
     staging: Vec<Mutex<Vec<Envelope<S::Msg>>>>,
+    // Host-side self-profiling. None (the default) costs one branch per
+    // instrumentation site and reads no clocks.
+    prof: Option<Box<EngineProfile>>,
 }
 
 impl<S: Shard> ParallelEngine<S> {
@@ -409,7 +429,25 @@ impl<S: Shard> ParallelEngine<S> {
             skipped_cycles: 0,
             produced,
             staging,
+            prof: None,
         }
+    }
+
+    /// Enables (or, with a disabled config, tears down) host-side
+    /// self-profiling. Profiling is read-only with respect to the
+    /// simulation — results stay bit-identical — and accumulates across
+    /// subsequent [`run_windowed`](Self::run_windowed) calls.
+    pub fn enable_profiling(&mut self, config: ProfConfig) {
+        self.prof = if config.enabled {
+            Some(Box::new(EngineProfile::new(config, self.shards.len())))
+        } else {
+            None
+        };
+    }
+
+    /// The accumulated host-side profile, when profiling is enabled.
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.prof.as_deref()
     }
 
     /// Enables or disables event-horizon cycle skipping (default: on).
@@ -507,9 +545,17 @@ impl<S: Shard> ParallelEngine<S> {
             seqs,
             produced,
             staging,
+            prof,
             ..
         } = self;
         let (produced, staging) = (&produced[..], &staging[..]);
+        let prof = prof.as_deref_mut();
+        // Copyable profiling context, extracted up front so worker threads
+        // never touch the profile itself. All dead when profiling is off.
+        let epoch = prof.as_ref().map(|p| p.epoch());
+        let sample_every = prof.as_ref().map_or(1, |p| p.config().sample_every.max(1));
+        let base_windows = prof.as_ref().map_or(0, |p| p.telemetry().windows);
+        let env_bytes = std::mem::size_of::<Envelope<S::Msg>>() as u64;
 
         let mut lanes: Vec<Lane<'_, S>> = shards
             .iter_mut()
@@ -525,27 +571,81 @@ impl<S: Shard> ParallelEngine<S> {
             .collect();
         let (mut stepped, mut skipped) = (0u64, 0u64);
         if workers == 1 {
+            let t_busy = epoch.map(|_| Instant::now());
+            let mut scratch = epoch.map(|_| WorkerScratch::new(0, n));
+            let mut tel = epoch.map(|_| Telemetry::default());
             let mut now = start;
             while now < end {
                 let to = (now + lookahead).min(end);
+                let win = base_windows + tel.as_ref().map_or(0, |t| t.windows);
+                let sampled = epoch.is_some() && win.is_multiple_of(sample_every);
+                let mut stepped_lanes = 0usize;
                 for lane in &mut lanes {
-                    if window_step(lane, now, to, staging, produced, skip) {
+                    let t0 = epoch.map(|_| Instant::now());
+                    let was_skipped = window_step(lane, now, to, staging, produced, skip);
+                    if was_skipped {
                         skipped += to - now;
                     } else {
                         stepped += to - now;
+                        stepped_lanes += 1;
+                    }
+                    if let (Some(epoch), Some(scratch), Some(t0)) = (epoch, scratch.as_mut(), t0) {
+                        let ns = ns_since(t0);
+                        let sp = &mut scratch.shards[lane.i];
+                        let phase = if was_skipped {
+                            sp.skip_ns += ns;
+                            sp.windows_skipped += 1;
+                            scratch.prof.skip_ns += ns;
+                            HostPhase::Skip
+                        } else {
+                            sp.step_ns += ns;
+                            sp.windows_stepped += 1;
+                            scratch.prof.step_ns += ns;
+                            HostPhase::Step
+                        };
+                        if sampled {
+                            scratch.slices.push(HostSlice {
+                                track: HostTrack::Shard(lane.i),
+                                phase,
+                                start_ns: ns_between(epoch, t0),
+                                dur_ns: ns,
+                            });
+                        }
                     }
                 }
-                let routed = route_window(produced, staging);
+                let t_route = epoch.map(|_| Instant::now());
+                let (routed, n_envs) = route_window(produced, staging);
+                if let (Some(epoch), Some(scratch), Some(tel), Some(t0)) =
+                    (epoch, scratch.as_mut(), tel.as_mut(), t_route)
+                {
+                    let ns = ns_since(t0);
+                    scratch.prof.route_ns += ns;
+                    scratch.prof.windows += 1;
+                    tel.windows += 1;
+                    tel.envelopes_total += n_envs;
+                    tel.envelope_bytes += n_envs * env_bytes;
+                    if sampled {
+                        tel.record_sampled(stepped_lanes, n, n_envs);
+                        scratch.slices.push(HostSlice {
+                            track: HostTrack::Worker(0),
+                            phase: HostPhase::Route,
+                            start_ns: ns_between(epoch, t0),
+                            dur_ns: ns,
+                        });
+                    }
+                }
                 now = to;
                 if skip && now < end {
                     // Whole-run fast-forward: if every shard, every
                     // undelivered message, and every just-routed envelope
                     // is beyond `now`, jump straight to the earliest of
                     // them instead of grinding out empty windows.
+                    let t_skip = epoch.map(|_| Instant::now());
                     let mut h = routed;
                     for lane in &lanes {
                         h = h.min(lane_horizon(lane, now));
                     }
+                    let mut jumped = false;
                     if h > now {
                         let jump = h.min(end);
                         for lane in &mut lanes {
@@ -553,8 +653,24 @@ impl<S: Shard> ParallelEngine<S> {
                         }
                         skipped += (jump - now) * n as u64;
                         now = jump;
+                        jumped = true;
+                    }
+                    if let (Some(scratch), Some(tel), Some(t0)) =
+                        (scratch.as_mut(), tel.as_mut(), t_skip)
+                    {
+                        scratch.prof.skip_ns += ns_since(t0);
+                        if jumped {
+                            tel.jumps += 1;
+                        }
                     }
                 }
+            }
+            if let (Some(p), Some(mut scratch), Some(tel), Some(t0)) = (prof, scratch, tel, t_busy)
+            {
+                scratch.prof.busy_ns = ns_since(t0);
+                p.add_inline(scratch.prof.busy_ns, tel.windows);
+                p.merge_scratch(scratch);
+                p.merge_telemetry(&tel);
             }
         } else {
             let group_size = n.div_ceil(workers);
@@ -568,20 +684,70 @@ impl<S: Shard> ParallelEngine<S> {
             let jump_to = AtomicU64::new(0);
             let stepped_total = AtomicU64::new(0);
             let skipped_total = AtomicU64::new(0);
+            // Profiling-only shared state. Workers accumulate phase time
+            // in thread-local scratches (merged after the scope); the
+            // serial section owns the window telemetry. `first_arrival`
+            // and `occupancy` carry each sampled window's barrier-arrival
+            // minimum and stepped-lane count to the serial section.
+            let first_arrival = AtomicU64::new(u64::MAX);
+            let occupancy = AtomicUsize::new(0);
+            let telemetry = Mutex::new(Telemetry::default());
+            let scratches = Mutex::new(Vec::<WorkerScratch>::new());
+            let t_path = epoch.map(|_| Instant::now());
             std::thread::scope(|scope| {
-                for group in groups {
+                for (w, group) in groups.into_iter().enumerate() {
                     let (barrier, horizon, jump_to) = (&barrier, &horizon, &jump_to);
                     let (stepped_total, skipped_total) = (&stepped_total, &skipped_total);
+                    let (first_arrival, occupancy) = (&first_arrival, &occupancy);
+                    let (telemetry, scratches) = (&telemetry, &scratches);
                     scope.spawn(move || {
+                        let t_busy = epoch.map(|_| Instant::now());
+                        let mut scratch = epoch.map(|_| WorkerScratch::new(w, n));
+                        // Window ordinal, identical across workers (the
+                        // barrier keeps them in lockstep), so every thread
+                        // agrees on which windows are sampled.
+                        let mut win = 0u64;
                         let (mut stepped, mut skipped) = (0u64, 0u64);
                         let mut now = start;
                         while now < end {
                             let to = (now + lookahead).min(end);
+                            let sampled = epoch.is_some()
+                                && (base_windows + win).is_multiple_of(sample_every);
+                            let mut stepped_lanes = 0usize;
                             for lane in group.iter_mut() {
-                                if window_step(lane, now, to, staging, produced, skip) {
+                                let t0 = epoch.map(|_| Instant::now());
+                                let was_skipped =
+                                    window_step(lane, now, to, staging, produced, skip);
+                                if was_skipped {
                                     skipped += to - now;
                                 } else {
                                     stepped += to - now;
+                                    stepped_lanes += 1;
+                                }
+                                if let (Some(epoch), Some(scratch), Some(t0)) =
+                                    (epoch, scratch.as_mut(), t0)
+                                {
+                                    let ns = ns_since(t0);
+                                    let sp = &mut scratch.shards[lane.i];
+                                    let phase = if was_skipped {
+                                        sp.skip_ns += ns;
+                                        sp.windows_skipped += 1;
+                                        scratch.prof.skip_ns += ns;
+                                        HostPhase::Skip
+                                    } else {
+                                        sp.step_ns += ns;
+                                        sp.windows_stepped += 1;
+                                        scratch.prof.step_ns += ns;
+                                        HostPhase::Step
+                                    };
+                                    if sampled {
+                                        scratch.slices.push(HostSlice {
+                                            track: HostTrack::Shard(lane.i),
+                                            phase,
+                                            start_ns: ns_between(epoch, t0),
+                                            dur_ns: ns,
+                                        });
+                                    }
                                 }
                             }
                             if skip {
@@ -591,26 +757,93 @@ impl<S: Shard> ParallelEngine<S> {
                                 }
                                 horizon.fetch_min(h, MemOrder::AcqRel);
                             }
+                            let t_arrive = epoch.map(|_| Instant::now());
+                            if sampled {
+                                if let (Some(epoch), Some(t0)) = (epoch, t_arrive) {
+                                    occupancy.fetch_add(stepped_lanes, MemOrder::AcqRel);
+                                    first_arrival
+                                        .fetch_min(ns_between(epoch, t0), MemOrder::AcqRel);
+                                }
+                            }
+                            let mut serial_ns = 0u64;
                             // Last group to finish routes the window's
                             // envelopes (and picks the jump target), then
                             // everyone proceeds.
                             barrier.wait_with(|| {
-                                let routed = route_window(produced, staging);
+                                let t_serial = epoch.map(|_| Instant::now());
+                                let (routed, n_envs) = route_window(produced, staging);
+                                let mut jump = to;
                                 if skip {
                                     let h = horizon.swap(u64::MAX, MemOrder::AcqRel).min(routed);
-                                    let jump = if h > to { h.min(end) } else { to };
+                                    jump = if h > to { h.min(end) } else { to };
                                     jump_to.store(jump, MemOrder::Relaxed);
                                 }
+                                if let (Some(epoch), Some(t0)) = (epoch, t_serial) {
+                                    let mut tel = telemetry.lock().expect("prof telemetry lock");
+                                    tel.windows += 1;
+                                    tel.envelopes_total += n_envs;
+                                    tel.envelope_bytes += n_envs * env_bytes;
+                                    if jump > to {
+                                        tel.jumps += 1;
+                                    }
+                                    if sampled {
+                                        let occ = occupancy.swap(0, MemOrder::AcqRel);
+                                        tel.record_sampled(occ, n, n_envs);
+                                        // Barrier-arrival spread: this
+                                        // thread arrived last, so its own
+                                        // arrival minus the published
+                                        // minimum spans all arrivers.
+                                        let first = first_arrival.swap(u64::MAX, MemOrder::AcqRel);
+                                        if let Some(me) = t_arrive {
+                                            let me = ns_between(epoch, me);
+                                            if first <= me {
+                                                tel.spread.record((me - first) as f64);
+                                            }
+                                        }
+                                    }
+                                    serial_ns = ns_since(t0);
+                                }
                             });
+                            if let (Some(epoch), Some(scratch), Some(t0)) =
+                                (epoch, scratch.as_mut(), t_arrive)
+                            {
+                                let total = ns_since(t0);
+                                let wait = total.saturating_sub(serial_ns);
+                                scratch.prof.barrier_ns += wait;
+                                scratch.prof.route_ns += serial_ns;
+                                scratch.prof.windows += 1;
+                                if sampled {
+                                    let start_ns = ns_between(epoch, t0);
+                                    scratch.slices.push(HostSlice {
+                                        track: HostTrack::Worker(w),
+                                        phase: HostPhase::Barrier,
+                                        start_ns,
+                                        dur_ns: wait,
+                                    });
+                                    if serial_ns > 0 {
+                                        scratch.slices.push(HostSlice {
+                                            track: HostTrack::Worker(w),
+                                            phase: HostPhase::Route,
+                                            start_ns: start_ns + wait,
+                                            dur_ns: serial_ns,
+                                        });
+                                    }
+                                }
+                            }
+                            win += 1;
                             now = to;
                             if skip {
                                 // The barrier release orders this load
                                 // after the serial section's store.
                                 let jump = jump_to.load(MemOrder::Relaxed);
                                 if jump > now {
+                                    let t0 = epoch.map(|_| Instant::now());
                                     for lane in group.iter_mut() {
                                         lane.shard.skip_window(now, jump);
                                         skipped += jump - now;
+                                    }
+                                    if let (Some(scratch), Some(t0)) = (scratch.as_mut(), t0) {
+                                        scratch.prof.skip_ns += ns_since(t0);
                                     }
                                     now = jump;
                                 }
@@ -618,11 +851,29 @@ impl<S: Shard> ParallelEngine<S> {
                         }
                         stepped_total.fetch_add(stepped, MemOrder::Relaxed);
                         skipped_total.fetch_add(skipped, MemOrder::Relaxed);
+                        if let (Some(mut s), Some(t0)) = (scratch, t_busy) {
+                            s.prof.busy_ns = ns_since(t0);
+                            scratches.lock().expect("prof scratch lock").push(s);
+                        }
                     });
                 }
             });
             stepped += stepped_total.load(MemOrder::Relaxed);
             skipped += skipped_total.load(MemOrder::Relaxed);
+            if let Some(p) = prof {
+                let tel = telemetry.into_inner().expect("prof telemetry lock");
+                if let Some(t0) = t_path {
+                    p.add_parallel(ns_since(t0), tel.windows);
+                }
+                let mut list = scratches.into_inner().expect("prof scratch lock");
+                // Sort so the merge order (and thus any float folds
+                // downstream) is independent of thread finish order.
+                list.sort_by_key(|s| s.worker);
+                for s in list {
+                    p.merge_scratch(s);
+                }
+                p.merge_telemetry(&tel);
+            }
         }
         // Anything routed in the final window still sits in staging:
         // deliver it so a later run (any worker count) sees it.
@@ -1029,6 +1280,74 @@ mod tests {
             assert_eq!(a.acc, b.acc);
             assert_eq!(a.log, b.log);
             assert_eq!(a.idle_cycles, b.idle_cycles);
+        }
+    }
+
+    #[test]
+    fn profiling_is_bit_identical_and_accounts_every_nanosecond() {
+        let mut base = ParallelEngine::new(make_sleepers(6, 64), 2);
+        base.run_sequential(5_000);
+        for workers in [1, 3, 6] {
+            let mut eng = ParallelEngine::new(make_sleepers(6, 64), 2);
+            eng.enable_profiling(ProfConfig::on());
+            eng.run_windowed(5_000, workers);
+            for (a, b) in eng.shards().iter().zip(base.shards().iter()) {
+                assert_eq!(a.acc, b.acc, "{workers} workers diverged");
+                assert_eq!(a.log, b.log, "{workers} workers diverged");
+                assert_eq!(a.idle_cycles, b.idle_cycles, "{workers} workers diverged");
+            }
+            let report = eng.profile().expect("profiling enabled").report();
+            // The named buckets are disjoint sub-intervals of each
+            // worker's busy interval and `other` is the remainder, so the
+            // partition is exact, not approximate.
+            assert_eq!(report.phases().total(), report.total_ns());
+            for w in &report.workers {
+                assert_eq!(w.named_ns() + w.other_ns(), w.busy_ns);
+            }
+            let tel = &report.telemetry;
+            assert!(tel.windows > 0, "{workers} workers saw no windows");
+            assert_eq!(tel.sampled_windows, tel.windows); // sample_every = 1
+            assert_eq!(tel.occupancy.iter().sum::<u64>(), tel.sampled_windows);
+            // Every shard either steps or skips in every window boundary.
+            for s in &report.shards {
+                assert_eq!(s.windows_stepped + s.windows_skipped, tel.windows);
+            }
+            assert!(tel.envelopes_total > 0);
+            assert!(tel.jumps > 0, "sleepers should trigger whole-run jumps");
+            if workers > 1 {
+                assert!(report.workers.len() > 1);
+                assert!(tel.spread.count() > 0, "no barrier spread samples");
+                assert!(report.parallel.windows == tel.windows);
+            } else {
+                assert_eq!(report.inline.windows, tel.windows);
+            }
+        }
+    }
+
+    #[test]
+    fn disabled_profiling_reports_nothing() {
+        let mut eng = ParallelEngine::new(make_sleepers(4, 32), 2);
+        assert!(eng.profile().is_none());
+        eng.enable_profiling(ProfConfig::off());
+        eng.run_sequential(1_000);
+        assert!(eng.profile().is_none());
+    }
+
+    #[test]
+    fn sampling_stride_thins_histograms_not_totals() {
+        let mut cfg = ProfConfig::on();
+        cfg.sample_every = 8;
+        let mut eng = ParallelEngine::new(make_ring(4), 2);
+        eng.enable_profiling(cfg);
+        eng.run_windowed(400, 2);
+        let r = eng.profile().expect("profiling enabled").report();
+        // 200 windows, every 8th sampled starting at 0 → 25 samples; the
+        // phase totals still cover every window.
+        assert_eq!(r.telemetry.windows, 200);
+        assert_eq!(r.telemetry.sampled_windows, 25);
+        assert!(r.phases().total() > 0);
+        for w in &r.workers {
+            assert_eq!(w.windows, 200);
         }
     }
 

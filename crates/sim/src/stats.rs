@@ -263,6 +263,19 @@ impl Histogram {
         n as f64 / self.count as f64
     }
 
+    /// Folds another histogram's recorded values into this one. Buckets,
+    /// counts and sums add exactly, so the merge is order-independent.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// (bucket lower bound, count) pairs for non-empty buckets.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
         self.buckets
@@ -423,6 +436,34 @@ impl Percentiles {
     /// 99th percentile.
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
+    }
+
+    /// 99.9th percentile (tail SLO reporting).
+    pub fn p999(&self) -> f64 {
+        self.quantile(0.999)
+    }
+
+    /// Folds another estimator's samples into this one. Bucket counts,
+    /// min/max and count merge exactly; the sums add in merge order, so
+    /// merging a fixed sequence of estimators is bit-deterministic.
+    pub fn merge(&mut self, other: &Percentiles) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
     }
 
     /// Resets the estimator to empty without releasing bucket storage.
@@ -611,6 +652,9 @@ mod tests {
         // Values below 2^SUB_BITS land in exact unit buckets.
         assert_eq!(p.p50(), 10.0);
         assert_eq!(p.p90(), 18.0);
+        // With 20 samples the p99/p99.9 nearest rank is the last sample.
+        assert_eq!(p.p99(), 20.0);
+        assert_eq!(p.p999(), 20.0);
         assert_eq!(p.quantile(1.0), 20.0);
         assert_eq!(p.quantile(0.0), 1.0);
         assert_eq!(p.min(), 1.0);
@@ -625,13 +669,43 @@ mod tests {
         for v in 1..=10_000u64 {
             p.record(v as f64);
         }
-        for (q, truth) in [(0.5, 5_000.0), (0.9, 9_000.0), (0.99, 9_900.0)] {
+        for (q, truth) in [
+            (0.5, 5_000.0),
+            (0.9, 9_000.0),
+            (0.99, 9_900.0),
+            (0.999, 9_990.0),
+        ] {
             let est = p.quantile(q);
             assert!(
                 (est - truth).abs() / truth < 0.04,
                 "q={q}: est {est} vs true {truth}"
             );
         }
+        assert!(p.p999() >= p.p99());
+    }
+
+    #[test]
+    fn p999_boundaries() {
+        // Empty estimator reports 0.
+        assert_eq!(Percentiles::new().p999(), 0.0);
+        // A single sample is every percentile.
+        let mut one = Percentiles::new();
+        one.record(7.0);
+        assert_eq!(one.p999(), 7.0);
+        // 1000 samples: nearest rank of q=0.999 is sample #999.
+        let mut p = Percentiles::new();
+        for v in 1..=1000u64 {
+            p.record(v as f64);
+        }
+        let est = p.p999();
+        assert!((est - 999.0).abs() / 999.0 < 0.04, "p999 est {est}");
+        // p999 is clamped to the observed max even for extreme outliers.
+        let mut outlier = Percentiles::new();
+        for _ in 0..999 {
+            outlier.record(1.0);
+        }
+        outlier.record(1e12);
+        assert!(outlier.p999() <= outlier.max());
     }
 
     #[test]
@@ -657,6 +731,48 @@ mod tests {
             b.record(*v);
         }
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn histogram_merge_matches_recording_everything() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in [0, 1, 5, 9] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [2, 64, 1000] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        assert_eq!(a.mean(), whole.mean());
+    }
+
+    #[test]
+    fn percentiles_merge_matches_recording_everything() {
+        let mut a = Percentiles::new();
+        let mut b = Percentiles::new();
+        let mut whole = Percentiles::new();
+        for v in [3.0, 900.0, 12.0] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [77.0, 512.0, 4096.0] {
+            b.record(v);
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+        // Merging an empty estimator in either direction is the identity.
+        let mut empty = Percentiles::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        let before = whole.clone();
+        whole.merge(&Percentiles::new());
+        assert_eq!(whole, before);
     }
 
     #[test]

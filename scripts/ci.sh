@@ -39,6 +39,13 @@ echo "==> scale bench (PDES speedup sweep + cycle-skip study; asserts"
 echo "    bit-identical reports and a non-zero skip ratio on TeraSort)"
 cargo run --offline --release -p smarco-bench --bin scale
 
+echo "==> profiling contract (profiled runs bit-identical, exact phase sums)"
+cargo test --offline -q --test profiling
+
+echo "==> perf-regression gate (sequential engine vs committed baseline;"
+echo "    SMARCO_PERF_GATE=skip bypasses on noisy hosts)"
+cargo run --offline --release -p smarco-bench --bin profile -- --gate scripts/perf_baseline.json
+
 echo "==> smarco-lint (static verifier, warnings are errors)"
 cargo run --offline --release -p smarco-bench --bin lint -- --deny-warnings
 

@@ -69,6 +69,7 @@ fn observed_run_is_bit_identical_to_unobserved() {
         "subring_utilization",
         "mem_latency_p50",
         "mem_latency_p99",
+        "mem_latency_p999",
     ] {
         assert!(w.stats.get(key).is_some(), "window missing {key}");
     }

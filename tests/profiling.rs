@@ -1,0 +1,161 @@
+//! The self-profiling contract: host-side profiling of the PDES engine is
+//! pure observation. For every HTC benchmark, a profiled run produces a
+//! bit-identical [`SmarcoReport`] to an unprofiled one — across worker
+//! counts and with cycle skipping on or off — while the profile itself
+//! accounts for every measured nanosecond (the named phase buckets plus
+//! the remainder sum to the total exactly).
+
+use smarco::core::chip::SmarcoSystem;
+use smarco::core::config::{ProfConfig, SmarcoConfig};
+use smarco::sim::prof::HostPhase;
+use smarco::sim::rng::SimRng;
+use smarco::workloads::{Benchmark, HtcStream};
+
+const THREADS_PER_CORE: usize = 2;
+const INSTRS: u64 = 300;
+const MAX_CYCLES: u64 = 10_000_000;
+
+/// A small chip loaded with one benchmark's team-interleaved threads.
+fn loaded(bench: Benchmark, workers: usize, cycle_skip: bool, prof: ProfConfig) -> SmarcoSystem {
+    let mut cfg = SmarcoConfig::tiny();
+    cfg.workers = workers;
+    cfg.cycle_skip = cycle_skip;
+    cfg.prof = prof;
+    let mut sys = SmarcoSystem::builder().config(cfg).build().unwrap();
+    let teams = sys.cores_len() * THREADS_PER_CORE;
+    let mut seed = 11u64;
+    for core in 0..sys.cores_len() {
+        for t in 0..THREADS_PER_CORE {
+            let lane = (core * THREADS_PER_CORE + t) as u64;
+            let p =
+                bench.thread_params(0x100_0000, 1 << 22, 0x8000_0000, lane, teams as u64, INSTRS);
+            sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
+                .expect("vacant slot");
+            seed += 1;
+        }
+    }
+    sys
+}
+
+#[test]
+fn profiling_is_result_neutral_on_all_benchmarks() {
+    for bench in Benchmark::ALL {
+        for cycle_skip in [true, false] {
+            let mut plain_sys = loaded(bench, 1, cycle_skip, ProfConfig::off());
+            let plain = plain_sys.run(MAX_CYCLES);
+            assert!(plain_sys.is_done(), "{} drained", bench.name());
+            assert!(
+                plain_sys.profile_report().is_none(),
+                "unprofiled run produced a profile"
+            );
+            for workers in [1, 4] {
+                let mut prof_sys = loaded(bench, workers, cycle_skip, ProfConfig::on());
+                let profiled = prof_sys.run(MAX_CYCLES);
+                assert_eq!(
+                    profiled,
+                    plain,
+                    "{} diverged under profiling at {workers} workers \
+                     (cycle_skip={cycle_skip})",
+                    bench.name()
+                );
+                let report = prof_sys.profile_report().expect("profile present");
+                // Every measured nanosecond is attributed: the named
+                // buckets plus each worker's remainder sum to the total
+                // exactly (not within a tolerance).
+                assert_eq!(
+                    report.phases().total(),
+                    report.total_ns(),
+                    "{} phase buckets do not partition the run",
+                    bench.name()
+                );
+                for w in &report.workers {
+                    assert_eq!(w.named_ns() + w.other_ns(), w.busy_ns);
+                }
+                assert!(
+                    report.phases().get(HostPhase::Step) > 0,
+                    "{} spent no time stepping",
+                    bench.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn profile_telemetry_matches_engine_counters() {
+    let mut sys = loaded(Benchmark::WordCount, 4, true, ProfConfig::on());
+    let r = sys.run(MAX_CYCLES);
+    assert!(sys.is_done());
+    let report = sys.profile_report().expect("profile present");
+    // Per-shard window counts partition the boundary count.
+    for s in &report.shards {
+        assert_eq!(
+            s.windows_stepped + s.windows_skipped,
+            report.telemetry.windows
+        );
+    }
+    // Default stride samples every window, so the occupancy histogram
+    // covers them all.
+    assert_eq!(report.telemetry.sampled_windows, report.telemetry.windows);
+    assert_eq!(
+        report.telemetry.occupancy.iter().sum::<u64>(),
+        report.telemetry.sampled_windows
+    );
+    // The facade substitutes the chip's shard names.
+    assert_eq!(report.shard_names.len(), report.shards.len());
+    assert!(report.shard_names.iter().any(|n| n == "hub"));
+    assert!(report.shard_names.iter().any(|n| n == "sub-ring0"));
+    // With 4 workers the run took the parallel path and measured
+    // barrier-arrival spread.
+    assert_eq!(report.parallel.windows, report.telemetry.windows);
+    assert!(report.telemetry.spread.count() > 0);
+    assert!(r.cycles > 0);
+}
+
+#[test]
+fn profile_exports_are_written_alongside_the_run() {
+    let dir = std::env::temp_dir().join(format!("smarco_prof_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let json = dir.join("profile.json");
+    let mut cfg = SmarcoConfig::tiny();
+    cfg.workers = 2;
+    let mut sys = SmarcoSystem::builder()
+        .config(cfg)
+        .profile_to(&json)
+        .build()
+        .unwrap();
+    let teams = sys.cores_len();
+    for core in 0..sys.cores_len() {
+        let p = Benchmark::Kmp.thread_params(
+            0x100_0000,
+            1 << 22,
+            0x8000_0000,
+            core as u64,
+            teams as u64,
+            INSTRS,
+        );
+        sys.attach(
+            core,
+            Box::new(HtcStream::new(p, SimRng::new(core as u64 + 1))),
+        )
+        .expect("vacant slot");
+    }
+    let _ = sys.run(MAX_CYCLES);
+    assert!(sys.is_done());
+    let body = std::fs::read_to_string(&json).expect("JSON export written");
+    assert!(
+        body.starts_with('{') && body.contains("\"phases\""),
+        "{body}"
+    );
+    let folded = std::fs::read_to_string(json.with_extension("folded")).expect("folded export");
+    assert!(
+        folded.lines().any(|l| l.starts_with("smarco-sim;")),
+        "{folded}"
+    );
+    let trace = std::fs::read_to_string(json.with_extension("trace.json")).expect("chrome export");
+    assert!(
+        trace.contains("\"traceEvents\"") && trace.contains("host-workers"),
+        "{trace}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
