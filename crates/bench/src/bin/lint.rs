@@ -6,28 +6,48 @@
 //! `smarco_team_system` would attach it (the other sub-rings run the
 //! same program shifted to disjoint regions, so one team is the whole
 //! race surface), and the MapReduce plan mirrors `smarco_mapreduce`'s
-//! sizing. Exits non-zero on any deny finding — or any warning with
+//! sizing. The model passes (deadlock, horizon soundness, worst-case
+//! bounds, partition hierarchy) then sweep every configuration and
+//! benchmark under both a healthy and a chaos fault plan. Exits
+//! non-zero on any deny finding — or any warning with
 //! `--deny-warnings` — so CI can gate on it.
 //!
 //! Usage: `lint [--deny-warnings] [--json <path>] [--ops N] [--threads N]`
 //! (defaults: 600 ops/thread, 8 threads/core, tiny topology for the
 //! program passes).
+//!
+//! Two special modes:
+//!
+//! * `lint --explain SLxxxx` prints the documented rationale and fix
+//!   hint for a diagnostic code (exit 2 on an unknown code).
+//! * `lint --corpus [--json <path>]` runs the negative-config corpus:
+//!   every seeded bad configuration must reproduce its expected codes.
+//!   Exit 1 means the corpus behaved (diagnostics present, as seeded);
+//!   exit 2 means a pass regressed and stopped catching its entry.
 
 use smarco_core::config::SmarcoConfig;
+use smarco_core::fault::FaultPlan;
 use smarco_lint::{
-    check_mapreduce_plan, lint_config, lint_threads, Report, Severity, ThreadProgram,
+    check_mapreduce_plan, corpus, lint_config, lint_model, lint_threads, Code, ModelInput, Report,
+    Severity, ThreadProgram,
 };
 use smarco_mem::map::AddressSpace;
 use smarco_mem::spm::Spm;
 use smarco_runtime::MapReduceConfig;
+use smarco_sched::Task;
 use smarco_sim::rng::SimRng;
 use smarco_workloads::{Benchmark, HtcStream};
+
+const USAGE: &str = "usage: lint [--deny-warnings] [--json <path>] [--ops N] [--threads N] \
+     | lint --explain SLxxxx | lint --corpus [--json <path>]";
 
 struct Args {
     deny_warnings: bool,
     json: Option<String>,
     ops: u64,
     threads: usize,
+    explain: Option<String>,
+    corpus: bool,
 }
 
 fn parse_args() -> Args {
@@ -36,6 +56,8 @@ fn parse_args() -> Args {
         json: None,
         ops: 600,
         threads: 8,
+        explain: None,
+        corpus: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,14 +85,109 @@ fn parse_args() -> Args {
                     .unwrap_or(out.threads);
                 i += 2;
             }
+            "--explain" => {
+                match argv.get(i + 1) {
+                    Some(code) => out.explain = Some(code.clone()),
+                    None => {
+                        eprintln!("--explain needs a code, e.g. `lint --explain SL0420`");
+                        std::process::exit(2);
+                    }
+                }
+                i += 2;
+            }
+            "--corpus" => {
+                out.corpus = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: lint [--deny-warnings] [--json <path>] [--ops N] [--threads N]");
+                eprintln!("{USAGE}");
                 std::process::exit(2);
             }
         }
     }
     out
+}
+
+/// `lint --explain SLxxxx`: the code's documented rationale and fix.
+fn run_explain(raw: &str) -> ! {
+    let Some(code) = Code::parse(raw) else {
+        eprintln!("unknown diagnostic code `{raw}` (codes look like SL0420)");
+        eprintln!("known codes:");
+        for c in Code::ALL {
+            eprintln!("  {} {} — {}", c.as_str(), c.default_severity(), c.title());
+        }
+        std::process::exit(2);
+    };
+    let (rationale, fix) = code.explain();
+    println!(
+        "{} ({}) — {}",
+        code.as_str(),
+        code.default_severity(),
+        code.title()
+    );
+    println!();
+    println!("{rationale}");
+    println!();
+    println!("fix: {fix}");
+    std::process::exit(0);
+}
+
+/// `lint --corpus`: every seeded bad config must reproduce its codes.
+fn run_corpus_mode(json: Option<&str>) -> ! {
+    let mut total = Report::new();
+    let mut regressed = false;
+    println!("negative-config corpus:");
+    for entry in corpus() {
+        let report = lint_model(&(entry.build)());
+        let missing: Vec<Code> = entry
+            .expected
+            .iter()
+            .copied()
+            .filter(|&code| !report.diagnostics().iter().any(|d| d.code == code))
+            .collect();
+        let produced: Vec<&str> = entry
+            .expected
+            .iter()
+            .filter(|c| !missing.contains(c))
+            .map(|c| c.as_str())
+            .collect();
+        if missing.is_empty() {
+            println!(
+                "  {}: caught ({}) — {}",
+                entry.name,
+                produced.join(", "),
+                entry.why
+            );
+        } else {
+            regressed = true;
+            let lost: Vec<&str> = missing.iter().map(|c| c.as_str()).collect();
+            println!(
+                "  {}: REGRESSED — no longer produces {}",
+                entry.name,
+                lost.join(", ")
+            );
+            for line in report.render_text().lines() {
+                println!("    {line}");
+            }
+        }
+        total.absorb(report.diagnostics().to_vec());
+    }
+    total.sort();
+    if let Some(path) = json {
+        std::fs::write(path, total.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("wrote {path}");
+    }
+    if regressed {
+        eprintln!("corpus regression: a verifier pass stopped catching its seeded config");
+        std::process::exit(2);
+    }
+    println!("corpus sound: every entry reproduced its expected codes");
+    // Exit 1 on purpose: diagnostics are present, exactly as seeded.
+    std::process::exit(1);
 }
 
 /// Captures sub-ring 0's team for `bench` exactly as `smarco_team_system`
@@ -131,8 +248,24 @@ fn section(total: &mut Report, name: &str, report: &Report) {
     total.absorb(report.diagnostics().to_vec());
 }
 
+/// The task set `smarco_team_system` submits for one sub-ring team: one
+/// task per resident thread, generously deadlined — any model-pass
+/// finding on these is a false positive.
+fn team_tasks(cfg: &SmarcoConfig, tpc: usize, work: u64) -> Vec<Task> {
+    let team = cfg.noc.cores_per_subring * tpc;
+    (0..team)
+        .map(|i| Task::new(i as u64, 0, 2_000_000, work.max(1)))
+        .collect()
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(code) = &args.explain {
+        run_explain(code);
+    }
+    if args.corpus {
+        run_corpus_mode(args.json.as_deref());
+    }
     let mut total = Report::new();
 
     println!("configurations:");
@@ -167,6 +300,51 @@ fn main() {
         report.absorb(check_mapreduce_plan(&mr, &cfg, &space));
         report.sort();
         section(&mut total, name, &report);
+    }
+
+    println!("model passes (deadlock, horizon, bounds, hierarchy):");
+    for (name, cfg) in [
+        ("smarco", SmarcoConfig::smarco()),
+        ("tiny", SmarcoConfig::tiny()),
+        ("prototype_40nm", SmarcoConfig::prototype_40nm()),
+    ] {
+        let cfg_tpc = tpc.min(cfg.tcg.resident_threads);
+        let tasks = team_tasks(&cfg, cfg_tpc, args.ops);
+        let mr = mapreduce_plan(&cfg, cfg_tpc);
+        for (plan_name, plan) in [
+            ("healthy", None),
+            ("chaos", Some(FaultPlan::chaos(7, &cfg))),
+        ] {
+            let mut input = ModelInput::new(cfg.clone())
+                .with_tasks(tasks.clone())
+                .with_mapreduce(mr.clone());
+            if let Some(p) = plan {
+                input = input.with_plan(p);
+            }
+            section(
+                &mut total,
+                &format!("{name}/{plan_name}"),
+                &lint_model(&input),
+            );
+        }
+    }
+    println!("model passes per benchmark (tiny topology):");
+    for bench in Benchmark::ALL {
+        let tasks = team_tasks(&cfg, tpc, args.ops);
+        for (plan_name, plan) in [
+            ("healthy", None),
+            ("chaos", Some(FaultPlan::chaos(11, &cfg))),
+        ] {
+            let mut input = ModelInput::new(cfg.clone()).with_tasks(tasks.clone());
+            if let Some(p) = plan {
+                input = input.with_plan(p);
+            }
+            section(
+                &mut total,
+                &format!("{}/{plan_name}", bench.name()),
+                &lint_model(&input),
+            );
+        }
     }
 
     total.sort();

@@ -33,7 +33,7 @@ use crate::config::SmarcoConfig;
 use crate::error::SmarcoError;
 use crate::fault::FaultPlan;
 use crate::report::SmarcoReport;
-use crate::shard::{ChipShard, HubShard, SubShard};
+use crate::shard::{ChipMsg, ChipShard, HubShard, SubShard};
 use crate::tcg::{CoreFull, TcgCore};
 
 pub use crate::shard::{ChipPayload, UncoreReq};
@@ -225,20 +225,6 @@ impl SmarcoSystem {
         SmarcoSystemBuilder::default()
     }
 
-    /// Builds the chip directly from `config`.
-    ///
-    /// Thin compatibility shim over [`SmarcoSystem::builder`], which
-    /// reports configuration problems as values instead of panicking.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration is invalid.
-    #[deprecated(since = "0.2.0", note = "use `SmarcoSystem::builder()` instead")]
-    pub fn new(config: SmarcoConfig) -> Self {
-        config.validate();
-        Self::assemble(config)
-    }
-
     /// Assembles the shards and engine from an already-validated
     /// configuration.
     fn assemble(config: SmarcoConfig) -> Self {
@@ -249,6 +235,14 @@ impl SmarcoSystem {
         shards.push(ChipShard::Hub(Box::new(HubShard::new(&config))));
         let mut engine = ParallelEngine::new(shards, config.noc.junction_latency);
         engine.set_skip_enabled(config.cycle_skip);
+        // Debug builds cross-check every boundary envelope against the
+        // statically derived horizon contract (lint code SL0421): same
+        // derivation, so a clean lint verdict and a quiet debug run
+        // certify the same predicate.
+        engine.set_contract(
+            crate::contract::horizon_contract(&config),
+            ChipMsg::contract_class,
+        );
         if config.prof.enabled {
             engine.enable_profiling(config.prof);
         }
@@ -370,6 +364,22 @@ impl SmarcoSystem {
             self.enable_profiling(ProfConfig::on());
         }
         self.profile_path = Some(path.into());
+    }
+
+    /// Enables or disables the horizon-contract cross-checker (default:
+    /// on). The checker is observation-only — debug builds assert every
+    /// boundary envelope against `crate::contract::horizon_contract`,
+    /// release builds never evaluate it — so reports are bit-identical
+    /// either way; off exists for A/B-verifying exactly that.
+    pub fn set_contract_checking(&mut self, enabled: bool) {
+        if enabled {
+            self.engine.set_contract(
+                crate::contract::horizon_contract(&self.config),
+                ChipMsg::contract_class,
+            );
+        } else {
+            self.engine.clear_contract();
+        }
     }
 
     /// Snapshot of the host-side profile with chip shard names

@@ -37,6 +37,7 @@
 
 pub mod chip;
 pub mod config;
+pub mod contract;
 pub mod dispatch;
 pub mod error;
 pub mod fault;

@@ -112,6 +112,26 @@ pub enum ChipMsg {
     },
 }
 
+impl ChipMsg {
+    /// Junction-crossing traffic: `Up`/`Down` packets and `Exit` signals
+    /// all travel at the junction latency.
+    pub const CLASS_JUNCTION: usize = 0;
+    /// Direct-datapath traffic: requests and replies travel the spoke's
+    /// fixed (longer) latency.
+    pub const CLASS_DIRECT: usize = 1;
+
+    /// The message's horizon-contract class (see
+    /// `smarco_core::contract::horizon_contract`): the index into the
+    /// contract's class floors that bounds how soon after a window start
+    /// this kind of message may become visible.
+    pub fn contract_class(&self) -> usize {
+        match self {
+            ChipMsg::Up(_) | ChipMsg::Down(_) | ChipMsg::Exit { .. } => Self::CLASS_JUNCTION,
+            ChipMsg::DirectReq(_) | ChipMsg::DirectReply(_) => Self::CLASS_DIRECT,
+        }
+    }
+}
+
 /// Folds two optional horizons into their minimum (`None` = no event).
 fn min_horizon(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
     match (a, b) {

@@ -17,6 +17,7 @@ use smarco_noc::{LinkConfig, NocConfig};
 use smarco_sched::Task;
 
 use crate::diag::{Code, Diagnostic, Severity, Span};
+use crate::model::{check_partition_hierarchy, PartitionLevel};
 
 fn zero(path: &str, what: &str) -> Diagnostic {
     Diagnostic::new(
@@ -221,56 +222,19 @@ pub fn check_shard_partition(
     direct: Option<&DirectPathConfig>,
     workers: usize,
 ) -> Vec<Diagnostic> {
-    let mut out = Vec::new();
-    if workers == 0 {
-        out.push(zero("workers", "PDES worker count"));
-    }
-    if noc.cores_per_subring > 0 && !total_cores.is_multiple_of(noc.cores_per_subring) {
-        out.push(
-            Diagnostic::new(
-                Code::ShardPartition,
-                Span::Field("noc.cores_per_subring".to_string()),
-                format!(
-                    "{total_cores} cores do not split into sub-ring shards of {}",
-                    noc.cores_per_subring,
-                ),
-            )
-            .with_help("every shard owns exactly one full sub-ring"),
-        );
-    }
-    if let Some(d) = direct {
-        if noc.junction_latency > d.latency {
-            out.push(
-                Diagnostic::new(
-                    Code::ShardLookahead,
-                    Span::Field("noc.junction_latency".to_string()),
-                    format!(
-                        "shard lookahead {} exceeds the {}-cycle direct-path \
-                         latency: a spoke would deliver inside a window the \
-                         engine already simulated",
-                        noc.junction_latency, d.latency,
-                    ),
-                )
-                .with_help("keep every boundary-crossing latency at or above the junction latency"),
-            );
-        }
-    }
-    let shards = noc.subrings + 1;
-    if workers > shards {
-        out.push(
-            Diagnostic::new(
-                Code::ShardWorkers,
-                Span::Field("workers".to_string()),
-                format!(
-                    "{workers} workers for {shards} shards ({} sub-rings + hub): \
-                     the engine clamps, so the extra host threads never run",
-                    noc.subrings,
-                ),
-            )
-            .with_help("workers beyond the shard count add no parallelism"),
-        );
-    }
-    out
+    // One level of the general hierarchy pass: the chip level is the
+    // innermost (and, on today's single-chip fabric, only) level.
+    let jl = noc.junction_latency;
+    let level = PartitionLevel {
+        label: "sub-ring".to_string(),
+        units: total_cores,
+        per_shard: noc.cores_per_subring,
+        shards: noc.subrings + 1,
+        lookahead: jl,
+        min_boundary_latency: direct.map_or(jl, |d| d.latency.min(jl)),
+        workers,
+    };
+    check_partition_hierarchy(&[level])
 }
 
 /// Lints a fault plan against the chip geometry it targets (SL0414) and

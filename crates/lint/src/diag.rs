@@ -117,11 +117,38 @@ pub enum Code {
     /// histograms and barrier-spread percentiles come back empty while
     /// the run still pays the profiling overhead.
     DegenerateProfileSampling,
+    /// SL0420: the chip model contains a blocking cycle — a wait-for
+    /// loop through ring junctions, MACT open-line windows, direct-path
+    /// request/reply pairs, or fault-retry wheels with no live sink, so
+    /// backpressure can livelock the configuration.
+    BlockingCycle,
+    /// SL0421: a component's static horizon contract is violated — its
+    /// config lets `next_event` under-promise (e.g. zero-latency links,
+    /// a zero minimum boundary floor), so the cycle skipper could jump
+    /// past a real event.
+    HorizonContract,
+    /// SL0422: the fault plan permanently removes every unit of a
+    /// resource class the workload needs (all DDR channels, all cores),
+    /// leaving requests with no live sink.
+    ResourceClassDead,
+    /// SL0423: in a multi-level shard hierarchy, an outer level's
+    /// lookahead is shorter than an inner level's — the outer barrier
+    /// would have to deliver into windows the inner engine already
+    /// retired.
+    HierarchyLookahead,
+    /// SL0430: the symbolic worst path through the model (retry backoff
+    /// under injected noise) pushes even a clean final attempt past the
+    /// MACT collection deadline.
+    WorstPathExceedsDeadline,
+    /// SL0431: a laxity-scheduled task's slack at arrival is smaller
+    /// than the plan's worst-case fault stall (retry budget + DDR stall
+    /// window + channel-death remap), so injected faults can starve it.
+    TaskStarvable,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 30] = [
+    pub const ALL: [Code; 36] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -152,6 +179,12 @@ impl Code {
         Code::FaultTargetOutOfRange,
         Code::RetryExceedsDeadline,
         Code::DegenerateProfileSampling,
+        Code::BlockingCycle,
+        Code::HorizonContract,
+        Code::ResourceClassDead,
+        Code::HierarchyLookahead,
+        Code::WorstPathExceedsDeadline,
+        Code::TaskStarvable,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -187,7 +220,18 @@ impl Code {
             Code::FaultTargetOutOfRange => "SL0414",
             Code::RetryExceedsDeadline => "SL0415",
             Code::DegenerateProfileSampling => "SL0416",
+            Code::BlockingCycle => "SL0420",
+            Code::HorizonContract => "SL0421",
+            Code::ResourceClassDead => "SL0422",
+            Code::HierarchyLookahead => "SL0423",
+            Code::WorstPathExceedsDeadline => "SL0430",
+            Code::TaskStarvable => "SL0431",
         }
+    }
+
+    /// Parses a stable `SLxxxx` identifier back into its code.
+    pub fn parse(s: &str) -> Option<Code> {
+        Code::ALL.into_iter().find(|c| c.as_str() == s)
     }
 
     /// The severity a finding of this code carries unless the pass
@@ -212,7 +256,11 @@ impl Code {
             | Code::MactGeometry
             | Code::ShardLookahead
             | Code::ShardPartition
-            | Code::FaultTargetOutOfRange => Severity::Deny,
+            | Code::FaultTargetOutOfRange
+            | Code::BlockingCycle
+            | Code::HorizonContract
+            | Code::ResourceClassDead
+            | Code::HierarchyLookahead => Severity::Deny,
             Code::MisalignedRef
             | Code::CtrlRef
             | Code::SliceBeyondInput
@@ -222,7 +270,9 @@ impl Code {
             | Code::ShardWorkers
             | Code::DegenerateHorizon
             | Code::RetryExceedsDeadline
-            | Code::DegenerateProfileSampling => Severity::Warn,
+            | Code::DegenerateProfileSampling
+            | Code::WorstPathExceedsDeadline
+            | Code::TaskStarvable => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -260,6 +310,246 @@ impl Code {
             Code::FaultTargetOutOfRange => "fault plan targets a unit outside the chip",
             Code::RetryExceedsDeadline => "retry budget can outlast the MACT deadline",
             Code::DegenerateProfileSampling => "profiling stride starves window telemetry",
+            Code::BlockingCycle => "chip model has a blocking cycle with no live sink",
+            Code::HorizonContract => "config lets a component's next_event under-promise",
+            Code::ResourceClassDead => "fault plan kills every unit of a needed resource",
+            Code::HierarchyLookahead => "outer shard level has shorter lookahead than inner",
+            Code::WorstPathExceedsDeadline => "worst retry path blows the MACT deadline",
+            Code::TaskStarvable => "task slack smaller than worst-case fault stall",
+        }
+    }
+
+    /// Documented rationale and fix hint, for `lint --explain`.
+    ///
+    /// Returns `(rationale, fix_hint)`: why the finding matters for the
+    /// chip's guarantees, and the usual way out.
+    pub fn explain(self) -> (&'static str, &'static str) {
+        match self {
+            Code::UnmappedRef => (
+                "A load or store resolves to no mapped region, so the access \
+                 would fault or silently read garbage on hardware.",
+                "Map the buffer in the address space or fix the base address \
+                 the thread computes.",
+            ),
+            Code::StraddlingRef => (
+                "A single access crosses a region boundary; the two halves \
+                 would take different paths through the memory system.",
+                "Align the buffer or split the access so each piece stays \
+                 inside one region.",
+            ),
+            Code::MisalignedRef => (
+                "A naturally-alignable access is misaligned for its width, \
+                 costing extra memory transactions.",
+                "Align the address to the access width.",
+            ),
+            Code::CtrlRef => (
+                "Guest code touches the SPM control-register window, which \
+                 is reserved for the runtime.",
+                "Use the runtime's DMA/staging API instead of poking control \
+                 registers directly.",
+            ),
+            Code::BadDmaRange => (
+                "A DMA endpoint range is unmapped, straddling, or empty, so \
+                 the transfer cannot complete as written.",
+                "Fix the endpoint base/length so the range sits inside one \
+                 mapped region.",
+            ),
+            Code::RemoteSpmRef => (
+                "The access lands in another core's SPM window. Legal, but \
+                 it rides the ring and is an order of magnitude slower.",
+                "Stage the data locally via DMA if the access is hot.",
+            ),
+            Code::WriteWriteRace => (
+                "Two threads write overlapping bytes with no ordering edge; \
+                 the final contents depend on scheduling.",
+                "Partition the buffer or order the writers with a Sync.",
+            ),
+            Code::ReadWriteRace => (
+                "One thread writes bytes another reads with no ordering \
+                 edge, so the reader may see either version.",
+                "Order the pair with a Sync, or give the reader its own \
+                 copy.",
+            ),
+            Code::UnsyncedDmaAccess => (
+                "A thread touches its own in-flight DMA destination before \
+                 the completing Sync; the DMA may land before or after.",
+                "Move the access after the Sync that completes the \
+                 transfer.",
+            ),
+            Code::DmaSrcDstOverlap => (
+                "A DMA op's source and destination overlap; the copy \
+                 direction makes the result undefined.",
+                "Use disjoint ranges or copy through a bounce buffer.",
+            ),
+            Code::DmaDstConflict => (
+                "DMA destinations of different threads overlap, so transfer \
+                 completion order decides the contents.",
+                "Give each thread a disjoint destination window.",
+            ),
+            Code::StagingCollision => (
+                "SPM staging buffers collide or escape their core's window, \
+                 corrupting a neighbour's working set.",
+                "Shrink the staged slices or re-tile the per-core SPM \
+                 budget.",
+            ),
+            Code::PlanShape => (
+                "The MapReduce plan's ranges, regions, or thread counts are \
+                 structurally invalid; execution would index out of range.",
+                "Regenerate the plan from the actual config geometry.",
+            ),
+            Code::SliceBeyondInput => (
+                "Slice rounding makes trailing tasks read past the input's \
+                 end.",
+                "Clamp the last slice or pad the input to a slice multiple.",
+            ),
+            Code::ZeroField => (
+                "A structurally required field is zero or non-positive; the \
+                 component cannot be constructed.",
+                "Set the field to a positive value.",
+            ),
+            Code::ThreadsExceedPairs => (
+                "Resident threads exceed 2 x thread pairs, so some threads \
+                 can never be scheduled onto a pair.",
+                "Raise tcg.thread_pairs or lower tcg.threads.",
+            ),
+            Code::DramChannelMismatch => (
+                "DRAM channel count differs from the NoC's memory \
+                 controllers; some controllers have no backing channel.",
+                "Set dram.channels == noc.mem_ctrls.",
+            ),
+            Code::DirectSpokeMismatch => (
+                "Direct-datapath spokes differ from the sub-ring count, so \
+                 some sub-rings have no direct path.",
+                "Set direct.subrings == noc.subrings.",
+            ),
+            Code::CtrlSpacing => (
+                "Memory controllers do not divide the sub-rings evenly, so \
+                 controller placement on the main ring is irregular.",
+                "Pick mem_ctrls that divides noc.subrings.",
+            ),
+            Code::SliceWidth => (
+                "A link slice width is zero, oversized, or does not tile \
+                 the guaranteed link capacity, wasting bandwidth.",
+                "Pick a slice width that tiles the link's guaranteed \
+                 bytes-per-cycle.",
+            ),
+            Code::MactGeometry => (
+                "MACT geometry (lines, line bytes) is invalid; the \
+                 collection table cannot be built.",
+                "Give the MACT at least one line of a positive, bounded \
+                 line size.",
+            ),
+            Code::MactThreshold => (
+                "The MACT collection deadline exceeds what one line can \
+                 absorb, so the deadline never fires before the line fills.",
+                "Lower mact.threshold or raise mact.line_bytes.",
+            ),
+            Code::InfeasibleTask => (
+                "The task's deadline is already infeasible at arrival \
+                 (negative laxity): deadline < arrival + work.",
+                "Extend the deadline or shrink the task's work estimate.",
+            ),
+            Code::ShardLookahead => (
+                "The PDES lookahead (junction latency) exceeds a \
+                 boundary-crossing path latency, so a shard would deliver a \
+                 message into a window the engine already simulated.",
+                "Lower the lookahead or raise the shortest boundary \
+                 latency (e.g. direct.latency).",
+            ),
+            Code::ShardPartition => (
+                "The core count does not split into whole sub-ring shards; \
+                 the chip cannot be sharded as configured.",
+                "Make cores a multiple of cores_per_subring x subrings.",
+            ),
+            Code::ShardWorkers => (
+                "More PDES worker threads than shards; the excess host \
+                 threads spin on the barrier and never run a shard.",
+                "Clamp workers to subrings + 1.",
+            ),
+            Code::DegenerateHorizon => (
+                "The config pins event horizons to the next cycle (e.g. a \
+                 1-cycle MACT threshold), so the cycle skipper can rarely \
+                 fast-forward and the skip machinery is pure overhead.",
+                "Raise the threshold or disable cycle_skip.",
+            ),
+            Code::FaultTargetOutOfRange => (
+                "A fault-plan entry targets a core, DDR channel, or \
+                 sub-ring outside the chip's geometry and can never fire — \
+                 the chaos coverage you asked for silently does not exist.",
+                "Fix the unit index or regenerate the plan against this \
+                 config.",
+            ),
+            Code::RetryExceedsDeadline => (
+                "The NoC retransmission budget (retries x exponential \
+                 backoff) can delay a request past the MACT collection \
+                 deadline, so every retried request blows its batching \
+                 window.",
+                "Shorten the retry budget or raise mact.threshold.",
+            ),
+            Code::DegenerateProfileSampling => (
+                "Profiling is enabled with a sampling stride so sparse that \
+                 short runs close no sampled windows; telemetry comes back \
+                 empty while the run still pays the overhead.",
+                "Lower prof.sample_every or disable profiling.",
+            ),
+            Code::BlockingCycle => (
+                "The chip model contains a wait-for cycle — through ring \
+                 junctions, MACT open-line windows, direct request/reply \
+                 pairs, or retry wheels — with no live sink to drain it, so \
+                 backpressure can livelock the config. The canonical case \
+                 is a MACT lockup window that never ends: open lines stop \
+                 flushing forever and every core behind them blocks.",
+                "Give every blocking path a live sink: bound MACT lockup \
+                 windows, keep at least one live DDR channel, and keep \
+                 retry wheels finite.",
+            ),
+            Code::HorizonContract => (
+                "A component's config lets its next_event horizon \
+                 under-promise (zero-latency links, zero bandwidth, a zero \
+                 boundary floor). The cycle skipper trusts horizons; an \
+                 under-promise here means skipped cycles that contained \
+                 real events. The same floors are asserted at runtime by \
+                 the debug-build cross-checker, so this finding is the \
+                 static twin of a debug panic.",
+                "Make every latency and bandwidth field positive so each \
+                 boundary class has a non-zero floor.",
+            ),
+            Code::ResourceClassDead => (
+                "The fault plan permanently removes every unit of a \
+                 resource class the workload needs (every DDR channel, or \
+                 every core). Channel death remaps to the next live \
+                 channel; with none live, requests black-hole and the run \
+                 never drains.",
+                "Leave at least one unit of each class alive, or bound the \
+                 outage with a stall window instead of a death.",
+            ),
+            Code::HierarchyLookahead => (
+                "In a shard hierarchy, an outer level's lookahead is \
+                 shorter than an inner level's. The outer barrier would \
+                 have to deliver messages into windows the inner engine \
+                 already retired — the conservative-window invariant \
+                 breaks across levels.",
+                "Order lookaheads outward: each enclosing level at least \
+                 as long as the levels it contains.",
+            ),
+            Code::WorstPathExceedsDeadline => (
+                "With ring noise actually injected, the symbolic worst \
+                 path (full retry backoff before the clean final attempt) \
+                 reaches the MACT collection deadline, so every retried \
+                 request misses its batching window — sharpened from \
+                 SL0415, which fires on the budget alone.",
+                "Shorten retries/backoff or raise mact.threshold above the \
+                 worst-case retry delay.",
+            ),
+            Code::TaskStarvable => (
+                "A laxity-scheduled task's slack at arrival is smaller \
+                 than the plan's worst-case fault stall (retry budget plus \
+                 the longest DDR stall window plus a channel-death remap \
+                 penalty), so injected faults alone can push it past its \
+                 deadline.",
+                "Extend the task deadline past the plan's worst-case \
+                 stall, or soften the fault plan.",
+            ),
         }
     }
 }
@@ -505,6 +795,17 @@ mod tests {
             assert!(c.as_str().starts_with("SL"));
             assert_eq!(c.as_str().len(), 6);
         }
+    }
+
+    #[test]
+    fn parse_and_explain_cover_every_code() {
+        for c in Code::ALL {
+            assert_eq!(Code::parse(c.as_str()), Some(c), "round-trip {c}");
+            let (rationale, fix) = c.explain();
+            assert!(!rationale.is_empty() && !fix.is_empty(), "explain {c}");
+        }
+        assert_eq!(Code::parse("SL9999"), None);
+        assert_eq!(Code::parse("sl0101"), None, "parse is case-sensitive");
     }
 
     #[test]

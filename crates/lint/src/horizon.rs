@@ -1,0 +1,156 @@
+//! Pass (b) — **SL0421** horizon-soundness contracts.
+//!
+//! The PDES engine advances each shard through conservative time
+//! windows; its safety rests on every boundary component *keeping the
+//! promises* encoded in the chip's
+//! [`HorizonContract`](smarco_core::contract::HorizonContract): a
+//! message crossing a shard boundary is timestamped no earlier than the
+//! window start plus the pair floor and its traffic-class floor. This
+//! pass evaluates **the same contract object the runtime installs** —
+//! both sides call [`smarco_core::contract::horizon_contract`], so the
+//! static claim and the debug-build assertion in
+//! `ParallelEngine::window_step` are provably the same predicate (the
+//! `Spm::certify` pattern).
+//!
+//! Statically, a configuration is horizon-unsound when any latency that
+//! backs a contract floor degenerates to zero (the floor becomes an
+//! empty promise and cycle skipping can run a component past an event
+//! it had not yet emitted) or when a throughput term degenerates so a
+//! "later" completion time cannot be computed at all.
+
+use smarco_core::config::SmarcoConfig;
+use smarco_core::contract::horizon_contract;
+
+use crate::diag::{Code, Diagnostic, Span};
+
+fn unsound(field: &str, why: &str, help: &str) -> Diagnostic {
+    Diagnostic::new(
+        Code::HorizonContract,
+        Span::Field(field.to_string()),
+        why.to_string(),
+    )
+    .with_help(help)
+}
+
+/// Runs the horizon-soundness pass over a configuration.
+pub fn check_horizon(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let contract = horizon_contract(cfg);
+
+    // The contract's own weakest promise: if any reachable pair floors
+    // at 0, a boundary message may carry the window-start timestamp and
+    // the receiving shard can no longer order it against local events.
+    if contract.min_reachable_floor() == Some(0) {
+        out.push(unsound(
+            "noc.junction_latency",
+            "the derived horizon contract promises a zero-cycle floor on a \
+             reachable shard pair: boundary messages may arrive timestamped \
+             at the window start and cannot be ordered against local events",
+            "every boundary crossing needs at least one cycle of latency",
+        ));
+    } else if cfg.noc.junction_latency == 0 {
+        // Unreachable via the floor check only when the topology is
+        // empty; keep the direct field check for a precise span.
+        out.push(unsound(
+            "noc.junction_latency",
+            "junction latency 0 gives the engine a zero lookahead: windows \
+             never advance and junction-class floors are empty promises",
+            "the junction crossing is the lookahead; it must be positive",
+        ));
+    }
+
+    // The class floors are the non-vacuous half of the contract: the
+    // pair floor equals the lookahead, so `floor = pair.max(class)`
+    // hides a zero class floor. Check the backing fields directly.
+    if let Some(direct) = &cfg.direct {
+        if direct.latency == 0 {
+            out.push(unsound(
+                "direct.latency",
+                "a zero-latency direct-path spoke floors direct-class \
+                 traffic at the junction latency only: the spoke's real \
+                 arrival can undercut the promise its shard made when it \
+                 declared next_event, breaking cycle skipping",
+                "the spoke must cost at least one cycle end to end",
+            ));
+        }
+        if direct.bytes_per_cycle <= 0.0 {
+            out.push(unsound(
+                "direct.bytes_per_cycle",
+                "non-positive direct-path bandwidth makes a transfer's \
+                 completion cycle incomputable: the shard cannot promise \
+                 any horizon for in-flight direct traffic",
+                "direct-path bandwidth must be a positive byte rate",
+            ));
+        }
+    }
+    if cfg.dram.base_latency == 0 {
+        out.push(unsound(
+            "dram.base_latency",
+            "zero DDR base latency lets a memory reply be timestamped at \
+             its request cycle: the hub shard's next_event promise no \
+             longer bounds its outgoing replies",
+            "model at least one cycle of controller turnaround",
+        ));
+    }
+    if cfg.dram.bytes_per_cycle <= 0.0 {
+        out.push(unsound(
+            "dram.bytes_per_cycle",
+            "non-positive DDR bandwidth makes service completion times \
+             incomputable, so the hub shard cannot bound its horizon",
+            "DDR bandwidth must be a positive byte rate",
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shipped_configs_keep_their_promises() {
+        for cfg in [
+            SmarcoConfig::tiny(),
+            SmarcoConfig::smarco(),
+            SmarcoConfig::prototype_40nm(),
+        ] {
+            assert!(check_horizon(&cfg).is_empty());
+        }
+    }
+
+    #[test]
+    fn zero_latency_spoke_denied_even_though_the_pair_floor_hides_it() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.direct.as_mut().unwrap().latency = 0;
+        // The blind spot this pass exists for: the contract's reachable
+        // floors still look fine because floor = pair.max(class).
+        assert_ne!(
+            horizon_contract(&cfg).min_reachable_floor(),
+            Some(0),
+            "pair floors mask the zero class floor"
+        );
+        let ds = check_horizon(&cfg);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::HorizonContract);
+        assert!(matches!(&ds[0].span, Span::Field(f) if f == "direct.latency"));
+    }
+
+    #[test]
+    fn zero_junction_latency_is_a_zero_lookahead() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.noc.junction_latency = 0;
+        let ds = check_horizon(&cfg);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::HorizonContract);
+        assert!(matches!(&ds[0].span, Span::Field(f) if f == "noc.junction_latency"));
+    }
+
+    #[test]
+    fn degenerate_memory_timing_is_unsound() {
+        let mut cfg = SmarcoConfig::tiny();
+        cfg.dram.base_latency = 0;
+        cfg.dram.bytes_per_cycle = 0.0;
+        let codes: Vec<_> = check_horizon(&cfg).iter().map(|d| d.code).collect();
+        assert_eq!(codes, vec![Code::HorizonContract, Code::HorizonContract]);
+    }
+}

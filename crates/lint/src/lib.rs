@@ -21,6 +21,20 @@
 //!   invariants of [`SmarcoConfig`] and friends as diagnostics instead
 //!   of panics, plus soft heuristics (slice widths, MACT deadlines,
 //!   infeasible tasks).
+//! * [`model`] — the **ChipModel IR**: a typed component/channel graph
+//!   of the whole chip (cores, ring segments, junctions, MACTs, spokes,
+//!   DDR channels, the retry wheel) extracted purely from config, plus
+//!   the shard-partition hierarchy pass (**SL0423**).
+//! * [`deadlock`] — **SL0420/SL0422** static deadlock analysis: blocking
+//!   cycles and resource-class extinction over the model graph.
+//! * [`horizon`] — **SL0421** horizon-soundness: evaluates the *same*
+//!   [`HorizonContract`](smarco_core::contract::HorizonContract) object
+//!   the PDES engine enforces in debug builds.
+//! * [`schedbound`] — **SL0430/SL0431** worst-case latency bounds: the
+//!   fault plan's composed worst-case delay against MACT deadlines,
+//!   task laxities, and MapReduce phase budgets.
+//! * [`corpus`] — the negative-config corpus: one seeded bad config per
+//!   model-pass trigger, self-verifying in tests and in CI.
 //!
 //! Every finding is a [`Diagnostic`] with a stable `SLxxxx` code, a
 //! severity (deny / warn / note), a span, and usually a help line;
@@ -36,19 +50,32 @@
 pub mod access;
 pub mod addr;
 pub mod config;
+pub mod corpus;
+pub mod deadlock;
 pub mod diag;
 pub mod dma;
+pub mod horizon;
+pub mod model;
 pub mod race;
+pub mod schedbound;
 
 pub use access::{Interval, IntervalSet, ThreadAccesses, ThreadProgram};
 pub use addr::{check_addresses, check_thread_addresses};
 pub use config::{check_config, check_link, check_mact, check_noc, check_task, check_tcg};
+pub use corpus::{corpus, run_corpus, CorpusEntry};
+pub use deadlock::check_deadlock;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use dma::{check_dma, check_mapreduce_plan, check_staging, StagedBuffer};
+pub use horizon::check_horizon;
+pub use model::{check_partition_hierarchy, Channel, ChannelKind, ChipModel, PartitionLevel};
 pub use race::{check_races, check_unsynced_dma};
+pub use schedbound::{check_schedbound, fault_slack};
 
 use smarco_core::config::SmarcoConfig;
+use smarco_core::fault::FaultPlan;
 use smarco_mem::map::{AddressSpace, RangeClass, Region};
+use smarco_runtime::MapReduceConfig;
+use smarco_sched::Task;
 
 /// Runs the address, race, and DMA passes over a co-scheduled thread
 /// set and returns the sorted report.
@@ -66,6 +93,87 @@ pub fn lint_threads(space: &AddressSpace, threads: &[ThreadProgram]) -> Report {
 pub fn lint_config(cfg: &SmarcoConfig) -> Report {
     let mut report = Report::new();
     report.absorb(config::check_config(cfg));
+    report.sort();
+    report
+}
+
+/// Everything the model passes analyse together: a chip configuration,
+/// the task set headed for the dispatcher, an optional fault plan
+/// override (the config's own plan otherwise), an optional MapReduce
+/// plan, and any outer partition levels beyond the chip's own.
+#[derive(Debug, Clone)]
+pub struct ModelInput {
+    /// The chip configuration.
+    pub cfg: SmarcoConfig,
+    /// Tasks headed for the dispatcher.
+    pub tasks: Vec<Task>,
+    /// Fault plan override; `cfg.fault` is used when `None`.
+    pub plan: Option<FaultPlan>,
+    /// MapReduce plan whose phase budget joins the deadline checks.
+    pub mr: Option<MapReduceConfig>,
+    /// Partition levels enclosing the chip level, innermost first.
+    pub outer_levels: Vec<PartitionLevel>,
+}
+
+impl ModelInput {
+    /// An input with no tasks, no plan override, and no outer levels.
+    pub fn new(cfg: SmarcoConfig) -> Self {
+        Self {
+            cfg,
+            tasks: Vec::new(),
+            plan: None,
+            mr: None,
+            outer_levels: Vec::new(),
+        }
+    }
+
+    /// Overrides the fault plan under analysis.
+    #[must_use]
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Sets the task set under analysis.
+    #[must_use]
+    pub fn with_tasks(mut self, tasks: Vec<Task>) -> Self {
+        self.tasks = tasks;
+        self
+    }
+
+    /// Adds a MapReduce plan whose phase budget joins the checks.
+    #[must_use]
+    pub fn with_mapreduce(mut self, mr: MapReduceConfig) -> Self {
+        self.mr = Some(mr);
+        self
+    }
+
+    /// Appends an enclosing partition level (e.g. an inter-chip fabric).
+    #[must_use]
+    pub fn with_outer_level(mut self, level: PartitionLevel) -> Self {
+        self.outer_levels.push(level);
+        self
+    }
+}
+
+/// Runs all four model passes — deadlock, horizon soundness,
+/// schedulability bounds, and partition-hierarchy soundness — over one
+/// [`ModelInput`] and returns the sorted report. This is the entry
+/// point the `lint` CLI sweep, the CI corpus gate, and the corpus's own
+/// tests all share.
+pub fn lint_model(input: &ModelInput) -> Report {
+    let mut model = ChipModel::extract(
+        &input.cfg,
+        &input.tasks,
+        input.plan.as_ref(),
+        input.mr.as_ref(),
+    );
+    model.levels.extend(input.outer_levels.iter().cloned());
+    let mut report = Report::new();
+    report.absorb(deadlock::check_deadlock(&model));
+    report.absorb(horizon::check_horizon(&input.cfg));
+    report.absorb(schedbound::check_schedbound(&model));
+    report.absorb(check_partition_hierarchy(&model.levels));
     report.sort();
     report
 }

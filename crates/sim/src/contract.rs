@@ -1,0 +1,156 @@
+//! Horizon-soundness contracts: static floors on cross-shard message
+//! timestamps, enforced at runtime in debug builds.
+//!
+//! A [`HorizonContract`] certifies two things about a sharded model:
+//!
+//! * **Topology** — which `(from, to)` shard pairs may exchange messages
+//!   at all. A pair floor of `u64::MAX` means "unreachable"; a debug-build
+//!   envelope on such a pair is a wiring bug.
+//! * **Latency floors** — for every reachable pair and every *message
+//!   class* (e.g. ring-junction traffic vs direct-path traffic), the
+//!   minimum number of cycles between a window's start and the earliest
+//!   cycle at which an envelope emitted in that window may become
+//!   visible. The engine's lookahead already enforces `at >= window_end`;
+//!   class floors can be *longer* than the lookahead (a direct-path spoke
+//!   with an 8-cycle latency on a 2-cycle-lookahead chip), so the
+//!   contract catches a component whose `next_event` under-promises even
+//!   when the generic lookahead assertion would not.
+//!
+//! The same contract object is derived once from the configuration (see
+//! `smarco_core::contract::horizon_contract`) and consumed twice: by the
+//! static lint pass (`SL0421`) and by the engine's debug-build envelope
+//! cross-checker installed via `ParallelEngine::set_contract` — the
+//! `Spm::certify` pattern, so the static claim and the runtime assertion
+//! are the same predicate.
+
+/// Per-pair and per-class minimum-latency floors for a sharded model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HorizonContract {
+    n: usize,
+    /// `n * n` row-major pair floors; `u64::MAX` = pair unreachable.
+    floors: Vec<u64>,
+    /// Per-message-class floors (indexed by the classifier the engine is
+    /// given alongside the contract).
+    class_floors: Vec<u64>,
+}
+
+impl HorizonContract {
+    /// A contract over `n` shards in which every pair is unreachable and
+    /// no message classes exist. Build up from here with
+    /// [`allow`](Self::allow) and [`set_class_floors`](Self::set_class_floors).
+    pub fn unreachable(n: usize) -> Self {
+        Self {
+            n,
+            floors: vec![u64::MAX; n * n],
+            class_floors: Vec::new(),
+        }
+    }
+
+    /// Number of shards the contract covers.
+    pub fn shards(&self) -> usize {
+        self.n
+    }
+
+    /// Declares `(from, to)` reachable with a pair floor of `floor`
+    /// cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either index is out of range.
+    pub fn allow(&mut self, from: usize, to: usize, floor: u64) {
+        assert!(from < self.n && to < self.n, "shard index out of range");
+        self.floors[from * self.n + to] = floor;
+    }
+
+    /// The pair floor for `(from, to)`; `u64::MAX` when unreachable.
+    pub fn pair_floor(&self, from: usize, to: usize) -> u64 {
+        self.floors[from * self.n + to]
+    }
+
+    /// Installs the per-class floors (class indices are whatever the
+    /// engine's classifier returns).
+    pub fn set_class_floors(&mut self, floors: Vec<u64>) {
+        self.class_floors = floors;
+    }
+
+    /// The floor for message class `class` (0 when the class is unknown —
+    /// conservative: never rejects a legal envelope).
+    pub fn class_floor(&self, class: usize) -> u64 {
+        self.class_floors.get(class).copied().unwrap_or(0)
+    }
+
+    /// The per-class floors.
+    pub fn class_floors(&self) -> &[u64] {
+        &self.class_floors
+    }
+
+    /// The effective floor for an envelope: `u64::MAX` when the pair is
+    /// unreachable, otherwise the larger of the pair and class floors.
+    pub fn floor(&self, from: usize, to: usize, class: usize) -> u64 {
+        let pair = self.pair_floor(from, to);
+        if pair == u64::MAX {
+            u64::MAX
+        } else {
+            pair.max(self.class_floor(class))
+        }
+    }
+
+    /// The smallest floor over all reachable pairs and all classes — the
+    /// weakest promise the contract makes anywhere. A zero here means
+    /// some component may act with no delay at all, which breaks cycle
+    /// skipping (the static `SL0421` trigger).
+    pub fn min_reachable_floor(&self) -> Option<u64> {
+        let mut min = None;
+        for from in 0..self.n {
+            for to in 0..self.n {
+                let pair = self.pair_floor(from, to);
+                if pair == u64::MAX {
+                    continue;
+                }
+                for class in 0..self.class_floors.len().max(1) {
+                    let f = pair.max(self.class_floor(class));
+                    min = Some(min.map_or(f, |m: u64| m.min(f)));
+                }
+            }
+        }
+        min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unreachable_until_allowed() {
+        let mut c = HorizonContract::unreachable(3);
+        assert_eq!(c.pair_floor(0, 1), u64::MAX);
+        assert_eq!(c.floor(0, 1, 0), u64::MAX);
+        c.allow(0, 1, 2);
+        assert_eq!(c.pair_floor(0, 1), 2);
+        assert_eq!(c.pair_floor(1, 0), u64::MAX, "direction matters");
+        assert_eq!(c.shards(), 3);
+    }
+
+    #[test]
+    fn class_floor_dominates_pair_floor() {
+        let mut c = HorizonContract::unreachable(2);
+        c.allow(0, 1, 2);
+        c.set_class_floors(vec![2, 8]);
+        assert_eq!(c.floor(0, 1, 0), 2);
+        assert_eq!(c.floor(0, 1, 1), 8, "direct class outranks lookahead");
+        assert_eq!(c.class_floor(99), 0, "unknown class is conservative");
+    }
+
+    #[test]
+    fn min_reachable_floor_finds_the_weakest_promise() {
+        let mut c = HorizonContract::unreachable(3);
+        assert_eq!(c.min_reachable_floor(), None);
+        c.allow(0, 1, 4);
+        c.allow(1, 2, 7);
+        c.set_class_floors(vec![5, 9]);
+        assert_eq!(c.min_reachable_floor(), Some(5));
+        c.set_class_floors(vec![0]);
+        assert_eq!(c.min_reachable_floor(), Some(4));
+    }
+}

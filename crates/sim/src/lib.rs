@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod contract;
 pub mod engine;
 pub mod event;
 pub mod obs;

@@ -35,10 +35,16 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as MemOrder};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use crate::contract::HorizonContract;
 use crate::prof::{
     EngineProfile, HostPhase, HostSlice, HostTrack, ProfConfig, Telemetry, WorkerScratch,
 };
 use crate::Cycle;
+
+/// A horizon contract paired with the classifier that maps a message to
+/// its contract class. Plain function pointer so the pair stays `Copy`
+/// across worker threads.
+type ContractCheck<M> = (HorizonContract, fn(&M) -> usize);
 
 /// Timestamped message addressed to another shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -267,6 +273,7 @@ fn window_step<S: Shard>(
     staging: &[Mutex<Vec<Envelope<S::Msg>>>],
     produced: &[Mutex<Vec<Envelope<S::Msg>>>],
     skip: bool,
+    contract: Option<&ContractCheck<S::Msg>>,
 ) -> bool {
     {
         let mut slot = staging[lane.i].lock().expect("staging lock");
@@ -283,6 +290,36 @@ fn window_step<S: Shard>(
     let mut outbox = Outbox::new(lane.i, to, *lane.seq, buf);
     lane.shard.run_window(from, to, lane.inbox, &mut outbox);
     *lane.seq = outbox.next_seq;
+    // Debug-build horizon cross-check: every envelope emitted this window
+    // must respect the statically derived contract — reachable pair, and
+    // timestamp no earlier than window start + the pair/class floor. This
+    // is the runtime half of lint code SL0421: both sides evaluate the
+    // same `HorizonContract`, so a static "clean" verdict and a quiet
+    // debug run certify the same predicate.
+    #[cfg(debug_assertions)]
+    if let Some((contract, classify)) = contract {
+        for env in &outbox.envelopes {
+            let floor = contract.floor(env.from, env.to, classify(&env.msg));
+            assert!(
+                floor != u64::MAX,
+                "horizon contract: shard {} must never message shard {}",
+                env.from,
+                env.to
+            );
+            assert!(
+                env.at >= from.saturating_add(floor),
+                "horizon contract: shard {} message to {} timestamped {} \
+                 under-runs floor {} from window start {}",
+                env.from,
+                env.to,
+                env.at,
+                floor,
+                from
+            );
+        }
+    }
+    #[cfg(not(debug_assertions))]
+    let _ = contract;
     *produced[lane.i].lock().expect("produced lock") = outbox.envelopes;
     false
 }
@@ -402,6 +439,10 @@ pub struct ParallelEngine<S: Shard> {
     // Host-side self-profiling. None (the default) costs one branch per
     // instrumentation site and reads no clocks.
     prof: Option<Box<EngineProfile>>,
+    // Horizon contract + message classifier, enforced on every emitted
+    // envelope in debug builds only; release builds carry the data but
+    // never evaluate it.
+    contract: Option<ContractCheck<S::Msg>>,
 }
 
 impl<S: Shard> ParallelEngine<S> {
@@ -430,7 +471,36 @@ impl<S: Shard> ParallelEngine<S> {
             produced,
             staging,
             prof: None,
+            contract: None,
         }
+    }
+
+    /// Installs a horizon contract and the classifier mapping each message
+    /// to its contract class. Debug builds then assert, for every emitted
+    /// envelope, that the destination is reachable and the timestamp
+    /// clears window-start + the contract floor; release builds ignore it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the contract covers a different number of shards.
+    pub fn set_contract(&mut self, contract: HorizonContract, classify: fn(&S::Msg) -> usize) {
+        assert_eq!(
+            contract.shards(),
+            self.shards.len(),
+            "contract shard count mismatch"
+        );
+        self.contract = Some((contract, classify));
+    }
+
+    /// Removes an installed horizon contract (for A/B-testing that the
+    /// checker is observation-only).
+    pub fn clear_contract(&mut self) {
+        self.contract = None;
+    }
+
+    /// The installed horizon contract, if any.
+    pub fn contract(&self) -> Option<&HorizonContract> {
+        self.contract.as_ref().map(|(c, _)| c)
     }
 
     /// Enables (or, with a disabled config, tears down) host-side
@@ -546,10 +616,12 @@ impl<S: Shard> ParallelEngine<S> {
             produced,
             staging,
             prof,
+            contract,
             ..
         } = self;
         let (produced, staging) = (&produced[..], &staging[..]);
         let prof = prof.as_deref_mut();
+        let contract = contract.as_ref();
         // Copyable profiling context, extracted up front so worker threads
         // never touch the profile itself. All dead when profiling is off.
         let epoch = prof.as_ref().map(|p| p.epoch());
@@ -582,7 +654,7 @@ impl<S: Shard> ParallelEngine<S> {
                 let mut stepped_lanes = 0usize;
                 for lane in &mut lanes {
                     let t0 = epoch.map(|_| Instant::now());
-                    let was_skipped = window_step(lane, now, to, staging, produced, skip);
+                    let was_skipped = window_step(lane, now, to, staging, produced, skip, contract);
                     if was_skipped {
                         skipped += to - now;
                     } else {
@@ -717,7 +789,7 @@ impl<S: Shard> ParallelEngine<S> {
                             for lane in group.iter_mut() {
                                 let t0 = epoch.map(|_| Instant::now());
                                 let was_skipped =
-                                    window_step(lane, now, to, staging, produced, skip);
+                                    window_step(lane, now, to, staging, produced, skip, contract);
                                 if was_skipped {
                                     skipped += to - now;
                                 } else {
@@ -1349,6 +1421,69 @@ mod tests {
         for w in &r.workers {
             assert_eq!(w.windows, 200);
         }
+    }
+
+    /// The satisfiable contract for `make_ring(n)` with a given lookahead:
+    /// each shard only messages its ring successor, at exactly the window
+    /// end (= window start + lookahead).
+    fn ring_contract(n: usize, lookahead: u64) -> HorizonContract {
+        let mut c = HorizonContract::unreachable(n);
+        for id in 0..n {
+            c.allow(id, (id + 1) % n, lookahead);
+        }
+        c.set_class_floors(vec![lookahead]);
+        c
+    }
+
+    #[test]
+    fn satisfied_contract_is_observation_only() {
+        let mut plain = ParallelEngine::new(make_ring(6), 4);
+        plain.run_sequential(500);
+        for workers in [1, 3, 6] {
+            let mut eng = ParallelEngine::new(make_ring(6), 4);
+            eng.set_contract(ring_contract(6, 4), |_| 0);
+            assert!(eng.contract().is_some());
+            eng.run_windowed(500, workers);
+            for (a, b) in eng.shards().iter().zip(plain.shards().iter()) {
+                assert_eq!(a.counter, b.counter, "{workers} workers diverged");
+                assert_eq!(a.log, b.log, "{workers} workers diverged");
+            }
+        }
+        let mut cleared = ParallelEngine::new(make_ring(6), 4);
+        cleared.set_contract(ring_contract(6, 4), |_| 0);
+        cleared.clear_contract();
+        assert!(cleared.contract().is_none());
+        cleared.run_sequential(500);
+        assert_eq!(cleared.shards()[0].counter, plain.shards()[0].counter);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "under-runs floor")]
+    fn contract_floor_violation_panics_in_debug() {
+        // RingShard emits at the window end (start + 4); a class floor of
+        // 9 promises more delay than the model delivers.
+        let mut c = ring_contract(4, 4);
+        c.set_class_floors(vec![9]);
+        let mut eng = ParallelEngine::new(make_ring(4), 4);
+        eng.set_contract(c, |_| 0);
+        eng.run_sequential(8);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "must never message")]
+    fn contract_unreachable_pair_panics_in_debug() {
+        let mut eng = ParallelEngine::new(make_ring(4), 4);
+        eng.set_contract(HorizonContract::unreachable(4), |_| 0);
+        eng.run_sequential(8);
+    }
+
+    #[test]
+    #[should_panic(expected = "contract shard count mismatch")]
+    fn contract_shard_count_is_checked() {
+        let mut eng = ParallelEngine::new(make_ring(4), 4);
+        eng.set_contract(HorizonContract::unreachable(5), |_| 0);
     }
 
     #[test]

@@ -776,6 +776,89 @@ mod tests {
     }
 
     #[test]
+    fn merging_two_empties_is_still_empty() {
+        let mut h = Histogram::new();
+        h.merge(&Histogram::new());
+        assert_eq!(h, Histogram::new());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+
+        let mut p = Percentiles::new();
+        p.merge(&Percentiles::new());
+        assert_eq!(p, Percentiles::new());
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.p50(), 0.0);
+        assert_eq!(p.min(), 0.0);
+        assert_eq!(p.max(), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_with_empty_is_the_identity_both_ways() {
+        let mut h = Histogram::new();
+        for v in [0, 3, 70, 4096] {
+            h.record(v);
+        }
+        // Populated ⊕ empty.
+        let before = h.clone();
+        h.merge(&Histogram::new());
+        assert_eq!(h, before);
+        // Empty ⊕ populated. The bucket vectors may differ in trailing
+        // zeros, so compare observable behaviour as well as state.
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+        assert_eq!(empty.mean(), before.mean());
+        assert_eq!(
+            empty.buckets().collect::<Vec<_>>(),
+            before.buckets().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_is_associative_across_three_splits() {
+        let splits: [&[u64]; 3] = [&[1, 2, 900], &[], &[64, 64, 5000, 3]];
+        let hist = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let mut left = hist(splits[0]);
+        left.merge(&hist(splits[1]));
+        left.merge(&hist(splits[2]));
+        // a ⊕ (b ⊕ c)
+        let mut bc = hist(splits[1]);
+        bc.merge(&hist(splits[2]));
+        let mut right = hist(splits[0]);
+        right.merge(&bc);
+        // One shard recording everything.
+        let whole = hist(&splits.concat());
+        assert_eq!(left, right);
+        assert_eq!(left, whole);
+
+        let pcts = |vals: &[u64]| {
+            let mut p = Percentiles::new();
+            for &v in vals {
+                p.record(v as f64);
+            }
+            p
+        };
+        let mut left = pcts(splits[0]);
+        left.merge(&pcts(splits[1]));
+        left.merge(&pcts(splits[2]));
+        let mut bc = pcts(splits[1]);
+        bc.merge(&pcts(splits[2]));
+        let mut right = pcts(splits[0]);
+        right.merge(&bc);
+        let whole = pcts(&splits.concat());
+        assert_eq!(left, right);
+        assert_eq!(left, whole);
+        assert_eq!(left.p99(), whole.p99());
+    }
+
+    #[test]
     fn report_diff_and_scale() {
         let mut now = StatsReport::new();
         now.set("instructions", 1000.0);

@@ -46,7 +46,30 @@ echo "==> perf-regression gate (sequential engine vs committed baseline;"
 echo "    SMARCO_PERF_GATE=skip bypasses on noisy hosts)"
 cargo run --offline --release -p smarco-bench --bin profile -- --gate scripts/perf_baseline.json
 
-echo "==> smarco-lint (static verifier, warnings are errors)"
+echo "==> smarco-lint (static verifier, warnings are errors; sweep covers"
+echo "    every config and benchmark under healthy and chaos fault plans)"
 cargo run --offline --release -p smarco-bench --bin lint -- --deny-warnings
+
+echo "==> model-contract gate (horizon checker bit-identical on all benchmarks)"
+cargo test --offline -q --test model_contract
+
+echo "==> negative-config corpus (each seeded bad config must reproduce its"
+echo "    codes; exit 1 = diagnostics present as expected, 2 = regression)"
+corpus_json="$(mktemp)"
+trap 'rm -f "$corpus_json"' EXIT
+set +e
+cargo run --offline --release -p smarco-bench --bin lint -- --corpus --json "$corpus_json"
+corpus_status=$?
+set -e
+if [ "$corpus_status" -ne 1 ]; then
+    echo "ci: corpus gate failed (exit $corpus_status, expected 1)" >&2
+    exit 1
+fi
+for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431; do
+    if ! grep -q "\"code\":\"$code\"" "$corpus_json"; then
+        echo "ci: corpus no longer produces $code" >&2
+        exit 1
+    fi
+done
 
 echo "ci: all gates passed"
