@@ -1,0 +1,32 @@
+//! NoC backend sweep: backends × HTC benchmarks × criticality routing.
+
+fn main() {
+    let scale = smarco_bench::Scale::from_args();
+    let report = smarco_bench::noc_sweep::sweep(scale);
+    for e in &report.entries {
+        println!(
+            "{}",
+            smarco_bench::format_row(
+                &format!(
+                    "{}/{}{}",
+                    e.backend,
+                    e.bench,
+                    if e.criticality_routing { "+" } else { "" }
+                ),
+                &[
+                    ("ipc", e.ipc),
+                    ("mem_lat", e.mem_latency),
+                    ("main_util", e.main_ring_utilization),
+                    ("sub_util", e.subring_utilization),
+                ],
+            )
+        );
+    }
+    match report.write_default() {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("smarco-bench: writing BENCH_noc.json failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

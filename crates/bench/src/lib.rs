@@ -21,6 +21,7 @@ pub mod cycle_skip;
 pub mod figures;
 pub mod harness;
 pub mod host;
+pub mod noc_sweep;
 pub mod profile;
 pub mod scale;
 pub mod timing;

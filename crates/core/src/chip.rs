@@ -233,7 +233,7 @@ impl SmarcoSystem {
             .map(|sr| ChipShard::Sub(Box::new(SubShard::new(sr, &config, space))))
             .collect();
         shards.push(ChipShard::Hub(Box::new(HubShard::new(&config))));
-        let mut engine = ParallelEngine::new(shards, config.noc.junction_latency);
+        let mut engine = ParallelEngine::new(shards, config.noc.boundary_latency());
         engine.set_skip_enabled(config.cycle_skip);
         // Debug builds cross-check every boundary envelope against the
         // statically derived horizon contract (lint code SL0421): same

@@ -10,7 +10,8 @@
 //!   unreachable; an envelope on such a pair is a wiring bug the
 //!   debug-build checker turns into a panic.
 //! * **Class floors** — junction-crossing traffic (`Up`/`Down`/`Exit`)
-//!   is floored at the junction latency (the engine lookahead), and
+//!   is floored at the backend's boundary latency (the engine
+//!   lookahead), and
 //!   direct-datapath traffic (`DirectReq`/`DirectReply`) at the spoke
 //!   latency, which is *longer* than the lookahead on every shipped
 //!   config. The second floor is what the generic lookahead assertion
@@ -31,10 +32,13 @@ pub use smarco_sim::contract::HorizonContract;
 ///
 /// The shard layout mirrors `SmarcoSystem::assemble`: shards
 /// `0..subrings` are the sub-ring shards, shard `subrings` is the hub.
+/// The junction floors come from the selected NoC backend's
+/// `boundary_latency()` — the promise the backend makes about the
+/// soonest a boundary crossing becomes visible in the other half.
 pub fn horizon_contract(cfg: &SmarcoConfig) -> HorizonContract {
     let subrings = cfg.noc.subrings;
     let hub = subrings;
-    let jl = cfg.noc.junction_latency;
+    let jl = cfg.noc.boundary_latency();
     let mut c = HorizonContract::unreachable(subrings + 1);
     for sr in 0..subrings {
         c.allow(sr, hub, jl);

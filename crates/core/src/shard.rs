@@ -22,9 +22,9 @@ use smarco_mem::dram::Dram;
 use smarco_mem::mact::{Batch, Mact, MactOutcome};
 use smarco_mem::map::AddressSpace;
 use smarco_mem::request::{MemRequest, RequestId, RequestIdAllocator};
+use smarco_noc::backend::{build_hub_backend, build_sub_backend, Entry, NocBackend, NocEvent};
 use smarco_noc::direct::DirectSpoke;
-use smarco_noc::packet::{NodeId, Packet};
-use smarco_noc::{MainRingEvent, MainRingNoc, SubRingEvent, SubRingNoc};
+use smarco_noc::packet::{Criticality, NodeId, Packet};
 use smarco_sched::{MainScheduler, Task};
 use smarco_sim::event::EventWheel;
 use smarco_sim::obs::{TraceConfig, TraceSink};
@@ -173,13 +173,17 @@ pub struct SubShard {
     sr: usize,
     /// The hub's shard index (`= subrings`).
     hub: usize,
-    /// Junction crossing latency — the boundary message delay.
+    /// Boundary-crossing latency the NoC backend promises — the delay
+    /// stamped on junction-crossing messages.
     jl: Cycle,
     cores_per_subring: usize,
     channels: usize,
     mact_on: bool,
+    /// Whether packets carry consumer-derived criticality for the
+    /// backend's arbitration (and MACT bypass for elevated traffic).
+    criticality_routing: bool,
     cores: Vec<TcgCore>,
-    noc: SubRingNoc<ChipPayload>,
+    noc: Box<dyn NocBackend<ChipPayload>>,
     mact: Mact,
     dispatcher: SubDispatcher,
     /// Sender-side gate of this sub-ring's direct-datapath spoke.
@@ -235,12 +239,13 @@ impl SubShard {
         Self {
             sr,
             hub: config.noc.subrings,
-            jl: config.noc.junction_latency,
+            jl: config.noc.boundary_latency(),
             cores_per_subring: cps,
             channels: config.dram.channels,
             mact_on: config.mact.is_some(),
+            criticality_routing: config.noc.criticality_routing,
             cores,
-            noc: SubRingNoc::new(sr, cps, config.noc.sub_link),
+            noc: build_sub_backend(&config.noc, sr),
             mact,
             dispatcher: SubDispatcher::new(cps * config.tcg.resident_threads),
             to_mem: config
@@ -406,8 +411,30 @@ impl SubShard {
     }
 
     fn local_pos(&self, core: usize) -> usize {
-        debug_assert!(self.noc.owns_core(core));
+        debug_assert_eq!(core / self.cores_per_subring, self.sr);
         core % self.cores_per_subring
+    }
+
+    /// Consumer-derived criticality of a fresh core request (only
+    /// consulted when criticality routing is on): real-time reads gate a
+    /// hardware deadline, DMA pulls are latency-tolerant bulk, and a
+    /// deadline-tight task's demand traffic is elevated.
+    fn classify_criticality(
+        &self,
+        local: usize,
+        kind: RequestKind,
+        realtime: bool,
+        now: Cycle,
+    ) -> Criticality {
+        if realtime {
+            Criticality::Critical
+        } else if matches!(kind, RequestKind::DmaPull { .. }) {
+            Criticality::Bulk
+        } else if self.dispatcher.is_deadline_tight(local, now) {
+            Criticality::Elevated
+        } else {
+            Criticality::Normal
+        }
     }
 
     /// Injects a core-sourced packet; local exits may deliver instantly.
@@ -448,15 +475,17 @@ impl SubShard {
                 .schedule(now + retry.backoff(attempt), (attempt + 1, source, pkt));
             return;
         }
-        let delivered = match source {
-            RingSource::Core(core) => {
-                let pos = self.local_pos(core);
-                self.noc.inject_from_core(pos, pkt)
-            }
-            RingSource::Junction => self.noc.inject_from_junction(pkt),
+        let entry = match source {
+            RingSource::Core(core) => Entry::Endpoint(self.local_pos(core)),
+            RingSource::Junction => Entry::Bridge,
         };
-        if let Some(p) = delivered {
-            self.handle_delivery(p, now, outbox);
+        if let Some(ev) = self.noc.inject(entry, pkt, now) {
+            match ev {
+                NocEvent::Delivered(p) => self.handle_delivery(p, now, outbox),
+                NocEvent::Boundary(p) => {
+                    outbox.send(self.hub, now + self.jl, ChipMsg::Up(p));
+                }
+            }
         }
     }
 
@@ -487,13 +516,16 @@ impl SubShard {
         if let RequestKind::DmaPull { owner, .. } = r.kind {
             // DMA command descriptor to the owning core; the data rides
             // back as one (possibly multi-cycle) packet.
-            let pkt = self.packet(
+            let mut pkt = self.packet(
                 NodeId::Core(core),
                 NodeId::Core(owner),
                 REQ_HEADER_BYTES,
                 now,
                 ChipPayload::DmaReq(ucr),
             );
+            if self.criticality_routing {
+                pkt.criticality = Criticality::Bulk;
+            }
             self.send_from_core(core, pkt, now, outbox);
             return;
         }
@@ -526,7 +558,15 @@ impl SubShard {
         } else {
             REQ_HEADER_BYTES
         };
-        let mact_on = self.mact_on && !realtime;
+        let crit = if self.criticality_routing {
+            self.classify_criticality(self.local_pos(core), r.kind, realtime, now)
+        } else {
+            Criticality::Normal
+        };
+        // Elevated (deadline-tight) traffic skips MACT collection: the
+        // batching deadline it would wait out is exactly the latency it
+        // cannot afford.
+        let mact_on = self.mact_on && !realtime && crit < Criticality::Elevated;
         let dst = if mact_on {
             NodeId::Junction(self.sr)
         } else {
@@ -534,6 +574,7 @@ impl SubShard {
         };
         let mut pkt = self.packet(NodeId::Core(core), dst, bytes, now, ChipPayload::Req(ucr));
         pkt.realtime = realtime;
+        pkt.criticality = crit;
         self.send_from_core(core, pkt, now, outbox);
     }
 
@@ -564,13 +605,14 @@ impl SubShard {
                         };
                         let dst = NodeId::MemCtrl(self.channel_of(req.mem.addr));
                         let ucr2 = UncoreReq { req, ..ucr };
-                        let p = self.packet(
+                        let mut p = self.packet(
                             NodeId::Junction(sr),
                             dst,
                             bytes,
                             now,
                             ChipPayload::Req(ucr2),
                         );
+                        p.criticality = pkt.criticality;
                         outbox.send(self.hub, now + self.jl, ChipMsg::Up(p));
                     }
                 }
@@ -637,13 +679,16 @@ impl SubShard {
                 // The owner streams the requested range back as one
                 // wormhole packet sized by the transfer.
                 let span = u32::try_from(dma_span_of(&ucr)).unwrap_or(u32::MAX).max(1);
-                let p = self.packet(
+                let mut p = self.packet(
                     NodeId::Core(owner),
                     NodeId::Core(ucr.req.core),
                     span,
                     now,
                     ChipPayload::DmaData(ucr),
                 );
+                if self.criticality_routing {
+                    p.criticality = Criticality::Bulk;
+                }
                 self.send_from_core(owner, p, now, outbox);
             }
             ChipPayload::DmaData(ucr) => {
@@ -722,11 +767,13 @@ impl SubShard {
         while let Some((attempt, source, pkt)) = self.retransmit.pop_due(now) {
             self.inject_sub(source, pkt, attempt, now, outbox);
         }
-        // 2. Sub-ring deliveries and junction climbs.
+        // 2. Backend deliveries and junction boundary crossings.
         for ev in self.noc.tick(now) {
             match ev {
-                SubRingEvent::Delivered(p) => self.handle_delivery(p, now, outbox),
-                SubRingEvent::Climb(p) => outbox.send(self.hub, now + self.jl, ChipMsg::Up(p)),
+                NocEvent::Delivered(p) => self.handle_delivery(p, now, outbox),
+                NocEvent::Boundary(p) => {
+                    outbox.send(self.hub, now + self.jl, ChipMsg::Up(p));
+                }
             }
         }
         // 3. The sub-dispatcher binds ready tasks to freed slots; exits
@@ -763,13 +810,18 @@ impl SubShard {
                 BATCH_HEADER_BYTES
             };
             let dst = NodeId::MemCtrl(self.channel_of(batch.base));
-            let p = self.packet(
+            let mut p = self.packet(
                 NodeId::Junction(self.sr),
                 dst,
                 bytes,
                 now,
                 ChipPayload::Batch(batch),
             );
+            if self.criticality_routing {
+                // The batch already spent its collection window; its
+                // reads now race the MACT deadline.
+                p.criticality = Criticality::Elevated;
+            }
             outbox.send(self.hub, now + self.jl, ChipMsg::Up(p));
         }
         // 6. Direct-path departures arrive at memory after the spoke's
@@ -855,7 +907,7 @@ pub struct HubShard {
     jl: Cycle,
     cores_per_subring: usize,
     channels: usize,
-    main: MainRingNoc<ChipPayload>,
+    main: Box<dyn NocBackend<ChipPayload>>,
     dram: Dram<DramJob>,
     /// Memory-side direct-datapath spokes, one per sub-ring.
     from_mem: Vec<DirectSpoke<UncoreReq>>,
@@ -894,10 +946,10 @@ impl HubShard {
             dram.stall_channel(channel, from, to);
         }
         Self {
-            jl: config.noc.junction_latency,
+            jl: config.noc.boundary_latency(),
             cores_per_subring: config.noc.cores_per_subring,
             channels: config.dram.channels,
-            main: MainRingNoc::new(&config.noc),
+            main: build_hub_backend(&config.noc),
             dram,
             from_mem: config
                 .direct
@@ -1031,12 +1083,12 @@ impl HubShard {
 
     fn on_main_event(
         &mut self,
-        ev: MainRingEvent<ChipPayload>,
+        ev: NocEvent<ChipPayload>,
         now: Cycle,
         outbox: &mut Outbox<ChipMsg>,
     ) {
         match ev {
-            MainRingEvent::Delivered(pkt) => match pkt.dst {
+            NocEvent::Delivered(pkt) => match pkt.dst {
                 NodeId::MemCtrl(_) => match pkt.payload {
                     ChipPayload::Req(ucr) => self.enqueue_dram(
                         ucr.req.mem.addr,
@@ -1060,7 +1112,7 @@ impl HubShard {
                 NodeId::Junction(sr) => outbox.send(sr, now + self.jl, ChipMsg::Down(pkt)),
                 other => panic!("unexpected main-ring delivery at {other:?}"),
             },
-            MainRingEvent::Descend(pkt) => {
+            NocEvent::Boundary(pkt) => {
                 let NodeId::Core(c) = pkt.dst else {
                     unreachable!("only core packets descend");
                 };
@@ -1090,7 +1142,7 @@ impl HubShard {
                 .schedule(now + retry.backoff(attempt), (attempt + 1, pkt));
             return;
         }
-        if let Some(ev) = self.main.inject(pkt) {
+        if let Some(ev) = self.main.inject(Entry::Bridge, pkt, now) {
             self.on_main_event(ev, now, outbox);
         }
     }

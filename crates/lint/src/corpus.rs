@@ -14,6 +14,7 @@
 
 use smarco_core::config::SmarcoConfig;
 use smarco_core::fault::{Fault, FaultPlan, RetryPolicy};
+use smarco_noc::{BufferedNocConfig, NocBackendKind};
 use smarco_sched::Task;
 
 use crate::diag::Code;
@@ -139,6 +140,34 @@ pub fn corpus() -> Vec<CorpusEntry> {
                   sub-ring level would deliver into retired inner windows",
             expected: vec![Code::HierarchyLookahead],
             build: || base().with_outer_level(PartitionLevel::fabric(4, 1, 4)),
+        },
+        CorpusEntry {
+            name: "backend-boundary-below-lookahead",
+            why: "a buffered backend promising 1-cycle boundary crossings \
+                  undercuts the 2-cycle junction latency the engine windows on",
+            expected: vec![Code::BackendBoundaryLatency],
+            build: || {
+                let mut cfg = SmarcoConfig::tiny();
+                cfg.noc.backend = NocBackendKind::Buffered(BufferedNocConfig {
+                    boundary_latency: 1,
+                    ..BufferedNocConfig::default()
+                });
+                ModelInput::new(cfg)
+            },
+        },
+        CorpusEntry {
+            name: "zero-depth-buffered-switch",
+            why: "a buffered backend with no output buffering serializes the \
+                  switch on its shared input queue",
+            expected: vec![Code::DegenerateBufferDepth],
+            build: || {
+                let mut cfg = SmarcoConfig::tiny();
+                cfg.noc.backend = NocBackendKind::Buffered(BufferedNocConfig {
+                    depth: 0,
+                    ..BufferedNocConfig::default()
+                });
+                ModelInput::new(cfg)
+            },
         },
     ]
 }

@@ -144,11 +144,20 @@ pub enum Code {
     /// than the plan's worst-case fault stall (retry budget + DDR stall
     /// window + channel-death remap), so injected faults can starve it.
     TaskStarvable,
+    /// SL0440: the selected NoC backend promises a boundary latency
+    /// below the topology's junction latency, so the PDES lookahead the
+    /// engine would otherwise use overshoots what the backend can
+    /// honor and windows degenerate.
+    BackendBoundaryLatency,
+    /// SL0441: the buffered backend's per-exit buffer depth is zero or
+    /// one — the switch serializes on its input buffer and loses
+    /// exactly the absorption a buffered NoC pays area for.
+    DegenerateBufferDepth,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 36] = [
+    pub const ALL: [Code; 38] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -185,6 +194,8 @@ impl Code {
         Code::HierarchyLookahead,
         Code::WorstPathExceedsDeadline,
         Code::TaskStarvable,
+        Code::BackendBoundaryLatency,
+        Code::DegenerateBufferDepth,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -226,6 +237,8 @@ impl Code {
             Code::HierarchyLookahead => "SL0423",
             Code::WorstPathExceedsDeadline => "SL0430",
             Code::TaskStarvable => "SL0431",
+            Code::BackendBoundaryLatency => "SL0440",
+            Code::DegenerateBufferDepth => "SL0441",
         }
     }
 
@@ -260,7 +273,9 @@ impl Code {
             | Code::BlockingCycle
             | Code::HorizonContract
             | Code::ResourceClassDead
-            | Code::HierarchyLookahead => Severity::Deny,
+            | Code::HierarchyLookahead
+            | Code::BackendBoundaryLatency
+            | Code::DegenerateBufferDepth => Severity::Deny,
             Code::MisalignedRef
             | Code::CtrlRef
             | Code::SliceBeyondInput
@@ -316,6 +331,8 @@ impl Code {
             Code::HierarchyLookahead => "outer shard level has shorter lookahead than inner",
             Code::WorstPathExceedsDeadline => "worst retry path blows the MACT deadline",
             Code::TaskStarvable => "task slack smaller than worst-case fault stall",
+            Code::BackendBoundaryLatency => "backend boundary latency below junction latency",
+            Code::DegenerateBufferDepth => "buffered backend has degenerate buffer depth",
         }
     }
 
@@ -549,6 +566,25 @@ impl Code {
                  deadline.",
                 "Extend the task deadline past the plan's worst-case \
                  stall, or soften the fault plan.",
+            ),
+            Code::BackendBoundaryLatency => (
+                "The selected NoC backend promises boundary crossings \
+                 faster than the topology's junction crossing. The \
+                 boundary latency is the PDES lookahead and the junction \
+                 class floor; promising below the junction latency makes \
+                 the conservative windows degenerate and the horizon \
+                 contract unsatisfiable by the real topology.",
+                "Raise the backend's boundary_latency to at least \
+                 noc.junction_latency.",
+            ),
+            Code::DegenerateBufferDepth => (
+                "The buffered backend's per-exit output buffers hold at \
+                 most one packet, so the central switch serializes on its \
+                 shared input buffer — head-of-line pressure returns and \
+                 the configuration measures a buffered NoC that has no \
+                 usable buffering.",
+                "Set the buffered backend's depth to at least 2 (8 is \
+                 the shipped default).",
             ),
         }
     }

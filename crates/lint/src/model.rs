@@ -44,6 +44,8 @@ pub enum Component {
         subring: usize,
         /// Injection corruption probability (‰ per attempt).
         noise_permille: u32,
+        /// Backend realizing the segment (`ring`, `mesh`, `buffered`).
+        backend: &'static str,
     },
     /// The junction between one sub-ring and the main ring.
     Junction {
@@ -56,6 +58,8 @@ pub enum Component {
     MainRingSeg {
         /// Injection corruption probability (‰ per attempt).
         noise_permille: u32,
+        /// Backend realizing the segment (`ring`, `mesh`, `buffered`).
+        backend: &'static str,
     },
     /// One sub-ring's memory-access collection table.
     Mact {
@@ -203,13 +207,15 @@ impl ChipModel {
         let plan = plan.or(cfg.fault.as_ref()).unwrap_or(&healthy);
         let subrings = cfg.noc.subrings;
         let cps = cfg.noc.cores_per_subring;
-        let jl = cfg.noc.junction_latency;
+        let jl = cfg.noc.boundary_latency();
+        let backend = cfg.noc.backend.name();
 
         let mut components = Vec::new();
         let mut channels = Vec::new();
         let main_seg = {
             components.push(Component::MainRingSeg {
                 noise_permille: plan.main_noise_permille(),
+                backend,
             });
             components.len() - 1
         };
@@ -252,6 +258,7 @@ impl ChipModel {
             components.push(Component::SubRingSeg {
                 subring: sr,
                 noise_permille: plan.sub_noise_permille(),
+                backend,
             });
             let junction = components.len();
             components.push(Component::Junction {
@@ -445,7 +452,7 @@ impl PartitionLevel {
     /// junction-latency lookahead, with the direct-path spoke as the
     /// shortest possible boundary crossing.
     pub fn subring(cfg: &SmarcoConfig) -> Self {
-        let jl = cfg.noc.junction_latency;
+        let jl = cfg.noc.boundary_latency();
         Self {
             label: "sub-ring".to_string(),
             units: cfg.noc.cores(),

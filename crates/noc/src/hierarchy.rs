@@ -45,6 +45,16 @@ pub struct NocConfig {
     pub sub_link: LinkConfig,
     /// Cycles to cross a junction router between rings.
     pub junction_latency: Cycle,
+    /// Which interconnect implementation carries the traffic (the paper's
+    /// hierarchical ring by default).
+    pub backend: crate::backend::NocBackendKind,
+    /// When on, backends consume each packet's consumer-derived
+    /// [`Criticality`](crate::packet::Criticality) for arbitration,
+    /// buffer allocation and direction choice, and the shard layer
+    /// classifies requests accordingly. Off by default: every packet
+    /// stays at `Normal` and arbitration degenerates to the original
+    /// realtime-first behavior, bit for bit.
+    pub criticality_routing: bool,
 }
 
 impl NocConfig {
@@ -58,6 +68,8 @@ impl NocConfig {
             main_link: LinkConfig::main_ring(),
             sub_link: LinkConfig::sub_ring(),
             junction_latency: 2,
+            backend: crate::backend::NocBackendKind::Ring,
+            criticality_routing: false,
         }
     }
 
@@ -70,6 +82,36 @@ impl NocConfig {
             main_link: LinkConfig::main_ring(),
             sub_link: LinkConfig::sub_ring(),
             junction_latency: 2,
+            backend: crate::backend::NocBackendKind::Ring,
+            criticality_routing: false,
+        }
+    }
+
+    /// The same topology carried by `backend`.
+    #[must_use]
+    pub fn with_backend(mut self, backend: crate::backend::NocBackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// The same topology with criticality routing switched on or off.
+    #[must_use]
+    pub fn with_criticality_routing(mut self, on: bool) -> Self {
+        self.criticality_routing = on;
+        self
+    }
+
+    /// The boundary-crossing latency the selected backend promises: the
+    /// earliest a packet leaving one half of the topology can become
+    /// visible in the other. This is what the shard layer stamps on
+    /// junction-crossing messages and what the horizon contract floors
+    /// the junction class at; the PDES lookahead must not exceed it.
+    pub fn boundary_latency(&self) -> Cycle {
+        match self.backend {
+            crate::backend::NocBackendKind::Ring | crate::backend::NocBackendKind::Mesh => {
+                self.junction_latency
+            }
+            crate::backend::NocBackendKind::Buffered(b) => b.boundary_latency,
         }
     }
 
@@ -108,6 +150,9 @@ impl NocConfig {
         if self.junction_latency == 0 {
             return Err("junction latency must be positive".into());
         }
+        if let crate::backend::NocBackendKind::Buffered(b) = self.backend {
+            b.check()?;
+        }
         self.main_link.check()?;
         self.sub_link.check()
     }
@@ -119,6 +164,9 @@ impl<P> Transmittable for Packet<P> {
     }
     fn realtime(&self) -> bool {
         self.realtime
+    }
+    fn class(&self) -> u8 {
+        Packet::class(self)
     }
 }
 
@@ -176,6 +224,12 @@ impl<P> SubRingNoc<P> {
     /// This sub-ring's index.
     pub fn subring(&self) -> usize {
         self.sr
+    }
+
+    /// Turns criticality-adaptive direction choice on or off (see
+    /// [`Ring::set_adaptive`]).
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.ring.set_adaptive(on);
     }
 
     fn junction(&self) -> usize {
@@ -351,6 +405,12 @@ impl<P> MainRingNoc<P> {
             junction_main_pos,
             trace: None,
         }
+    }
+
+    /// Turns criticality-adaptive direction choice on or off (see
+    /// [`Ring::set_adaptive`]).
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.ring.set_adaptive(on);
     }
 
     fn subring_of_core(&self, core: usize) -> usize {

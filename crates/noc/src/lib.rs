@@ -18,9 +18,16 @@
 //!   requests (§3.5.2, Fig. 14).
 //! * [`traffic`] — synthetic traffic generation for NoC-only studies
 //!   (Fig. 18).
+//! * [`backend`] — the [`NocBackend`] contract the shard layer drives,
+//!   with the hierarchical ring, the mesh and the buffered switch as
+//!   interchangeable implementations selected by [`NocBackendKind`].
+//! * [`buffered`] — an Uber-style central buffered switch, the third
+//!   backend contender.
 
 #![warn(missing_docs)]
 
+pub mod backend;
+pub mod buffered;
 pub mod direct;
 pub mod hierarchy;
 pub mod link;
@@ -29,8 +36,12 @@ pub mod packet;
 pub mod ring;
 pub mod traffic;
 
+pub use backend::{
+    build_hub_backend, build_sub_backend, Entry, NocBackend, NocBackendKind, NocEvent,
+};
+pub use buffered::{BufferedNoc, BufferedNocConfig};
 pub use hierarchy::{
     HierarchicalRing, MainRingEvent, MainRingNoc, NocConfig, SubRingEvent, SubRingNoc,
 };
 pub use link::LinkConfig;
-pub use packet::{NodeId, Packet};
+pub use packet::{Criticality, NodeId, Packet};

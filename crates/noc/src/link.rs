@@ -25,6 +25,14 @@ pub trait Transmittable {
     fn realtime(&self) -> bool {
         false
     }
+    /// Arbitration class: higher-class items are inserted ahead of queued
+    /// lower-class items. The default maps real-time to class 1 and
+    /// everything else to class 0, which reproduces the plain
+    /// realtime-first queueing; criticality-aware payloads override this
+    /// with a finer ladder (see `Criticality`).
+    fn class(&self) -> u8 {
+        u8::from(self.realtime())
+    }
 }
 
 /// Channel geometry.
@@ -197,13 +205,17 @@ impl<T: Transmittable> DirectedLink<T> {
         }
     }
 
-    /// Queues an item for transmission. Real-time items are inserted ahead
-    /// of queued normal items (but never preempt a partially sent head).
+    /// Queues an item for transmission. Higher-class items (see
+    /// [`Transmittable::class`]) are inserted ahead of queued lower-class
+    /// items — FIFO within a class, and never preempting a partially sent
+    /// head. With the default two-class ladder this is exactly
+    /// realtime-first queueing.
     pub fn push(&mut self, item: T) {
-        if item.realtime() {
+        let class = item.class();
+        if class > 0 {
             let start = usize::from(self.head_sent > 0);
             let idx = (start..self.queue.len())
-                .find(|&i| !self.queue[i].realtime())
+                .find(|&i| self.queue[i].class() < class)
                 .unwrap_or(self.queue.len());
             self.queue.insert(idx, item);
         } else {
@@ -303,6 +315,21 @@ impl<T: Transmittable> DirectedLink<T> {
     /// if anything is on the wire.
     pub fn next_arrival(&self) -> Option<Cycle> {
         self.wire.next_due()
+    }
+
+    /// Accounts `bytes` of offered-but-unused capacity, exactly as an idle
+    /// [`transmit`](Self::transmit) would — the fast-forward half of cycle
+    /// skipping for topologies (like the mesh) that drive directed links
+    /// without a [`Channel`] wrapper.
+    ///
+    /// Debug builds assert the link really is idle: nothing queued, so the
+    /// skipped ticks could not have moved bytes.
+    pub fn skip_offer(&mut self, bytes: u64) {
+        debug_assert!(
+            self.queue.is_empty(),
+            "cycle-skipped a directed link with queued traffic"
+        );
+        self.stats.offered_bytes += bytes;
     }
 }
 
@@ -535,6 +562,33 @@ mod tests {
             order.extend(l.arrivals(now + 1).into_iter().map(|p| p.id));
         }
         assert_eq!(order, vec![0, 2, 1]);
+    }
+
+    #[derive(Debug, Clone, PartialEq)]
+    struct ClassedPkt {
+        id: u32,
+        class: u8,
+    }
+
+    impl Transmittable for ClassedPkt {
+        fn bytes(&self) -> u32 {
+            2
+        }
+        fn class(&self) -> u8 {
+            self.class
+        }
+    }
+
+    #[test]
+    fn class_ladder_orders_queue_fifo_within_class() {
+        let mut l: DirectedLink<ClassedPkt> = DirectedLink::new();
+        for (id, class) in [(0, 1), (1, 0), (2, 2), (3, 1), (4, 3), (5, 2)] {
+            l.push(ClassedPkt { id, class });
+        }
+        // One wide sliced cycle delivers everything in queue order.
+        l.transmit(32, Some(2), 1, 0);
+        let order: Vec<u32> = l.arrivals(1).iter().map(|p| p.id).collect();
+        assert_eq!(order, vec![4, 2, 5, 0, 3, 1]);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! and congestion the paper's hierarchical ring avoids. Used by the
 //! `ablation_mesh_vs_ring` bench.
 
+use smarco_sim::obs::{EventKind, TraceBuffer, TraceSink, Track};
 use smarco_sim::stats::{Histogram, MeanTracker};
 use smarco_sim::Cycle;
 
@@ -17,6 +18,7 @@ use crate::link::{DirectedLink, LinkConfig, Transmittable};
 struct MeshItem<T> {
     dst: (usize, usize),
     injected_at: Cycle,
+    hops: u32,
     item: T,
 }
 
@@ -26,6 +28,9 @@ impl<T: Transmittable> Transmittable for MeshItem<T> {
     }
     fn realtime(&self) -> bool {
         self.item.realtime()
+    }
+    fn class(&self) -> u8 {
+        self.item.class()
     }
 }
 
@@ -75,6 +80,7 @@ pub struct Mesh<T> {
     north: Vec<Vec<DirectedLink<MeshItem<T>>>>,
     link: LinkConfig,
     stats: MeshStats,
+    trace: Option<TraceBuffer>,
 }
 
 impl<T: Transmittable> Mesh<T> {
@@ -97,6 +103,7 @@ impl<T: Transmittable> Mesh<T> {
             north: (0..h - 1).map(|_| row(w)).collect(),
             link,
             stats: MeshStats::default(),
+            trace: None,
         }
     }
 
@@ -127,6 +134,15 @@ impl<T: Transmittable> Mesh<T> {
             let lat = now.saturating_sub(it.injected_at);
             self.stats.latency.record(lat as f64);
             self.stats.latency_hist.record(lat);
+            if let Some(buf) = self.trace.as_mut() {
+                buf.emit(
+                    now,
+                    EventKind::RingHop {
+                        hops: u64::from(it.hops),
+                        bytes: u64::from(it.item.bytes()),
+                    },
+                );
+            }
             return Some(it.item);
         }
         None
@@ -155,6 +171,7 @@ impl<T: Transmittable> Mesh<T> {
             MeshItem {
                 dst,
                 injected_at: now,
+                hops: 0,
                 item,
             },
             now,
@@ -168,20 +185,24 @@ impl<T: Transmittable> Mesh<T> {
         let mut moved: Vec<((usize, usize), MeshItem<T>)> = Vec::new();
         for y in 0..self.h {
             for x in 0..self.w - 1 {
-                for it in self.east[y][x].arrivals(now) {
+                for mut it in self.east[y][x].arrivals(now) {
+                    it.hops += 1;
                     moved.push(((x + 1, y), it));
                 }
-                for it in self.west[y][x].arrivals(now) {
+                for mut it in self.west[y][x].arrivals(now) {
+                    it.hops += 1;
                     moved.push(((x, y), it));
                 }
             }
         }
         for y in 0..self.h - 1 {
             for x in 0..self.w {
-                for it in self.south[y][x].arrivals(now) {
+                for mut it in self.south[y][x].arrivals(now) {
+                    it.hops += 1;
                     moved.push(((x, y + 1), it));
                 }
-                for it in self.north[y][x].arrivals(now) {
+                for mut it in self.north[y][x].arrivals(now) {
+                    it.hops += 1;
                     moved.push(((x, y), it));
                 }
             }
@@ -213,12 +234,111 @@ impl<T: Transmittable> Mesh<T> {
 
     /// Whether nothing is queued or in flight.
     pub fn is_idle(&self) -> bool {
+        self.links().all(DirectedLink::is_empty)
+    }
+
+    fn links(&self) -> impl Iterator<Item = &DirectedLink<MeshItem<T>>> {
         self.east
             .iter()
             .chain(self.west.iter())
             .chain(self.south.iter())
             .chain(self.north.iter())
-            .all(|row| row.iter().all(DirectedLink::is_empty))
+            .flat_map(|row| row.iter())
+    }
+
+    fn links_mut(&mut self) -> impl Iterator<Item = &mut DirectedLink<MeshItem<T>>> {
+        self.east
+            .iter_mut()
+            .chain(self.west.iter_mut())
+            .chain(self.south.iter_mut())
+            .chain(self.north.iter_mut())
+            .flat_map(|row| row.iter_mut())
+    }
+
+    /// Event horizon: the earliest cycle at or after `now` at which any
+    /// link can transmit or deliver something. `Some(now)` while bytes
+    /// are queued anywhere, the earliest wire arrival while items are in
+    /// flight, `None` when the mesh is fully drained — the same contract
+    /// as [`crate::ring::Ring::next_event`], so cycle skipping covers
+    /// the mesh too.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        for l in self.links() {
+            if l.queued_packets() > 0 {
+                return Some(now);
+            }
+            if let Some(due) = l.next_arrival() {
+                let due = due.max(now);
+                horizon = Some(horizon.map_or(due, |h| h.min(due)));
+            }
+        }
+        horizon
+    }
+
+    /// Fast-forwards an idle mesh across `[from, to)`, accumulating
+    /// exactly the offered-capacity statistics [`tick`](Self::tick)
+    /// accumulates when every queue is empty: each directed link is
+    /// offered the full per-direction capacity every cycle.
+    pub fn skip_idle(&mut self, from: Cycle, to: Cycle) {
+        let bytes = (to - from) * u64::from(self.link.max_capacity());
+        for l in self.links_mut() {
+            l.skip_offer(bytes);
+        }
+    }
+
+    /// Cumulative `(payload, offered)` bytes summed over all directed
+    /// links. Monotonic counters, diffable for windowed utilization.
+    pub fn payload_offered_bytes(&self) -> (u64, u64) {
+        let (mut payload, mut offered) = (0u64, 0u64);
+        for l in self.links() {
+            let s = l.stats();
+            payload += s.payload_bytes;
+            offered += s.offered_bytes;
+        }
+        (payload, offered)
+    }
+
+    /// Aggregated payload utilization across all directed links.
+    pub fn payload_utilization(&self) -> f64 {
+        let (payload, offered) = self.payload_offered_bytes();
+        if offered == 0 {
+            0.0
+        } else {
+            payload as f64 / offered as f64
+        }
+    }
+
+    /// Pending bytes across the output queues of node `(x, y)`
+    /// (congestion metric, mirroring [`crate::ring::Ring::congestion_at`]).
+    pub fn congestion_at(&self, at: (usize, usize)) -> u64 {
+        let (x, y) = at;
+        let mut q = 0u64;
+        if x < self.w - 1 {
+            q += self.east[y][x].queued_bytes();
+        }
+        if x > 0 {
+            q += self.west[y][x - 1].queued_bytes();
+        }
+        if y < self.h - 1 {
+            q += self.south[y][x].queued_bytes();
+        }
+        if y > 0 {
+            q += self.north[y - 1][x].queued_bytes();
+        }
+        q
+    }
+
+    /// Turns event tracing on, staging delivery events on `track`.
+    pub fn enable_trace(&mut self, track: Track) {
+        self.trace = Some(TraceBuffer::new(track));
+    }
+
+    /// Moves staged delivery events into `sink` (no-op when tracing is
+    /// off).
+    pub fn drain_trace(&mut self, sink: &mut dyn TraceSink) {
+        if let Some(buf) = self.trace.as_mut() {
+            buf.drain_into(sink);
+        }
     }
 }
 
@@ -300,5 +420,40 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_coordinates_rejected() {
         mesh().inject((0, 0), (9, 9), 4, 0, P(4));
+    }
+
+    #[test]
+    fn drained_mesh_reports_no_horizon() {
+        let mut m = mesh();
+        assert_eq!(m.next_event(7), None, "fresh mesh has no events");
+        m.inject((0, 0), (2, 1), 4, 0, P(4));
+        assert_eq!(m.next_event(0), Some(0), "queued item acts immediately");
+        m.tick(0); // transmits; arrival due at 1
+        assert_eq!(m.next_event(0), Some(1));
+        let _ = run(&mut m, 50);
+        assert!(m.is_idle());
+        assert_eq!(m.next_event(50), None, "drained mesh reports None");
+    }
+
+    #[test]
+    fn skip_idle_matches_ticking_an_idle_mesh() {
+        let mut ticked = mesh();
+        let mut skipped = mesh();
+        for now in 0..80 {
+            ticked.tick(now);
+        }
+        skipped.skip_idle(0, 80);
+        assert_eq!(
+            ticked.payload_offered_bytes(),
+            skipped.payload_offered_bytes()
+        );
+    }
+
+    #[test]
+    fn congestion_counts_outgoing_queues() {
+        let mut m = mesh();
+        assert_eq!(m.congestion_at((1, 1)), 0);
+        m.inject((1, 1), (3, 1), 8, 0, P(8));
+        assert!(m.congestion_at((1, 1)) > 0);
     }
 }

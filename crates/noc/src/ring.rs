@@ -35,6 +35,9 @@ impl<T: Transmittable> Transmittable for RingItem<T> {
     fn realtime(&self) -> bool {
         self.item.realtime()
     }
+    fn class(&self) -> u8 {
+        self.item.class()
+    }
 }
 
 /// Ring-level statistics.
@@ -57,6 +60,9 @@ pub struct Ring<T> {
     /// `channels[i]` joins position `i` (fwd = cw) and `i+1 mod n`.
     channels: Vec<Channel<RingItem<T>>>,
     n: usize,
+    /// When on, high-class items (class ≥ 2) pick their direction by a
+    /// congestion-weighted cost instead of pure minimum hops.
+    adaptive: bool,
     stats: RingStats,
 }
 
@@ -72,8 +78,17 @@ impl<T: Transmittable> Ring<T> {
         Self {
             channels: (0..n).map(|_| Channel::new(link)).collect(),
             n,
+            adaptive: false,
             stats: RingStats::default(),
         }
+    }
+
+    /// Turns criticality-adaptive direction choice on or off (default
+    /// off). With it on, items of class ≥ 2 weigh queued congestion
+    /// against hop distance when picking a direction; lower classes (and
+    /// everything, when off) keep the original minimum-hop rule.
+    pub fn set_adaptive(&mut self, on: bool) {
+        self.adaptive = on;
     }
 
     /// Number of positions.
@@ -142,7 +157,20 @@ impl<T: Transmittable> Ring<T> {
         }
         let dcw = self.distance(at, exit, Dir::Cw);
         let dccw = self.distance(at, exit, Dir::Ccw);
-        let dir = if dcw < dccw {
+        let dir = if self.adaptive && item.class() >= 2 {
+            // Criticality-adaptive choice: estimate the cycles to reach
+            // the exit as hop-serialization plus draining the local
+            // backlog at peak width, and take the cheaper way round even
+            // when it is the longer one.
+            let width = u64::from(self.channels[at].config().max_capacity()).max(1);
+            let cost = |d: usize, q: u64| d as u64 * width + q;
+            let ccw = cost(dccw, self.out_queue_bytes(at, Dir::Ccw));
+            if cost(dcw, self.out_queue_bytes(at, Dir::Cw)) <= ccw {
+                Dir::Cw
+            } else {
+                Dir::Ccw
+            }
+        } else if dcw < dccw {
             Dir::Cw
         } else if dccw < dcw {
             Dir::Ccw

@@ -32,6 +32,14 @@ cargo test --offline -q --test cycle_skip
 echo "==> fault determinism (seeded chaos bit-identical across workers x skip)"
 cargo test --offline -q --test fault_determinism
 
+echo "==> NoC backend determinism (ring/mesh/buffered bit-identical across"
+echo "    workers x skip, criticality routing on, all benchmarks)"
+cargo test --offline -q --test noc_backends
+
+echo "==> noc_sweep smoke (backends x benchmarks x criticality matrix;"
+echo "    exits non-zero if any backend fails to drain a benchmark)"
+cargo run --offline --release -p smarco-bench --bin noc_sweep
+
 echo "==> chaos smoke (seeded fault run; exits non-zero on zero retries)"
 cargo run --offline --release -p smarco-bench --bin scale -- --faults 42
 
@@ -65,7 +73,7 @@ if [ "$corpus_status" -ne 1 ]; then
     echo "ci: corpus gate failed (exit $corpus_status, expected 1)" >&2
     exit 1
 fi
-for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431; do
+for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431 SL0440 SL0441; do
     if ! grep -q "\"code\":\"$code\"" "$corpus_json"; then
         echo "ci: corpus no longer produces $code" >&2
         exit 1
