@@ -8,13 +8,17 @@
 //! * `--gate <baseline.json>` — perf-regression gate: measure the gate
 //!   workload (unprofiled sequential quick wordcount, min-of-3) and exit
 //!   non-zero if it regressed more than 10% over the committed baseline.
-//!   Set `SMARCO_PERF_GATE=skip` to bypass (e.g. on a loaded host).
+//!   On hosts with >= 4 CPUs, also gate the 4-worker wordcount leg
+//!   against the baseline's `wall_seconds_workers4` (auto-skipped on
+//!   smaller hosts, or when the baseline was written by one). Set
+//!   `SMARCO_PERF_GATE=skip` to bypass (e.g. on a loaded host).
 //! * `--write-baseline <baseline.json>` — measure and (re)write the
-//!   baseline file.
+//!   baseline file (the 4-worker leg only on hosts that can run it).
 
 use smarco_bench::host::HostInfo;
 use smarco_bench::profile::{
-    gate_baseline_json, gate_baseline_seconds, gate_measure, GATE_TOLERANCE,
+    gate_baseline_cpus, gate_baseline_json, gate_baseline_seconds, gate_baseline_workers4,
+    gate_measure, gate_measure_at, GATE_TOLERANCE, GATE_TOLERANCE_W4,
 };
 
 fn arg_value(flag: &str) -> Option<String> {
@@ -26,10 +30,22 @@ fn arg_value(flag: &str) -> Option<String> {
 
 fn main() {
     if let Some(path) = arg_value("--write-baseline") {
-        let seconds = gate_measure(3);
         let host = HostInfo::capture(&[1], true, smarco_bench::Scale::Quick);
-        std::fs::write(&path, gate_baseline_json(seconds, &host)).expect("write baseline");
-        println!("wrote {path}: gate workload at {seconds:.3}s");
+        let seconds = gate_measure(3);
+        let w4 = if host.can_exercise(4) {
+            Some(gate_measure_at(3, 4))
+        } else {
+            None
+        };
+        std::fs::write(&path, gate_baseline_json(seconds, w4, &host)).expect("write baseline");
+        match w4 {
+            Some(s4) => println!("wrote {path}: gate workload at {seconds:.3}s, 4w at {s4:.3}s"),
+            None => println!(
+                "wrote {path}: gate workload at {seconds:.3}s \
+                 (no 4-worker leg: {} CPUs)",
+                host.cpus
+            ),
+        }
         return;
     }
     if let Some(path) = arg_value("--gate") {
@@ -51,6 +67,41 @@ fn main() {
                  {:.0}% over the committed baseline ({path}); if the \
                  slowdown is intentional, rerun with --write-baseline",
                 (measured / baseline - 1.0) * 100.0
+            );
+            std::process::exit(4);
+        }
+        // 4-worker leg: only meaningful when this host can actually run
+        // four workers in parallel AND the baseline was measured on one
+        // that could (cross-host wall-clock comparison is noise).
+        let host = HostInfo::capture(&[1, 4], true, smarco_bench::Scale::Quick);
+        if !host.can_exercise(4) {
+            println!(
+                "perf gate: 4-worker leg auto-skipped ({} CPUs < 4)",
+                host.cpus
+            );
+            return;
+        }
+        let baseline_cpus = gate_baseline_cpus(&json).unwrap_or(1);
+        let Some(base4) = gate_baseline_workers4(&json).filter(|_| baseline_cpus >= 4) else {
+            println!(
+                "perf gate: 4-worker leg skipped — baseline ({path}) has \
+                 no 4-worker measurement from a >=4-CPU host; rerun with \
+                 --write-baseline here to arm it"
+            );
+            return;
+        };
+        let measured4 = gate_measure_at(3, 4);
+        let limit4 = base4 * GATE_TOLERANCE_W4;
+        println!(
+            "perf gate: 4-worker measured {measured4:.3}s vs baseline \
+             {base4:.3}s (limit {limit4:.3}s)"
+        );
+        if measured4 > limit4 {
+            eprintln!(
+                "perf gate FAILED: the 4-worker engine regressed {:.0}% \
+                 over the committed baseline ({path}); if the slowdown is \
+                 intentional, rerun with --write-baseline",
+                (measured4 / base4 - 1.0) * 100.0
             );
             std::process::exit(4);
         }

@@ -33,6 +33,14 @@ impl HostInfo {
         }
     }
 
+    /// Whether this host can genuinely run `workers` PDES workers in
+    /// parallel. Below this, a multi-worker measurement exercises the
+    /// oversubscribed barrier path and measures overhead, not speedup —
+    /// the perf gate's 4-worker leg auto-skips on such hosts.
+    pub fn can_exercise(&self, workers: usize) -> bool {
+        self.cpus >= workers
+    }
+
     /// Serialises the block as a JSON object (hand-rolled: the workspace
     /// is dependency-free).
     pub fn to_json(&self) -> String {
@@ -73,5 +81,13 @@ mod tests {
     fn default_still_detects_cpus() {
         assert!(HostInfo::default().cpus >= 1);
         assert!(HostInfo::default().worker_sweep.is_empty());
+    }
+
+    #[test]
+    fn can_exercise_compares_against_detected_cpus() {
+        let h = HostInfo::default();
+        assert!(h.can_exercise(1), "every host has at least one CPU");
+        assert!(h.can_exercise(h.cpus));
+        assert!(!h.can_exercise(h.cpus + 1));
     }
 }

@@ -243,6 +243,14 @@ impl SmarcoSystem {
             crate::contract::horizon_contract(&config),
             ChipMsg::contract_class,
         );
+        // Let the contract widen the window beyond the base boundary
+        // latency where it can. On today's chip contracts this is a
+        // no-op: junction traffic flows between every sub-ring and the
+        // hub with exactly `boundary_latency()` delay every cycle, so the
+        // minimum reachable floor equals the base lookahead. The call
+        // keeps the policy wired end-to-end for configurations whose
+        // slowest class floor ever rises above the junction latency.
+        engine.widen_from_contract();
         if config.prof.enabled {
             engine.enable_profiling(config.prof);
         }
@@ -377,6 +385,7 @@ impl SmarcoSystem {
                 crate::contract::horizon_contract(&self.config),
                 ChipMsg::contract_class,
             );
+            self.engine.widen_from_contract();
         } else {
             self.engine.clear_contract();
         }

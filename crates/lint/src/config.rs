@@ -262,12 +262,15 @@ pub fn check_mact(mact: &MactConfig) -> Vec<Diagnostic> {
 /// Lints the shard partition the PDES engine derives from a chip
 /// configuration: `total_cores` cores cut into per-sub-ring shards of
 /// `noc.cores_per_subring` plus one hub shard, driven by `workers` host
-/// threads with the junction latency as lookahead.
+/// threads with the junction latency as lookahead. `host_cpus` pins the
+/// host the oversubscription check (SL0450) judges against; `None`
+/// detects the current machine.
 pub fn check_shard_partition(
     total_cores: usize,
     noc: &NocConfig,
     direct: Option<&DirectPathConfig>,
     workers: usize,
+    host_cpus: Option<usize>,
 ) -> Vec<Diagnostic> {
     // One level of the general hierarchy pass: the chip level is the
     // innermost (and, on today's single-chip fabric, only) level.
@@ -280,6 +283,7 @@ pub fn check_shard_partition(
         lookahead: jl,
         min_boundary_latency: direct.map_or(jl, |d| d.latency.min(jl)),
         workers,
+        host_cpus: Some(host_cpus.unwrap_or_else(crate::model::detected_host_cpus)),
     };
     check_partition_hierarchy(&[level])
 }
@@ -388,6 +392,7 @@ pub fn check_config(cfg: &SmarcoConfig) -> Vec<Diagnostic> {
         &cfg.noc,
         cfg.direct.as_ref(),
         cfg.workers,
+        None,
     ));
     if let Some(plan) = &cfg.fault {
         out.extend(check_fault_plan(plan, cfg));
@@ -573,7 +578,7 @@ mod tests {
     #[test]
     fn ragged_core_partition_denied_with_sl0411() {
         let noc = NocConfig::tiny();
-        let ds = check_shard_partition(noc.cores() + 1, &noc, None, 1);
+        let ds = check_shard_partition(noc.cores() + 1, &noc, None, 1, None);
         assert_eq!(ds.len(), 1);
         assert_eq!(ds[0].code.as_str(), "SL0411");
         assert_eq!(ds[0].severity, Severity::Deny);
@@ -589,11 +594,28 @@ mod tests {
                 .any(|d| d.code.as_str() == "SL0412" && d.severity == Severity::Warn),
             "{ds:?}"
         );
-        cfg.workers = 5;
-        assert!(check_config(&cfg).is_empty());
+        // The clean case pins an 8-CPU host so it holds on any machine
+        // (check_config auto-detects and would add SL0450 on small hosts).
+        let ds = check_shard_partition(cfg.noc.cores(), &cfg.noc, cfg.direct.as_ref(), 5, Some(8));
+        assert!(ds.is_empty(), "{ds:?}");
         cfg.workers = 0;
         let ds = check_config(&cfg);
         assert!(ds.iter().any(|d| d.code.as_str() == "SL0401"), "{ds:?}");
+    }
+
+    #[test]
+    fn oversubscribed_workers_warn_with_sl0450() {
+        let cfg = SmarcoConfig::tiny();
+        // 5 workers fill the tiny chip's 5 shards, but the pinned host
+        // has only 2 CPUs.
+        let ds = check_shard_partition(cfg.noc.cores(), &cfg.noc, cfg.direct.as_ref(), 5, Some(2));
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code.as_str(), "SL0450");
+        assert_eq!(ds[0].severity, Severity::Warn);
+        // Every shipped config runs a single worker, which no host can
+        // oversubscribe — the ci lint sweep stays clean everywhere.
+        let ds = check_shard_partition(cfg.noc.cores(), &cfg.noc, cfg.direct.as_ref(), 1, Some(1));
+        assert!(ds.is_empty(), "{ds:?}");
     }
 
     #[test]

@@ -156,6 +156,13 @@ pub fn corpus() -> Vec<CorpusEntry> {
             },
         },
         CorpusEntry {
+            name: "oversubscribed-host",
+            why: "a 64-chip fabric level pinned to a 2-CPU host time-slices \
+                  its workers and measures scheduler overhead, not speedup",
+            expected: vec![Code::HostOversubscribed],
+            build: || base().with_outer_level(PartitionLevel::fabric(64, 20, 64).with_host_cpus(2)),
+        },
+        CorpusEntry {
             name: "zero-depth-buffered-switch",
             why: "a buffered backend with no output buffering serializes the \
                   switch on its shared input queue",

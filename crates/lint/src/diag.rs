@@ -153,11 +153,16 @@ pub enum Code {
     /// one — the switch serializes on its input buffer and loses
     /// exactly the absorption a buffered NoC pays area for.
     DegenerateBufferDepth,
+    /// SL0450: a shard level asks for more PDES workers than the host
+    /// has CPUs — the extra workers time-slice, the lockstep barrier
+    /// degrades to yield-on-every-check, and the run measures scheduler
+    /// overhead instead of speedup.
+    HostOversubscribed,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 38] = [
+    pub const ALL: [Code; 39] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -196,6 +201,7 @@ impl Code {
         Code::TaskStarvable,
         Code::BackendBoundaryLatency,
         Code::DegenerateBufferDepth,
+        Code::HostOversubscribed,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -239,6 +245,7 @@ impl Code {
             Code::TaskStarvable => "SL0431",
             Code::BackendBoundaryLatency => "SL0440",
             Code::DegenerateBufferDepth => "SL0441",
+            Code::HostOversubscribed => "SL0450",
         }
     }
 
@@ -287,7 +294,8 @@ impl Code {
             | Code::RetryExceedsDeadline
             | Code::DegenerateProfileSampling
             | Code::WorstPathExceedsDeadline
-            | Code::TaskStarvable => Severity::Warn,
+            | Code::TaskStarvable
+            | Code::HostOversubscribed => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -333,6 +341,7 @@ impl Code {
             Code::TaskStarvable => "task slack smaller than worst-case fault stall",
             Code::BackendBoundaryLatency => "backend boundary latency below junction latency",
             Code::DegenerateBufferDepth => "buffered backend has degenerate buffer depth",
+            Code::HostOversubscribed => "more PDES workers than host CPUs",
         }
     }
 
@@ -585,6 +594,16 @@ impl Code {
                  usable buffering.",
                 "Set the buffered backend's depth to at least 2 (8 is \
                  the shipped default).",
+            ),
+            Code::HostOversubscribed => (
+                "A shard level asks for more PDES worker threads than the \
+                 host has logical CPUs. The workers time-slice on the same \
+                 cores, the lockstep barrier degrades to \
+                 yield-on-every-check, and the run measures scheduler \
+                 overhead instead of speedup. Results stay bit-identical — \
+                 this is purely a performance finding.",
+                "Clamp workers to the host's CPU count (or move the run to \
+                 a larger host).",
             ),
         }
     }

@@ -445,6 +445,10 @@ pub struct PartitionLevel {
     pub min_boundary_latency: Cycle,
     /// Host threads driving this level.
     pub workers: usize,
+    /// Logical CPUs on the host expected to drive this level, when
+    /// known. `None` disables the oversubscription check (SL0450) —
+    /// e.g. a hypothetical fabric whose host is not yet chosen.
+    pub host_cpus: Option<usize>,
 }
 
 impl PartitionLevel {
@@ -461,6 +465,7 @@ impl PartitionLevel {
             lookahead: jl,
             min_boundary_latency: cfg.direct.as_ref().map_or(jl, |d| d.latency.min(jl)),
             workers: cfg.workers,
+            host_cpus: Some(detected_host_cpus()),
         }
     }
 
@@ -477,14 +482,28 @@ impl PartitionLevel {
             lookahead,
             min_boundary_latency: lookahead,
             workers,
+            host_cpus: None,
         }
     }
+
+    /// Pins the level to a host with `cpus` logical CPUs, arming the
+    /// oversubscription check (SL0450).
+    pub fn with_host_cpus(mut self, cpus: usize) -> Self {
+        self.host_cpus = Some(cpus);
+        self
+    }
+}
+
+/// Logical CPUs available to this process (1 when detection fails).
+pub fn detected_host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, usize::from)
 }
 
 /// Pass (d) — shard-partition soundness over a whole hierarchy, levels
 /// ordered innermost first. Per level: positive worker count (SL0401),
 /// whole-shard partition (SL0411), lookahead within the shortest
-/// boundary latency (SL0410), and worker-count sanity (SL0412). Across
+/// boundary latency (SL0410), worker-count sanity (SL0412), and host
+/// oversubscription when the level's host is known (SL0450). Across
 /// levels: an outer lookahead shorter than an inner one (SL0423) breaks
 /// the conservative-window invariant — the outer barrier would deliver
 /// into windows the inner engine already retired.
@@ -540,6 +559,27 @@ pub fn check_partition_hierarchy(levels: &[PartitionLevel]) -> Vec<Diagnostic> {
                 )
                 .with_help("workers beyond the shard count add no parallelism"),
             );
+        }
+        // Oversubscription is judged on the threads the engine actually
+        // spawns (workers clamp to the shard count), so SL0412 and
+        // SL0450 stay independent findings.
+        let spawned = level.workers.min(level.shards);
+        if let Some(cpus) = level.host_cpus {
+            if spawned > cpus {
+                out.push(
+                    Diagnostic::new(
+                        Code::HostOversubscribed,
+                        Span::Field(format!("{l}.workers")),
+                        format!(
+                            "{spawned} {l} workers on a {cpus}-CPU host: the \
+                             workers time-slice and the lockstep barrier \
+                             degrades to yield-on-every-check, so the run \
+                             measures scheduler overhead, not speedup",
+                        ),
+                    )
+                    .with_help("clamp workers to the host's CPU count"),
+                );
+            }
         }
     }
     for pair in levels.windows(2) {
@@ -659,5 +699,37 @@ mod tests {
         let ds = check_partition_hierarchy(&[level]);
         assert!(ds.iter().any(|d| d.code == Code::ShardPartition));
         assert!(ds.iter().any(|d| d.code == Code::ShardWorkers));
+    }
+
+    #[test]
+    fn oversubscribed_host_warns_with_sl0450() {
+        // 64 chips, 64 workers, but the level is pinned to a 2-CPU host.
+        let level = PartitionLevel::fabric(64, 20, 64).with_host_cpus(2);
+        let ds = check_partition_hierarchy(&[level]);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::HostOversubscribed);
+        assert_eq!(ds[0].severity, crate::diag::Severity::Warn);
+        // Unknown host → the check stays silent on the same shape.
+        let unpinned = PartitionLevel::fabric(64, 20, 64);
+        assert!(check_partition_hierarchy(&[unpinned]).is_empty());
+    }
+
+    #[test]
+    fn oversubscription_judges_spawned_workers_not_requested() {
+        // 40 requested workers clamp to 4 shards; on a 8-CPU host the
+        // 4 spawned threads fit, so only SL0412 fires — the excess
+        // *requested* workers never exist as runnable threads.
+        let level = PartitionLevel::fabric(4, 20, 40).with_host_cpus(8);
+        let ds = check_partition_hierarchy(&[level]);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::ShardWorkers);
+    }
+
+    #[test]
+    fn subring_level_pins_the_detected_host() {
+        let cfg = SmarcoConfig::tiny();
+        let level = PartitionLevel::subring(&cfg);
+        assert_eq!(level.host_cpus, Some(detected_host_cpus()));
+        assert!(detected_host_cpus() >= 1);
     }
 }

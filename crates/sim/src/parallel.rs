@@ -28,10 +28,22 @@
 //! longer than the lookahead is conservative, so running cycle-by-cycle
 //! (`run_windowed(n, 1)` with a 1-cycle clamp at the end of a run) produces
 //! the same states and messages as full-lookahead windows.
+//!
+//! The hot path is allocation- and contention-free in steady state. Each
+//! lane owns a recycled envelope slab (an arena reused window after
+//! window) for its outbox, and emitted envelopes are published straight
+//! into a cache-line-padded per-(destination, source) mailbox matrix — a
+//! flat-combining [`Exchange`]: routing work rides along with each lane's
+//! step instead of serializing at the barrier, so the barrier's serial
+//! section shrinks to an O(1) horizon fold. When a [`HorizonContract`]
+//! proves that every message class is delayed by more than the base
+//! lookahead, [`ParallelEngine::widen_from_contract`] grows the window to
+//! the contract's minimum floor, amortizing each barrier over more
+//! simulated cycles.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering as MemOrder};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering as MemOrder};
 use std::sync::Mutex;
 use std::time::Instant;
 
@@ -200,6 +212,120 @@ impl<M> Outbox<M> {
     }
 }
 
+/// Pads a value out to its own 128-byte region so adjacent values never
+/// share a cache line (128, not 64, because x86 spatial prefetchers pull
+/// lines in pairs). Hand-rolled because the workspace is dependency-free.
+#[derive(Debug, Default)]
+#[repr(align(128))]
+struct CachePadded<T>(T);
+
+/// One cell of the [`Exchange`] matrix: envelopes one source shard has
+/// published for one destination shard, plus a fast-path flag so readers
+/// skip locking cells nobody wrote to. The per-cell mutex is only ever
+/// contended when this cell's single writer and single reader collide.
+#[derive(Debug)]
+struct MailSlot<M> {
+    envelopes: Mutex<Vec<Envelope<M>>>,
+    nonempty: AtomicBool,
+}
+
+/// Flat-combining window exchange: an `n × n` matrix of padded mailboxes,
+/// row-major by destination (`slots[to * n + from]`). Each lane publishes
+/// its outbox into its column as part of its own window step and drains
+/// its row into its inbox at the next window start, so envelope routing
+/// is spread across the workers instead of serialized at the barrier.
+///
+/// Publishing during the same phase in which other lanes drain is safe:
+/// every published envelope is due at or after the current window's end
+/// (the [`Outbox`] asserts this), so whether a given envelope is picked up
+/// by its destination's drain this window or next, it cannot come due
+/// before the destination's next step — and the `(at, from, seq)` heap
+/// order makes the delivery sequence independent of arrival time.
+#[derive(Debug)]
+struct Exchange<M> {
+    n: usize,
+    slots: Vec<CachePadded<MailSlot<M>>>,
+}
+
+impl<M> Exchange<M> {
+    fn new(n: usize) -> Self {
+        let slots = (0..n * n)
+            .map(|_| {
+                CachePadded(MailSlot {
+                    envelopes: Mutex::new(Vec::new()),
+                    nonempty: AtomicBool::new(false),
+                })
+            })
+            .collect();
+        Self { n, slots }
+    }
+
+    /// Moves everything published for shard `to` into its inbox. Clearing
+    /// the flag *before* taking the envelopes pairs with `publish` setting
+    /// it *after* pushing: an envelope can be momentarily covered by a
+    /// stale `true` (harmless extra lock next window) but never sit in a
+    /// slot whose flag reads `false`.
+    fn drain_row(&self, to: usize, inbox: &mut Inbox<M>) {
+        for from in 0..self.n {
+            let slot = &self.slots[to * self.n + from].0;
+            if slot.nonempty.swap(false, MemOrder::Acquire) {
+                let mut guard = slot.envelopes.lock().expect("mail slot lock");
+                inbox.push_all(guard.drain(..));
+            }
+        }
+    }
+
+    /// Publishes one lane's outbox into its column, batching consecutive
+    /// same-destination envelopes under one lock acquisition. Leaves `buf`
+    /// empty (capacity intact) for slab recycling. Returns the earliest
+    /// due-cycle published (`u64::MAX` when none) and the envelope count.
+    fn publish(&self, from: usize, buf: &mut Vec<Envelope<M>>) -> (u64, u64) {
+        let n = self.n;
+        let mut earliest = u64::MAX;
+        let mut count = 0u64;
+        let mut cur_to = usize::MAX;
+        let mut guard: Option<std::sync::MutexGuard<'_, Vec<Envelope<M>>>> = None;
+        for env in buf.drain(..) {
+            assert!(env.to < n, "unknown shard {}", env.to);
+            earliest = earliest.min(env.at);
+            count += 1;
+            if env.to != cur_to {
+                if guard.take().is_some() {
+                    self.slots[cur_to * n + from]
+                        .0
+                        .nonempty
+                        .store(true, MemOrder::Release);
+                }
+                cur_to = env.to;
+                let slot = &self.slots[cur_to * n + from].0;
+                guard = Some(slot.envelopes.lock().expect("mail slot lock"));
+            }
+            guard.as_mut().expect("mail slot guard").push(env);
+        }
+        if guard.take().is_some() {
+            self.slots[cur_to * n + from]
+                .0
+                .nonempty
+                .store(true, MemOrder::Release);
+        }
+        (earliest, count)
+    }
+
+    /// Post-run sweep: deliver everything still parked in the matrix
+    /// (the final window's publishes were never drained) so a later run
+    /// with any worker count sees it. Single-threaded by construction.
+    fn drain_all(&self, inboxes: &mut [Inbox<M>]) {
+        for (to, inbox) in inboxes.iter_mut().enumerate() {
+            for from in 0..self.n {
+                let slot = &self.slots[to * self.n + from].0;
+                slot.nonempty.store(false, MemOrder::Relaxed);
+                let mut guard = slot.envelopes.lock().expect("mail slot lock");
+                inbox.push_all(guard.drain(..));
+            }
+        }
+    }
+}
+
 /// A partition of the model that advances independently within a window.
 pub trait Shard: Send {
     /// Message type exchanged between shards.
@@ -245,12 +371,16 @@ pub trait Shard: Send {
 }
 
 /// One shard's per-window execution state: the shard itself, its inbox,
-/// and its persistent sequence counter, keyed by shard index.
+/// its persistent sequence counter, and its recycled outbox slab, keyed
+/// by shard index. The slab is exclusively owned (`&mut`, no lock): only
+/// the lane's current worker touches it, and it persists in the engine so
+/// steady-state windows allocate nothing.
 struct Lane<'a, S: Shard> {
     i: usize,
     shard: &'a mut S,
     inbox: &'a mut Inbox<S::Msg>,
     seq: &'a mut u64,
+    slab: &'a mut Vec<Envelope<S::Msg>>,
 }
 
 /// Earliest cycle at which `lane` can possibly act at or after `now`:
@@ -262,31 +392,41 @@ fn lane_horizon<S: Shard>(lane: &Lane<'_, S>, now: Cycle) -> u64 {
     shard.min(inbox)
 }
 
-/// One shard's window: drain freshly routed envelopes into the inbox, then
+/// What one shard's window step did: whether it fast-forwarded, the
+/// earliest due-cycle it published this window (`u64::MAX` when nothing),
+/// and how many envelopes it published. The caller folds these into the
+/// whole-run fast-forward decision and the exchange telemetry.
+struct StepOutcome {
+    skipped: bool,
+    routed_due: u64,
+    routed: u64,
+}
+
+/// One shard's window: drain the lane's mailbox row into the inbox, then
 /// either fast-forward (when the shard's horizon and inbox both clear the
-/// window) or run the model and park the produced envelopes for the
-/// routing phase. Returns whether the window was skipped.
+/// window) or run the model and publish the produced envelopes straight
+/// into the exchange.
 fn window_step<S: Shard>(
     lane: &mut Lane<'_, S>,
     from: Cycle,
     to: Cycle,
-    staging: &[Mutex<Vec<Envelope<S::Msg>>>],
-    produced: &[Mutex<Vec<Envelope<S::Msg>>>],
+    exchange: &Exchange<S::Msg>,
     skip: bool,
     contract: Option<&ContractCheck<S::Msg>>,
-) -> bool {
-    {
-        let mut slot = staging[lane.i].lock().expect("staging lock");
-        lane.inbox.push_all(slot.drain(..));
-    }
+) -> StepOutcome {
+    exchange.drain_row(lane.i, lane.inbox);
     if skip && lane_horizon(lane, from) >= to {
         // Nothing can happen in [from, to): skip the per-cycle loop. No
         // outbox is created — a quiescent shard emits nothing, so the
         // sequence counter is untouched and delivery order is unchanged.
         lane.shard.skip_window(from, to);
-        return true;
+        return StepOutcome {
+            skipped: true,
+            routed_due: u64::MAX,
+            routed: 0,
+        };
     }
-    let buf = std::mem::take(&mut *produced[lane.i].lock().expect("produced lock"));
+    let buf = std::mem::take(lane.slab);
     let mut outbox = Outbox::new(lane.i, to, *lane.seq, buf);
     lane.shard.run_window(from, to, lane.inbox, &mut outbox);
     *lane.seq = outbox.next_seq;
@@ -320,32 +460,14 @@ fn window_step<S: Shard>(
     }
     #[cfg(not(debug_assertions))]
     let _ = contract;
-    *produced[lane.i].lock().expect("produced lock") = outbox.envelopes;
-    false
-}
-
-/// Routing phase: move every produced envelope to its destination's staging
-/// row. Envelope keys already fix the delivery order, so this only has to
-/// be exhaustive, not ordered. Returns the earliest due-cycle routed this
-/// window (`u64::MAX` when no envelope moved) — which feeds the engine's
-/// whole-run fast-forward decision — and the number of envelopes moved,
-/// which feeds the self-profiler's exchange telemetry.
-fn route_window<M>(
-    produced: &[Mutex<Vec<Envelope<M>>>],
-    staging: &[Mutex<Vec<Envelope<M>>>],
-) -> (u64, u64) {
-    let n = staging.len();
-    let mut earliest = u64::MAX;
-    let mut count = 0u64;
-    for slot in produced {
-        for env in slot.lock().expect("produced lock").drain(..) {
-            assert!(env.to < n, "unknown shard {}", env.to);
-            earliest = earliest.min(env.at);
-            count += 1;
-            staging[env.to].lock().expect("staging lock").push(env);
-        }
+    let (routed_due, routed) = exchange.publish(lane.i, &mut outbox.envelopes);
+    // The drained buffer (empty, capacity intact) goes back in the slab.
+    *lane.slab = outbox.envelopes;
+    StepOutcome {
+        skipped: false,
+        routed_due,
+        routed,
     }
-    (earliest, count)
 }
 
 /// Nanoseconds elapsed since `t0` on the monotonic host clock.
@@ -361,45 +483,72 @@ fn ns_between(epoch: Instant, t: Instant) -> u64 {
 /// Sense-reversing spin barrier. The chip synchronizes every `lookahead`
 /// (typically 2) cycles — tens of thousands of window boundaries per run —
 /// so parties spin instead of sleeping: a futex-based barrier's sleep/wake
-/// round-trip costs more than an entire window of simulation. After a
-/// bounded spin each check yields the CPU, so oversubscribed hosts (more
-/// workers than cores) still make progress instead of burning whole
-/// scheduler quanta. The last party to arrive runs a serial section (the
-/// routing phase) before releasing the others.
+/// round-trip costs more than an entire window of simulation. The spin
+/// budget adapts to the party count: more parties means longer expected
+/// waits and more cores burning, so each check yields sooner; on an
+/// oversubscribed host (more parties than cores, where a spinning waiter
+/// can only steal cycles from the party it is waiting for) the budget is
+/// zero and every check yields. The arrival and generation counters live
+/// on separate padded lines so arrivers incrementing one don't invalidate
+/// the line every waiter is polling. The last party to arrive runs a
+/// serial section (the horizon fold) before releasing the others.
 struct SpinBarrier {
     parties: usize,
-    arrived: AtomicUsize,
-    generation: AtomicUsize,
+    /// Spins between yields while waiting; 0 means yield on every check.
+    spins_per_yield: u32,
+    arrived: CachePadded<AtomicUsize>,
+    generation: CachePadded<AtomicUsize>,
 }
 
 impl SpinBarrier {
-    /// Spins this many times before each yield while waiting.
-    const SPINS_PER_YIELD: u32 = 256;
+    /// Total spin budget divided among the parties.
+    const SPIN_BASE: u32 = 1024;
+    /// Floor so small sane party counts still get a useful spin run.
+    const SPIN_MIN: u32 = 32;
+
+    /// Spins between yields for `parties` waiters on a host with
+    /// `host_cpus` logical CPUs. Zero (yield immediately) when there is
+    /// nobody to wait for or the host is oversubscribed; otherwise
+    /// inversely proportional to the party count.
+    fn spin_budget(parties: usize, host_cpus: usize) -> u32 {
+        if parties <= 1 || parties > host_cpus {
+            0
+        } else {
+            (Self::SPIN_BASE / u32::try_from(parties).unwrap_or(u32::MAX)).max(Self::SPIN_MIN)
+        }
+    }
 
     fn new(parties: usize) -> Self {
+        let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+        Self::with_spin_budget(parties, Self::spin_budget(parties, host_cpus))
+    }
+
+    fn with_spin_budget(parties: usize, spins_per_yield: u32) -> Self {
         Self {
             parties,
-            arrived: AtomicUsize::new(0),
-            generation: AtomicUsize::new(0),
+            spins_per_yield,
+            arrived: CachePadded(AtomicUsize::new(0)),
+            generation: CachePadded(AtomicUsize::new(0)),
         }
     }
 
     /// Blocks until all parties arrive; the last runs `serial` first.
     fn wait_with(&self, serial: impl FnOnce()) {
-        let generation = self.generation.load(MemOrder::Acquire);
-        if self.arrived.fetch_add(1, MemOrder::AcqRel) + 1 == self.parties {
+        let generation = self.generation.0.load(MemOrder::Acquire);
+        if self.arrived.0.fetch_add(1, MemOrder::AcqRel) + 1 == self.parties {
             serial();
             // Reset before the release so parties freed by the new
             // generation start the next arrival count from zero.
-            self.arrived.store(0, MemOrder::Relaxed);
-            self.generation.store(generation + 1, MemOrder::Release);
+            self.arrived.0.store(0, MemOrder::Relaxed);
+            self.generation.0.store(generation + 1, MemOrder::Release);
         } else {
-            let mut spins = 0;
-            while self.generation.load(MemOrder::Acquire) == generation {
-                spins += 1u32;
-                if spins.is_multiple_of(Self::SPINS_PER_YIELD) {
+            let mut spins = 0u32;
+            while self.generation.0.load(MemOrder::Acquire) == generation {
+                if spins >= self.spins_per_yield {
+                    spins = 0;
                     std::thread::yield_now();
                 } else {
+                    spins += 1;
                     std::hint::spin_loop();
                 }
             }
@@ -425,17 +574,20 @@ pub struct ParallelEngine<S: Shard> {
     inboxes: Vec<Inbox<S::Msg>>,
     seqs: Vec<u64>,
     lookahead: Cycle,
+    // Window length actually used: `lookahead` unless
+    // `widen_from_contract` proved a larger floor.
+    effective_lookahead: Cycle,
     now: Cycle,
     skip_enabled: bool,
     stepped_cycles: u64,
     skipped_cycles: u64,
-    // Persistent window-exchange buffers: workers park each window's
-    // envelopes in `produced`; the routing phase moves them to the
-    // destination's `staging` row, which the owner drains into its inbox
-    // at the next window start. Held in the engine so per-call (and in the
-    // cycle-stepped facade, per-cycle) invocations reuse the allocations.
-    produced: Vec<Mutex<Vec<Envelope<S::Msg>>>>,
-    staging: Vec<Mutex<Vec<Envelope<S::Msg>>>>,
+    windows: u64,
+    // Persistent window-exchange state, held in the engine so per-call
+    // (and in the cycle-stepped facade, per-cycle) invocations reuse the
+    // allocations: the padded mailbox matrix lanes publish into, and each
+    // lane's recycled outbox slab.
+    exchange: Exchange<S::Msg>,
+    slabs: Vec<Vec<Envelope<S::Msg>>>,
     // Host-side self-profiling. None (the default) costs one branch per
     // instrumentation site and reads no clocks.
     prof: Option<Box<EngineProfile>>,
@@ -457,19 +609,21 @@ impl<S: Shard> ParallelEngine<S> {
         assert!(lookahead > 0, "lookahead must be positive");
         let inboxes = shards.iter().map(|_| Inbox::default()).collect();
         let seqs = vec![0; shards.len()];
-        let produced = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
-        let staging = shards.iter().map(|_| Mutex::new(Vec::new())).collect();
+        let exchange = Exchange::new(shards.len());
+        let slabs = shards.iter().map(|_| Vec::new()).collect();
         Self {
             shards,
             inboxes,
             seqs,
             lookahead,
+            effective_lookahead: lookahead,
             now: 0,
             skip_enabled: true,
             stepped_cycles: 0,
             skipped_cycles: 0,
-            produced,
-            staging,
+            windows: 0,
+            exchange,
+            slabs,
             prof: None,
             contract: None,
         }
@@ -490,17 +644,64 @@ impl<S: Shard> ParallelEngine<S> {
             "contract shard count mismatch"
         );
         self.contract = Some((contract, classify));
+        // A new contract invalidates any widening derived from the old
+        // one; widening is an explicit policy, re-opt-in per contract.
+        self.effective_lookahead = self.lookahead;
     }
 
     /// Removes an installed horizon contract (for A/B-testing that the
-    /// checker is observation-only).
+    /// checker is observation-only) and resets any contract-derived
+    /// window widening.
     pub fn clear_contract(&mut self) {
         self.contract = None;
+        self.effective_lookahead = self.lookahead;
     }
 
     /// The installed horizon contract, if any.
     pub fn contract(&self) -> Option<&HorizonContract> {
         self.contract.as_ref().map(|(c, _)| c)
+    }
+
+    /// Widens the window length to the installed contract's minimum
+    /// reachable floor when that exceeds the base lookahead, and returns
+    /// the effective lookahead now in force (unchanged when no contract
+    /// is installed or the contract doesn't permit more).
+    ///
+    /// Soundness: the contract promises every message of every class is
+    /// delayed by at least its floor from the emitting window's start, so
+    /// any window no longer than the minimum floor over all reachable
+    /// (pair, class) combinations is still conservative. The promise is
+    /// enforced, not trusted: the [`Outbox`] rejects any send inside the
+    /// widened window outright, and debug builds additionally check every
+    /// envelope against the contract floor itself — a contract that
+    /// overstates the model's real delays fails loudly instead of
+    /// diverging silently. Widening is an explicit policy (not implied by
+    /// [`set_contract`](Self::set_contract)) because it changes window
+    /// boundaries: results stay bit-identical across worker counts and
+    /// cycle skipping either way, but models that emit per *window*
+    /// rather than per simulated cycle observe the boundary change.
+    pub fn widen_from_contract(&mut self) -> Cycle {
+        if let Some((contract, _)) = &self.contract {
+            // No reachable pair at all means the shards are proven fully
+            // independent: the whole run is one window.
+            let floor = contract.min_reachable_floor().unwrap_or(u64::MAX);
+            self.effective_lookahead = self.lookahead.max(floor);
+        }
+        self.effective_lookahead
+    }
+
+    /// The window length currently in force: the construction-time
+    /// lookahead, unless [`widen_from_contract`](Self::widen_from_contract)
+    /// proved a larger one.
+    pub fn effective_lookahead(&self) -> Cycle {
+        self.effective_lookahead
+    }
+
+    /// Window boundaries processed so far, across all runs. Every worker
+    /// observes the same boundaries (the barrier keeps them in lockstep),
+    /// so this is a property of the run, not of the worker count.
+    pub fn windows(&self) -> u64 {
+        self.windows
     }
 
     /// Enables (or, with a disabled config, tears down) host-side
@@ -596,8 +797,9 @@ impl<S: Shard> ParallelEngine<S> {
     /// `workers` host threads (clamped to `1..=shards`). One worker runs
     /// inline on the calling thread with no synchronization; more workers
     /// split the shards into contiguous groups, synchronize at window
-    /// boundaries with a barrier, and a single routing phase moves
-    /// envelopes between windows. Results are bit-identical for every
+    /// boundaries with a barrier, and publish envelopes through the
+    /// mailbox exchange as part of their own steps — the barrier's serial
+    /// section only folds horizons. Results are bit-identical for every
     /// worker count.
     pub fn run_windowed(&mut self, cycles: Cycle, workers: usize) {
         let end = self.now + cycles;
@@ -606,20 +808,20 @@ impl<S: Shard> ParallelEngine<S> {
         }
         let n = self.shards.len();
         let workers = workers.clamp(1, n);
-        let lookahead = self.lookahead;
+        let lookahead = self.effective_lookahead;
         let start = self.now;
         let skip = self.skip_enabled;
         let Self {
             shards,
             inboxes,
             seqs,
-            produced,
-            staging,
+            exchange,
+            slabs,
             prof,
             contract,
             ..
         } = self;
-        let (produced, staging) = (&produced[..], &staging[..]);
+        let exchange: &Exchange<S::Msg> = exchange;
         let prof = prof.as_deref_mut();
         let contract = contract.as_ref();
         // Copyable profiling context, extracted up front so worker threads
@@ -633,28 +835,35 @@ impl<S: Shard> ParallelEngine<S> {
             .iter_mut()
             .zip(inboxes.iter_mut())
             .zip(seqs.iter_mut())
+            .zip(slabs.iter_mut())
             .enumerate()
-            .map(|(i, ((shard, inbox), seq))| Lane {
+            .map(|(i, (((shard, inbox), seq), slab))| Lane {
                 i,
                 shard,
                 inbox,
                 seq,
+                slab,
             })
             .collect();
         let (mut stepped, mut skipped) = (0u64, 0u64);
+        let mut windows_here = 0u64;
         if workers == 1 {
             let t_busy = epoch.map(|_| Instant::now());
             let mut scratch = epoch.map(|_| WorkerScratch::new(0, n));
             let mut tel = epoch.map(|_| Telemetry::default());
             let mut now = start;
             while now < end {
-                let to = (now + lookahead).min(end);
+                let to = now.saturating_add(lookahead).min(end);
                 let win = base_windows + tel.as_ref().map_or(0, |t| t.windows);
                 let sampled = epoch.is_some() && win.is_multiple_of(sample_every);
                 let mut stepped_lanes = 0usize;
+                let (mut win_due, mut win_routed) = (u64::MAX, 0u64);
                 for lane in &mut lanes {
                     let t0 = epoch.map(|_| Instant::now());
-                    let was_skipped = window_step(lane, now, to, staging, produced, skip, contract);
+                    let out = window_step(lane, now, to, exchange, skip, contract);
+                    let was_skipped = out.skipped;
+                    win_due = win_due.min(out.routed_due);
+                    win_routed += out.routed;
                     if was_skipped {
                         skipped += to - now;
                     } else {
@@ -685,8 +894,10 @@ impl<S: Shard> ParallelEngine<S> {
                         }
                     }
                 }
+                // Envelopes were already published lane-by-lane; the old
+                // serial routing phase reduces to bookkeeping.
                 let t_route = epoch.map(|_| Instant::now());
-                let (routed, n_envs) = route_window(produced, staging);
+                windows_here += 1;
                 if let (Some(epoch), Some(scratch), Some(tel), Some(t0)) =
                     (epoch, scratch.as_mut(), tel.as_mut(), t_route)
                 {
@@ -694,10 +905,10 @@ impl<S: Shard> ParallelEngine<S> {
                     scratch.prof.route_ns += ns;
                     scratch.prof.windows += 1;
                     tel.windows += 1;
-                    tel.envelopes_total += n_envs;
-                    tel.envelope_bytes += n_envs * env_bytes;
+                    tel.envelopes_total += win_routed;
+                    tel.envelope_bytes += win_routed * env_bytes;
                     if sampled {
-                        tel.record_sampled(stepped_lanes, n, n_envs);
+                        tel.record_sampled(stepped_lanes, n, win_routed);
                         scratch.slices.push(HostSlice {
                             track: HostTrack::Worker(0),
                             phase: HostPhase::Route,
@@ -709,11 +920,12 @@ impl<S: Shard> ParallelEngine<S> {
                 now = to;
                 if skip && now < end {
                     // Whole-run fast-forward: if every shard, every
-                    // undelivered message, and every just-routed envelope
-                    // is beyond `now`, jump straight to the earliest of
-                    // them instead of grinding out empty windows.
+                    // undelivered message, and every just-published
+                    // envelope is beyond `now`, jump straight to the
+                    // earliest of them instead of grinding out empty
+                    // windows.
                     let t_skip = epoch.map(|_| Instant::now());
-                    let mut h = routed;
+                    let mut h = win_due;
                     for lane in &lanes {
                         h = h.min(lane_horizon(lane, now));
                     }
@@ -748,21 +960,27 @@ impl<S: Shard> ParallelEngine<S> {
             let group_size = n.div_ceil(workers);
             let groups: Vec<&mut [Lane<'_, S>]> = lanes.chunks_mut(group_size).collect();
             let barrier = SpinBarrier::new(groups.len());
-            // Cross-worker horizon exchange: each worker publishes the
-            // minimum horizon of its lanes before the barrier; the serial
-            // routing section folds in the routed envelopes' due-cycles
-            // and publishes the agreed jump target for everyone.
-            let horizon = AtomicU64::new(u64::MAX);
-            let jump_to = AtomicU64::new(0);
-            let stepped_total = AtomicU64::new(0);
-            let skipped_total = AtomicU64::new(0);
+            // Cross-worker horizon exchange: each worker folds its lanes'
+            // horizons *and* the due-cycles of the envelopes it published
+            // this window into `horizon` before the barrier; the serial
+            // section just swaps it out and publishes the agreed jump
+            // target for everyone. Every shared word gets its own padded
+            // line — these are the words every worker hammers once per
+            // window, exactly where false sharing hurts most.
+            let horizon = CachePadded(AtomicU64::new(u64::MAX));
+            let jump_to = CachePadded(AtomicU64::new(0));
+            let stepped_total = CachePadded(AtomicU64::new(0));
+            let skipped_total = CachePadded(AtomicU64::new(0));
+            let windows_total = CachePadded(AtomicU64::new(0));
             // Profiling-only shared state. Workers accumulate phase time
             // in thread-local scratches (merged after the scope); the
-            // serial section owns the window telemetry. `first_arrival`
-            // and `occupancy` carry each sampled window's barrier-arrival
-            // minimum and stepped-lane count to the serial section.
-            let first_arrival = AtomicU64::new(u64::MAX);
-            let occupancy = AtomicUsize::new(0);
+            // serial section owns the window telemetry. `first_arrival`,
+            // `occupancy`, and `routed_count` carry each window's
+            // barrier-arrival minimum, stepped-lane count, and published
+            // envelope count to the serial section.
+            let first_arrival = CachePadded(AtomicU64::new(u64::MAX));
+            let occupancy = CachePadded(AtomicUsize::new(0));
+            let routed_count = CachePadded(AtomicU64::new(0));
             let telemetry = Mutex::new(Telemetry::default());
             let scratches = Mutex::new(Vec::<WorkerScratch>::new());
             let t_path = epoch.map(|_| Instant::now());
@@ -771,6 +989,7 @@ impl<S: Shard> ParallelEngine<S> {
                     let (barrier, horizon, jump_to) = (&barrier, &horizon, &jump_to);
                     let (stepped_total, skipped_total) = (&stepped_total, &skipped_total);
                     let (first_arrival, occupancy) = (&first_arrival, &occupancy);
+                    let (routed_count, windows_total) = (&routed_count, &windows_total);
                     let (telemetry, scratches) = (&telemetry, &scratches);
                     scope.spawn(move || {
                         let t_busy = epoch.map(|_| Instant::now());
@@ -782,14 +1001,17 @@ impl<S: Shard> ParallelEngine<S> {
                         let (mut stepped, mut skipped) = (0u64, 0u64);
                         let mut now = start;
                         while now < end {
-                            let to = (now + lookahead).min(end);
+                            let to = now.saturating_add(lookahead).min(end);
                             let sampled = epoch.is_some()
                                 && (base_windows + win).is_multiple_of(sample_every);
                             let mut stepped_lanes = 0usize;
+                            let (mut win_due, mut win_routed) = (u64::MAX, 0u64);
                             for lane in group.iter_mut() {
                                 let t0 = epoch.map(|_| Instant::now());
-                                let was_skipped =
-                                    window_step(lane, now, to, staging, produced, skip, contract);
+                                let out = window_step(lane, now, to, exchange, skip, contract);
+                                let was_skipped = out.skipped;
+                                win_due = win_due.min(out.routed_due);
+                                win_routed += out.routed;
                                 if was_skipped {
                                     skipped += to - now;
                                 } else {
@@ -823,34 +1045,45 @@ impl<S: Shard> ParallelEngine<S> {
                                 }
                             }
                             if skip {
-                                let mut h = u64::MAX;
+                                // Published due-cycles fold into the same
+                                // shared horizon as the lane horizons:
+                                // every worker knows its own publishes,
+                                // so no serial routing pass is needed to
+                                // see the full minimum.
+                                let mut h = win_due;
                                 for lane in group.iter() {
                                     h = h.min(lane_horizon(lane, to));
                                 }
-                                horizon.fetch_min(h, MemOrder::AcqRel);
+                                horizon.0.fetch_min(h, MemOrder::AcqRel);
+                            }
+                            if epoch.is_some() && win_routed > 0 {
+                                routed_count.0.fetch_add(win_routed, MemOrder::AcqRel);
                             }
                             let t_arrive = epoch.map(|_| Instant::now());
                             if sampled {
                                 if let (Some(epoch), Some(t0)) = (epoch, t_arrive) {
-                                    occupancy.fetch_add(stepped_lanes, MemOrder::AcqRel);
+                                    occupancy.0.fetch_add(stepped_lanes, MemOrder::AcqRel);
                                     first_arrival
+                                        .0
                                         .fetch_min(ns_between(epoch, t0), MemOrder::AcqRel);
                                 }
                             }
                             let mut serial_ns = 0u64;
-                            // Last group to finish routes the window's
-                            // envelopes (and picks the jump target), then
-                            // everyone proceeds.
+                            // Last group to finish folds the shared
+                            // horizon and picks the jump target — O(1),
+                            // since routing already happened inside each
+                            // worker's step phase — then everyone
+                            // proceeds.
                             barrier.wait_with(|| {
                                 let t_serial = epoch.map(|_| Instant::now());
-                                let (routed, n_envs) = route_window(produced, staging);
                                 let mut jump = to;
                                 if skip {
-                                    let h = horizon.swap(u64::MAX, MemOrder::AcqRel).min(routed);
+                                    let h = horizon.0.swap(u64::MAX, MemOrder::AcqRel);
                                     jump = if h > to { h.min(end) } else { to };
-                                    jump_to.store(jump, MemOrder::Relaxed);
+                                    jump_to.0.store(jump, MemOrder::Relaxed);
                                 }
                                 if let (Some(epoch), Some(t0)) = (epoch, t_serial) {
+                                    let n_envs = routed_count.0.swap(0, MemOrder::AcqRel);
                                     let mut tel = telemetry.lock().expect("prof telemetry lock");
                                     tel.windows += 1;
                                     tel.envelopes_total += n_envs;
@@ -859,13 +1092,14 @@ impl<S: Shard> ParallelEngine<S> {
                                         tel.jumps += 1;
                                     }
                                     if sampled {
-                                        let occ = occupancy.swap(0, MemOrder::AcqRel);
+                                        let occ = occupancy.0.swap(0, MemOrder::AcqRel);
                                         tel.record_sampled(occ, n, n_envs);
                                         // Barrier-arrival spread: this
                                         // thread arrived last, so its own
                                         // arrival minus the published
                                         // minimum spans all arrivers.
-                                        let first = first_arrival.swap(u64::MAX, MemOrder::AcqRel);
+                                        let first =
+                                            first_arrival.0.swap(u64::MAX, MemOrder::AcqRel);
                                         if let Some(me) = t_arrive {
                                             let me = ns_between(epoch, me);
                                             if first <= me {
@@ -907,7 +1141,7 @@ impl<S: Shard> ParallelEngine<S> {
                             if skip {
                                 // The barrier release orders this load
                                 // after the serial section's store.
-                                let jump = jump_to.load(MemOrder::Relaxed);
+                                let jump = jump_to.0.load(MemOrder::Relaxed);
                                 if jump > now {
                                     let t0 = epoch.map(|_| Instant::now());
                                     for lane in group.iter_mut() {
@@ -921,8 +1155,13 @@ impl<S: Shard> ParallelEngine<S> {
                                 }
                             }
                         }
-                        stepped_total.fetch_add(stepped, MemOrder::Relaxed);
-                        skipped_total.fetch_add(skipped, MemOrder::Relaxed);
+                        stepped_total.0.fetch_add(stepped, MemOrder::Relaxed);
+                        skipped_total.0.fetch_add(skipped, MemOrder::Relaxed);
+                        if w == 0 {
+                            // Every worker counts the same boundaries
+                            // (lockstep); one representative publishes.
+                            windows_total.0.store(win, MemOrder::Relaxed);
+                        }
                         if let (Some(mut s), Some(t0)) = (scratch, t_busy) {
                             s.prof.busy_ns = ns_since(t0);
                             scratches.lock().expect("prof scratch lock").push(s);
@@ -930,8 +1169,9 @@ impl<S: Shard> ParallelEngine<S> {
                     });
                 }
             });
-            stepped += stepped_total.load(MemOrder::Relaxed);
-            skipped += skipped_total.load(MemOrder::Relaxed);
+            stepped += stepped_total.0.load(MemOrder::Relaxed);
+            skipped += skipped_total.0.load(MemOrder::Relaxed);
+            windows_here += windows_total.0.load(MemOrder::Relaxed);
             if let Some(p) = prof {
                 let tel = telemetry.into_inner().expect("prof telemetry lock");
                 if let Some(t0) = t_path {
@@ -947,15 +1187,14 @@ impl<S: Shard> ParallelEngine<S> {
                 p.merge_telemetry(&tel);
             }
         }
-        // Anything routed in the final window still sits in staging:
-        // deliver it so a later run (any worker count) sees it.
+        // Anything published in the final window still sits in the
+        // mailbox matrix: deliver it so a later run (any worker count)
+        // sees it.
         drop(lanes);
-        for (slot, inbox) in staging.iter().zip(inboxes.iter_mut()) {
-            let mut slot = slot.lock().expect("staging lock");
-            inbox.push_all(slot.drain(..));
-        }
+        exchange.drain_all(inboxes);
         self.stepped_cycles += stepped;
         self.skipped_cycles += skipped;
+        self.windows += windows_here;
         self.now = end;
     }
 }
@@ -1484,6 +1723,153 @@ mod tests {
     fn contract_shard_count_is_checked() {
         let mut eng = ParallelEngine::new(make_ring(4), 4);
         eng.set_contract(HorizonContract::unreachable(5), |_| 0);
+    }
+
+    #[test]
+    fn spin_budget_adapts_to_party_count_and_host() {
+        // Nothing to wait for: never spin.
+        assert_eq!(SpinBarrier::spin_budget(1, 8), 0);
+        // Oversubscribed: a spinner only steals cycles from the party it
+        // is waiting for, so yield on every check.
+        assert_eq!(SpinBarrier::spin_budget(16, 8), 0);
+        assert_eq!(SpinBarrier::spin_budget(2, 1), 0);
+        // More parties -> earlier yield, but never below the floor.
+        let two = SpinBarrier::spin_budget(2, 64);
+        let eight = SpinBarrier::spin_budget(8, 64);
+        let sixty_four = SpinBarrier::spin_budget(64, 64);
+        assert!(two >= eight && eight >= sixty_four);
+        assert!(sixty_four >= SpinBarrier::SPIN_MIN);
+    }
+
+    #[test]
+    fn one_party_barrier_never_spins() {
+        let barrier = SpinBarrier::new(1);
+        // The budget rule grants a lone party zero spins...
+        assert_eq!(barrier.spins_per_yield, 0);
+        // ...and a lone party is always the last arriver, so the wait
+        // loop is unreachable: the serial section runs inline every time.
+        let mut ran = 0u32;
+        for _ in 0..3 {
+            barrier.wait_with(|| ran += 1);
+        }
+        assert_eq!(ran, 3);
+    }
+
+    /// Per-cycle emitter with a self-imposed delay well above the base
+    /// lookahead: sends every cycle, `delay` cycles out — so any window
+    /// up to `delay` cycles is conservative for it.
+    struct Pacer {
+        id: usize,
+        n: usize,
+        delay: Cycle,
+        acc: u64,
+        log: Vec<(Cycle, u64)>,
+    }
+
+    impl Shard for Pacer {
+        type Msg = u64;
+
+        fn run_window(
+            &mut self,
+            from: Cycle,
+            to: Cycle,
+            inbox: &mut Inbox<u64>,
+            outbox: &mut Outbox<u64>,
+        ) {
+            for now in from..to {
+                while let Some(v) = inbox.pop_due(now) {
+                    self.acc = self.acc.wrapping_mul(31).wrapping_add(v);
+                    self.log.push((now, self.acc));
+                }
+                outbox.send((self.id + 1) % self.n, now + self.delay, self.acc % 103);
+            }
+        }
+    }
+
+    fn make_pacers(n: usize, delay: Cycle) -> Vec<Pacer> {
+        (0..n)
+            .map(|id| Pacer {
+                id,
+                n,
+                delay,
+                acc: id as u64 + 3,
+                log: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// Ring contract for `make_pacers`: successor-only, floor = delay.
+    fn pacer_contract(n: usize, delay: u64) -> HorizonContract {
+        let mut c = HorizonContract::unreachable(n);
+        for id in 0..n {
+            c.allow(id, (id + 1) % n, delay);
+        }
+        c.set_class_floors(vec![delay]);
+        c
+    }
+
+    #[test]
+    fn contract_widening_grows_windows_and_stays_bit_identical() {
+        // Base lookahead 2, contract floor 8: widening amortizes each
+        // barrier over 4x the simulated cycles without changing results,
+        // for every worker count.
+        let mut narrow = ParallelEngine::new(make_pacers(4, 8), 2);
+        narrow.set_contract(pacer_contract(4, 8), |_| 0);
+        assert_eq!(narrow.effective_lookahead(), 2, "widening is opt-in");
+        narrow.run_sequential(400);
+        assert_eq!(narrow.windows(), 200);
+        for workers in [1, 2, 4] {
+            let mut wide = ParallelEngine::new(make_pacers(4, 8), 2);
+            wide.set_contract(pacer_contract(4, 8), |_| 0);
+            assert_eq!(wide.widen_from_contract(), 8);
+            wide.run_windowed(400, workers);
+            assert_eq!(wide.windows(), 50, "{workers} workers");
+            for (a, b) in wide.shards().iter().zip(narrow.shards().iter()) {
+                assert_eq!(a.acc, b.acc, "{workers} workers diverged");
+                assert_eq!(a.log, b.log, "{workers} workers diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn widening_resets_with_the_contract() {
+        let mut eng = ParallelEngine::new(make_pacers(4, 8), 2);
+        assert_eq!(eng.widen_from_contract(), 2, "no contract: base stays");
+        eng.set_contract(pacer_contract(4, 8), |_| 0);
+        assert_eq!(eng.widen_from_contract(), 8);
+        // Installing a different contract discards the old widening.
+        eng.set_contract(pacer_contract(4, 8), |_| 0);
+        assert_eq!(eng.effective_lookahead(), 2);
+        eng.widen_from_contract();
+        eng.clear_contract();
+        assert_eq!(eng.effective_lookahead(), 2);
+    }
+
+    #[test]
+    fn unreachable_contract_widens_to_a_single_window() {
+        // Shards the contract proves fully independent: the whole run is
+        // one window, and the barrier fires exactly once.
+        struct Silent {
+            ticks: u64,
+        }
+        impl Shard for Silent {
+            type Msg = ();
+            fn run_window(
+                &mut self,
+                from: Cycle,
+                to: Cycle,
+                _inbox: &mut Inbox<()>,
+                _outbox: &mut Outbox<()>,
+            ) {
+                self.ticks += to - from;
+            }
+        }
+        let mut eng = ParallelEngine::new(vec![Silent { ticks: 0 }, Silent { ticks: 0 }], 2);
+        eng.set_contract(HorizonContract::unreachable(2), |_| 0);
+        assert_eq!(eng.widen_from_contract(), u64::MAX);
+        eng.run_windowed(10_000, 2);
+        assert_eq!(eng.windows(), 1);
+        assert!(eng.shards().iter().all(|s| s.ticks == 10_000));
     }
 
     #[test]

@@ -51,7 +51,8 @@ echo "==> profiling contract (profiled runs bit-identical, exact phase sums)"
 cargo test --offline -q --test profiling
 
 echo "==> perf-regression gate (sequential engine vs committed baseline;"
-echo "    SMARCO_PERF_GATE=skip bypasses on noisy hosts)"
+echo "    plus a 4-worker leg on hosts with >=4 CPUs when the baseline"
+echo "    has one; SMARCO_PERF_GATE=skip bypasses on noisy hosts)"
 cargo run --offline --release -p smarco-bench --bin profile -- --gate scripts/perf_baseline.json
 
 echo "==> smarco-lint (static verifier, warnings are errors; sweep covers"
@@ -73,7 +74,7 @@ if [ "$corpus_status" -ne 1 ]; then
     echo "ci: corpus gate failed (exit $corpus_status, expected 1)" >&2
     exit 1
 fi
-for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431 SL0440 SL0441; do
+for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431 SL0440 SL0441 SL0450; do
     if ! grep -q "\"code\":\"$code\"" "$corpus_json"; then
         echo "ci: corpus no longer produces $code" >&2
         exit 1

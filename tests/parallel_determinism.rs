@@ -7,6 +7,8 @@
 
 use smarco::core::chip::SmarcoSystem;
 use smarco::core::config::SmarcoConfig;
+use smarco::core::fault::FaultPlan;
+use smarco::core::report::SmarcoReport;
 use smarco::sim::obs::ObsConfig;
 use smarco::sim::rng::SimRng;
 use smarco::workloads::{Benchmark, HtcStream};
@@ -49,6 +51,62 @@ fn every_worker_count_matches_sequential_on_all_benchmarks() {
             let par = loaded(bench, workers, ObsConfig::off()).run(MAX_CYCLES);
             assert_eq!(par, seq, "{} diverged at {workers} workers", bench.name());
         }
+    }
+}
+
+/// One wordcount run under a seeded chaos plan — the adversarial case for
+/// the mailbox exchange, since faults add retries, quarantines, and
+/// redispatch traffic across shard boundaries.
+fn chaos_loaded(workers: usize) -> SmarcoReport {
+    let mut cfg = SmarcoConfig::tiny();
+    cfg.workers = workers;
+    let plan = FaultPlan::chaos(23, &cfg);
+    let mut sys = SmarcoSystem::builder()
+        .config(cfg)
+        .fault_plan(plan)
+        .build()
+        .expect("valid config");
+    let teams = sys.cores_len() * THREADS_PER_CORE;
+    let mut seed = 11u64;
+    for core in 0..sys.cores_len() {
+        for t in 0..THREADS_PER_CORE {
+            let lane = (core * THREADS_PER_CORE + t) as u64;
+            let p = Benchmark::WordCount.thread_params(
+                0x100_0000,
+                1 << 22,
+                0x8000_0000,
+                lane,
+                teams as u64,
+                INSTRS,
+            );
+            sys.attach(core, Box::new(HtcStream::new(p, SimRng::new(seed))))
+                .expect("vacant slot");
+            seed += 1;
+        }
+    }
+    let report = sys.run(MAX_CYCLES);
+    assert!(sys.is_done(), "chip drained under chaos");
+    report
+}
+
+#[test]
+fn oversubscribed_and_odd_worker_counts_match_under_chaos() {
+    // The exchange path must hold up when worker groups split the shards
+    // unevenly (3), when workers exceed the shard count (8), and when
+    // they exceed the *host's* parallelism outright (2x the CPU count),
+    // where the adaptive barrier falls back to yield-on-every-check. The
+    // degradation section is part of `SmarcoReport`'s equality, so fault
+    // damage and recovery must also be bit-identical.
+    let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
+    let baseline = chaos_loaded(1);
+    assert!(
+        !baseline.degradation.is_clean(),
+        "chaos plan did no damage: {:?}",
+        baseline.degradation
+    );
+    for workers in [3, 8, 2 * host_cpus] {
+        let run = chaos_loaded(workers);
+        assert_eq!(run, baseline, "diverged at workers={workers}");
     }
 }
 
