@@ -3,12 +3,13 @@
 //! with N host threads (bit-identical results). Parallel runs also
 //! write their perf records to `BENCH_cycle_skip.json`.
 
+use smarco_bench::BenchArgs;
+
 fn main() {
-    let scale = smarco_bench::Scale::from_args();
-    let workers = smarco_bench::scale::parallel_from_args();
-    let fig = smarco_bench::figures::fig22::run_with(scale, workers);
+    let args = BenchArgs::parse();
+    let fig = smarco_bench::figures::fig22::run_with(args.scale, args.parallel);
     println!("{fig}");
-    if workers > 1 {
+    if args.parallel > 1 {
         match fig.skip.write_default() {
             Ok(path) => println!("wrote {}", path.display()),
             Err(e) => eprintln!("could not write perf records: {e}"),

@@ -13,64 +13,14 @@
 //! 8 threads/core on the pressure-matched tiny chip).
 
 use smarco_bench::harness::{pressure_matched_tiny, smarco_task_system};
+use smarco_bench::BenchArgs;
 use smarco_sim::obs::TraceConfig;
 use smarco_workloads::Benchmark;
 
-struct Args {
-    out_dir: String,
-    window: u64,
-    ops: u64,
-    threads: usize,
-}
-
-fn parse_args() -> Args {
-    let mut out = Args {
-        out_dir: "target/inspect".to_string(),
-        window: 10_000,
-        ops: 600,
-        threads: 8,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--window" => {
-                out.window = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(out.window);
-                i += 2;
-            }
-            "--ops" => {
-                out.ops = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(out.ops);
-                i += 2;
-            }
-            "--threads" => {
-                out.threads = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(out.threads);
-                i += 2;
-            }
-            dir if !dir.starts_with("--") => {
-                out.out_dir = dir.to_string();
-                i += 1;
-            }
-            other => {
-                eprintln!("unknown flag {other}");
-                std::process::exit(2);
-            }
-        }
-    }
-    out
-}
-
 fn main() {
-    let args = parse_args();
-    std::fs::create_dir_all(&args.out_dir).expect("create output directory");
+    let args = BenchArgs::parse();
+    let out_dir = args.out.as_deref().unwrap_or("target/inspect");
+    std::fs::create_dir_all(out_dir).expect("create output directory");
     println!(
         "{:<10} {:>9} {:>6} {:>8} {:>8} {:>7}  exports",
         "benchmark", "cycles", "ipc", "events", "windows", "lat p99"
@@ -80,8 +30,8 @@ fn main() {
         // Threads arrive through the hardware dispatcher so the trace
         // covers the scheduler track too.
         let mut sys = smarco_task_system(bench, &cfg, args.ops, args.threads, 2_000_000);
-        let trace_path = format!("{}/{}.trace.json", args.out_dir, bench.name());
-        let csv_path = format!("{}/{}.windows.csv", args.out_dir, bench.name());
+        let trace_path = format!("{}/{}.trace.json", out_dir, bench.name());
+        let csv_path = format!("{}/{}.windows.csv", out_dir, bench.name());
         sys.enable_tracing(TraceConfig::default());
         sys.sample_every(args.window);
         sys.trace_to(&trace_path);

@@ -25,6 +25,7 @@
 //!   Exit 1 means the corpus behaved (diagnostics present, as seeded);
 //!   exit 2 means a pass regressed and stopped catching its entry.
 
+use smarco_bench::BenchArgs;
 use smarco_core::config::SmarcoConfig;
 use smarco_core::fault::FaultPlan;
 use smarco_lint::{
@@ -37,77 +38,6 @@ use smarco_runtime::MapReduceConfig;
 use smarco_sched::Task;
 use smarco_sim::rng::SimRng;
 use smarco_workloads::{Benchmark, HtcStream};
-
-const USAGE: &str = "usage: lint [--deny-warnings] [--json <path>] [--ops N] [--threads N] \
-     | lint --explain SLxxxx | lint --corpus [--json <path>]";
-
-struct Args {
-    deny_warnings: bool,
-    json: Option<String>,
-    ops: u64,
-    threads: usize,
-    explain: Option<String>,
-    corpus: bool,
-}
-
-fn parse_args() -> Args {
-    let mut out = Args {
-        deny_warnings: false,
-        json: None,
-        ops: 600,
-        threads: 8,
-        explain: None,
-        corpus: false,
-    };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < argv.len() {
-        match argv[i].as_str() {
-            "--deny-warnings" => {
-                out.deny_warnings = true;
-                i += 1;
-            }
-            "--json" => {
-                out.json = argv.get(i + 1).cloned();
-                i += 2;
-            }
-            "--ops" => {
-                out.ops = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(out.ops);
-                i += 2;
-            }
-            "--threads" => {
-                out.threads = argv
-                    .get(i + 1)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or(out.threads);
-                i += 2;
-            }
-            "--explain" => {
-                match argv.get(i + 1) {
-                    Some(code) => out.explain = Some(code.clone()),
-                    None => {
-                        eprintln!("--explain needs a code, e.g. `lint --explain SL0420`");
-                        std::process::exit(2);
-                    }
-                }
-                i += 2;
-            }
-            "--corpus" => {
-                out.corpus = true;
-                i += 1;
-            }
-            other => {
-                eprintln!("unknown argument `{other}`");
-                eprintln!("{USAGE}");
-                std::process::exit(2);
-            }
-        }
-    }
-    out
-}
 
 /// `lint --explain SLxxxx`: the code's documented rationale and fix.
 fn run_explain(raw: &str) -> ! {
@@ -259,7 +189,7 @@ fn team_tasks(cfg: &SmarcoConfig, tpc: usize, work: u64) -> Vec<Task> {
 }
 
 fn main() {
-    let args = parse_args();
+    let args = BenchArgs::parse();
     if let Some(code) = &args.explain {
         run_explain(code);
     }

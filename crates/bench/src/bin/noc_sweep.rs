@@ -1,8 +1,19 @@
 //! NoC backend sweep: backends × HTC benchmarks × criticality routing.
+//! Pass `--backend ring|mesh|buffered` to sweep one backend only and
+//! `--json <path>` to choose the output file (default `BENCH_noc.json`).
+
+use smarco_bench::BenchArgs;
 
 fn main() {
-    let scale = smarco_bench::Scale::from_args();
-    let report = smarco_bench::noc_sweep::sweep(scale);
+    let args = BenchArgs::parse();
+    let report = smarco_bench::noc_sweep::sweep_backend(args.scale, args.backend.as_deref());
+    if report.entries.is_empty() {
+        eprintln!(
+            "smarco-bench: no such backend `{}` (known: ring, mesh, buffered)",
+            args.backend.as_deref().unwrap_or(""),
+        );
+        std::process::exit(2);
+    }
     for e in &report.entries {
         println!(
             "{}",
@@ -22,10 +33,17 @@ fn main() {
             )
         );
     }
-    match report.write_default() {
+    let outcome = match &args.json {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            report.write(&path).map(|()| path)
+        }
+        None => report.write_default(),
+    };
+    match outcome {
         Ok(path) => println!("wrote {}", path.display()),
         Err(e) => {
-            eprintln!("smarco-bench: writing BENCH_noc.json failed: {e}");
+            eprintln!("smarco-bench: writing the sweep report failed: {e}");
             std::process::exit(2);
         }
     }

@@ -20,16 +20,11 @@ use smarco_bench::profile::{
     gate_baseline_cpus, gate_baseline_json, gate_baseline_seconds, gate_baseline_workers4,
     gate_measure, gate_measure_at, GATE_TOLERANCE, GATE_TOLERANCE_W4,
 };
-
-fn arg_value(flag: &str) -> Option<String> {
-    let args: Vec<String> = std::env::args().collect();
-    args.windows(2)
-        .find(|pair| pair[0] == flag)
-        .map(|pair| pair[1].clone())
-}
+use smarco_bench::BenchArgs;
 
 fn main() {
-    if let Some(path) = arg_value("--write-baseline") {
+    let args = BenchArgs::parse();
+    if let Some(path) = args.write_baseline {
         let host = HostInfo::capture(&[1], true, smarco_bench::Scale::Quick);
         let seconds = gate_measure(3);
         let w4 = if host.can_exercise(4) {
@@ -48,7 +43,7 @@ fn main() {
         }
         return;
     }
-    if let Some(path) = arg_value("--gate") {
+    if let Some(path) = args.gate {
         if std::env::var("SMARCO_PERF_GATE").as_deref() == Ok("skip") {
             println!("perf gate skipped (SMARCO_PERF_GATE=skip)");
             return;
@@ -108,8 +103,7 @@ fn main() {
         return;
     }
 
-    let scale = smarco_bench::Scale::from_args();
-    let report = smarco_bench::profile::run(scale, &[1, 2, 4]);
+    let report = smarco_bench::profile::run(args.scale, &[1, 2, 4]);
     println!("{report}");
     match report.write_default() {
         Ok(path) => println!("wrote {}", path.display()),

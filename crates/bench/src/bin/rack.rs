@@ -1,0 +1,50 @@
+//! Rack-scale serving sweep: balancing policies × offered-load points
+//! on a multi-chip cluster, writing `BENCH_rack.json`.
+//!
+//! ```text
+//! cargo run --release -p smarco-bench --bin rack
+//! cargo run --release -p smarco-bench --bin rack -- --scale paper --chips 8
+//! cargo run --release -p smarco-bench --bin rack -- --parallel 4 --faults 42
+//! cargo run --release -p smarco-bench --bin rack -- --smoke
+//! ```
+//!
+//! Flags (parsed by [`smarco_bench::BenchArgs`]):
+//!
+//! * `--scale quick|paper` — 3 vs 6 load points, 150 vs 1500 requests;
+//! * `--chips N` — cluster size (default 4);
+//! * `--parallel N` — PDES workers driving the chip shards (results are
+//!   bit-identical for any N);
+//! * `--faults <seed>` — inject a chaos fault plan into chip 0 and
+//!   measure the degraded rack;
+//! * `--json <path>` — where to write the report (default
+//!   `BENCH_rack.json`);
+//! * `--smoke` — CI mode: a 2-chip rack serves a short stream, the
+//!   binary asserts it drains with a non-empty latency histogram and
+//!   exits 0 without writing a report.
+
+use smarco_bench::{harness, rack, BenchArgs};
+
+fn main() {
+    let args = BenchArgs::parse();
+    if args.smoke {
+        let report = harness::or_exit(rack::smoke());
+        println!(
+            "rack smoke ok: {} requests served on 2 chips, p50 {:.0} / p99 {:.0} cycles",
+            report.completed,
+            report.latency.p50(),
+            report.latency.p99(),
+        );
+        return;
+    }
+    let report = rack::sweep(args.scale, args.chips, args.parallel, args.faults);
+    print!("{report}");
+    let path = match args.json {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            harness::or_exit(report.write(&path));
+            path
+        }
+        None => harness::or_exit(report.write_default()),
+    };
+    println!("wrote {}", path.display());
+}

@@ -11,10 +11,12 @@
 //! injected faults produced no recovery activity (the injection or
 //! recovery path is then broken).
 
+use smarco_bench::BenchArgs;
+
 fn main() {
-    let scale = smarco_bench::Scale::from_args();
-    if let Some(seed) = smarco_bench::scale::faults_from_args() {
-        let out = smarco_bench::chaos::run_chaos(seed, scale);
+    let args = BenchArgs::parse();
+    if let Some(seed) = args.faults {
+        let out = smarco_bench::chaos::run_chaos(seed, args.scale);
         println!("{out}");
         let d = &out.degraded.degradation;
         if d.link_retries == 0 {
@@ -24,11 +26,10 @@ fn main() {
         return;
     }
     let mut counts = vec![1, 2, 4];
-    let extra = smarco_bench::scale::parallel_from_args();
-    if !counts.contains(&extra) {
-        counts.push(extra);
+    if !counts.contains(&args.parallel) {
+        counts.push(args.parallel);
     }
-    let bench = smarco_bench::figures::speedup::run(scale, &counts);
+    let bench = smarco_bench::figures::speedup::run(args.scale, &counts);
     println!("{bench}");
     match bench.skip.write_default() {
         Ok(path) => println!("wrote {}", path.display()),

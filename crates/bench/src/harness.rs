@@ -3,7 +3,6 @@
 use smarco_baseline::{ConventionalSystem, XeonConfig};
 use smarco_core::chip::SmarcoSystem;
 use smarco_core::config::{SmarcoConfig, TcgConfig};
-use smarco_core::error::SmarcoError;
 use smarco_core::tcg::TcgCore;
 use smarco_isa::InstructionStream;
 use smarco_mem::map::AddressSpace;
@@ -16,12 +15,15 @@ use smarco_workloads::{Benchmark, HtcStream};
 /// Per-thread working-set size used for baseline runs.
 pub const XEON_WS: u64 = 1 << 22;
 
-/// Unwraps a chip-side [`Result`] or terminates the benchmark process.
+/// Unwraps a fallible step or terminates the benchmark process — the
+/// bench crate's one error surface, for chip-side
+/// [`SmarcoError`](smarco_core::error::SmarcoError)s and
+/// flag-parse errors alike.
 ///
-/// The bench binaries are batch jobs: a rejected config or a full chip is
-/// an operator error, so it surfaces as a message on stderr and a non-zero
-/// exit code rather than a panic backtrace.
-pub fn or_exit<T>(result: Result<T, SmarcoError>) -> T {
+/// The bench binaries are batch jobs: a rejected config, a full chip, or
+/// a bad command line is an operator error, so it surfaces as a message
+/// on stderr and a non-zero exit code rather than a panic backtrace.
+pub fn or_exit<T, E: std::fmt::Display>(result: Result<T, E>) -> T {
     match result {
         Ok(v) => v,
         Err(e) => {

@@ -17,15 +17,18 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod cli;
 pub mod cycle_skip;
 pub mod figures;
 pub mod harness;
 pub mod host;
 pub mod noc_sweep;
 pub mod profile;
+pub mod rack;
 pub mod scale;
 pub mod timing;
 
+pub use cli::BenchArgs;
 pub use scale::Scale;
 
 /// Formats a row of `(label, value)` pairs the way the binaries print.

@@ -151,12 +151,22 @@ fn loaded(backend: NocBackendKind, bench: Benchmark, routing: bool, instrs: u64)
 /// backend contract; the sweep is a batch job, so it reports the failing
 /// cell on stderr and exits non-zero rather than recording a lie.
 pub fn sweep(scale: Scale) -> NocSweepReport {
+    sweep_backend(scale, None)
+}
+
+/// Like [`sweep`], restricted to the backend named `only` (`--backend`
+/// on the binary); `None` sweeps every contender. An unknown name
+/// produces an empty report — the binary treats that as an error.
+pub fn sweep_backend(scale: Scale, only: Option<&str>) -> NocSweepReport {
     let instrs = scale.scaled(300, 3_000);
     let mut report = NocSweepReport {
         host: HostInfo::capture(&[1], true, scale),
         entries: Vec::new(),
     };
     for backend in contenders() {
+        if only.is_some_and(|o| o != backend.name()) {
+            continue;
+        }
         for bench in Benchmark::ALL {
             for routing in [false, true] {
                 let mut sys = loaded(backend, bench, routing, instrs);
@@ -225,6 +235,13 @@ mod tests {
     fn the_contenders_cover_every_backend_name() {
         let names: Vec<_> = contenders().iter().map(NocBackendKind::name).collect();
         assert_eq!(names, ["ring", "mesh", "buffered"]);
+    }
+
+    #[test]
+    fn backend_filter_prunes_the_matrix() {
+        // An unknown name matches no contender: zero cells run.
+        let r = sweep_backend(Scale::Quick, Some("token-ring"));
+        assert!(r.entries.is_empty());
     }
 
     #[test]

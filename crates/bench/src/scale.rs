@@ -13,18 +13,12 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses `--scale quick|paper` style arguments (any position).
+    /// Parses `--scale quick|paper` style arguments (any position),
+    /// ignoring everything else on the line — binaries with positional
+    /// grammars of their own call this; the seven flag-only binaries
+    /// use [`crate::cli::BenchArgs::parse`] instead.
     pub fn from_args() -> Self {
-        let args: Vec<String> = std::env::args().collect();
-        for pair in args.windows(2) {
-            if pair[0] == "--scale" {
-                return match pair[1].as_str() {
-                    "paper" => Scale::Paper,
-                    _ => Scale::Quick,
-                };
-            }
-        }
-        Scale::Quick
+        crate::cli::BenchArgs::scan(&std::env::args().collect::<Vec<_>>()).scale
     }
 
     /// Multiplies a quick-scale quantity up for paper scale.
@@ -43,14 +37,10 @@ pub fn parallel_from_args() -> usize {
     parallel_from(&std::env::args().collect::<Vec<_>>())
 }
 
-/// The testable core of [`parallel_from_args`]: scans an argument list.
+/// The testable core of [`parallel_from_args`]: scans an argument list
+/// with [`crate::cli::BenchArgs::scan`]'s lenient rules.
 pub fn parallel_from(args: &[String]) -> usize {
-    for pair in args.windows(2) {
-        if pair[0] == "--parallel" {
-            return pair[1].parse().ok().filter(|&n| n > 0).unwrap_or(1);
-        }
-    }
-    1
+    crate::cli::BenchArgs::scan(args).parallel
 }
 
 /// Parses `--faults <seed>` (any position): the seed for a chaos run with
@@ -60,14 +50,10 @@ pub fn faults_from_args() -> Option<u64> {
     faults_from(&std::env::args().collect::<Vec<_>>())
 }
 
-/// The testable core of [`faults_from_args`]: scans an argument list.
+/// The testable core of [`faults_from_args`]: scans an argument list
+/// with [`crate::cli::BenchArgs::scan`]'s lenient rules.
 pub fn faults_from(args: &[String]) -> Option<u64> {
-    for pair in args.windows(2) {
-        if pair[0] == "--faults" {
-            return pair[1].parse().ok();
-        }
-    }
-    None
+    crate::cli::BenchArgs::scan(args).faults
 }
 
 #[cfg(test)]

@@ -804,6 +804,22 @@ impl SmarcoSystem {
         self.engine.pending_messages() == 0 && self.engine.shards().iter().all(ChipShard::is_idle)
     }
 
+    /// The chip's current cycle.
+    pub fn now(&self) -> Cycle {
+        self.engine.now()
+    }
+
+    /// Advances the chip to exactly cycle `stop` whether or not it is
+    /// idle — unlike [`run`](Self::run), which stops early once the chip
+    /// drains. This is the chip-as-shard facade: an outer simulation
+    /// (e.g. [`crate::cluster::Cluster`]) embeds the chip as one PDES
+    /// shard and drives its clock window by window, submitting tasks at
+    /// boundary-message timestamps in between. No-op when `stop` is not
+    /// ahead of [`now`](Self::now).
+    pub fn advance_until(&mut self, stop: Cycle) {
+        self.advance_to(stop);
+    }
+
     /// Advances the chip to cycle `stop`, pausing at metric-window
     /// boundaries so windows close exactly on their nominal edge. Thanks
     /// to absolute message timestamps, the pause schedule never changes

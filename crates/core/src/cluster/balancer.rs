@@ -1,0 +1,168 @@
+//! Cluster-level load balancing: which chip serves the next request.
+//!
+//! The balancer lives inside the frontend shard and sees only what a real
+//! rack-level balancer would: per-chip counts of requests it has routed
+//! and not yet seen complete, and the work-cycles behind them. All three
+//! policies are pure-integer and tie-break toward the lowest chip index,
+//! so routing decisions are bit-reproducible.
+
+use smarco_sim::Cycle;
+
+/// Pluggable routing policy for the cluster frontend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BalancePolicy {
+    /// Cycle through chips in index order, ignoring load.
+    RoundRobin,
+    /// Join-shortest-queue: route to the chip with the fewest outstanding
+    /// requests.
+    ShortestQueue,
+    /// Laxity-aware: route to the chip where the request's estimated
+    /// slack ([`smarco_sched::rack::chip_slack`]) is largest — the
+    /// cluster-scope analogue of the chip's laxity scheduler, weighing
+    /// backlog *work* and chip issue width instead of request counts.
+    LaxityAware,
+}
+
+impl BalancePolicy {
+    /// Every policy, in bench-sweep order.
+    pub const ALL: [BalancePolicy; 3] = [
+        BalancePolicy::RoundRobin,
+        BalancePolicy::ShortestQueue,
+        BalancePolicy::LaxityAware,
+    ];
+
+    /// Stable name used in reports and `BENCH_rack.json`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round_robin",
+            Self::ShortestQueue => "shortest_queue",
+            Self::LaxityAware => "laxity_aware",
+        }
+    }
+}
+
+/// Frontend-resident balancer state: one slot per chip.
+#[derive(Debug, Clone)]
+pub(crate) struct Balancer {
+    policy: BalancePolicy,
+    /// Round-robin cursor.
+    rr: usize,
+    /// Requests routed to each chip and not yet completed.
+    outstanding: Vec<u64>,
+    /// Work-cycles routed to each chip and not yet completed.
+    backlog: Vec<Cycle>,
+    /// Aggregate issue width of one chip (cores × pairs).
+    width: u64,
+}
+
+impl Balancer {
+    pub(crate) fn new(policy: BalancePolicy, chips: usize, width: u64) -> Self {
+        Self {
+            policy,
+            rr: 0,
+            outstanding: vec![0; chips],
+            backlog: vec![0; chips],
+            width,
+        }
+    }
+
+    /// Picks a chip for a request of `work` cycles with `slo` cycles of
+    /// end-to-end headroom, and charges the choice to that chip's
+    /// outstanding state.
+    pub(crate) fn route(&mut self, work: Cycle, slo: Cycle) -> usize {
+        let n = self.outstanding.len();
+        let chip = match self.policy {
+            BalancePolicy::RoundRobin => {
+                let c = self.rr % n;
+                self.rr += 1;
+                c
+            }
+            BalancePolicy::ShortestQueue => {
+                let mut best = 0;
+                for c in 1..n {
+                    if self.outstanding[c] < self.outstanding[best] {
+                        best = c;
+                    }
+                }
+                best
+            }
+            BalancePolicy::LaxityAware => {
+                let mut best = 0;
+                let mut best_slack =
+                    smarco_sched::rack::chip_slack(slo, 0, self.backlog[0], work, self.width);
+                for c in 1..n {
+                    let slack =
+                        smarco_sched::rack::chip_slack(slo, 0, self.backlog[c], work, self.width);
+                    if slack > best_slack {
+                        best = c;
+                        best_slack = slack;
+                    }
+                }
+                best
+            }
+        };
+        self.outstanding[chip] += 1;
+        self.backlog[chip] += work;
+        chip
+    }
+
+    /// Credits a completed request back to its chip.
+    pub(crate) fn complete(&mut self, chip: usize, work: Cycle) {
+        self.outstanding[chip] -= 1;
+        self.backlog[chip] = self.backlog[chip].saturating_sub(work);
+    }
+
+    #[cfg(test)]
+    fn outstanding(&self) -> &[u64] {
+        &self.outstanding
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles_in_index_order() {
+        let mut b = Balancer::new(BalancePolicy::RoundRobin, 3, 64);
+        let picks: Vec<_> = (0..6).map(|_| b.route(100, 10_000)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn shortest_queue_avoids_the_busy_chip() {
+        let mut b = Balancer::new(BalancePolicy::ShortestQueue, 2, 64);
+        assert_eq!(b.route(100, 10_000), 0);
+        assert_eq!(b.route(100, 10_000), 1);
+        // Chip 0 completes, chip 1 still busy: next pick is chip 0.
+        b.complete(0, 100);
+        assert_eq!(b.route(100, 10_000), 0);
+        assert_eq!(b.outstanding(), &[1, 1]);
+    }
+
+    #[test]
+    fn laxity_aware_weighs_work_not_counts() {
+        let mut b = Balancer::new(BalancePolicy::LaxityAware, 2, 64);
+        // One giant request on chip 0 vs two small ones on chip 1: JSQ
+        // would pick chip 0, laxity-aware sees the backlog and picks 1.
+        b.outstanding[0] = 1;
+        b.backlog[0] = 1_000_000;
+        b.outstanding[1] = 2;
+        b.backlog[1] = 200;
+        assert_eq!(b.route(100, 10_000), 1);
+    }
+
+    #[test]
+    fn ties_break_toward_the_lowest_index() {
+        let mut jsq = Balancer::new(BalancePolicy::ShortestQueue, 4, 64);
+        assert_eq!(jsq.route(100, 10_000), 0);
+        let mut lax = Balancer::new(BalancePolicy::LaxityAware, 4, 64);
+        assert_eq!(lax.route(100, 10_000), 0);
+    }
+
+    #[test]
+    fn policy_names_are_stable() {
+        let names: Vec<_> = BalancePolicy::ALL.iter().map(BalancePolicy::name).collect();
+        assert_eq!(names, vec!["round_robin", "shortest_queue", "laxity_aware"]);
+    }
+}

@@ -41,6 +41,20 @@ pub enum SmarcoError {
         /// Human-readable plan defect.
         reason: String,
     },
+    /// A cluster description failed validation before any chip was built
+    /// (zero chips, a fabric slower than light, an empty traffic
+    /// profile, …).
+    InvalidCluster {
+        /// Human-readable validation failure.
+        reason: String,
+    },
+    /// The addressed chip index is outside the cluster's geometry.
+    NoSuchChip {
+        /// The out-of-range index.
+        chip: usize,
+        /// Chips actually present.
+        chips: usize,
+    },
 }
 
 impl std::fmt::Display for SmarcoError {
@@ -62,6 +76,10 @@ impl std::fmt::Display for SmarcoError {
                 write!(f, "core {core} does not exist (chip has {cores} cores)")
             }
             Self::InvalidPlan { reason } => write!(f, "invalid plan: {reason}"),
+            Self::InvalidCluster { reason } => write!(f, "invalid cluster: {reason}"),
+            Self::NoSuchChip { chip, chips } => {
+                write!(f, "chip {chip} does not exist (cluster has {chips} chips)")
+            }
         }
     }
 }
@@ -90,6 +108,13 @@ mod tests {
             reason: "zero workers".into(),
         };
         assert!(e.to_string().contains("zero workers"));
+        let e = SmarcoError::InvalidCluster {
+            reason: "zero chips".into(),
+        };
+        assert!(e.to_string().contains("zero chips"));
+        let e = SmarcoError::NoSuchChip { chip: 9, chips: 4 };
+        assert!(e.to_string().contains("chip 9"));
+        assert!(e.to_string().contains("4 chips"));
     }
 
     #[test]

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod chip;
+pub mod cluster;
 pub mod config;
 pub mod contract;
 pub mod dispatch;
@@ -47,6 +48,10 @@ pub mod tcg;
 pub mod thread;
 
 pub use chip::{SmarcoSystem, SmarcoSystemBuilder};
+pub use cluster::{
+    ArrivalProcess, BalancePolicy, Cluster, ClusterBuilder, ClusterReport, FabricConfig,
+    SizeDistribution, TrafficProfile,
+};
 pub use config::{SmarcoConfig, TcgConfig};
 pub use error::SmarcoError;
 pub use fault::{Fault, FaultPlan, FaultSite, RetryPolicy};

@@ -352,6 +352,16 @@ impl TcgCore {
             return Err(CoreFull(stream));
         };
         self.slots[idx].attach(stream);
+        // Re-arm the pair: if its issue slot is parked on a dead thread
+        // (both threads exited, the newcomer reuses the non-active slot),
+        // the pair would never issue again — `tick` and `next_event` only
+        // look at the active thread. `on_unblock` hands the slot to the
+        // newcomer, or parks it Ready behind a live, active friend.
+        let p = self.pairs.pair_of(idx);
+        let active = self.pairs.active_thread(p);
+        if active != idx && (active >= self.slots.len() || !self.slots[active].is_live()) {
+            self.pairs.on_unblock(idx, &mut self.slots);
+        }
         self.maybe_prefetch_iseg();
         Ok(idx)
     }
@@ -887,6 +897,28 @@ mod tests {
         run(&mut c, 10, 10_000);
         let ipc = c.stats().ipc();
         assert!(ipc > 0.9 && ipc <= 1.01, "single-thread ipc {ipc}");
+    }
+
+    #[test]
+    fn attach_into_a_fully_drained_pair_rearms_issue() {
+        let mut c = core();
+        // Drain every pair completely: each ends with both threads Done
+        // and the issue slot parked on the friend (the last to exit).
+        for _ in 0..8 {
+            c.attach(Box::new(compute_only(50))).unwrap();
+        }
+        run(&mut c, 10, 10_000);
+        let _ = c.take_retired();
+        // A new task reuses the primary slot of the parked pair. Before
+        // attach re-armed the pair scheduler this thread was Runnable but
+        // never active: no horizon, no issue, hung forever.
+        c.attach(Box::new(compute_only(50))).unwrap();
+        assert!(
+            c.next_event(0).is_some(),
+            "re-armed pair must publish a horizon"
+        );
+        run(&mut c, 10, 10_000);
+        assert!(c.is_done());
     }
 
     #[test]

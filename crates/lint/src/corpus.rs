@@ -18,7 +18,7 @@ use smarco_noc::{BufferedNocConfig, NocBackendKind};
 use smarco_sched::Task;
 
 use crate::diag::Code;
-use crate::model::PartitionLevel;
+use crate::model::{ClusterGeometry, PartitionLevel};
 use crate::{lint_model, ModelInput};
 
 /// One corpus entry: a broken configuration and the codes it must trip.
@@ -161,6 +161,25 @@ pub fn corpus() -> Vec<CorpusEntry> {
                   its workers and measures scheduler overhead, not speedup",
             expected: vec![Code::HostOversubscribed],
             build: || base().with_outer_level(PartitionLevel::fabric(64, 20, 64).with_host_cpus(2)),
+        },
+        CorpusEntry {
+            name: "fabric-hop-below-chip-boundary",
+            why: "a 1-cycle fabric hop undercuts the chip's 2-cycle internal \
+                  boundary, inverting the cluster's two-level PDES hierarchy",
+            expected: vec![Code::FabricBelowChipBoundary, Code::HierarchyLookahead],
+            build: || base().with_cluster(ClusterGeometry::new(4, 1, 4, &SmarcoConfig::tiny())),
+        },
+        CorpusEntry {
+            name: "open-loop-overload",
+            why: "offering 300k work-cycles per kcycle to a 4-chip cluster that \
+                  retires 256k grows queues without bound",
+            expected: vec![Code::OfferedLoadExceedsCapacity],
+            build: || {
+                base().with_cluster(
+                    ClusterGeometry::new(4, 32, 4, &SmarcoConfig::tiny())
+                        .with_offered_load(300_000.0),
+                )
+            },
         },
         CorpusEntry {
             name: "zero-depth-buffered-switch",

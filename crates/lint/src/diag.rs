@@ -158,11 +158,20 @@ pub enum Code {
     /// degrades to yield-on-every-check, and the run measures scheduler
     /// overhead instead of speedup.
     HostOversubscribed,
+    /// SL0460: the inter-chip fabric latency (the cluster engine's outer
+    /// lookahead) is below a member chip's internal boundary latency —
+    /// the cluster-specific instance of SL0423, caught from the fabric
+    /// config alone.
+    FabricBelowChipBoundary,
+    /// SL0461: the open-loop traffic profile offers more work per cycle
+    /// than the cluster's aggregate issue width can retire, so queues
+    /// grow without bound and tail latency diverges.
+    OfferedLoadExceedsCapacity,
 }
 
 impl Code {
     /// Every code, in numeric order (for docs and exhaustive tests).
-    pub const ALL: [Code; 39] = [
+    pub const ALL: [Code; 41] = [
         Code::UnmappedRef,
         Code::StraddlingRef,
         Code::MisalignedRef,
@@ -202,6 +211,8 @@ impl Code {
         Code::BackendBoundaryLatency,
         Code::DegenerateBufferDepth,
         Code::HostOversubscribed,
+        Code::FabricBelowChipBoundary,
+        Code::OfferedLoadExceedsCapacity,
     ];
 
     /// The stable `SLxxxx` identifier.
@@ -246,6 +257,8 @@ impl Code {
             Code::BackendBoundaryLatency => "SL0440",
             Code::DegenerateBufferDepth => "SL0441",
             Code::HostOversubscribed => "SL0450",
+            Code::FabricBelowChipBoundary => "SL0460",
+            Code::OfferedLoadExceedsCapacity => "SL0461",
         }
     }
 
@@ -282,7 +295,8 @@ impl Code {
             | Code::ResourceClassDead
             | Code::HierarchyLookahead
             | Code::BackendBoundaryLatency
-            | Code::DegenerateBufferDepth => Severity::Deny,
+            | Code::DegenerateBufferDepth
+            | Code::FabricBelowChipBoundary => Severity::Deny,
             Code::MisalignedRef
             | Code::CtrlRef
             | Code::SliceBeyondInput
@@ -295,7 +309,8 @@ impl Code {
             | Code::DegenerateProfileSampling
             | Code::WorstPathExceedsDeadline
             | Code::TaskStarvable
-            | Code::HostOversubscribed => Severity::Warn,
+            | Code::HostOversubscribed
+            | Code::OfferedLoadExceedsCapacity => Severity::Warn,
             Code::RemoteSpmRef => Severity::Note,
         }
     }
@@ -342,6 +357,8 @@ impl Code {
             Code::BackendBoundaryLatency => "backend boundary latency below junction latency",
             Code::DegenerateBufferDepth => "buffered backend has degenerate buffer depth",
             Code::HostOversubscribed => "more PDES workers than host CPUs",
+            Code::FabricBelowChipBoundary => "fabric latency below a chip's boundary latency",
+            Code::OfferedLoadExceedsCapacity => "offered load exceeds cluster service capacity",
         }
     }
 
@@ -604,6 +621,28 @@ impl Code {
                  this is purely a performance finding.",
                 "Clamp workers to the host's CPU count (or move the run to \
                  a larger host).",
+            ),
+            Code::FabricBelowChipBoundary => (
+                "The inter-chip fabric latency is the cluster engine's \
+                 outer PDES lookahead, and a member chip's NoC boundary \
+                 latency is its inner lookahead. A fabric hop shorter than \
+                 the chip's internal boundary inverts the hierarchy — the \
+                 outer barrier would deliver into windows the chip's own \
+                 engine already retired. This is the cluster-specific \
+                 instance of SL0423, caught from the fabric config alone.",
+                "Raise the fabric latency to at least the chip's NoC \
+                 boundary_latency().",
+            ),
+            Code::OfferedLoadExceedsCapacity => (
+                "The open-loop traffic profile's mean offered work per \
+                 cycle (arrival rate x mean request size) exceeds the \
+                 cluster's aggregate issue width (chips x cores x thread \
+                 pairs). Open-loop arrivals do not slow down when the \
+                 system backs up, so queues grow without bound, latency \
+                 percentiles diverge with the horizon, and the SLO miss \
+                 rate trends to one.",
+                "Lower the arrival rate, shrink the request sizes, or add \
+                 chips until offered work fits under aggregate capacity.",
             ),
         }
     }

@@ -24,7 +24,9 @@
 //! * [`model`] — the **ChipModel IR**: a typed component/channel graph
 //!   of the whole chip (cores, ring segments, junctions, MACTs, spokes,
 //!   DDR channels, the retry wheel) extracted purely from config, plus
-//!   the shard-partition hierarchy pass (**SL0423**).
+//!   the shard-partition hierarchy pass (**SL0423**) and the rack-scale
+//!   cluster pass (**SL0460/SL0461**: fabric hops shorter than a chip's
+//!   internal boundary, open-loop load beyond aggregate capacity).
 //! * [`deadlock`] — **SL0420/SL0422** static deadlock analysis: blocking
 //!   cycles and resource-class extinction over the model graph.
 //! * [`horizon`] — **SL0421** horizon-soundness: evaluates the *same*
@@ -69,7 +71,10 @@ pub use deadlock::check_deadlock;
 pub use diag::{Code, Diagnostic, Report, Severity, Span};
 pub use dma::{check_dma, check_mapreduce_plan, check_staging, StagedBuffer};
 pub use horizon::check_horizon;
-pub use model::{check_partition_hierarchy, Channel, ChannelKind, ChipModel, PartitionLevel};
+pub use model::{
+    check_cluster, check_partition_hierarchy, Channel, ChannelKind, ChipModel, ClusterGeometry,
+    PartitionLevel,
+};
 pub use race::{check_races, check_unsynced_dma};
 pub use schedbound::{check_schedbound, fault_slack};
 
@@ -115,6 +120,9 @@ pub struct ModelInput {
     pub mr: Option<MapReduceConfig>,
     /// Partition levels enclosing the chip level, innermost first.
     pub outer_levels: Vec<PartitionLevel>,
+    /// Rack-scale cluster geometry, when the chip is one of many on an
+    /// inter-chip fabric serving an open-loop request stream.
+    pub cluster: Option<ClusterGeometry>,
 }
 
 impl ModelInput {
@@ -126,6 +134,7 @@ impl ModelInput {
             plan: None,
             mr: None,
             outer_levels: Vec::new(),
+            cluster: None,
         }
     }
 
@@ -156,6 +165,15 @@ impl ModelInput {
         self.outer_levels.push(level);
         self
     }
+
+    /// Attaches a rack-scale cluster geometry: the cluster pass
+    /// ([`check_cluster`], SL0460/SL0461) runs and the geometry's fabric
+    /// level joins the partition hierarchy (SL0423 and friends).
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: ClusterGeometry) -> Self {
+        self.cluster = Some(cluster);
+        self
+    }
 }
 
 /// Runs all four model passes — deadlock, horizon soundness,
@@ -172,6 +190,10 @@ pub fn lint_model(input: &ModelInput) -> Report {
     );
     model.levels.extend(input.outer_levels.iter().cloned());
     let mut report = Report::new();
+    if let Some(cluster) = &input.cluster {
+        model.levels.push(cluster.level());
+        report.absorb(model::check_cluster(cluster));
+    }
     report.absorb(deadlock::check_deadlock(&model));
     report.absorb(horizon::check_horizon(&input.cfg));
     report.absorb(schedbound::check_schedbound(&model));

@@ -499,6 +499,114 @@ pub fn detected_host_cpus() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// The rack-scale facts the cluster pass reasons about: the member
+/// chip's shape, the inter-chip fabric, and the open-loop offered load.
+/// Extracted from plain config values — no cluster is ever built, in
+/// the same spirit as [`ChipModel::extract`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterGeometry {
+    /// Chips on the fabric.
+    pub chips: usize,
+    /// Inter-chip fabric hop latency — the cluster engine's outer PDES
+    /// lookahead.
+    pub fabric_latency: Cycle,
+    /// A member chip's internal boundary latency — its inner lookahead.
+    pub chip_boundary_latency: Cycle,
+    /// One chip's aggregate issue width in work-cycles per cycle
+    /// (cores × thread pairs; each pair retires one instruction per
+    /// cycle when busy).
+    pub chip_width: u64,
+    /// Mean offered work in work-cycles per 1000 cycles (arrival rate ×
+    /// mean request size). `None` disables the load check (SL0461) —
+    /// e.g. a closed-loop or replayed workload.
+    pub offered_work_per_kcycle: Option<f64>,
+    /// Host threads driving the cluster level.
+    pub workers: usize,
+}
+
+impl ClusterGeometry {
+    /// Geometry of `chips` copies of `chip` on a fabric with the given
+    /// hop latency, driven by `workers` host threads, with no offered
+    /// load attached yet.
+    pub fn new(chips: usize, fabric_latency: Cycle, workers: usize, chip: &SmarcoConfig) -> Self {
+        Self {
+            chips,
+            fabric_latency,
+            chip_boundary_latency: chip.noc.boundary_latency(),
+            chip_width: (chip.noc.cores() * chip.tcg.pairs) as u64,
+            offered_work_per_kcycle: None,
+            workers,
+        }
+    }
+
+    /// Attaches an open-loop offered load (work-cycles per 1000 cycles),
+    /// arming the capacity check (SL0461).
+    #[must_use]
+    pub fn with_offered_load(mut self, per_kcycle: f64) -> Self {
+        self.offered_work_per_kcycle = Some(per_kcycle);
+        self
+    }
+
+    /// This geometry as an outer partition level, for
+    /// [`check_partition_hierarchy`].
+    pub fn level(&self) -> PartitionLevel {
+        PartitionLevel::fabric(self.chips, self.fabric_latency, self.workers)
+    }
+
+    /// Aggregate service capacity in work-cycles per 1000 cycles.
+    pub fn capacity_per_kcycle(&self) -> f64 {
+        self.chips as f64 * self.chip_width as f64 * 1000.0
+    }
+}
+
+/// Pass (e) — cluster-geometry soundness. SL0460: the fabric hop (the
+/// outer lookahead) is below a member chip's internal boundary latency,
+/// the cluster-specific instance of SL0423 caught from the fabric
+/// config alone. SL0461: the open-loop offered load exceeds the
+/// cluster's aggregate issue width, so queues grow without bound.
+/// [`lint_model`](crate::lint_model) also folds the geometry's
+/// [`level`](ClusterGeometry::level) into the partition hierarchy, so
+/// the per-level shard rules fire alongside these.
+pub fn check_cluster(g: &ClusterGeometry) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if g.fabric_latency < g.chip_boundary_latency {
+        out.push(
+            Diagnostic::new(
+                Code::FabricBelowChipBoundary,
+                Span::Field("fabric.latency".to_string()),
+                format!(
+                    "fabric hop of {} cycles is below the chip's {}-cycle \
+                     internal boundary latency: the outer barrier would \
+                     deliver into windows the chip's own engine already \
+                     retired",
+                    g.fabric_latency, g.chip_boundary_latency,
+                ),
+            )
+            .with_help("raise the fabric latency to at least the chip's boundary latency"),
+        );
+    }
+    if let Some(offered) = g.offered_work_per_kcycle {
+        let capacity = g.capacity_per_kcycle();
+        if offered > capacity {
+            out.push(
+                Diagnostic::new(
+                    Code::OfferedLoadExceedsCapacity,
+                    Span::Field("traffic.arrivals".to_string()),
+                    format!(
+                        "open-loop traffic offers {offered:.1} work-cycles per \
+                         kcycle but {} chip(s) of width {} retire at most \
+                         {capacity:.1}: queues grow without bound and tail \
+                         latency diverges",
+                        g.chips, g.chip_width,
+                    ),
+                )
+                .with_help("lower the arrival rate, shrink request sizes, or add chips"),
+            );
+        }
+    }
+    out
+}
+
 /// Pass (d) — shard-partition soundness over a whole hierarchy, levels
 /// ordered innermost first. Per level: positive worker count (SL0401),
 /// whole-shard partition (SL0411), lookahead within the shortest
@@ -723,6 +831,48 @@ mod tests {
         let ds = check_partition_hierarchy(&[level]);
         assert_eq!(ds.len(), 1, "{ds:?}");
         assert_eq!(ds[0].code, Code::ShardWorkers);
+    }
+
+    #[test]
+    fn sane_cluster_geometry_is_clean() {
+        let cfg = SmarcoConfig::tiny();
+        // tiny: boundary latency 2, width 16 cores x 4 pairs = 64.
+        let g = ClusterGeometry::new(4, 32, 4, &cfg).with_offered_load(1000.0);
+        assert_eq!(g.chip_boundary_latency, 2);
+        assert_eq!(g.chip_width, 64);
+        assert!(check_cluster(&g).is_empty());
+        assert!(check_partition_hierarchy(&[PartitionLevel::subring(&cfg), g.level()]).is_empty());
+    }
+
+    #[test]
+    fn short_fabric_hop_denied_with_sl0460() {
+        let cfg = SmarcoConfig::tiny();
+        let g = ClusterGeometry::new(4, 1, 4, &cfg);
+        let ds = check_cluster(&g);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::FabricBelowChipBoundary);
+        assert_eq!(ds[0].severity, crate::diag::Severity::Deny);
+        // The same inversion also fires SL0423 through the hierarchy
+        // pass — SL0460 is its cluster-specific sharpening.
+        let hier = check_partition_hierarchy(&[PartitionLevel::subring(&cfg), g.level()]);
+        assert!(hier.iter().any(|d| d.code == Code::HierarchyLookahead));
+    }
+
+    #[test]
+    fn overload_warns_with_sl0461_and_scales_with_chips() {
+        let cfg = SmarcoConfig::tiny();
+        // 4 chips x width 64 retire 256k work-cycles per kcycle.
+        let over = ClusterGeometry::new(4, 32, 4, &cfg).with_offered_load(300_000.0);
+        let ds = check_cluster(&over);
+        assert_eq!(ds.len(), 1, "{ds:?}");
+        assert_eq!(ds[0].code, Code::OfferedLoadExceedsCapacity);
+        assert_eq!(ds[0].severity, crate::diag::Severity::Warn);
+        // Adding chips absorbs the same load.
+        let wider = ClusterGeometry::new(8, 32, 4, &cfg).with_offered_load(300_000.0);
+        assert!(check_cluster(&wider).is_empty());
+        // No offered load attached: the check stays silent.
+        let closed = ClusterGeometry::new(1, 32, 1, &cfg);
+        assert!(check_cluster(&closed).is_empty());
     }
 
     #[test]

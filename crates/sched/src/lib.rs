@@ -19,6 +19,7 @@ pub mod chain;
 pub mod executor;
 pub mod laxity;
 pub mod main_sched;
+pub mod rack;
 pub mod task;
 
 pub use baseline::{DeadlineScheduler, FifoScheduler};

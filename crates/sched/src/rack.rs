@@ -1,0 +1,73 @@
+//! Laxity at cluster scope: the rack-level load balancer's view of
+//! per-chip slack.
+//!
+//! Inside a chip, [`crate::laxity`] orders *admitted* tasks by execution
+//! laxity. At rack scale the question is different — *which chip should
+//! this request go to so its laxity survives the chip's queue?* — and the
+//! balancer only sees aggregate state: how much work it has routed to
+//! each chip that has not come back yet. [`chip_slack`] turns that into
+//! the same deadline − now − time-to-finish shape as
+//! [`Task::laxity`](crate::Task::laxity), with time-to-finish estimated
+//! as the chip's backlog plus the candidate request, drained at the
+//! chip's issue width (one instruction per pair slot per cycle).
+//!
+//! The arithmetic is pure-integer so every policy decision is
+//! bit-reproducible across hosts.
+
+use smarco_sim::Cycle;
+
+/// Estimated laxity of a request on a candidate chip: `deadline − now −
+/// ceil((backlog + work) / width)`, where `backlog` is the work-cycles
+/// already routed to the chip and still outstanding, `work` is the
+/// candidate request's size, and `width` is the chip's aggregate issue
+/// width (cores × pairs; clamped to at least 1). Negative slack means the
+/// request would likely miss its deadline behind that chip's queue.
+///
+/// ```
+/// use smarco_sched::rack::chip_slack;
+///
+/// // Empty chip, 64-wide: a 640-cycle request drains in 10 cycles.
+/// assert_eq!(chip_slack(1_000, 0, 0, 640, 64), 990);
+/// // 64k cycles of backlog push the same request 1000 cycles out.
+/// assert_eq!(chip_slack(1_000, 0, 64_000, 640, 64), -10);
+/// ```
+pub fn chip_slack(deadline: Cycle, now: Cycle, backlog: Cycle, work: Cycle, width: u64) -> i64 {
+    let width = width.max(1);
+    let drain = backlog.saturating_add(work).div_ceil(width);
+    let headroom = i64::try_from(deadline.saturating_sub(now)).unwrap_or(i64::MAX);
+    headroom.saturating_sub(i64::try_from(drain).unwrap_or(i64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slack_matches_task_laxity_on_an_empty_unit_width_chip() {
+        // With no backlog and width 1 the drain estimate is exactly the
+        // task's own work, so chip_slack collapses to Task::laxity.
+        let t = crate::Task::new(1, 0, 1_000, 300);
+        assert_eq!(chip_slack(1_000, 0, 0, 300, 1), t.laxity(0));
+    }
+
+    #[test]
+    fn backlog_reduces_slack_monotonically() {
+        let base = chip_slack(10_000, 0, 0, 500, 64);
+        let loaded = chip_slack(10_000, 0, 32_000, 500, 64);
+        let swamped = chip_slack(10_000, 0, 640_000, 500, 64);
+        assert!(base > loaded);
+        assert!(loaded > swamped);
+        assert!(swamped < 0);
+    }
+
+    #[test]
+    fn drain_estimate_rounds_up() {
+        // 65 work-cycles on a 64-wide chip take 2 cycles, not 1.
+        assert_eq!(chip_slack(100, 0, 0, 65, 64), 98);
+    }
+
+    #[test]
+    fn zero_width_is_clamped_not_divided() {
+        assert_eq!(chip_slack(100, 0, 0, 10, 0), 90);
+    }
+}

@@ -32,6 +32,14 @@ cargo test --offline -q --test cycle_skip
 echo "==> fault determinism (seeded chaos bit-identical across workers x skip)"
 cargo test --offline -q --test fault_determinism
 
+echo "==> rack determinism (seeded traffic reproducible; cluster reports"
+echo "    bit-identical across workers x skip, healthy and chaos)"
+cargo test --offline -q --test rack_determinism
+
+echo "==> rack smoke (2-chip cluster serves a short stream; every request"
+echo "    completes and the latency histogram is non-empty)"
+cargo run --offline --release -p smarco-bench --bin rack -- --smoke
+
 echo "==> NoC backend determinism (ring/mesh/buffered bit-identical across"
 echo "    workers x skip, criticality routing on, all benchmarks)"
 cargo test --offline -q --test noc_backends
@@ -74,7 +82,7 @@ if [ "$corpus_status" -ne 1 ]; then
     echo "ci: corpus gate failed (exit $corpus_status, expected 1)" >&2
     exit 1
 fi
-for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431 SL0440 SL0441 SL0450; do
+for code in SL0420 SL0421 SL0422 SL0423 SL0430 SL0431 SL0440 SL0441 SL0450 SL0460 SL0461; do
     if ! grep -q "\"code\":\"$code\"" "$corpus_json"; then
         echo "ci: corpus no longer produces $code" >&2
         exit 1

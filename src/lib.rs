@@ -9,7 +9,8 @@
 //! * [`mem`] — caches, scratchpad memory, MACT, DDR controllers
 //! * [`noc`] — hierarchical ring, high-density links, direct datapath
 //! * [`sched`] — laxity-aware hardware task scheduler and baselines
-//! * [`core`] — TCG cores and the full 256-core SmarCo chip
+//! * [`core`] — TCG cores, the full 256-core SmarCo chip, and the
+//!   rack-scale multi-chip cluster (`core::cluster`)
 //! * [`baseline`] — conventional (Xeon-like) processor model
 //! * [`workloads`] — the six HTC benchmarks, CDN, and SPLASH2-like loads
 //! * [`runtime`] — pthreads-like API and MapReduce framework

@@ -1,0 +1,100 @@
+//! Rack-scale determinism suite (public API surface).
+//!
+//! Two contracts the serving story depends on:
+//!
+//! 1. Traffic is a pure function of its seed: equal profiles yield
+//!    bit-identical arrival/size streams, on every arrival process.
+//! 2. A cluster run is a pure function of its configuration: the full
+//!    [`ClusterReport`] — latency histogram, SLO counters, and every
+//!    chip's report — is bit-identical across PDES worker counts
+//!    {1, 4} × cycle_skip {on, off}, healthy or with a chaos plan on
+//!    one chip.
+
+use smarco::core::cluster::{BalancePolicy, Cluster, ClusterReport, FabricConfig, TrafficProfile};
+use smarco::core::config::SmarcoConfig;
+use smarco::core::fault::FaultPlan;
+
+const SEED: u64 = 97;
+const CHIPS: usize = 4;
+const MAX_CYCLES: u64 = 10_000_000;
+
+fn traffic() -> TrafficProfile {
+    TrafficProfile::poisson(SEED, 2.0).slo(5_000).requests(80)
+}
+
+/// One cluster run at the given knob settings, drained to completion.
+fn run(workers: usize, cycle_skip: bool, chaos: bool) -> ClusterReport {
+    let chip = SmarcoConfig::tiny();
+    let mut builder = Cluster::builder()
+        .chips(CHIPS)
+        .chip(chip.clone())
+        .fabric(FabricConfig::datacenter())
+        .traffic(traffic())
+        .policy(BalancePolicy::LaxityAware)
+        .workers(workers)
+        .cycle_skip(cycle_skip);
+    if chaos {
+        builder = builder.fault_plan(0, FaultPlan::chaos(13, &chip));
+    }
+    let mut cluster = builder.build().expect("valid cluster");
+    let report = cluster.run(MAX_CYCLES);
+    assert!(
+        cluster.is_done(),
+        "cluster must drain (workers {workers}, skip {cycle_skip}, chaos {chaos})"
+    );
+    report
+}
+
+#[test]
+fn seeded_poisson_traffic_is_reproducible() {
+    let p = traffic();
+    let a: Vec<_> = p.stream().collect();
+    let b: Vec<_> = p.stream().collect();
+    assert_eq!(a, b, "same seed must give the same stream");
+    assert_eq!(a.len(), 80);
+    let other: Vec<_> = TrafficProfile::poisson(SEED + 1, 2.0)
+        .slo(5_000)
+        .requests(80)
+        .stream()
+        .collect();
+    assert_ne!(a, other, "a different seed must give a different stream");
+}
+
+#[test]
+fn seeded_diurnal_traffic_is_reproducible() {
+    let p = TrafficProfile::diurnal(SEED, 1.0, 6.0, 40_000).requests(200);
+    let a: Vec<_> = p.stream().collect();
+    let b: Vec<_> = p.stream().collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn healthy_cluster_reports_are_bit_identical_across_workers_and_skip() {
+    let baseline = run(1, true, false);
+    assert_eq!(baseline.offered, 80);
+    assert_eq!(baseline.completed, baseline.offered, "healthy run drains");
+    for workers in [1, 4] {
+        for cycle_skip in [false, true] {
+            assert_eq!(
+                run(workers, cycle_skip, false),
+                baseline,
+                "workers {workers}, cycle_skip {cycle_skip}"
+            );
+        }
+    }
+}
+
+#[test]
+fn chaos_cluster_reports_are_bit_identical_across_workers_and_skip() {
+    let baseline = run(1, true, true);
+    assert_eq!(baseline.offered, 80);
+    for workers in [1, 4] {
+        for cycle_skip in [false, true] {
+            assert_eq!(
+                run(workers, cycle_skip, true),
+                baseline,
+                "workers {workers}, cycle_skip {cycle_skip}"
+            );
+        }
+    }
+}
